@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table regeneration benches.
+//
+// Every bench binary (a) prints the paper artifact it regenerates — the
+// data series behind a figure, or a table — and (b) registers
+// google-benchmark timings for the machinery involved. The EXPERIMENTS.md
+// index maps each binary to its paper artifact.
+#ifndef CRNKIT_BENCH_BENCH_TABLE_H_
+#define CRNKIT_BENCH_BENCH_TABLE_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace crnkit::bench {
+
+/// Prints a fixed-width table: header row then data rows.
+inline void print_table(const std::string& title,
+                        const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows,
+                        int col_width = 14) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& h : header) std::printf("%*s", col_width, h.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    for (const auto& cell : row) std::printf("%*s", col_width, cell.c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+template <typename T>
+  requires std::is_integral_v<T>
+std::string fmt(T v) {
+  return std::to_string(v);
+}
+inline std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace crnkit::bench
+
+/// Common main: print the artifact (defined per binary), then run the
+/// registered google-benchmark timings.
+#define CRNKIT_BENCH_MAIN(print_artifacts)                 \
+  int main(int argc, char** argv) {                        \
+    print_artifacts();                                     \
+    benchmark::Initialize(&argc, argv);                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                   \
+    benchmark::Shutdown();                                 \
+    return 0;                                              \
+  }
+
+#endif  // CRNKIT_BENCH_BENCH_TABLE_H_

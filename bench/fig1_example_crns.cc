@@ -1,0 +1,113 @@
+// E1 / Figure 1: the example CRNs for 2x, min, and max.
+//
+// Regenerates: the computed values of all three CRNs across inputs
+// (verified by the exhaustive checker), plus the transient-overshoot
+// statistics for max that motivate output-obliviousness (Section 1.2).
+// Timings: SSA throughput for each CRN.
+#include "bench_table.h"
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "fn/examples.h"
+#include "sim/gillespie.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  const crn::Crn twice = compile::scale_crn(2);
+  const crn::Crn min2 = compile::min_crn(2);
+  const crn::Crn max2 = compile::fig1_max_crn();
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& x : std::vector<fn::Point>{
+           {0, 0}, {1, 0}, {2, 3}, {3, 2}, {4, 4}, {5, 2}, {6, 6}}) {
+    const Int mn = std::min(x[0], x[1]);
+    const Int mx = std::max(x[0], x[1]);
+    const bool min_ok = verify::check_stable_computation(min2, x, mn).ok;
+    const bool max_ok = verify::check_stable_computation(max2, x, mx).ok;
+    const bool twice_ok =
+        verify::check_stable_computation(twice, {x[0]}, 2 * x[0]).ok;
+    rows.push_back({"(" + std::to_string(x[0]) + "," + std::to_string(x[1]) +
+                        ")",
+                    bench::fmt(2 * x[0]), twice_ok ? "proved" : "FAIL",
+                    bench::fmt(mn), min_ok ? "proved" : "FAIL",
+                    bench::fmt(mx), max_ok ? "proved" : "FAIL"});
+  }
+  bench::print_table(
+      "Fig 1: stable computation of the three example CRNs",
+      {"x", "2*x1", "check", "min", "check", "max", "check"}, rows, 10);
+
+  // Overshoot: max's Y transiently exceeds the answer before K + Y -> 0
+  // cleans up. Track the peak Y over SSA runs.
+  std::vector<std::vector<std::string>> overshoot;
+  for (const auto& x : std::vector<fn::Point>{{5, 5}, {10, 10}, {20, 20}}) {
+    Int peak = 0;
+    sim::Rng rng(99);
+    sim::GillespieOptions options;
+    const auto y = static_cast<std::size_t>(max2.output_or_throw());
+    options.observer = [&](double, const crn::Config& c) {
+      peak = std::max(peak, c[y]);
+    };
+    const auto run =
+        sim::simulate_direct(max2, max2.initial_configuration(x), rng,
+                             options);
+    overshoot.push_back({"(" + std::to_string(x[0]) + "," +
+                             std::to_string(x[1]) + ")",
+                         bench::fmt(std::max(x[0], x[1])), bench::fmt(peak),
+                         bench::fmt(max2.output_count(run.final_config))});
+  }
+  bench::print_table(
+      "Fig 1 (max): transient output overshoot under SSA (why max is not "
+      "output-oblivious)",
+      {"x", "max(x)", "peak Y", "final Y"}, overshoot, 10);
+
+  std::printf("\noutput-oblivious: 2x=%d min=%d max=%d\n",
+              crn::is_output_oblivious(twice),
+              crn::is_output_oblivious(min2),
+              crn::is_output_oblivious(max2));
+}
+
+void BM_SsaMin(benchmark::State& state) {
+  const crn::Crn min2 = compile::min_crn(2);
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(42);
+    const auto run =
+        sim::simulate_direct(min2, min2.initial_configuration({n, n}), rng);
+    benchmark::DoNotOptimize(run.events);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SsaMin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SsaMax(benchmark::State& state) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(42);
+    const auto run =
+        sim::simulate_direct(max2, max2.initial_configuration({n, n}), rng);
+    benchmark::DoNotOptimize(run.events);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SsaMax)->Arg(100)->Arg(1000);
+
+void BM_ExhaustiveCheckMin(benchmark::State& state) {
+  const crn::Crn min2 = compile::min_crn(2);
+  for (auto _ : state) {
+    const auto result =
+        verify::check_stable_computation(min2, {state.range(0),
+                                                state.range(0)},
+                                         state.range(0));
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_ExhaustiveCheckMin)->Arg(10)->Arg(50);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,72 @@
+// E2 / Figure 2: min(1, x) two ways — the leaderless non-output-oblivious
+// CRN (X -> Y; 2Y -> Y) versus the leader-based output-oblivious one
+// (L + X -> Y) — plus the Observation 9.1 superadditivity obstruction that
+// explains why no leaderless output-oblivious CRN exists for it.
+#include "bench_table.h"
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "fn/examples.h"
+#include "fn/properties.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  const crn::Crn leaderless = compile::fig2_min1_leaderless();
+  const crn::Crn with_leader = compile::fig2_min1_leader();
+  const auto f = fn::examples::min_const1();
+
+  std::vector<std::vector<std::string>> rows;
+  for (Int x = 0; x <= 8; ++x) {
+    rows.push_back(
+        {bench::fmt(x), bench::fmt(f(x)),
+         verify::check_stable_computation(leaderless, {x}, f(x)).ok
+             ? "proved"
+             : "FAIL",
+         verify::check_stable_computation(with_leader, {x}, f(x)).ok
+             ? "proved"
+             : "FAIL"});
+  }
+  bench::print_table("Fig 2: min(1,x) stably computed both ways",
+                     {"x", "min(1,x)", "leaderless", "leader"}, rows, 12);
+
+  std::printf("\nleaderless CRN output-oblivious: %s (consumes Y in 2Y->Y)\n",
+              crn::is_output_oblivious(leaderless) ? "yes" : "no");
+  std::printf("leader CRN output-oblivious:     %s\n",
+              crn::is_output_oblivious(with_leader) ? "yes" : "no");
+
+  const auto violation = fn::find_superadditive_violation(f, 4);
+  if (violation) {
+    std::printf(
+        "Observation 9.1 obstruction: %s -> no leaderless output-oblivious "
+        "CRN can compute min(1,x)\n",
+        violation->to_string().c_str());
+  }
+}
+
+void BM_ExhaustiveCheckLeader(benchmark::State& state) {
+  const crn::Crn crn = compile::fig2_min1_leader();
+  for (auto _ : state) {
+    const auto result =
+        verify::check_stable_computation(crn, {state.range(0)}, 1);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_ExhaustiveCheckLeader)->Arg(20)->Arg(100);
+
+void BM_ExhaustiveCheckLeaderless(benchmark::State& state) {
+  const crn::Crn crn = compile::fig2_min1_leaderless();
+  for (auto _ : state) {
+    const auto result =
+        verify::check_stable_computation(crn, {state.range(0)}, 1);
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_ExhaustiveCheckLeaderless)->Arg(20)->Arg(100);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

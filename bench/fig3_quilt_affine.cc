@@ -1,0 +1,86 @@
+// E3 / Figure 3: quilt-affine functions — (a) the 1D floor(3x/2) =
+// (3/2)x + B(x mod 2) series and (b) the 2D "bumpy quilt"
+// g = (1,2).x + B(x mod 3) surface — together with their Lemma 6.1
+// compiled CRNs verified against the exact functions.
+#include "bench_table.h"
+#include "compile/quilt.h"
+#include "fn/examples.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  // (a) 1D series.
+  const fn::QuiltAffine g1 = fn::examples::fig3a_quilt();
+  std::vector<std::vector<std::string>> rows1;
+  const crn::Crn crn1 = compile::compile_quilt_affine(g1);
+  for (Int x = 0; x <= 12; ++x) {
+    rows1.push_back(
+        {bench::fmt(x), bench::fmt(g1(fn::Point{x})),
+         bench::fmt((3 * x) / 2),
+         verify::check_stable_computation(crn1, {x}, g1(fn::Point{x})).ok
+             ? "proved"
+             : "FAIL"});
+  }
+  bench::print_table("Fig 3a: floor(3x/2) = (3/2)x + B(x mod 2)",
+                     {"x", "g(x)", "floor(3x/2)", "Lemma 6.1 CRN"}, rows1,
+                     14);
+
+  // (b) 2D surface.
+  const fn::QuiltAffine g2 = fn::examples::fig3b_quilt();
+  std::vector<std::vector<std::string>> rows2;
+  for (Int x2 = 0; x2 <= 6; ++x2) {
+    std::vector<std::string> row{"x2=" + std::to_string(x2)};
+    for (Int x1 = 0; x1 <= 6; ++x1) {
+      row.push_back(bench::fmt(g2(fn::Point{x1, x2})));
+    }
+    rows2.push_back(std::move(row));
+  }
+  std::vector<std::string> header{""};
+  for (Int x1 = 0; x1 <= 6; ++x1) header.push_back("x1=" + std::to_string(x1));
+  bench::print_table("Fig 3b: g = (1,2).x + B(x mod 3), B = -1 on the bumps",
+                     header, rows2, 7);
+
+  const crn::Crn crn2 = compile::compile_quilt_affine(g2);
+  const auto sweep =
+      verify::check_stable_computation_on_grid(crn2, g2.as_function(), 4);
+  std::printf("\nLemma 6.1 CRN for fig3b: %zu species, %zu reactions; "
+              "exhaustive check on [0,4]^2: %s\n",
+              crn2.species_count(), crn2.reactions().size(),
+              sweep.all_ok ? "all proved" : "FAILED");
+}
+
+void BM_CompileQuilt1D(benchmark::State& state) {
+  const fn::QuiltAffine g = fn::examples::fig3a_quilt();
+  for (auto _ : state) {
+    const crn::Crn crn = compile::compile_quilt_affine(g);
+    benchmark::DoNotOptimize(crn.species_count());
+  }
+}
+BENCHMARK(BM_CompileQuilt1D);
+
+void BM_CompileQuilt2D(benchmark::State& state) {
+  const fn::QuiltAffine g = fn::examples::fig3b_quilt();
+  for (auto _ : state) {
+    const crn::Crn crn = compile::compile_quilt_affine(g);
+    benchmark::DoNotOptimize(crn.species_count());
+  }
+}
+BENCHMARK(BM_CompileQuilt2D);
+
+void BM_EvaluateQuilt2D(benchmark::State& state) {
+  const fn::QuiltAffine g = fn::examples::fig3b_quilt();
+  Int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g(fn::Point{x % 100, (x * 7) % 100}));
+    ++x;
+  }
+}
+BENCHMARK(BM_EvaluateQuilt2D);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,89 @@
+// E4 / Figure 4: (a) a 2D obliviously-computable function with arbitrary
+// finite behavior below n = (4,4), eventual min-of-3-quilt-affine behavior
+// above, and 1D quilt-affine rows/columns on the boundary; (b) its
+// infinity-scaling (the continuous surface of [9]).
+#include "bench_table.h"
+#include "compile/theorem52.h"
+#include "cont/scaling.h"
+#include "fn/examples.h"
+#include "verify/simcheck.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+using math::Rational;
+
+void print_artifacts() {
+  const auto f = fn::examples::fig4a();
+  const auto eventual = fn::examples::fig4a_eventual();
+
+  // (a) The surface, annotated with the regime of each point.
+  std::vector<std::vector<std::string>> rows;
+  for (Int x2 = 0; x2 <= 8; ++x2) {
+    std::vector<std::string> row{"x2=" + std::to_string(x2)};
+    for (Int x1 = 0; x1 <= 8; ++x1) {
+      const fn::Point x{x1, x2};
+      std::string cell = bench::fmt(f(x));
+      if (x1 >= 4 && x2 >= 4) {
+        cell += "*";  // eventual region: f = min(g1, g2, g3)
+      } else if (f(x) != eventual(x)) {
+        cell += "!";  // finite-region perturbation
+      }
+      row.push_back(cell);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> header{""};
+  for (Int x1 = 0; x1 <= 8; ++x1) header.push_back("x1=" + std::to_string(x1));
+  bench::print_table(
+      "Fig 4a: f (* = eventual min-of-quilt-affine region, ! = finite "
+      "perturbation)",
+      header, rows, 7);
+
+  // (b) The scaling surface along rays (Fig 4b).
+  const cont::PiecewiseLinearMin fhat = cont::scaling_of(eventual);
+  std::vector<std::vector<std::string>> srows;
+  for (const auto& z : std::vector<math::RatVec>{
+           {Rational(1), Rational(0)},
+           {Rational(1), Rational(1, 2)},
+           {Rational(1), Rational(1)},
+           {Rational(1, 2), Rational(1)},
+           {Rational(0), Rational(1)}}) {
+    const double numeric = cont::scaling_estimate(
+        f, {z[0].to_double(), z[1].to_double()}, 4096.0);
+    srows.push_back({math::to_string(z), fhat(z).to_string(),
+                     bench::fmt(numeric)});
+  }
+  bench::print_table("Fig 4b: infinity-scaling fhat = min(2z1+z2, z1+2z2, "
+                     "z1+z2) along rays",
+                     {"z", "analytic", "f(4096 z)/4096"}, srows, 16);
+}
+
+void BM_CompileTheorem52Fig4a(benchmark::State& state) {
+  const compile::ObliviousSpec spec{fn::examples::fig4a(), 4,
+                                    fn::examples::fig4a_eventual().parts(),
+                                    {}};
+  for (auto _ : state) {
+    const crn::Crn crn = compile::compile_theorem52(spec);
+    benchmark::DoNotOptimize(crn.species_count());
+  }
+}
+BENCHMARK(BM_CompileTheorem52Fig4a)->Unit(benchmark::kMillisecond);
+
+void BM_SimCheckFig4aPoint(benchmark::State& state) {
+  const compile::ObliviousSpec spec{fn::examples::fig4a(), 4,
+                                    fn::examples::fig4a_eventual().parts(),
+                                    {}};
+  const crn::Crn crn = compile::compile_theorem52(spec);
+  for (auto _ : state) {
+    const auto result = verify::sim_check_point(
+        crn, fn::examples::fig4a(), {6, 7}, verify::SimCheckOptions{1});
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_SimCheckFig4aPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,78 @@
+// E5 / Figure 5: every semilinear nondecreasing f : N -> N is eventually
+// quilt-affine — detect (n, p, delta_0..delta_{p-1}) for the 1D suite and
+// verify the Theorem 3.1 CRNs built from that structure.
+#include <sstream>
+
+#include "bench_table.h"
+#include "compile/oned.h"
+#include "fn/examples.h"
+#include "fn/oned_structure.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& f : fn::examples::oned_suite()) {
+    const auto s = fn::detect_oned_structure(f);
+    if (!s) {
+      rows.push_back({f.name(), "-", "-", "-", "no structure"});
+      continue;
+    }
+    std::ostringstream deltas;
+    for (std::size_t i = 0; i < s->deltas.size(); ++i) {
+      if (i > 0) deltas << ",";
+      deltas << s->deltas[i];
+    }
+    const crn::Crn crn = compile::compile_oned(*s, "oned[" + f.name() + "]");
+    bool ok = true;
+    for (Int x = 0; x <= 12; ++x) {
+      ok = ok && verify::check_stable_computation(crn, {x}, f(x)).ok;
+    }
+    rows.push_back({f.name(), bench::fmt(s->n), bench::fmt(s->p),
+                    deltas.str(), ok ? "proved" : "FAIL"});
+  }
+  bench::print_table(
+      "Fig 5: eventual quilt-affine structure of 1D semilinear "
+      "nondecreasing functions + Theorem 3.1 CRNs",
+      {"f", "n", "p", "deltas", "CRN check"}, rows, 18);
+
+  // The Fig 5 series itself: f values and differences for the wiggle
+  // function, showing the periodic tail.
+  const auto suite = fn::examples::oned_suite();
+  const auto& f = suite[5];  // piecewise-wiggle
+  std::vector<std::vector<std::string>> series;
+  for (Int x = 0; x <= 11; ++x) {
+    series.push_back({bench::fmt(x), bench::fmt(f(x)),
+                      bench::fmt(f(x + 1) - f(x))});
+  }
+  bench::print_table("Fig 5 series for '" + f.name() + "'",
+                     {"x", "f(x)", "f(x+1)-f(x)"}, series, 14);
+}
+
+void BM_DetectStructure(benchmark::State& state) {
+  const auto suite = fn::examples::oned_suite();
+  const auto& f = suite[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const auto s = fn::detect_oned_structure(f);
+    benchmark::DoNotOptimize(s.has_value());
+  }
+}
+BENCHMARK(BM_DetectStructure)->DenseRange(0, 5);
+
+void BM_CompileOned(benchmark::State& state) {
+  const auto suite = fn::examples::oned_suite();
+  const auto& f = suite[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const crn::Crn crn = compile::compile_oned(f);
+    benchmark::DoNotOptimize(crn.species_count());
+  }
+}
+BENCHMARK(BM_CompileOned)->DenseRange(0, 5);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

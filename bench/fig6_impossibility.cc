@@ -1,0 +1,81 @@
+// E6 / Figure 6 (+ E9 / Equation (2)): Lemma 4.1 applied to max — the
+// contradiction family a_i = (i,0), Delta_ij = (0,j) — with the inequality
+// table the figure illustrates, the automatic witness search, and the
+// Equation (2) counterexample's diagnosis by the analysis pipeline.
+#include "analysis/eventual_min.h"
+#include "bench_table.h"
+#include "fn/examples.h"
+#include "verify/witness.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  const auto max2 = fn::examples::max2();
+
+  // The Lemma 4.1 inequality table for the paper's family.
+  std::vector<std::vector<std::string>> rows;
+  for (Int i = 1; i <= 5; ++i) {
+    for (Int j = i + 1; j <= 6; ++j) {
+      const Int lhs = max2(fn::Point{i, j}) - max2(fn::Point{i, 0});
+      const Int rhs = max2(fn::Point{j, j}) - max2(fn::Point{j, 0});
+      rows.push_back({bench::fmt(i), bench::fmt(j), bench::fmt(lhs),
+                      bench::fmt(rhs), lhs > rhs ? "yes" : "NO"});
+    }
+  }
+  bench::print_table(
+      "Fig 6: Lemma 4.1 on max with a_i=(i,0), Delta_ij=(0,j): "
+      "f(a_i+D)-f(a_i) > f(a_j+D)-f(a_j)",
+      {"i", "j", "lhs", "rhs", "strict?"}, rows, 10);
+
+  // Witness search across the example functions.
+  std::vector<std::vector<std::string>> verdicts;
+  for (const auto& f :
+       {fn::examples::max2(), fn::examples::eq2_counterexample(),
+        fn::examples::min2(), fn::examples::fig4a(), fn::examples::fig7()}) {
+    const auto witness = verify::find_lemma41_witness(f);
+    verdicts.push_back(
+        {f.name(), witness ? "found" : "none",
+         witness ? witness->to_string() : "(consistent with oblivious)"});
+  }
+  bench::print_table("Lemma 4.1 automatic witness search",
+                     {"f", "witness", "detail"}, verdicts, 16);
+
+  // Equation (2) diagnosed structurally (Lemma 7.20 path).
+  analysis::AnalysisInput eq2{fn::examples::eq2_counterexample(),
+                              fn::examples::fig7_arrangement(), 1, 12};
+  const auto result = analysis::extract_eventual_min(eq2);
+  std::printf("\nSection 7 pipeline on eq (2): %s\n",
+              result.summary().c_str());
+}
+
+void BM_CheckLinearFamilyMax(benchmark::State& state) {
+  const auto max2 = fn::examples::max2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::check_linear_family(
+        max2, {1, 0}, {0, 1}, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_CheckLinearFamilyMax)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_WitnessSearchMax(benchmark::State& state) {
+  const auto max2 = fn::examples::max2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::find_lemma41_witness(max2));
+  }
+}
+BENCHMARK(BM_WitnessSearchMax)->Unit(benchmark::kMillisecond);
+
+void BM_WitnessSearchMinNoWitness(benchmark::State& state) {
+  const auto min2 = fn::examples::min2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::find_lemma41_witness(min2));
+  }
+}
+BENCHMARK(BM_WitnessSearchMinNoWitness)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,103 @@
+// E7 / Figure 7: the three-region motivating example of Section 7.1 —
+// determined regions D1, D2 with unique extensions g1 = x2+1, g2 = x1+1
+// (Lemma 7.7), the diagonal strip U whose averaged extension is
+// gU = ceil((x1+x2)/2) (Lemma 7.16), and f = min(g1, g2, gU).
+#include "analysis/eventual_min.h"
+#include "analysis/extension.h"
+#include "bench_table.h"
+#include "fn/examples.h"
+#include "fn/properties.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+analysis::AnalysisInput input() {
+  return analysis::AnalysisInput{fn::examples::fig7(),
+                                 fn::examples::fig7_arrangement(), 1, 12};
+}
+
+void print_artifacts() {
+  const auto in = input();
+  const auto regions = analysis::decompose(in);
+  std::vector<std::vector<std::string>> rrows;
+  for (const auto& info : regions) {
+    rrows.push_back({info.region.key(),
+                     bench::fmt(static_cast<long long>(info.cone_dimension)),
+                     info.determined ? "determined" : "under-det.",
+                     info.eventual ? "eventual" : "finite"});
+  }
+  bench::print_table("Fig 7: regions of f (signs over x1-x2>=1, x2-x1>=1)",
+                     {"region", "cone dim", "class", "eventual"}, rrows, 14);
+
+  const auto result = analysis::extract_eventual_min(in);
+  std::vector<std::vector<std::string>> erows;
+  for (const auto& g : result.parts) {
+    erows.push_back({g.name(), math::to_string(g.gradient()),
+                     bench::fmt(static_cast<long long>(g.period()))});
+  }
+  bench::print_table("Fig 7: extracted quilt-affine extensions",
+                     {"extension", "gradient", "period"}, erows, 16);
+
+  // The f = min(g1, g2, gU) surface (Fig 7d): values and the achieving part.
+  const fn::MinOfQuiltAffine m(result.parts);
+  std::vector<std::vector<std::string>> surface;
+  for (Int x2 = 0; x2 <= 6; ++x2) {
+    std::vector<std::string> row{"x2=" + std::to_string(x2)};
+    for (Int x1 = 0; x1 <= 6; ++x1) {
+      row.push_back(bench::fmt(m(fn::Point{x1, x2})));
+    }
+    surface.push_back(std::move(row));
+  }
+  std::vector<std::string> header{""};
+  for (Int x1 = 0; x1 <= 6; ++x1) header.push_back("x1=" + std::to_string(x1));
+  bench::print_table("Fig 7: f = min(g1, g2, gU)", header, surface, 7);
+
+  const auto disagreement = fn::find_disagreement(
+      m.as_function(), fn::examples::fig7(), 12);
+  std::printf("\nmin of extensions equals f on [0,12]^2: %s\n",
+              disagreement ? "NO" : "yes");
+  // Each extension dominates f (Lemma 7.9 / 7.16).
+  for (const auto& g : result.parts) {
+    const auto violation =
+        fn::find_domination_violation(fn::examples::fig7(), g.as_function(),
+                                      {0, 0}, 12);
+    std::printf("extension %s dominates f on [0,12]^2: %s\n",
+                g.name().c_str(), violation ? "NO" : "yes");
+  }
+}
+
+void BM_DecomposeFig7(benchmark::State& state) {
+  const auto in = input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::decompose(in).size());
+  }
+}
+BENCHMARK(BM_DecomposeFig7)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractEventualMinFig7(benchmark::State& state) {
+  const auto in = input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::extract_eventual_min(in).ok);
+  }
+}
+BENCHMARK(BM_ExtractEventualMinFig7)->Unit(benchmark::kMillisecond);
+
+void BM_DeterminedExtensionFig7(benchmark::State& state) {
+  const auto in = input();
+  const auto regions = analysis::decompose(in);
+  std::size_t det = 0;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    if (regions[r].determined) det = r;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::determined_extension(in, regions[det]).period());
+  }
+}
+BENCHMARK(BM_DeterminedExtensionFig7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

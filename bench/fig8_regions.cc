@@ -1,0 +1,108 @@
+// E8 / Figure 8: the two worked arrangements — (a,b) 2D with three
+// hyperplanes realizing exactly five regions, (c,d) 3D with two parallel
+// pairs realizing nine eventual regions — with recession-cone dimensions,
+// determined/under-determined classification, and the nested neighbor
+// chains of Fig 8d.
+#include "bench_table.h"
+#include "fn/examples.h"
+#include "geom/arrangement.h"
+#include "geom/strips.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void classify(const geom::Arrangement& arr, Int grid,
+              const std::string& title) {
+  const auto regions = arr.enumerate_regions(grid);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& realized : regions) {
+    const geom::Region& r = realized.region;
+    // Count determined neighbors.
+    int neighbors = 0;
+    for (const auto& other : regions) {
+      if (other.region == r) continue;
+      if (other.region.is_determined() && geom::cone_subset(r,
+                                                            other.region)) {
+        ++neighbors;
+      }
+    }
+    rows.push_back({r.key(), bench::fmt(static_cast<long long>(
+                                 r.cone_dimension())),
+                    r.is_determined() ? "determined" : "under-det.",
+                    r.is_eventual() ? "eventual" : "finite",
+                    bench::fmt(static_cast<long long>(neighbors)),
+                    bench::fmt(static_cast<long long>(
+                        realized.sample_points.size()))});
+  }
+  bench::print_table(title,
+                     {"signs", "cone dim", "class", "eventual",
+                      "det. nbrs", "grid pts"},
+                     rows, 12);
+}
+
+void print_artifacts() {
+  classify(fn::examples::fig8a_arrangement(), 14,
+           "Fig 8a/8b: 2D arrangement, 3 hyperplanes, 5 regions");
+  classify(fn::examples::fig8c_arrangement(), 10,
+           "Fig 8c/8d: 3D arrangement, 2 parallel pairs, 9 regions");
+
+  // The Fig 8d nesting: recc(5) in recc(6) in recc(3).
+  const auto arr = fn::examples::fig8c_arrangement();
+  const geom::Region center = arr.region_of({5, 5, 5});
+  const geom::Region side = arr.region_of({9, 5, 5});
+  const geom::Region corner = arr.region_of({9, 5, 1});
+  std::printf("\nFig 8d chain: recc(center) subset recc(side): %s; "
+              "recc(side) subset recc(corner): %s\n",
+              geom::cone_subset(center, side) ? "yes" : "no",
+              geom::cone_subset(side, corner) ? "yes" : "no");
+
+  // Strip census of the Fig 8a band region.
+  const geom::Region band =
+      fn::examples::fig8a_arrangement().region_of({7, 5});
+  const auto strips = geom::decompose_strips(band, 14);
+  std::printf("Fig 8a band region splits into %zu strips "
+              "(x1 - x2 = 1, 2, 3)\n",
+              strips.size());
+}
+
+void BM_ConeDimension2D(benchmark::State& state) {
+  const auto arr = fn::examples::fig8a_arrangement();
+  const geom::Region r = arr.region_of({7, 5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.cone_dimension());
+  }
+}
+BENCHMARK(BM_ConeDimension2D);
+
+void BM_ConeDimension3D(benchmark::State& state) {
+  const auto arr = fn::examples::fig8c_arrangement();
+  const geom::Region r = arr.region_of({5, 5, 5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.cone_dimension());
+  }
+}
+BENCHMARK(BM_ConeDimension3D);
+
+void BM_EnumerateRegions3D(benchmark::State& state) {
+  const auto arr = fn::examples::fig8c_arrangement();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.enumerate_regions(state.range(0)).size());
+  }
+}
+BENCHMARK(BM_EnumerateRegions3D)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ConeSubset3D(benchmark::State& state) {
+  const auto arr = fn::examples::fig8c_arrangement();
+  const geom::Region center = arr.region_of({5, 5, 5});
+  const geom::Region corner = arr.region_of({9, 5, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::cone_subset(center, corner));
+  }
+}
+BENCHMARK(BM_ConeSubset3D);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,107 @@
+// E12 / Observation 2.2 + Lemma 2.3 table: composition by concatenation.
+// Correct when the upstream is output-oblivious (2*min sweeps), incorrect
+// otherwise — for 2*max the table reports the worst reachable output
+// against the correct value, regenerating the Section 1.2 failure
+// ("up to 2(x1 + x2) copies of Y").
+#include "bench_table.h"
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "crn/compose.h"
+#include "verify/reachability.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  const crn::Crn good =
+      crn::concatenate(compile::min_crn(2), compile::scale_crn(2), "2min");
+  const crn::Crn bad =
+      crn::concatenate(compile::fig1_max_crn(), compile::scale_crn(2),
+                       "2max");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& x : std::vector<fn::Point>{{1, 1}, {2, 3}, {3, 2},
+                                              {4, 4}, {2, 5}}) {
+    const Int want_min = 2 * std::min(x[0], x[1]);
+    const Int want_max = 2 * std::max(x[0], x[1]);
+    const bool min_ok =
+        verify::check_stable_computation(good, x, want_min).ok;
+    // Worst reachable output of the broken composition.
+    const auto graph = verify::explore(bad, bad.initial_configuration(x));
+    Int worst = 0;
+    const auto y = static_cast<std::size_t>(bad.output_or_throw());
+    for (const auto& config : graph.configs) {
+      worst = std::max(worst, config[y]);
+    }
+    const bool max_ok =
+        verify::check_stable_computation(bad, x, want_max).ok;
+    rows.push_back({"(" + std::to_string(x[0]) + "," +
+                        std::to_string(x[1]) + ")",
+                    bench::fmt(want_min), min_ok ? "proved" : "FAIL",
+                    bench::fmt(want_max), max_ok ? "ok?!" : "broken",
+                    bench::fmt(worst),
+                    bench::fmt(2 * (x[0] + x[1]))});
+  }
+  bench::print_table(
+      "Composition by concatenation: 2*min (upstream OO) vs 2*max "
+      "(upstream not OO)",
+      {"x", "2min", "check", "2max", "verdict", "worst Y", "2(x1+x2)"},
+      rows, 11);
+  std::printf("\nupstream min output-oblivious: %s; upstream max: %s — "
+              "Observation 2.2 in action\n",
+              crn::is_output_oblivious(compile::min_crn(2)) ? "yes" : "no",
+              crn::is_output_oblivious(compile::fig1_max_crn()) ? "yes"
+                                                                : "no");
+
+  // Deep chains of oblivious modules stay correct: k-fold doubling.
+  std::vector<std::vector<std::string>> chain_rows;
+  crn::Crn chain = compile::scale_crn(2);
+  Int expected = 2;
+  for (int depth = 1; depth <= 4; ++depth) {
+    const bool ok = verify::check_stable_computation(chain, {3},
+                                                     3 * expected)
+                        .ok;
+    chain_rows.push_back(
+        {bench::fmt(static_cast<long long>(depth)),
+         bench::fmt(static_cast<long long>(chain.species_count())),
+         bench::fmt(static_cast<long long>(chain.reactions().size())),
+         bench::fmt(3 * expected), ok ? "proved" : "FAIL"});
+    chain = crn::concatenate(chain, compile::scale_crn(2),
+                             "2^" + std::to_string(depth + 1));
+    expected *= 2;
+  }
+  bench::print_table("Chained concatenation: (2^k) * x on x = 3",
+                     {"depth", "species", "reactions", "f(3)", "check"},
+                     chain_rows, 12);
+}
+
+void BM_Concatenate(benchmark::State& state) {
+  const crn::Crn a = compile::min_crn(2);
+  const crn::Crn b = compile::scale_crn(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crn::concatenate(a, b).species_count());
+  }
+}
+BENCHMARK(BM_Concatenate);
+
+void BM_ExploreBrokenComposition(benchmark::State& state) {
+  const crn::Crn bad =
+      crn::concatenate(compile::fig1_max_crn(), compile::scale_crn(2),
+                       "2max");
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::explore(bad, bad.initial_configuration({n, n})).size());
+  }
+}
+BENCHMARK(BM_ExploreBrokenComposition)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,115 @@
+// T1 (extension table): construction sizes. The paper gives the
+// constructions but not a size census; an artifact release would report
+// one. Species/reaction counts:
+//   - Lemma 6.1 (quilt-affine): ~p^d leader states, d*p^d reactions
+//   - Theorem 3.1 (1D): n + p states
+//   - Theorem 9.2 (leaderless): O((n+p)^2) merge reactions
+//   - Theorem 5.2 (full): modules for clamps, m quilts, d*n restrictions
+#include "bench_table.h"
+#include "compile/leaderless.h"
+#include "compile/oned.h"
+#include "compile/quilt.h"
+#include "compile/theorem52.h"
+#include "fn/examples.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+using math::Rational;
+
+fn::QuiltAffine make_quilt(int d, Int p) {
+  // gradient (1, 1/p, ...) with zero offsets except a wiggle to keep it
+  // integer-valued: use gradient components 1 and offsets 0 — simple and
+  // valid for any (d, p): g(x) = sum x_i + B, B = 0.
+  math::RatVec gradient(static_cast<std::size_t>(d), Rational(1));
+  const Int classes = math::checked_pow(p, d);
+  std::vector<Rational> offsets(static_cast<std::size_t>(classes),
+                                Rational(0));
+  return fn::QuiltAffine(std::move(gradient), p, std::move(offsets),
+                         "sum_d" + std::to_string(d) + "_p" +
+                             std::to_string(p));
+}
+
+void print_artifacts() {
+  // Lemma 6.1 sizes over (d, p).
+  std::vector<std::vector<std::string>> rows;
+  for (const int d : {1, 2, 3}) {
+    for (const Int p : {1, 2, 3, 4}) {
+      const crn::Crn crn = compile::compile_quilt_affine(make_quilt(d, p));
+      rows.push_back({bench::fmt(static_cast<long long>(d)), bench::fmt(p),
+                      bench::fmt(static_cast<long long>(crn.species_count())),
+                      bench::fmt(static_cast<long long>(
+                          crn.reactions().size()))});
+    }
+  }
+  bench::print_table("Lemma 6.1 construction size vs (d, p)",
+                     {"d", "p", "species", "reactions"}, rows, 12);
+
+  // Theorem 3.1 vs Theorem 9.2 sizes on the superadditive suite.
+  std::vector<std::vector<std::string>> rows2;
+  for (const auto& f : fn::examples::oned_superadditive_suite()) {
+    const crn::Crn with_leader = compile::compile_oned(f);
+    const crn::Crn leaderless = compile::compile_leaderless_oned(f);
+    rows2.push_back(
+        {f.name(),
+         bench::fmt(static_cast<long long>(with_leader.species_count())),
+         bench::fmt(static_cast<long long>(with_leader.reactions().size())),
+         bench::fmt(static_cast<long long>(leaderless.species_count())),
+         bench::fmt(static_cast<long long>(leaderless.reactions().size()))});
+  }
+  bench::print_table(
+      "Theorem 3.1 (leader) vs Theorem 9.2 (leaderless) sizes",
+      {"f", "3.1 spc", "3.1 rxn", "9.2 spc", "9.2 rxn"}, rows2, 18);
+
+  // Theorem 5.2 sizes vs threshold n for the fig7 function.
+  std::vector<std::vector<std::string>> rows3;
+  for (const Int n : {1, 2, 3, 4}) {
+    compile::ObliviousSpec spec{fn::examples::fig7(), n,
+                                fn::examples::fig7_extensions(), {}};
+    const crn::Crn crn = compile::compile_theorem52(spec);
+    rows3.push_back({bench::fmt(n),
+                     bench::fmt(static_cast<long long>(crn.species_count())),
+                     bench::fmt(static_cast<long long>(
+                         crn.reactions().size()))});
+  }
+  bench::print_table("Theorem 5.2 composed size vs threshold n (fig7)",
+                     {"n", "species", "reactions"}, rows3, 12);
+}
+
+void BM_CompileQuiltVsPeriod(benchmark::State& state) {
+  const fn::QuiltAffine g = make_quilt(2, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compile::compile_quilt_affine(g).species_count());
+  }
+}
+BENCHMARK(BM_CompileQuiltVsPeriod)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CompileLeaderless(benchmark::State& state) {
+  const auto suite = fn::examples::oned_superadditive_suite();
+  const auto& f = suite[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compile::compile_leaderless_oned(f).species_count());
+  }
+}
+BENCHMARK(BM_CompileLeaderless)->DenseRange(0, 4);
+
+void BM_CompileTheorem52VsThreshold(benchmark::State& state) {
+  compile::ObliviousSpec spec{fn::examples::fig7(), state.range(0),
+                              fn::examples::fig7_extensions(), {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compile::compile_theorem52(spec).species_count());
+  }
+}
+BENCHMARK(BM_CompileTheorem52VsThreshold)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,84 @@
+// T2 (extension table): convergence time of compiled CRNs under the
+// population-protocol pair scheduler. Leader-driven constructions
+// (Theorems 3.1 / 6.1) absorb inputs sequentially, so expected parallel
+// time grows superlinearly in n — the cost of the paper's leader-based
+// generality (cf. Section 10's discussion of time).
+#include "bench_table.h"
+#include "compile/leaderless.h"
+#include "compile/oned.h"
+#include "crn/bimolecular.h"
+#include "fn/examples.h"
+#include "sim/population.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+double mean_parallel_time(const crn::Crn& bi, Int x, int trials) {
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    sim::Rng rng(static_cast<std::uint64_t>(1000 + 31 * x + t));
+    const auto run =
+        sim::run_population(bi, bi.initial_configuration({x}), rng);
+    total += run.parallel_time;
+  }
+  return total / trials;
+}
+
+void print_artifacts() {
+  const auto f = fn::examples::floor_3x_over_2();
+  const crn::Crn leader_crn =
+      crn::to_bimolecular(compile::compile_oned(f));
+  const crn::Crn leaderless_crn =
+      crn::to_bimolecular(compile::compile_leaderless_oned(f));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Int n : {8, 16, 32, 64, 128}) {
+    const double t_leader = mean_parallel_time(leader_crn, n, 5);
+    const double t_leaderless = mean_parallel_time(leaderless_crn, n, 5);
+    rows.push_back({bench::fmt(n), bench::fmt(t_leader),
+                    bench::fmt(t_leader / static_cast<double>(n)),
+                    bench::fmt(t_leaderless),
+                    bench::fmt(t_leaderless / static_cast<double>(n))});
+  }
+  bench::print_table(
+      "Parallel time to silence for floor(3x/2): Theorem 3.1 (leader) vs "
+      "Theorem 9.2 (leaderless)",
+      {"n", "leader", "leader/n", "leaderless", "ldrless/n"}, rows, 13);
+  std::printf("\nExpected shape: leader-driven time grows superlinearly "
+              "(the single leader is a sequential bottleneck); the "
+              "leaderless merge cascade is faster per input.\n");
+}
+
+void BM_PopulationLeader(benchmark::State& state) {
+  const crn::Crn bi = crn::to_bimolecular(
+      compile::compile_oned(fn::examples::floor_3x_over_2()));
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(7);
+    const auto run =
+        sim::run_population(bi, bi.initial_configuration({n}), rng);
+    benchmark::DoNotOptimize(run.interactions);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PopulationLeader)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PopulationLeaderless(benchmark::State& state) {
+  const crn::Crn bi = crn::to_bimolecular(
+      compile::compile_leaderless_oned(fn::examples::floor_3x_over_2()));
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(7);
+    const auto run =
+        sim::run_population(bi, bi.initial_configuration({n}), rng);
+    benchmark::DoNotOptimize(run.interactions);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PopulationLeaderless)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

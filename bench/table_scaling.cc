@@ -1,0 +1,109 @@
+// E10 / Theorem 8.2 table: infinity-scaling convergence — the error
+// |f(floor(cz))/c - fhat(z)| as c doubles, for a library of obliviously-
+// computable functions; plus the continuous-class property checks of [9]
+// (superadditivity of the scaled functions) and the mass-action ODE
+// convergence of the continuous min CRN.
+#include <cmath>
+
+#include "bench_table.h"
+#include "compile/primitives.h"
+#include "cont/continuous_class.h"
+#include "cont/ode.h"
+#include "cont/scaling.h"
+#include "fn/examples.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Rational;
+
+void print_artifacts() {
+  // Convergence table for fig4a along z = (1,1).
+  const cont::PiecewiseLinearMin fhat =
+      cont::scaling_of(fn::examples::fig4a_eventual());
+  const double target = fhat({Rational(1), Rational(1)}).to_double();
+  std::vector<std::vector<std::string>> rows;
+  double c = 8.0;
+  for (int i = 0; i < 10; ++i) {
+    const double estimate =
+        cont::scaling_estimate(fn::examples::fig4a(), {1.0, 1.0}, c);
+    rows.push_back({bench::fmt(c), bench::fmt(estimate),
+                    bench::fmt(std::abs(estimate - target))});
+    c *= 2.0;
+  }
+  bench::print_table(
+      "Definition 8.1 convergence: f = fig4a, z = (1,1), fhat(z) = " +
+          std::to_string(target),
+      {"c", "f(cz)/c", "|error|"}, rows, 14);
+
+  // Scaling gradients of the example functions.
+  std::vector<std::vector<std::string>> grows;
+  grows.push_back({"floor(3x/2)",
+                   math::to_string(cont::scaling_of(
+                       fn::examples::fig3a_quilt()))});
+  grows.push_back({"fig3b",
+                   math::to_string(cont::scaling_of(
+                       fn::examples::fig3b_quilt()))});
+  for (const auto& g : fn::examples::fig7_extensions()) {
+    grows.push_back({"fig7 " + g.name(),
+                     math::to_string(cont::scaling_of(g))});
+  }
+  bench::print_table("Quilt-affine scalings (gradients survive, offsets "
+                     "wash out)",
+                     {"g", "scaling"}, grows, 20);
+
+  // Superadditivity of fhat on sampled rational points ([9]'s class).
+  std::vector<math::RatVec> points;
+  for (math::Int a = 0; a <= 4; ++a) {
+    for (math::Int b = 0; b <= 4; ++b) {
+      points.push_back({Rational(a, 2), Rational(b, 2)});
+    }
+  }
+  std::printf("\nfhat superadditive on 25 sampled points: %s\n",
+              fhat.check_superadditive_on(points) ? "yes" : "NO");
+
+  // Continuous min CRN convergence (the [9] side of Theorem 8.2).
+  const crn::Crn min2 = compile::min_crn(2);
+  std::vector<std::vector<std::string>> crows;
+  for (const double t_end : {5.0, 20.0, 80.0}) {
+    cont::Concentrations c0(min2.species_count(), 0.0);
+    c0[static_cast<std::size_t>(min2.inputs()[0])] = 2.0;
+    c0[static_cast<std::size_t>(min2.inputs()[1])] = 3.0;
+    cont::OdeOptions options;
+    options.t_end = t_end;
+    const auto cs = cont::integrate_mass_action(min2, c0, options);
+    const double y = cs[static_cast<std::size_t>(min2.output_or_throw())];
+    crows.push_back({bench::fmt(t_end), bench::fmt(y),
+                     bench::fmt(std::abs(y - 2.0))});
+  }
+  bench::print_table(
+      "Continuous CRN X1+X2->Y from (2,3): y(t) -> min = 2",
+      {"t", "y(t)", "|error|"}, crows, 14);
+}
+
+void BM_ScalingEstimate(benchmark::State& state) {
+  const auto f = fn::examples::fig4a();
+  const double c = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cont::scaling_estimate(f, {1.0, 1.0}, c));
+  }
+}
+BENCHMARK(BM_ScalingEstimate)->Arg(64)->Arg(4096);
+
+void BM_OdeIntegration(benchmark::State& state) {
+  const crn::Crn min2 = compile::min_crn(2);
+  cont::Concentrations c0(min2.species_count(), 0.0);
+  c0[static_cast<std::size_t>(min2.inputs()[0])] = 2.0;
+  c0[static_cast<std::size_t>(min2.inputs()[1])] = 3.0;
+  cont::OdeOptions options;
+  options.t_end = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cont::integrate_mass_action(min2, c0, options).size());
+  }
+}
+BENCHMARK(BM_OdeIntegration)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,119 @@
+// T3 (extension table): SSA throughput — Gillespie direct method vs
+// Gibson-Bruck next-reaction method, on a small dense CRN (every reaction
+// shares species) and on a wide compiled circuit (many nearly-independent
+// reactions, where the dependency-graph method should win).
+#include <chrono>
+
+#include "bench_table.h"
+#include "compile/primitives.h"
+#include "compile/theorem52.h"
+#include "fn/examples.h"
+#include "sim/gillespie.h"
+#include "sim/next_reaction.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+double events_per_second(const crn::Crn& crn, const crn::Config& initial,
+                         bool next_reaction) {
+  sim::Rng rng(12345);
+  sim::GillespieOptions options;
+  options.max_events = 400'000;
+  const auto start = std::chrono::steady_clock::now();
+  const auto run = next_reaction
+                       ? sim::simulate_next_reaction(crn, initial, rng,
+                                                     options)
+                       : sim::simulate_direct(crn, initial, rng, options);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  return static_cast<double>(run.events) / std::max(elapsed, 1e-9);
+}
+
+void print_artifacts() {
+  std::vector<std::vector<std::string>> rows;
+
+  // Dense: Fig 1 max CRN (4 reactions, heavily coupled).
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const auto max_init = max2.initial_configuration({100000, 100000});
+  rows.push_back(
+      {"fig1-max (4 rxn)", bench::fmt(events_per_second(max2, max_init,
+                                                        false)),
+       bench::fmt(events_per_second(max2, max_init, true))});
+
+  // Wide: the Theorem 5.2 circuit for fig7 (dozens of loosely coupled
+  // reactions across modules).
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn wide = compile::compile_theorem52(spec);
+  const auto wide_init = wide.initial_configuration({3000, 4000});
+  rows.push_back({"thm52-fig7 (" + std::to_string(wide.reactions().size()) +
+                      " rxn)",
+                  bench::fmt(events_per_second(wide, wide_init, false)),
+                  bench::fmt(events_per_second(wide, wide_init, true))});
+
+  bench::print_table("SSA throughput (events/second)",
+                     {"CRN", "direct", "next-reaction"}, rows, 22);
+}
+
+void BM_DirectMaxCrn(benchmark::State& state) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(1);
+    benchmark::DoNotOptimize(
+        sim::simulate_direct(max2, max2.initial_configuration({n, n}), rng)
+            .events);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_DirectMaxCrn)->Arg(1000)->Arg(10000);
+
+void BM_NextReactionMaxCrn(benchmark::State& state) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(1);
+    benchmark::DoNotOptimize(
+        sim::simulate_next_reaction(max2,
+                                    max2.initial_configuration({n, n}), rng)
+            .events);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_NextReactionMaxCrn)->Arg(1000)->Arg(10000);
+
+void BM_DirectWideCircuit(benchmark::State& state) {
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn wide = compile::compile_theorem52(spec);
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(1);
+    benchmark::DoNotOptimize(
+        sim::simulate_direct(wide, wide.initial_configuration({n, n}), rng)
+            .events);
+  }
+}
+BENCHMARK(BM_DirectWideCircuit)->Arg(200)->Arg(1000);
+
+void BM_NextReactionWideCircuit(benchmark::State& state) {
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn wide = compile::compile_theorem52(spec);
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(1);
+    benchmark::DoNotOptimize(
+        sim::simulate_next_reaction(wide,
+                                    wide.initial_configuration({n, n}), rng)
+            .events);
+  }
+}
+BENCHMARK(BM_NextReactionWideCircuit)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,92 @@
+// T4 (extension table): cost of *proving* stable computation — reachable
+// configuration counts and SCC-checker decisions as inputs grow, for the
+// Fig 1 examples and the Theorem 5.2 circuit. The state space of the
+// composed circuit grows combinatorially (products of per-module
+// interleavings), which is exactly why the library pairs the exact checker
+// with the randomized one.
+#include "bench_table.h"
+#include "compile/primitives.h"
+#include "compile/theorem52.h"
+#include "fn/examples.h"
+#include "verify/reachability.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using math::Int;
+
+void print_artifacts() {
+  std::vector<std::vector<std::string>> rows;
+  auto census = [&rows](const std::string& name, const crn::Crn& crn,
+                        const fn::Point& x, Int expected) {
+    const auto graph = verify::explore(crn, crn.initial_configuration(x));
+    const auto check = verify::check_stable_computation(crn, x, expected);
+    rows.push_back({name,
+                    "(" + std::to_string(x[0]) +
+                        (x.size() > 1 ? "," + std::to_string(x[1]) : "") +
+                        ")",
+                    bench::fmt(static_cast<long long>(graph.size())),
+                    graph.complete ? "complete" : "truncated",
+                    check.ok ? "proved" : "failed/unknown"});
+  };
+
+  const crn::Crn min2 = compile::min_crn(2);
+  const crn::Crn max2 = compile::fig1_max_crn();
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+
+  for (const Int n : {2, 4, 8, 16}) {
+    census("min", min2, {n, n}, n);
+  }
+  for (const Int n : {2, 4, 6}) {
+    census("max", max2, {n, n}, n);
+  }
+  for (const Int n : {1, 2, 3}) {
+    census("thm52-fig7", circuit, {n, n}, fn::examples::fig7()({n, n}));
+  }
+  bench::print_table(
+      "Exact verification cost: reachable configurations vs input",
+      {"CRN", "x", "configs", "exploration", "verdict"}, rows, 14);
+  std::printf("\nThe composed circuit's state space grows combinatorially — "
+              "the reason sim_check (randomized silent runs) exists.\n");
+}
+
+void BM_ExploreMin(benchmark::State& state) {
+  const crn::Crn min2 = compile::min_crn(2);
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::explore(min2, min2.initial_configuration({n, n})).size());
+  }
+}
+BENCHMARK(BM_ExploreMin)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExploreMax(benchmark::State& state) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::explore(max2, max2.initial_configuration({n, n})).size());
+  }
+}
+BENCHMARK(BM_ExploreMax)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_StableCheckCircuit(benchmark::State& state) {
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::check_stable_computation(circuit, {n, n},
+                                         fn::examples::fig7()({n, n}))
+            .ok);
+  }
+}
+BENCHMARK(BM_StableCheckCircuit)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,62 @@
+// Impossibility, executably: Lemma 4.1 witness families for max and the
+// Equation (2) counterexample, the analysis pipeline's diagnosis of
+// Equation (2), and an explicit overproducing reaction sequence in the
+// broken "2 * max" concatenation from Section 1.2.
+//
+// Run:  ./build/examples/impossibility_explorer
+#include <cstdio>
+
+#include "analysis/eventual_min.h"
+#include "compile/primitives.h"
+#include "crn/compose.h"
+#include "fn/examples.h"
+#include "verify/reachability.h"
+#include "verify/witness.h"
+
+int main() {
+  using namespace crnkit;
+
+  // 1. Lemma 4.1 witness search over small direction pairs.
+  for (const auto& f :
+       {fn::examples::max2(), fn::examples::eq2_counterexample(),
+        fn::examples::min2(), fn::examples::fig4a()}) {
+    const auto witness = verify::find_lemma41_witness(f);
+    if (witness) {
+      std::printf("%-6s NOT obliviously-computable; witness: %s\n",
+                  f.name().c_str(), witness->to_string().c_str());
+    } else {
+      std::printf("%-6s no Lemma 4.1 witness found (consistent with being "
+                  "obliviously-computable)\n",
+                  f.name().c_str());
+    }
+  }
+
+  // 2. The analysis pipeline diagnoses Equation (2) structurally.
+  analysis::AnalysisInput eq2{fn::examples::eq2_counterexample(),
+                              fn::examples::fig7_arrangement(), 1, 12};
+  const auto result = analysis::extract_eventual_min(eq2);
+  std::printf("\nSection 7 pipeline on eq. (2): %s\n",
+              result.summary().c_str());
+
+  // 3. Explicit overproduction in the 2*max concatenation.
+  const crn::Crn broken = crn::concatenate(compile::fig1_max_crn(),
+                                           compile::scale_crn(2), "2max");
+  const auto graph =
+      verify::explore(broken, broken.initial_configuration({2, 3}));
+  const auto over = verify::find_output_exceeding(broken, graph, 6);
+  if (over) {
+    const auto path = verify::path_from_root(graph, *over);
+    std::printf("\n2*max on (2,3): expected 6, but Y can reach %lld via %zu "
+                "reactions:\n",
+                static_cast<long long>(broken.output_count(
+                    graph.configs[static_cast<std::size_t>(*over)])),
+                path.size());
+    for (const int r : path) {
+      std::printf("  %s\n",
+                  broken.reactions()[static_cast<std::size_t>(r)]
+                      .to_string(broken.species_table())
+                      .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "analysis/decomposition.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::analysis {
+
+std::string RegionInfo::to_string() const {
+  std::ostringstream os;
+  os << region.to_string() << " cone_dim=" << cone_dimension
+     << (determined ? " determined" : " under-determined")
+     << (eventual ? " eventual" : " finite") << " samples=" << samples.size();
+  return os.str();
+}
+
+std::vector<RegionInfo> decompose(const AnalysisInput& input) {
+  require(input.f.dimension() == input.arrangement.dimension(),
+          "decompose: function/arrangement dimension mismatch");
+  require(input.period >= 1, "decompose: period must be >= 1");
+  std::vector<RegionInfo> out;
+  for (auto& realized : input.arrangement.enumerate_regions(input.grid_max)) {
+    RegionInfo info{std::move(realized.region),
+                    std::move(realized.sample_points), 0, false, false};
+    info.cone_dimension = info.region.cone_dimension();
+    info.determined = info.cone_dimension == input.f.dimension();
+    info.eventual = info.region.is_eventual();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::size_t> determined_neighbors(
+    const std::vector<RegionInfo>& regions, std::size_t u) {
+  require(u < regions.size(), "determined_neighbors: bad region index");
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    if (r == u || !regions[r].determined) continue;
+    if (geom::cone_subset(regions[u].region, regions[r].region)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace crnkit::analysis

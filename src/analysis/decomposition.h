@@ -1,0 +1,48 @@
+// Domain decomposition (Section 7.2): given a black-box function, a
+// threshold arrangement, and a global period, classify the realized regions
+// (finite / eventual, determined / under-determined) exactly. This is the
+// front end of the constructive Theorem 7.1 pipeline.
+#ifndef CRNKIT_ANALYSIS_DECOMPOSITION_H_
+#define CRNKIT_ANALYSIS_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+#include "geom/arrangement.h"
+#include "geom/region.h"
+
+namespace crnkit::analysis {
+
+/// Input of the analysis pipeline: f with the arrangement T and period p of
+/// (some) semilinear representation (Lemma 7.3), plus the enumeration bound
+/// used to find realized regions and strip points.
+struct AnalysisInput {
+  fn::DiscreteFunction f;
+  geom::Arrangement arrangement;
+  math::Int period = 1;
+  math::Int grid_max = 12;
+};
+
+/// One realized region with its classification.
+struct RegionInfo {
+  geom::Region region;
+  std::vector<fn::Point> samples;  ///< realizing grid points
+  int cone_dimension = 0;
+  bool determined = false;
+  bool eventual = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Enumerates and classifies the regions realized on [0, grid_max]^d.
+[[nodiscard]] std::vector<RegionInfo> decompose(const AnalysisInput& input);
+
+/// Indices (into `regions`) of the determined regions whose recession cones
+/// contain recc(regions[u]) — the determined neighbors of Definition 7.11.
+[[nodiscard]] std::vector<std::size_t> determined_neighbors(
+    const std::vector<RegionInfo>& regions, std::size_t u);
+
+}  // namespace crnkit::analysis
+
+#endif  // CRNKIT_ANALYSIS_DECOMPOSITION_H_

@@ -1,0 +1,170 @@
+#include "analysis/eventual_min.h"
+
+#include <sstream>
+
+#include "analysis/extension.h"
+#include "math/check.h"
+
+namespace crnkit::analysis {
+
+using math::Int;
+
+namespace {
+
+/// Structural equality of quilt-affine functions over a common period.
+bool quilt_equal(const fn::QuiltAffine& a, const fn::QuiltAffine& b) {
+  if (a.dimension() != b.dimension()) return false;
+  if (!(a.gradient() == b.gradient())) return false;
+  const Int q = math::lcm(a.period(), b.period());
+  const fn::QuiltAffine aa = a.with_period(q);
+  const fn::QuiltAffine bb = b.with_period(q);
+  for (const auto& cls : math::all_classes(a.dimension(), q)) {
+    if (aa.offset(cls) != bb.offset(cls)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EventualMinResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAIL") << " parts=" << parts.size()
+     << " threshold=" << threshold;
+  for (const auto& note : notes) os << "\n  note: " << note;
+  return os.str();
+}
+
+EventualMinResult extract_eventual_min(const AnalysisInput& input) {
+  EventualMinResult result;
+  const std::vector<RegionInfo> regions = decompose(input);
+
+  // Determined regions first (they are all eventual: a full-dimensional
+  // recession cone inside the nonnegative orthant has strictly positive
+  // interior points).
+  std::vector<std::size_t> determined_ids;
+  std::vector<fn::QuiltAffine> determined_exts;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    if (!regions[r].determined) continue;
+    determined_ids.push_back(r);
+    determined_exts.push_back(determined_extension(input, regions[r]));
+  }
+  if (determined_exts.empty()) {
+    result.notes.push_back("no determined regions realized on the grid");
+    return result;
+  }
+  for (const auto& g : determined_exts) result.parts.push_back(g);
+
+  // Strips of under-determined eventual regions.
+  for (std::size_t u = 0; u < regions.size(); ++u) {
+    if (regions[u].determined || !regions[u].eventual) continue;
+    const auto neighbor_ids = determined_neighbors(regions, u);
+    std::vector<fn::QuiltAffine> neighbor_exts;
+    for (const std::size_t r : neighbor_ids) {
+      for (std::size_t k = 0; k < determined_ids.size(); ++k) {
+        if (determined_ids[k] == r) {
+          neighbor_exts.push_back(determined_exts[k]);
+          break;
+        }
+      }
+    }
+    const auto strips = geom::decompose_strips(regions[u].region,
+                                               input.grid_max);
+    for (const auto& strip : strips) {
+      const auto ext =
+          strip_extension(input, regions, u, strip, neighbor_exts);
+      if (!ext.extension) {
+        result.notes.push_back("region " + regions[u].region.key() + ": " +
+                               ext.diagnosis);
+        return result;
+      }
+      bool duplicate = false;
+      for (const auto& existing : result.parts) {
+        if (quilt_equal(existing, *ext.extension)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) result.parts.push_back(*ext.extension);
+    }
+  }
+
+  // Find the least threshold n with f = min(parts) on [n, grid]^d.
+  fn::MinOfQuiltAffine min_parts(result.parts);
+  for (Int n = 0; n + 2 <= input.grid_max; ++n) {
+    bool all_match = true;
+    const fn::Point lo(static_cast<std::size_t>(input.f.dimension()), n);
+    const fn::Point hi(static_cast<std::size_t>(input.f.dimension()),
+                       input.grid_max);
+    geom::for_each_box_point(lo, hi, [&](const std::vector<Int>& x) {
+      if (!all_match) return;
+      if (min_parts(x) != input.f(x)) all_match = false;
+    });
+    if (all_match) {
+      result.threshold = n;
+      result.ok = true;
+      return result;
+    }
+  }
+  result.notes.push_back(
+      "no threshold within the grid makes f equal min of the extensions");
+  return result;
+}
+
+geom::Arrangement restrict_arrangement(const geom::Arrangement& arrangement,
+                                       int i, Int j) {
+  require(i >= 0 && i < arrangement.dimension(),
+          "restrict_arrangement: bad coordinate");
+  require(arrangement.dimension() >= 2,
+          "restrict_arrangement: needs dimension >= 2");
+  std::vector<geom::ThresholdHyperplane> restricted;
+  for (const auto& hp : arrangement.hyperplanes()) {
+    std::vector<Int> normal;
+    for (int k = 0; k < arrangement.dimension(); ++k) {
+      if (k != i) normal.push_back(hp.normal[static_cast<std::size_t>(k)]);
+    }
+    bool zero = true;
+    for (const Int t : normal) {
+      if (t != 0) zero = false;
+    }
+    if (zero) continue;  // constant sign after pinning: not a separator
+    restricted.push_back(
+        {std::move(normal),
+         hp.offset - hp.normal[static_cast<std::size_t>(i)] * j});
+  }
+  return geom::Arrangement(arrangement.dimension() - 1,
+                           std::move(restricted));
+}
+
+compile::ObliviousSpec make_spec_via_analysis(const AnalysisInput& input) {
+  if (input.f.dimension() == 1) {
+    // Base case: the Theorem 3.1 compiler needs no eventual-min data, but
+    // the spec shape requires at least one part; provide the detected
+    // eventual quilt-affine function.
+    const auto s = fn::require_oned_structure(input.f);
+    compile::ObliviousSpec spec{input.f, s.n, {s.eventual_quilt_affine()}, {}};
+    return spec;
+  }
+  const EventualMinResult result = extract_eventual_min(input);
+  if (!result.ok) {
+    throw std::invalid_argument("make_spec_via_analysis: " +
+                                result.summary());
+  }
+  compile::ObliviousSpec spec{input.f, result.threshold, result.parts, {}};
+  // Populate restriction specs recursively so the Theorem 5.2 compiler
+  // needs no provider hook at any level. 1D restrictions are omitted (the
+  // compiler derives them by scanning, Theorem 3.1).
+  if (input.f.dimension() - 1 >= 2) {
+    for (int i = 0; i < input.f.dimension(); ++i) {
+      for (Int j = 0; j < result.threshold; ++j) {
+        AnalysisInput child{compile::drop_input(input.f, i, j),
+                            restrict_arrangement(input.arrangement, i, j),
+                            input.period, input.grid_max};
+        spec.children[{i, j}] = std::make_shared<compile::ObliviousSpec>(
+            make_spec_via_analysis(child));
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace crnkit::analysis

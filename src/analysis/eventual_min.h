@@ -1,0 +1,51 @@
+// The constructive shadow of Theorem 7.1: extract quilt-affine functions
+// g_1..g_m and a threshold n with f = min_k g_k on x >= n, from a black box
+// plus its threshold arrangement and period. Determined regions contribute
+// their unique extensions (Lemma 7.7); strips of under-determined eventual
+// regions contribute averaged or neighbor-direction extensions
+// (Lemmas 7.16 / 7.20). Failure carries a diagnosis — for functions like
+// Equation (2) the diagnosis is exactly "not obliviously-computable".
+//
+// `make_spec_via_analysis` packages the result as a Theorem 5.2 compiler
+// spec, wiring a restriction provider that recursively analyzes fixed-input
+// restrictions over the restricted arrangement.
+#ifndef CRNKIT_ANALYSIS_EVENTUAL_MIN_H_
+#define CRNKIT_ANALYSIS_EVENTUAL_MIN_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/strip_extension.h"
+#include "compile/theorem52.h"
+
+namespace crnkit::analysis {
+
+struct EventualMinResult {
+  bool ok = false;
+  std::vector<fn::QuiltAffine> parts;
+  math::Int threshold = -1;  ///< least n with f = min(parts) on the grid
+  std::vector<std::string> notes;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full Section 7 pipeline on the grid.
+[[nodiscard]] EventualMinResult extract_eventual_min(
+    const AnalysisInput& input);
+
+/// The arrangement induced on the remaining coordinates when input i is
+/// pinned to j: each normal drops coordinate i and the offset absorbs
+/// t_i * j; hyperplanes whose restricted normal is zero no longer separate
+/// and are dropped.
+[[nodiscard]] geom::Arrangement restrict_arrangement(
+    const geom::Arrangement& arrangement, int i, math::Int j);
+
+/// Builds a Theorem 5.2 spec from the analysis, including a restriction
+/// provider that recurses through restricted arrangements. Throws if the
+/// analysis fails (see EventualMinResult::notes via the exception message).
+[[nodiscard]] compile::ObliviousSpec make_spec_via_analysis(
+    const AnalysisInput& input);
+
+}  // namespace crnkit::analysis
+
+#endif  // CRNKIT_ANALYSIS_EVENTUAL_MIN_H_

@@ -1,0 +1,65 @@
+#include "analysis/extension.h"
+
+#include "math/check.h"
+
+namespace crnkit::analysis {
+
+using math::Int;
+using math::Rational;
+
+fn::QuiltAffine determined_extension(const AnalysisInput& input,
+                                     const RegionInfo& region) {
+  require(region.determined,
+          "determined_extension: region is not determined");
+  require(!region.samples.empty(),
+          "determined_extension: region has no sample points");
+  const int d = input.f.dimension();
+  const Int p = input.period;
+
+  const auto direction = region.region.interior_direction();
+  ensure(direction.has_value(),
+         "determined_extension: determined region lacks an interior "
+         "direction");
+
+  // Deep anchor: margin p*(d+2) leaves room for a period step along every
+  // axis and the class adjustment.
+  const fn::Point anchor = region.region.deep_point(
+      region.samples.front(), *direction, p * (d + 2));
+
+  // Gradient from axis-aligned period steps.
+  math::RatVec gradient(static_cast<std::size_t>(d));
+  const Int f_anchor = input.f(anchor);
+  for (int i = 0; i < d; ++i) {
+    fn::Point stepped = anchor;
+    stepped[static_cast<std::size_t>(i)] += p;
+    ensure(region.region.contains(stepped),
+           "determined_extension: period step left the region");
+    gradient[static_cast<std::size_t>(i)] =
+        Rational(input.f(stepped) - f_anchor, p);
+  }
+
+  // Offsets from one representative per congruence class.
+  const Int classes = math::checked_pow(p, d);
+  std::vector<Rational> offsets(static_cast<std::size_t>(classes));
+  for (const auto& a : math::all_classes(d, p)) {
+    const fn::Point rep =
+        region.region.representative_in_class(a, region.samples.front());
+    offsets[static_cast<std::size_t>(a.index())] =
+        Rational(input.f(rep)) - math::dot(gradient, rep);
+  }
+
+  fn::QuiltAffine g(std::move(gradient), p, std::move(offsets),
+                    "ext" + region.region.key());
+
+  // The extension must agree with f on every realized sample of the region;
+  // disagreement means the arrangement/period do not represent f.
+  for (const fn::Point& x : region.samples) {
+    ensure(g(x) == input.f(x),
+           "determined_extension: fitted extension disagrees with f at a "
+           "sample point — the supplied arrangement/period do not describe "
+           "f (Lemma 7.3 form violated)");
+  }
+  return g;
+}
+
+}  // namespace crnkit::analysis

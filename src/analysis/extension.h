@@ -1,0 +1,27 @@
+// Unique quilt-affine extensions from determined regions (Lemma 7.7).
+//
+// A determined region's recession cone is full-dimensional, so the region
+// contains arbitrarily deep integer points in every congruence class. The
+// gradient is recovered exactly from axis-aligned period steps at a deep
+// interior point (both endpoints stay in the region and share a congruence
+// class, so the difference is p * grad_i); the periodic offsets follow from
+// one representative per class.
+#ifndef CRNKIT_ANALYSIS_EXTENSION_H_
+#define CRNKIT_ANALYSIS_EXTENSION_H_
+
+#include "analysis/decomposition.h"
+#include "fn/quilt_affine.h"
+
+namespace crnkit::analysis {
+
+/// Fits the unique extension g (g = f on the region; Lemma 7.7) from a
+/// determined region. Throws std::invalid_argument if the region is not
+/// determined, and std::logic_error if the fit fails to reproduce f on the
+/// region's sample points (i.e. the supplied arrangement/period do not
+/// describe f).
+[[nodiscard]] fn::QuiltAffine determined_extension(const AnalysisInput& input,
+                                                   const RegionInfo& region);
+
+}  // namespace crnkit::analysis
+
+#endif  // CRNKIT_ANALYSIS_EXTENSION_H_

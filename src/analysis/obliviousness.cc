@@ -1,0 +1,73 @@
+#include "analysis/obliviousness.h"
+
+#include "fn/properties.h"
+
+namespace crnkit::analysis {
+
+std::string ObliviousnessVerdict::summary() const {
+  switch (verdict) {
+    case Obliviousness::kComputable:
+      return "obliviously-computable: " + reason;
+    case Obliviousness::kNotComputable:
+      return "NOT obliviously-computable: " + reason;
+    case Obliviousness::kInconclusive:
+      return "inconclusive: " + reason;
+  }
+  return "unknown";
+}
+
+ObliviousnessVerdict classify_obliviousness(const AnalysisInput& input,
+                                            const ClassifyOptions& options) {
+  ObliviousnessVerdict verdict;
+
+  // 1. Observation 2.1: nondecreasing is necessary.
+  if (const auto violation = fn::find_nondecreasing_violation(
+          input.f, options.nondecreasing_grid)) {
+    verdict.verdict = Obliviousness::kNotComputable;
+    verdict.reason = "not nondecreasing (Observation 2.1): " +
+                     violation->to_string();
+    return verdict;
+  }
+
+  // 2. Theorem 5.4 negative side: Lemma 4.1 linear-family search.
+  if (auto witness = verify::find_lemma41_witness(
+          input.f, options.witness_max_entry, options.witness_prefix)) {
+    verdict.verdict = Obliviousness::kNotComputable;
+    verdict.reason = "Lemma 4.1 witness family: " + witness->to_string();
+    verdict.witness = std::move(witness);
+    return verdict;
+  }
+
+  // 3. Theorem 7.1 positive side: eventual-min extraction and, recursively,
+  //    the full spec.
+  try {
+    compile::ObliviousSpec spec = make_spec_via_analysis(input);
+    verdict.verdict = Obliviousness::kComputable;
+    verdict.reason = "eventual min of " +
+                     std::to_string(spec.eventual.size()) +
+                     " quilt-affine function(s) beyond n = " +
+                     std::to_string(spec.threshold) +
+                     " (Theorem 5.2 spec ready)";
+    verdict.spec = std::move(spec);
+    return verdict;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // A strip diagnosis of the Lemma 7.20 kind is a structural obstruction.
+    if (what.find("NOT obliviously-computable") != std::string::npos) {
+      verdict.verdict = Obliviousness::kNotComputable;
+      verdict.reason = what;
+      return verdict;
+    }
+    verdict.verdict = Obliviousness::kInconclusive;
+    verdict.reason = what;
+    return verdict;
+  } catch (const std::exception& e) {
+    // Fitting failures (e.g. an arrangement/period that does not describe
+    // f in Lemma 7.3 form) must never masquerade as impossibility.
+    verdict.verdict = Obliviousness::kInconclusive;
+    verdict.reason = std::string("analysis failed: ") + e.what();
+    return verdict;
+  }
+}
+
+}  // namespace crnkit::analysis

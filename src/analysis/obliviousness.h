@@ -1,0 +1,56 @@
+// One-call obliviousness classification: the executable Theorem 5.2 /
+// Theorem 5.4 decision surface.
+//
+// Given a black box f with its arrangement and period, the classifier
+// combines everything this library knows:
+//   1. Observation 2.1: nondecreasing check (grid);
+//   2. Theorem 5.4 negative side: Lemma 4.1 linear-family witness search;
+//   3. Theorem 7.1 positive side: the Section 7 pipeline, yielding the
+//      eventual-min spec when it succeeds (with which compile_theorem52
+//      produces the actual CRN).
+// Verdicts carry evidence: a witness family, a strip diagnosis, or the
+// compilable spec.
+#ifndef CRNKIT_ANALYSIS_OBLIVIOUSNESS_H_
+#define CRNKIT_ANALYSIS_OBLIVIOUSNESS_H_
+
+#include <optional>
+#include <string>
+
+#include "analysis/eventual_min.h"
+#include "verify/witness.h"
+
+namespace crnkit::analysis {
+
+enum class Obliviousness {
+  kComputable,     ///< eventual-min spec extracted; CRN can be compiled
+  kNotComputable,  ///< a structural obstruction or witness was found
+  kInconclusive,   ///< bounded analysis could not decide
+};
+
+struct ObliviousnessVerdict {
+  Obliviousness verdict = Obliviousness::kInconclusive;
+  std::string reason;
+  /// The Lemma 4.1 family, when one was found.
+  std::optional<verify::Lemma41Witness> witness;
+  /// The compilable spec, when the pipeline succeeded.
+  std::optional<compile::ObliviousSpec> spec;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct ClassifyOptions {
+  math::Int nondecreasing_grid = 10;
+  math::Int witness_max_entry = 2;
+  int witness_prefix = 8;
+};
+
+/// Classifies f. The negative direction (witness found) is sound assuming
+/// the family pattern persists beyond the checked prefix — exactly the
+/// instantiation pattern the paper uses; the positive direction is sound up
+/// to the grid bounds of the eventual-min extraction.
+[[nodiscard]] ObliviousnessVerdict classify_obliviousness(
+    const AnalysisInput& input, const ClassifyOptions& options = {});
+
+}  // namespace crnkit::analysis
+
+#endif  // CRNKIT_ANALYSIS_OBLIVIOUSNESS_H_

@@ -1,0 +1,46 @@
+// Extensions from strips of under-determined eventual regions
+// (Section 7.4, Lemmas 7.16 and 7.20).
+//
+// Two cases, decided exactly:
+//  - If no nonzero z in W-perp has all determined-neighbor gradients equal
+//    along z, the averaged-gradient construction of Lemma 7.16 applies: the
+//    extension has gradient avg_i(grad g_i), an enlarged period p* (a
+//    multiple of p clearing the averaged gradient's denominators), offsets
+//    fixed by f on the strip, and remaining offsets maximized subject to
+//    being nondecreasing (computed by the exact bounded minimization over
+//    one period cube).
+//  - Otherwise (Lemma 7.20) the extension of the neighbor in direction z
+//    must already agree with f on the strip; if it does not, f is NOT
+//    obliviously-computable (this is how Equation (2)'s counterexample is
+//    detected), and the result carries that diagnosis.
+#ifndef CRNKIT_ANALYSIS_STRIP_EXTENSION_H_
+#define CRNKIT_ANALYSIS_STRIP_EXTENSION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/decomposition.h"
+#include "fn/quilt_affine.h"
+#include "geom/strips.h"
+
+namespace crnkit::analysis {
+
+struct StripExtensionResult {
+  std::optional<fn::QuiltAffine> extension;
+  bool used_neighbor_direction = false;  ///< Lemma 7.20 path taken
+  std::string diagnosis;                 ///< set when extension is nullopt
+};
+
+/// Computes an extension from `strip` of under-determined eventual region
+/// `regions[u]` that (empirically) dominates f. `neighbor_extensions` must
+/// hold the unique extensions of `regions`' determined regions, indexed in
+/// lockstep with `determined_neighbors(regions, u)`.
+[[nodiscard]] StripExtensionResult strip_extension(
+    const AnalysisInput& input, const std::vector<RegionInfo>& regions,
+    std::size_t u, const geom::Strip& strip,
+    const std::vector<fn::QuiltAffine>& neighbor_extensions);
+
+}  // namespace crnkit::analysis
+
+#endif  // CRNKIT_ANALYSIS_STRIP_EXTENSION_H_

@@ -1,0 +1,116 @@
+#include "compile/leaderless.h"
+
+#include "crn/checks.h"
+#include "math/check.h"
+
+namespace crnkit::compile {
+
+using crn::Crn;
+using math::Int;
+
+Crn compile_leaderless_oned(const fn::DiscreteFunction& f,
+                            const fn::OneDStructureOptions& options) {
+  fn::OneDStructure s = fn::require_oned_structure(f, options);
+  require(s.initial[0] == 0,
+          "compile_leaderless_oned: superadditive f must have f(0) = 0");
+
+  // Arrange p | n with n >= p (the paper's WLOG): raising the threshold to
+  // the next positive multiple of p keeps the structure valid, since the
+  // differences are periodic beyond the original n.
+  {
+    const Int padded = ((s.n + s.p - 1) / s.p + (s.n == 0 ? 1 : 0)) * s.p;
+    const Int target = std::max<Int>(padded, s.p);
+    if (target != s.n) {
+      std::vector<Int> initial(static_cast<std::size_t>(target + 1));
+      for (Int x = 0; x <= target; ++x) {
+        initial[static_cast<std::size_t>(x)] = s.evaluate(x);
+      }
+      // Re-anchor deltas so deltas[a] = f(x+1) - f(x) for x >= target,
+      // x mod p == a. The periodic differences are unchanged; only the
+      // threshold moves (by a multiple of p, so indexing is stable).
+      s.n = target;
+      s.initial = std::move(initial);
+    }
+  }
+  const Int n = s.n;
+  const Int p = s.p;
+  auto fval = [&s](Int x) { return s.evaluate(x); };
+
+  Crn out("leaderless[" + f.name() + "]");
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+
+  auto state_name = [n, p](Int k) {
+    // Auxiliary leader remembering k absorbed inputs (mod p once k >= n).
+    if (k < n) return "L" + std::to_string(k);
+    return "P" + std::to_string(math::floor_mod(k, p));
+  };
+  auto emit = [&out](const std::string& r1, const std::string& r2, Int d,
+                     const std::string& next) {
+    std::vector<std::pair<std::string, Int>> reactants;
+    if (r1 == r2) {
+      reactants.emplace_back(r1, 2);
+    } else {
+      reactants.emplace_back(r1, 1);
+      reactants.emplace_back(r2, 1);
+    }
+    std::vector<std::pair<std::string, Int>> products;
+    if (d > 0) products.emplace_back("Y", d);
+    products.emplace_back(next, 1);
+    out.add_reaction(reactants, products);
+  };
+
+  // X -> f(1) Y + L_1.
+  {
+    std::vector<std::pair<std::string, Int>> products;
+    const Int f1 = fval(1);
+    if (f1 > 0) products.emplace_back("Y", f1);
+    products.emplace_back(state_name(1), 1);
+    out.add_reaction({{"X", 1}}, products);
+  }
+
+  auto check_nonneg = [&f](Int d, Int i, Int j) {
+    require(d >= 0, "compile_leaderless_oned: '" + f.name() +
+                        "' is not superadditive: f(" + std::to_string(i) +
+                        ") + f(" + std::to_string(j) + ") > f(" +
+                        std::to_string(i + j) + ")");
+  };
+
+  // L_i + L_j (i <= j), both below the threshold.
+  for (Int i = 1; i < n; ++i) {
+    for (Int j = i; j < n; ++j) {
+      const Int d = fval(i + j) - fval(i) - fval(j);
+      check_nonneg(d, i, j);
+      emit(state_name(i), state_name(j), d, state_name(i + j));
+    }
+  }
+  // L_i + P_a: the P side stands for n + a (mod p beyond); the corrective
+  // difference is independent of the wrapped multiple because the
+  // differences are periodic past n.
+  for (Int i = 1; i < n; ++i) {
+    for (Int a = 0; a < p; ++a) {
+      const Int d = fval(i + n + a) - fval(i) - fval(n + a);
+      check_nonneg(d, i, n + a);
+      emit(state_name(i), "P" + std::to_string(a), d,
+           "P" + std::to_string(math::floor_mod(i + a, p)));
+    }
+  }
+  // P_a + P_b (a <= b).
+  for (Int a = 0; a < p; ++a) {
+    for (Int b = a; b < p; ++b) {
+      const Int d = fval(2 * n + a + b) - fval(n + a) - fval(n + b);
+      check_nonneg(d, n + a, n + b);
+      const std::string next = "P" + std::to_string(math::floor_mod(a + b, p));
+      // Skip the degenerate no-op (possible when p == 1 and d == 0:
+      // 2 P0 -> P0 is NOT a no-op — it merges two leaders — so only the
+      // truly identical-sides case is skipped, which cannot happen here).
+      emit("P" + std::to_string(a), "P" + std::to_string(b), d, next);
+    }
+  }
+
+  crn::require_output_oblivious(out);
+  ensure(!out.leader().has_value(), "compile_leaderless_oned: leader leaked");
+  return out;
+}
+
+}  // namespace crnkit::compile

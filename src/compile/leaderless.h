@@ -1,0 +1,30 @@
+// Theorem 9.2: f : N -> N is obliviously-computable by a *leaderless* CRN
+// iff f is semilinear and superadditive. The construction removes the leader
+// from the Theorem 3.1 chain: every input immediately becomes an auxiliary
+// leader (X -> f(1) Y + L_1) and pairwise "merge" reactions combine
+// auxiliary leaders while emitting the corrective difference
+// D_{i,j} = f(i+j) - f(i) - f(j) >= 0 (nonnegative exactly by
+// superadditivity):
+//     L_i + L_j -> D_{i,j} Y + (L_{i+j} or P_{i+j})
+//     L_i + P_a -> [f(i+n+a) - f(i) - f(n+a)] Y + P_{(i+a) mod p}
+//     P_a + P_b -> [f(2n+a+b) - f(n+a) - f(n+b)] Y + P_{(a+b) mod p}
+// The period p is arranged to divide the threshold n, as in the paper.
+#ifndef CRNKIT_COMPILE_LEADERLESS_H_
+#define CRNKIT_COMPILE_LEADERLESS_H_
+
+#include "crn/network.h"
+#include "fn/oned_structure.h"
+
+namespace crnkit::compile {
+
+/// Compiles a 1D superadditive semilinear function into a leaderless
+/// output-oblivious CRN. Throws std::invalid_argument if f(0) != 0 or any
+/// corrective difference is negative (i.e. f is not superadditive on the
+/// range the construction touches).
+[[nodiscard]] crn::Crn compile_leaderless_oned(
+    const fn::DiscreteFunction& f,
+    const fn::OneDStructureOptions& options = {});
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_LEADERLESS_H_

@@ -1,0 +1,78 @@
+#include "compile/oned.h"
+
+#include "crn/checks.h"
+#include "math/check.h"
+
+namespace crnkit::compile {
+
+using crn::Crn;
+using math::Int;
+
+Crn compile_oned(const fn::OneDStructure& s, const std::string& name) {
+  require(static_cast<Int>(s.initial.size()) == s.n + 1,
+          "compile_oned: initial values must cover f(0..n)");
+  require(static_cast<Int>(s.deltas.size()) == s.p,
+          "compile_oned: need exactly p periodic differences");
+  for (Int i = 0; i + 1 <= s.n; ++i) {
+    require(s.initial[static_cast<std::size_t>(i + 1)] >=
+                s.initial[static_cast<std::size_t>(i)],
+            "compile_oned: initial values must be nondecreasing");
+  }
+  for (const Int delta : s.deltas) {
+    require(delta >= 0, "compile_oned: negative periodic difference");
+  }
+
+  Crn out(name);
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+
+  auto lname = [](Int i) { return "L" + std::to_string(i); };
+  auto pname = [](Int a) { return "P" + std::to_string(a); };
+
+  // L -> f(0) Y + first state.
+  {
+    const Int f0 = s.initial[0];
+    const std::string first = (s.n == 0) ? pname(0) : lname(0);
+    std::vector<std::pair<std::string, Int>> products;
+    if (f0 > 0) products.emplace_back("Y", f0);
+    products.emplace_back(first, 1);
+    out.add_reaction({{"L", 1}}, products);
+  }
+
+  // Explicit chain below the threshold.
+  for (Int i = 0; i + 1 <= s.n; ++i) {
+    const Int diff = s.initial[static_cast<std::size_t>(i + 1)] -
+                     s.initial[static_cast<std::size_t>(i)];
+    const std::string next =
+        (i + 1 == s.n) ? pname(math::floor_mod(s.n, s.p)) : lname(i + 1);
+    std::vector<std::pair<std::string, Int>> products;
+    if (diff > 0) products.emplace_back("Y", diff);
+    products.emplace_back(next, 1);
+    out.add_reaction({{lname(i), 1}, {"X", 1}}, products);
+  }
+
+  // Periodic cycle. When p == 1 and delta == 0 the reaction would be a
+  // no-op (P0 + X -> P0); omit it — an eventually-constant function simply
+  // stops consuming input.
+  for (Int a = 0; a < s.p; ++a) {
+    const Int delta = s.deltas[static_cast<std::size_t>(a)];
+    const Int next = math::floor_mod(a + 1, s.p);
+    if (delta == 0 && next == a) continue;
+    std::vector<std::pair<std::string, Int>> products;
+    if (delta > 0) products.emplace_back("Y", delta);
+    products.emplace_back(pname(next), 1);
+    out.add_reaction({{pname(a), 1}, {"X", 1}}, products);
+  }
+
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn compile_oned(const fn::DiscreteFunction& f,
+                 const fn::OneDStructureOptions& options) {
+  const fn::OneDStructure s = fn::require_oned_structure(f, options);
+  return compile_oned(s, "oned[" + f.name() + "]");
+}
+
+}  // namespace crnkit::compile

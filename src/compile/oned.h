@@ -1,0 +1,31 @@
+// Theorem 3.1: every semilinear nondecreasing f : N -> N is obliviously-
+// computable with a leader. The leader walks through explicit states
+// L_0..L_{n-1} while x < n, then cycles through periodic states P_0..P_{p-1},
+// emitting the finite difference on each input absorption:
+//     L -> f(0) Y + L_0
+//     L_i + X -> [f(i+1) - f(i)] Y + L_{i+1}        (i < n-1)
+//     L_{n-1} + X -> [f(n) - f(n-1)] Y + P_{n mod p}
+//     P_a + X -> delta_a Y + P_{(a+1) mod p}
+#ifndef CRNKIT_COMPILE_ONED_H_
+#define CRNKIT_COMPILE_ONED_H_
+
+#include "crn/network.h"
+#include "fn/oned_structure.h"
+
+namespace crnkit::compile {
+
+/// Compiles from explicit eventual structure. Requires all finite
+/// differences (initial and periodic) to be nonnegative, i.e. f
+/// nondecreasing; throws otherwise.
+[[nodiscard]] crn::Crn compile_oned(const fn::OneDStructure& structure,
+                                    const std::string& name = "oned");
+
+/// Convenience: detect the structure of a 1D black box, then compile.
+/// Throws if detection fails or f is decreasing somewhere.
+[[nodiscard]] crn::Crn compile_oned(
+    const fn::DiscreteFunction& f,
+    const fn::OneDStructureOptions& options = {});
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_ONED_H_

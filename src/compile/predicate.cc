@@ -1,0 +1,177 @@
+#include "compile/predicate.h"
+
+#include "compile/primitives.h"
+#include "crn/compose.h"
+#include "math/check.h"
+
+namespace crnkit::compile {
+
+using math::Int;
+
+struct MonotoneFormula::Node {
+  enum class Kind { kAtom, kAnd, kOr };
+  Kind kind = Kind::kAtom;
+  int dimension = 0;
+  std::vector<Int> a;
+  Int b = 0;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+MonotoneFormula::MonotoneFormula(std::shared_ptr<const Node> root)
+    : root_(std::move(root)) {}
+
+MonotoneFormula MonotoneFormula::atom(std::vector<Int> a, Int b) {
+  require(!a.empty(), "MonotoneFormula::atom: empty coefficients");
+  for (const Int ai : a) {
+    require(ai >= 0, "MonotoneFormula::atom: coefficients must be >= 0 "
+                     "(monotone atoms only)");
+  }
+  require(b >= 0, "MonotoneFormula::atom: threshold must be >= 0");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAtom;
+  node->dimension = static_cast<int>(a.size());
+  node->a = std::move(a);
+  node->b = b;
+  return MonotoneFormula(std::move(node));
+}
+
+MonotoneFormula MonotoneFormula::operator&&(const MonotoneFormula& o) const {
+  require(dimension() == o.dimension(),
+          "MonotoneFormula: AND dimension mismatch");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->dimension = dimension();
+  node->left = root_;
+  node->right = o.root_;
+  return MonotoneFormula(std::move(node));
+}
+
+MonotoneFormula MonotoneFormula::operator||(const MonotoneFormula& o) const {
+  require(dimension() == o.dimension(),
+          "MonotoneFormula: OR dimension mismatch");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kOr;
+  node->dimension = dimension();
+  node->left = root_;
+  node->right = o.root_;
+  return MonotoneFormula(std::move(node));
+}
+
+int MonotoneFormula::dimension() const { return root_->dimension; }
+
+namespace {
+
+bool eval_node(const MonotoneFormula::Node& node, const fn::Point& x) {
+  using Kind = MonotoneFormula::Node::Kind;
+  switch (node.kind) {
+    case Kind::kAtom: {
+      Int acc = 0;
+      for (std::size_t i = 0; i < node.a.size(); ++i) {
+        acc = math::checked_add(acc, math::checked_mul(node.a[i], x[i]));
+      }
+      return acc >= node.b;
+    }
+    case Kind::kAnd:
+      return eval_node(*node.left, x) && eval_node(*node.right, x);
+    case Kind::kOr:
+      return eval_node(*node.left, x) || eval_node(*node.right, x);
+  }
+  return false;
+}
+
+/// The atom module: X_i -> a_i S; L + b S -> Y (or L -> Y when b == 0).
+crn::Crn atom_crn(const std::vector<Int>& a, Int b) {
+  crn::Crn out("atom>=" + std::to_string(b));
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    inputs.push_back("X" + std::to_string(i + 1));
+    out.get_or_add_species(inputs.back());
+  }
+  out.set_input_species(inputs);
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+  if (b == 0) {
+    out.add_reaction({{"L", 1}}, {{"Y", 1}});
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] == 0) continue;  // unused input stays inert
+      out.add_reaction({{inputs[i], 1}}, {{"S", a[i]}});
+    }
+    out.add_reaction({{"L", 1}, {"S", b}}, {{"Y", 1}});
+  }
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+/// OR of two indicator wires: W1 -> W; W2 -> W; L + W -> Y.
+crn::Crn or_crn() {
+  crn::Crn out("or2");
+  out.set_input_species({"W1", "W2"});
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+  out.add_reaction({{"W1", 1}}, {{"W", 1}});
+  out.add_reaction({{"W2", 1}}, {{"W", 1}});
+  out.add_reaction({{"L", 1}, {"W", 1}}, {{"Y", 1}});
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+/// Recursively lowers the formula into circuit modules; returns the wire
+/// carrying the node's indicator.
+crn::Wire lower(const MonotoneFormula::Node& node, crn::Circuit& circuit) {
+  using Kind = MonotoneFormula::Node::Kind;
+  switch (node.kind) {
+    case Kind::kAtom: {
+      const int m = circuit.add_module(atom_crn(node.a, node.b));
+      for (int i = 0; i < node.dimension; ++i) {
+        circuit.connect(crn::Wire::external(i), m, i);
+      }
+      return crn::Wire::of_module(m);
+    }
+    case Kind::kAnd: {
+      const crn::Wire left = lower(*node.left, circuit);
+      const crn::Wire right = lower(*node.right, circuit);
+      const int m = circuit.add_module(min_crn(2));
+      circuit.connect(left, m, 0);
+      circuit.connect(right, m, 1);
+      return crn::Wire::of_module(m);
+    }
+    case Kind::kOr: {
+      const crn::Wire left = lower(*node.left, circuit);
+      const crn::Wire right = lower(*node.right, circuit);
+      const int m = circuit.add_module(or_crn());
+      circuit.connect(left, m, 0);
+      circuit.connect(right, m, 1);
+      return crn::Wire::of_module(m);
+    }
+  }
+  throw std::logic_error("lower: unreachable");
+}
+
+}  // namespace
+
+bool MonotoneFormula::evaluate(const fn::Point& x) const {
+  require(static_cast<int>(x.size()) == dimension(),
+          "MonotoneFormula::evaluate: arity mismatch");
+  return eval_node(*root_, x);
+}
+
+fn::DiscreteFunction MonotoneFormula::indicator() const {
+  MonotoneFormula copy = *this;
+  return fn::DiscreteFunction(
+      dimension(),
+      [copy](const fn::Point& x) -> Int { return copy.evaluate(x) ? 1 : 0; },
+      "predicate");
+}
+
+crn::Crn compile_monotone_predicate(const MonotoneFormula& formula) {
+  crn::Circuit circuit(formula.dimension(), "predicate");
+  circuit.add_output(lower(formula.root(), circuit));
+  crn::Crn out = circuit.compile();
+  out.set_name("predicate");
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+}  // namespace crnkit::compile

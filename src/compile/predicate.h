@@ -1,0 +1,63 @@
+// Monotone Boolean predicates as output-oblivious CRNs.
+//
+// The paper's Figure 2 already contains the key atom: min(1, x) — the
+// indicator of x >= 1 — is obliviously-computable with a leader. This
+// module develops the observation into a compiler for *monotone* Boolean
+// combinations of nonnegative-threshold atoms [a . x >= b] with a >= 0:
+//
+//   - atom  [a . x >= b]: inputs fan into a tally species S (X_i -> a_i S)
+//     and a leader collects b of them:  L + b S -> Y    (output-oblivious)
+//   - AND = min of indicators (X1 + X2 -> Y)
+//   - OR  = min(1, sum) (indicators renamed onto one wire, L + W -> Y)
+//
+// Monotonicity is essential: an indicator with negation somewhere is not
+// nondecreasing, hence not obliviously-computable (Observation 2.1) — the
+// compiler rejects such formulas by construction (no NOT node). The result
+// is a CRN whose stable output counts 1/0 decide the predicate, and which
+// composes downstream like any output-oblivious module.
+#ifndef CRNKIT_COMPILE_PREDICATE_H_
+#define CRNKIT_COMPILE_PREDICATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "crn/network.h"
+#include "fn/function.h"
+
+namespace crnkit::compile {
+
+/// A monotone predicate formula over N^d.
+class MonotoneFormula {
+ public:
+  /// Atom [a . x >= b] with a >= 0 componentwise and b >= 0. (b == 0 atoms
+  /// are constant-true; allowed for convenience.)
+  [[nodiscard]] static MonotoneFormula atom(std::vector<math::Int> a,
+                                            math::Int b);
+
+  [[nodiscard]] MonotoneFormula operator&&(const MonotoneFormula& o) const;
+  [[nodiscard]] MonotoneFormula operator||(const MonotoneFormula& o) const;
+
+  [[nodiscard]] int dimension() const;
+
+  /// Exact truth value.
+  [[nodiscard]] bool evaluate(const fn::Point& x) const;
+
+  /// The 0/1 indicator as a function (what the CRN stably computes).
+  [[nodiscard]] fn::DiscreteFunction indicator() const;
+
+  struct Node;
+  [[nodiscard]] const Node& root() const { return *root_; }
+
+ private:
+  explicit MonotoneFormula(std::shared_ptr<const Node> root);
+  std::shared_ptr<const Node> root_;
+};
+
+/// Compiles the formula into an output-oblivious CRN (with leader) whose
+/// stable output count is the indicator value.
+[[nodiscard]] crn::Crn compile_monotone_predicate(
+    const MonotoneFormula& formula);
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_PREDICATE_H_

@@ -1,0 +1,115 @@
+#include "compile/primitives.h"
+
+#include "crn/checks.h"
+#include "math/check.h"
+
+namespace crnkit::compile {
+
+using crn::Crn;
+using math::Int;
+
+Crn min_crn(int k) {
+  require(k >= 1, "min_crn: need at least one input");
+  Crn out("min" + std::to_string(k));
+  std::vector<std::string> inputs;
+  std::vector<std::pair<std::string, Int>> reactants;
+  for (int i = 0; i < k; ++i) {
+    inputs.push_back("X" + std::to_string(i + 1));
+    reactants.emplace_back(inputs.back(), 1);
+  }
+  out.set_input_species(inputs);
+  out.set_output_species("Y");
+  out.add_reaction(reactants, {{"Y", 1}});
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn clamp_crn(Int n) {
+  require(n >= 0, "clamp_crn: negative threshold");
+  Crn out("clamp" + std::to_string(n));
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  if (n == 0) {
+    out.add_reaction({{"X", 1}}, {{"Y", 1}});
+  } else {
+    out.add_reaction({{"X", n + 1}}, {{"X", n}, {"Y", 1}});
+  }
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn indicator_crn(Int j) {
+  require(j >= 0, "indicator_crn: negative threshold");
+  Crn out("indicator>" + std::to_string(j));
+  out.set_input_species({"A", "B", "C"});
+  out.set_output_species("Y");
+  out.add_reaction({{"A", 1}}, {{"Y", 1}});
+  out.add_reaction({{"C", j + 1}, {"B", 1}}, {{"C", j + 1}, {"Y", 1}});
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn constant_crn(Int c) {
+  require(c >= 0, "constant_crn: negative constant");
+  Crn out("const" + std::to_string(c));
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+  if (c == 0) {
+    out.add_reaction({{"L", 1}}, {{"L#done", 1}});
+  } else {
+    out.add_reaction({{"L", 1}}, {{"Y", c}});
+  }
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn identity_crn() {
+  Crn out("identity");
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  out.add_reaction({{"X", 1}}, {{"Y", 1}});
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn scale_crn(Int k) {
+  require(k >= 1, "scale_crn: scale must be >= 1");
+  Crn out("scale" + std::to_string(k));
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  out.add_reaction({{"X", 1}}, {{"Y", k}});
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn fig1_max_crn() {
+  Crn out("fig1-max");
+  out.set_input_species({"X1", "X2"});
+  out.set_output_species("Y");
+  out.add_reaction_str("X1 -> Z1 + Y");
+  out.add_reaction_str("X2 -> Z2 + Y");
+  out.add_reaction_str("Z1 + Z2 -> K");
+  out.add_reaction_str("K + Y -> 0");
+  return out;
+}
+
+Crn fig2_min1_leaderless() {
+  Crn out("fig2-min1-leaderless");
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  out.add_reaction_str("X -> Y");
+  out.add_reaction_str("2Y -> Y");
+  return out;
+}
+
+Crn fig2_min1_leader() {
+  Crn out("fig2-min1-leader");
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+  out.add_reaction_str("L + X -> Y");
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+}  // namespace crnkit::compile

@@ -1,0 +1,51 @@
+// The primitive output-oblivious CRNs of Lemma 6.2's composition:
+//   - k-ary min:            X_1 + ... + X_k -> Y
+//   - clamp (x - n)+:       (n+1) X -> n X + Y          (per component)
+//   - indicator c(a,b,x):   A -> Y;  (j+1) C + B -> (j+1) C + Y
+//   - constant:             L -> c Y
+//   - identity:             X -> Y
+//   - scale by k:           X -> k Y
+// plus the Fig 1 examples (including the non-output-oblivious max CRN used
+// by the impossibility demonstrations).
+#ifndef CRNKIT_COMPILE_PRIMITIVES_H_
+#define CRNKIT_COMPILE_PRIMITIVES_H_
+
+#include "crn/network.h"
+
+namespace crnkit::compile {
+
+/// min(x_1, ..., x_k) via the single reaction X1 + ... + Xk -> Y.
+[[nodiscard]] crn::Crn min_crn(int k);
+
+/// max(0, x - n) via (n+1) X -> n X + Y. For n = 0 this is the identity
+/// conversion X -> Y.
+[[nodiscard]] crn::Crn clamp_crn(math::Int n);
+
+/// c(a, b, x_i) = a + [x_i > j] * b with ports (A, B, C): A -> Y and
+/// (j+1) C + B -> (j+1) C + Y, where C receives (a fan-out copy of) X_i.
+[[nodiscard]] crn::Crn indicator_crn(math::Int j);
+
+/// The constant function c >= 0, leader-seeded: L -> c Y (for c = 0 the
+/// leader converts to an inert token).
+[[nodiscard]] crn::Crn constant_crn(math::Int c);
+
+/// Identity: X -> Y.
+[[nodiscard]] crn::Crn identity_crn();
+
+/// f(x) = k x via X -> k Y (Fig 1's 2x for k = 2).
+[[nodiscard]] crn::Crn scale_crn(math::Int k);
+
+/// Fig 1's max CRN (NOT output-oblivious; consumes Y via K + Y -> 0):
+///   X1 -> Z1 + Y; X2 -> Z2 + Y; Z1 + Z2 -> K; K + Y -> 0.
+[[nodiscard]] crn::Crn fig1_max_crn();
+
+/// Fig 2 left: leaderless min(1,x) via X -> Y; 2Y -> Y (not output-
+/// oblivious).
+[[nodiscard]] crn::Crn fig2_min1_leaderless();
+
+/// Fig 2 right: min(1,x) via L + X -> Y (output-oblivious, needs leader).
+[[nodiscard]] crn::Crn fig2_min1_leader();
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_PRIMITIVES_H_

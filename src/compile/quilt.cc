@@ -1,0 +1,71 @@
+#include "compile/quilt.h"
+
+#include "crn/checks.h"
+#include "math/check.h"
+
+namespace crnkit::compile {
+
+using crn::Crn;
+using math::Int;
+
+Crn compile_quilt_affine(const fn::QuiltAffine& g) {
+  require(g.is_nondecreasing(),
+          "compile_quilt_affine: '" + g.name() + "' is not nondecreasing");
+  require(g.is_nonnegative_everywhere(),
+          "compile_quilt_affine: '" + g.name() +
+              "' takes negative values; translate it first (Lemma 6.2)");
+
+  const int d = g.dimension();
+  const Int p = g.period();
+  Crn out("quilt[" + g.name() + "]");
+
+  std::vector<std::string> inputs;
+  for (int i = 0; i < d; ++i) inputs.push_back("X" + std::to_string(i + 1));
+  out.set_input_species(inputs);
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+
+  auto state_name = [](const math::CongruenceClass& a) {
+    std::string s = "L[";
+    const auto& rep = a.representative();
+    for (std::size_t i = 0; i < rep.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(rep[i]);
+    }
+    return s + "]";
+  };
+
+  // L -> g(0) Y + L_0.
+  const fn::Point zero(static_cast<std::size_t>(d), 0);
+  const math::CongruenceClass class0(zero, p);
+  const Int g0 = g(zero);
+  {
+    std::vector<std::pair<std::string, Int>> products;
+    if (g0 > 0) products.emplace_back("Y", g0);
+    products.emplace_back(state_name(class0), 1);
+    out.add_reaction({{"L", 1}}, products);
+  }
+
+  // L_a + X_i -> delta^i_a Y + L_{a+e_i}.
+  for (const auto& a : math::all_classes(d, p)) {
+    for (int i = 0; i < d; ++i) {
+      const Int delta = g.finite_difference(i, a);
+      ensure(delta >= 0, "compile_quilt_affine: negative finite difference");
+      // delta == 0 with an unchanged leader state would be a no-op reaction
+      // (g ignores input i in this class); absorbing such inputs is
+      // unnecessary, so the reaction is simply omitted.
+      if (delta == 0 && a.shifted(i) == a) continue;
+      std::vector<std::pair<std::string, Int>> products;
+      if (delta > 0) products.emplace_back("Y", delta);
+      products.emplace_back(state_name(a.shifted(i)), 1);
+      out.add_reaction(
+          {{state_name(a), 1}, {inputs[static_cast<std::size_t>(i)], 1}},
+          products);
+    }
+  }
+
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+}  // namespace crnkit::compile

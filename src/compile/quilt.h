@@ -1,0 +1,24 @@
+// Lemma 6.1: every quilt-affine g : N^d -> N is obliviously-computable.
+//
+// The CRN keeps one leader state L_a per congruence class a in Z^d/pZ^d.
+// The leader absorbs inputs one at a time, tracking x mod p, and emits the
+// periodic finite difference delta^i_a = g(x + e_i) - g(x) as output on
+// each absorption:
+//     L -> g(0) Y + L_0
+//     L_a + X_i -> delta^i_a Y + L_{a + e_i}     (d * p^d reactions)
+#ifndef CRNKIT_COMPILE_QUILT_H_
+#define CRNKIT_COMPILE_QUILT_H_
+
+#include "crn/network.h"
+#include "fn/quilt_affine.h"
+
+namespace crnkit::compile {
+
+/// Compiles a nondecreasing, everywhere-nonnegative quilt-affine function
+/// into an output-oblivious CRN with a leader. Throws std::invalid_argument
+/// if g is decreasing somewhere or takes a negative value.
+[[nodiscard]] crn::Crn compile_quilt_affine(const fn::QuiltAffine& g);
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_QUILT_H_

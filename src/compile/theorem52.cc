@@ -1,0 +1,170 @@
+#include "compile/theorem52.h"
+
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "compile/quilt.h"
+#include "fn/properties.h"
+#include "geom/arrangement.h"
+#include "math/check.h"
+
+namespace crnkit::compile {
+
+using crn::Circuit;
+using crn::Crn;
+using crn::Wire;
+using math::Int;
+
+fn::DiscreteFunction drop_input(const fn::DiscreteFunction& f, int i,
+                                Int j) {
+  require(i >= 0 && i < f.dimension(), "drop_input: bad input index");
+  require(f.dimension() >= 2, "drop_input: needs dimension >= 2");
+  require(j >= 0, "drop_input: negative pin value");
+  const int d = f.dimension();
+  return fn::DiscreteFunction(
+      d - 1,
+      [f, i, j, d](const fn::Point& rest) {
+        fn::Point full(static_cast<std::size_t>(d));
+        int from = 0;
+        for (int k = 0; k < d; ++k) {
+          if (k == i) {
+            full[static_cast<std::size_t>(k)] = j;
+          } else {
+            full[static_cast<std::size_t>(k)] =
+                rest[static_cast<std::size_t>(from++)];
+          }
+        }
+        return f(full);
+      },
+      f.name() + "[x(" + std::to_string(i + 1) + ")=" + std::to_string(j) +
+          "]");
+}
+
+namespace {
+
+void validate_spec(const ObliviousSpec& spec,
+                   const Theorem52Options& options) {
+  const int d = spec.f.dimension();
+  require(!spec.eventual.empty(),
+          "compile_theorem52: spec has no eventual quilt-affine parts");
+  for (const auto& g : spec.eventual) {
+    require(g.dimension() == d,
+            "compile_theorem52: quilt-affine dimension mismatch");
+    require(g.is_nondecreasing(),
+            "compile_theorem52: eventual part '" + g.name() +
+                "' is not nondecreasing");
+  }
+  require(spec.threshold >= 0, "compile_theorem52: negative threshold");
+  if (options.validation_window > 0) {
+    const fn::Point n(static_cast<std::size_t>(d), spec.threshold);
+    fn::MinOfQuiltAffine eventual_min(spec.eventual);
+    const auto mismatch = fn::find_domination_violation(
+        eventual_min.as_function(), spec.f, n, options.validation_window);
+    const auto mismatch2 = fn::find_domination_violation(
+        spec.f, eventual_min.as_function(), n, options.validation_window);
+    require(!mismatch && !mismatch2,
+            "compile_theorem52: f != min_k g_k near the threshold; the spec "
+            "is inconsistent with the black box");
+  }
+}
+
+}  // namespace
+
+Crn compile_theorem52(const ObliviousSpec& spec,
+                      const Theorem52Options& options) {
+  const int d = spec.f.dimension();
+
+  // Base case: Theorem 3.1 handles every 1D semilinear nondecreasing f
+  // directly (the eventual-min data is not needed).
+  if (d == 1) {
+    return compile_oned(spec.f, options.oned);
+  }
+
+  validate_spec(spec, options);
+  const Int n = spec.threshold;
+  const fn::Point n_vec(static_cast<std::size_t>(d), n);
+  const int m = static_cast<int>(spec.eventual.size());
+
+  Circuit circuit(d, "thm52[" + spec.f.name() + "]");
+
+  // --- f(x v n) = min_k g_k((x - n)+ + n) ---
+  std::vector<int> clamps;
+  for (int i = 0; i < d; ++i) {
+    clamps.push_back(circuit.add_module(clamp_crn(n)));
+    circuit.connect(Wire::external(i), clamps.back(), 0);
+  }
+  std::vector<int> quilt_modules;
+  for (int k = 0; k < m; ++k) {
+    fn::QuiltAffine translated = spec.eventual[static_cast<std::size_t>(k)]
+                                     .translated(n_vec);
+    require(translated.is_nonnegative_everywhere(),
+            "compile_theorem52: g_k(x + n) takes negative values — the "
+            "spec's threshold is too small (Lemma 6.2 requires g_k >= f >= 0 "
+            "beyond n)");
+    quilt_modules.push_back(circuit.add_module(
+        compile_quilt_affine(translated)));
+    for (int i = 0; i < d; ++i) {
+      circuit.connect(Wire::of_module(clamps[static_cast<std::size_t>(i)]),
+                      quilt_modules.back(), i);
+    }
+  }
+  const int min_eventual = circuit.add_module(min_crn(m));
+  for (int k = 0; k < m; ++k) {
+    circuit.connect(Wire::of_module(quilt_modules[static_cast<std::size_t>(k)]),
+                    min_eventual, k);
+  }
+
+  // --- terms c(f_[x(i)->j](x), f(x v n), x_i) for i < d, j < n ---
+  std::vector<int> term_modules;
+  for (int i = 0; i < d; ++i) {
+    for (Int j = 0; j < n; ++j) {
+      // Restriction module: dimension d-1 over the remaining inputs.
+      Crn restriction_crn("unset");
+      const auto child = spec.children.find({i, j});
+      if (child != spec.children.end()) {
+        restriction_crn = compile_theorem52(*child->second, options);
+      } else if (d - 1 == 1) {
+        restriction_crn = compile_oned(drop_input(spec.f, i, j),
+                                       options.oned);
+      } else if (options.restriction_provider) {
+        const ObliviousSpec derived =
+            options.restriction_provider(i, j, drop_input(spec.f, i, j));
+        restriction_crn = compile_theorem52(derived, options);
+      } else {
+        throw std::invalid_argument(
+            "compile_theorem52: restriction (i=" + std::to_string(i) +
+            ", j=" + std::to_string(j) +
+            ") has dimension >= 2 but no child spec or provider was given");
+      }
+      const int restriction = circuit.add_module(std::move(restriction_crn));
+      {
+        int port = 0;
+        for (int k = 0; k < d; ++k) {
+          if (k == i) continue;
+          circuit.connect(Wire::external(k), restriction, port++);
+        }
+      }
+      const int indicator = circuit.add_module(indicator_crn(j));
+      circuit.connect(Wire::of_module(restriction), indicator, 0);    // A
+      circuit.connect(Wire::of_module(min_eventual), indicator, 1);   // B
+      circuit.connect(Wire::external(i), indicator, 2);               // C
+      term_modules.push_back(indicator);
+    }
+  }
+
+  // --- final min over 1 + d*n wires ---
+  const int min_all =
+      circuit.add_module(min_crn(1 + static_cast<int>(term_modules.size())));
+  circuit.connect(Wire::of_module(min_eventual), min_all, 0);
+  for (std::size_t t = 0; t < term_modules.size(); ++t) {
+    circuit.connect(Wire::of_module(term_modules[t]), min_all,
+                    static_cast<int>(t) + 1);
+  }
+  circuit.add_output(Wire::of_module(min_all));
+
+  Crn out = circuit.compile();
+  out.set_name("thm52[" + spec.f.name() + "]");
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+}  // namespace crnkit::compile

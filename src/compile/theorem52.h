@@ -1,0 +1,72 @@
+// Theorem 5.2 / Lemma 6.2: the general compiler from an eventually-min-of-
+// quilt-affine description to an output-oblivious CRN.
+//
+// Equation (1) of the paper:
+//   f(x) = min[ f(x v n),
+//               f_[x(i)->j](x) + 1_{x(i)>j}(x) * f(x v n) ]   for i<=d, j<n
+// is realized as a feed-forward circuit of output-oblivious modules:
+//   - per-component clamps (x_i - n)+                  (primitives)
+//   - translated quilt-affine modules g_k(x + n)       (Lemma 6.1)
+//   - a min over the m translated modules = f(x v n)
+//   - per-(i,j) restriction modules (recursive; Theorem 3.1 at d = 1)
+//   - per-(i,j) indicator modules c(a, b, x_i)
+//   - a final (1 + d*n)-ary min
+// Composition correctness is Observation 2.2; the Circuit class implements
+// the renaming/fan-out/leader-splitting mechanics.
+#ifndef CRNKIT_COMPILE_THEOREM52_H_
+#define CRNKIT_COMPILE_THEOREM52_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crn/compose.h"
+#include "fn/oned_structure.h"
+#include "fn/quilt_affine.h"
+
+namespace crnkit::compile {
+
+/// The data of Theorem 5.2 for one function: a black box (used for
+/// restrictions and validation), the eventual threshold n (uniform across
+/// components, WLOG as in the paper), and the quilt-affine functions whose
+/// min describes f on x >= (n, ..., n).
+///
+/// `children` optionally carries hand-authored specs for the fixed-input
+/// restrictions f_[x(i)->j] (keyed by (i, j), each of dimension d-1, over
+/// the remaining inputs in order). When absent, 1D restrictions are derived
+/// automatically by scanning; higher-dimensional restrictions require either
+/// a child spec or a provider hook (the analysis pipeline supplies one).
+struct ObliviousSpec {
+  fn::DiscreteFunction f;
+  math::Int threshold = 0;
+  std::vector<fn::QuiltAffine> eventual;
+  std::map<std::pair<int, math::Int>, std::shared_ptr<ObliviousSpec>> children;
+};
+
+struct Theorem52Options {
+  /// Verify f == min_k g_k on [n, n+window]^d before compiling (cheap
+  /// misuse detection; the compiler's output is only as correct as the
+  /// spec).
+  math::Int validation_window = 3;
+  /// Options for automatic 1D restriction detection.
+  fn::OneDStructureOptions oned;
+  /// Fallback provider for restriction specs of dimension >= 2 when
+  /// `children` has no entry. Receives (i, j) and the restricted black box
+  /// (dimension d-1); returns the spec.
+  std::function<ObliviousSpec(int, math::Int, const fn::DiscreteFunction&)>
+      restriction_provider;
+};
+
+/// The restriction of `f` dropping input i pinned at value j: a black box
+/// of dimension d-1 over the remaining inputs in order.
+[[nodiscard]] fn::DiscreteFunction drop_input(const fn::DiscreteFunction& f,
+                                              int i, math::Int j);
+
+/// Compiles the spec into an output-oblivious CRN with a leader.
+[[nodiscard]] crn::Crn compile_theorem52(const ObliviousSpec& spec,
+                                         const Theorem52Options& options = {});
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_THEOREM52_H_

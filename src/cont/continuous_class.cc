@@ -1,0 +1,54 @@
+#include "cont/continuous_class.h"
+
+#include "math/check.h"
+
+namespace crnkit::cont {
+
+using math::Rational;
+using math::RatVec;
+
+InfinityScaling::InfinityScaling(int dimension) : d_(dimension) {
+  require(d_ >= 1 && d_ <= 31, "InfinityScaling: dimension out of range");
+}
+
+void InfinityScaling::set_face(unsigned mask, PiecewiseLinearMin face) {
+  require(mask < (1u << d_), "InfinityScaling::set_face: bad mask");
+  require(face.dimension() == d_,
+          "InfinityScaling::set_face: face dimension mismatch");
+  faces_.emplace(mask, std::move(face));
+}
+
+unsigned InfinityScaling::face_of(const RatVec& z) const {
+  require(static_cast<int>(z.size()) == d_,
+          "InfinityScaling::face_of: dimension mismatch");
+  unsigned mask = 0;
+  for (int i = 0; i < d_; ++i) {
+    require(!z[static_cast<std::size_t>(i)].is_negative(),
+            "InfinityScaling: negative coordinate");
+    if (z[static_cast<std::size_t>(i)].is_zero()) mask |= (1u << i);
+  }
+  return mask;
+}
+
+Rational InfinityScaling::operator()(const RatVec& z) const {
+  const unsigned mask = face_of(z);
+  const auto it = faces_.find(mask);
+  require(it != faces_.end(),
+          "InfinityScaling: face " + std::to_string(mask) + " not defined");
+  return it->second(z);
+}
+
+std::optional<std::pair<RatVec, RatVec>>
+InfinityScaling::find_superadditivity_violation(
+    const std::vector<RatVec>& points) const {
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      if ((*this)(a) + (*this)(b) > (*this)(math::add(a, b))) {
+        return std::make_pair(a, b);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace crnkit::cont

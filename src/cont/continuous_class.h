@@ -1,0 +1,53 @@
+// The function class of Chalk-Kornerup-Reeves-Soloveichik [9] (the paper's
+// continuous counterpart, Section 8): fhat : R^d_{>=0} -> R_{>=0} is
+// obliviously-computable by a continuous CRN iff it is superadditive,
+// positive-continuous, and piecewise rational-linear.
+//
+// InfinityScaling materializes the scaling of a discrete obliviously-
+// computable function as one min-of-linear per face D_S = {z : z_i = 0 iff
+// i in S} (the proof of Theorem 8.2 derives the face data from fixed-input
+// restrictions), and the checkers sample-verify the three class properties.
+#ifndef CRNKIT_CONT_CONTINUOUS_CLASS_H_
+#define CRNKIT_CONT_CONTINUOUS_CLASS_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cont/scaling.h"
+
+namespace crnkit::cont {
+
+/// A positive-continuous piecewise rational-linear function presented per
+/// face: for each subset S of zeroed coordinates (bitmask), the min of
+/// linear functionals governing D_S.
+class InfinityScaling {
+ public:
+  explicit InfinityScaling(int dimension);
+
+  /// Sets the min-of-linear data for the face with zero set `mask`
+  /// (bit i set means z_i = 0 on this face).
+  void set_face(unsigned mask, PiecewiseLinearMin face);
+
+  [[nodiscard]] int dimension() const { return d_; }
+
+  /// Face mask of a point: bit i set iff z_i == 0.
+  [[nodiscard]] unsigned face_of(const math::RatVec& z) const;
+
+  /// Exact evaluation; throws if the point's face was never set.
+  [[nodiscard]] math::Rational operator()(const math::RatVec& z) const;
+
+  /// Superadditivity fhat(a) + fhat(b) <= fhat(a+b) on all pairs from
+  /// `points`; returns a violating pair if any.
+  [[nodiscard]] std::optional<std::pair<math::RatVec, math::RatVec>>
+  find_superadditivity_violation(const std::vector<math::RatVec>& points)
+      const;
+
+ private:
+  int d_;
+  std::map<unsigned, PiecewiseLinearMin> faces_;
+};
+
+}  // namespace crnkit::cont
+
+#endif  // CRNKIT_CONT_CONTINUOUS_CLASS_H_

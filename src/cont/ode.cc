@@ -1,0 +1,63 @@
+#include "cont/ode.h"
+
+#include <cmath>
+
+#include "math/check.h"
+
+namespace crnkit::cont {
+
+Concentrations mass_action_drift(const crn::Crn& crn, const Concentrations& c,
+                                 const std::vector<double>& rates) {
+  Concentrations drift(c.size(), 0.0);
+  for (std::size_t j = 0; j < crn.reactions().size(); ++j) {
+    const crn::Reaction& r = crn.reactions()[j];
+    double flux = rates.empty() ? 1.0 : rates[j];
+    for (const crn::Term& t : r.reactants()) {
+      flux *= std::pow(std::max(c[static_cast<std::size_t>(t.species)], 0.0),
+                       static_cast<double>(t.count));
+    }
+    if (flux == 0.0) continue;
+    for (const crn::Term& t : r.reactants()) {
+      drift[static_cast<std::size_t>(t.species)] -=
+          flux * static_cast<double>(t.count);
+    }
+    for (const crn::Term& t : r.products()) {
+      drift[static_cast<std::size_t>(t.species)] +=
+          flux * static_cast<double>(t.count);
+    }
+  }
+  return drift;
+}
+
+Concentrations integrate_mass_action(const crn::Crn& crn,
+                                     const Concentrations& initial,
+                                     const OdeOptions& options) {
+  require(initial.size() == crn.species_count(),
+          "integrate_mass_action: state size mismatch");
+  require(options.rates.empty() ||
+              options.rates.size() == crn.reactions().size(),
+          "integrate_mass_action: rates size mismatch");
+  require(options.dt > 0 && options.t_end > 0,
+          "integrate_mass_action: bad time parameters");
+
+  Concentrations c = initial;
+  const std::size_t n = c.size();
+  const auto steps = static_cast<std::size_t>(options.t_end / options.dt);
+  Concentrations k1, k2, k3, k4, tmp(n);
+  for (std::size_t step = 0; step < steps; ++step) {
+    k1 = mass_action_drift(crn, c, options.rates);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = c[i] + 0.5 * options.dt * k1[i];
+    k2 = mass_action_drift(crn, tmp, options.rates);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = c[i] + 0.5 * options.dt * k2[i];
+    k3 = mass_action_drift(crn, tmp, options.rates);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = c[i] + options.dt * k3[i];
+    k4 = mass_action_drift(crn, tmp, options.rates);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] += options.dt / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+      if (c[i] < 0.0) c[i] = 0.0;
+    }
+  }
+  return c;
+}
+
+}  // namespace crnkit::cont

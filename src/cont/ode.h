@@ -1,0 +1,39 @@
+// Deterministic mass-action semantics for continuous CRNs: the ODE
+//   dc/dt = sum_j k_j (prod_s c_s^{r_{j,s}}) (P_j - R_j)
+// integrated with classic fixed-step RK4. Used to demonstrate the
+// continuous side of Section 8 (e.g. X1 + X2 -> Y drives Y to
+// min(x1, x2) as t -> infinity in the continuous model).
+#ifndef CRNKIT_CONT_ODE_H_
+#define CRNKIT_CONT_ODE_H_
+
+#include <vector>
+
+#include "crn/network.h"
+
+namespace crnkit::cont {
+
+/// Real-valued concentrations indexed by SpeciesId.
+using Concentrations = std::vector<double>;
+
+struct OdeOptions {
+  double dt = 1e-3;
+  double t_end = 50.0;
+  /// Per-reaction rate constants; empty means all 1.0.
+  std::vector<double> rates;
+};
+
+/// The mass-action drift at state c.
+[[nodiscard]] Concentrations mass_action_drift(const crn::Crn& crn,
+                                               const Concentrations& c,
+                                               const std::vector<double>&
+                                                   rates);
+
+/// Integrates the mass-action ODE from `initial` with RK4; concentrations
+/// are clamped at 0 to absorb integration error near the boundary.
+[[nodiscard]] Concentrations integrate_mass_action(
+    const crn::Crn& crn, const Concentrations& initial,
+    const OdeOptions& options = {});
+
+}  // namespace crnkit::cont
+
+#endif  // CRNKIT_CONT_ODE_H_

@@ -1,0 +1,75 @@
+#include "cont/scaling.h"
+
+#include <cmath>
+
+#include "math/check.h"
+
+namespace crnkit::cont {
+
+using math::Rational;
+using math::RatVec;
+
+PiecewiseLinearMin::PiecewiseLinearMin(std::vector<RatVec> gradients)
+    : gradients_(std::move(gradients)) {
+  require(!gradients_.empty(), "PiecewiseLinearMin: no gradients");
+  for (const auto& g : gradients_) {
+    require(g.size() == gradients_.front().size(),
+            "PiecewiseLinearMin: mixed dimensions");
+  }
+}
+
+Rational PiecewiseLinearMin::operator()(const RatVec& z) const {
+  Rational best = math::dot(gradients_.front(), z);
+  for (std::size_t k = 1; k < gradients_.size(); ++k) {
+    const Rational v = math::dot(gradients_[k], z);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+bool PiecewiseLinearMin::check_superadditive_on(
+    const std::vector<RatVec>& points) const {
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      const Rational lhs = (*this)(a) + (*this)(b);
+      if (lhs > (*this)(math::add(a, b))) return false;
+    }
+  }
+  return true;
+}
+
+RatVec scaling_of(const fn::QuiltAffine& g) { return g.gradient(); }
+
+PiecewiseLinearMin scaling_of(const fn::MinOfQuiltAffine& m) {
+  std::vector<RatVec> gradients;
+  gradients.reserve(m.parts().size());
+  for (const auto& g : m.parts()) gradients.push_back(g.gradient());
+  return PiecewiseLinearMin(std::move(gradients));
+}
+
+double scaling_estimate(const fn::DiscreteFunction& f,
+                        const std::vector<double>& z, double c) {
+  require(static_cast<int>(z.size()) == f.dimension(),
+          "scaling_estimate: dimension mismatch");
+  require(c > 0, "scaling_estimate: scale must be positive");
+  fn::Point x(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    require(z[i] >= 0, "scaling_estimate: negative coordinate");
+    x[i] = static_cast<math::Int>(std::floor(c * z[i]));
+  }
+  return static_cast<double>(f(x)) / c;
+}
+
+std::vector<double> scaling_estimates(const fn::DiscreteFunction& f,
+                                      const std::vector<double>& z, double c0,
+                                      int count) {
+  std::vector<double> out;
+  double c = c0;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(scaling_estimate(f, z, c));
+    c *= 2.0;
+  }
+  return out;
+}
+
+}  // namespace crnkit::cont

@@ -1,0 +1,64 @@
+// The infinity-scaling of Definition 8.1 and the discrete-to-continuous
+// bridge of Theorem 8.2.
+//
+// For quilt-affine g, the scaling lim_c g(floor(cz))/c is exactly the linear
+// functional grad_g . z (the periodic offset washes out); for an eventually-
+// min-of-quilt-affine f the scaling on the positive orthant is the min of
+// the part gradients. This module provides both the exact scaled objects
+// and numeric estimators from the black box, so Theorem 8.2 can be checked
+// computationally.
+#ifndef CRNKIT_CONT_SCALING_H_
+#define CRNKIT_CONT_SCALING_H_
+
+#include <vector>
+
+#include "fn/quilt_affine.h"
+
+namespace crnkit::cont {
+
+/// min_k (gradient_k . z) over R^d_{>=0}: the scaling limit of a min of
+/// quilt-affine functions on the positive orthant (Equation (4) of the
+/// paper's proof of Theorem 8.2).
+class PiecewiseLinearMin {
+ public:
+  explicit PiecewiseLinearMin(std::vector<math::RatVec> gradients);
+
+  [[nodiscard]] int dimension() const {
+    return static_cast<int>(gradients_.front().size());
+  }
+  [[nodiscard]] const std::vector<math::RatVec>& gradients() const {
+    return gradients_;
+  }
+
+  /// Exact evaluation at a rational point.
+  [[nodiscard]] math::Rational operator()(const math::RatVec& z) const;
+
+  /// True iff superadditive: for positively-homogeneous min-of-linear
+  /// functions this always holds; exposed for test cross-checks on sampled
+  /// pairs.
+  [[nodiscard]] bool check_superadditive_on(
+      const std::vector<math::RatVec>& points) const;
+
+ private:
+  std::vector<math::RatVec> gradients_;
+};
+
+/// The exact scaling of one quilt-affine function: its gradient.
+[[nodiscard]] math::RatVec scaling_of(const fn::QuiltAffine& g);
+
+/// The exact scaling of a min of quilt-affine functions on R^d_{>0}.
+[[nodiscard]] PiecewiseLinearMin scaling_of(const fn::MinOfQuiltAffine& m);
+
+/// Numeric estimate f(floor(c z)) / c of the scaling of a black box.
+[[nodiscard]] double scaling_estimate(const fn::DiscreteFunction& f,
+                                      const std::vector<double>& z, double c);
+
+/// Sequence of estimates at c, 2c, 4c, ... (length `count`), for observing
+/// the convergence in Definition 8.1.
+[[nodiscard]] std::vector<double> scaling_estimates(
+    const fn::DiscreteFunction& f, const std::vector<double>& z,
+    double c0, int count);
+
+}  // namespace crnkit::cont
+
+#endif  // CRNKIT_CONT_SCALING_H_

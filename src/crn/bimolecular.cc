@@ -1,0 +1,62 @@
+#include "crn/bimolecular.h"
+
+#include "crn/checks.h"
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+math::Int max_reaction_order(const Crn& crn) {
+  math::Int best = 0;
+  for (const Reaction& r : crn.reactions()) best = std::max(best, r.order());
+  return best;
+}
+
+Crn to_bimolecular(const Crn& crn) {
+  Crn out(crn.name() + "+bimolecular");
+  for (const std::string& s : crn.species_table().names()) out.add_species(s);
+
+  int complex_counter = 0;
+  for (const Reaction& r : crn.reactions()) {
+    if (r.order() <= 2) {
+      out.add_reaction(r);
+      continue;
+    }
+    // Flatten the reactant multiset into an ordered list.
+    std::vector<SpeciesId> flat;
+    for (const Term& t : r.reactants()) {
+      for (math::Int c = 0; c < t.count; ++c) flat.push_back(t.species);
+    }
+    // Chain: C2 <-> r1 + r2; C_{k+1} <-> C_k + r_{k+1}; final step consumes
+    // C_{n-1} + r_n irreversibly into the products.
+    SpeciesId current = flat[0];
+    for (std::size_t k = 1; k + 1 < flat.size(); ++k) {
+      const std::string cname = "cplx#" + std::to_string(complex_counter) +
+                                "#" + std::to_string(k);
+      const SpeciesId complex_id = out.add_species(cname);
+      out.add_reaction(Reaction({{current, 1}, {flat[k], 1}},
+                                {{complex_id, 1}}));
+      out.add_reaction(Reaction({{complex_id, 1}},
+                                {{current, 1}, {flat[k], 1}}));
+      current = complex_id;
+    }
+    std::vector<Term> products(r.products().begin(), r.products().end());
+    out.add_reaction(
+        Reaction({{current, 1}, {flat.back(), 1}}, std::move(products)));
+    ++complex_counter;
+  }
+
+  std::vector<std::string> input_names;
+  for (const SpeciesId id : crn.inputs()) {
+    input_names.push_back(crn.species_name(id));
+  }
+  if (!input_names.empty()) out.set_input_species(input_names);
+  if (crn.output()) {
+    out.set_output_species(crn.species_name(*crn.output()));
+  }
+  if (crn.leader()) out.set_leader_species(crn.species_name(*crn.leader()));
+  ensure(max_reaction_order(out) <= 2,
+         "to_bimolecular: conversion left a higher-order reaction");
+  return out;
+}
+
+}  // namespace crnkit::crn

@@ -1,0 +1,29 @@
+// Conversion of higher-order reactions to (at most) bimolecular form,
+// following the paper's footnote 5: "3X -> Y is equivalent to two reactions
+// 2X <-> X2 and X + X2 -> Y". Reversible pairing of reactants into complex
+// species preserves reachability-based stable computation (partial complexes
+// can always dissociate), and output-obliviousness is preserved because
+// complex species are fresh and the back reactions only release original
+// reactants (never the output).
+//
+// This is the bridge to the population-protocol view of the model
+// (Section 1): population protocols are CRNs with two reactants and two
+// products; after this pass every reaction has at most two reactants.
+#ifndef CRNKIT_CRN_BIMOLECULAR_H_
+#define CRNKIT_CRN_BIMOLECULAR_H_
+
+#include "crn/network.h"
+
+namespace crnkit::crn {
+
+/// Rewrites every reaction of order >= 3 into a chain of reversible
+/// pairings plus one final irreversible step. Reactions of order <= 2 are
+/// kept as-is. Roles are preserved.
+[[nodiscard]] Crn to_bimolecular(const Crn& crn);
+
+/// The largest reactant order over all reactions.
+[[nodiscard]] math::Int max_reaction_order(const Crn& crn);
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_BIMOLECULAR_H_

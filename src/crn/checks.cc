@@ -1,0 +1,45 @@
+#include "crn/checks.h"
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+bool is_output_oblivious(const Crn& crn) {
+  const SpeciesId y = crn.output_or_throw();
+  for (const Reaction& r : crn.reactions()) {
+    if (r.reactant_count(y) > 0) return false;
+  }
+  return true;
+}
+
+bool is_output_monotonic(const Crn& crn) {
+  const SpeciesId y = crn.output_or_throw();
+  for (const Reaction& r : crn.reactions()) {
+    if (r.net_change(y) < 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> find_output_consuming_reaction(const Crn& crn) {
+  const SpeciesId y = crn.output_or_throw();
+  for (const Reaction& r : crn.reactions()) {
+    if (r.reactant_count(y) > 0) return r.to_string(crn.species_table());
+  }
+  return std::nullopt;
+}
+
+void require_output_oblivious(const Crn& crn) {
+  const auto bad = find_output_consuming_reaction(crn);
+  ensure(!bad.has_value(), "CRN '" + crn.name() +
+                               "' is not output-oblivious; offending "
+                               "reaction: " +
+                               bad.value_or(""));
+}
+
+void require_computing_shape(const Crn& crn) {
+  // Zero-input modules (constants) are legal inside circuits; an output is
+  // always required.
+  (void)crn.output_or_throw();
+}
+
+}  // namespace crnkit::crn

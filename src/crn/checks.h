@@ -1,0 +1,37 @@
+// Syntactic checks from Section 2.3: output-oblivious (the output species
+// never appears as a reactant) and output-monotonic (no reaction decreases
+// the output count). Obliviousness is the paper's central composability
+// notion; Observation 2.4 shows the two classes compute the same functions.
+#ifndef CRNKIT_CRN_CHECKS_H_
+#define CRNKIT_CRN_CHECKS_H_
+
+#include <optional>
+#include <string>
+
+#include "crn/network.h"
+
+namespace crnkit::crn {
+
+/// True iff no reaction uses the declared output species as a reactant.
+[[nodiscard]] bool is_output_oblivious(const Crn& crn);
+
+/// True iff no reaction strictly decreases the output count (the weaker
+/// notion of [13], footnote 7).
+[[nodiscard]] bool is_output_monotonic(const Crn& crn);
+
+/// The first reaction (rendered) violating output-obliviousness, if any.
+[[nodiscard]] std::optional<std::string> find_output_consuming_reaction(
+    const Crn& crn);
+
+/// Throws std::logic_error unless the CRN is output-oblivious. Compilers
+/// call this on everything they emit.
+void require_output_oblivious(const Crn& crn);
+
+/// Basic well-formedness for function computation: an output species must
+/// be declared (inputs may be empty for constant modules). Throws on
+/// violation.
+void require_computing_shape(const Crn& crn);
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_CHECKS_H_

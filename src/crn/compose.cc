@@ -1,0 +1,349 @@
+#include "crn/compose.h"
+
+#include <map>
+#include <set>
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+Crn concatenate(const Crn& upstream, const Crn& downstream,
+                const std::string& name) {
+  require_computing_shape(upstream);
+  require_computing_shape(downstream);
+  require(downstream.input_arity() == 1,
+          "concatenate: downstream must take exactly one input");
+
+  const Crn f = prefix_species(upstream, "f.");
+  // Rename downstream's input species to upstream's (prefixed) output, the
+  // paper's literal "rename output of C_f to match input of C_g".
+  const std::string common =
+      "f." + upstream.species_name(upstream.output_or_throw());
+  Crn g = prefix_species(downstream, "g.");
+  g = rename_species(
+      g, {{g.species_name(g.inputs()[0]), common}});
+
+  Crn out(name);
+  for (const std::string& s : f.species_table().names()) {
+    out.get_or_add_species(s);
+  }
+  for (const std::string& s : g.species_table().names()) {
+    out.get_or_add_species(s);
+  }
+  auto absorb = [&out](const Crn& part) {
+    for (const Reaction& r : part.reactions()) {
+      std::vector<Term> reactants;
+      std::vector<Term> products;
+      for (const Term& t : r.reactants()) {
+        reactants.push_back({out.species(part.species_name(t.species)),
+                             t.count});
+      }
+      for (const Term& t : r.products()) {
+        products.push_back({out.species(part.species_name(t.species)),
+                            t.count});
+      }
+      out.add_reaction(Reaction(std::move(reactants), std::move(products)));
+    }
+  };
+  absorb(f);
+  absorb(g);
+
+  std::vector<std::string> input_names;
+  for (const SpeciesId id : f.inputs()) {
+    input_names.push_back(f.species_name(id));
+  }
+  out.set_input_species(input_names);
+  out.set_output_species(g.species_name(g.output_or_throw()));
+
+  // L -> Lf + Lg for whichever leaders exist.
+  std::vector<std::pair<std::string, math::Int>> split;
+  if (f.leader()) split.emplace_back(f.species_name(*f.leader()), 1);
+  if (g.leader()) split.emplace_back(g.species_name(*g.leader()), 1);
+  if (!split.empty()) {
+    out.add_reaction({{"L", 1}}, split);
+    out.set_leader_species("L");
+  }
+  return out;
+}
+
+Circuit::Circuit(int arity, std::string name)
+    : arity_(arity), name_(std::move(name)) {
+  require(arity_ >= 1, "Circuit: arity must be >= 1");
+}
+
+int Circuit::add_module(Crn module) {
+  require_computing_shape(module);
+  require_output_oblivious(module);
+  modules_.push_back(std::move(module));
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+const Crn& Circuit::module(int m) const {
+  require(m >= 0 && m < module_count(), "Circuit::module: bad index");
+  return modules_[static_cast<std::size_t>(m)];
+}
+
+void Circuit::connect(Wire source, int m, int port) {
+  require(m >= 0 && m < module_count(), "Circuit::connect: bad module");
+  require(port >= 0 && port < module(m).input_arity(),
+          "Circuit::connect: bad port");
+  if (source.module == -1) {
+    require(source.input >= 0 && source.input < arity_,
+            "Circuit::connect: bad external input");
+  } else {
+    require(source.module >= 0 && source.module < module_count(),
+            "Circuit::connect: bad source module");
+    require(source.module != m, "Circuit::connect: self-loop");
+  }
+  connections_.push_back({source, m, port});
+}
+
+void Circuit::add_output(Wire source) {
+  if (source.module == -1) {
+    require(source.input >= 0 && source.input < arity_,
+            "Circuit::add_output: bad external input");
+  } else {
+    require(source.module >= 0 && source.module < module_count(),
+            "Circuit::add_output: bad source module");
+  }
+  outputs_.push_back(source);
+}
+
+std::string Circuit::wire_species_name(const Wire& w) const {
+  if (w.module == -1) return "X" + std::to_string(w.input + 1);
+  const Crn& m = module(w.module);
+  return "m" + std::to_string(w.module) + "." +
+         m.species_name(m.output_or_throw());
+}
+
+Crn Circuit::compile() const {
+  require(!outputs_.empty(), "Circuit::compile: no output declared");
+
+  // Every port connected exactly once.
+  std::set<std::pair<int, int>> seen_ports;
+  for (const Connection& c : connections_) {
+    require(seen_ports.insert({c.module, c.port}).second,
+            "Circuit::compile: port connected twice");
+  }
+  for (int m = 0; m < module_count(); ++m) {
+    for (int port = 0; port < module(m).input_arity(); ++port) {
+      require(seen_ports.count({m, port}) > 0,
+              "Circuit::compile: module " + std::to_string(m) + " port " +
+                  std::to_string(port) + " unconnected");
+    }
+  }
+
+  // Feed-forward check: module dependency graph must be acyclic.
+  {
+    std::vector<std::vector<int>> deps(modules_.size());
+    for (const Connection& c : connections_) {
+      if (c.source.module != -1) {
+        deps[static_cast<std::size_t>(c.module)].push_back(c.source.module);
+      }
+    }
+    std::vector<int> state(modules_.size(), 0);  // 0 new, 1 active, 2 done
+    std::function<void(int)> dfs = [&](int m) {
+      require(state[static_cast<std::size_t>(m)] != 1,
+              "Circuit::compile: cycle through module " + std::to_string(m));
+      if (state[static_cast<std::size_t>(m)] == 2) return;
+      state[static_cast<std::size_t>(m)] = 1;
+      for (const int dep : deps[static_cast<std::size_t>(m)]) dfs(dep);
+      state[static_cast<std::size_t>(m)] = 2;
+    };
+    for (int m = 0; m < module_count(); ++m) dfs(m);
+  }
+
+  // Consumer census per wire. A consumer is either a (module, port) pair or
+  // the circuit output Y (module == -2 marker).
+  struct Consumer {
+    int module;  // -2 means circuit output
+    int port;
+  };
+  std::map<Wire, std::vector<Consumer>> consumers;
+  for (const Connection& c : connections_) {
+    consumers[c.source].push_back({c.module, c.port});
+  }
+  for (const Wire& w : outputs_) consumers[w].push_back({-2, 0});
+
+  // Decide renames: single-consumer wires unify names, except that an
+  // external input is never renamed onto Y (a conversion reaction is used).
+  std::vector<std::map<std::string, std::string>> renames(modules_.size());
+  std::set<Wire> fanout_wires;
+  for (const auto& [wire, cs] : consumers) {
+    if (cs.size() == 1) {
+      const Consumer& c = cs.front();
+      if (c.module == -2) {
+        if (wire.module != -1) {
+          // Module output renamed to the circuit output Y.
+          const Crn& m = module(wire.module);
+          renames[static_cast<std::size_t>(wire.module)]
+                 [m.species_name(m.output_or_throw())] = "Y";
+        } else {
+          fanout_wires.insert(wire);  // external input -> Y conversion
+        }
+      } else {
+        // Input port renamed to the wire's species.
+        const Crn& m = module(c.module);
+        renames[static_cast<std::size_t>(c.module)]
+               [m.species_name(m.inputs()[static_cast<std::size_t>(c.port)])] =
+            wire_species_name(wire);
+      }
+    } else {
+      fanout_wires.insert(wire);
+    }
+  }
+
+  // Build the composed CRN.
+  Crn out(name_);
+  std::vector<std::string> external_names;
+  for (int i = 0; i < arity_; ++i) {
+    external_names.push_back("X" + std::to_string(i + 1));
+    out.add_species(external_names.back());
+  }
+  out.get_or_add_species("Y");
+
+  std::vector<Crn> placed;
+  placed.reserve(modules_.size());
+  for (int m = 0; m < module_count(); ++m) {
+    Crn renamed = prefix_species(module(m), "m" + std::to_string(m) + ".");
+    // The per-module rename map refers to unprefixed names; translate.
+    std::map<std::string, std::string> prefixed;
+    for (const auto& [from, to] : renames[static_cast<std::size_t>(m)]) {
+      prefixed["m" + std::to_string(m) + "." + from] = to;
+    }
+    if (!prefixed.empty()) renamed = rename_species(renamed, prefixed);
+    for (const std::string& s : renamed.species_table().names()) {
+      out.get_or_add_species(s);
+    }
+    for (const Reaction& r : renamed.reactions()) {
+      std::vector<Term> reactants;
+      std::vector<Term> products;
+      for (const Term& t : r.reactants()) {
+        reactants.push_back({out.species(renamed.species_name(t.species)),
+                             t.count});
+      }
+      for (const Term& t : r.products()) {
+        products.push_back({out.species(renamed.species_name(t.species)),
+                            t.count});
+      }
+      out.add_reaction(Reaction(std::move(reactants), std::move(products)));
+    }
+    placed.push_back(std::move(renamed));
+  }
+
+  // Fan-out / conversion reactions.
+  for (const Wire& wire : fanout_wires) {
+    std::string source_name;
+    if (wire.module == -1) {
+      source_name = external_names[static_cast<std::size_t>(wire.input)];
+    } else {
+      const Crn& m = placed[static_cast<std::size_t>(wire.module)];
+      source_name = m.species_name(m.output_or_throw());
+    }
+    std::vector<std::pair<std::string, math::Int>> products;
+    for (const Consumer& c : consumers.at(wire)) {
+      if (c.module == -2) {
+        products.emplace_back("Y", 1);
+      } else {
+        const Crn& m = placed[static_cast<std::size_t>(c.module)];
+        products.emplace_back(
+            m.species_name(m.inputs()[static_cast<std::size_t>(c.port)]), 1);
+      }
+    }
+    out.add_reaction({{source_name, 1}}, products);
+  }
+
+  // Roles.
+  out.set_input_species(external_names);
+  out.set_output_species("Y");
+  std::vector<std::pair<std::string, math::Int>> split;
+  for (std::size_t m = 0; m < placed.size(); ++m) {
+    if (placed[m].leader()) {
+      split.emplace_back(placed[m].species_name(*placed[m].leader()), 1);
+    }
+  }
+  if (!split.empty()) {
+    out.add_reaction({{"L", 1}}, split);
+    out.set_leader_species("L");
+  }
+  require_output_oblivious(out);
+  return out;
+}
+
+TupleCrn parallel_tuple(const std::vector<Crn>& components,
+                        const std::string& name) {
+  require(!components.empty(), "parallel_tuple: no components");
+  const int d = components.front().input_arity();
+  require(d >= 1, "parallel_tuple: components need inputs");
+  for (const Crn& c : components) {
+    require(c.input_arity() == d, "parallel_tuple: mixed arities");
+    require_computing_shape(c);
+    require_output_oblivious(c);
+  }
+
+  TupleCrn out;
+  out.crn.set_name(name);
+  std::vector<std::string> external;
+  for (int i = 0; i < d; ++i) {
+    external.push_back("X" + std::to_string(i + 1));
+    out.crn.add_species(external.back());
+  }
+
+  std::vector<Crn> placed;
+  for (std::size_t k = 0; k < components.size(); ++k) {
+    Crn renamed =
+        prefix_species(components[k], "m" + std::to_string(k) + ".");
+    // The component's output becomes the tuple output Y{k+1}.
+    const std::string y = "Y" + std::to_string(k + 1);
+    renamed = rename_species(
+        renamed, {{renamed.species_name(renamed.output_or_throw()), y}});
+    for (const std::string& s : renamed.species_table().names()) {
+      out.crn.get_or_add_species(s);
+    }
+    for (const Reaction& r : renamed.reactions()) {
+      std::vector<Term> reactants;
+      std::vector<Term> products;
+      for (const Term& t : r.reactants()) {
+        reactants.push_back(
+            {out.crn.species(renamed.species_name(t.species)), t.count});
+      }
+      for (const Term& t : r.products()) {
+        products.push_back(
+            {out.crn.species(renamed.species_name(t.species)), t.count});
+      }
+      out.crn.add_reaction(
+          Reaction(std::move(reactants), std::move(products)));
+    }
+    out.outputs.push_back(y);
+    placed.push_back(std::move(renamed));
+  }
+
+  // Fan each external input out to every module's corresponding port.
+  for (int i = 0; i < d; ++i) {
+    std::vector<std::pair<std::string, math::Int>> copies;
+    for (const Crn& m : placed) {
+      copies.emplace_back(
+          m.species_name(m.inputs()[static_cast<std::size_t>(i)]), 1);
+    }
+    out.crn.add_reaction({{external[static_cast<std::size_t>(i)], 1}},
+                         copies);
+  }
+
+  out.crn.set_input_species(external);
+  // Declare the first component's output as "the" output so single-output
+  // tooling (checks, config printing) still works; all outputs are in
+  // `outputs`.
+  out.crn.set_output_species(out.outputs.front());
+
+  std::vector<std::pair<std::string, math::Int>> split;
+  for (const Crn& m : placed) {
+    if (m.leader()) split.emplace_back(m.species_name(*m.leader()), 1);
+  }
+  if (!split.empty()) {
+    out.crn.add_reaction({{"L", 1}}, split);
+    out.crn.set_leader_species("L");
+  }
+  return out;
+}
+
+}  // namespace crnkit::crn

@@ -1,0 +1,119 @@
+// Composition of output-oblivious CRNs (Section 2.3, Observation 2.2).
+//
+// `concatenate` is the paper's literal construction: rename the upstream
+// output to the downstream input, keep all other species disjoint, and add
+// L -> Lf + Lg. `Circuit` generalizes it to arbitrary feed-forward wiring:
+// modules (CRNs with declared inputs/output), wires (external inputs or
+// module outputs), automatic fan-out reactions W -> W_1 + ... + W_k when a
+// wire has several consumers, sum junctions (several wires renamed onto the
+// circuit output), and a single top-level leader split across the modules.
+// This is exactly the machinery the Lemma 6.2 compiler needs.
+#ifndef CRNKIT_CRN_COMPOSE_H_
+#define CRNKIT_CRN_COMPOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "crn/checks.h"
+#include "crn/network.h"
+#include "crn/transform.h"
+
+namespace crnkit::crn {
+
+/// The concatenated CRN C_{g o f} of Section 2.3: upstream's output species
+/// is renamed to downstream's (single) input species, all other species are
+/// made disjoint, and a fresh leader splits into both module leaders.
+/// The caller is responsible for upstream being output-oblivious if the
+/// composition is to be correct (Observation 2.2); this function performs
+/// the syntactic construction either way (the Fig 1 `2 max` failure demo
+/// depends on being able to build the incorrect composition).
+[[nodiscard]] Crn concatenate(const Crn& upstream, const Crn& downstream,
+                              const std::string& name = "g.f");
+
+/// A source of molecules in a circuit: either external input i, or the
+/// output of module m.
+struct Wire {
+  int module = -1;  ///< -1 for external inputs
+  int input = -1;   ///< external input index when module == -1
+
+  [[nodiscard]] static Wire external(int input_index) {
+    return Wire{-1, input_index};
+  }
+  [[nodiscard]] static Wire of_module(int module_index) {
+    return Wire{module_index, -1};
+  }
+  friend bool operator<(const Wire& a, const Wire& b) {
+    return std::pair(a.module, a.input) < std::pair(b.module, b.input);
+  }
+  friend bool operator==(const Wire& a, const Wire& b) {
+    return a.module == b.module && a.input == b.input;
+  }
+};
+
+/// Feed-forward composition of output-oblivious modules.
+class Circuit {
+ public:
+  Circuit(int arity, std::string name = "circuit");
+
+  /// Adds a module instance (copied). The module must declare inputs and an
+  /// output, and must be output-oblivious (checked): only output-oblivious
+  /// upstream modules compose correctly.
+  int add_module(Crn module);
+
+  [[nodiscard]] int arity() const { return arity_; }
+  [[nodiscard]] int module_count() const {
+    return static_cast<int>(modules_.size());
+  }
+  [[nodiscard]] const Crn& module(int m) const;
+
+  /// Connects a wire to input port `port` of module `m`. Each port must be
+  /// connected exactly once before compile().
+  void connect(Wire source, int m, int port);
+
+  /// Declares a wire as (one summand of) the circuit output.
+  void add_output(Wire source);
+
+  /// Builds the composed CRN: external inputs X1..Xd, output Y, leader L
+  /// (only when some module has a leader), with fan-out reactions where a
+  /// wire has several consumers and renaming (unification) where it has one.
+  [[nodiscard]] Crn compile() const;
+
+ private:
+  struct Connection {
+    Wire source;
+    int module = 0;
+    int port = 0;
+  };
+
+  [[nodiscard]] std::string wire_species_name(const Wire& w) const;
+
+  int arity_;
+  std::string name_;
+  std::vector<Crn> modules_;
+  std::vector<Connection> connections_;
+  std::vector<Wire> outputs_;
+};
+
+/// A CRN computing a tuple-valued function f : N^d -> N^l, with one output
+/// species per component.
+struct TupleCrn {
+  Crn crn;
+  std::vector<std::string> outputs;  ///< names of Y1..Yl in declaration order
+
+  [[nodiscard]] math::Int output_count(const Config& config, int k) const {
+    return config[static_cast<std::size_t>(
+        crn.species(outputs[static_cast<std::size_t>(k)]))];
+  }
+};
+
+/// Footnote 6 of the paper: f : N^d -> N^l is stably computable iff each
+/// component is, "by parallel CRNs". Combines l single-output
+/// output-oblivious modules over the same d inputs: each input species fans
+/// out one copy per module, outputs become Y1..Yl, and a single leader
+/// splits into the module leaders.
+[[nodiscard]] TupleCrn parallel_tuple(const std::vector<Crn>& components,
+                                      const std::string& name = "tuple");
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_COMPOSE_H_

@@ -1,0 +1,47 @@
+#include "crn/invariants.h"
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+using math::Matrix;
+using math::Rational;
+using math::RatVec;
+
+Matrix stoichiometry_matrix(const Crn& crn) {
+  Matrix m(crn.reactions().size(), crn.species_count());
+  for (std::size_t j = 0; j < crn.reactions().size(); ++j) {
+    const Reaction& r = crn.reactions()[j];
+    for (const Term& t : r.reactants()) {
+      m.at(j, static_cast<std::size_t>(t.species)) -= Rational(t.count);
+    }
+    for (const Term& t : r.products()) {
+      m.at(j, static_cast<std::size_t>(t.species)) += Rational(t.count);
+    }
+  }
+  return m;
+}
+
+std::vector<RatVec> conservation_laws(const Crn& crn) {
+  return math::nullspace(stoichiometry_matrix(crn));
+}
+
+Rational invariant_value(const RatVec& w, const Config& config) {
+  require(w.size() == config.size(), "invariant_value: size mismatch");
+  Rational acc;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    acc += w[i] * Rational(config[i]);
+  }
+  return acc;
+}
+
+bool is_conserved(const Crn& crn, const RatVec& w) {
+  require(w.size() == crn.species_count(), "is_conserved: size mismatch");
+  const Matrix m = stoichiometry_matrix(crn);
+  for (std::size_t j = 0; j < m.rows(); ++j) {
+    if (!math::dot(m.row(j), w).is_zero()) return false;
+  }
+  return true;
+}
+
+}  // namespace crnkit::crn

@@ -1,0 +1,36 @@
+// Stoichiometric structure: the stoichiometry matrix and its conservation
+// laws (P-invariants). A conservation law is a rational weight vector w
+// with w . (P - R) = 0 for every reaction, so w . C is constant along
+// every reachable path — including every stochastic trajectory.
+//
+// Conservation laws are the workhorse sanity check of a CRN library
+// (Gillespie trajectories must preserve them exactly), and they explain
+// several of the paper's examples: the min CRN conserves x1 - x2 and
+// x1 + y; the Theorem 3.1 constructions conserve the leader-token count.
+#ifndef CRNKIT_CRN_INVARIANTS_H_
+#define CRNKIT_CRN_INVARIANTS_H_
+
+#include <vector>
+
+#include "crn/network.h"
+#include "math/matrix.h"
+
+namespace crnkit::crn {
+
+/// The |reactions| x |species| net-change matrix (row j = P_j - R_j).
+[[nodiscard]] math::Matrix stoichiometry_matrix(const Crn& crn);
+
+/// A basis of the conservation laws: all w with stoichiometry * w = 0
+/// (the right nullspace of the net-change matrix).
+[[nodiscard]] std::vector<math::RatVec> conservation_laws(const Crn& crn);
+
+/// Exact value of w . config.
+[[nodiscard]] math::Rational invariant_value(const math::RatVec& w,
+                                             const Config& config);
+
+/// True iff w is conserved by every reaction of the CRN.
+[[nodiscard]] bool is_conserved(const Crn& crn, const math::RatVec& w);
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_INVARIANTS_H_

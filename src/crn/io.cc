@@ -1,0 +1,84 @@
+#include "crn/io.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+std::string to_text(const Crn& crn) {
+  std::ostringstream os;
+  os << "crn " << crn.name() << "\n";
+  os << "species";
+  for (const std::string& s : crn.species_table().names()) os << " " << s;
+  os << "\n";
+  if (crn.input_arity() > 0) {
+    os << "inputs";
+    for (const SpeciesId id : crn.inputs()) {
+      os << " " << crn.species_name(id);
+    }
+    os << "\n";
+  }
+  if (crn.output()) {
+    os << "output " << crn.species_name(*crn.output()) << "\n";
+  }
+  if (crn.leader()) {
+    os << "leader " << crn.species_name(*crn.leader()) << "\n";
+  }
+  for (const Reaction& r : crn.reactions()) {
+    os << "rxn " << r.to_string(crn.species_table()) << "\n";
+  }
+  return os.str();
+}
+
+Crn from_text(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  Crn out;
+  bool named = false;
+  while (std::getline(stream, line)) {
+    // Trim leading whitespace; skip blanks and comments.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    line = line.substr(first);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream words(line);
+    std::string keyword;
+    words >> keyword;
+    if (keyword == "crn") {
+      std::string name;
+      std::getline(words, name);
+      const auto start = name.find_first_not_of(" \t");
+      out.set_name(start == std::string::npos ? "crn" : name.substr(start));
+      named = true;
+    } else if (keyword == "species") {
+      std::string s;
+      while (words >> s) out.get_or_add_species(s);
+    } else if (keyword == "inputs") {
+      std::vector<std::string> names;
+      std::string s;
+      while (words >> s) names.push_back(s);
+      out.set_input_species(names);
+    } else if (keyword == "output") {
+      std::string s;
+      require(static_cast<bool>(words >> s), "from_text: output needs a name");
+      out.set_output_species(s);
+    } else if (keyword == "leader") {
+      std::string s;
+      require(static_cast<bool>(words >> s), "from_text: leader needs a name");
+      out.set_leader_species(s);
+    } else if (keyword == "rxn") {
+      std::string rest;
+      std::getline(words, rest);
+      out.add_reaction_str(rest);
+    } else {
+      throw std::invalid_argument("from_text: unknown keyword '" + keyword +
+                                  "'");
+    }
+  }
+  require(named, "from_text: missing 'crn <name>' header");
+  return out;
+}
+
+}  // namespace crnkit::crn

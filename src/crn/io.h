@@ -1,0 +1,33 @@
+// Text serialization of CRNs. A CRN round-trips through a small line
+// format, so compiled networks can be saved, diffed, and reloaded:
+//
+//   crn <name>
+//   inputs X1 X2
+//   output Y
+//   leader L            (optional)
+//   rxn X1 + X2 -> Y
+//   rxn L -> 2 Y + L0
+//
+// Species are declared implicitly by the reactions and role lines; an
+// optional `species` line pins declaration order (ids) exactly, which keeps
+// round-trips id-stable.
+#ifndef CRNKIT_CRN_IO_H_
+#define CRNKIT_CRN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "crn/network.h"
+
+namespace crnkit::crn {
+
+/// Serializes the CRN (including declaration order, roles, reactions).
+[[nodiscard]] std::string to_text(const Crn& crn);
+
+/// Parses a CRN from the text format; throws std::invalid_argument on
+/// malformed input.
+[[nodiscard]] Crn from_text(const std::string& text);
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_IO_H_

@@ -1,0 +1,167 @@
+#include "crn/network.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+Crn::Crn(std::string name) : name_(std::move(name)) {}
+
+void Crn::add_reaction(Reaction r) {
+  for (const Term& t : r.reactants()) {
+    require(static_cast<std::size_t>(t.species) < table_.size(),
+            "Crn::add_reaction: unknown reactant species id");
+  }
+  for (const Term& t : r.products()) {
+    require(static_cast<std::size_t>(t.species) < table_.size(),
+            "Crn::add_reaction: unknown product species id");
+  }
+  reactions_.push_back(std::move(r));
+}
+
+void Crn::add_reaction(
+    const std::vector<std::pair<std::string, math::Int>>& reactants,
+    const std::vector<std::pair<std::string, math::Int>>& products) {
+  std::vector<Term> r;
+  std::vector<Term> p;
+  for (const auto& [name, count] : reactants) {
+    r.push_back({get_or_add_species(name), count});
+  }
+  for (const auto& [name, count] : products) {
+    p.push_back({get_or_add_species(name), count});
+  }
+  add_reaction(Reaction(std::move(r), std::move(p)));
+}
+
+namespace {
+
+/// Parses one side of a reaction string into (name, count) pairs.
+/// Accepts "A + 2 B + 3C", "0", and "" (the last two mean the empty side).
+std::vector<std::pair<std::string, math::Int>> parse_side(
+    const std::string& text) {
+  std::vector<std::pair<std::string, math::Int>> out;
+  std::string token;
+  std::vector<std::string> tokens;
+  std::istringstream stream(text);
+  std::string plus_separated;
+  while (std::getline(stream, plus_separated, '+')) {
+    tokens.push_back(plus_separated);
+  }
+  for (std::string t : tokens) {
+    // Trim whitespace.
+    const auto first = t.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = t.find_last_not_of(" \t");
+    t = t.substr(first, last - first + 1);
+    if (t == "0" || t.empty()) continue;
+    // Leading integer coefficient, optionally separated by whitespace.
+    std::size_t i = 0;
+    while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) {
+      ++i;
+    }
+    math::Int count = 1;
+    std::string name = t;
+    if (i > 0) {
+      count = std::stoll(t.substr(0, i));
+      name = t.substr(i);
+      const auto name_start = name.find_first_not_of(" \t");
+      require(name_start != std::string::npos,
+              "parse_side: coefficient without species in '" + t + "'");
+      name = name.substr(name_start);
+    }
+    out.emplace_back(name, count);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Crn::add_reaction_str(const std::string& text) {
+  const auto arrow = text.find("->");
+  require(arrow != std::string::npos,
+          "add_reaction_str: missing '->' in '" + text + "'");
+  add_reaction(parse_side(text.substr(0, arrow)),
+               parse_side(text.substr(arrow + 2)));
+}
+
+void Crn::set_input_species(const std::vector<std::string>& names) {
+  inputs_.clear();
+  for (const auto& name : names) inputs_.push_back(get_or_add_species(name));
+}
+
+void Crn::set_output_species(const std::string& name) {
+  output_ = get_or_add_species(name);
+}
+
+void Crn::set_leader_species(const std::string& name) {
+  leader_ = get_or_add_species(name);
+}
+
+SpeciesId Crn::output_or_throw() const {
+  require(output_.has_value(),
+          "Crn '" + name_ + "': no output species declared");
+  return *output_;
+}
+
+Config Crn::initial_configuration(const fn::Point& x) const {
+  require(static_cast<int>(x.size()) == input_arity(),
+          "Crn '" + name_ + "': input arity mismatch");
+  Config config(table_.size(), 0);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    require(x[i] >= 0, "Crn::initial_configuration: negative input");
+    config[static_cast<std::size_t>(inputs_[i])] += x[i];
+  }
+  if (leader_) config[static_cast<std::size_t>(*leader_)] += 1;
+  return config;
+}
+
+Config Crn::empty_configuration() const { return Config(table_.size(), 0); }
+
+math::Int Crn::output_count(const Config& config) const {
+  return config[static_cast<std::size_t>(output_or_throw())];
+}
+
+bool Crn::is_silent(const Config& config) const {
+  for (const Reaction& r : reactions_) {
+    if (r.applicable(config)) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Crn::applicable_reactions(const Config& config) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    if (reactions_[i].applicable(config)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Crn::to_string() const {
+  std::ostringstream os;
+  os << "CRN '" << name_ << "' (" << table_.size() << " species, "
+     << reactions_.size() << " reactions)\n";
+  os << "  inputs:";
+  for (const SpeciesId id : inputs_) os << " " << table_.name(id);
+  if (output_) os << "\n  output: " << table_.name(*output_);
+  if (leader_) os << "\n  leader: " << table_.name(*leader_);
+  for (const Reaction& r : reactions_) os << "\n  " << r.to_string(table_);
+  return os.str();
+}
+
+std::string Crn::config_to_string(const Config& config) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (std::size_t s = 0; s < config.size(); ++s) {
+    if (config[s] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << table_.name(static_cast<SpeciesId>(s)) << ": " << config[s];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace crnkit::crn

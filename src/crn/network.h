@@ -1,0 +1,105 @@
+// The chemical reaction network C = (S, R) of Section 2.2, with the roles
+// needed for stable function computation: an ordered list of input species
+// X_1..X_d, an output species Y, and an optional leader L.
+//
+// The initial configuration I_x encodes x with counts x(i) of X_i, one
+// leader (when a leader is declared), and zero of everything else.
+#ifndef CRNKIT_CRN_NETWORK_H_
+#define CRNKIT_CRN_NETWORK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crn/reaction.h"
+#include "crn/species.h"
+#include "fn/function.h"
+
+namespace crnkit::crn {
+
+class Crn {
+ public:
+  explicit Crn(std::string name = "crn");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- species ---
+  SpeciesId add_species(const std::string& name) { return table_.add(name); }
+  SpeciesId get_or_add_species(const std::string& name) {
+    return table_.get_or_add(name);
+  }
+  [[nodiscard]] SpeciesId species(const std::string& name) const {
+    return table_.id(name);
+  }
+  [[nodiscard]] bool has_species(const std::string& name) const {
+    return table_.find(name).has_value();
+  }
+  [[nodiscard]] const std::string& species_name(SpeciesId id) const {
+    return table_.name(id);
+  }
+  [[nodiscard]] std::size_t species_count() const { return table_.size(); }
+  [[nodiscard]] const SpeciesTable& species_table() const { return table_; }
+
+  // --- reactions ---
+  void add_reaction(Reaction r);
+  /// Adds a reaction given species names:
+  /// add_reaction({{"A",1},{"B",2}}, {{"C",1}}) is A + 2B -> C.
+  /// Unknown species are created.
+  void add_reaction(
+      const std::vector<std::pair<std::string, math::Int>>& reactants,
+      const std::vector<std::pair<std::string, math::Int>>& products);
+  /// Parses "A + 2 B -> C" / "X -> 2 Y + Z" / "L -> 0" (empty side "0").
+  void add_reaction_str(const std::string& text);
+  [[nodiscard]] const std::vector<Reaction>& reactions() const {
+    return reactions_;
+  }
+
+  // --- computation roles ---
+  void set_input_species(const std::vector<std::string>& names);
+  void set_output_species(const std::string& name);
+  void set_leader_species(const std::string& name);
+
+  [[nodiscard]] const std::vector<SpeciesId>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] int input_arity() const {
+    return static_cast<int>(inputs_.size());
+  }
+  [[nodiscard]] std::optional<SpeciesId> output() const { return output_; }
+  [[nodiscard]] SpeciesId output_or_throw() const;
+  [[nodiscard]] std::optional<SpeciesId> leader() const { return leader_; }
+
+  /// The initial configuration I_x (Section 2.2): counts x(i) of X_i, one
+  /// leader if declared, zero otherwise.
+  [[nodiscard]] Config initial_configuration(const fn::Point& x) const;
+
+  /// Zero configuration of the right width.
+  [[nodiscard]] Config empty_configuration() const;
+
+  /// Output count of a configuration.
+  [[nodiscard]] math::Int output_count(const Config& config) const;
+
+  /// True iff no reaction is applicable at `config` ("silent"; a silent
+  /// configuration is trivially stable).
+  [[nodiscard]] bool is_silent(const Config& config) const;
+
+  /// Indices of reactions applicable at `config`.
+  [[nodiscard]] std::vector<std::size_t> applicable_reactions(
+      const Config& config) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string config_to_string(const Config& config) const;
+
+ private:
+  std::string name_;
+  SpeciesTable table_;
+  std::vector<Reaction> reactions_;
+  std::vector<SpeciesId> inputs_;
+  std::optional<SpeciesId> output_;
+  std::optional<SpeciesId> leader_;
+};
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_NETWORK_H_

@@ -1,0 +1,94 @@
+#include "crn/reaction.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+namespace {
+
+std::vector<Term> normalize(std::vector<Term> terms, const char* side) {
+  std::map<SpeciesId, math::Int> merged;
+  for (const Term& t : terms) {
+    require(t.count >= 0, std::string("Reaction: negative count on ") + side);
+    if (t.count == 0) continue;
+    merged[t.species] += t.count;
+  }
+  std::vector<Term> out;
+  out.reserve(merged.size());
+  for (const auto& [species, count] : merged) out.push_back({species, count});
+  return out;
+}
+
+math::Int count_of(const std::vector<Term>& terms, SpeciesId s) {
+  for (const Term& t : terms) {
+    if (t.species == s) return t.count;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Reaction::Reaction(std::vector<Term> reactants, std::vector<Term> products)
+    : reactants_(normalize(std::move(reactants), "reactant side")),
+      products_(normalize(std::move(products), "product side")) {
+  require(!(reactants_.empty() && products_.empty()),
+          "Reaction: both sides empty");
+  // A no-op reaction (R == P) never changes any configuration; constructing
+  // one is almost certainly a bug in a compiler, so reject it.
+  require(!(reactants_.size() == products_.size() &&
+            std::equal(reactants_.begin(), reactants_.end(), products_.begin(),
+                       [](const Term& a, const Term& b) {
+                         return a.species == b.species && a.count == b.count;
+                       })),
+          "Reaction: reactants equal products (no-op)");
+}
+
+math::Int Reaction::reactant_count(SpeciesId s) const {
+  return count_of(reactants_, s);
+}
+
+math::Int Reaction::product_count(SpeciesId s) const {
+  return count_of(products_, s);
+}
+
+math::Int Reaction::order() const {
+  math::Int total = 0;
+  for (const Term& t : reactants_) total += t.count;
+  return total;
+}
+
+bool Reaction::applicable(const Config& config) const {
+  for (const Term& t : reactants_) {
+    if (config[static_cast<std::size_t>(t.species)] < t.count) return false;
+  }
+  return true;
+}
+
+void Reaction::apply_in_place(Config& config) const {
+  for (const Term& t : reactants_) {
+    config[static_cast<std::size_t>(t.species)] -= t.count;
+  }
+  for (const Term& t : products_) {
+    config[static_cast<std::size_t>(t.species)] += t.count;
+  }
+}
+
+std::string Reaction::to_string(const SpeciesTable& table) const {
+  auto side = [&](const std::vector<Term>& terms) {
+    if (terms.empty()) return std::string("0");
+    std::ostringstream os;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) os << " + ";
+      if (terms[i].count != 1) os << terms[i].count << " ";
+      os << table.name(terms[i].species);
+    }
+    return os.str();
+  };
+  return side(reactants_) + " -> " + side(products_);
+}
+
+}  // namespace crnkit::crn

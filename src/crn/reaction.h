@@ -1,0 +1,63 @@
+// Reactions (R, P) in N^S x N^S (Section 2.2): sparse reactant and product
+// term lists with positive counts, plus applicability and application to
+// configurations. A configuration is a dense count vector indexed by
+// SpeciesId.
+#ifndef CRNKIT_CRN_REACTION_H_
+#define CRNKIT_CRN_REACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "crn/species.h"
+#include "math/numtheory.h"
+
+namespace crnkit::crn {
+
+/// A configuration: molecular counts indexed by SpeciesId.
+using Config = std::vector<math::Int>;
+
+/// count copies of one species on one side of a reaction.
+struct Term {
+  SpeciesId species = 0;
+  math::Int count = 0;
+};
+
+class Reaction {
+ public:
+  /// Terms are merged, zero counts dropped, and sorted by species id.
+  /// A reaction must change the configuration (R != P) and may not have
+  /// both sides empty.
+  Reaction(std::vector<Term> reactants, std::vector<Term> products);
+
+  [[nodiscard]] const std::vector<Term>& reactants() const {
+    return reactants_;
+  }
+  [[nodiscard]] const std::vector<Term>& products() const { return products_; }
+
+  [[nodiscard]] math::Int reactant_count(SpeciesId s) const;
+  [[nodiscard]] math::Int product_count(SpeciesId s) const;
+
+  /// Net change of species s when the reaction fires.
+  [[nodiscard]] math::Int net_change(SpeciesId s) const {
+    return product_count(s) - reactant_count(s);
+  }
+
+  /// Total reactant multiplicity (the reaction's order).
+  [[nodiscard]] math::Int order() const;
+
+  /// True iff the configuration has all reactants.
+  [[nodiscard]] bool applicable(const Config& config) const;
+
+  /// Applies the reaction in place; the caller must check applicability.
+  void apply_in_place(Config& config) const;
+
+  [[nodiscard]] std::string to_string(const SpeciesTable& table) const;
+
+ private:
+  std::vector<Term> reactants_;
+  std::vector<Term> products_;
+};
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_REACTION_H_

@@ -1,0 +1,42 @@
+#include "crn/species.h"
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+SpeciesId SpeciesTable::add(const std::string& name) {
+  require(!name.empty(), "SpeciesTable::add: empty species name");
+  require(ids_.find(name) == ids_.end(),
+          "SpeciesTable::add: duplicate species '" + name + "'");
+  const SpeciesId id = static_cast<SpeciesId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+SpeciesId SpeciesTable::get_or_add(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  return add(name);
+}
+
+std::optional<SpeciesId> SpeciesTable::find(const std::string& name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+SpeciesId SpeciesTable::id(const std::string& name) const {
+  const auto it = ids_.find(name);
+  require(it != ids_.end(), "SpeciesTable::id: unknown species '" + name +
+                                "'");
+  return it->second;
+}
+
+const std::string& SpeciesTable::name(SpeciesId id) const {
+  require(id >= 0 && static_cast<std::size_t>(id) < names_.size(),
+          "SpeciesTable::name: bad id");
+  return names_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace crnkit::crn

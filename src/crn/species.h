@@ -1,0 +1,48 @@
+// Species identifiers and the name <-> id table used by every CRN.
+//
+// Species are dense integer ids into a per-CRN table, so configurations are
+// plain count vectors and reactions are sparse term lists. Names exist for
+// construction, composition (renaming), and diagnostics.
+#ifndef CRNKIT_CRN_SPECIES_H_
+#define CRNKIT_CRN_SPECIES_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crnkit::crn {
+
+using SpeciesId = int;
+
+class SpeciesTable {
+ public:
+  /// Adds a new species; throws std::invalid_argument on duplicates or
+  /// empty names.
+  SpeciesId add(const std::string& name);
+
+  /// Adds the species if absent; returns its id either way.
+  SpeciesId get_or_add(const std::string& name);
+
+  /// The id of `name`, if present.
+  [[nodiscard]] std::optional<SpeciesId> find(const std::string& name) const;
+
+  /// The id of `name`; throws if absent.
+  [[nodiscard]] SpeciesId id(const std::string& name) const;
+
+  [[nodiscard]] const std::string& name(SpeciesId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, SpeciesId> ids_;
+};
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_SPECIES_H_

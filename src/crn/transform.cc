@@ -1,0 +1,147 @@
+#include "crn/transform.h"
+
+#include <set>
+
+#include "crn/checks.h"
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+Crn rename_species(const Crn& crn,
+                   const std::map<std::string, std::string>& renames) {
+  // Compute the full name list up front and check for collisions.
+  std::vector<std::string> new_names;
+  std::set<std::string> seen;
+  for (const std::string& old : crn.species_table().names()) {
+    const auto it = renames.find(old);
+    const std::string next = it == renames.end() ? old : it->second;
+    require(seen.insert(next).second,
+            "rename_species: name collision on '" + next + "'");
+    new_names.push_back(next);
+  }
+  Crn out(crn.name());
+  for (const std::string& name : new_names) out.add_species(name);
+  for (const Reaction& r : crn.reactions()) out.add_reaction(r);
+  std::vector<std::string> input_names;
+  for (const SpeciesId id : crn.inputs()) {
+    input_names.push_back(new_names[static_cast<std::size_t>(id)]);
+  }
+  if (!input_names.empty()) out.set_input_species(input_names);
+  if (crn.output()) {
+    out.set_output_species(new_names[static_cast<std::size_t>(*crn.output())]);
+  }
+  if (crn.leader()) {
+    out.set_leader_species(new_names[static_cast<std::size_t>(*crn.leader())]);
+  }
+  return out;
+}
+
+Crn prefix_species(const Crn& crn, const std::string& prefix) {
+  std::map<std::string, std::string> renames;
+  for (const std::string& old : crn.species_table().names()) {
+    renames[old] = prefix + old;
+  }
+  return rename_species(crn, renames);
+}
+
+Crn hardcode_input(const Crn& crn, int input_index, math::Int j) {
+  require(input_index >= 0 && input_index < crn.input_arity(),
+          "hardcode_input: bad input index");
+  require(j >= 0, "hardcode_input: negative pin value");
+  require_computing_shape(crn);
+
+  const std::string xi_name =
+      crn.species_name(crn.inputs()[static_cast<std::size_t>(input_index)]);
+  std::map<std::string, std::string> renames;
+  renames[xi_name] = xi_name + "#pinned";
+  std::string inner_leader_name;
+  if (crn.leader()) {
+    inner_leader_name = crn.species_name(*crn.leader()) + "#inner";
+    renames[crn.species_name(*crn.leader())] = inner_leader_name;
+  }
+  Crn out = rename_species(crn, renames);
+  out.set_name(crn.name() + "[x(" + std::to_string(input_index + 1) + ")->" +
+               std::to_string(j) + "]");
+
+  // Fresh leader with the seeding reaction L -> j X'_i (+ L').
+  const std::string new_leader = "Lpin#" + std::to_string(input_index);
+  std::vector<std::pair<std::string, math::Int>> products;
+  if (j > 0) products.emplace_back(xi_name + "#pinned", j);
+  if (crn.leader()) products.emplace_back(inner_leader_name, 1);
+  if (products.empty()) {
+    // Nothing to seed: j == 0 and the CRN is leaderless. Keep a harmless
+    // leader that converts to an inert token, so roles stay uniform.
+    products.emplace_back("Lpin#inert", 1);
+  }
+  out.add_reaction({{new_leader, 1}}, products);
+  out.set_leader_species(new_leader);
+
+  // Re-declare input i as a fresh inert species with the original name
+  // (the rename freed it); its molecules never react, exactly "ignoring"
+  // the pinned input. The other inputs kept their names.
+  std::vector<std::string> rebuilt;
+  for (int i = 0; i < crn.input_arity(); ++i) {
+    const std::string original =
+        crn.species_name(crn.inputs()[static_cast<std::size_t>(i)]);
+    if (i == input_index && !out.has_species(original)) {
+      out.add_species(original);
+    }
+    rebuilt.push_back(original);
+  }
+  out.set_input_species(rebuilt);
+  return out;
+}
+
+Crn monotonic_to_oblivious(const Crn& crn) {
+  require_computing_shape(crn);
+  require(is_output_monotonic(crn),
+          "monotonic_to_oblivious: CRN is not output-monotonic");
+  if (is_output_oblivious(crn)) return crn;
+
+  const SpeciesId y = crn.output_or_throw();
+  const std::string y_name = crn.species_name(y);
+  const std::string z_name = y_name + "#shadow";
+  require(!crn.has_species(z_name),
+          "monotonic_to_oblivious: shadow name taken");
+
+  Crn out(crn.name() + "+oblivious");
+  for (const std::string& name : crn.species_table().names()) {
+    out.add_species(name);
+  }
+  const SpeciesId z = out.add_species(z_name);
+
+  for (const Reaction& r : crn.reactions()) {
+    const math::Int k = r.reactant_count(y);
+    const math::Int m = r.product_count(y);
+    std::vector<Term> reactants;
+    std::vector<Term> products;
+    for (const Term& t : r.reactants()) {
+      if (t.species == y) {
+        reactants.push_back({z, t.count});  // catalyst Y -> shadow Z
+      } else {
+        reactants.push_back(t);
+      }
+    }
+    for (const Term& t : r.products()) {
+      if (t.species == y) {
+        if (m - k > 0) products.push_back({y, m - k});  // fresh Y only
+      } else {
+        products.push_back(t);
+      }
+    }
+    if (m > 0) products.push_back({z, m});  // Z twin for every Y returned/made
+    out.add_reaction(Reaction(std::move(reactants), std::move(products)));
+  }
+
+  std::vector<std::string> input_names;
+  for (const SpeciesId id : crn.inputs()) {
+    input_names.push_back(crn.species_name(id));
+  }
+  out.set_input_species(input_names);
+  out.set_output_species(y_name);
+  if (crn.leader()) out.set_leader_species(crn.species_name(*crn.leader()));
+  require_output_oblivious(out);
+  return out;
+}
+
+}  // namespace crnkit::crn

@@ -1,0 +1,43 @@
+// Structure-preserving CRN transformations used by the paper's proofs:
+//  - renaming / prefixing species (the substrate of composition, Section 2.3)
+//  - hardcoding an input (Observation 5.3): replace L, X_i by L', X'_i and
+//    add L -> j X'_i + L'
+//  - output-monotonic -> output-oblivious (Observation 2.4): replace the
+//    output acting as a catalyst by a shadow species Z co-produced with Y.
+#ifndef CRNKIT_CRN_TRANSFORM_H_
+#define CRNKIT_CRN_TRANSFORM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "crn/network.h"
+
+namespace crnkit::crn {
+
+/// Renames species via the given (total or partial) map; species not in the
+/// map keep their names. Role declarations follow the renaming. Throws if
+/// the renaming creates collisions.
+[[nodiscard]] Crn rename_species(const Crn& crn,
+                                 const std::map<std::string, std::string>&
+                                     renames);
+
+/// Prefixes every species name (used to make module namespaces disjoint
+/// before composition).
+[[nodiscard]] Crn prefix_species(const Crn& crn, const std::string& prefix);
+
+/// Observation 5.3: the CRN computing the fixed-input restriction
+/// f_[x(i) -> j]. Input i remains declared (the restriction keeps domain
+/// N^d) but its molecules are ignored; the leader seeds j copies of a
+/// private replacement X'_i.
+[[nodiscard]] Crn hardcode_input(const Crn& crn, int input_index,
+                                 math::Int j);
+
+/// Observation 2.4: converts an output-monotonic CRN into an output-
+/// oblivious one computing the same function, replacing catalytic uses of
+/// the output Y by a shadow species that is produced whenever Y is.
+[[nodiscard]] Crn monotonic_to_oblivious(const Crn& crn);
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_TRANSFORM_H_

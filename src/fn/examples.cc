@@ -1,0 +1,213 @@
+#include "fn/examples.h"
+
+#include <algorithm>
+
+#include "math/check.h"
+
+namespace crnkit::fn::examples {
+
+using geom::Arrangement;
+using geom::ThresholdHyperplane;
+using math::Int;
+using math::Rational;
+
+DiscreteFunction twice() {
+  return DiscreteFunction(
+      1, [](const Point& x) { return 2 * x[0]; }, "2x");
+}
+
+DiscreteFunction min2() {
+  return DiscreteFunction(
+      2, [](const Point& x) { return std::min(x[0], x[1]); }, "min");
+}
+
+DiscreteFunction max2() {
+  return DiscreteFunction(
+      2, [](const Point& x) { return std::max(x[0], x[1]); }, "max");
+}
+
+DiscreteFunction min_const1() {
+  return DiscreteFunction(
+      1, [](const Point& x) { return std::min<Int>(1, x[0]); }, "min(1,x)");
+}
+
+DiscreteFunction floor_3x_over_2() {
+  return DiscreteFunction(
+      1, [](const Point& x) { return (3 * x[0]) / 2; }, "floor(3x/2)");
+}
+
+QuiltAffine fig3a_quilt() {
+  return QuiltAffine({Rational(3, 2)}, 2, {Rational(0), Rational(-1, 2)},
+                     "fig3a");
+}
+
+QuiltAffine fig3b_quilt() {
+  // B = -1 on classes {(1,2),(2,2),(2,1)} mod 3, 0 elsewhere. All finite
+  // differences stay nonnegative (gradient (1,2) gives enough slack).
+  const int d = 2;
+  const Int p = 3;
+  std::vector<Rational> offsets(static_cast<std::size_t>(9), Rational(0));
+  for (const auto& bump : std::vector<std::vector<Int>>{{1, 2}, {2, 2}, {2, 1}}) {
+    const math::CongruenceClass a(bump, p);
+    offsets[static_cast<std::size_t>(a.index())] = Rational(-1);
+  }
+  QuiltAffine g({Rational(1), Rational(2)}, p, std::move(offsets), "fig3b");
+  ensure(g.is_nondecreasing(), "fig3b_quilt: expected nondecreasing");
+  (void)d;
+  return g;
+}
+
+MinOfQuiltAffine fig4a_eventual() {
+  QuiltAffine g1 = QuiltAffine::affine({Rational(2), Rational(1)},
+                                       Rational(0), "g1");
+  QuiltAffine g2 = QuiltAffine::affine({Rational(1), Rational(2)},
+                                       Rational(0), "g2");
+  // g3 = x1 + x2 + (5 if x1+x2 even else 4), period 2.
+  std::vector<Rational> offsets(4);
+  for (const auto& a : math::all_classes(2, 2)) {
+    const auto& r = a.representative();
+    offsets[static_cast<std::size_t>(a.index())] =
+        ((r[0] + r[1]) % 2 == 0) ? Rational(5) : Rational(4);
+  }
+  QuiltAffine g3({Rational(1), Rational(1)}, 2, std::move(offsets), "g3");
+  return MinOfQuiltAffine({g1, g2, g3});
+}
+
+DiscreteFunction fig4a() {
+  const MinOfQuiltAffine base = fig4a_eventual();
+  return DiscreteFunction(
+      2,
+      [base](const Point& x) -> Int {
+        // Finite-region perturbations (all below (4,4); nondecreasingness
+        // was hand-checked and is re-verified in tests).
+        if (x == Point{1, 2} || x == Point{2, 1}) return 3;
+        if (x == Point{3, 3}) return 8;
+        return base(x);
+      },
+      "fig4a");
+}
+
+Point fig4a_threshold() { return Point{4, 4}; }
+
+Arrangement fig4a_arrangement() {
+  // Min-switch boundaries: g1 vs g2 at x1 = x2; g1/g2 vs g3 roughly at
+  // min(x1,x2) = 5; finite-region boundaries at x_i = 4.
+  std::vector<ThresholdHyperplane> hps;
+  hps.push_back({{1, -1}, 1});   // x1 - x2 >= 1   (x1 > x2)
+  hps.push_back({{-1, 1}, 1});   // x2 - x1 >= 1   (x2 > x1)
+  hps.push_back({{1, 0}, 6});    // x1 >= 6
+  hps.push_back({{0, 1}, 6});    // x2 >= 6
+  hps.push_back({{1, 0}, 4});    // x1 >= 4
+  hps.push_back({{0, 1}, 4});    // x2 >= 4
+  return Arrangement(2, std::move(hps));
+}
+
+DiscreteFunction fig7() {
+  return DiscreteFunction(
+      2,
+      [](const Point& x) -> Int {
+        if (x[0] < x[1]) return x[0] + 1;
+        if (x[0] > x[1]) return x[1] + 1;
+        return x[0];
+      },
+      "fig7");
+}
+
+Arrangement fig7_arrangement() {
+  std::vector<ThresholdHyperplane> hps;
+  hps.push_back({{1, -1}, 1});  // x1 - x2 >= 1
+  hps.push_back({{-1, 1}, 1});  // x2 - x1 >= 1
+  return Arrangement(2, std::move(hps));
+}
+
+std::vector<QuiltAffine> fig7_extensions() {
+  QuiltAffine g1 = QuiltAffine::affine({Rational(0), Rational(1)},
+                                       Rational(1), "g1");
+  QuiltAffine g2 = QuiltAffine::affine({Rational(1), Rational(0)},
+                                       Rational(1), "g2");
+  // gU = ceil((x1+x2)/2) = (1/2,1/2) . x + B, B = 1/2 on odd-sum classes.
+  std::vector<Rational> offsets(4);
+  for (const auto& a : math::all_classes(2, 2)) {
+    const auto& r = a.representative();
+    offsets[static_cast<std::size_t>(a.index())] =
+        ((r[0] + r[1]) % 2 == 0) ? Rational(0) : Rational(1, 2);
+  }
+  QuiltAffine gu({Rational(1, 2), Rational(1, 2)}, 2, std::move(offsets),
+                 "gU");
+  return {g1, g2, gu};
+}
+
+DiscreteFunction eq2_counterexample() {
+  return DiscreteFunction(
+      2,
+      [](const Point& x) -> Int {
+        return x[0] + x[1] + (x[0] == x[1] ? 0 : 1);
+      },
+      "eq2");
+}
+
+Arrangement fig8a_arrangement() {
+  std::vector<ThresholdHyperplane> hps;
+  hps.push_back({{1, -1}, 1});  // x1 - x2 >= 1
+  hps.push_back({{1, -1}, 4});  // x1 - x2 >= 4
+  hps.push_back({{1, 1}, 4});   // x1 + x2 >= 4
+  return Arrangement(2, std::move(hps));
+}
+
+Arrangement fig8c_arrangement() {
+  std::vector<ThresholdHyperplane> hps;
+  hps.push_back({{1, -1, 0}, 2});  // x1 - x2 >= 2
+  hps.push_back({{-1, 1, 0}, 2});  // x2 - x1 >= 2
+  hps.push_back({{0, 1, -1}, 2});  // x2 - x3 >= 2
+  hps.push_back({{0, -1, 1}, 2});  // x3 - x2 >= 2
+  return Arrangement(3, std::move(hps));
+}
+
+std::vector<DiscreteFunction> oned_suite() {
+  std::vector<DiscreteFunction> fns;
+  fns.push_back(twice());
+  fns.push_back(floor_3x_over_2());
+  fns.push_back(min_const1());
+  fns.push_back(DiscreteFunction(
+      1, [](const Point& x) { return std::min<Int>(3, x[0]); }, "min(3,x)"));
+  fns.push_back(DiscreteFunction(
+      1, [](const Point& x) { return x[0] + x[0] / 3; }, "x+floor(x/3)"));
+  fns.push_back(DiscreteFunction(
+      1,
+      [](const Point& x) -> Int {
+        // Arbitrary finite behavior, then slope-2 with a parity wiggle.
+        if (x[0] == 0) return 1;
+        if (x[0] == 1) return 1;
+        if (x[0] == 2) return 4;
+        return 2 * x[0] + (x[0] % 2);
+      },
+      "piecewise-wiggle"));
+  fns.push_back(DiscreteFunction(
+      1, [](const Point&) { return 7; }, "const7"));
+  fns.push_back(DiscreteFunction(
+      1, [](const Point& x) { return x[0] / 5; }, "floor(x/5)"));
+  return fns;
+}
+
+std::vector<DiscreteFunction> oned_superadditive_suite() {
+  std::vector<DiscreteFunction> fns;
+  fns.push_back(twice());
+  fns.push_back(DiscreteFunction(
+      1, [](const Point& x) { return x[0]; }, "identity"));
+  fns.push_back(DiscreteFunction(
+      1, [](const Point& x) { return (3 * x[0]) / 2; }, "floor(3x/2)"));
+  fns.push_back(DiscreteFunction(
+      1, [](const Point& x) { return x[0] / 3; }, "floor(x/3)"));
+  fns.push_back(DiscreteFunction(
+      1,
+      [](const Point& x) -> Int {
+        // Superadditive with a jump: f(x) = 0 for x < 3, else 2x - 5.
+        return x[0] < 3 ? 0 : 2 * x[0] - 5;
+      },
+      "jump-then-slope2"));
+  fns.push_back(DiscreteFunction(
+      1, [](const Point&) { return 0; }, "zero"));
+  return fns;
+}
+
+}  // namespace crnkit::fn::examples

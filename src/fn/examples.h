@@ -1,0 +1,93 @@
+// The paper's worked examples as reusable library objects: the Figure 1/2
+// functions, the Figure 3 quilt-affine functions, the Figure 4a
+// obliviously-computable function, the Figure 7 three-region function, the
+// Equation (2) counterexample, and the Figure 8 arrangements. Tests,
+// examples, and the figure-regeneration benches all build on these.
+#ifndef CRNKIT_FN_EXAMPLES_H_
+#define CRNKIT_FN_EXAMPLES_H_
+
+#include <vector>
+
+#include "fn/function.h"
+#include "fn/quilt_affine.h"
+#include "geom/arrangement.h"
+
+namespace crnkit::fn::examples {
+
+/// f(x) = 2x (Fig 1, computed by X -> 2Y).
+[[nodiscard]] DiscreteFunction twice();
+
+/// f(x1,x2) = min(x1,x2) (Fig 1, computed by X1 + X2 -> Y).
+[[nodiscard]] DiscreteFunction min2();
+
+/// f(x1,x2) = max(x1,x2) (Fig 1; not obliviously-computable, Section 4).
+[[nodiscard]] DiscreteFunction max2();
+
+/// f(x) = min(1, x) (Fig 2; obliviously-computable only with a leader).
+[[nodiscard]] DiscreteFunction min_const1();
+
+/// f(x) = floor(3x/2) (Fig 3a), quilt-affine with period 2.
+[[nodiscard]] DiscreteFunction floor_3x_over_2();
+
+/// The exact quilt-affine form of Fig 3a: (3/2) x + B(x mod 2),
+/// B(0) = 0, B(1) = -1/2.
+[[nodiscard]] QuiltAffine fig3a_quilt();
+
+/// The 2D quilt-affine function of Fig 3b: (1,2) . x + B(x mod 3), where
+/// B = -1 on classes {(1,2),(2,2),(2,1)} and 0 elsewhere ("bumpy quilt").
+[[nodiscard]] QuiltAffine fig3b_quilt();
+
+/// The three quilt-affine functions whose min gives the eventual region of
+/// our Fig 4a instance: g1 = 2x1 + x2, g2 = x1 + 2x2,
+/// g3 = x1 + x2 + (5 if x1+x2 even else 4).
+[[nodiscard]] MinOfQuiltAffine fig4a_eventual();
+
+/// A concrete Fig 4a-style obliviously-computable function: the min of
+/// fig4a_eventual(), with finite-region perturbations at (1,2), (2,1) and
+/// (3,3) (all below n = (4,4), keeping the function nondecreasing).
+[[nodiscard]] DiscreteFunction fig4a();
+
+/// The eventual threshold of fig4a(): n = (4,4).
+[[nodiscard]] Point fig4a_threshold();
+
+/// Threshold arrangement suitable for analyzing fig4a() (the min-switch
+/// hyperplanes and the finite-region boundaries) with global period 2.
+[[nodiscard]] geom::Arrangement fig4a_arrangement();
+
+/// The Section 7.1 motivating function (Fig 7):
+/// f = x1 + 1 if x1 < x2; x2 + 1 if x1 > x2; x1 if x1 = x2.
+[[nodiscard]] DiscreteFunction fig7();
+
+/// Arrangement for fig7(): hyperplanes x1 - x2 >= 1 and x2 - x1 >= 1,
+/// creating determined regions D1, D2 and the diagonal strip U.
+[[nodiscard]] geom::Arrangement fig7_arrangement();
+
+/// The three quilt-affine extensions of Fig 7: g1 = x1 + 1, g2 = x2 + 1,
+/// gU = ceil((x1 + x2)/2).
+[[nodiscard]] std::vector<QuiltAffine> fig7_extensions();
+
+/// The Equation (2) counterexample: f = x1 + x2 + 1 off the diagonal,
+/// x1 + x2 on it. Semilinear and nondecreasing but NOT obliviously-
+/// computable (Lemma 4.1 applies with a_i = (i,0), Delta_ij = (0,j)).
+[[nodiscard]] DiscreteFunction eq2_counterexample();
+
+/// Fig 8a: 2D arrangement with 3 hyperplanes realizing exactly 5 regions
+/// (two finite, one under-determined eventual strip, two determined).
+[[nodiscard]] geom::Arrangement fig8a_arrangement();
+
+/// Fig 8c: 3D arrangement with two pairs of parallel hyperplanes realizing
+/// 9 eventual regions (4 determined corners, 4 under-determined sides with
+/// 2D cones, 1 center with a 1D cone).
+[[nodiscard]] geom::Arrangement fig8c_arrangement();
+
+/// A suite of semilinear nondecreasing 1D functions for parameterized
+/// sweeps over the Theorem 3.1 compiler.
+[[nodiscard]] std::vector<DiscreteFunction> oned_suite();
+
+/// A suite of semilinear *superadditive* 1D functions for sweeps over the
+/// Theorem 9.2 leaderless compiler.
+[[nodiscard]] std::vector<DiscreteFunction> oned_superadditive_suite();
+
+}  // namespace crnkit::fn::examples
+
+#endif  // CRNKIT_FN_EXAMPLES_H_

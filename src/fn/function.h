@@ -1,0 +1,97 @@
+// Black-box integer functions f : N^d -> Z.
+//
+// The library treats functions three ways: as black boxes (this wrapper),
+// as exact structured representations (QuiltAffine, SemilinearFunction), and
+// as CRNs that stably compute them. DiscreteFunction is the common currency:
+// every structured representation can lower itself to one, and the verifiers
+// compare CRN output against one.
+#ifndef CRNKIT_FN_FUNCTION_H_
+#define CRNKIT_FN_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "math/check.h"
+#include "math/numtheory.h"
+
+namespace crnkit::fn {
+
+/// An input point x in N^d.
+using Point = std::vector<math::Int>;
+
+/// A named black-box function f : N^d -> Z. Evaluation is pure; the wrapper
+/// adds dimension checking and a human-readable name for diagnostics.
+class DiscreteFunction {
+ public:
+  DiscreteFunction() = default;
+
+  DiscreteFunction(int dimension,
+                   std::function<math::Int(const Point&)> evaluate,
+                   std::string name = "f")
+      : d_(dimension), fn_(std::move(evaluate)), name_(std::move(name)) {
+    require(d_ >= 1, "DiscreteFunction: dimension must be >= 1");
+    require(static_cast<bool>(fn_), "DiscreteFunction: empty callable");
+  }
+
+  [[nodiscard]] int dimension() const { return d_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] math::Int operator()(const Point& x) const {
+    require(static_cast<int>(x.size()) == d_,
+            "DiscreteFunction '" + name_ + "': arity mismatch");
+    for (const math::Int v : x) {
+      require(v >= 0, "DiscreteFunction '" + name_ + "': negative input");
+    }
+    return fn_(x);
+  }
+
+  /// Convenience for 1D functions.
+  [[nodiscard]] math::Int operator()(math::Int x) const {
+    return (*this)(Point{x});
+  }
+
+  /// Convenience for 2D functions.
+  [[nodiscard]] math::Int operator()(math::Int x1, math::Int x2) const {
+    return (*this)(Point{x1, x2});
+  }
+
+  /// The fixed-input restriction f_[x(i) -> j] of Section 5: input i is
+  /// pinned to j; the restriction keeps domain N^d (input i is ignored),
+  /// exactly as in the paper's footnote 11.
+  [[nodiscard]] DiscreteFunction restrict_input(int i, math::Int j) const {
+    require(i >= 0 && i < d_, "restrict_input: bad input index");
+    require(j >= 0, "restrict_input: negative pin value");
+    auto inner = fn_;
+    const int d = d_;
+    return DiscreteFunction(
+        d,
+        [inner, i, j, d](const Point& x) {
+          require(static_cast<int>(x.size()) == d,
+                  "restricted function: arity mismatch");
+          Point y = x;
+          y[static_cast<std::size_t>(i)] = j;
+          return inner(y);
+        },
+        name_ + "[x(" + std::to_string(i + 1) + ")->" + std::to_string(j) +
+            "]");
+  }
+
+ private:
+  int d_ = 0;
+  std::function<math::Int(const Point&)> fn_;
+  std::string name_;
+};
+
+/// Componentwise max of x and the constant vector (n, ..., n) — the
+/// "x v n" of Lemma 6.2.
+[[nodiscard]] inline Point componentwise_max(const Point& x, math::Int n) {
+  Point out = x;
+  for (auto& v : out) v = std::max(v, n);
+  return out;
+}
+
+}  // namespace crnkit::fn
+
+#endif  // CRNKIT_FN_FUNCTION_H_

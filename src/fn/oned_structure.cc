@@ -1,0 +1,119 @@
+#include "fn/oned_structure.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::fn {
+
+using math::Int;
+
+Int OneDStructure::evaluate(Int x) const {
+  require(x >= 0, "OneDStructure::evaluate: negative input");
+  if (x <= n) return initial[static_cast<std::size_t>(x)];
+  // f(x) = f(n) + sum of deltas over [n, x).
+  Int value = initial[static_cast<std::size_t>(n)];
+  // Full periods first.
+  const Int steps = x - n;
+  const Int full = steps / p;
+  Int period_sum = 0;
+  for (Int a = 0; a < p; ++a) {
+    period_sum += deltas[static_cast<std::size_t>(math::floor_mod(n + a, p))];
+  }
+  value = math::checked_add(value, math::checked_mul(full, period_sum));
+  for (Int t = n + full * p; t < x; ++t) {
+    value = math::checked_add(
+        value, deltas[static_cast<std::size_t>(math::floor_mod(t, p))]);
+  }
+  return value;
+}
+
+QuiltAffine OneDStructure::eventual_quilt_affine() const {
+  // Gradient = average delta; offsets chosen so the function agrees with f
+  // (i.e. with evaluate()) on each congruence class at large inputs.
+  Int sum = 0;
+  for (const Int d : deltas) sum = math::checked_add(sum, d);
+  const math::Rational grad(sum, p);
+  // Pick the representative x_a = first x >= n with x mod p == a; then
+  // B(a) = f(x_a) - grad * x_a.
+  std::vector<math::Rational> offsets(static_cast<std::size_t>(p));
+  for (Int a = 0; a < p; ++a) {
+    Int x = n;
+    while (math::floor_mod(x, p) != a) ++x;
+    offsets[static_cast<std::size_t>(a)] =
+        math::Rational(evaluate(x)) - grad * math::Rational(x);
+  }
+  return QuiltAffine({grad}, p, std::move(offsets), "g_eventual");
+}
+
+std::string OneDStructure::to_string() const {
+  std::ostringstream os;
+  os << "OneDStructure{n=" << n << ", p=" << p << ", deltas=[";
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (i > 0) os << ",";
+    os << deltas[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::optional<OneDStructure> detect_oned_structure(
+    const DiscreteFunction& f, const OneDStructureOptions& options) {
+  require(f.dimension() == 1, "detect_oned_structure: f must be 1D");
+  const Int scan_max =
+      options.max_threshold + options.scan_extent * options.max_period *
+                                  options.max_period;
+  // Memoize values once.
+  std::vector<Int> values(static_cast<std::size_t>(scan_max + 2));
+  for (Int x = 0; x <= scan_max + 1; ++x) {
+    values[static_cast<std::size_t>(x)] = f(x);
+  }
+  auto diff = [&](Int x) {
+    return values[static_cast<std::size_t>(x + 1)] -
+           values[static_cast<std::size_t>(x)];
+  };
+
+  for (Int p = 1; p <= options.max_period; ++p) {
+    // For this period, the smallest valid n is the first point after which
+    // differences are p-periodic all the way to the scan horizon.
+    Int n = -1;
+    // Find the last x in [0, scan_max - p) violating periodicity.
+    Int last_violation = -1;
+    for (Int x = 0; x + p + 1 <= scan_max + 1; ++x) {
+      if (diff(x) != diff(x + p)) last_violation = x;
+    }
+    n = last_violation + 1;
+    if (n > options.max_threshold) continue;
+    // Require enough periodic evidence beyond n to trust the detection.
+    if (n + (options.scan_extent + 1) * p > scan_max) continue;
+    OneDStructure s;
+    s.n = n;
+    s.p = p;
+    s.deltas.resize(static_cast<std::size_t>(p));
+    for (Int a = 0; a < p; ++a) {
+      // delta_a = f(x+1) - f(x) for the first x >= n with x mod p == a.
+      Int x = n;
+      while (math::floor_mod(x, p) != a) ++x;
+      s.deltas[static_cast<std::size_t>(a)] = diff(x);
+    }
+    s.initial.assign(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(n + 1));
+    return s;
+  }
+  return std::nullopt;
+}
+
+OneDStructure require_oned_structure(const DiscreteFunction& f,
+                                     const OneDStructureOptions& options) {
+  auto s = detect_oned_structure(f, options);
+  require(s.has_value(),
+          "require_oned_structure: '" + f.name() +
+              "' has no eventually-periodic difference structure within "
+              "bounds (max_period=" +
+              std::to_string(options.max_period) +
+              ", max_threshold=" + std::to_string(options.max_threshold) +
+              "); it may not be semilinear-nondecreasing");
+  return *s;
+}
+
+}  // namespace crnkit::fn

@@ -1,0 +1,60 @@
+// Eventual quilt-affine structure of 1D functions (Theorem 3.1 / Figure 5).
+//
+// Every semilinear nondecreasing f : N -> N is eventually quilt-affine:
+// there are n and a period p with f(x+1) - f(x) = delta_{x mod p} for all
+// x >= n. This module detects (n, p, deltas) from a black box by scanning,
+// which is exactly the data the Theorem 3.1 and Theorem 9.2 CRN compilers
+// consume.
+#ifndef CRNKIT_FN_ONED_STRUCTURE_H_
+#define CRNKIT_FN_ONED_STRUCTURE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+#include "fn/quilt_affine.h"
+
+namespace crnkit::fn {
+
+/// The eventual 1D structure: f(x+1) - f(x) = deltas[x mod p] for x >= n,
+/// plus the initial values f(0..n) needed by the constructions.
+struct OneDStructure {
+  math::Int n = 0;                      ///< eventual threshold
+  math::Int p = 1;                      ///< period
+  std::vector<math::Int> deltas;        ///< deltas[a] for a in [0,p)
+  std::vector<math::Int> initial;       ///< f(0), f(1), ..., f(n)
+
+  /// f(x) for any x >= 0, reconstructed from the structure.
+  [[nodiscard]] math::Int evaluate(math::Int x) const;
+
+  /// The eventual quilt-affine extension g with gradient (sum deltas)/p,
+  /// agreeing with f on x >= n (it may differ from f below n).
+  [[nodiscard]] QuiltAffine eventual_quilt_affine() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Options for structure detection.
+struct OneDStructureOptions {
+  math::Int max_period = 12;     ///< largest period tried
+  math::Int max_threshold = 64;  ///< largest eventual threshold tried
+  math::Int scan_extent = 3;     ///< verify over [n, n + scan_extent*p*...]:
+                                 ///< differences are checked on
+                                 ///< [n, max_threshold + scan_extent * p].
+};
+
+/// Detects the minimal (p, n) structure of a 1D black box by scanning.
+/// Returns std::nullopt if no structure fits within the option bounds
+/// (either f is not eventually quilt-affine, or the bounds are too small).
+[[nodiscard]] std::optional<OneDStructure> detect_oned_structure(
+    const DiscreteFunction& f, const OneDStructureOptions& options = {});
+
+/// Like detect_oned_structure but throws std::invalid_argument with a
+/// diagnostic on failure.
+[[nodiscard]] OneDStructure require_oned_structure(
+    const DiscreteFunction& f, const OneDStructureOptions& options = {});
+
+}  // namespace crnkit::fn
+
+#endif  // CRNKIT_FN_ONED_STRUCTURE_H_

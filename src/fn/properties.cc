@@ -1,0 +1,106 @@
+#include "fn/properties.h"
+
+#include <sstream>
+
+#include "geom/arrangement.h"
+#include "math/check.h"
+
+namespace crnkit::fn {
+
+using math::Int;
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << what << " at a=" << math::to_string(math::to_rational(a))
+     << " (f=" << fa << "), b=" << math::to_string(math::to_rational(b))
+     << " (f=" << fb << ")";
+  return os.str();
+}
+
+std::optional<Violation> find_nondecreasing_violation(
+    const DiscreteFunction& f, Int grid_max) {
+  std::optional<Violation> found;
+  geom::for_each_grid_point(
+      f.dimension(), grid_max, [&](const std::vector<Int>& x) {
+        if (found) return;
+        const Int fx = f(x);
+        for (int i = 0; i < f.dimension(); ++i) {
+          Point y = x;
+          ++y[static_cast<std::size_t>(i)];
+          if (y[static_cast<std::size_t>(i)] > grid_max) continue;
+          const Int fy = f(y);
+          if (fy < fx) {
+            found = Violation{x, y, fx, fy, "nondecreasing violated"};
+            return;
+          }
+        }
+      });
+  return found;
+}
+
+std::optional<Violation> find_superadditive_violation(
+    const DiscreteFunction& f, Int grid_max) {
+  std::optional<Violation> found;
+  geom::for_each_grid_point(
+      f.dimension(), grid_max, [&](const std::vector<Int>& a) {
+        if (found) return;
+        geom::for_each_grid_point(
+            f.dimension(), grid_max, [&](const std::vector<Int>& b) {
+              if (found) return;
+              Point sum(a.size());
+              for (std::size_t i = 0; i < a.size(); ++i) {
+                sum[i] = a[i] + b[i];
+                if (sum[i] > grid_max) return;
+              }
+              const Int fa = f(a);
+              const Int fb = f(b);
+              if (fa + fb > f(sum)) {
+                found = Violation{a, b, fa, fb, "superadditivity violated"};
+              }
+            });
+      });
+  return found;
+}
+
+std::optional<Point> find_disagreement(const DiscreteFunction& f,
+                                       const DiscreteFunction& g,
+                                       Int grid_max) {
+  require(f.dimension() == g.dimension(),
+          "find_disagreement: dimension mismatch");
+  std::optional<Point> found;
+  geom::for_each_grid_point(f.dimension(), grid_max,
+                            [&](const std::vector<Int>& x) {
+                              if (found) return;
+                              if (f(x) != g(x)) found = x;
+                            });
+  return found;
+}
+
+std::optional<Point> find_domination_violation(const DiscreteFunction& f,
+                                               const DiscreteFunction& g,
+                                               const Point& n, Int window) {
+  require(f.dimension() == g.dimension(),
+          "find_domination_violation: dimension mismatch");
+  require(static_cast<int>(n.size()) == f.dimension(),
+          "find_domination_violation: bad n");
+  Point hi(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) hi[i] = n[i] + window;
+  std::optional<Point> found;
+  geom::for_each_box_point(n, hi, [&](const std::vector<Int>& x) {
+    if (found) return;
+    if (g(x) < f(x)) found = x;
+  });
+  return found;
+}
+
+bool is_nonnegative_on_grid(const DiscreteFunction& f, Int grid_max) {
+  bool ok = true;
+  geom::for_each_grid_point(f.dimension(), grid_max,
+                            [&](const std::vector<Int>& x) {
+                              if (!ok) return;
+                              if (f(x) < 0) ok = false;
+                            });
+  return ok;
+}
+
+}  // namespace crnkit::fn

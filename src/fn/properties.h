@@ -1,0 +1,56 @@
+// Grid-checked properties of functions: nondecreasing (Observation 2.1),
+// superadditive (Observation 9.1), and agreement/eventual-domination checks
+// used throughout the analysis pipeline and tests.
+//
+// These are bounded empirical checks — the properties themselves are
+// Pi_1 statements — so each returns an optional counterexample rather than a
+// bare bool, and callers choose the grid.
+#ifndef CRNKIT_FN_PROPERTIES_H_
+#define CRNKIT_FN_PROPERTIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+
+namespace crnkit::fn {
+
+/// A violation of a pointwise property, with the witnessing points.
+struct Violation {
+  Point a;
+  Point b;
+  math::Int fa = 0;
+  math::Int fb = 0;
+  std::string what;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks f nondecreasing on [0, grid_max]^d: a <= b implies f(a) <= f(b).
+/// Implemented via unit steps (sufficient by transitivity).
+[[nodiscard]] std::optional<Violation> find_nondecreasing_violation(
+    const DiscreteFunction& f, math::Int grid_max);
+
+/// Checks f superadditive on pairs with a + b inside [0, grid_max]^d:
+/// f(a) + f(b) <= f(a + b).
+[[nodiscard]] std::optional<Violation> find_superadditive_violation(
+    const DiscreteFunction& f, math::Int grid_max);
+
+/// Checks f == g on [0, grid_max]^d; returns a differing point if any.
+[[nodiscard]] std::optional<Point> find_disagreement(
+    const DiscreteFunction& f, const DiscreteFunction& g, math::Int grid_max);
+
+/// Checks g >= f on the box [n, n + window]^d (Definition 7.8, bounded).
+/// Returns a point where g(x) < f(x) if any.
+[[nodiscard]] std::optional<Point> find_domination_violation(
+    const DiscreteFunction& f, const DiscreteFunction& g, const Point& n,
+    math::Int window);
+
+/// True iff f is nonnegative on [0, grid_max]^d.
+[[nodiscard]] bool is_nonnegative_on_grid(const DiscreteFunction& f,
+                                          math::Int grid_max);
+
+}  // namespace crnkit::fn
+
+#endif  // CRNKIT_FN_PROPERTIES_H_

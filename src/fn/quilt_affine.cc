@@ -1,0 +1,159 @@
+#include "fn/quilt_affine.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::fn {
+
+using math::CongruenceClass;
+using math::Int;
+using math::Rational;
+using math::RatVec;
+
+QuiltAffine::QuiltAffine(RatVec gradient, Int period,
+                         std::vector<Rational> offsets, std::string name)
+    : gradient_(std::move(gradient)),
+      p_(period),
+      offsets_(std::move(offsets)),
+      name_(std::move(name)) {
+  require(!gradient_.empty(), "QuiltAffine: empty gradient");
+  require(p_ >= 1, "QuiltAffine: period must be >= 1");
+  const Int expected =
+      math::checked_pow(p_, static_cast<int>(gradient_.size()));
+  require(static_cast<Int>(offsets_.size()) == expected,
+          "QuiltAffine: offsets table must have p^d entries, expected " +
+              std::to_string(expected) + " got " +
+              std::to_string(offsets_.size()));
+  // Integer-valuedness: p * gradient must be integral, and the value at each
+  // class representative must be an integer (then all values are: moving by
+  // p along axis i changes the value by the integer p * grad_i).
+  for (const auto& gi : gradient_) {
+    const Rational scaled = Rational(p_) * gi;
+    require(scaled.is_integer(),
+            "QuiltAffine '" + name_ + "': p * gradient not integral");
+  }
+  for (const auto& a : math::all_classes(dimension(), p_)) {
+    const Rational value =
+        math::dot(gradient_, a.representative()) + offset(a);
+    require(value.is_integer(), "QuiltAffine '" + name_ +
+                                    "': non-integer value at class " +
+                                    a.to_string());
+  }
+}
+
+QuiltAffine QuiltAffine::affine(RatVec gradient, Rational offset,
+                                std::string name) {
+  return QuiltAffine(std::move(gradient), 1, {std::move(offset)},
+                     std::move(name));
+}
+
+const Rational& QuiltAffine::offset(const CongruenceClass& a) const {
+  require(a.period() == p_ && a.dimension() == dimension(),
+          "QuiltAffine::offset: class shape mismatch");
+  return offsets_[static_cast<std::size_t>(a.index())];
+}
+
+Int QuiltAffine::operator()(const Point& x) const {
+  require(static_cast<int>(x.size()) == dimension(),
+          "QuiltAffine '" + name_ + "': arity mismatch");
+  const CongruenceClass a(x, p_);
+  const Rational value = math::dot(gradient_, x) + offset(a);
+  return value.as_integer();
+}
+
+Int QuiltAffine::finite_difference(int i, const CongruenceClass& a) const {
+  require(i >= 0 && i < dimension(), "finite_difference: bad axis");
+  const Rational delta = gradient_[static_cast<std::size_t>(i)] +
+                         offset(a.shifted(i)) - offset(a);
+  return delta.as_integer();
+}
+
+bool QuiltAffine::is_nondecreasing() const {
+  for (const auto& a : math::all_classes(dimension(), p_)) {
+    for (int i = 0; i < dimension(); ++i) {
+      if (finite_difference(i, a) < 0) return false;
+    }
+  }
+  return true;
+}
+
+bool QuiltAffine::is_nonnegative_everywhere() const {
+  for (const auto& gi : gradient_) {
+    if (gi.is_negative()) return false;
+  }
+  for (const auto& a : math::all_classes(dimension(), p_)) {
+    const Rational value =
+        math::dot(gradient_, a.representative()) + offset(a);
+    if (value.is_negative()) return false;
+  }
+  return true;
+}
+
+QuiltAffine QuiltAffine::translated(const Point& n) const {
+  require(static_cast<int>(n.size()) == dimension(),
+          "QuiltAffine::translated: arity mismatch");
+  // g(x + n) = grad . x + [grad . n + B((x + n) mod p)].
+  std::vector<Rational> offsets(offsets_.size());
+  const Rational shift = math::dot(gradient_, n);
+  for (const auto& a : math::all_classes(dimension(), p_)) {
+    offsets[static_cast<std::size_t>(a.index())] = shift + offset(a.plus(n));
+  }
+  return QuiltAffine(gradient_, p_, std::move(offsets),
+                     name_ + "(+" + math::to_string(math::to_rational(n)) +
+                         ")");
+}
+
+QuiltAffine QuiltAffine::with_period(Int q) const {
+  require(q >= 1 && q % p_ == 0,
+          "QuiltAffine::with_period: new period must be a positive multiple "
+          "of the old");
+  if (q == p_) return *this;
+  const Int count = math::checked_pow(q, dimension());
+  std::vector<Rational> offsets(static_cast<std::size_t>(count));
+  for (const auto& a : math::all_classes(dimension(), q)) {
+    const CongruenceClass fine(a.representative(), p_);
+    offsets[static_cast<std::size_t>(a.index())] = offset(fine);
+  }
+  return QuiltAffine(gradient_, q, std::move(offsets), name_);
+}
+
+DiscreteFunction QuiltAffine::as_function() const {
+  QuiltAffine copy = *this;
+  return DiscreteFunction(
+      dimension(), [copy](const Point& x) { return copy(x); }, name_);
+}
+
+std::string QuiltAffine::to_string() const {
+  std::ostringstream os;
+  os << name_ << "(x) = " << math::to_string(gradient_) << " . x + B(x mod "
+     << p_ << ")";
+  return os.str();
+}
+
+MinOfQuiltAffine::MinOfQuiltAffine(std::vector<QuiltAffine> parts)
+    : parts_(std::move(parts)) {
+  require(!parts_.empty(), "MinOfQuiltAffine: need at least one part");
+  for (const auto& g : parts_) {
+    require(g.dimension() == parts_.front().dimension(),
+            "MinOfQuiltAffine: mixed dimensions");
+  }
+}
+
+int MinOfQuiltAffine::dimension() const { return parts_.front().dimension(); }
+
+Int MinOfQuiltAffine::operator()(const Point& x) const {
+  Int best = parts_.front()(x);
+  for (std::size_t k = 1; k < parts_.size(); ++k) {
+    best = std::min(best, parts_[k](x));
+  }
+  return best;
+}
+
+DiscreteFunction MinOfQuiltAffine::as_function() const {
+  MinOfQuiltAffine copy = *this;
+  return DiscreteFunction(
+      dimension(), [copy](const Point& x) { return copy(x); }, "min-of-quilt");
+}
+
+}  // namespace crnkit::fn

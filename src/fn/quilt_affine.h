@@ -1,0 +1,106 @@
+// Quilt-affine functions (Definition 5.1): nondecreasing g : N^d -> Z of the
+// form g(x) = grad . x + B(x mod p), where grad is a rational gradient and
+// B : Z^d/pZ^d -> Q is a periodic offset. Both parts may be fractional but
+// the sum is always an integer.
+//
+// Quilt-affine functions are the building blocks of the paper's main
+// characterization: every obliviously-computable f is eventually a min of
+// them (Theorem 7.1), and each nonnegative one has a direct output-oblivious
+// CRN (Lemma 6.1) driven by its periodic finite differences delta^i_a.
+#ifndef CRNKIT_FN_QUILT_AFFINE_H_
+#define CRNKIT_FN_QUILT_AFFINE_H_
+
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+#include "math/congruence.h"
+#include "math/rational.h"
+
+namespace crnkit::fn {
+
+class QuiltAffine {
+ public:
+  /// Builds g(x) = gradient . x + offsets[class index of (x mod p)].
+  /// Checks exact integer-valuedness of the sum; throws otherwise.
+  QuiltAffine(math::RatVec gradient, math::Int period,
+              std::vector<math::Rational> offsets, std::string name = "g");
+
+  /// An affine function grad . x + b viewed as quilt-affine with period 1.
+  static QuiltAffine affine(math::RatVec gradient, math::Rational offset,
+                            std::string name = "g");
+
+  [[nodiscard]] int dimension() const {
+    return static_cast<int>(gradient_.size());
+  }
+  [[nodiscard]] math::Int period() const { return p_; }
+  [[nodiscard]] const math::RatVec& gradient() const { return gradient_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The periodic offset B(a).
+  [[nodiscard]] const math::Rational& offset(
+      const math::CongruenceClass& a) const;
+
+  /// Exact evaluation (always an integer by the class invariant).
+  [[nodiscard]] math::Int operator()(const Point& x) const;
+
+  /// Finite difference delta^i_a = g(x + e_i) - g(x) for any x with
+  /// x mod p == a (Lemma 6.1). Always an integer.
+  [[nodiscard]] math::Int finite_difference(int i,
+                                            const math::CongruenceClass& a)
+      const;
+
+  /// True iff all finite differences are nonnegative — equivalently g is
+  /// nondecreasing (the paper characterizes quilt-affine functions by
+  /// "nonnegative periodic finite differences").
+  [[nodiscard]] bool is_nondecreasing() const;
+
+  /// True iff g(x) >= 0 for all x in N^d: the gradient is componentwise
+  /// nonnegative (otherwise g is unbounded below) and g >= 0 on the period
+  /// cube [0,p)^d, whose values bound all others from below.
+  [[nodiscard]] bool is_nonnegative_everywhere() const;
+
+  /// The translate g_n(x) = g(x + n), also quilt-affine with the same
+  /// gradient and period (used by Lemma 6.2 to make offsets nonnegative).
+  [[nodiscard]] QuiltAffine translated(const Point& n) const;
+
+  /// Reinterprets this function with period q = k * period (any positive
+  /// multiple): same function, coarser congruence classes. Used when several
+  /// quilt-affine functions must share a common period.
+  [[nodiscard]] QuiltAffine with_period(math::Int q) const;
+
+  /// Lowers to a black-box function.
+  [[nodiscard]] DiscreteFunction as_function() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  math::RatVec gradient_;
+  math::Int p_;
+  std::vector<math::Rational> offsets_;  // indexed by class index
+  std::string name_;
+};
+
+/// The pointwise minimum of finitely many quilt-affine functions, evaluated
+/// exactly. This is the "eventual" shape of every obliviously-computable
+/// function (Theorem 5.2 condition (ii)).
+class MinOfQuiltAffine {
+ public:
+  explicit MinOfQuiltAffine(std::vector<QuiltAffine> parts);
+
+  [[nodiscard]] int dimension() const;
+  [[nodiscard]] const std::vector<QuiltAffine>& parts() const {
+    return parts_;
+  }
+
+  [[nodiscard]] math::Int operator()(const Point& x) const;
+
+  [[nodiscard]] DiscreteFunction as_function() const;
+
+ private:
+  std::vector<QuiltAffine> parts_;
+};
+
+}  // namespace crnkit::fn
+
+#endif  // CRNKIT_FN_QUILT_AFFINE_H_

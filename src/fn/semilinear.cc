@@ -1,0 +1,76 @@
+#include "fn/semilinear.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::fn {
+
+using math::CongruenceClass;
+using math::Int;
+using math::Rational;
+
+SemilinearFunction::SemilinearFunction(geom::Arrangement arrangement,
+                                       Int period, std::string name)
+    : arrangement_(std::move(arrangement)), p_(period), name_(std::move(name)) {
+  require(p_ >= 1, "SemilinearFunction: period must be >= 1");
+}
+
+std::string SemilinearFunction::piece_key(const std::vector<int>& signs,
+                                          const CongruenceClass& a) const {
+  std::ostringstream os;
+  for (const int s : signs) os << (s > 0 ? '+' : '-');
+  os << "#" << a.index();
+  return os.str();
+}
+
+void SemilinearFunction::set_piece(const std::vector<int>& signs,
+                                   const CongruenceClass& a,
+                                   AffinePiece piece) {
+  require(signs.size() == arrangement_.hyperplanes().size(),
+          "SemilinearFunction::set_piece: sign arity mismatch");
+  require(a.period() == p_ && a.dimension() == dimension(),
+          "SemilinearFunction::set_piece: class shape mismatch");
+  require(static_cast<int>(piece.gradient.size()) == dimension(),
+          "SemilinearFunction::set_piece: piece arity mismatch");
+  pieces_[piece_key(signs, a)] = std::move(piece);
+}
+
+void SemilinearFunction::set_region_piece(const std::vector<int>& signs,
+                                          AffinePiece piece) {
+  for (const auto& a : math::all_classes(dimension(), p_)) {
+    set_piece(signs, a, piece);
+  }
+}
+
+bool SemilinearFunction::has_piece_at(const Point& x) const {
+  const auto signs = arrangement_.sign_pattern(x);
+  const CongruenceClass a(x, p_);
+  return pieces_.count(piece_key(signs, a)) > 0;
+}
+
+const AffinePiece& SemilinearFunction::piece_at(const Point& x) const {
+  const auto signs = arrangement_.sign_pattern(x);
+  const CongruenceClass a(x, p_);
+  const auto it = pieces_.find(piece_key(signs, a));
+  require(it != pieces_.end(),
+          "SemilinearFunction '" + name_ + "': no piece defined at " +
+              math::to_string(math::to_rational(x)));
+  return it->second;
+}
+
+Int SemilinearFunction::operator()(const Point& x) const {
+  const Rational value = piece_at(x).evaluate(x);
+  require(value.is_integer(), "SemilinearFunction '" + name_ +
+                                  "': non-integer value at " +
+                                  math::to_string(math::to_rational(x)));
+  return value.as_integer();
+}
+
+DiscreteFunction SemilinearFunction::as_function() const {
+  SemilinearFunction copy = *this;
+  return DiscreteFunction(
+      dimension(), [copy](const Point& x) { return copy(x); }, name_);
+}
+
+}  // namespace crnkit::fn

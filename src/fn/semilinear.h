@@ -1,0 +1,78 @@
+// Explicit semilinear functions in the normal form of Lemma 7.3: a threshold
+// arrangement partitions N^d into regions, a global period p refines each
+// region into congruence classes, and f restricted to (region, class) is a
+// rational affine partial function.
+//
+// This is the representation Definition 2.6 reduces to once the Boolean
+// combinations of threshold and mod sets are expanded, and it is the exact
+// input format of the Section 7 analysis pipeline.
+#ifndef CRNKIT_FN_SEMILINEAR_H_
+#define CRNKIT_FN_SEMILINEAR_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fn/function.h"
+#include "geom/arrangement.h"
+#include "math/congruence.h"
+#include "math/rational.h"
+
+namespace crnkit::fn {
+
+/// A rational affine partial function x -> gradient . x + offset.
+struct AffinePiece {
+  math::RatVec gradient;
+  math::Rational offset;
+
+  [[nodiscard]] math::Rational evaluate(const Point& x) const {
+    return math::dot(gradient, x) + offset;
+  }
+};
+
+/// A total function N^d -> Z in Lemma 7.3 normal form.
+class SemilinearFunction {
+ public:
+  SemilinearFunction(geom::Arrangement arrangement, math::Int period,
+                     std::string name = "f");
+
+  [[nodiscard]] int dimension() const { return arrangement_.dimension(); }
+  [[nodiscard]] math::Int period() const { return p_; }
+  [[nodiscard]] const geom::Arrangement& arrangement() const {
+    return arrangement_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Defines the piece on (region with signs `signs`, class `a`).
+  void set_piece(const std::vector<int>& signs, const math::CongruenceClass& a,
+                 AffinePiece piece);
+
+  /// Defines the same piece for every congruence class of the region.
+  void set_region_piece(const std::vector<int>& signs, AffinePiece piece);
+
+  /// True iff a piece is defined for x's (region, class).
+  [[nodiscard]] bool has_piece_at(const Point& x) const;
+
+  /// The piece governing x; throws if undefined.
+  [[nodiscard]] const AffinePiece& piece_at(const Point& x) const;
+
+  /// Exact evaluation; throws if the value is not an integer or no piece is
+  /// defined for x's (region, class).
+  [[nodiscard]] math::Int operator()(const Point& x) const;
+
+  [[nodiscard]] DiscreteFunction as_function() const;
+
+ private:
+  [[nodiscard]] std::string piece_key(const std::vector<int>& signs,
+                                      const math::CongruenceClass& a) const;
+
+  geom::Arrangement arrangement_;
+  math::Int p_;
+  std::map<std::string, AffinePiece> pieces_;
+  std::string name_;
+};
+
+}  // namespace crnkit::fn
+
+#endif  // CRNKIT_FN_SEMILINEAR_H_

@@ -1,0 +1,193 @@
+#include "fn/semilinear_set.h"
+
+#include <sstream>
+
+#include "geom/arrangement.h"
+#include "math/check.h"
+
+namespace crnkit::fn {
+
+using math::Int;
+
+struct SemilinearSet::Node {
+  enum class Kind { kThreshold, kMod, kUnion, kIntersection, kComplement,
+                    kAll, kNone };
+  Kind kind;
+  int dimension = 0;
+  // Atom payload.
+  std::vector<Int> a;
+  Int b = 0;
+  Int c = 1;
+  // Children.
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+SemilinearSet::SemilinearSet(std::shared_ptr<const Node> root)
+    : root_(std::move(root)) {}
+
+SemilinearSet SemilinearSet::threshold(std::vector<Int> a, Int b) {
+  require(!a.empty(), "SemilinearSet::threshold: empty coefficient vector");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kThreshold;
+  node->dimension = static_cast<int>(a.size());
+  node->a = std::move(a);
+  node->b = b;
+  return SemilinearSet(std::move(node));
+}
+
+SemilinearSet SemilinearSet::mod(std::vector<Int> a, Int b, Int c) {
+  require(!a.empty(), "SemilinearSet::mod: empty coefficient vector");
+  require(c >= 1, "SemilinearSet::mod: modulus must be >= 1");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kMod;
+  node->dimension = static_cast<int>(a.size());
+  node->a = std::move(a);
+  node->b = math::floor_mod(b, c);
+  node->c = c;
+  return SemilinearSet(std::move(node));
+}
+
+SemilinearSet SemilinearSet::none(int dimension) {
+  require(dimension >= 1, "SemilinearSet::none: bad dimension");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNone;
+  node->dimension = dimension;
+  return SemilinearSet(std::move(node));
+}
+
+SemilinearSet SemilinearSet::all(int dimension) {
+  require(dimension >= 1, "SemilinearSet::all: bad dimension");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAll;
+  node->dimension = dimension;
+  return SemilinearSet(std::move(node));
+}
+
+SemilinearSet SemilinearSet::operator|(const SemilinearSet& other) const {
+  require(dimension() == other.dimension(),
+          "SemilinearSet: union dimension mismatch");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kUnion;
+  node->dimension = dimension();
+  node->left = root_;
+  node->right = other.root_;
+  return SemilinearSet(std::move(node));
+}
+
+SemilinearSet SemilinearSet::operator&(const SemilinearSet& other) const {
+  require(dimension() == other.dimension(),
+          "SemilinearSet: intersection dimension mismatch");
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kIntersection;
+  node->dimension = dimension();
+  node->left = root_;
+  node->right = other.root_;
+  return SemilinearSet(std::move(node));
+}
+
+SemilinearSet SemilinearSet::operator~() const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kComplement;
+  node->dimension = dimension();
+  node->left = root_;
+  return SemilinearSet(std::move(node));
+}
+
+int SemilinearSet::dimension() const { return root_->dimension; }
+
+namespace {
+
+Int dot_int(const std::vector<Int>& a, const Point& x) {
+  Int acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = math::checked_add(acc, math::checked_mul(a[i], x[i]));
+  }
+  return acc;
+}
+
+}  // namespace
+
+struct SemilinearSetEval {
+  static bool eval(const SemilinearSet::Node& node, const Point& x) {
+    using Kind = SemilinearSet::Node::Kind;
+    switch (node.kind) {
+      case Kind::kThreshold:
+        return dot_int(node.a, x) >= node.b;
+      case Kind::kMod:
+        return math::floor_mod(dot_int(node.a, x), node.c) == node.b;
+      case Kind::kUnion:
+        return eval(*node.left, x) || eval(*node.right, x);
+      case Kind::kIntersection:
+        return eval(*node.left, x) && eval(*node.right, x);
+      case Kind::kComplement:
+        return !eval(*node.left, x);
+      case Kind::kAll:
+        return true;
+      case Kind::kNone:
+        return false;
+    }
+    return false;
+  }
+
+  static std::string render(const SemilinearSet::Node& node) {
+    using Kind = SemilinearSet::Node::Kind;
+    auto vec = [](const std::vector<Int>& a) {
+      std::ostringstream os;
+      os << "(";
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) os << ",";
+        os << a[i];
+      }
+      os << ")";
+      return os.str();
+    };
+    switch (node.kind) {
+      case Kind::kThreshold:
+        return vec(node.a) + ".x>=" + std::to_string(node.b);
+      case Kind::kMod:
+        return vec(node.a) + ".x=" + std::to_string(node.b) + "(mod " +
+               std::to_string(node.c) + ")";
+      case Kind::kUnion:
+        return "(" + render(*node.left) + " | " + render(*node.right) + ")";
+      case Kind::kIntersection:
+        return "(" + render(*node.left) + " & " + render(*node.right) + ")";
+      case Kind::kComplement:
+        return "~(" + render(*node.left) + ")";
+      case Kind::kAll:
+        return "ALL";
+      case Kind::kNone:
+        return "NONE";
+    }
+    return "?";
+  }
+};
+
+bool SemilinearSet::contains(const Point& x) const {
+  require(static_cast<int>(x.size()) == dimension(),
+          "SemilinearSet::contains: arity mismatch");
+  return SemilinearSetEval::eval(*root_, x);
+}
+
+DiscreteFunction SemilinearSet::indicator(const std::string& name) const {
+  SemilinearSet copy = *this;
+  return DiscreteFunction(
+      dimension(),
+      [copy](const Point& x) -> Int { return copy.contains(x) ? 1 : 0; },
+      name);
+}
+
+Int SemilinearSet::count_within(Int grid_max) const {
+  Int count = 0;
+  geom::for_each_grid_point(dimension(), grid_max,
+                            [&](const std::vector<Int>& x) {
+                              if (contains(x)) ++count;
+                            });
+  return count;
+}
+
+std::string SemilinearSet::to_string() const {
+  return SemilinearSetEval::render(*root_);
+}
+
+}  // namespace crnkit::fn

@@ -1,0 +1,63 @@
+// Semilinear sets (Definition 2.5): finite Boolean combinations of
+// threshold sets {x : a.x >= b} and mod sets {x : a.x = b (mod c)}.
+//
+// These are the domains of the affine partial functions in Definition 2.6,
+// and the sets definable by population-protocol predicates [6]. The class
+// here is a small expression tree with exact membership evaluation,
+// supporting union, intersection, complement, and indicator lowering.
+#ifndef CRNKIT_FN_SEMILINEAR_SET_H_
+#define CRNKIT_FN_SEMILINEAR_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+
+namespace crnkit::fn {
+
+class SemilinearSet {
+ public:
+  /// {x in N^d : a . x >= b}.
+  [[nodiscard]] static SemilinearSet threshold(std::vector<math::Int> a,
+                                               math::Int b);
+
+  /// {x in N^d : a . x = b (mod c)}, c >= 1.
+  [[nodiscard]] static SemilinearSet mod(std::vector<math::Int> a,
+                                         math::Int b, math::Int c);
+
+  /// The empty and full sets over N^d.
+  [[nodiscard]] static SemilinearSet none(int dimension);
+  [[nodiscard]] static SemilinearSet all(int dimension);
+
+  [[nodiscard]] SemilinearSet operator|(const SemilinearSet& other) const;
+  [[nodiscard]] SemilinearSet operator&(const SemilinearSet& other) const;
+  [[nodiscard]] SemilinearSet operator~() const;
+  [[nodiscard]] SemilinearSet minus(const SemilinearSet& other) const {
+    return *this & ~other;
+  }
+
+  [[nodiscard]] int dimension() const;
+  [[nodiscard]] bool contains(const Point& x) const;
+
+  /// The 0/1 indicator as a DiscreteFunction.
+  [[nodiscard]] DiscreteFunction indicator(const std::string& name = "1_S")
+      const;
+
+  /// Number of members within [0, grid_max]^d (exact enumeration).
+  [[nodiscard]] math::Int count_within(math::Int grid_max) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Expression-tree node (public so the evaluator in the implementation
+  /// file can traverse it; not part of the stable API).
+  struct Node;
+
+ private:
+  explicit SemilinearSet(std::shared_ptr<const Node> root);
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace crnkit::fn
+
+#endif  // CRNKIT_FN_SEMILINEAR_SET_H_

@@ -1,0 +1,97 @@
+#include "geom/arrangement.h"
+
+#include <functional>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::geom {
+
+using math::Int;
+
+Arrangement::Arrangement(int dimension,
+                         std::vector<ThresholdHyperplane> hyperplanes)
+    : d_(dimension), hyperplanes_(std::move(hyperplanes)) {
+  require(d_ >= 1, "Arrangement: dimension must be >= 1");
+  for (const auto& hp : hyperplanes_) {
+    require(static_cast<int>(hp.normal.size()) == d_,
+            "Arrangement: hyperplane dimension mismatch");
+  }
+}
+
+std::vector<int> Arrangement::sign_pattern(const std::vector<Int>& x) const {
+  require(static_cast<int>(x.size()) == d_,
+          "Arrangement::sign_pattern: point dimension mismatch");
+  std::vector<int> signs(hyperplanes_.size());
+  for (std::size_t i = 0; i < hyperplanes_.size(); ++i) {
+    signs[i] = hyperplanes_[i].sign_of(x);
+  }
+  return signs;
+}
+
+Region Arrangement::region_of(const std::vector<Int>& x) const {
+  return Region(d_, hyperplanes_, sign_pattern(x));
+}
+
+std::vector<RealizedRegion> Arrangement::enumerate_regions(
+    Int grid_max) const {
+  require(grid_max >= 0, "Arrangement::enumerate_regions: negative grid");
+  std::map<std::string, RealizedRegion> by_key;
+  for_each_grid_point(d_, grid_max, [&](const std::vector<Int>& x) {
+    Region r = region_of(x);
+    const std::string key = r.key();
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      RealizedRegion realized{std::move(r), {x}};
+      by_key.emplace(key, std::move(realized));
+    } else {
+      it->second.sample_points.push_back(x);
+    }
+  });
+  std::vector<RealizedRegion> out;
+  out.reserve(by_key.size());
+  for (auto& [key, realized] : by_key) out.push_back(std::move(realized));
+  return out;
+}
+
+std::string Arrangement::to_string() const {
+  std::ostringstream os;
+  os << "Arrangement(d=" << d_ << ", " << hyperplanes_.size()
+     << " hyperplanes)";
+  for (const auto& hp : hyperplanes_) os << "\n  " << hp.to_string();
+  return os.str();
+}
+
+void for_each_grid_point(
+    int dimension, Int grid_max,
+    const std::function<void(const std::vector<Int>&)>& fn) {
+  std::vector<Int> lo(static_cast<std::size_t>(dimension), 0);
+  std::vector<Int> hi(static_cast<std::size_t>(dimension), grid_max);
+  for_each_box_point(lo, hi, fn);
+}
+
+void for_each_box_point(
+    const std::vector<Int>& lo, const std::vector<Int>& hi,
+    const std::function<void(const std::vector<Int>&)>& fn) {
+  require(lo.size() == hi.size(), "for_each_box_point: bound size mismatch");
+  const std::size_t d = lo.size();
+  for (std::size_t i = 0; i < d; ++i) {
+    if (lo[i] > hi[i]) return;  // empty box
+  }
+  std::vector<Int> x = lo;
+  while (true) {
+    fn(x);
+    std::size_t i = 0;
+    while (i < d) {
+      if (x[i] < hi[i]) {
+        ++x[i];
+        break;
+      }
+      x[i] = lo[i];
+      ++i;
+    }
+    if (i == d) return;
+  }
+}
+
+}  // namespace crnkit::geom

@@ -1,0 +1,68 @@
+// A threshold-hyperplane arrangement over N^d (Section 7.2): the collection
+// T of threshold sets from a semilinear representation of f. Every integer
+// point has a unique sign pattern, hence a unique region; this class maps
+// points to regions and enumerates the regions realized on a grid.
+#ifndef CRNKIT_GEOM_ARRANGEMENT_H_
+#define CRNKIT_GEOM_ARRANGEMENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geom/hyperplane.h"
+#include "geom/region.h"
+
+namespace crnkit::geom {
+
+/// A region together with the integer points of the enumeration grid that
+/// realized it (sample points, in enumeration order).
+struct RealizedRegion {
+  Region region;
+  std::vector<std::vector<math::Int>> sample_points;
+};
+
+class Arrangement {
+ public:
+  Arrangement(int dimension, std::vector<ThresholdHyperplane> hyperplanes);
+
+  [[nodiscard]] int dimension() const { return d_; }
+  [[nodiscard]] const std::vector<ThresholdHyperplane>& hyperplanes() const {
+    return hyperplanes_;
+  }
+
+  /// Sign pattern of an integer point (+1/-1 per hyperplane).
+  [[nodiscard]] std::vector<int> sign_pattern(
+      const std::vector<math::Int>& x) const;
+
+  /// The unique region containing integer point x.
+  [[nodiscard]] Region region_of(const std::vector<math::Int>& x) const;
+
+  /// Enumerates the regions realized by integer points in [0, grid_max]^d,
+  /// each with its realizing sample points. Deterministic order (by sign
+  /// pattern key).
+  [[nodiscard]] std::vector<RealizedRegion> enumerate_regions(
+      math::Int grid_max) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int d_;
+  std::vector<ThresholdHyperplane> hyperplanes_;
+};
+
+/// Iterates all integer points of [0, grid_max]^d in lexicographic order,
+/// invoking fn(point) for each. Used by region enumeration, verification
+/// sweeps, and the analysis pipeline.
+void for_each_grid_point(
+    int dimension, math::Int grid_max,
+    const std::function<void(const std::vector<math::Int>&)>& fn);
+
+/// Iterates integer points of the box [lo, hi]^d (componentwise bounds).
+void for_each_box_point(
+    const std::vector<math::Int>& lo, const std::vector<math::Int>& hi,
+    const std::function<void(const std::vector<math::Int>&)>& fn);
+
+}  // namespace crnkit::geom
+
+#endif  // CRNKIT_GEOM_ARRANGEMENT_H_

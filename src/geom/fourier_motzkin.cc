@@ -1,0 +1,268 @@
+#include "geom/fourier_motzkin.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "math/check.h"
+
+namespace crnkit::geom {
+
+using math::RatVec;
+using math::Rational;
+
+std::string LinearConstraint::to_string() const {
+  std::ostringstream os;
+  os << math::to_string(coeffs) << " . y ";
+  switch (rel) {
+    case Rel::kGe:
+      os << ">= ";
+      break;
+    case Rel::kGt:
+      os << "> ";
+      break;
+    case Rel::kEq:
+      os << "== ";
+      break;
+  }
+  os << rhs;
+  return os.str();
+}
+
+LinearConstraint ge(RatVec coeffs, Rational rhs) {
+  return LinearConstraint{std::move(coeffs), std::move(rhs), Rel::kGe};
+}
+LinearConstraint gt(RatVec coeffs, Rational rhs) {
+  return LinearConstraint{std::move(coeffs), std::move(rhs), Rel::kGt};
+}
+LinearConstraint eq(RatVec coeffs, Rational rhs) {
+  return LinearConstraint{std::move(coeffs), std::move(rhs), Rel::kEq};
+}
+
+bool satisfies(const LinearConstraint& c, const RatVec& y) {
+  const Rational lhs = math::dot(c.coeffs, y);
+  switch (c.rel) {
+    case Rel::kGe:
+      return lhs >= c.rhs;
+    case Rel::kGt:
+      return lhs > c.rhs;
+    case Rel::kEq:
+      return lhs == c.rhs;
+  }
+  return false;  // unreachable
+}
+
+namespace {
+
+// Internal normal form: coeffs . y >= rhs (strict flag separate).
+struct NormConstraint {
+  RatVec coeffs;
+  Rational rhs;
+  bool strict = false;
+};
+
+// A bound on one variable: value = coeffs . y_prefix + constant, where
+// y_prefix are the variables with smaller index.
+struct Bound {
+  RatVec coeffs;
+  Rational constant;
+  bool strict = false;
+};
+
+// Per-eliminated-variable record for witness back-substitution.
+struct EliminationLevel {
+  std::vector<Bound> lowers;  // variable >= bound
+  std::vector<Bound> uppers;  // variable <= bound
+};
+
+// Scales so the leading nonzero coefficient (or rhs) has absolute value 1,
+// producing a canonical key for de-duplication.
+std::pair<std::string, NormConstraint> canonicalize(NormConstraint c) {
+  Rational lead;
+  for (const auto& q : c.coeffs) {
+    if (!q.is_zero()) {
+      lead = q;
+      break;
+    }
+  }
+  if (lead.is_zero()) lead = c.rhs.is_zero() ? Rational(1) : c.rhs;
+  if (lead.is_negative()) lead = -lead;
+  if (!(lead == Rational(1))) {
+    const Rational inv = Rational(1) / lead;
+    for (auto& q : c.coeffs) q *= inv;
+    c.rhs *= inv;
+  }
+  std::ostringstream key;
+  for (const auto& q : c.coeffs) key << q << "|";
+  key << c.rhs;
+  // Note: strictness is intentionally not part of the key; when a strict and
+  // a non-strict copy of the same inequality coexist, the strict one implies
+  // the other, so we keep the stronger (strict) version.
+  return {key.str(), std::move(c)};
+}
+
+void insert_deduped(std::map<std::string, NormConstraint>& set,
+                    NormConstraint c) {
+  auto [key, canon] = canonicalize(std::move(c));
+  auto it = set.find(key);
+  if (it == set.end()) {
+    set.emplace(std::move(key), std::move(canon));
+  } else if (canon.strict && !it->second.strict) {
+    it->second.strict = true;
+  }
+}
+
+constexpr std::size_t kMaxConstraints = 200000;
+
+}  // namespace
+
+std::optional<RatVec> find_solution(
+    const std::vector<LinearConstraint>& constraints, int dimension) {
+  require(dimension >= 0, "find_solution: negative dimension");
+  const auto d = static_cast<std::size_t>(dimension);
+
+  // Convert to normal form (>= / >), splitting equalities.
+  std::vector<NormConstraint> work;
+  for (const auto& c : constraints) {
+    require(c.coeffs.size() == d, "find_solution: constraint dimension " +
+                                      std::to_string(c.coeffs.size()) +
+                                      " != " + std::to_string(dimension));
+    switch (c.rel) {
+      case Rel::kGe:
+        work.push_back({c.coeffs, c.rhs, false});
+        break;
+      case Rel::kGt:
+        work.push_back({c.coeffs, c.rhs, true});
+        break;
+      case Rel::kEq: {
+        work.push_back({c.coeffs, c.rhs, false});
+        RatVec neg(c.coeffs.size());
+        for (std::size_t i = 0; i < c.coeffs.size(); ++i) neg[i] = -c.coeffs[i];
+        work.push_back({std::move(neg), -c.rhs, false});
+        break;
+      }
+    }
+  }
+
+  std::vector<EliminationLevel> levels(d);
+
+  // Eliminate variables from highest index down to 0; expressions at level k
+  // then only mention variables 0..k-1.
+  for (std::size_t k = d; k-- > 0;) {
+    EliminationLevel level;
+    std::vector<NormConstraint> rest;
+    for (const auto& c : work) {
+      const Rational& a = c.coeffs[k];
+      if (a.is_zero()) {
+        rest.push_back(c);
+        continue;
+      }
+      // a * y_k + a' . y' >= rhs   =>   y_k >=/<= (rhs - a' . y') / a
+      Bound b;
+      b.coeffs.assign(c.coeffs.begin(),
+                      c.coeffs.begin() + static_cast<std::ptrdiff_t>(k));
+      const Rational inv = Rational(1) / a;
+      for (auto& q : b.coeffs) q = -(q * inv);
+      b.constant = c.rhs * inv;
+      b.strict = c.strict;
+      if (a.is_positive()) {
+        level.lowers.push_back(std::move(b));
+      } else {
+        level.uppers.push_back(std::move(b));
+      }
+    }
+
+    std::map<std::string, NormConstraint> next;
+    for (auto& c : rest) insert_deduped(next, std::move(c));
+    // Combine each (lower, upper) pair: upper - lower >= 0 (strict if either).
+    for (const auto& lo : level.lowers) {
+      for (const auto& up : level.uppers) {
+        NormConstraint combined;
+        combined.coeffs = math::sub(lo.coeffs, up.coeffs);
+        combined.rhs = up.constant - lo.constant;
+        combined.strict = lo.strict || up.strict;
+        // lo.expr <= up.expr  <=>  (lo.coeffs - up.coeffs) . y <= up.c - lo.c.
+        // Flip to >= form.
+        for (auto& q : combined.coeffs) q = -q;
+        combined.rhs = -(combined.rhs);
+        // combined: (up.coeffs - lo.coeffs) . y >= lo.c - up.c
+        insert_deduped(next, std::move(combined));
+        if (next.size() > kMaxConstraints) {
+          throw std::runtime_error(
+              "find_solution: Fourier-Motzkin constraint blowup");
+        }
+      }
+    }
+    levels[k] = std::move(level);
+    work.clear();
+    work.reserve(next.size());
+    for (auto& [key, c] : next) work.push_back(std::move(c));
+  }
+
+  // All variables eliminated: constraints are "0 >= rhs" / "0 > rhs".
+  for (const auto& c : work) {
+    const bool ok = c.strict ? (Rational(0) > c.rhs) : (Rational(0) >= c.rhs);
+    if (!ok) return std::nullopt;
+  }
+
+  // Back-substitute a witness.
+  RatVec y;
+  y.reserve(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    const EliminationLevel& level = levels[k];
+    bool has_lo = false;
+    bool has_up = false;
+    Rational lo;
+    Rational up;
+    bool lo_strict = false;
+    bool up_strict = false;
+    for (const auto& b : level.lowers) {
+      const Rational v = math::dot(b.coeffs, y) + b.constant;
+      if (!has_lo) {
+        lo = v;
+        lo_strict = b.strict;
+        has_lo = true;
+      } else if (v > lo) {
+        lo = v;
+        lo_strict = b.strict;
+      } else if (v == lo && b.strict) {
+        lo_strict = true;
+      }
+    }
+    for (const auto& b : level.uppers) {
+      const Rational v = math::dot(b.coeffs, y) + b.constant;
+      if (!has_up) {
+        up = v;
+        up_strict = b.strict;
+        has_up = true;
+      } else if (v < up) {
+        up = v;
+        up_strict = b.strict;
+      } else if (v == up && b.strict) {
+        up_strict = true;
+      }
+    }
+    Rational value;
+    if (has_lo && has_up) {
+      ensure(lo < up || (lo == up && !lo_strict && !up_strict),
+             "find_solution: back-substitution found empty interval");
+      value = (lo == up) ? lo : (lo + up) / Rational(2);
+    } else if (has_lo) {
+      value = lo_strict ? lo + Rational(1) : lo;
+    } else if (has_up) {
+      value = up_strict ? up - Rational(1) : up;
+    } else {
+      value = Rational(0);
+    }
+    y.push_back(value);
+  }
+  return y;
+}
+
+bool feasible(const std::vector<LinearConstraint>& constraints,
+              int dimension) {
+  return find_solution(constraints, dimension).has_value();
+}
+
+}  // namespace crnkit::geom

@@ -1,0 +1,56 @@
+// Exact feasibility of systems of linear inequalities over Q^d, by
+// Fourier-Motzkin elimination, with witness extraction.
+//
+// The geometry of Section 7 of the paper repeatedly needs exact answers to
+// small queries of the form "is there y with A y >= 0 and a . y > 0?"
+// (implicit-equality detection for recession-cone dimension, Lemma 7.17),
+// "is there y in the cone with y > 0 componentwise?" (eventual regions,
+// Definition 7.10) and "is a . y >= 0 valid on this cone?" (the neighbor
+// relation, Definition 7.11). All involve <= ~6 variables and a handful of
+// constraints, so exact Fourier-Motzkin elimination is simpler and more
+// trustworthy than floating-point LP.
+#ifndef CRNKIT_GEOM_FOURIER_MOTZKIN_H_
+#define CRNKIT_GEOM_FOURIER_MOTZKIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/rational.h"
+
+namespace crnkit::geom {
+
+/// Relation of a linear constraint coeffs . y REL rhs.
+enum class Rel { kGe, kGt, kEq };
+
+/// A single linear constraint over Q^d.
+struct LinearConstraint {
+  math::RatVec coeffs;
+  math::Rational rhs;
+  Rel rel = Rel::kGe;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Convenience constructors.
+[[nodiscard]] LinearConstraint ge(math::RatVec coeffs, math::Rational rhs);
+[[nodiscard]] LinearConstraint gt(math::RatVec coeffs, math::Rational rhs);
+[[nodiscard]] LinearConstraint eq(math::RatVec coeffs, math::Rational rhs);
+
+/// True iff point y satisfies the constraint exactly.
+[[nodiscard]] bool satisfies(const LinearConstraint& c, const math::RatVec& y);
+
+/// Decides feasibility of the conjunction of `constraints` over y in Q^d
+/// (equivalently R^d: FM elimination preserves rational witnesses).
+/// Returns a rational witness point if feasible, std::nullopt otherwise.
+/// Throws std::invalid_argument on ragged dimensions.
+[[nodiscard]] std::optional<math::RatVec> find_solution(
+    const std::vector<LinearConstraint>& constraints, int dimension);
+
+/// Feasibility without needing the witness.
+[[nodiscard]] bool feasible(const std::vector<LinearConstraint>& constraints,
+                            int dimension);
+
+}  // namespace crnkit::geom
+
+#endif  // CRNKIT_GEOM_FOURIER_MOTZKIN_H_

@@ -1,0 +1,58 @@
+// Threshold hyperplanes of Section 7.2.
+//
+// A semilinear threshold set is {x in N^d : t . x >= h} with t in Z^d, h in Z.
+// Following the paper, we interpret the boundary as the shifted hyperplane
+// t . x = h - 1/2, which contains no integer points, so the hyperplanes
+// partition N^d cleanly: every integer point is strictly on one side.
+#ifndef CRNKIT_GEOM_HYPERPLANE_H_
+#define CRNKIT_GEOM_HYPERPLANE_H_
+
+#include <string>
+#include <vector>
+
+#include "math/numtheory.h"
+#include "math/rational.h"
+
+namespace crnkit::geom {
+
+/// The threshold set {x : t . x >= h}, with lattice-point-free boundary
+/// t . x = h - 1/2.
+struct ThresholdHyperplane {
+  std::vector<math::Int> normal;  ///< t
+  math::Int offset = 0;           ///< h
+
+  /// +1 if t . x >= h (x in the threshold set), -1 otherwise.
+  [[nodiscard]] int sign_of(const std::vector<math::Int>& x) const {
+    math::Int acc = 0;
+    for (std::size_t i = 0; i < normal.size(); ++i) {
+      acc = math::checked_add(acc, math::checked_mul(normal[i], x[i]));
+    }
+    return acc >= offset ? +1 : -1;
+  }
+
+  /// The boundary right-hand side h - 1/2 as an exact rational.
+  [[nodiscard]] math::Rational boundary_rhs() const {
+    return math::Rational(2 * offset - 1, 2);
+  }
+
+  /// L1 norm of the normal (used for interior-margin bounds).
+  [[nodiscard]] math::Int normal_l1() const {
+    math::Int acc = 0;
+    for (const math::Int t : normal) acc += t < 0 ? -t : t;
+    return acc;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "{x : (";
+    for (std::size_t i = 0; i < normal.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(normal[i]);
+    }
+    s += ") . x >= " + std::to_string(offset) + "}";
+    return s;
+  }
+};
+
+}  // namespace crnkit::geom
+
+#endif  // CRNKIT_GEOM_HYPERPLANE_H_

@@ -1,0 +1,290 @@
+#include "geom/region.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::geom {
+
+using math::Int;
+using math::Matrix;
+using math::Rational;
+using math::RatVec;
+
+Region::Region(int dimension, std::vector<ThresholdHyperplane> hyperplanes,
+               std::vector<int> signs)
+    : d_(dimension),
+      hyperplanes_(std::move(hyperplanes)),
+      signs_(std::move(signs)) {
+  require(d_ >= 1, "Region: dimension must be >= 1");
+  require(hyperplanes_.size() == signs_.size(),
+          "Region: one sign per hyperplane required");
+  for (const auto& hp : hyperplanes_) {
+    require(static_cast<int>(hp.normal.size()) == d_,
+            "Region: hyperplane dimension mismatch");
+  }
+  for (const int s : signs_) {
+    require(s == +1 || s == -1, "Region: signs must be +1 or -1");
+  }
+}
+
+bool Region::contains(const std::vector<Int>& x) const {
+  if (static_cast<int>(x.size()) != d_) return false;
+  for (const Int v : x) {
+    if (v < 0) return false;
+  }
+  for (std::size_t i = 0; i < hyperplanes_.size(); ++i) {
+    if (hyperplanes_[i].sign_of(x) != signs_[i]) return false;
+  }
+  return true;
+}
+
+bool Region::contains_real(const RatVec& x) const {
+  if (static_cast<int>(x.size()) != d_) return false;
+  for (const auto& c : region_constraints()) {
+    if (!satisfies(c, x)) return false;
+  }
+  return true;
+}
+
+std::vector<LinearConstraint> Region::region_constraints() const {
+  std::vector<LinearConstraint> out;
+  out.reserve(hyperplanes_.size() + static_cast<std::size_t>(d_));
+  for (std::size_t i = 0; i < hyperplanes_.size(); ++i) {
+    RatVec coeffs(static_cast<std::size_t>(d_));
+    const Rational s(signs_[i]);
+    for (int j = 0; j < d_; ++j) {
+      coeffs[static_cast<std::size_t>(j)] =
+          s * Rational(hyperplanes_[i].normal[static_cast<std::size_t>(j)]);
+    }
+    out.push_back(ge(std::move(coeffs), s * hyperplanes_[i].boundary_rhs()));
+  }
+  for (int j = 0; j < d_; ++j) {
+    RatVec coeffs(static_cast<std::size_t>(d_));
+    coeffs[static_cast<std::size_t>(j)] = Rational(1);
+    out.push_back(ge(std::move(coeffs), Rational(0)));
+  }
+  return out;
+}
+
+std::vector<LinearConstraint> Region::cone_constraints() const {
+  std::vector<LinearConstraint> out = region_constraints();
+  for (auto& c : out) c.rhs = Rational(0);
+  return out;
+}
+
+std::vector<RatVec> Region::cone_implicit_equalities() const {
+  const auto cone = cone_constraints();
+  std::vector<RatVec> implicit;
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    // Row a is an implicit equality iff {cone, a . y > 0} is infeasible.
+    std::vector<LinearConstraint> query = cone;
+    query.push_back(gt(cone[i].coeffs, Rational(0)));
+    if (!feasible(query, d_)) implicit.push_back(cone[i].coeffs);
+  }
+  return implicit;
+}
+
+int Region::cone_dimension() const {
+  const auto implicit = cone_implicit_equalities();
+  if (implicit.empty()) return d_;
+  return d_ - static_cast<int>(math::rank(Matrix::from_rows(implicit)));
+}
+
+bool Region::is_determined() const { return cone_dimension() == d_; }
+
+bool Region::is_eventual() const {
+  return positive_recession_direction().has_value();
+}
+
+std::optional<std::vector<Int>> Region::positive_recession_direction() const {
+  std::vector<LinearConstraint> query = cone_constraints();
+  for (int j = 0; j < d_; ++j) {
+    RatVec coeffs(static_cast<std::size_t>(d_));
+    coeffs[static_cast<std::size_t>(j)] = Rational(1);
+    query.push_back(gt(std::move(coeffs), Rational(0)));
+  }
+  const auto witness = find_solution(query, d_);
+  if (!witness) return std::nullopt;
+  return math::clear_denominators(*witness);
+}
+
+std::optional<std::vector<Int>> Region::interior_direction() const {
+  std::vector<LinearConstraint> query = cone_constraints();
+  for (auto& c : query) c.rel = Rel::kGt;
+  const auto witness = find_solution(query, d_);
+  if (!witness) return std::nullopt;
+  return math::clear_denominators(*witness);
+}
+
+std::optional<std::vector<Int>> Region::relative_interior_direction() const {
+  const auto implicit = cone_implicit_equalities();
+  std::vector<LinearConstraint> query;
+  for (const auto& c : cone_constraints()) {
+    // Keep implicit equalities as equalities; make the rest strict.
+    bool is_implicit = false;
+    for (const auto& row : implicit) {
+      if (row == c.coeffs) {
+        is_implicit = true;
+        break;
+      }
+    }
+    query.push_back(is_implicit ? eq(c.coeffs, Rational(0))
+                                : gt(c.coeffs, Rational(0)));
+  }
+  const auto witness = find_solution(query, d_);
+  if (!witness) return std::nullopt;
+  return math::clear_denominators(*witness);
+}
+
+std::vector<RatVec> Region::determined_subspace_basis() const {
+  const auto implicit = cone_implicit_equalities();
+  if (implicit.empty()) {
+    // Full-dimensional: W = R^d.
+    std::vector<RatVec> basis;
+    for (int j = 0; j < d_; ++j) {
+      RatVec e(static_cast<std::size_t>(d_));
+      e[static_cast<std::size_t>(j)] = Rational(1);
+      basis.push_back(std::move(e));
+    }
+    return basis;
+  }
+  return math::nullspace(Matrix::from_rows(implicit));
+}
+
+std::vector<Int> Region::deep_point(const std::vector<Int>& base,
+                                    const std::vector<Int>& direction,
+                                    Int margin) const {
+  require(contains(base), "Region::deep_point: base point not in region");
+  require(static_cast<int>(direction.size()) == d_,
+          "Region::deep_point: direction dimension mismatch");
+  require(margin >= 0, "Region::deep_point: negative margin");
+
+  auto deep_enough = [&](const std::vector<Int>& x) {
+    for (int j = 0; j < d_; ++j) {
+      if (Rational(x[static_cast<std::size_t>(j)]) < Rational(margin)) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < hyperplanes_.size(); ++i) {
+      const auto& hp = hyperplanes_[i];
+      Int tx = 0;
+      for (int j = 0; j < d_; ++j) {
+        tx = math::checked_add(
+            tx, math::checked_mul(hp.normal[static_cast<std::size_t>(j)],
+                                  x[static_cast<std::size_t>(j)]));
+      }
+      // Need s_i (t_i . x - (h_i - 1/2)) >= margin * ||t_i||_1, so that any
+      // point within L-inf distance `margin` stays on the same side.
+      const Rational slack =
+          Rational(signs_[i]) * (Rational(tx) - hp.boundary_rhs());
+      if (slack < Rational(math::checked_mul(margin, hp.normal_l1()))) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<Int> x = base;
+  Int step = 1;
+  constexpr int kMaxDoublings = 48;
+  for (int iter = 0; iter < kMaxDoublings; ++iter) {
+    if (deep_enough(x)) return x;
+    for (int j = 0; j < d_; ++j) {
+      x[static_cast<std::size_t>(j)] = math::checked_add(
+          x[static_cast<std::size_t>(j)],
+          math::checked_mul(step, direction[static_cast<std::size_t>(j)]));
+    }
+    ensure(contains(x),
+           "Region::deep_point: direction left the region (not a recession "
+           "direction?)");
+    step = math::checked_mul(step, 2);
+  }
+  throw std::runtime_error(
+      "Region::deep_point: failed to reach requested margin");
+}
+
+std::vector<Int> Region::representative_in_class(
+    const math::CongruenceClass& a, const std::vector<Int>& base) const {
+  const Int p = a.period();
+  const auto dir = interior_direction();
+  require(dir.has_value(),
+          "Region::representative_in_class: region is not determined");
+  const std::vector<Int> center = deep_point(base, *dir, p);
+  // Adjust componentwise into the congruence class; the adjustment is at most
+  // p-1 in L-infinity, within the margin.
+  std::vector<Int> out(center.size());
+  const auto& rep = a.representative();
+  for (std::size_t j = 0; j < center.size(); ++j) {
+    const Int delta = math::floor_mod(rep[j] - center[j], p);
+    out[j] = math::checked_add(center[j], delta);
+  }
+  ensure(contains(out),
+         "Region::representative_in_class: adjusted point left the region");
+  ensure(a.contains(out),
+         "Region::representative_in_class: wrong congruence class");
+  return out;
+}
+
+std::string Region::key() const {
+  std::string s;
+  s.reserve(signs_.size());
+  for (const int sign : signs_) s += (sign > 0 ? '+' : '-');
+  return s;
+}
+
+std::string Region::to_string() const {
+  std::ostringstream os;
+  os << "Region[" << key() << "]";
+  return os.str();
+}
+
+bool cone_subset(const Region& inner, const Region& outer) {
+  require(inner.dimension() == outer.dimension(),
+          "cone_subset: dimension mismatch");
+  const auto inner_cone = inner.cone_constraints();
+  for (const auto& c : outer.cone_constraints()) {
+    // c must be valid on recc(inner): {inner cone, c.coeffs . y < 0} empty.
+    std::vector<LinearConstraint> query = inner_cone;
+    RatVec neg(c.coeffs.size());
+    for (std::size_t i = 0; i < c.coeffs.size(); ++i) neg[i] = -c.coeffs[i];
+    query.push_back(gt(std::move(neg), Rational(0)));
+    if (feasible(query, inner.dimension())) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> neighbor_separating_indices(const Region& u) {
+  const auto w_basis = u.determined_subspace_basis();
+  std::vector<std::size_t> out;
+  const auto& hps = u.hyperplanes();
+  for (std::size_t i = 0; i < hps.size(); ++i) {
+    bool orthogonal = true;
+    const RatVec t = math::to_rational(hps[i].normal);
+    for (const auto& w : w_basis) {
+      if (!math::dot(t, w).is_zero()) {
+        orthogonal = false;
+        break;
+      }
+    }
+    if (orthogonal) out.push_back(i);
+  }
+  return out;
+}
+
+Region neighbor_in_direction(const Region& u, const RatVec& z) {
+  require(static_cast<int>(z.size()) == u.dimension(),
+          "neighbor_in_direction: dimension mismatch");
+  const auto separating = neighbor_separating_indices(u);
+  std::vector<int> signs = u.signs();
+  for (const std::size_t i : separating) {
+    const RatVec t = math::to_rational(u.hyperplanes()[i].normal);
+    const Rational tz = math::dot(t, z);
+    if (tz.is_zero()) continue;
+    const int dir_sign = tz.is_positive() ? +1 : -1;
+    if (dir_sign == -signs[i]) signs[i] = -signs[i];
+  }
+  return Region(u.dimension(), u.hyperplanes(), std::move(signs));
+}
+
+}  // namespace crnkit::geom

@@ -1,0 +1,131 @@
+// Regions induced by sign matrices over a threshold arrangement
+// (Definition 7.2), their recession cones (Definition 7.4), the
+// determined / under-determined classification (Section 7.3), eventual
+// regions (Definition 7.10), and the neighbor relation (Definition 7.11,
+// Lemma 7.18).
+//
+// A region is R = {x in R^d_{>=0} : S(Tx - h) >= 0} for a diagonal sign
+// matrix S; we store the sign vector directly. All predicates are decided
+// exactly with the Fourier-Motzkin solver.
+#ifndef CRNKIT_GEOM_REGION_H_
+#define CRNKIT_GEOM_REGION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/fourier_motzkin.h"
+#include "geom/hyperplane.h"
+#include "math/congruence.h"
+#include "math/matrix.h"
+
+namespace crnkit::geom {
+
+/// A region of the arrangement: a sign pattern over its hyperplanes.
+class Region {
+ public:
+  /// Builds the region with the given signs (each +1 or -1) over the given
+  /// hyperplanes, in ambient dimension d.
+  Region(int dimension, std::vector<ThresholdHyperplane> hyperplanes,
+         std::vector<int> signs);
+
+  [[nodiscard]] int dimension() const { return d_; }
+  [[nodiscard]] const std::vector<ThresholdHyperplane>& hyperplanes() const {
+    return hyperplanes_;
+  }
+  [[nodiscard]] const std::vector<int>& signs() const { return signs_; }
+
+  /// Integer-point membership (exact; integer points are never on a
+  /// boundary by the half-integer shift).
+  [[nodiscard]] bool contains(const std::vector<math::Int>& x) const;
+
+  /// Real/rational membership, using the shifted boundaries.
+  [[nodiscard]] bool contains_real(const math::RatVec& x) const;
+
+  /// The inequalities defining the region over R^d (for FM queries):
+  /// s_i (t_i . x - (h_i - 1/2)) >= 0 and x_j >= 0.
+  [[nodiscard]] std::vector<LinearConstraint> region_constraints() const;
+
+  /// The inequalities defining the recession cone over R^d:
+  /// s_i (t_i . y) >= 0 and y_j >= 0 (homogenized region constraints).
+  [[nodiscard]] std::vector<LinearConstraint> cone_constraints() const;
+
+  /// Rows a (from the cone description) with a . y = 0 for every y in the
+  /// recession cone — the implicit equalities.
+  [[nodiscard]] std::vector<math::RatVec> cone_implicit_equalities() const;
+
+  /// dim recc(R): d minus the rank of the implicit equalities.
+  [[nodiscard]] int cone_dimension() const;
+
+  /// Determined region: dim recc(R) == d (Section 7.3).
+  [[nodiscard]] bool is_determined() const;
+
+  /// Eventual region (Definition 7.10): contains integer points >= any n;
+  /// equivalently the recession cone contains a strictly positive vector.
+  [[nodiscard]] bool is_eventual() const;
+
+  /// A strictly positive integer recession direction, if one exists.
+  [[nodiscard]] std::optional<std::vector<math::Int>>
+  positive_recession_direction() const;
+
+  /// An integer direction in the interior of the recession cone (every cone
+  /// constraint strict). Exists iff the region is determined.
+  [[nodiscard]] std::optional<std::vector<math::Int>> interior_direction()
+      const;
+
+  /// An integer direction in the relative interior of the recession cone
+  /// (every non-implicit constraint strict). Exists iff the cone is nonzero.
+  [[nodiscard]] std::optional<std::vector<math::Int>>
+  relative_interior_direction() const;
+
+  /// Basis of the determined subspace W = span(recc(R)) (Section 7.4).
+  [[nodiscard]] std::vector<math::RatVec> determined_subspace_basis() const;
+
+  /// Starting from integer point base (which must lie in the region), walks
+  /// along `direction` until the L-infinity ball of radius `margin` around
+  /// the point lies inside the region. Requires the direction to make all
+  /// non-tight constraints grow; throws if no progress is possible.
+  [[nodiscard]] std::vector<math::Int> deep_point(
+      const std::vector<math::Int>& base,
+      const std::vector<math::Int>& direction, math::Int margin) const;
+
+  /// An integer point of the region in congruence class `a` (mod p), at
+  /// L-infinity margin >= p inside the region. Requires a determined region,
+  /// a base point in the region, and an interior direction.
+  [[nodiscard]] std::vector<math::Int> representative_in_class(
+      const math::CongruenceClass& a, const std::vector<math::Int>& base)
+      const;
+
+  /// Canonical key for hashing/region identity: the sign pattern.
+  [[nodiscard]] std::string key() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.signs_ == b.signs_;
+  }
+
+ private:
+  int d_;
+  std::vector<ThresholdHyperplane> hyperplanes_;
+  std::vector<int> signs_;
+};
+
+/// True iff recc(inner) is a subset of recc(outer), i.e. `outer` is a
+/// neighbor of `inner` in the sense of Definition 7.11.
+[[nodiscard]] bool cone_subset(const Region& inner, const Region& outer);
+
+/// The neighbor of under-determined region U in direction z in W-perp
+/// (Lemma 7.18): flips the neighbor-separating signs that disagree with z.
+[[nodiscard]] Region neighbor_in_direction(const Region& u,
+                                           const math::RatVec& z);
+
+/// Indices of the neighbor-separating hyperplanes of U: those with normals
+/// orthogonal to the determined subspace W (Lemma 7.17 guarantees at least
+/// one exists for under-determined eventual regions).
+[[nodiscard]] std::vector<std::size_t> neighbor_separating_indices(
+    const Region& u);
+
+}  // namespace crnkit::geom
+
+#endif  // CRNKIT_GEOM_REGION_H_

@@ -1,0 +1,58 @@
+#include "geom/strips.h"
+
+#include <map>
+#include <sstream>
+
+#include "geom/arrangement.h"
+#include "math/check.h"
+#include "math/matrix.h"
+
+namespace crnkit::geom {
+
+using math::Int;
+using math::RatVec;
+
+namespace {
+
+std::string key_string(const RatVec& key) {
+  std::ostringstream os;
+  for (const auto& q : key) os << q << "|";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Strip> decompose_strips(const Region& u, Int grid_max) {
+  const auto w_basis = u.determined_subspace_basis();
+  std::map<std::string, Strip> by_key;
+  for_each_grid_point(
+      u.dimension(), grid_max, [&](const std::vector<Int>& x) {
+        if (!u.contains(x)) return;
+        const RatVec key =
+            math::orthogonal_component(math::to_rational(x), w_basis);
+        const std::string ks = key_string(key);
+        auto it = by_key.find(ks);
+        if (it == by_key.end()) {
+          by_key.emplace(ks, Strip{key, {x}});
+        } else {
+          it->second.points.push_back(x);
+        }
+      });
+  std::vector<Strip> out;
+  out.reserve(by_key.size());
+  for (auto& [ks, strip] : by_key) out.push_back(std::move(strip));
+  return out;
+}
+
+bool same_strip(const Region& u, const std::vector<Int>& x,
+                const std::vector<Int>& y) {
+  require(x.size() == y.size(), "same_strip: size mismatch");
+  const auto w_basis = u.determined_subspace_basis();
+  RatVec diff(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    diff[i] = math::Rational(x[i] - y[i]);
+  }
+  return math::in_span(diff, w_basis);
+}
+
+}  // namespace crnkit::geom

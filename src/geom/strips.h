@@ -1,0 +1,41 @@
+// Strips of under-determined regions (Definition 7.13).
+//
+// For an under-determined region U with determined subspace
+// W = span(recc(U)), the relation x ~ y iff x - y in W partitions the
+// integer points of U into finitely many strips (Lemma 7.15). Each strip
+// lies on a translate of W (its affine hull, aff(I) = u + W).
+//
+// We enumerate strips over a bounded grid; the strip key is the exact
+// orthogonal component of a representative relative to W, which is constant
+// on the strip and distinct across strips.
+#ifndef CRNKIT_GEOM_STRIPS_H_
+#define CRNKIT_GEOM_STRIPS_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/region.h"
+
+namespace crnkit::geom {
+
+/// One strip: integer points of U (within the enumeration grid) sharing
+/// their W-coset.
+struct Strip {
+  /// Exact projection of the strip onto W-perp (equal for all its points).
+  math::RatVec key;
+  /// The strip's integer points found within the grid, lexicographic order.
+  std::vector<std::vector<math::Int>> points;
+};
+
+/// Decomposes region `u`'s integer points in [0, grid_max]^d into strips.
+/// Works for any region; a determined region yields a single strip.
+[[nodiscard]] std::vector<Strip> decompose_strips(const Region& u,
+                                                  math::Int grid_max);
+
+/// True iff x and y lie in the same W-coset for region u's subspace W.
+[[nodiscard]] bool same_strip(const Region& u, const std::vector<math::Int>& x,
+                              const std::vector<math::Int>& y);
+
+}  // namespace crnkit::geom
+
+#endif  // CRNKIT_GEOM_STRIPS_H_

@@ -1,0 +1,63 @@
+#include "math/congruence.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::math {
+
+CongruenceClass::CongruenceClass(const std::vector<Int>& x, Int p)
+    : p_(p), rep_(mod_vec(x, p)) {
+  require(p > 0, "CongruenceClass: period must be positive");
+}
+
+Int CongruenceClass::index() const { return encode_mixed_radix(rep_, p_); }
+
+CongruenceClass CongruenceClass::shifted(int i) const {
+  require(i >= 0 && i < dimension(), "CongruenceClass::shifted: bad axis");
+  std::vector<Int> rep = rep_;
+  rep[static_cast<std::size_t>(i)] =
+      floor_mod(rep[static_cast<std::size_t>(i)] + 1, p_);
+  return CongruenceClass(rep, p_);
+}
+
+CongruenceClass CongruenceClass::plus(const std::vector<Int>& v) const {
+  require(v.size() == rep_.size(), "CongruenceClass::plus: size mismatch");
+  std::vector<Int> rep(rep_.size());
+  for (std::size_t i = 0; i < rep_.size(); ++i) {
+    rep[i] = floor_mod(rep_[i] + v[i], p_);
+  }
+  return CongruenceClass(rep, p_);
+}
+
+bool CongruenceClass::contains(const std::vector<Int>& x) const {
+  if (x.size() != rep_.size()) return false;
+  for (std::size_t i = 0; i < rep_.size(); ++i) {
+    if (floor_mod(x[i], p_) != rep_[i]) return false;
+  }
+  return true;
+}
+
+std::string CongruenceClass::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < rep_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << rep_[i];
+  }
+  os << ") mod " << p_;
+  return os.str();
+}
+
+std::vector<CongruenceClass> all_classes(int d, Int p) {
+  require(d >= 0 && p > 0, "all_classes: bad arguments");
+  const Int total = checked_pow(p, d);
+  std::vector<CongruenceClass> out;
+  out.reserve(static_cast<std::size_t>(total));
+  for (Int index = 0; index < total; ++index) {
+    out.emplace_back(decode_mixed_radix(index, p, d), p);
+  }
+  return out;
+}
+
+}  // namespace crnkit::math

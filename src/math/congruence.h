@@ -1,0 +1,60 @@
+// Congruence classes of Z^d modulo p (the group Z^d/pZ^d of Section 2.1).
+//
+// Quilt-affine periodic offsets B : Z^d/pZ^d -> Q are tables indexed by these
+// classes; the Lemma 6.1 construction emits one leader state per class. We
+// represent a class canonically by its representative in [0,p)^d, and also
+// provide a dense index in [0, p^d) for table storage.
+#ifndef CRNKIT_MATH_CONGRUENCE_H_
+#define CRNKIT_MATH_CONGRUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "math/numtheory.h"
+
+namespace crnkit::math {
+
+/// An element of Z^d / pZ^d, stored as its canonical representative.
+class CongruenceClass {
+ public:
+  /// The class of x modulo p (componentwise).
+  CongruenceClass(const std::vector<Int>& x, Int p);
+
+  [[nodiscard]] Int period() const { return p_; }
+  [[nodiscard]] int dimension() const { return static_cast<int>(rep_.size()); }
+
+  /// Canonical representative in [0,p)^d.
+  [[nodiscard]] const std::vector<Int>& representative() const { return rep_; }
+
+  /// Dense index in [0, p^d).
+  [[nodiscard]] Int index() const;
+
+  /// The class of (this + e_i), where e_i is the i-th standard basis vector.
+  [[nodiscard]] CongruenceClass shifted(int i) const;
+
+  /// The class of (this + v).
+  [[nodiscard]] CongruenceClass plus(const std::vector<Int>& v) const;
+
+  /// True iff x mod p equals this class.
+  [[nodiscard]] bool contains(const std::vector<Int>& x) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const CongruenceClass& a, const CongruenceClass& b) {
+    return a.p_ == b.p_ && a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const CongruenceClass& a, const CongruenceClass& b) {
+    return !(a == b);
+  }
+
+ private:
+  Int p_;
+  std::vector<Int> rep_;
+};
+
+/// Enumerates all p^d congruence classes of Z^d/pZ^d in index order.
+[[nodiscard]] std::vector<CongruenceClass> all_classes(int d, Int p);
+
+}  // namespace crnkit::math
+
+#endif  // CRNKIT_MATH_CONGRUENCE_H_

@@ -1,0 +1,215 @@
+#include "math/matrix.h"
+
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+Matrix Matrix::from_rows(const std::vector<RatVec>& rows) {
+  Matrix m;
+  if (rows.empty()) return m;
+  m.rows_ = rows.size();
+  m.cols_ = rows.front().size();
+  m.data_.reserve(m.rows_ * m.cols_);
+  for (const auto& r : rows) {
+    require(r.size() == m.cols_, "Matrix::from_rows: ragged rows");
+    m.data_.insert(m.data_.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = Rational(1);
+  return m;
+}
+
+const Rational& Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Rational& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+RatVec Matrix::row(std::size_t r) const {
+  require(r < rows_, "Matrix::row: index out of range");
+  return RatVec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+RatVec Matrix::col(std::size_t c) const {
+  require(c < cols_, "Matrix::col: index out of range");
+  RatVec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = at(r, c);
+  return out;
+}
+
+void Matrix::append_row(const RatVec& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  require(row.size() == cols_, "Matrix::append_row: width mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+RatVec Matrix::apply(const RatVec& x) const {
+  require(x.size() == cols_, "Matrix::apply: size mismatch");
+  RatVec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Rational acc;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  require(cols_ == other.rows_, "Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Rational& a = at(r, k);
+      if (a.is_zero()) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+std::size_t Matrix::reduce() {
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
+    // Find a nonzero pivot in this column.
+    std::size_t sel = pivot_row;
+    while (sel < rows_ && at(sel, col).is_zero()) ++sel;
+    if (sel == rows_) continue;
+    // Swap into place.
+    if (sel != pivot_row) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        std::swap(at(sel, c), at(pivot_row, c));
+      }
+    }
+    // Normalize pivot to 1.
+    const Rational inv = Rational(1) / at(pivot_row, col);
+    for (std::size_t c = 0; c < cols_; ++c) at(pivot_row, c) *= inv;
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const Rational factor = at(r, col);
+      if (factor.is_zero()) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+    }
+    ++pivot_row;
+  }
+  return pivot_row;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << "\t";
+      os << at(r, c);
+    }
+    os << (r + 1 == rows_ ? "]" : "\n");
+  }
+  return os.str();
+}
+
+std::size_t rank(Matrix m) { return m.reduce(); }
+
+std::vector<RatVec> nullspace(Matrix m) {
+  const std::size_t n = m.cols();
+  m.reduce();
+  // Identify pivot columns.
+  std::vector<bool> is_pivot(n, false);
+  std::vector<std::size_t> pivot_col_of_row;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    std::size_t c = 0;
+    while (c < n && m.at(r, c).is_zero()) ++c;
+    if (c == n) break;  // zero row; all subsequent rows are zero too
+    is_pivot[c] = true;
+    pivot_col_of_row.push_back(c);
+  }
+  std::vector<RatVec> basis;
+  for (std::size_t free_col = 0; free_col < n; ++free_col) {
+    if (is_pivot[free_col]) continue;
+    RatVec v(n);
+    v[free_col] = Rational(1);
+    for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+      v[pivot_col_of_row[r]] = -m.at(r, free_col);
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::optional<RatVec> solve(Matrix m, RatVec b) {
+  require(b.size() == m.rows(), "solve: rhs size mismatch");
+  const std::size_t n = m.cols();
+  // Augment.
+  Matrix aug(m.rows(), n + 1);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug.at(r, c) = m.at(r, c);
+    aug.at(r, n) = b[r];
+  }
+  aug.reduce();
+  RatVec x(n);
+  for (std::size_t r = 0; r < aug.rows(); ++r) {
+    std::size_t c = 0;
+    while (c < n + 1 && aug.at(r, c).is_zero()) ++c;
+    if (c == n + 1) continue;         // zero row
+    if (c == n) return std::nullopt;  // 0 = nonzero: inconsistent
+    x[c] = aug.at(r, n);              // free variables remain 0
+  }
+  return x;
+}
+
+RatVec project_onto_span(const RatVec& v, const std::vector<RatVec>& basis) {
+  if (basis.empty()) return RatVec(v.size());
+  const std::size_t k = basis.size();
+  // Solve the Gram system G c = rhs, where G_ij = <b_i, b_j>.
+  Matrix gram(k, k);
+  RatVec rhs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) gram.at(i, j) = dot(basis[i], basis[j]);
+    rhs[i] = dot(basis[i], v);
+  }
+  const auto coeffs = solve(gram, rhs);
+  ensure(coeffs.has_value(), "project_onto_span: singular Gram system");
+  RatVec out(v.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    out = add(out, scale((*coeffs)[i], basis[i]));
+  }
+  return out;
+}
+
+RatVec orthogonal_component(const RatVec& v,
+                            const std::vector<RatVec>& basis) {
+  return sub(v, project_onto_span(v, basis));
+}
+
+bool in_span(const RatVec& v, const std::vector<RatVec>& basis) {
+  return is_zero(orthogonal_component(v, basis));
+}
+
+}  // namespace crnkit::math

@@ -1,0 +1,86 @@
+// Dense matrices over exact rationals, with the linear algebra the geometry
+// and analysis layers need: Gaussian elimination (reduced row echelon form),
+// rank, nullspace bases, linear system solving, and projections onto rational
+// subspaces. Dimensions in this library are tiny (d <= ~6), so the O(n^3)
+// schoolbook algorithms are the right tool; everything stays exact.
+#ifndef CRNKIT_MATH_MATRIX_H_
+#define CRNKIT_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/rational.h"
+
+namespace crnkit::math {
+
+/// A rows x cols dense rational matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from a list of equal-length rows.
+  static Matrix from_rows(const std::vector<RatVec>& rows);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] const Rational& at(std::size_t r, std::size_t c) const;
+  Rational& at(std::size_t r, std::size_t c);
+
+  [[nodiscard]] RatVec row(std::size_t r) const;
+  [[nodiscard]] RatVec col(std::size_t c) const;
+
+  void append_row(const RatVec& row);
+
+  /// Matrix-vector product.
+  [[nodiscard]] RatVec apply(const RatVec& x) const;
+
+  /// Matrix-matrix product.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  [[nodiscard]] Matrix transpose() const;
+
+  /// In-place reduction to reduced row echelon form; returns the rank.
+  std::size_t reduce();
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Rational> data_;
+};
+
+/// Rank of a (copy of the) matrix.
+[[nodiscard]] std::size_t rank(Matrix m);
+
+/// A basis of the right nullspace {x : Mx = 0}. Each basis vector is exact.
+[[nodiscard]] std::vector<RatVec> nullspace(Matrix m);
+
+/// Solves M x = b. Returns std::nullopt if inconsistent. If the system is
+/// under-determined, returns one particular solution (free variables = 0).
+[[nodiscard]] std::optional<RatVec> solve(Matrix m, RatVec b);
+
+/// Projects vector v orthogonally onto span(basis). The basis vectors need
+/// not be orthogonal; a Gram system is solved exactly.
+[[nodiscard]] RatVec project_onto_span(const RatVec& v,
+                                       const std::vector<RatVec>& basis);
+
+/// Component of v orthogonal to span(basis): v - project_onto_span(v, basis).
+[[nodiscard]] RatVec orthogonal_component(const RatVec& v,
+                                          const std::vector<RatVec>& basis);
+
+/// True iff v lies in span(basis).
+[[nodiscard]] bool in_span(const RatVec& v, const std::vector<RatVec>& basis);
+
+}  // namespace crnkit::math
+
+#endif  // CRNKIT_MATH_MATRIX_H_

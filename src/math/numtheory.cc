@@ -1,0 +1,100 @@
+#include "math/numtheory.h"
+
+#include <cstdlib>
+
+#include "math/check.h"
+
+namespace crnkit::math {
+
+Int gcd(Int a, Int b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Int lcm(Int a, Int b) {
+  if (a == 0 || b == 0) return 0;
+  const Int g = gcd(a, b);
+  return checked_mul(a / g, b);
+}
+
+Int lcm(const std::vector<Int>& values) {
+  Int acc = 1;
+  for (const Int v : values) acc = lcm(acc, v);
+  return acc < 0 ? -acc : acc;
+}
+
+Int checked_add(Int a, Int b) {
+  Int out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError("checked_add: 64-bit overflow");
+  }
+  return out;
+}
+
+Int checked_mul(Int a, Int b) {
+  Int out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError("checked_mul: 64-bit overflow");
+  }
+  return out;
+}
+
+Int floor_div(Int a, Int b) {
+  require(b != 0, "floor_div: division by zero");
+  Int q = a / b;
+  const Int r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+Int floor_mod(Int a, Int b) {
+  require(b != 0, "floor_mod: division by zero");
+  const Int r = a - floor_div(a, b) * b;
+  return r;
+}
+
+std::vector<Int> mod_vec(const std::vector<Int>& x, Int p) {
+  require(p > 0, "mod_vec: period must be positive");
+  std::vector<Int> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = floor_mod(x[i], p);
+  return out;
+}
+
+Int encode_mixed_radix(const std::vector<Int>& digits, Int p) {
+  require(p > 0, "encode_mixed_radix: base must be positive");
+  Int index = 0;
+  Int weight = 1;
+  for (const Int digit : digits) {
+    require(digit >= 0 && digit < p, "encode_mixed_radix: digit out of range");
+    index = checked_add(index, checked_mul(digit, weight));
+    weight = checked_mul(weight, p);
+  }
+  return index;
+}
+
+std::vector<Int> decode_mixed_radix(Int index, Int p, int d) {
+  require(p > 0 && d >= 0, "decode_mixed_radix: bad base or dimension");
+  require(index >= 0, "decode_mixed_radix: negative index");
+  std::vector<Int> digits(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    digits[static_cast<std::size_t>(i)] = index % p;
+    index /= p;
+  }
+  ensure(index == 0, "decode_mixed_radix: index out of range for p^d");
+  return digits;
+}
+
+Int checked_pow(Int p, int d) {
+  require(p >= 0 && d >= 0, "checked_pow: negative inputs");
+  Int acc = 1;
+  for (int i = 0; i < d; ++i) acc = checked_mul(acc, p);
+  return acc;
+}
+
+}  // namespace crnkit::math

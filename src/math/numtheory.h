@@ -1,0 +1,50 @@
+// Small exact number-theory helpers used throughout crnkit: gcd/lcm on
+// 64-bit integers (with overflow checking for lcm), checked arithmetic,
+// floored division/modulus with mathematician's sign conventions, and
+// mixed-radix encoding of congruence-class tuples.
+#ifndef CRNKIT_MATH_NUMTHEORY_H_
+#define CRNKIT_MATH_NUMTHEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crnkit::math {
+
+using Int = std::int64_t;
+
+/// Greatest common divisor; gcd(0,0) == 0. Result is nonnegative.
+[[nodiscard]] Int gcd(Int a, Int b);
+
+/// Least common multiple; throws OverflowError if it exceeds 64 bits.
+[[nodiscard]] Int lcm(Int a, Int b);
+
+/// lcm over a list (empty list -> 1).
+[[nodiscard]] Int lcm(const std::vector<Int>& values);
+
+/// a + b with overflow detection.
+[[nodiscard]] Int checked_add(Int a, Int b);
+
+/// a * b with overflow detection.
+[[nodiscard]] Int checked_mul(Int a, Int b);
+
+/// Floored division: floor_div(-3, 2) == -2.
+[[nodiscard]] Int floor_div(Int a, Int b);
+
+/// Mathematical modulus: result in [0, |b|). floor_mod(-3, 2) == 1.
+[[nodiscard]] Int floor_mod(Int a, Int b);
+
+/// Componentwise floor_mod by p: x mod p in [0,p)^d.
+[[nodiscard]] std::vector<Int> mod_vec(const std::vector<Int>& x, Int p);
+
+/// Encodes a tuple in [0,p)^d as a single index in [0, p^d), little-endian.
+[[nodiscard]] Int encode_mixed_radix(const std::vector<Int>& digits, Int p);
+
+/// Inverse of encode_mixed_radix.
+[[nodiscard]] std::vector<Int> decode_mixed_radix(Int index, Int p, int d);
+
+/// p^d as a checked 64-bit integer.
+[[nodiscard]] Int checked_pow(Int p, int d);
+
+}  // namespace crnkit::math
+
+#endif  // CRNKIT_MATH_NUMTHEORY_H_

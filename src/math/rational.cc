@@ -1,0 +1,182 @@
+#include "math/rational.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::math {
+namespace {
+
+using Wide = __int128;
+
+Int narrow(Wide v, const char* context) {
+  if (v > static_cast<Wide>(INT64_MAX) || v < static_cast<Wide>(INT64_MIN)) {
+    throw OverflowError(std::string(context) + ": 64-bit overflow");
+  }
+  return static_cast<Int>(v);
+}
+
+Wide wide_gcd(Wide a, Wide b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Wide t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Builds a normalized rational from wide intermediates.
+Rational make(Wide num, Wide den) {
+  require(den != 0, "Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const Wide g = num == 0 ? den : wide_gcd(num, den);
+  num /= g;
+  den /= g;
+  return Rational(narrow(num, "Rational numerator"),
+                  narrow(den, "Rational denominator"));
+}
+
+}  // namespace
+
+Rational::Rational(Int num, Int den) : num_(num), den_(den) {
+  require(den_ != 0, "Rational: zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const Int g = num_ == 0 ? den_ : gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Int Rational::as_integer() const {
+  require(den_ == 1, "Rational::as_integer: " + to_string() +
+                         " is not an integer");
+  return num_;
+}
+
+Int Rational::floor() const { return floor_div(num_, den_); }
+
+Int Rational::ceil() const { return -floor_div(-num_, den_); }
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  *this = make(static_cast<Wide>(num_) * o.den_ +
+                   static_cast<Wide>(o.num_) * den_,
+               static_cast<Wide>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) {
+  *this = make(static_cast<Wide>(num_) * o.den_ -
+                   static_cast<Wide>(o.num_) * den_,
+               static_cast<Wide>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& o) {
+  *this = make(static_cast<Wide>(num_) * o.num_,
+               static_cast<Wide>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  require(o.num_ != 0, "Rational: division by zero");
+  *this = make(static_cast<Wide>(num_) * o.den_,
+               static_cast<Wide>(den_) * o.num_);
+  return *this;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& q) {
+  return os << q.to_string();
+}
+
+Rational dot(const RatVec& a, const RatVec& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  Rational acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Rational dot(const RatVec& a, const std::vector<Int>& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  Rational acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * Rational(b[i]);
+  return acc;
+}
+
+RatVec add(const RatVec& a, const RatVec& b) {
+  require(a.size() == b.size(), "add: size mismatch");
+  RatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+RatVec sub(const RatVec& a, const RatVec& b) {
+  require(a.size() == b.size(), "sub: size mismatch");
+  RatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+RatVec scale(const Rational& c, const RatVec& a) {
+  RatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = c * a[i];
+  return out;
+}
+
+RatVec to_rational(const std::vector<Int>& v) {
+  RatVec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = Rational(v[i]);
+  return out;
+}
+
+bool is_zero(const RatVec& v) {
+  for (const auto& q : v) {
+    if (!q.is_zero()) return false;
+  }
+  return true;
+}
+
+Int common_denominator(const RatVec& v) {
+  Int acc = 1;
+  for (const auto& q : v) acc = lcm(acc, q.den());
+  return acc;
+}
+
+std::vector<Int> clear_denominators(const RatVec& v) {
+  const Int m = common_denominator(v);
+  std::vector<Int> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = checked_mul(v[i].num(), m / v[i].den());
+  }
+  return out;
+}
+
+std::string to_string(const RatVec& v) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace crnkit::math

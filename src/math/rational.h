@@ -1,0 +1,119 @@
+// Exact rational arithmetic over 64-bit integers.
+//
+// Quilt-affine gradients live in Q^d (Definition 5.1 of the paper), region
+// geometry uses rational hyperplane data, and the analysis pipeline fits
+// rational affine functions exactly — so the whole library is built on this
+// type. Intermediates use __int128 and results are checked to fit in 64 bits;
+// on overflow an OverflowError is thrown (never silent wraparound).
+#ifndef CRNKIT_MATH_RATIONAL_H_
+#define CRNKIT_MATH_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "math/numtheory.h"
+
+namespace crnkit::math {
+
+/// An exact rational number num/den with den > 0 and gcd(num,den) == 1.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// Integer n/1. Implicit by design: integers embed naturally in Q.
+  constexpr Rational(Int n) : num_(n), den_(1) {}  // NOLINT(runtime/explicit)
+
+  /// num/den, normalized. Throws std::invalid_argument if den == 0.
+  Rational(Int num, Int den);
+
+  [[nodiscard]] Int num() const { return num_; }
+  [[nodiscard]] Int den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_positive() const { return num_ > 0; }
+
+  /// The integer value; throws std::invalid_argument unless is_integer().
+  [[nodiscard]] Int as_integer() const;
+
+  /// floor(q) as an integer.
+  [[nodiscard]] Int floor() const;
+  /// ceil(q) as an integer.
+  [[nodiscard]] Int ceil() const;
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+ private:
+  Int num_;
+  Int den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& q);
+
+/// A vector of rationals (used for gradients, hyperplane normals, points).
+using RatVec = std::vector<Rational>;
+
+/// Exact dot product of two equal-length rational vectors.
+[[nodiscard]] Rational dot(const RatVec& a, const RatVec& b);
+
+/// Exact dot product of a rational and an integer vector.
+[[nodiscard]] Rational dot(const RatVec& a, const std::vector<Int>& b);
+
+/// Componentwise sum / difference / scalar multiple.
+[[nodiscard]] RatVec add(const RatVec& a, const RatVec& b);
+[[nodiscard]] RatVec sub(const RatVec& a, const RatVec& b);
+[[nodiscard]] RatVec scale(const Rational& c, const RatVec& a);
+
+/// Converts an integer vector into a rational vector.
+[[nodiscard]] RatVec to_rational(const std::vector<Int>& v);
+
+/// True iff every component is zero.
+[[nodiscard]] bool is_zero(const RatVec& v);
+
+/// Least common multiple of all denominators (>= 1).
+[[nodiscard]] Int common_denominator(const RatVec& v);
+
+/// Scales v by the common denominator, returning an integer vector with the
+/// same direction. Useful for clearing denominators of cone directions.
+[[nodiscard]] std::vector<Int> clear_denominators(const RatVec& v);
+
+/// Human-readable "(a, b, c)" rendering.
+[[nodiscard]] std::string to_string(const RatVec& v);
+
+}  // namespace crnkit::math
+
+#endif  // CRNKIT_MATH_RATIONAL_H_

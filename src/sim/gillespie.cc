@@ -1,0 +1,65 @@
+#include "sim/gillespie.h"
+
+#include "math/check.h"
+
+namespace crnkit::sim {
+
+double propensity(const crn::Reaction& reaction, const crn::Config& config) {
+  double a = 1.0;
+  for (const crn::Term& t : reaction.reactants()) {
+    const math::Int c = config[static_cast<std::size_t>(t.species)];
+    if (c < t.count) return 0.0;
+    // C(c, r) computed incrementally to stay in double range.
+    for (math::Int i = 0; i < t.count; ++i) {
+      a *= static_cast<double>(c - i) / static_cast<double>(i + 1);
+    }
+  }
+  return a;
+}
+
+GillespieResult simulate_direct(const crn::Crn& crn,
+                                const crn::Config& initial, Rng& rng,
+                                const GillespieOptions& options) {
+  require(options.rates.empty() ||
+              options.rates.size() == crn.reactions().size(),
+          "simulate_direct: rates size mismatch");
+  GillespieResult result;
+  result.final_config = initial;
+
+  const std::size_t n = crn.reactions().size();
+  std::vector<double> a(n, 0.0);
+  auto rate_of = [&](std::size_t j) {
+    return options.rates.empty() ? 1.0 : options.rates[j];
+  };
+
+  while (result.events < options.max_events && result.time < options.max_time) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a[j] = rate_of(j) * propensity(crn.reactions()[j], result.final_config);
+      total += a[j];
+    }
+    if (total <= 0.0) {
+      result.exhausted = true;
+      return result;
+    }
+    result.time += rng.exponential(total);
+    if (result.time >= options.max_time) break;
+    // Pick reaction proportionally to propensity.
+    double u = rng.uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (u < a[j]) {
+        pick = j;
+        break;
+      }
+      u -= a[j];
+    }
+    crn.reactions()[pick].apply_in_place(result.final_config);
+    ++result.events;
+    if (options.observer) options.observer(result.time, result.final_config);
+  }
+  result.exhausted = crn.is_silent(result.final_config);
+  return result;
+}
+
+}  // namespace crnkit::sim

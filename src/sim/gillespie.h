@@ -1,0 +1,52 @@
+// Gillespie's exact stochastic simulation algorithm, direct method
+// (Gillespie 1977, the paper's reference [20] and the kinetic ground truth
+// of the discrete CRN model).
+//
+// Propensity of reaction j in configuration c with rate constant k_j:
+//   a_j(c) = k_j * prod_s C(c_s, r_{j,s})
+// i.e. the number of distinct reactant combinations. The next reaction fires
+// after an Exp(sum_j a_j) delay and is chosen proportionally to a_j.
+#ifndef CRNKIT_SIM_GILLESPIE_H_
+#define CRNKIT_SIM_GILLESPIE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crn/network.h"
+#include "sim/rng.h"
+
+namespace crnkit::sim {
+
+struct GillespieOptions {
+  std::uint64_t max_events = 10'000'000;
+  double max_time = 1e300;
+  /// Per-reaction rate constants; empty means all 1.0.
+  std::vector<double> rates;
+  /// Optional observer invoked after every event with (time, config).
+  std::function<void(double, const crn::Config&)> observer;
+};
+
+struct GillespieResult {
+  crn::Config final_config;
+  std::uint64_t events = 0;
+  double time = 0.0;
+  bool exhausted = false;  ///< true iff total propensity reached zero
+};
+
+/// Exact combinatorial propensity of reaction j at `config` (rate 1.0),
+/// as a double (counts can be large; callers needing exactness should use
+/// the reachability layer instead).
+[[nodiscard]] double propensity(const crn::Reaction& reaction,
+                                const crn::Config& config);
+
+/// Direct-method SSA from `initial`.
+[[nodiscard]] GillespieResult simulate_direct(const crn::Crn& crn,
+                                              const crn::Config& initial,
+                                              Rng& rng,
+                                              const GillespieOptions& options =
+                                                  {});
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_GILLESPIE_H_

@@ -1,0 +1,170 @@
+#include "sim/next_reaction.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "math/check.h"
+
+namespace crnkit::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Binary min-heap over reaction indices keyed by putative time, with
+/// an index map for decrease/increase-key (the Gibson-Bruck structure).
+class IndexedPriorityQueue {
+ public:
+  explicit IndexedPriorityQueue(std::size_t n)
+      : keys_(n, kInf), heap_(n), pos_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  [[nodiscard]] std::size_t top() const { return heap_.front(); }
+  [[nodiscard]] double key(std::size_t item) const { return keys_[item]; }
+
+  void update(std::size_t item, double key) {
+    keys_[item] = key;
+    sift_up(pos_[item]);
+    sift_down(pos_[item]);
+  }
+
+ private:
+  void swap_nodes(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (keys_[heap_[parent]] <= keys_[heap_[i]]) break;
+      swap_nodes(i, parent);
+      i = parent;
+    }
+  }
+  void sift_down(std::size_t i) {
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < heap_.size() && keys_[heap_[left]] < keys_[heap_[best]]) {
+        best = left;
+      }
+      if (right < heap_.size() && keys_[heap_[right]] < keys_[heap_[best]]) {
+        best = right;
+      }
+      if (best == i) break;
+      swap_nodes(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<double> keys_;
+  std::vector<std::size_t> heap_;  // heap of items
+  std::vector<std::size_t> pos_;   // item -> heap position
+};
+
+}  // namespace
+
+GillespieResult simulate_next_reaction(const crn::Crn& crn,
+                                       const crn::Config& initial, Rng& rng,
+                                       const GillespieOptions& options) {
+  require(options.rates.empty() ||
+              options.rates.size() == crn.reactions().size(),
+          "simulate_next_reaction: rates size mismatch");
+  const std::size_t n = crn.reactions().size();
+  GillespieResult result;
+  result.final_config = initial;
+  if (n == 0) {
+    result.exhausted = true;
+    return result;
+  }
+
+  auto rate_of = [&](std::size_t j) {
+    return options.rates.empty() ? 1.0 : options.rates[j];
+  };
+
+  // Dependency graph: reaction j -> reactions whose propensity can change
+  // when j fires (those consuming/producing a species j touches).
+  std::vector<std::vector<std::size_t>> affects(n);
+  {
+    std::vector<std::vector<std::size_t>> readers(crn.species_count());
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const crn::Term& t : crn.reactions()[j].reactants()) {
+        readers[static_cast<std::size_t>(t.species)].push_back(j);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      std::vector<bool> seen(n, false);
+      auto touch = [&](crn::SpeciesId s) {
+        for (const std::size_t k : readers[static_cast<std::size_t>(s)]) {
+          if (!seen[k]) {
+            seen[k] = true;
+            affects[j].push_back(k);
+          }
+        }
+      };
+      for (const crn::Term& t : crn.reactions()[j].reactants()) {
+        touch(t.species);
+      }
+      for (const crn::Term& t : crn.reactions()[j].products()) {
+        touch(t.species);
+      }
+    }
+  }
+
+  std::vector<double> a(n);
+  IndexedPriorityQueue queue(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = rate_of(j) * propensity(crn.reactions()[j], result.final_config);
+    queue.update(j, a[j] > 0.0 ? rng.exponential(a[j]) : kInf);
+  }
+
+  while (result.events < options.max_events) {
+    const std::size_t j = queue.top();
+    const double t_next = queue.key(j);
+    if (t_next == kInf) {
+      result.exhausted = true;
+      return result;
+    }
+    if (t_next >= options.max_time) {
+      result.time = options.max_time;
+      break;
+    }
+    result.time = t_next;
+    crn.reactions()[j].apply_in_place(result.final_config);
+    ++result.events;
+    if (options.observer) options.observer(result.time, result.final_config);
+
+    // The fired reaction always draws a fresh exponential (even when its
+    // species sets make it miss its own dependency list, e.g. reactions
+    // with an empty reactant side).
+    a[j] = rate_of(j) * propensity(crn.reactions()[j], result.final_config);
+    queue.update(j,
+                 a[j] > 0.0 ? result.time + rng.exponential(a[j]) : kInf);
+    for (const std::size_t k : affects[j]) {
+      if (k == j) continue;
+      const double a_old = a[k];
+      a[k] = rate_of(k) * propensity(crn.reactions()[k], result.final_config);
+      if (a[k] <= 0.0) {
+        queue.update(k, kInf);
+      } else if (a_old > 0.0 && queue.key(k) != kInf) {
+        // Reuse the old exponential (Gibson-Bruck time rescaling).
+        queue.update(k,
+                     result.time + (a_old / a[k]) * (queue.key(k) -
+                                                     result.time));
+      } else {
+        queue.update(k, result.time + rng.exponential(a[k]));
+      }
+    }
+  }
+  result.exhausted = crn.is_silent(result.final_config);
+  return result;
+}
+
+}  // namespace crnkit::sim

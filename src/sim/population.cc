@@ -1,0 +1,130 @@
+#include "sim/population.h"
+
+#include <map>
+
+#include "math/check.h"
+
+namespace crnkit::sim {
+
+using crn::SpeciesId;
+using math::Int;
+
+PopulationRunResult run_population(const crn::Crn& crn,
+                                   const crn::Config& initial, Rng& rng,
+                                   const PopulationRunOptions& options) {
+  // Index reactions by reactant shape.
+  std::map<std::pair<SpeciesId, SpeciesId>, std::vector<std::size_t>> pair_rules;
+  std::map<SpeciesId, std::vector<std::size_t>> mono_rules;
+  for (std::size_t j = 0; j < crn.reactions().size(); ++j) {
+    const crn::Reaction& r = crn.reactions()[j];
+    require(r.order() >= 1 && r.order() <= 2,
+            "run_population: reaction order must be 1 or 2 (run "
+            "to_bimolecular first): " +
+                r.to_string(crn.species_table()));
+    if (r.order() == 1) {
+      mono_rules[r.reactants().front().species].push_back(j);
+    } else if (r.reactants().size() == 1) {
+      const SpeciesId s = r.reactants().front().species;
+      pair_rules[{s, s}].push_back(j);
+    } else {
+      SpeciesId a = r.reactants()[0].species;
+      SpeciesId b = r.reactants()[1].species;
+      if (a > b) std::swap(a, b);
+      pair_rules[{a, b}].push_back(j);
+    }
+  }
+
+  PopulationRunResult result;
+  result.final_config = initial;
+  Int population = 0;
+  for (const Int c : initial) population += c;
+
+  // Samples the species of a uniformly random molecule, optionally skipping
+  // one already-drawn molecule of species `skip`.
+  auto sample_species = [&](std::optional<SpeciesId> skip) -> SpeciesId {
+    Int total = population - (skip ? 1 : 0);
+    ensure(total > 0, "run_population: sampling from empty population");
+    Int target = static_cast<Int>(rng.uniform_index(
+        static_cast<std::size_t>(total)));
+    for (std::size_t s = 0; s < result.final_config.size(); ++s) {
+      Int c = result.final_config[s];
+      if (skip && static_cast<SpeciesId>(s) == *skip) --c;
+      if (target < c) return static_cast<SpeciesId>(s);
+      target -= c;
+    }
+    throw std::logic_error("run_population: sampling fell off the end");
+  };
+
+  std::uint64_t null_streak = 0;
+  std::vector<std::size_t> candidates;
+  while (result.interactions < options.max_interactions) {
+    if (population == 0) {
+      result.silent = crn.is_silent(result.final_config);
+      return result;
+    }
+    candidates.clear();
+    if (population == 1) {
+      const SpeciesId a = sample_species(std::nullopt);
+      const auto it = mono_rules.find(a);
+      if (it != mono_rules.end()) {
+        candidates = it->second;
+      }
+      if (candidates.empty()) {
+        result.silent = crn.is_silent(result.final_config);
+        return result;
+      }
+    } else {
+      const SpeciesId a = sample_species(std::nullopt);
+      const SpeciesId b = sample_species(a);
+      SpeciesId lo = a;
+      SpeciesId hi = b;
+      if (lo > hi) std::swap(lo, hi);
+      const auto pit = pair_rules.find({lo, hi});
+      if (pit != pair_rules.end()) {
+        candidates.insert(candidates.end(), pit->second.begin(),
+                          pit->second.end());
+      }
+      const auto ma = mono_rules.find(a);
+      if (ma != mono_rules.end()) {
+        candidates.insert(candidates.end(), ma->second.begin(),
+                          ma->second.end());
+      }
+      if (b != a) {
+        const auto mb = mono_rules.find(b);
+        if (mb != mono_rules.end()) {
+          candidates.insert(candidates.end(), mb->second.begin(),
+                            mb->second.end());
+        }
+      }
+    }
+
+    result.parallel_time += 1.0 / static_cast<double>(population);
+    ++result.interactions;
+
+    if (candidates.empty()) {
+      ++result.null_interactions;
+      ++null_streak;
+      // Moderate null streak: check global silence. The check is cheap
+      // (reactions x terms), so checking early keeps the measured parallel
+      // time from being dominated by a post-convergence null tail.
+      if (null_streak >= 32 + 2 * static_cast<std::uint64_t>(population)) {
+        if (crn.is_silent(result.final_config)) {
+          result.silent = true;
+          return result;
+        }
+        null_streak = 0;
+      }
+      continue;
+    }
+    null_streak = 0;
+    const std::size_t j = candidates[rng.uniform_index(candidates.size())];
+    const crn::Reaction& r = crn.reactions()[j];
+    r.apply_in_place(result.final_config);
+    for (const crn::Term& t : r.reactants()) population -= t.count;
+    for (const crn::Term& t : r.products()) population += t.count;
+  }
+  result.silent = crn.is_silent(result.final_config);
+  return result;
+}
+
+}  // namespace crnkit::sim

@@ -1,0 +1,43 @@
+// Population-protocol-style scheduler (Section 1 of the paper): molecules
+// are agents, at each step a uniformly random ordered pair of distinct
+// molecules "collides", and an applicable reaction whose reactant multiset
+// matches the pair fires. Parallel time is interactions divided by the
+// current population size — the standard PP time measure.
+//
+// The CRN is required to be at-most-bimolecular in its reactants (run
+// to_bimolecular first); unimolecular reactions fire when their reactant is
+// either member of the colliding pair. Unlike strict population protocols,
+// total molecule count may change (CRNs are not conservative); the scheduler
+// uses the live count.
+#ifndef CRNKIT_SIM_POPULATION_H_
+#define CRNKIT_SIM_POPULATION_H_
+
+#include <cstdint>
+
+#include "crn/network.h"
+#include "sim/rng.h"
+
+namespace crnkit::sim {
+
+struct PopulationRunResult {
+  crn::Config final_config;
+  std::uint64_t interactions = 0;       ///< collisions, incl. null ones
+  std::uint64_t null_interactions = 0;  ///< collisions firing nothing
+  double parallel_time = 0.0;           ///< sum over steps of 1/population
+  bool silent = false;
+};
+
+struct PopulationRunOptions {
+  std::uint64_t max_interactions = 50'000'000;
+};
+
+/// Runs the pair scheduler from `initial` until the CRN is silent or the
+/// interaction budget is exhausted. Throws if a reaction has more than two
+/// reactants.
+[[nodiscard]] PopulationRunResult run_population(
+    const crn::Crn& crn, const crn::Config& initial, Rng& rng,
+    const PopulationRunOptions& options = {});
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_POPULATION_H_

@@ -1,0 +1,38 @@
+// Deterministic random source for all stochastic components. A thin wrapper
+// over std::mt19937_64 so simulations are reproducible from a single seed.
+#ifndef CRNKIT_SIM_RNG_H_
+#define CRNKIT_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace crnkit::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  [[nodiscard]] std::size_t uniform_index(std::size_t bound) {
+    return std::uniform_int_distribution<std::size_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Exponential with the given rate (> 0).
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_RNG_H_

@@ -1,0 +1,32 @@
+#include "sim/scheduler.h"
+
+namespace crnkit::sim {
+
+SilentRunResult run_until_silent(const crn::Crn& crn,
+                                 const crn::Config& initial, Rng& rng,
+                                 const SilentRunOptions& options) {
+  SilentRunResult result;
+  result.final_config = initial;
+  std::vector<std::size_t> applicable;
+  applicable.reserve(crn.reactions().size());
+  for (std::uint64_t step = 0; step < options.max_steps; ++step) {
+    applicable.clear();
+    for (std::size_t i = 0; i < crn.reactions().size(); ++i) {
+      if (crn.reactions()[i].applicable(result.final_config)) {
+        applicable.push_back(i);
+      }
+    }
+    if (applicable.empty()) {
+      result.silent = true;
+      result.steps = step;
+      return result;
+    }
+    const std::size_t pick = applicable[rng.uniform_index(applicable.size())];
+    crn.reactions()[pick].apply_in_place(result.final_config);
+  }
+  result.steps = options.max_steps;
+  result.silent = crn.is_silent(result.final_config);
+  return result;
+}
+
+}  // namespace crnkit::sim

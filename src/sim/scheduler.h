@@ -1,0 +1,39 @@
+// The random silent-run scheduler: repeatedly fires a uniformly random
+// applicable reaction until the configuration is silent (no reaction
+// applicable) or a step bound is hit.
+//
+// For the convergent CRNs produced by this library's compilers, every fair
+// execution reaches a silent configuration, and a silent configuration is
+// stable; so silent-run output equals the stably computed value. The
+// exhaustive checker in verify/ proves this for small inputs; the scheduler
+// scales the check to compositions whose reachable space is too large to
+// enumerate.
+#ifndef CRNKIT_SIM_SCHEDULER_H_
+#define CRNKIT_SIM_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "crn/network.h"
+#include "sim/rng.h"
+
+namespace crnkit::sim {
+
+struct SilentRunResult {
+  crn::Config final_config;
+  std::uint64_t steps = 0;
+  bool silent = false;  ///< false iff the step bound was hit first
+};
+
+struct SilentRunOptions {
+  std::uint64_t max_steps = 5'000'000;
+};
+
+/// Runs from `initial` until silence (uniform choice among applicable
+/// reactions at every step).
+[[nodiscard]] SilentRunResult run_until_silent(
+    const crn::Crn& crn, const crn::Config& initial, Rng& rng,
+    const SilentRunOptions& options = {});
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_SCHEDULER_H_

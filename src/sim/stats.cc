@@ -1,0 +1,87 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::sim {
+
+void SampleStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (value - mean_);
+}
+
+double SampleStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double SampleStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / (count_ - 1);
+}
+
+double SampleStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+std::string SampleStats::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << mean() << " +- " << ci95_halfwidth() << " (n=" << count_ << ")";
+  return os.str();
+}
+
+ConvergenceStats measure_convergence(const crn::Crn& crn, const fn::Point& x,
+                                     int trials, std::uint64_t seed_base) {
+  require(trials >= 1, "measure_convergence: need at least one trial");
+  ConvergenceStats stats;
+  bool first = true;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(seed_base + 7919 * static_cast<std::uint64_t>(t));
+    const auto run =
+        run_until_silent(crn, crn.initial_configuration(x), rng);
+    ++stats.trials;
+    if (!run.silent) continue;
+    ++stats.silent_trials;
+    stats.steps.add(static_cast<double>(run.steps));
+    const math::Int y = crn.output_count(run.final_config);
+    if (first) {
+      stats.output = y;
+      first = false;
+    } else if (y != stats.output) {
+      stats.output_consistent = false;
+    }
+  }
+  return stats;
+}
+
+PopulationStats measure_population_convergence(const crn::Crn& crn,
+                                               const fn::Point& x, int trials,
+                                               std::uint64_t seed_base) {
+  require(trials >= 1,
+          "measure_population_convergence: need at least one trial");
+  PopulationStats stats;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(seed_base + 104729 * static_cast<std::uint64_t>(t));
+    const auto run =
+        run_population(crn, crn.initial_configuration(x), rng);
+    ++stats.trials;
+    if (!run.silent) continue;
+    ++stats.silent_trials;
+    stats.parallel_time.add(run.parallel_time);
+    stats.interactions.add(static_cast<double>(run.interactions));
+  }
+  return stats;
+}
+
+}  // namespace crnkit::sim

@@ -1,0 +1,73 @@
+// Convergence statistics over repeated stochastic runs: sample mean,
+// variance, min/max, and normal-approximation confidence half-widths for
+// events, SSA time, and population parallel time. The paper's conclusion
+// raises computation *time* as an open direction; these estimators back
+// the convergence-time tables (bench/table_convergence) with defensible
+// uncertainty instead of single-run numbers.
+#ifndef CRNKIT_SIM_STATS_H_
+#define CRNKIT_SIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "sim/population.h"
+#include "sim/scheduler.h"
+
+namespace crnkit::sim {
+
+/// Running summary of a scalar sample.
+class SampleStats {
+ public:
+  void add(double value);
+
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// 95% normal-approximation confidence half-width of the mean.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregate convergence statistics of repeated silent runs on one input.
+struct ConvergenceStats {
+  SampleStats steps;          ///< reactions fired until silence
+  int trials = 0;
+  int silent_trials = 0;
+  bool output_consistent = true;  ///< all silent runs agreed on the output
+  math::Int output = 0;           ///< the common output (if consistent)
+};
+
+/// Runs `trials` seeded silent runs from I_x.
+[[nodiscard]] ConvergenceStats measure_convergence(
+    const crn::Crn& crn, const fn::Point& x, int trials,
+    std::uint64_t seed_base = 1000);
+
+/// Population-scheduler analogue, measuring parallel time.
+struct PopulationStats {
+  SampleStats parallel_time;
+  SampleStats interactions;
+  int trials = 0;
+  int silent_trials = 0;
+};
+
+[[nodiscard]] PopulationStats measure_population_convergence(
+    const crn::Crn& crn, const fn::Point& x, int trials,
+    std::uint64_t seed_base = 2000);
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_STATS_H_

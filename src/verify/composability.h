@@ -1,0 +1,44 @@
+// The executable side of Lemma 2.3: a CRN that composes correctly with any
+// downstream consumer must still compute its function after every reaction
+// consuming its output is deleted — i.e. it is "essentially output-
+// oblivious". This module performs that strip-and-recheck experiment.
+//
+// For the Fig 1 max CRN, stripping K + Y -> 0 leaves a CRN computing
+// x1 + x2, not max — certifying (per Lemma 2.3) that max's CRN is NOT
+// composable by concatenation.
+#ifndef CRNKIT_VERIFY_COMPOSABILITY_H_
+#define CRNKIT_VERIFY_COMPOSABILITY_H_
+
+#include <string>
+
+#include "crn/network.h"
+#include "fn/function.h"
+
+namespace crnkit::verify {
+
+/// The CRN with every reaction using the output species as a reactant
+/// removed (the C'_f of Lemma 2.3's proof). Always output-oblivious.
+[[nodiscard]] crn::Crn strip_output_consumers(const crn::Crn& crn);
+
+struct ComposabilityReport {
+  bool already_oblivious = false;
+  int reactions_removed = 0;
+  /// Does the stripped CRN still stably compute f on the grid?
+  bool stripped_computes_f = true;
+  /// First input where the stripped CRN fails, if any.
+  std::string failure;
+
+  /// Lemma 2.3 verdict: composable-by-concatenation iff the stripped CRN
+  /// still computes f.
+  [[nodiscard]] bool composable() const { return stripped_computes_f; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the strip-and-recheck experiment against reference function f on
+/// [0, grid_max]^d (exhaustive stable-computation checks).
+[[nodiscard]] ComposabilityReport check_composability(
+    const crn::Crn& crn, const fn::DiscreteFunction& f, math::Int grid_max);
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_COMPOSABILITY_H_

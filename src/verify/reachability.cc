@@ -1,0 +1,98 @@
+#include "verify/reachability.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "math/check.h"
+
+namespace crnkit::verify {
+
+namespace {
+
+struct ConfigHash {
+  std::size_t operator()(const crn::Config& c) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const math::Int v : c) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
+                          const ExploreOptions& options) {
+  ReachabilityGraph graph;
+  std::unordered_map<crn::Config, int, ConfigHash> ids;
+  ids.reserve(options.max_configs * 2);
+
+  auto intern = [&](const crn::Config& c) -> int {
+    const auto it = ids.find(c);
+    if (it != ids.end()) return it->second;
+    const int id = static_cast<int>(graph.configs.size());
+    ids.emplace(c, id);
+    graph.configs.push_back(c);
+    graph.succ.emplace_back();
+    graph.parent.push_back(-1);
+    graph.parent_reaction.push_back(-1);
+    return id;
+  };
+
+  std::deque<int> frontier;
+  frontier.push_back(intern(initial));
+  std::size_t processed = 0;
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    ++processed;
+    const crn::Config current = graph.configs[static_cast<std::size_t>(node)];
+    for (std::size_t j = 0; j < crn.reactions().size(); ++j) {
+      const crn::Reaction& r = crn.reactions()[j];
+      if (!r.applicable(current)) continue;
+      crn::Config next = current;
+      r.apply_in_place(next);
+      const bool known = ids.find(next) != ids.end();
+      if (!known && graph.configs.size() >= options.max_configs) {
+        graph.complete = false;
+        continue;  // record no new nodes, but keep existing edges coming
+      }
+      const int next_id = intern(next);
+      graph.succ[static_cast<std::size_t>(node)].push_back(next_id);
+      if (!known) {
+        graph.parent[static_cast<std::size_t>(next_id)] = node;
+        graph.parent_reaction[static_cast<std::size_t>(next_id)] =
+            static_cast<int>(j);
+        frontier.push_back(next_id);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<int> path_from_root(const ReachabilityGraph& graph, int node) {
+  require(node >= 0 && static_cast<std::size_t>(node) < graph.size(),
+          "path_from_root: bad node");
+  std::vector<int> reactions;
+  int current = node;
+  while (graph.parent[static_cast<std::size_t>(current)] != -1) {
+    reactions.push_back(graph.parent_reaction[static_cast<std::size_t>(
+        current)]);
+    current = graph.parent[static_cast<std::size_t>(current)];
+  }
+  std::reverse(reactions.begin(), reactions.end());
+  return reactions;
+}
+
+std::optional<int> find_output_exceeding(const crn::Crn& crn,
+                                         const ReachabilityGraph& graph,
+                                         math::Int bound) {
+  const auto y = static_cast<std::size_t>(crn.output_or_throw());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (graph.configs[i][y] > bound) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace crnkit::verify

@@ -1,0 +1,51 @@
+// Exact reachability graphs (Section 2.2's reachability relation ->*).
+//
+// BFS over configurations from an initial configuration, hashing each
+// configuration once; edges record which reaction produced them, so witness
+// reaction sequences can be reconstructed. Exploration is bounded by a
+// configurable node budget; `complete` reports whether the whole reachable
+// set was enumerated (all stable-computation *proofs* require complete
+// graphs; incomplete graphs still yield counterexample witnesses).
+#ifndef CRNKIT_VERIFY_REACHABILITY_H_
+#define CRNKIT_VERIFY_REACHABILITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crn/network.h"
+
+namespace crnkit::verify {
+
+struct ReachabilityGraph {
+  std::vector<crn::Config> configs;        ///< node id -> configuration
+  std::vector<std::vector<int>> succ;      ///< node id -> successor node ids
+  std::vector<int> parent;                 ///< BFS tree parent (-1 for root)
+  std::vector<int> parent_reaction;        ///< reaction used to reach node
+  bool complete = true;                    ///< false iff node budget was hit
+
+  [[nodiscard]] std::size_t size() const { return configs.size(); }
+};
+
+struct ExploreOptions {
+  std::size_t max_configs = 250'000;
+};
+
+/// Enumerates configurations reachable from `initial`.
+[[nodiscard]] ReachabilityGraph explore(const crn::Crn& crn,
+                                        const crn::Config& initial,
+                                        const ExploreOptions& options = {});
+
+/// The reaction sequence along the BFS tree from the root to `node`
+/// (indices into crn.reactions()).
+[[nodiscard]] std::vector<int> path_from_root(const ReachabilityGraph& graph,
+                                              int node);
+
+/// First node (in BFS order) whose output count exceeds `bound`, if any.
+[[nodiscard]] std::optional<int> find_output_exceeding(
+    const crn::Crn& crn, const ReachabilityGraph& graph, math::Int bound);
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_REACHABILITY_H_

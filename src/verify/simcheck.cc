@@ -1,0 +1,87 @@
+#include "verify/simcheck.h"
+
+#include <sstream>
+
+#include "geom/arrangement.h"
+#include "math/check.h"
+
+namespace crnkit::verify {
+
+std::string SimCheckResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAIL") << " trials=" << trials
+     << " silent=" << silent_trials << " mismatches=" << mismatches;
+  return os.str();
+}
+
+SimCheckResult sim_check_point(const crn::Crn& crn,
+                               const fn::DiscreteFunction& f,
+                               const fn::Point& x,
+                               const SimCheckOptions& options) {
+  require(crn.input_arity() == f.dimension(),
+          "sim_check_point: arity mismatch");
+  SimCheckResult result;
+  const math::Int expected = f(x);
+  for (int trial = 0; trial < options.trials_per_point; ++trial) {
+    sim::Rng rng(options.seed + 0x9e37 * static_cast<std::uint64_t>(trial) +
+                 31 * static_cast<std::uint64_t>(result.trials));
+    const auto run =
+        sim::run_until_silent(crn, crn.initial_configuration(x), rng,
+                              sim::SilentRunOptions{options.max_steps});
+    ++result.trials;
+    if (!run.silent) continue;  // inconclusive trial
+    ++result.silent_trials;
+    const math::Int got = crn.output_count(run.final_config);
+    if (got != expected) {
+      ++result.mismatches;
+      result.ok = false;
+      result.failures.emplace_back(x, got);
+    }
+  }
+  // No silent trial at all is inconclusive; report it as failure so callers
+  // never mistake a timeout for a verified point.
+  if (result.silent_trials == 0) {
+    result.ok = false;
+    result.failures.emplace_back(x, -1);
+  }
+  return result;
+}
+
+namespace {
+
+void merge(SimCheckResult& into, const SimCheckResult& part) {
+  into.ok = into.ok && part.ok;
+  into.trials += part.trials;
+  into.silent_trials += part.silent_trials;
+  into.mismatches += part.mismatches;
+  into.failures.insert(into.failures.end(), part.failures.begin(),
+                       part.failures.end());
+}
+
+}  // namespace
+
+SimCheckResult sim_check_grid(const crn::Crn& crn,
+                              const fn::DiscreteFunction& f,
+                              math::Int grid_max,
+                              const SimCheckOptions& options) {
+  SimCheckResult result;
+  geom::for_each_grid_point(f.dimension(), grid_max,
+                            [&](const std::vector<math::Int>& x) {
+                              merge(result,
+                                    sim_check_point(crn, f, x, options));
+                            });
+  return result;
+}
+
+SimCheckResult sim_check_points(const crn::Crn& crn,
+                                const fn::DiscreteFunction& f,
+                                const std::vector<fn::Point>& points,
+                                const SimCheckOptions& options) {
+  SimCheckResult result;
+  for (const fn::Point& x : points) {
+    merge(result, sim_check_point(crn, f, x, options));
+  }
+  return result;
+}
+
+}  // namespace crnkit::verify

@@ -1,0 +1,58 @@
+// Randomized stable-computation checking for CRNs whose reachable space is
+// too large to enumerate (the Theorem 5.2 compositions). Runs many random
+// silent runs per input; every silent configuration is stable, so a silent
+// run ending with the wrong output count *disproves* stable computation,
+// while agreement over many trials (with different seeds) gives strong
+// evidence. The exhaustive checker in stable.h remains the ground truth on
+// small inputs; tests cross-validate the two on overlapping domains.
+#ifndef CRNKIT_VERIFY_SIMCHECK_H_
+#define CRNKIT_VERIFY_SIMCHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+#include "sim/scheduler.h"
+
+namespace crnkit::verify {
+
+struct SimCheckResult {
+  bool ok = true;          ///< all silent trials matched expected outputs
+  int trials = 0;
+  int silent_trials = 0;   ///< trials that actually reached silence
+  int mismatches = 0;
+  std::vector<std::pair<fn::Point, math::Int>> failures;  ///< (x, got)
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct SimCheckOptions {
+  int trials_per_point = 5;
+  std::uint64_t max_steps = 5'000'000;
+  std::uint64_t seed = 1;
+};
+
+/// Randomized check of `crn` against f on a single input x.
+[[nodiscard]] SimCheckResult sim_check_point(const crn::Crn& crn,
+                                             const fn::DiscreteFunction& f,
+                                             const fn::Point& x,
+                                             const SimCheckOptions& options =
+                                                 {});
+
+/// Randomized check over the grid [0, grid_max]^d.
+[[nodiscard]] SimCheckResult sim_check_grid(const crn::Crn& crn,
+                                            const fn::DiscreteFunction& f,
+                                            math::Int grid_max,
+                                            const SimCheckOptions& options =
+                                                {});
+
+/// Randomized check on an explicit list of inputs (e.g. sparse large inputs
+/// beyond any affordable dense grid).
+[[nodiscard]] SimCheckResult sim_check_points(
+    const crn::Crn& crn, const fn::DiscreteFunction& f,
+    const std::vector<fn::Point>& points, const SimCheckOptions& options = {});
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_SIMCHECK_H_

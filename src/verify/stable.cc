@@ -1,0 +1,218 @@
+#include "verify/stable.h"
+
+#include <sstream>
+
+#include "geom/arrangement.h"
+#include "math/check.h"
+
+namespace crnkit::verify {
+
+namespace {
+
+/// Iterative Tarjan SCC. Returns component id per node; components are
+/// numbered in reverse topological order (every edge goes from a component
+/// to one with a smaller or equal id... Tarjan numbers sinks first).
+std::vector<int> tarjan_scc(const std::vector<std::vector<int>>& succ,
+                            int& component_count) {
+  const int n = static_cast<int>(succ.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> component(static_cast<std::size_t>(n), -1);
+  std::vector<int> stack;
+  int next_index = 0;
+  component_count = 0;
+
+  struct Frame {
+    int node;
+    std::size_t child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const int v = frame.node;
+      if (frame.child == 0) {
+        index[static_cast<std::size_t>(v)] = next_index;
+        lowlink[static_cast<std::size_t>(v)] = next_index;
+        ++next_index;
+        stack.push_back(v);
+        on_stack[static_cast<std::size_t>(v)] = true;
+      }
+      bool descended = false;
+      while (frame.child < succ[static_cast<std::size_t>(v)].size()) {
+        const int w = succ[static_cast<std::size_t>(v)][frame.child];
+        ++frame.child;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      // All children done.
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          component[static_cast<std::size_t>(w)] = component_count;
+          if (w == v) break;
+        }
+        ++component_count;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const int parent = call_stack.back().node;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return component;
+}
+
+}  // namespace
+
+std::string StableCheckResult::summary(const crn::Crn& crn) const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAIL") << " expected=" << expected
+     << " configs=" << num_configs << (complete ? "" : " (INCOMPLETE)");
+  if (counterexample) {
+    os << " counterexample=" << crn.config_to_string(*counterexample);
+  }
+  if (overproduction) {
+    os << " overproduction=" << crn.config_to_string(*overproduction);
+  }
+  return os.str();
+}
+
+StableCheckResult check_stable_computation(const crn::Crn& crn,
+                                           const fn::Point& x,
+                                           math::Int expected,
+                                           const StableCheckOptions& options) {
+  StableCheckResult result;
+  result.expected = expected;
+
+  const crn::Config initial = crn.initial_configuration(x);
+  const ReachabilityGraph graph =
+      explore(crn, initial, ExploreOptions{options.max_configs});
+  result.complete = graph.complete;
+  result.num_configs = graph.size();
+
+  const auto y = static_cast<std::size_t>(crn.output_or_throw());
+
+  // Overproduction is meaningful on its own (even from incomplete graphs).
+  if (const auto over = find_output_exceeding(crn, graph, expected)) {
+    result.overproduction = graph.configs[static_cast<std::size_t>(*over)];
+  }
+
+  int component_count = 0;
+  const std::vector<int> component = tarjan_scc(graph.succ, component_count);
+
+  // Tarjan numbers components in reverse topological order: every edge goes
+  // from a higher-or-equal component id to a lower-or-equal... concretely,
+  // for edge u -> v in different components, component[v] < component[u].
+  // So processing components in increasing id order visits successors first.
+  std::vector<math::Int> reach_min(static_cast<std::size_t>(component_count));
+  std::vector<math::Int> reach_max(static_cast<std::size_t>(component_count));
+  std::vector<bool> initialized(static_cast<std::size_t>(component_count),
+                                false);
+  std::vector<bool> good(static_cast<std::size_t>(component_count), false);
+
+  // Gather member output ranges.
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    const auto c = static_cast<std::size_t>(component[node]);
+    const math::Int out = graph.configs[node][y];
+    if (!initialized[c]) {
+      reach_min[c] = out;
+      reach_max[c] = out;
+      initialized[c] = true;
+    } else {
+      reach_min[c] = std::min(reach_min[c], out);
+      reach_max[c] = std::max(reach_max[c], out);
+    }
+  }
+  // Fold in successors (components in increasing id = reverse topological).
+  // Edges can go to any component with smaller id; iterate nodes and relax.
+  // Two passes are unnecessary: since successor components have smaller ids
+  // and are processed first, we relax while walking components in order.
+  std::vector<std::vector<int>> comp_succ(
+      static_cast<std::size_t>(component_count));
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    for (const int next : graph.succ[node]) {
+      const int cu = component[node];
+      const int cv = component[static_cast<std::size_t>(next)];
+      if (cu != cv) comp_succ[static_cast<std::size_t>(cu)].push_back(cv);
+    }
+  }
+  for (int c = 0; c < component_count; ++c) {
+    for (const int next : comp_succ[static_cast<std::size_t>(c)]) {
+      ensure(next < c, "check_stable_computation: SCC order violated");
+      reach_min[static_cast<std::size_t>(c)] =
+          std::min(reach_min[static_cast<std::size_t>(c)],
+                   reach_min[static_cast<std::size_t>(next)]);
+      reach_max[static_cast<std::size_t>(c)] =
+          std::max(reach_max[static_cast<std::size_t>(c)],
+                   reach_max[static_cast<std::size_t>(next)]);
+    }
+    const bool stable_here =
+        reach_min[static_cast<std::size_t>(c)] ==
+        reach_max[static_cast<std::size_t>(c)];
+    good[static_cast<std::size_t>(c)] =
+        (stable_here && reach_min[static_cast<std::size_t>(c)] == expected);
+    if (!good[static_cast<std::size_t>(c)]) {
+      for (const int next : comp_succ[static_cast<std::size_t>(c)]) {
+        if (good[static_cast<std::size_t>(next)]) {
+          good[static_cast<std::size_t>(c)] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.ok = true;
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    if (!good[static_cast<std::size_t>(component[node])]) {
+      result.ok = false;
+      result.counterexample = graph.configs[node];
+      break;
+    }
+  }
+  // An incomplete exploration cannot prove success.
+  if (!graph.complete && result.ok) {
+    result.ok = false;
+    result.counterexample.reset();
+  }
+  return result;
+}
+
+GridCheckResult check_stable_computation_on_grid(
+    const crn::Crn& crn, const fn::DiscreteFunction& f, math::Int grid_max,
+    const StableCheckOptions& options) {
+  require(crn.input_arity() == f.dimension(),
+          "check_stable_computation_on_grid: arity mismatch");
+  GridCheckResult result;
+  geom::for_each_grid_point(
+      f.dimension(), grid_max, [&](const std::vector<math::Int>& x) {
+        ++result.points_checked;
+        const auto check = check_stable_computation(crn, x, f(x), options);
+        if (!check.ok) {
+          result.all_ok = false;
+          result.failures.push_back(x);
+        }
+      });
+  return result;
+}
+
+}  // namespace crnkit::verify

@@ -1,0 +1,60 @@
+// Exact decision of stable computation (Section 2.2) on a single input:
+// "C stably computes f on x" iff from every configuration reachable from
+// I_x, some stable configuration O with O(Y) = f(x) remains reachable.
+//
+// Implemented on the exact reachability graph: SCC condensation, then two
+// DAG passes — (1) the min/max output count reachable from each SCC decides
+// stability (an SCC is stable iff that range is a single value), and (2)
+// backward propagation of "a correct stable SCC is reachable". The CRN
+// stably computes f(x) iff every explored SCC can reach a correct stable
+// SCC. This is a *proof* when exploration is complete.
+#ifndef CRNKIT_VERIFY_STABLE_H_
+#define CRNKIT_VERIFY_STABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+#include "verify/reachability.h"
+
+namespace crnkit::verify {
+
+struct StableCheckResult {
+  bool ok = false;        ///< stably computes the expected value
+  bool complete = true;   ///< exploration enumerated all reachable configs
+  math::Int expected = 0;
+  std::size_t num_configs = 0;
+  /// A reachable configuration from which no correct stable configuration
+  /// is reachable (present iff !ok).
+  std::optional<crn::Config> counterexample;
+  /// A reachable configuration whose output exceeds the expected value
+  /// (the signature failure mode of non-output-oblivious behavior).
+  std::optional<crn::Config> overproduction;
+
+  [[nodiscard]] std::string summary(const crn::Crn& crn) const;
+};
+
+struct StableCheckOptions {
+  std::size_t max_configs = 250'000;
+};
+
+/// Decides whether `crn` stably computes `expected` on input x.
+[[nodiscard]] StableCheckResult check_stable_computation(
+    const crn::Crn& crn, const fn::Point& x, math::Int expected,
+    const StableCheckOptions& options = {});
+
+/// Sweep over the full grid [0, grid_max]^d against a reference function.
+struct GridCheckResult {
+  bool all_ok = true;
+  int points_checked = 0;
+  std::vector<fn::Point> failures;
+};
+
+[[nodiscard]] GridCheckResult check_stable_computation_on_grid(
+    const crn::Crn& crn, const fn::DiscreteFunction& f, math::Int grid_max,
+    const StableCheckOptions& options = {});
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_STABLE_H_

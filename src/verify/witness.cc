@@ -1,0 +1,120 @@
+#include "verify/witness.h"
+
+#include <sstream>
+
+#include "geom/arrangement.h"
+#include "math/check.h"
+
+namespace crnkit::verify {
+
+using fn::Point;
+using math::Int;
+
+namespace {
+
+Point scaled(const Point& u, Int c) {
+  Point out(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    out[i] = math::checked_mul(u[i], c);
+  }
+  return out;
+}
+
+Point added(const Point& a, const Point& b) {
+  Point out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = math::checked_add(a[i], b[i]);
+  }
+  return out;
+}
+
+bool is_zero_point(const Point& p) {
+  for (const Int v : p) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Lemma41Witness::to_string() const {
+  std::ostringstream os;
+  os << "a_i = i*" << math::to_string(math::to_rational(u))
+     << ", Delta_ij = j*" << math::to_string(math::to_rational(v))
+     << " (verified for all 1<=i<j<=" << prefix_checked << ")";
+  return os.str();
+}
+
+bool check_linear_family(const fn::DiscreteFunction& f, const Point& u,
+                         const Point& v, int prefix) {
+  require(static_cast<int>(u.size()) == f.dimension() &&
+              static_cast<int>(v.size()) == f.dimension(),
+          "check_linear_family: dimension mismatch");
+  require(prefix >= 2, "check_linear_family: prefix must be >= 2");
+  for (int i = 1; i < prefix; ++i) {
+    const Point ai = scaled(u, i);
+    for (int j = i + 1; j <= prefix; ++j) {
+      const Point aj = scaled(u, j);
+      const Point delta = scaled(v, j);
+      const Int lhs = f(added(ai, delta)) - f(ai);
+      const Int rhs = f(added(aj, delta)) - f(aj);
+      if (!(lhs > rhs)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Lemma41Witness> find_lemma41_witness(
+    const fn::DiscreteFunction& f, Int max_entry, int prefix) {
+  std::optional<Lemma41Witness> found;
+  geom::for_each_grid_point(
+      f.dimension(), max_entry, [&](const std::vector<Int>& u) {
+        if (found || is_zero_point(u)) return;
+        geom::for_each_grid_point(
+            f.dimension(), max_entry, [&](const std::vector<Int>& v) {
+              if (found || is_zero_point(v)) return;
+              if (check_linear_family(f, u, v, prefix)) {
+                found = Lemma41Witness{u, v, prefix};
+              }
+            });
+      });
+  return found;
+}
+
+std::string DifferenceReversal::to_string() const {
+  std::ostringstream os;
+  os << "f(a+d)-f(a) > f(b+d)-f(b) with a="
+     << math::to_string(math::to_rational(a))
+     << " b=" << math::to_string(math::to_rational(b))
+     << " d=" << math::to_string(math::to_rational(delta));
+  return os.str();
+}
+
+std::optional<DifferenceReversal> find_difference_reversal(
+    const fn::DiscreteFunction& f, Int grid_max) {
+  std::optional<DifferenceReversal> found;
+  geom::for_each_grid_point(
+      f.dimension(), grid_max, [&](const std::vector<Int>& a) {
+        if (found) return;
+        geom::for_each_grid_point(
+            f.dimension(), grid_max, [&](const std::vector<Int>& b) {
+              if (found) return;
+              for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i] > b[i]) return;  // need a <= b
+              }
+              geom::for_each_grid_point(
+                  f.dimension(), grid_max,
+                  [&](const std::vector<Int>& delta) {
+                    if (found || is_zero_point(delta)) return;
+                    const Int lhs = f(added(a, delta)) - f(a);
+                    const Int rhs = f(added(b, delta)) - f(b);
+                    if (lhs > rhs) {
+                      found = DifferenceReversal{a, b, delta};
+                    }
+                  });
+            });
+      });
+  return found;
+}
+
+}  // namespace crnkit::verify

@@ -1,0 +1,64 @@
+// Impossibility machinery: Lemma 4.1 contradiction sequences and the
+// Theorem 5.4 "negative characterization".
+//
+// Lemma 4.1: if there is an increasing sequence (a_1, a_2, ...) such that
+// for all i < j some Delta_ij has
+//     f(a_i + Delta_ij) - f(a_i) > f(a_j + Delta_ij) - f(a_j),
+// then f is not obliviously-computable. The paper instantiates it with
+// *linear families* a_i = i*u, Delta_ij = j*v (max: u=(1,0), v=(0,1); the
+// Equation (2) counterexample: the same family). This module verifies such
+// families on bounded prefixes and searches small direction pairs (u, v)
+// automatically — the executable shadow of the paper's impossibility proofs.
+#ifndef CRNKIT_VERIFY_WITNESS_H_
+#define CRNKIT_VERIFY_WITNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fn/function.h"
+
+namespace crnkit::verify {
+
+/// A verified linear contradiction family for Lemma 4.1.
+struct Lemma41Witness {
+  fn::Point u;  ///< a_i = i * u
+  fn::Point v;  ///< Delta_ij = j * v
+  int prefix_checked = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks the linear family (a_i = i*u, Delta_ij = j*v) on all pairs
+/// 1 <= i < j <= prefix: every pair must satisfy the strict Lemma 4.1
+/// inequality. Returns true iff all pairs do.
+[[nodiscard]] bool check_linear_family(const fn::DiscreteFunction& f,
+                                       const fn::Point& u, const fn::Point& v,
+                                       int prefix);
+
+/// Searches direction pairs (u, v) with entries in [0, max_entry] (u != 0,
+/// v != 0) for a family passing check_linear_family. Returns the first
+/// witness found, or nullopt — the bounded analogue of Theorem 5.4's
+/// "has no sequence meeting the conditions of Lemma 4.1".
+[[nodiscard]] std::optional<Lemma41Witness> find_lemma41_witness(
+    const fn::DiscreteFunction& f, math::Int max_entry = 2, int prefix = 8);
+
+/// A single difference reversal f(a + delta) - f(a) > f(b + delta) - f(b)
+/// with a <= b. Strictly weaker than Lemma 4.1 (which needs a reversal for
+/// *every* pair of an infinite increasing sequence): even min(x1,x2) has
+/// single reversals. Useful as an exploratory probe, not as a witness.
+struct DifferenceReversal {
+  fn::Point a;
+  fn::Point b;
+  fn::Point delta;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Finds any single difference reversal within the grid.
+[[nodiscard]] std::optional<DifferenceReversal> find_difference_reversal(
+    const fn::DiscreteFunction& f, math::Int grid_max);
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_WITNESS_H_

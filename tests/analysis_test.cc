@@ -1,0 +1,234 @@
+// Tests for the Section 7 analysis pipeline: decomposition and
+// classification, unique determined extensions (Lemma 7.7, Figure 7),
+// averaged strip extensions (Lemma 7.16), the Lemma 7.20 agreeing-gradient
+// path and its Equation (2) failure diagnosis, and full eventual-min
+// extraction (Theorem 7.1) feeding the Theorem 5.2 compiler spec.
+#include <gtest/gtest.h>
+
+#include "analysis/eventual_min.h"
+#include "analysis/extension.h"
+#include "analysis/strip_extension.h"
+#include "fn/examples.h"
+#include "fn/properties.h"
+
+namespace crnkit::analysis {
+namespace {
+
+using math::Int;
+using math::Rational;
+
+AnalysisInput fig7_input() {
+  return AnalysisInput{fn::examples::fig7(), fn::examples::fig7_arrangement(),
+                       1, 12};
+}
+
+AnalysisInput eq2_input() {
+  return AnalysisInput{fn::examples::eq2_counterexample(),
+                       fn::examples::fig7_arrangement(), 1, 12};
+}
+
+AnalysisInput fig4a_input() {
+  return AnalysisInput{fn::examples::fig4a(),
+                       fn::examples::fig4a_arrangement(), 2, 14};
+}
+
+TEST(Decomposition, Fig7ThreeRegions) {
+  const auto regions = decompose(fig7_input());
+  ASSERT_EQ(regions.size(), 3u);
+  int determined = 0;
+  for (const auto& info : regions) {
+    if (info.determined) ++determined;
+  }
+  EXPECT_EQ(determined, 2);
+}
+
+TEST(Decomposition, Fig7DiagonalHasTwoDeterminedNeighbors) {
+  const auto regions = decompose(fig7_input());
+  for (std::size_t u = 0; u < regions.size(); ++u) {
+    if (regions[u].determined) continue;
+    EXPECT_TRUE(regions[u].eventual);
+    EXPECT_EQ(determined_neighbors(regions, u).size(), 2u);
+  }
+}
+
+TEST(DeterminedExtension, Fig7UniqueExtensions) {
+  const auto input = fig7_input();
+  const auto regions = decompose(input);
+  for (const auto& info : regions) {
+    if (!info.determined) continue;
+    const fn::QuiltAffine g = determined_extension(input, info);
+    // Each determined extension of fig7 is affine x_i + 1.
+    EXPECT_EQ(g.period(), 1);
+    const bool is_g1 = g.gradient() == math::RatVec{Rational(0), Rational(1)};
+    const bool is_g2 = g.gradient() == math::RatVec{Rational(1), Rational(0)};
+    EXPECT_TRUE(is_g1 || is_g2);
+    for (const auto& x : info.samples) {
+      EXPECT_EQ(g(x), input.f(x));
+    }
+  }
+}
+
+TEST(DeterminedExtension, RejectsUnderDeterminedRegion) {
+  const auto input = fig7_input();
+  const auto regions = decompose(input);
+  for (const auto& info : regions) {
+    if (info.determined) continue;
+    EXPECT_THROW((void)determined_extension(input, info),
+                 std::invalid_argument);
+  }
+}
+
+TEST(DeterminedExtension, Fig4aRecoversQuiltParts) {
+  const auto input = fig4a_input();
+  const auto regions = decompose(input);
+  int found = 0;
+  for (const auto& info : regions) {
+    if (!info.determined) continue;
+    const fn::QuiltAffine g = determined_extension(input, info);
+    ++found;
+    // Extensions must dominate f on the far grid (Lemma 7.9, empirically).
+    const auto violation = fn::find_domination_violation(
+        input.f, g.as_function(), fn::examples::fig4a_threshold(), 6);
+    EXPECT_FALSE(violation.has_value())
+        << "extension " << g.to_string() << " fails to dominate";
+  }
+  EXPECT_GE(found, 2);
+}
+
+TEST(StripExtension, Fig7AveragedExtensionIsCeilHalfSum) {
+  const auto input = fig7_input();
+  const auto regions = decompose(input);
+  for (std::size_t u = 0; u < regions.size(); ++u) {
+    if (regions[u].determined) continue;
+    const auto neighbor_ids = determined_neighbors(regions, u);
+    std::vector<fn::QuiltAffine> neighbor_exts;
+    for (const std::size_t r : neighbor_ids) {
+      neighbor_exts.push_back(determined_extension(input, regions[r]));
+    }
+    const auto strips = geom::decompose_strips(regions[u].region,
+                                               input.grid_max);
+    ASSERT_EQ(strips.size(), 1u);
+    const auto result =
+        strip_extension(input, regions, u, strips[0], neighbor_exts);
+    ASSERT_TRUE(result.extension.has_value()) << result.diagnosis;
+    EXPECT_FALSE(result.used_neighbor_direction);
+    // gU = ceil((x1+x2)/2): gradient (1/2, 1/2).
+    EXPECT_EQ(result.extension->gradient(),
+              (math::RatVec{Rational(1, 2), Rational(1, 2)}));
+    const fn::QuiltAffine expected = fn::examples::fig7_extensions()[2];
+    for (Int t = 0; t <= 10; ++t) {
+      for (Int s = 0; s <= 10; ++s) {
+        EXPECT_EQ((*result.extension)(fn::Point{t, s}),
+                  expected(fn::Point{t, s}))
+            << t << "," << s;
+      }
+    }
+  }
+}
+
+TEST(StripExtension, Eq2DiagnosedNotObliviouslyComputable) {
+  // Equation (2): determined extensions on both sides share the gradient
+  // (1,1); Lemma 7.20 applies and the diagonal strip disagrees -> the
+  // pipeline must report the obstruction.
+  const auto input = eq2_input();
+  const auto regions = decompose(input);
+  bool diagnosed = false;
+  for (std::size_t u = 0; u < regions.size(); ++u) {
+    if (regions[u].determined) continue;
+    const auto neighbor_ids = determined_neighbors(regions, u);
+    std::vector<fn::QuiltAffine> neighbor_exts;
+    for (const std::size_t r : neighbor_ids) {
+      neighbor_exts.push_back(determined_extension(input, regions[r]));
+    }
+    const auto strips = geom::decompose_strips(regions[u].region,
+                                               input.grid_max);
+    for (const auto& strip : strips) {
+      const auto result =
+          strip_extension(input, regions, u, strip, neighbor_exts);
+      if (!result.extension.has_value()) {
+        diagnosed = true;
+        EXPECT_NE(result.diagnosis.find("NOT obliviously-computable"),
+                  std::string::npos)
+            << result.diagnosis;
+      }
+    }
+  }
+  EXPECT_TRUE(diagnosed);
+}
+
+TEST(EventualMin, Fig7FullPipeline) {
+  const auto result = extract_eventual_min(fig7_input());
+  ASSERT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.parts.size(), 3u);  // g1, g2, gU
+  EXPECT_EQ(result.threshold, 0);      // fig7 = min everywhere
+  const fn::MinOfQuiltAffine m(result.parts);
+  EXPECT_FALSE(
+      fn::find_disagreement(m.as_function(), fn::examples::fig7(), 10)
+          .has_value());
+}
+
+TEST(EventualMin, Eq2FailsWithDiagnosis) {
+  const auto result = extract_eventual_min(eq2_input());
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes.front().find("NOT obliviously-computable"),
+            std::string::npos);
+}
+
+TEST(EventualMin, Fig4aRecoversEventualStructure) {
+  const auto result = extract_eventual_min(fig4a_input());
+  ASSERT_TRUE(result.ok) << result.summary();
+  // The threshold must cover the perturbed finite region (>= 4) but any
+  // valid threshold within the grid is acceptable — the pipeline may pick
+  // a slightly larger one than the hand-designed n = (4,4), since strip
+  // extensions on the boundary bands need not match the designed min
+  // exactly at the band edge.
+  EXPECT_GE(result.threshold, 4);
+  EXPECT_LE(result.threshold, 6);
+  const fn::MinOfQuiltAffine m(result.parts);
+  const fn::Point n(2, result.threshold);
+  // Beyond the reported threshold the min of the extracted parts IS f.
+  EXPECT_FALSE(fn::find_domination_violation(fn::examples::fig4a(),
+                                             m.as_function(), n, 8)
+                   .has_value());
+  EXPECT_FALSE(fn::find_domination_violation(m.as_function(),
+                                             fn::examples::fig4a(), n, 8)
+                   .has_value());
+}
+
+TEST(EventualMin, MaxHasNoConsistentExtensions) {
+  // max's determined extensions (the two projections) do not dominate:
+  // no threshold can make max equal their min. The pipeline must fail.
+  AnalysisInput input{fn::examples::max2(), fn::examples::fig7_arrangement(),
+                      1, 12};
+  const auto result = extract_eventual_min(input);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(RestrictArrangement, DropsCoordinateAndTrivialHyperplanes) {
+  const auto arr = fn::examples::fig4a_arrangement();
+  // Pin x1 = 3: hyperplanes on x1 alone become trivial and are dropped.
+  const auto restricted = restrict_arrangement(arr, 0, 3);
+  EXPECT_EQ(restricted.dimension(), 1);
+  for (const auto& hp : restricted.hyperplanes()) {
+    bool nonzero = false;
+    for (const Int t : hp.normal) nonzero |= (t != 0);
+    EXPECT_TRUE(nonzero);
+  }
+  EXPECT_LT(restricted.hyperplanes().size(), arr.hyperplanes().size());
+}
+
+TEST(MakeSpec, Fig7SpecCompilesInformation) {
+  const auto spec = make_spec_via_analysis(fig7_input());
+  EXPECT_EQ(spec.threshold, 0);
+  EXPECT_EQ(spec.eventual.size(), 3u);
+  EXPECT_TRUE(spec.children.empty());  // 1D restrictions are auto-derived
+}
+
+TEST(MakeSpec, RejectsEq2) {
+  EXPECT_THROW((void)make_spec_via_analysis(eq2_input()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crnkit::analysis

@@ -1,0 +1,196 @@
+// Tests for the construction compilers: the Lemma 6.2 primitives, the
+// Lemma 6.1 quilt-affine construction, the Theorem 3.1 1D construction, and
+// the Theorem 9.2 leaderless construction — each verified against its source
+// function by the exhaustive stable-computation checker, with parameterized
+// sweeps over function families.
+#include <gtest/gtest.h>
+
+#include "compile/leaderless.h"
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "compile/quilt.h"
+#include "crn/checks.h"
+#include "fn/examples.h"
+#include "verify/stable.h"
+
+namespace crnkit::compile {
+namespace {
+
+using crn::Crn;
+using math::Int;
+using math::Rational;
+using verify::check_stable_computation;
+using verify::check_stable_computation_on_grid;
+
+TEST(Primitives, MinComputesMin) {
+  for (int k = 1; k <= 4; ++k) {
+    const Crn crn = min_crn(k);
+    fn::Point x(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) x[static_cast<std::size_t>(i)] = 2 + i;
+    EXPECT_TRUE(check_stable_computation(crn, x, 2).ok) << "k=" << k;
+  }
+}
+
+TEST(Primitives, ClampComputesMinusN) {
+  for (const Int n : {0, 1, 3}) {
+    const Crn crn = clamp_crn(n);
+    for (Int x = 0; x <= 8; ++x) {
+      EXPECT_TRUE(
+          check_stable_computation(crn, {x}, std::max<Int>(0, x - n)).ok)
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Primitives, IndicatorComputesGatedSum) {
+  // c(a, b, c_count) = a + [c_count > j] * b.
+  for (const Int j : {0, 2}) {
+    const Crn crn = indicator_crn(j);
+    for (Int a = 0; a <= 2; ++a) {
+      for (Int b = 0; b <= 2; ++b) {
+        for (Int c = 0; c <= 4; ++c) {
+          const Int expected = a + (c > j ? b : 0);
+          EXPECT_TRUE(check_stable_computation(crn, {a, b, c}, expected).ok)
+              << "j=" << j << " a=" << a << " b=" << b << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Primitives, ConstantSeedsFromLeader) {
+  for (const Int c : {0, 1, 5}) {
+    const Crn crn = constant_crn(c);
+    // Constant CRNs have no inputs; build the initial configuration by
+    // hand (just the leader).
+    crn::Config initial = crn.empty_configuration();
+    initial[static_cast<std::size_t>(*crn.leader())] = 1;
+    const auto graph = verify::explore(crn, initial);
+    ASSERT_TRUE(graph.complete);
+    // Terminal configuration carries exactly c outputs.
+    Int final_y = -1;
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      if (crn.is_silent(graph.configs[i])) {
+        final_y = crn.output_count(graph.configs[i]);
+      }
+    }
+    EXPECT_EQ(final_y, c);
+  }
+}
+
+TEST(Lemma61, Fig3aCrnComputesFlooredDivision) {
+  const Crn crn = compile_quilt_affine(fn::examples::fig3a_quilt());
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  const auto sweep =
+      check_stable_computation_on_grid(crn, fn::examples::floor_3x_over_2(),
+                                       9);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+TEST(Lemma61, Fig3bCrnComputesBumpyQuilt) {
+  const fn::QuiltAffine g = fn::examples::fig3b_quilt();
+  const Crn crn = compile_quilt_affine(g);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  // One leader state per class of Z^2/3Z^2 plus L: check the census.
+  EXPECT_EQ(crn.species_count(), 9u + 1 + 1 + 2);  // states + L + Y + inputs
+  const auto sweep = check_stable_computation_on_grid(crn, g.as_function(), 5);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+TEST(Lemma61, RejectsDecreasingOrNegative) {
+  // Decreasing gradient.
+  EXPECT_THROW(
+      compile_quilt_affine(fn::QuiltAffine::affine({Rational(-1)},
+                                                   Rational(0))),
+      std::invalid_argument);
+  // Negative offset at the origin.
+  EXPECT_THROW(
+      compile_quilt_affine(fn::QuiltAffine::affine({Rational(1)},
+                                                   Rational(-2))),
+      std::invalid_argument);
+}
+
+TEST(Lemma61, GradientZeroComponentIsIgnoredInput) {
+  // g(x1,x2) = x1: input 2 is ignored entirely (no reaction consumes it).
+  const fn::QuiltAffine g = fn::QuiltAffine::affine(
+      {Rational(1), Rational(0)}, Rational(0), "proj1");
+  const Crn crn = compile_quilt_affine(g);
+  const auto sweep = check_stable_computation_on_grid(crn, g.as_function(), 4);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+// --- Theorem 3.1 sweep over the 1D suite ---
+
+class Theorem31Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem31Sweep, CompiledCrnStablyComputes) {
+  const auto suite = fn::examples::oned_suite();
+  const fn::DiscreteFunction& f =
+      suite[static_cast<std::size_t>(GetParam())];
+  const Crn crn = compile_oned(f);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  ASSERT_TRUE(crn.leader().has_value());
+  for (Int x = 0; x <= 14; ++x) {
+    EXPECT_TRUE(check_stable_computation(crn, {x}, f(x)).ok)
+        << f.name() << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OnedSuite, Theorem31Sweep,
+                         ::testing::Range(0, 8),
+                         [](const auto& info) {
+                           return "fn" + std::to_string(info.param);
+                         });
+
+TEST(Theorem31, StateCensusMatchesConstruction) {
+  // For floor(3x/2): n=0, p=2 -> species X, Y, L, P0, P1 and 3 reactions.
+  const Crn crn = compile_oned(fn::examples::floor_3x_over_2());
+  EXPECT_EQ(crn.species_count(), 5u);
+  EXPECT_EQ(crn.reactions().size(), 3u);
+}
+
+TEST(Theorem31, RejectsDecreasingFunction) {
+  const fn::DiscreteFunction dec(
+      1, [](const fn::Point& x) { return std::max<Int>(0, 5 - x[0]); },
+      "decreasing");
+  EXPECT_THROW((void)compile_oned(dec), std::invalid_argument);
+}
+
+// --- Theorem 9.2 sweep over the superadditive suite ---
+
+class Theorem92Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem92Sweep, LeaderlessCrnStablyComputes) {
+  const auto suite = fn::examples::oned_superadditive_suite();
+  const fn::DiscreteFunction& f =
+      suite[static_cast<std::size_t>(GetParam())];
+  const Crn crn = compile_leaderless_oned(f);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  EXPECT_FALSE(crn.leader().has_value());
+  for (Int x = 0; x <= 12; ++x) {
+    EXPECT_TRUE(check_stable_computation(crn, {x}, f(x)).ok)
+        << f.name() << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SuperadditiveSuite, Theorem92Sweep,
+                         ::testing::Range(0, 6),
+                         [](const auto& info) {
+                           return "fn" + std::to_string(info.param);
+                         });
+
+TEST(Theorem92, RejectsNonSuperadditive) {
+  // min(1, x) is semilinear nondecreasing but not superadditive
+  // (Observation 9.1's example) — the compiler must reject it.
+  EXPECT_THROW((void)compile_leaderless_oned(fn::examples::min_const1()),
+               std::invalid_argument);
+}
+
+TEST(Theorem92, RejectsNonzeroOrigin) {
+  const fn::DiscreteFunction f(
+      1, [](const fn::Point& x) { return x[0] + 1; }, "x+1");
+  EXPECT_THROW((void)compile_leaderless_oned(f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crnkit::compile

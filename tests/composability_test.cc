@@ -1,0 +1,76 @@
+// Tests for the executable Lemma 2.3: strip output-consuming reactions and
+// re-check. min's CRN (already oblivious) is trivially composable; the max
+// CRN stripped of K + Y -> 0 computes x1 + x2, certifying non-composability.
+#include <gtest/gtest.h>
+
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "fn/examples.h"
+#include "verify/composability.h"
+#include "verify/stable.h"
+
+namespace crnkit::verify {
+namespace {
+
+using math::Int;
+
+TEST(Composability, ObliviousCrnIsTriviallyComposable) {
+  const auto report =
+      check_composability(compile::min_crn(2), fn::examples::min2(), 4);
+  EXPECT_TRUE(report.already_oblivious);
+  EXPECT_TRUE(report.composable());
+  EXPECT_EQ(report.reactions_removed, 0);
+}
+
+TEST(Composability, MaxCrnIsNotComposable) {
+  const auto report =
+      check_composability(compile::fig1_max_crn(), fn::examples::max2(), 4);
+  EXPECT_FALSE(report.already_oblivious);
+  EXPECT_EQ(report.reactions_removed, 1);  // K + Y -> 0
+  EXPECT_FALSE(report.composable()) << report.summary();
+}
+
+TEST(Composability, StrippedMaxComputesSum) {
+  // Lemma 2.3's proof mechanics, concretely: without K + Y -> 0 the Fig 1
+  // max CRN produces one Y per input, i.e. x1 + x2.
+  const crn::Crn stripped =
+      strip_output_consumers(compile::fig1_max_crn());
+  const fn::DiscreteFunction sum(
+      2, [](const fn::Point& x) { return x[0] + x[1]; }, "sum");
+  const auto sweep = check_stable_computation_on_grid(stripped, sum, 4);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+TEST(Composability, Fig2LeaderlessMin1IsNotComposable) {
+  // Stripping 2Y -> Y from the leaderless min(1,x) CRN leaves X -> Y,
+  // which computes x, not min(1,x).
+  const auto report = check_composability(compile::fig2_min1_leaderless(),
+                                          fn::examples::min_const1(), 5);
+  EXPECT_FALSE(report.composable());
+  const crn::Crn stripped =
+      strip_output_consumers(compile::fig2_min1_leaderless());
+  const fn::DiscreteFunction identity(
+      1, [](const fn::Point& x) { return x[0]; }, "x");
+  EXPECT_TRUE(check_stable_computation_on_grid(stripped, identity, 5).all_ok);
+}
+
+TEST(Composability, CompiledConstructionsAreComposable) {
+  // Everything the Theorem 3.1 compiler emits is output-oblivious, hence
+  // composable by construction.
+  for (const auto& f : fn::examples::oned_suite()) {
+    const auto report =
+        check_composability(compile::compile_oned(f), f, 6);
+    EXPECT_TRUE(report.already_oblivious) << f.name();
+    EXPECT_TRUE(report.composable()) << f.name();
+  }
+}
+
+TEST(Composability, SummaryIsInformative) {
+  const auto report =
+      check_composability(compile::fig1_max_crn(), fn::examples::max2(), 3);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("NOT composable"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace crnkit::verify

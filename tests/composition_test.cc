@@ -1,0 +1,209 @@
+// Tests for composition (Section 2.3): concatenation works when the
+// upstream CRN is output-oblivious (Observation 2.2) and demonstrably fails
+// when it is not (the paper's 2*max example); plus Circuit mechanics
+// (fan-out, sum junctions, leader splitting, cycle rejection).
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "crn/compose.h"
+#include "fn/examples.h"
+#include "verify/reachability.h"
+#include "verify/simcheck.h"
+#include "verify/stable.h"
+
+namespace crnkit::crn {
+namespace {
+
+using math::Int;
+
+TEST(Concatenate, TwoTimesMinIsCorrect) {
+  // min (output-oblivious) composed with doubling: 2 * min(x1, x2).
+  const Crn composed =
+      concatenate(compile::min_crn(2), compile::scale_crn(2), "2min");
+  EXPECT_TRUE(is_output_oblivious(composed));
+  const fn::DiscreteFunction expected(
+      2, [](const fn::Point& x) { return 2 * std::min(x[0], x[1]); },
+      "2min");
+  const auto sweep = verify::check_stable_computation_on_grid(composed,
+                                                              expected, 4);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+TEST(Concatenate, TwoTimesMaxOverproduces) {
+  // The paper's Section 1.2 failure: renaming max's output into the
+  // doubler's input can yield up to 2(x1 + x2) outputs. The composed CRN
+  // must NOT stably compute 2*max — and overproduction must be reachable.
+  const Crn composed =
+      concatenate(compile::fig1_max_crn(), compile::scale_crn(2), "2max");
+  // Note: the composed CRN is syntactically output-oblivious with respect
+  // to its *final* output (the doubler never consumes Y) — what is broken
+  // is the upstream consuming the shared intermediate species W. This is
+  // exactly why Observation 2.2 conditions on the upstream being
+  // output-oblivious, not the composition.
+  EXPECT_FALSE(is_output_oblivious(compile::fig1_max_crn()));
+  const Int x1 = 2;
+  const Int x2 = 3;
+  const auto result =
+      verify::check_stable_computation(composed, {x1, x2},
+                                       2 * std::max(x1, x2));
+  EXPECT_FALSE(result.ok);
+  ASSERT_TRUE(result.overproduction.has_value());
+  EXPECT_GT(composed.output_count(*result.overproduction),
+            2 * std::max(x1, x2));
+}
+
+TEST(Concatenate, OvershootPathIsConstructible) {
+  // Reconstruct an explicit reaction sequence reaching overproduction in
+  // the 2*max composition (the executable form of the paper's argument).
+  const Crn composed =
+      concatenate(compile::fig1_max_crn(), compile::scale_crn(2), "2max");
+  const auto graph =
+      verify::explore(composed, composed.initial_configuration({2, 3}));
+  ASSERT_TRUE(graph.complete);
+  const auto over = verify::find_output_exceeding(composed, graph, 6);
+  ASSERT_TRUE(over.has_value());
+  const auto path = verify::path_from_root(graph, *over);
+  EXPECT_FALSE(path.empty());
+  // Replaying the path must reproduce the overproducing configuration.
+  Config c = composed.initial_configuration({2, 3});
+  for (const int r : path) {
+    ASSERT_TRUE(composed.reactions()[static_cast<std::size_t>(r)]
+                    .applicable(c));
+    composed.reactions()[static_cast<std::size_t>(r)].apply_in_place(c);
+  }
+  EXPECT_EQ(c, graph.configs[static_cast<std::size_t>(*over)]);
+}
+
+TEST(Concatenate, ChainsOfObliviousModulesStayOblivious) {
+  // (2x) then (3x) then min with itself... simple chain: 6x.
+  const Crn chain = concatenate(
+      concatenate(compile::scale_crn(2), compile::scale_crn(3), "6x"),
+      compile::scale_crn(1), "6x-id");
+  EXPECT_TRUE(is_output_oblivious(chain));
+  EXPECT_TRUE(verify::check_stable_computation(chain, {5}, 30).ok);
+}
+
+TEST(Circuit, FanOutSharesOneInputAcrossModules) {
+  // y = min(2x, x) = x via fan-out of the single external input.
+  Circuit circuit(1, "fanout-test");
+  const int doubler = circuit.add_module(compile::scale_crn(2));
+  const int identity = circuit.add_module(compile::identity_crn());
+  const int join = circuit.add_module(compile::min_crn(2));
+  circuit.connect(Wire::external(0), doubler, 0);
+  circuit.connect(Wire::external(0), identity, 0);
+  circuit.connect(Wire::of_module(doubler), join, 0);
+  circuit.connect(Wire::of_module(identity), join, 1);
+  circuit.add_output(Wire::of_module(join));
+  const Crn crn = circuit.compile();
+  EXPECT_TRUE(is_output_oblivious(crn));
+  for (Int x = 0; x <= 6; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(crn, {x}, x).ok) << x;
+  }
+}
+
+TEST(Circuit, SumJunctionAddsTwoModules) {
+  // y = 2x + x = 3x by declaring two output wires.
+  Circuit circuit(1, "sum-test");
+  const int doubler = circuit.add_module(compile::scale_crn(2));
+  const int identity = circuit.add_module(compile::identity_crn());
+  circuit.connect(Wire::external(0), doubler, 0);
+  circuit.connect(Wire::external(0), identity, 0);
+  circuit.add_output(Wire::of_module(doubler));
+  circuit.add_output(Wire::of_module(identity));
+  const Crn crn = circuit.compile();
+  for (Int x = 0; x <= 5; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(crn, {x}, 3 * x).ok) << x;
+  }
+}
+
+TEST(Circuit, LeaderSplitsOnlyWhenModulesNeedIt) {
+  // Pure min circuit: no module has a leader -> no leader in the result.
+  Circuit no_leader(2, "no-leader");
+  const int join = no_leader.add_module(compile::min_crn(2));
+  no_leader.connect(Wire::external(0), join, 0);
+  no_leader.connect(Wire::external(1), join, 1);
+  no_leader.add_output(Wire::of_module(join));
+  EXPECT_FALSE(no_leader.compile().leader().has_value());
+
+  // Adding a constant module (leader-seeded) forces a top leader.
+  Circuit with_leader(2, "with-leader");
+  const int join2 = with_leader.add_module(compile::min_crn(2));
+  const int constant = with_leader.add_module(compile::constant_crn(3));
+  with_leader.connect(Wire::external(0), join2, 0);
+  with_leader.connect(Wire::external(1), join2, 1);
+  with_leader.add_output(Wire::of_module(join2));
+  with_leader.add_output(Wire::of_module(constant));
+  const Crn crn = with_leader.compile();
+  ASSERT_TRUE(crn.leader().has_value());
+  // min(x1,x2) + 3.
+  EXPECT_TRUE(verify::check_stable_computation(crn, {2, 5}, 5).ok);
+}
+
+TEST(Circuit, RejectsNonObliviousModules) {
+  Circuit circuit(2, "bad");
+  EXPECT_THROW((void)circuit.add_module(compile::fig1_max_crn()),
+               std::logic_error);
+}
+
+TEST(Circuit, RejectsUnconnectedPorts) {
+  Circuit circuit(2, "unconnected");
+  (void)circuit.add_module(compile::min_crn(2));
+  circuit.connect(Wire::external(0), 0, 0);
+  circuit.add_output(Wire::of_module(0));
+  EXPECT_THROW((void)circuit.compile(), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsDoubleConnection) {
+  Circuit circuit(2, "double");
+  (void)circuit.add_module(compile::min_crn(2));
+  circuit.connect(Wire::external(0), 0, 0);
+  circuit.connect(Wire::external(1), 0, 1);
+  circuit.connect(Wire::external(1), 0, 1);
+  circuit.add_output(Wire::of_module(0));
+  EXPECT_THROW((void)circuit.compile(), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsSelfLoopAndRequiresOutput) {
+  Circuit circuit(1, "loops");
+  const int m = circuit.add_module(compile::identity_crn());
+  EXPECT_THROW(circuit.connect(Wire::of_module(m), m, 0),
+               std::invalid_argument);
+  Circuit no_output(1, "no-output");
+  EXPECT_THROW((void)no_output.compile(), std::invalid_argument);
+}
+
+TEST(Circuit, ExternalInputDirectlyToOutput) {
+  // Identity circuit: external wire feeding only Y becomes a conversion.
+  Circuit circuit(1, "ext-to-y");
+  circuit.add_output(Wire::external(0));
+  const Crn crn = circuit.compile();
+  EXPECT_TRUE(verify::check_stable_computation(crn, {4}, 4).ok);
+}
+
+TEST(Circuit, DeepPipelineComputesComposition) {
+  // x -> 2x -> (2x - 3)+ -> min with x. f(x) = min(max(2x-3, 0), x).
+  Circuit circuit(1, "pipeline");
+  const int doubler = circuit.add_module(compile::scale_crn(2));
+  const int clamp = circuit.add_module(compile::clamp_crn(3));
+  const int join = circuit.add_module(compile::min_crn(2));
+  circuit.connect(Wire::external(0), doubler, 0);
+  circuit.connect(Wire::of_module(doubler), clamp, 0);
+  circuit.connect(Wire::of_module(clamp), join, 0);
+  circuit.connect(Wire::external(0), join, 1);
+  circuit.add_output(Wire::of_module(join));
+  const Crn crn = circuit.compile();
+  const fn::DiscreteFunction expected(
+      1,
+      [](const fn::Point& x) {
+        return std::min(std::max<Int>(2 * x[0] - 3, 0), x[0]);
+      },
+      "pipeline");
+  for (Int x = 0; x <= 8; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(crn, {x}, expected(x)).ok)
+        << x;
+  }
+}
+
+}  // namespace
+}  // namespace crnkit::crn

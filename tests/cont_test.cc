@@ -1,0 +1,130 @@
+// Tests for the Section 8 continuous bridge: infinity-scalings
+// (Definition 8.1), the Theorem 8.2 correspondence with the continuous
+// class of [9], and mass-action ODE demonstrations.
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "cont/continuous_class.h"
+#include "cont/ode.h"
+#include "cont/scaling.h"
+#include "fn/examples.h"
+
+namespace crnkit::cont {
+namespace {
+
+using math::Rational;
+using math::RatVec;
+
+TEST(Scaling, QuiltAffineScalesToItsGradient) {
+  const auto g = fn::examples::fig3a_quilt();
+  EXPECT_EQ(scaling_of(g), (RatVec{Rational(3, 2)}));
+}
+
+TEST(Scaling, NumericEstimateConvergesToGradient) {
+  // |f(cz)/c - (3/2) z| <= 1/c for f = floor(3x/2).
+  const auto f = fn::examples::floor_3x_over_2();
+  const auto estimates = scaling_estimates(f, {1.0}, 8.0, 6);
+  const double target = 1.5;
+  double prev_err = 1e9;
+  for (const double e : estimates) {
+    const double err = std::abs(e - target);
+    EXPECT_LE(err, prev_err + 1e-12);  // monotone-ish convergence
+    prev_err = err;
+  }
+  EXPECT_NEAR(estimates.back(), target, 0.01);
+}
+
+TEST(Scaling, MinOfQuiltScalesToMinOfLinear) {
+  const PiecewiseLinearMin fhat = scaling_of(fn::examples::fig4a_eventual());
+  // fhat(z) = min(2z1+z2, z1+2z2, z1+z2): the constant offsets wash out.
+  EXPECT_EQ(fhat({Rational(1), Rational(1)}), Rational(2));
+  EXPECT_EQ(fhat({Rational(3), Rational(0)}), Rational(3));
+  EXPECT_EQ(fhat({Rational(0), Rational(2)}), Rational(2));
+}
+
+TEST(Scaling, NumericMatchesAnalyticOnFig4a) {
+  const PiecewiseLinearMin fhat = scaling_of(fn::examples::fig4a_eventual());
+  const auto f = fn::examples::fig4a();
+  for (const auto& z : std::vector<std::vector<double>>{
+           {1.0, 1.0}, {2.0, 0.5}, {0.25, 3.0}}) {
+    const double analytic =
+        fhat({Rational(static_cast<math::Int>(z[0] * 4), 4),
+              Rational(static_cast<math::Int>(z[1] * 4), 4)})
+            .to_double();
+    const double numeric = scaling_estimate(f, z, 4096.0);
+    EXPECT_NEAR(numeric, analytic, 0.02) << z[0] << "," << z[1];
+  }
+}
+
+TEST(Scaling, SuperadditivityOfMinOfLinear) {
+  const PiecewiseLinearMin fhat = scaling_of(fn::examples::fig4a_eventual());
+  std::vector<RatVec> points;
+  for (math::Int a = 0; a <= 3; ++a) {
+    for (math::Int b = 0; b <= 3; ++b) {
+      points.push_back({Rational(a), Rational(b, 2)});
+    }
+  }
+  EXPECT_TRUE(fhat.check_superadditive_on(points));
+}
+
+TEST(InfinityScaling, FacewiseEvaluationIsPositiveContinuous) {
+  // fhat of min(x1,x2): min(z1,z2) on the open orthant, 0 on both axes.
+  InfinityScaling fhat(2);
+  fhat.set_face(0b00, PiecewiseLinearMin({{Rational(1), Rational(0)},
+                                          {Rational(0), Rational(1)}}));
+  fhat.set_face(0b01, PiecewiseLinearMin({{Rational(0), Rational(0)}}));
+  fhat.set_face(0b10, PiecewiseLinearMin({{Rational(0), Rational(0)}}));
+  fhat.set_face(0b11, PiecewiseLinearMin({{Rational(0), Rational(0)}}));
+  EXPECT_EQ(fhat({Rational(2), Rational(3)}), Rational(2));
+  EXPECT_EQ(fhat({Rational(0), Rational(3)}), Rational(0));
+  EXPECT_EQ(fhat({Rational(0), Rational(0)}), Rational(0));
+  EXPECT_FALSE(fhat.find_superadditivity_violation(
+                       {{Rational(1), Rational(2)},
+                        {Rational(0), Rational(1)},
+                        {Rational(2), Rational(2)}})
+                   .has_value());
+}
+
+TEST(InfinityScaling, MissingFaceThrows) {
+  InfinityScaling fhat(2);
+  fhat.set_face(0b00, PiecewiseLinearMin({{Rational(1), Rational(1)}}));
+  EXPECT_THROW((void)fhat({Rational(0), Rational(1)}), std::invalid_argument);
+}
+
+TEST(Ode, ContinuousMinConvergesToMin) {
+  // X1 + X2 -> Y from (x1, x2) = (2, 5): y(t) -> min = 2.
+  const crn::Crn crn = compile::min_crn(2);
+  Concentrations c0(crn.species_count(), 0.0);
+  c0[static_cast<std::size_t>(crn.inputs()[0])] = 2.0;
+  c0[static_cast<std::size_t>(crn.inputs()[1])] = 5.0;
+  OdeOptions options;
+  options.t_end = 40.0;
+  const auto c = integrate_mass_action(crn, c0, options);
+  EXPECT_NEAR(c[static_cast<std::size_t>(crn.output_or_throw())], 2.0, 1e-2);
+  EXPECT_NEAR(c[static_cast<std::size_t>(crn.inputs()[1])], 3.0, 1e-2);
+}
+
+TEST(Ode, ScaleCrnDoublesMass) {
+  const crn::Crn crn = compile::scale_crn(2);
+  Concentrations c0(crn.species_count(), 0.0);
+  c0[static_cast<std::size_t>(crn.inputs()[0])] = 3.0;
+  OdeOptions options;
+  options.t_end = 30.0;
+  const auto c = integrate_mass_action(crn, c0, options);
+  EXPECT_NEAR(c[static_cast<std::size_t>(crn.output_or_throw())], 6.0, 1e-2);
+}
+
+TEST(Ode, MassConservationWherePresent) {
+  // X1 + X2 -> Y conserves x1 - x2.
+  const crn::Crn crn = compile::min_crn(2);
+  Concentrations c0(crn.species_count(), 0.0);
+  c0[static_cast<std::size_t>(crn.inputs()[0])] = 4.0;
+  c0[static_cast<std::size_t>(crn.inputs()[1])] = 1.5;
+  const auto c = integrate_mass_action(crn, c0);
+  const double diff = c[static_cast<std::size_t>(crn.inputs()[0])] -
+                      c[static_cast<std::size_t>(crn.inputs()[1])];
+  EXPECT_NEAR(diff, 2.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace crnkit::cont

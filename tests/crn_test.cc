@@ -1,0 +1,202 @@
+// Tests for the CRN core: species/reactions/configurations (Section 2.2),
+// the output-oblivious and output-monotonic checks (Section 2.3,
+// Observation 2.4), role-preserving transforms (Observation 5.3), and the
+// bimolecular conversion (footnote 5).
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "crn/bimolecular.h"
+#include "crn/checks.h"
+#include "crn/network.h"
+#include "crn/transform.h"
+
+namespace crnkit::crn {
+namespace {
+
+using math::Int;
+
+TEST(SpeciesTable, AddAndLookup) {
+  SpeciesTable table;
+  const SpeciesId a = table.add("A");
+  const SpeciesId b = table.add("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.id("A"), a);
+  EXPECT_EQ(table.name(b), "B");
+  EXPECT_FALSE(table.find("C").has_value());
+  EXPECT_THROW(table.add("A"), std::invalid_argument);
+  EXPECT_THROW(table.add(""), std::invalid_argument);
+  EXPECT_THROW((void)table.id("missing"), std::invalid_argument);
+}
+
+TEST(Reaction, NormalizesAndMerges) {
+  // A + A + B -> C merges duplicate terms.
+  const Reaction r({{0, 1}, {0, 1}, {1, 1}}, {{2, 1}});
+  EXPECT_EQ(r.reactant_count(0), 2);
+  EXPECT_EQ(r.reactant_count(1), 1);
+  EXPECT_EQ(r.order(), 3);
+  EXPECT_EQ(r.net_change(0), -2);
+  EXPECT_EQ(r.net_change(2), 1);
+}
+
+TEST(Reaction, RejectsNoOp) {
+  EXPECT_THROW(Reaction({{0, 1}}, {{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(Reaction({}, {}), std::invalid_argument);
+}
+
+TEST(Reaction, ApplicabilityAndApplication) {
+  const Reaction r({{0, 2}}, {{1, 3}});  // 2A -> 3B
+  Config c{2, 0};
+  EXPECT_TRUE(r.applicable(c));
+  r.apply_in_place(c);
+  EXPECT_EQ(c, (Config{0, 3}));
+  EXPECT_FALSE(r.applicable(c));
+}
+
+TEST(Crn, ParseReactionStrings) {
+  Crn crn("parse");
+  crn.add_reaction_str("A + 2 B -> C");
+  crn.add_reaction_str("C -> 0");
+  crn.add_reaction_str("2X -> X + Y");
+  ASSERT_EQ(crn.reactions().size(), 3u);
+  EXPECT_EQ(crn.reactions()[0].to_string(crn.species_table()),
+            "A + 2 B -> C");
+  EXPECT_EQ(crn.reactions()[1].to_string(crn.species_table()), "C -> 0");
+  EXPECT_EQ(crn.reactions()[2].to_string(crn.species_table()), "2 X -> X + Y");
+  EXPECT_THROW(crn.add_reaction_str("A + B"), std::invalid_argument);
+}
+
+TEST(Crn, InitialConfigurationEncodesInputAndLeader) {
+  Crn crn("enc");
+  crn.set_input_species({"X1", "X2"});
+  crn.set_output_species("Y");
+  crn.set_leader_species("L");
+  const Config c = crn.initial_configuration({3, 5});
+  EXPECT_EQ(c[static_cast<std::size_t>(crn.species("X1"))], 3);
+  EXPECT_EQ(c[static_cast<std::size_t>(crn.species("X2"))], 5);
+  EXPECT_EQ(c[static_cast<std::size_t>(crn.species("L"))], 1);
+  EXPECT_EQ(crn.output_count(c), 0);
+}
+
+TEST(Crn, SilenceDetection) {
+  Crn crn("silent");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("X -> Y");
+  Config c = crn.initial_configuration({2});
+  EXPECT_FALSE(crn.is_silent(c));
+  crn.reactions()[0].apply_in_place(c);
+  crn.reactions()[0].apply_in_place(c);
+  EXPECT_TRUE(crn.is_silent(c));
+}
+
+TEST(Checks, MinIsObliviousMaxIsNot) {
+  EXPECT_TRUE(is_output_oblivious(compile::min_crn(2)));
+  const Crn max = compile::fig1_max_crn();
+  EXPECT_FALSE(is_output_oblivious(max));
+  EXPECT_FALSE(is_output_monotonic(max));
+  const auto offending = find_output_consuming_reaction(max);
+  ASSERT_TRUE(offending.has_value());
+  // Terms print in species-id order (Y was declared before K).
+  EXPECT_EQ(*offending, "Y + K -> 0");
+}
+
+TEST(Checks, Fig2LeaderlessConsumesOutput) {
+  EXPECT_FALSE(is_output_oblivious(compile::fig2_min1_leaderless()));
+  EXPECT_TRUE(is_output_oblivious(compile::fig2_min1_leader()));
+}
+
+TEST(Checks, MonotonicButNotOblivious) {
+  // Y + A -> Y + B: catalytic output use is monotonic but not oblivious.
+  Crn crn("catalytic");
+  crn.set_input_species({"A"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("Y + A -> Y + B");
+  EXPECT_TRUE(is_output_monotonic(crn));
+  EXPECT_FALSE(is_output_oblivious(crn));
+}
+
+TEST(Transform, RenameSpeciesPreservesRoles) {
+  Crn crn = compile::min_crn(2);
+  const Crn renamed = rename_species(crn, {{"Y", "W"}, {"X1", "A"}});
+  EXPECT_TRUE(renamed.has_species("W"));
+  EXPECT_TRUE(renamed.has_species("A"));
+  EXPECT_FALSE(renamed.has_species("Y"));
+  EXPECT_EQ(renamed.species_name(renamed.output_or_throw()), "W");
+  EXPECT_EQ(renamed.species_name(renamed.inputs()[0]), "A");
+}
+
+TEST(Transform, RenameCollisionThrows) {
+  Crn crn = compile::min_crn(2);
+  EXPECT_THROW(rename_species(crn, {{"X1", "X2"}}), std::invalid_argument);
+}
+
+TEST(Transform, PrefixSpecies) {
+  const Crn prefixed = prefix_species(compile::min_crn(2), "m0.");
+  EXPECT_TRUE(prefixed.has_species("m0.X1"));
+  EXPECT_TRUE(prefixed.has_species("m0.Y"));
+}
+
+TEST(Transform, MonotonicToObliviousPreservesShape) {
+  Crn crn("catalytic");
+  crn.set_input_species({"A", "B"});
+  crn.set_output_species("Y");
+  crn.set_leader_species("L");
+  crn.add_reaction_str("L + A -> Y + L2");
+  crn.add_reaction_str("Y + B -> Y + C");
+  const Crn fixed = monotonic_to_oblivious(crn);
+  EXPECT_TRUE(is_output_oblivious(fixed));
+  // The catalytic reaction now uses the shadow species.
+  bool found_shadow = false;
+  for (const auto& r : fixed.reactions()) {
+    const std::string s = r.to_string(fixed.species_table());
+    if (s.find("B + Y#shadow ->") != std::string::npos) found_shadow = true;
+  }
+  EXPECT_TRUE(found_shadow);
+}
+
+TEST(Transform, MonotonicToObliviousRejectsConsumers) {
+  EXPECT_THROW(monotonic_to_oblivious(compile::fig1_max_crn()),
+               std::invalid_argument);
+}
+
+TEST(Transform, HardcodeInputSeedsPinnedValue) {
+  // min(x1, x2) with x1 hardcoded to 2 computes min(2, x2).
+  const Crn pinned = hardcode_input(compile::min_crn(2), 0, 2);
+  EXPECT_EQ(pinned.input_arity(), 2);
+  ASSERT_TRUE(pinned.leader().has_value());
+  // The original input species X1 still exists (inert) and is declared.
+  EXPECT_EQ(pinned.species_name(pinned.inputs()[0]), "X1");
+}
+
+TEST(Bimolecular, ConvertsHigherOrderReactions) {
+  Crn crn("higher");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("3 X -> Y");
+  EXPECT_EQ(max_reaction_order(crn), 3);
+  const Crn bi = to_bimolecular(crn);
+  EXPECT_LE(max_reaction_order(bi), 2);
+  // Footnote 5's shape: 2X <-> X2 and X + X2 -> Y means 3 reactions.
+  EXPECT_EQ(bi.reactions().size(), 3u);
+  EXPECT_TRUE(is_output_oblivious(bi));
+}
+
+TEST(Bimolecular, PreservesLowOrderReactions) {
+  const Crn bi = to_bimolecular(compile::min_crn(2));
+  EXPECT_EQ(bi.reactions().size(), 1u);
+}
+
+TEST(Bimolecular, FiveReactantChain) {
+  Crn crn("five");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("5 X -> 2 Y");
+  const Crn bi = to_bimolecular(crn);
+  EXPECT_LE(max_reaction_order(bi), 2);
+  // Chain of 3 reversible pairings (C2, C3, C4) + final step:
+  // 3*2 + 1 = 7 reactions.
+  EXPECT_EQ(bi.reactions().size(), 7u);
+}
+
+}  // namespace
+}  // namespace crnkit::crn

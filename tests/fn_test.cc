@@ -1,0 +1,237 @@
+// Tests for the function layer: quilt-affine functions (Definition 5.1,
+// Figure 3), semilinear normal form (Lemma 7.3), the 1D eventual structure
+// (Figure 5), and grid-checked properties (Observations 2.1 / 9.1).
+#include <gtest/gtest.h>
+
+#include "fn/examples.h"
+#include "fn/oned_structure.h"
+#include "fn/properties.h"
+#include "fn/quilt_affine.h"
+#include "fn/semilinear.h"
+
+namespace crnkit::fn {
+namespace {
+
+using math::Int;
+using math::Rational;
+
+TEST(QuiltAffine, Fig3aMatchesFlooredDivision) {
+  const QuiltAffine g = examples::fig3a_quilt();
+  const DiscreteFunction f = examples::floor_3x_over_2();
+  for (Int x = 0; x <= 40; ++x) {
+    EXPECT_EQ(g(Point{x}), f(x)) << "at x=" << x;
+  }
+}
+
+TEST(QuiltAffine, Fig3aFiniteDifferences) {
+  const QuiltAffine g = examples::fig3a_quilt();
+  // delta_0 = f(1)-f(0) = 1, delta_1 = f(2)-f(1) = 2.
+  EXPECT_EQ(g.finite_difference(0, math::CongruenceClass({0}, 2)), 1);
+  EXPECT_EQ(g.finite_difference(0, math::CongruenceClass({1}, 2)), 2);
+  EXPECT_TRUE(g.is_nondecreasing());
+  EXPECT_TRUE(g.is_nonnegative_everywhere());
+}
+
+TEST(QuiltAffine, Fig3bIsNondecreasingWithBumps) {
+  const QuiltAffine g = examples::fig3b_quilt();
+  EXPECT_TRUE(g.is_nondecreasing());
+  // The bump classes dip by 1 relative to the linear part.
+  EXPECT_EQ(g(Point{1, 2}), 1 + 4 - 1);
+  EXPECT_EQ(g(Point{0, 2}), 0 + 4);
+  // Exhaustive nondecreasing check through the black-box interface.
+  EXPECT_FALSE(
+      find_nondecreasing_violation(g.as_function(), 9).has_value());
+}
+
+TEST(QuiltAffine, RejectsNonIntegerValued) {
+  // gradient 1/2 with zero offsets is not integer-valued at x=1.
+  EXPECT_THROW(QuiltAffine({Rational(1, 2)}, 1, {Rational(0)}),
+               std::invalid_argument);
+  // With period 2 and a compensating offset it is fine: ceil(x/2).
+  const QuiltAffine g({Rational(1, 2)}, 2, {Rational(0), Rational(1, 2)});
+  EXPECT_EQ(g(Point{3}), 2);
+  EXPECT_EQ(g(Point{4}), 2);
+}
+
+TEST(QuiltAffine, RejectsWrongOffsetCount) {
+  EXPECT_THROW(QuiltAffine({Rational(1)}, 2, {Rational(0)}),
+               std::invalid_argument);
+}
+
+TEST(QuiltAffine, TranslationShiftsArgument) {
+  const QuiltAffine g = examples::fig3a_quilt();
+  const QuiltAffine shifted = g.translated(Point{3});
+  for (Int x = 0; x <= 20; ++x) {
+    EXPECT_EQ(shifted(Point{x}), g(Point{x + 3}));
+  }
+}
+
+TEST(QuiltAffine, WithPeriodPreservesValues) {
+  const QuiltAffine g = examples::fig3a_quilt();
+  const QuiltAffine coarse = g.with_period(6);
+  EXPECT_EQ(coarse.period(), 6);
+  for (Int x = 0; x <= 24; ++x) {
+    EXPECT_EQ(coarse(Point{x}), g(Point{x}));
+  }
+  EXPECT_THROW(g.with_period(3), std::invalid_argument);
+}
+
+TEST(QuiltAffine, NonnegativeEverywhereDetectsNegativeOffsets) {
+  // g(x) = x - 2: negative near the origin.
+  const QuiltAffine g = QuiltAffine::affine({Rational(1)}, Rational(-2));
+  EXPECT_FALSE(g.is_nonnegative_everywhere());
+  EXPECT_TRUE(g.translated(Point{2}).is_nonnegative_everywhere());
+}
+
+TEST(MinOfQuiltAffine, EvaluatesPointwiseMin) {
+  const MinOfQuiltAffine m = examples::fig4a_eventual();
+  // At (10, 10): g1 = 30, g2 = 30, g3 = 25.
+  EXPECT_EQ(m(Point{10, 10}), 25);
+  // At (10, 0): g2 = 10 wins.
+  EXPECT_EQ(m(Point{10, 0}), 10);
+}
+
+TEST(SemilinearFunction, Fig7NormalForm) {
+  // Build fig7 explicitly in Lemma 7.3 normal form and compare.
+  SemilinearFunction sf(examples::fig7_arrangement(), 1, "fig7-explicit");
+  // Signs: (x1 - x2 >= 1, x2 - x1 >= 1).
+  sf.set_region_piece({+1, -1},
+                      {{Rational(0), Rational(1)}, Rational(1)});  // x2 + 1
+  sf.set_region_piece({-1, +1},
+                      {{Rational(1), Rational(0)}, Rational(1)});  // x1 + 1
+  sf.set_region_piece({-1, -1},
+                      {{Rational(1), Rational(0)}, Rational(0)});  // x1
+  const DiscreteFunction f = examples::fig7();
+  EXPECT_FALSE(find_disagreement(sf.as_function(), f, 9).has_value());
+}
+
+TEST(SemilinearFunction, MissingPieceThrows) {
+  SemilinearFunction sf(examples::fig7_arrangement(), 1);
+  sf.set_region_piece({+1, -1}, {{Rational(0), Rational(1)}, Rational(1)});
+  EXPECT_THROW((void)sf(Point{1, 5}), std::invalid_argument);
+  EXPECT_TRUE(sf.has_piece_at(Point{5, 1}));
+  EXPECT_FALSE(sf.has_piece_at(Point{1, 5}));
+}
+
+TEST(OneDStructure, DetectsFloor3xOver2) {
+  const auto s = detect_oned_structure(examples::floor_3x_over_2());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->p, 2);
+  EXPECT_EQ(s->n, 0);
+  EXPECT_EQ(s->deltas, (std::vector<Int>{1, 2}));
+}
+
+TEST(OneDStructure, DetectsEventuallyConstant) {
+  const auto s = detect_oned_structure(examples::min_const1());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->p, 1);
+  EXPECT_EQ(s->n, 1);
+  EXPECT_EQ(s->deltas, (std::vector<Int>{0}));
+  EXPECT_EQ(s->initial, (std::vector<Int>{0, 1}));
+}
+
+TEST(OneDStructure, DetectsPiecewiseWiggle) {
+  DiscreteFunction f(
+      1,
+      [](const Point& x) -> Int {
+        if (x[0] < 3) return 0;
+        return 2 * x[0] - 6 + (x[0] % 2);
+      },
+      "wiggle");
+  const auto s = detect_oned_structure(f);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->p, 2);
+  EXPECT_LE(s->n, 3);
+}
+
+TEST(OneDStructure, EvaluateReconstructsFunction) {
+  for (const auto& f : examples::oned_suite()) {
+    const auto s = detect_oned_structure(f);
+    ASSERT_TRUE(s.has_value()) << f.name();
+    for (Int x = 0; x <= 60; ++x) {
+      EXPECT_EQ(s->evaluate(x), f(x)) << f.name() << " at x=" << x;
+    }
+  }
+}
+
+TEST(OneDStructure, EventualQuiltAffineAgreesBeyondThreshold) {
+  for (const auto& f : examples::oned_suite()) {
+    const auto s = detect_oned_structure(f);
+    ASSERT_TRUE(s.has_value()) << f.name();
+    const QuiltAffine g = s->eventual_quilt_affine();
+    for (Int x = s->n; x <= s->n + 4 * s->p; ++x) {
+      EXPECT_EQ(g(Point{x}), f(x)) << f.name() << " at x=" << x;
+    }
+  }
+}
+
+TEST(OneDStructure, NoStructureForNonSemilinear) {
+  // x^2's differences are never eventually periodic.
+  DiscreteFunction f(
+      1, [](const Point& x) { return x[0] * x[0]; }, "square");
+  EXPECT_FALSE(detect_oned_structure(f).has_value());
+  EXPECT_THROW(require_oned_structure(f), std::invalid_argument);
+}
+
+TEST(Properties, NondecreasingViolation) {
+  EXPECT_FALSE(
+      find_nondecreasing_violation(examples::min2(), 6).has_value());
+  DiscreteFunction dec(
+      1, [](const Point& x) { return 10 - x[0]; }, "decreasing");
+  const auto v = find_nondecreasing_violation(dec, 6);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GT(v->fa, v->fb);
+}
+
+TEST(Properties, Fig4aIsNondecreasing) {
+  EXPECT_FALSE(
+      find_nondecreasing_violation(examples::fig4a(), 12).has_value());
+}
+
+TEST(Properties, Fig4aMatchesEventualMinBeyondThreshold) {
+  const DiscreteFunction f = examples::fig4a();
+  const MinOfQuiltAffine m = examples::fig4a_eventual();
+  const auto bad =
+      find_domination_violation(m.as_function(), f, examples::fig4a_threshold(),
+                                8);
+  EXPECT_FALSE(bad.has_value());
+  const auto bad2 =
+      find_domination_violation(f, m.as_function(), examples::fig4a_threshold(),
+                                8);
+  EXPECT_FALSE(bad2.has_value());
+}
+
+TEST(Properties, SuperadditiveSuiteIsSuperadditive) {
+  for (const auto& f : examples::oned_superadditive_suite()) {
+    EXPECT_FALSE(find_superadditive_violation(f, 12).has_value()) << f.name();
+  }
+}
+
+TEST(Properties, MinConst1IsNotSuperadditive) {
+  // min(1, x): f(1) + f(1) = 2 > f(2) = 1 — the Obs 9.1 obstruction.
+  const auto v = find_superadditive_violation(examples::min_const1(), 4);
+  ASSERT_TRUE(v.has_value());
+}
+
+TEST(Properties, MaxIsNondecreasingButEq2IsToo) {
+  EXPECT_FALSE(find_nondecreasing_violation(examples::max2(), 8).has_value());
+  EXPECT_FALSE(
+      find_nondecreasing_violation(examples::eq2_counterexample(), 8)
+          .has_value());
+}
+
+TEST(DiscreteFunction, RestrictInputPins) {
+  const DiscreteFunction f = examples::min2();
+  const DiscreteFunction r = f.restrict_input(0, 3);
+  EXPECT_EQ(r(Point{100, 7}), 3);  // min(3, 7), first input ignored
+  EXPECT_EQ(r(Point{0, 1}), 1);
+}
+
+TEST(DiscreteFunction, ArityMismatchThrows) {
+  const DiscreteFunction f = examples::min2();
+  EXPECT_THROW((void)f(Point{1}), std::invalid_argument);
+  EXPECT_THROW((void)f(Point{1, 2, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crnkit::fn

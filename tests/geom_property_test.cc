@@ -1,0 +1,171 @@
+// Property sweeps over random threshold arrangements: the structural facts
+// Section 7 relies on must hold for arbitrary arrangements, not just the
+// figure examples —
+//   - realized regions partition the integer grid;
+//   - cone containment is reflexive and transitive;
+//   - determined implies eventual; positive recession witnesses really
+//     recede (x + k v stays in the region for all k);
+//   - strips partition a region's points and are closed under the W-coset
+//     relation;
+//   - Fourier-Motzkin agrees with brute force in 3D.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/arrangement.h"
+#include "geom/fourier_motzkin.h"
+#include "geom/strips.h"
+
+namespace crnkit::geom {
+namespace {
+
+using math::Int;
+using math::Rational;
+
+Arrangement random_arrangement(std::mt19937_64& rng, int d, int count) {
+  std::uniform_int_distribution<Int> coeff(-2, 2);
+  std::uniform_int_distribution<Int> offset(-3, 5);
+  std::vector<ThresholdHyperplane> hps;
+  while (static_cast<int>(hps.size()) < count) {
+    std::vector<Int> normal(static_cast<std::size_t>(d));
+    bool nonzero = false;
+    for (auto& t : normal) {
+      t = coeff(rng);
+      nonzero |= (t != 0);
+    }
+    if (!nonzero) continue;
+    hps.push_back({std::move(normal), offset(rng)});
+  }
+  return Arrangement(d, std::move(hps));
+}
+
+class ArrangementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArrangementSweep, RealizedRegionsPartitionTheGrid) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 48611 + 5);
+  const int d = 2 + GetParam() % 2;
+  const Arrangement arr = random_arrangement(rng, d, 3);
+  const Int grid = d == 2 ? 9 : 5;
+  const auto regions = arr.enumerate_regions(grid);
+  for_each_grid_point(d, grid, [&](const std::vector<Int>& x) {
+    int containing = 0;
+    for (const auto& realized : regions) {
+      if (realized.region.contains(x)) ++containing;
+    }
+    EXPECT_EQ(containing, 1) << "point in " << containing << " regions";
+  });
+}
+
+TEST_P(ArrangementSweep, ConeContainmentIsReflexiveAndTransitive) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 2);
+  const Arrangement arr = random_arrangement(rng, 2, 3);
+  const auto regions = arr.enumerate_regions(8);
+  for (const auto& a : regions) {
+    EXPECT_TRUE(cone_subset(a.region, a.region));
+  }
+  for (const auto& a : regions) {
+    for (const auto& b : regions) {
+      for (const auto& c : regions) {
+        if (cone_subset(a.region, b.region) &&
+            cone_subset(b.region, c.region)) {
+          EXPECT_TRUE(cone_subset(a.region, c.region));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ArrangementSweep, DeterminedImpliesEventualAndWitnessesRecede) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 32452843 + 9);
+  const Arrangement arr = random_arrangement(rng, 2, 3);
+  for (const auto& realized : arr.enumerate_regions(9)) {
+    const Region& r = realized.region;
+    if (r.is_determined()) {
+      EXPECT_TRUE(r.is_eventual()) << r.to_string();
+    }
+    const auto dir = r.positive_recession_direction();
+    if (!dir) continue;
+    // The witness really is a recession direction from every sample.
+    const auto& x0 = realized.sample_points.front();
+    for (Int k = 1; k <= 4; ++k) {
+      std::vector<Int> x = x0;
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] += k * (*dir)[i];
+      EXPECT_TRUE(r.contains(x)) << r.to_string() << " k=" << k;
+    }
+    for (const Int v : *dir) EXPECT_GT(v, 0);
+  }
+}
+
+TEST_P(ArrangementSweep, StripsPartitionRegionPoints) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 86028121 + 4);
+  const Arrangement arr = random_arrangement(rng, 2, 2);
+  const Int grid = 8;
+  for (const auto& realized : arr.enumerate_regions(grid)) {
+    const auto strips = decompose_strips(realized.region, grid);
+    std::size_t total = 0;
+    for (const auto& strip : strips) {
+      total += strip.points.size();
+      // All points of one strip share the W-coset.
+      for (std::size_t i = 1; i < strip.points.size(); ++i) {
+        EXPECT_TRUE(same_strip(realized.region, strip.points[0],
+                               strip.points[i]));
+      }
+    }
+    EXPECT_EQ(total, realized.sample_points.size());
+    // Points of distinct strips are in distinct cosets.
+    for (std::size_t s = 0; s + 1 < strips.size(); ++s) {
+      EXPECT_FALSE(same_strip(realized.region, strips[s].points[0],
+                              strips[s + 1].points[0]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArrangements, ArrangementSweep,
+                         ::testing::Range(0, 10));
+
+class FourierMotzkin3D : public ::testing::TestWithParam<int> {};
+
+TEST_P(FourierMotzkin3D, AgreesWithBruteForceInThreeDimensions) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 49979687 + 3);
+  std::uniform_int_distribution<Int> coeff(-2, 2);
+  std::uniform_int_distribution<Int> rhs(-2, 2);
+  std::uniform_int_distribution<int> count(2, 5);
+  std::vector<LinearConstraint> constraints;
+  const int k = count(rng);
+  for (int i = 0; i < k; ++i) {
+    math::RatVec coeffs{Rational(coeff(rng)), Rational(coeff(rng)),
+                        Rational(coeff(rng))};
+    constraints.push_back(ge(std::move(coeffs), Rational(rhs(rng))));
+  }
+  const auto witness = find_solution(constraints, 3);
+  bool grid_hit = false;
+  for (Int a = -8; a <= 8 && !grid_hit; ++a) {
+    for (Int b = -8; b <= 8 && !grid_hit; ++b) {
+      for (Int c = -8; c <= 8 && !grid_hit; ++c) {
+        const math::RatVec z{Rational(a), Rational(b), Rational(c)};
+        bool all = true;
+        for (const auto& constraint : constraints) {
+          if (!satisfies(constraint, z)) {
+            all = false;
+            break;
+          }
+        }
+        grid_hit = all;
+      }
+    }
+  }
+  if (grid_hit) {
+    ASSERT_TRUE(witness.has_value());
+  }
+  if (witness) {
+    for (const auto& constraint : constraints) {
+      EXPECT_TRUE(satisfies(constraint, *witness)) << constraint.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems3D, FourierMotzkin3D,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace crnkit::geom

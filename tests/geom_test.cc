@@ -1,0 +1,300 @@
+// Tests for the polyhedral geometry of Section 7: Fourier-Motzkin
+// feasibility, regions, recession cones, determined/under-determined
+// classification, neighbors, and strips — including exact regeneration of
+// the Figure 8 arrangements.
+#include <gtest/gtest.h>
+
+#include "fn/examples.h"
+#include "geom/arrangement.h"
+#include "geom/fourier_motzkin.h"
+#include "geom/region.h"
+#include "geom/strips.h"
+
+namespace crnkit::geom {
+namespace {
+
+using math::Int;
+using math::Rational;
+using math::RatVec;
+
+RatVec rv(std::initializer_list<Rational> values) { return RatVec(values); }
+
+TEST(FourierMotzkin, SimpleFeasible) {
+  // x >= 1, x <= 3.
+  const auto sol = find_solution(
+      {ge(rv({Rational(1)}), Rational(1)), ge(rv({Rational(-1)}),
+                                              Rational(-3))},
+      1);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_GE((*sol)[0], Rational(1));
+  EXPECT_LE((*sol)[0], Rational(3));
+}
+
+TEST(FourierMotzkin, SimpleInfeasible) {
+  // x >= 3, x <= 1.
+  EXPECT_FALSE(feasible({ge(rv({Rational(1)}), Rational(3)),
+                         ge(rv({Rational(-1)}), Rational(-1))},
+                        1));
+}
+
+TEST(FourierMotzkin, StrictMakesInfeasible) {
+  // x >= 1 and x <= 1 is feasible; x > 1 and x <= 1 is not.
+  EXPECT_TRUE(feasible({ge(rv({Rational(1)}), Rational(1)),
+                        ge(rv({Rational(-1)}), Rational(-1))},
+                       1));
+  EXPECT_FALSE(feasible({gt(rv({Rational(1)}), Rational(1)),
+                         ge(rv({Rational(-1)}), Rational(-1))},
+                        1));
+}
+
+TEST(FourierMotzkin, EqualityConstraints) {
+  // x + y == 2, x - y == 0 -> x = y = 1.
+  const auto sol = find_solution(
+      {eq(rv({Rational(1), Rational(1)}), Rational(2)),
+       eq(rv({Rational(1), Rational(-1)}), Rational(0))},
+      2);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ((*sol)[0], Rational(1));
+  EXPECT_EQ((*sol)[1], Rational(1));
+}
+
+TEST(FourierMotzkin, WitnessSatisfiesAllConstraints) {
+  // 2D cone: y1 >= 0, y2 >= 0, y1 - y2 > 0, y1 + y2 > 0.
+  const std::vector<LinearConstraint> cs{
+      ge(rv({Rational(1), Rational(0)}), Rational(0)),
+      ge(rv({Rational(0), Rational(1)}), Rational(0)),
+      gt(rv({Rational(1), Rational(-1)}), Rational(0)),
+      gt(rv({Rational(1), Rational(1)}), Rational(0))};
+  const auto sol = find_solution(cs, 2);
+  ASSERT_TRUE(sol.has_value());
+  for (const auto& c : cs) {
+    EXPECT_TRUE(satisfies(c, *sol)) << c.to_string();
+  }
+}
+
+TEST(FourierMotzkin, UnconstrainedDimensionGetsValue) {
+  const auto sol = find_solution({}, 3);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->size(), 3u);
+}
+
+TEST(ThresholdHyperplane, SignNeverZeroOnIntegers) {
+  const ThresholdHyperplane hp{{1, -1}, 1};  // x1 - x2 >= 1
+  EXPECT_EQ(hp.sign_of({3, 1}), +1);
+  EXPECT_EQ(hp.sign_of({1, 1}), -1);
+  EXPECT_EQ(hp.sign_of({2, 1}), +1);  // boundary value t.x == h counts as in
+  EXPECT_EQ(hp.boundary_rhs(), Rational(1, 2));
+}
+
+TEST(Arrangement, RegionOfPartitionsGrid) {
+  const Arrangement arr = fn::examples::fig8a_arrangement();
+  // Every grid point belongs to exactly the region reported for it.
+  for_each_grid_point(2, 8, [&](const std::vector<Int>& x) {
+    const Region r = arr.region_of(x);
+    EXPECT_TRUE(r.contains(x));
+  });
+}
+
+TEST(Fig8a, ExactlyFiveRegionsRealized) {
+  const Arrangement arr = fn::examples::fig8a_arrangement();
+  const auto regions = arr.enumerate_regions(14);
+  EXPECT_EQ(regions.size(), 5u);
+}
+
+TEST(Fig8a, Classification) {
+  const Arrangement arr = fn::examples::fig8a_arrangement();
+  int determined = 0;
+  int under_eventual = 0;
+  int finite = 0;
+  for (const auto& realized : arr.enumerate_regions(14)) {
+    const Region& r = realized.region;
+    if (r.is_determined()) {
+      ++determined;
+      EXPECT_TRUE(r.is_eventual());
+    } else if (r.is_eventual()) {
+      ++under_eventual;
+      EXPECT_EQ(r.cone_dimension(), 1);
+    } else {
+      ++finite;
+      EXPECT_EQ(r.cone_dimension(), 0);
+    }
+  }
+  EXPECT_EQ(determined, 2);      // regions "3" and "5" of Fig 8a
+  EXPECT_EQ(under_eventual, 1);  // the strip region "4"
+  EXPECT_EQ(finite, 2);          // regions "1" and "2"
+}
+
+TEST(Fig8a, StripRegionHasDeterminedNeighbors) {
+  const Arrangement arr = fn::examples::fig8a_arrangement();
+  for (const auto& realized : arr.enumerate_regions(14)) {
+    const Region& r = realized.region;
+    if (r.is_determined() || !r.is_eventual()) continue;
+    int determined_neighbors = 0;
+    for (const auto& other : arr.enumerate_regions(14)) {
+      if (other.region.is_determined() && cone_subset(r, other.region)) {
+        ++determined_neighbors;
+      }
+    }
+    EXPECT_GE(determined_neighbors, 2);  // Corollary 7.19
+  }
+}
+
+TEST(Fig8c, NineEventualRegionsWithExpectedConeDims) {
+  const Arrangement arr = fn::examples::fig8c_arrangement();
+  const auto regions = arr.enumerate_regions(10);
+  int dim1 = 0;
+  int dim2 = 0;
+  int dim3 = 0;
+  int eventual = 0;
+  for (const auto& realized : regions) {
+    const Region& r = realized.region;
+    if (r.is_eventual()) ++eventual;
+    switch (r.cone_dimension()) {
+      case 1:
+        ++dim1;
+        break;
+      case 2:
+        ++dim2;
+        break;
+      case 3:
+        ++dim3;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected cone dimension for " << r.to_string();
+    }
+  }
+  EXPECT_EQ(regions.size(), 9u);
+  EXPECT_EQ(eventual, 9);
+  EXPECT_EQ(dim1, 1);  // center (region "5" of Fig 8c)
+  EXPECT_EQ(dim2, 4);  // sides
+  EXPECT_EQ(dim3, 4);  // determined corners
+}
+
+TEST(Fig8c, NestedNeighborChain) {
+  // recc(center) subset recc(side) subset recc(corner), as in Fig 8d.
+  const Arrangement arr = fn::examples::fig8c_arrangement();
+  const Region center = arr.region_of({5, 5, 5});
+  const Region side = arr.region_of({9, 5, 5});    // x1 - x2 >= 2 side
+  const Region corner = arr.region_of({9, 5, 1});  // both pairs split
+  EXPECT_EQ(center.cone_dimension(), 1);
+  EXPECT_EQ(side.cone_dimension(), 2);
+  EXPECT_EQ(corner.cone_dimension(), 3);
+  EXPECT_TRUE(cone_subset(center, side));
+  EXPECT_TRUE(cone_subset(side, corner));
+  EXPECT_TRUE(cone_subset(center, corner));
+  EXPECT_FALSE(cone_subset(side, center));
+  EXPECT_FALSE(cone_subset(corner, side));
+}
+
+TEST(Region, PositiveRecessionDirectionOfDiagonalStrip) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region diag = arr.region_of({3, 3});
+  const auto dir = diag.positive_recession_direction();
+  ASSERT_TRUE(dir.has_value());
+  EXPECT_EQ((*dir)[0], (*dir)[1]);  // must be along the diagonal
+  EXPECT_GT((*dir)[0], 0);
+}
+
+TEST(Region, DeterminedSubspaceOfDiagonalStrip) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region diag = arr.region_of({3, 3});
+  const auto basis = diag.determined_subspace_basis();
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0][0], basis[0][1]);  // span{(1,1)}
+}
+
+TEST(Region, InteriorDirectionOnlyForDetermined) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  EXPECT_TRUE(arr.region_of({5, 1}).interior_direction().has_value());
+  EXPECT_FALSE(arr.region_of({3, 3}).interior_direction().has_value());
+  EXPECT_TRUE(
+      arr.region_of({3, 3}).relative_interior_direction().has_value());
+}
+
+TEST(Region, DeepPointRespectsMargin) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region upper = arr.region_of({1, 5});  // x2 > x1
+  const auto dir = upper.interior_direction();
+  ASSERT_TRUE(dir.has_value());
+  const auto deep = upper.deep_point({1, 5}, *dir, 4);
+  // Any integer point within L-inf distance 4 must stay in the region.
+  for (Int dx = -4; dx <= 4; ++dx) {
+    for (Int dy = -4; dy <= 4; ++dy) {
+      EXPECT_TRUE(upper.contains({deep[0] + dx, deep[1] + dy}));
+    }
+  }
+}
+
+TEST(Region, RepresentativeInClassIsInRegionAndClass) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region upper = arr.region_of({1, 5});
+  for (const auto& cls : math::all_classes(2, 3)) {
+    const auto rep = upper.representative_in_class(cls, {1, 5});
+    EXPECT_TRUE(upper.contains(rep));
+    EXPECT_TRUE(cls.contains(rep));
+  }
+}
+
+TEST(Region, NeighborInDirection) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region diag = arr.region_of({3, 3});
+  // Direction (1,-1) in W-perp points toward the x1 > x2 region.
+  const Region nb = neighbor_in_direction(
+      diag, rv({Rational(1), Rational(-1)}));
+  EXPECT_TRUE(nb.contains({5, 1}));
+  EXPECT_TRUE(nb.is_determined());
+  // Opposite direction gives the x2 > x1 region.
+  const Region nb2 = neighbor_in_direction(
+      diag, rv({Rational(-1), Rational(1)}));
+  EXPECT_TRUE(nb2.contains({1, 5}));
+}
+
+TEST(Region, NeighborSeparatingIndices) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region diag = arr.region_of({3, 3});
+  // Both hyperplanes of fig7 are orthogonal to W = span{(1,1)}.
+  EXPECT_EQ(neighbor_separating_indices(diag).size(), 2u);
+}
+
+TEST(Strips, DiagonalRegionIsOneStrip) {
+  const Arrangement arr = fn::examples::fig7_arrangement();
+  const Region diag = arr.region_of({3, 3});
+  const auto strips = decompose_strips(diag, 8);
+  ASSERT_EQ(strips.size(), 1u);
+  EXPECT_EQ(strips[0].points.size(), 9u);  // (0,0)..(8,8)
+}
+
+TEST(Strips, Fig8aStripRegionSplitsIntoParallelStrips) {
+  const Arrangement arr = fn::examples::fig8a_arrangement();
+  // Region between the parallel hyperplanes: 1 <= x1 - x2 <= 3 (eventual).
+  const Region strip_region = arr.region_of({7, 5});
+  ASSERT_FALSE(strip_region.is_determined());
+  ASSERT_TRUE(strip_region.is_eventual());
+  const auto strips = decompose_strips(strip_region, 12);
+  // x1 - x2 takes values 1, 2, 3: three strips.
+  EXPECT_EQ(strips.size(), 3u);
+}
+
+TEST(Strips, SameStripRelation) {
+  const Arrangement arr = fn::examples::fig8a_arrangement();
+  const Region strip_region = arr.region_of({7, 5});
+  EXPECT_TRUE(same_strip(strip_region, {7, 5}, {9, 7}));   // both diff 2
+  EXPECT_FALSE(same_strip(strip_region, {7, 5}, {8, 5}));  // diff 2 vs 3
+}
+
+TEST(BoxIteration, VisitsAllPoints) {
+  int count = 0;
+  for_each_box_point({1, 1}, {3, 2}, [&](const std::vector<Int>&) {
+    ++count;
+  });
+  EXPECT_EQ(count, 3 * 2);
+  // Empty box visits nothing.
+  count = 0;
+  for_each_box_point({2, 2}, {1, 5}, [&](const std::vector<Int>&) {
+    ++count;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace crnkit::geom

@@ -1,0 +1,179 @@
+// End-to-end integration: black box + arrangement -> Section 7 analysis ->
+// Theorem 5.2 spec -> output-oblivious CRN -> verified against the black
+// box; plus the full population-protocol pipeline (compile -> bimolecular
+// -> pair scheduler) and cross-validation of the two verifiers.
+#include <gtest/gtest.h>
+
+#include "analysis/eventual_min.h"
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "compile/theorem52.h"
+#include "crn/bimolecular.h"
+#include "crn/checks.h"
+#include "fn/examples.h"
+#include "fn/properties.h"
+#include "sim/population.h"
+#include "verify/simcheck.h"
+#include "verify/stable.h"
+
+namespace crnkit {
+namespace {
+
+using math::Int;
+
+TEST(EndToEnd, Fig7AnalysisToCrn) {
+  // The flagship pipeline on the Section 7.1 example.
+  analysis::AnalysisInput input{fn::examples::fig7(),
+                                fn::examples::fig7_arrangement(), 1, 12};
+  const compile::ObliviousSpec spec =
+      analysis::make_spec_via_analysis(input);
+  const crn::Crn crn = compile::compile_theorem52(spec);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  const auto result = verify::sim_check_points(
+      crn, fn::examples::fig7(),
+      {{0, 0}, {1, 1}, {2, 5}, {5, 2}, {6, 6}, {9, 8}});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(EndToEnd, Fig4aAnalysisToCrn) {
+  analysis::AnalysisInput input{fn::examples::fig4a(),
+                                fn::examples::fig4a_arrangement(), 2, 14};
+  const compile::ObliviousSpec spec =
+      analysis::make_spec_via_analysis(input);
+  const crn::Crn crn = compile::compile_theorem52(spec);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  const auto result = verify::sim_check_points(
+      crn, fn::examples::fig4a(),
+      {{0, 0}, {1, 2}, {3, 3}, {4, 4}, {6, 9}, {8, 3}},
+      verify::SimCheckOptions{2, 8'000'000, 13});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(EndToEnd, PopulationProtocolPipeline) {
+  // Theorem 3.1 CRN -> bimolecular -> pair scheduler, for floor(3x/2).
+  const crn::Crn compiled =
+      compile::compile_oned(fn::examples::floor_3x_over_2());
+  const crn::Crn bi = crn::to_bimolecular(compiled);
+  EXPECT_LE(crn::max_reaction_order(bi), 2);
+  for (const Int x : {0, 1, 5, 12}) {
+    sim::Rng rng(static_cast<std::uint64_t>(100 + x));
+    const auto run =
+        sim::run_population(bi, bi.initial_configuration({x}), rng);
+    ASSERT_TRUE(run.silent) << "x=" << x;
+    EXPECT_EQ(bi.output_count(run.final_config), (3 * x) / 2) << "x=" << x;
+  }
+}
+
+TEST(EndToEnd, BimolecularPreservesStableComputation) {
+  // The reversible-pairing conversion preserves the computed function
+  // (checked exhaustively on the higher-order clamp CRN).
+  const crn::Crn clamp = compile::clamp_crn(2);  // 3X -> 2X + Y
+  const crn::Crn bi = crn::to_bimolecular(clamp);
+  const fn::DiscreteFunction expected(
+      1, [](const fn::Point& x) { return std::max<Int>(0, x[0] - 2); },
+      "clamp2");
+  for (Int x = 0; x <= 9; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(bi, {x}, expected(x)).ok)
+        << x;
+  }
+}
+
+TEST(EndToEnd, VerifiersAgreeOnCompiledCrns) {
+  // Exhaustive and randomized verdicts must agree where both apply.
+  const crn::Crn crn = compile::compile_oned(fn::examples::min_const1());
+  for (Int x = 0; x <= 6; ++x) {
+    const bool exhaustive =
+        verify::check_stable_computation(crn, {x},
+                                         fn::examples::min_const1()(x))
+            .ok;
+    const bool randomized =
+        verify::sim_check_point(crn, fn::examples::min_const1(), {x}).ok;
+    EXPECT_EQ(exhaustive, randomized) << x;
+  }
+}
+
+TEST(EndToEnd, ObliviousCompositionTheorem) {
+  // Observation 2.2 end-to-end: the Theorem 3.1 CRN for floor(3x/2)
+  // composed (by concatenation) with the Theorem 3.1 CRN for min(3, x).
+  const crn::Crn upstream =
+      compile::compile_oned(fn::examples::floor_3x_over_2());
+  const fn::DiscreteFunction g(
+      1, [](const fn::Point& x) { return std::min<Int>(3, x[0]); },
+      "min3");
+  const crn::Crn downstream = compile::compile_oned(g);
+  const crn::Crn composed = crn::concatenate(upstream, downstream, "g.f");
+  const fn::DiscreteFunction expected(
+      1,
+      [](const fn::Point& x) { return std::min<Int>(3, (3 * x[0]) / 2); },
+      "min3.floor32");
+  for (Int x = 0; x <= 8; ++x) {
+    EXPECT_TRUE(
+        verify::check_stable_computation(composed, {x}, expected(x)).ok)
+        << x;
+  }
+}
+
+TEST(EndToEnd, HardcodedRestrictionMatchesRestrictedFunction) {
+  // Observation 5.3 executable: pin x1 = 2 in the min CRN and check it
+  // computes min(2, x2) as a function of the remaining input.
+  const crn::Crn pinned =
+      crn::hardcode_input(compile::min_crn(2), 0, 2);
+  const fn::DiscreteFunction expected(
+      2, [](const fn::Point& x) { return std::min<Int>(2, x[1]); },
+      "min(2,x2)");
+  const auto sweep =
+      verify::check_stable_computation_on_grid(pinned, expected, 4);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+}  // namespace
+}  // namespace crnkit
+
+namespace crnkit {
+namespace threedim {
+
+// Full 3D run of the Section 7 pipeline: f = min of the three pairwise
+// sums, analyzed over the three tie hyperplane pairs. Exercises determined
+// extension fitting and strip handling with 2D determined subspaces —
+// beyond the 2D cases the figures cover.
+TEST(EndToEnd, ThreeDimensionalAnalysisPipeline) {
+  const fn::DiscreteFunction f3(
+      3,
+      [](const fn::Point& x) {
+        return std::min(std::min(x[0] + x[1], x[1] + x[2]), x[0] + x[2]);
+      },
+      "minpairs3");
+  std::vector<geom::ThresholdHyperplane> hps;
+  // min switches where the single coordinates compare: x_i vs x_j.
+  hps.push_back({{1, 0, -1}, 1});
+  hps.push_back({{-1, 0, 1}, 1});
+  hps.push_back({{1, -1, 0}, 1});
+  hps.push_back({{-1, 1, 0}, 1});
+  hps.push_back({{0, 1, -1}, 1});
+  hps.push_back({{0, -1, 1}, 1});
+  analysis::AnalysisInput input{
+      f3, geom::Arrangement(3, std::move(hps)), 1, 7};
+  const auto result = analysis::extract_eventual_min(input);
+  ASSERT_TRUE(result.ok) << result.summary();
+  // The three pairwise-sum gradients must be among the extracted parts.
+  int pairwise_found = 0;
+  for (const auto& g : result.parts) {
+    const auto& grad = g.gradient();
+    math::Int ones = 0;
+    for (const auto& c : grad) {
+      if (c == math::Rational(1)) ++ones;
+    }
+    if (ones == 2) ++pairwise_found;
+  }
+  EXPECT_GE(pairwise_found, 3);
+  // min of the extracted parts equals f beyond the threshold.
+  const fn::MinOfQuiltAffine m(result.parts);
+  const fn::Point n(3, result.threshold);
+  EXPECT_FALSE(
+      fn::find_domination_violation(f3, m.as_function(), n, 5).has_value());
+  EXPECT_FALSE(
+      fn::find_domination_violation(m.as_function(), f3, n, 5).has_value());
+}
+
+}  // namespace threedim
+}  // namespace crnkit

@@ -1,0 +1,91 @@
+// Tests for stoichiometric conservation laws: exact nullspace computation,
+// known invariants of the paper's example CRNs, and preservation along
+// stochastic trajectories.
+#include <gtest/gtest.h>
+
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "crn/invariants.h"
+#include "fn/examples.h"
+#include "sim/gillespie.h"
+
+namespace crnkit::crn {
+namespace {
+
+using math::Rational;
+using math::RatVec;
+
+TEST(Invariants, MinCrnConservesDifferenceAndSums) {
+  const Crn min2 = compile::min_crn(2);  // species X1, X2, Y
+  // x1 - x2 is conserved.
+  EXPECT_TRUE(is_conserved(min2, {Rational(1), Rational(-1), Rational(0)}));
+  // x1 + y and x2 + y are conserved.
+  EXPECT_TRUE(is_conserved(min2, {Rational(1), Rational(0), Rational(1)}));
+  EXPECT_TRUE(is_conserved(min2, {Rational(0), Rational(1), Rational(1)}));
+  // Total molecule count is NOT conserved (2 -> 1).
+  EXPECT_FALSE(is_conserved(min2, {Rational(1), Rational(1), Rational(1)}));
+  // The conservation-law space has dimension 2 (3 species, rank-1 stoich).
+  EXPECT_EQ(conservation_laws(min2).size(), 2u);
+}
+
+TEST(Invariants, ScaleCrnConservesWeightedMass) {
+  const Crn twice = compile::scale_crn(2);  // X -> 2Y
+  // 2x + y is conserved.
+  EXPECT_TRUE(is_conserved(twice, {Rational(2), Rational(1)}));
+  EXPECT_FALSE(is_conserved(twice, {Rational(1), Rational(1)}));
+}
+
+TEST(Invariants, Theorem31LeaderTokenIsConserved) {
+  // Exactly one of {L, L_i, P_a} exists at all times: the weight vector
+  // with 1 on all leader-state species is conserved.
+  const Crn crn = compile::compile_oned(fn::examples::floor_3x_over_2());
+  RatVec w(crn.species_count(), Rational(0));
+  for (const std::string& name : crn.species_table().names()) {
+    if (name == "L" || name[0] == 'P' ||
+        (name[0] == 'L' && name.size() > 1)) {
+      w[static_cast<std::size_t>(crn.species(name))] = Rational(1);
+    }
+  }
+  EXPECT_TRUE(is_conserved(crn, w));
+  EXPECT_EQ(invariant_value(w, crn.initial_configuration({5})), Rational(1));
+}
+
+TEST(Invariants, NullspaceLawsAreActuallyConserved) {
+  for (const Crn& crn :
+       {compile::min_crn(3), compile::fig1_max_crn(),
+        compile::compile_oned(fn::examples::floor_3x_over_2())}) {
+    for (const RatVec& w : conservation_laws(crn)) {
+      EXPECT_TRUE(is_conserved(crn, w)) << crn.name();
+    }
+  }
+}
+
+TEST(Invariants, PreservedAlongGillespieTrajectories) {
+  const Crn max2 = compile::fig1_max_crn();
+  const auto laws = conservation_laws(max2);
+  ASSERT_FALSE(laws.empty());
+  const Config initial = max2.initial_configuration({7, 4});
+  std::vector<Rational> at_start;
+  for (const auto& w : laws) at_start.push_back(invariant_value(w, initial));
+
+  sim::Rng rng(5);
+  sim::GillespieOptions options;
+  options.observer = [&](double, const Config& c) {
+    for (std::size_t i = 0; i < laws.size(); ++i) {
+      ASSERT_EQ(invariant_value(laws[i], c), at_start[i]);
+    }
+  };
+  (void)sim::simulate_direct(max2, initial, rng, options);
+}
+
+TEST(Invariants, StoichiometryMatrixShape) {
+  const Crn min2 = compile::min_crn(2);
+  const math::Matrix m = stoichiometry_matrix(min2);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 0), Rational(-1));
+  EXPECT_EQ(m.at(0, 2), Rational(1));
+}
+
+}  // namespace
+}  // namespace crnkit::crn

@@ -1,0 +1,75 @@
+// Tests for CRN text serialization: round-trips, role preservation, and
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "crn/io.h"
+#include "fn/examples.h"
+#include "verify/stable.h"
+
+namespace crnkit::crn {
+namespace {
+
+TEST(Io, RoundTripMin) {
+  const Crn original = compile::min_crn(2);
+  const Crn parsed = from_text(to_text(original));
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.species_count(), original.species_count());
+  EXPECT_EQ(parsed.reactions().size(), original.reactions().size());
+  EXPECT_EQ(to_text(parsed), to_text(original));
+}
+
+TEST(Io, RoundTripPreservesRolesAndIds) {
+  const Crn original = compile::compile_oned(fn::examples::floor_3x_over_2());
+  const Crn parsed = from_text(to_text(original));
+  ASSERT_TRUE(parsed.leader().has_value());
+  EXPECT_EQ(parsed.species_name(*parsed.leader()),
+            original.species_name(*original.leader()));
+  EXPECT_EQ(parsed.species_name(parsed.output_or_throw()),
+            original.species_name(original.output_or_throw()));
+  // The parsed CRN must compute the same function.
+  for (math::Int x = 0; x <= 8; ++x) {
+    EXPECT_TRUE(
+        verify::check_stable_computation(parsed, {x}, (3 * x) / 2).ok)
+        << x;
+  }
+}
+
+TEST(Io, RoundTripMaxWithEmptyProducts) {
+  // K + Y -> 0 must survive the round trip.
+  const Crn original = compile::fig1_max_crn();
+  const Crn parsed = from_text(to_text(original));
+  EXPECT_EQ(parsed.reactions().size(), 4u);
+  EXPECT_TRUE(
+      verify::check_stable_computation(parsed, {3, 5}, 5).ok);
+}
+
+TEST(Io, ParseHandWrittenText) {
+  const Crn crn = from_text(R"(
+crn doubling
+inputs X
+output Y
+rxn X -> 2 Y
+)");
+  EXPECT_EQ(crn.name(), "doubling");
+  EXPECT_TRUE(verify::check_stable_computation(crn, {4}, 8).ok);
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const Crn crn = from_text(
+      "# a comment\n\ncrn c\n# another\ninputs X\noutput Y\nrxn X -> Y\n");
+  EXPECT_EQ(crn.reactions().size(), 1u);
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_text("inputs X\noutput Y\n"),
+               std::invalid_argument);  // missing header
+  EXPECT_THROW((void)from_text("crn c\nbogus line\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text("crn c\noutput\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_text("crn c\nrxn A + B\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crnkit::crn

@@ -1,0 +1,186 @@
+// Unit tests for the exact arithmetic substrate: rationals, number theory,
+// congruence classes, and rational linear algebra.
+#include <gtest/gtest.h>
+
+#include "math/check.h"
+#include "math/congruence.h"
+#include "math/matrix.h"
+#include "math/numtheory.h"
+#include "math/rational.h"
+
+namespace crnkit::math {
+namespace {
+
+TEST(NumTheory, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(17, 13), 1);
+}
+
+TEST(NumTheory, LcmBasics) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(std::vector<Int>{2, 3, 4}), 12);
+  EXPECT_EQ(lcm(std::vector<Int>{}), 1);
+}
+
+TEST(NumTheory, LcmOverflowThrows) {
+  EXPECT_THROW((void)lcm(INT64_MAX - 1, INT64_MAX - 2), OverflowError);
+}
+
+TEST(NumTheory, CheckedArithmeticOverflow) {
+  EXPECT_THROW((void)checked_add(INT64_MAX, 1), OverflowError);
+  EXPECT_THROW((void)checked_mul(INT64_MAX, 2), OverflowError);
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_mul(-4, 5), -20);
+}
+
+TEST(NumTheory, FlooredDivisionConventions) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_mod(-7, 2), 1);
+  EXPECT_EQ(floor_mod(7, 2), 1);
+  EXPECT_EQ(floor_mod(-3, 3), 0);
+}
+
+TEST(NumTheory, MixedRadixRoundTrip) {
+  for (Int index = 0; index < 27; ++index) {
+    const auto digits = decode_mixed_radix(index, 3, 3);
+    EXPECT_EQ(encode_mixed_radix(digits, 3), index);
+  }
+}
+
+TEST(Rational, NormalizationAndSign) {
+  const Rational q(6, -4);
+  EXPECT_EQ(q.num(), -3);
+  EXPECT_EQ(q.den(), 2);
+  EXPECT_TRUE(q.is_negative());
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2);
+  const Rational b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GE(Rational(2), Rational(4, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, AsIntegerThrowsOnFraction) {
+  EXPECT_EQ(Rational(8, 2).as_integer(), 4);
+  EXPECT_THROW((void)Rational(1, 2).as_integer(), std::invalid_argument);
+}
+
+TEST(Rational, VectorHelpers) {
+  const RatVec a{Rational(1, 2), Rational(3)};
+  const RatVec b{Rational(2), Rational(1, 3)};
+  EXPECT_EQ(dot(a, b), Rational(2));
+  EXPECT_EQ(common_denominator(a), 2);
+  EXPECT_EQ(clear_denominators(a), (std::vector<Int>{1, 6}));
+  EXPECT_TRUE(is_zero(RatVec{Rational(0), Rational(0)}));
+  EXPECT_FALSE(is_zero(a));
+}
+
+TEST(Congruence, RepresentativeAndIndex) {
+  const CongruenceClass a({5, 7}, 3);
+  EXPECT_EQ(a.representative(), (std::vector<Int>{2, 1}));
+  EXPECT_EQ(a.index(), 2 + 1 * 3);
+  EXPECT_TRUE(a.contains({8, 10}));
+  EXPECT_FALSE(a.contains({8, 11}));
+}
+
+TEST(Congruence, ShiftWrapsAround) {
+  const CongruenceClass a({2, 0}, 3);
+  EXPECT_EQ(a.shifted(0).representative(), (std::vector<Int>{0, 0}));
+  EXPECT_EQ(a.shifted(1).representative(), (std::vector<Int>{2, 1}));
+}
+
+TEST(Congruence, AllClassesEnumerates) {
+  const auto classes = all_classes(2, 3);
+  ASSERT_EQ(classes.size(), 9u);
+  for (Int i = 0; i < 9; ++i) {
+    EXPECT_EQ(classes[static_cast<std::size_t>(i)].index(), i);
+  }
+}
+
+TEST(Matrix, RankAndReduce) {
+  Matrix m = Matrix::from_rows({{Rational(1), Rational(2)},
+                                {Rational(2), Rational(4)},
+                                {Rational(0), Rational(1)}});
+  EXPECT_EQ(rank(m), 2u);
+}
+
+TEST(Matrix, NullspaceOfRankDeficient) {
+  Matrix m = Matrix::from_rows({{Rational(1), Rational(1), Rational(0)}});
+  const auto basis = nullspace(m);
+  ASSERT_EQ(basis.size(), 2u);
+  for (const auto& v : basis) {
+    EXPECT_TRUE(dot(m.row(0), v).is_zero());
+  }
+}
+
+TEST(Matrix, SolveConsistentSystem) {
+  Matrix m = Matrix::from_rows({{Rational(2), Rational(1)},
+                                {Rational(1), Rational(-1)}});
+  const auto x = solve(m, {Rational(5), Rational(1)});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Rational(2));
+  EXPECT_EQ((*x)[1], Rational(1));
+}
+
+TEST(Matrix, SolveInconsistentReturnsNullopt) {
+  Matrix m = Matrix::from_rows({{Rational(1), Rational(1)},
+                                {Rational(2), Rational(2)}});
+  EXPECT_FALSE(solve(m, {Rational(1), Rational(3)}).has_value());
+}
+
+TEST(Matrix, ProjectionOntoSpan) {
+  // Project (1,1) onto span{(1,0)}: (1,0).
+  const RatVec proj =
+      project_onto_span({Rational(1), Rational(1)}, {{Rational(1),
+                                                      Rational(0)}});
+  EXPECT_EQ(proj[0], Rational(1));
+  EXPECT_EQ(proj[1], Rational(0));
+}
+
+TEST(Matrix, OrthogonalComponentAndSpanMembership) {
+  const std::vector<RatVec> basis{{Rational(1), Rational(1)}};
+  EXPECT_TRUE(in_span({Rational(3), Rational(3)}, basis));
+  EXPECT_FALSE(in_span({Rational(1), Rational(0)}, basis));
+  const RatVec orth = orthogonal_component({Rational(1), Rational(0)}, basis);
+  EXPECT_EQ(orth[0], Rational(1, 2));
+  EXPECT_EQ(orth[1], Rational(-1, 2));
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix m = Matrix::from_rows({{Rational(1), Rational(2)},
+                                {Rational(3), Rational(4)}});
+  const Matrix prod = m.multiply(Matrix::identity(2));
+  EXPECT_EQ(prod.at(0, 1), Rational(2));
+  EXPECT_EQ(prod.at(1, 0), Rational(3));
+}
+
+}  // namespace
+}  // namespace crnkit::math

@@ -1,0 +1,83 @@
+// Tests for the one-call obliviousness classifier: every example function
+// of the paper lands on the right side of the Theorem 5.2 / 5.4 decision
+// surface with the right evidence attached.
+#include <gtest/gtest.h>
+
+#include "analysis/obliviousness.h"
+#include "compile/theorem52.h"
+#include "fn/examples.h"
+#include "verify/simcheck.h"
+
+namespace crnkit::analysis {
+namespace {
+
+TEST(Classifier, MinIsComputable) {
+  AnalysisInput input{fn::examples::min2(), fn::examples::fig7_arrangement(),
+                      1, 12};
+  const auto verdict = classify_obliviousness(input);
+  EXPECT_EQ(verdict.verdict, Obliviousness::kComputable) << verdict.summary();
+  ASSERT_TRUE(verdict.spec.has_value());
+  EXPECT_FALSE(verdict.witness.has_value());
+}
+
+TEST(Classifier, MaxIsNotComputableWithWitness) {
+  AnalysisInput input{fn::examples::max2(), fn::examples::fig7_arrangement(),
+                      1, 12};
+  const auto verdict = classify_obliviousness(input);
+  EXPECT_EQ(verdict.verdict, Obliviousness::kNotComputable)
+      << verdict.summary();
+  EXPECT_TRUE(verdict.witness.has_value());
+}
+
+TEST(Classifier, Eq2IsNotComputable) {
+  AnalysisInput input{fn::examples::eq2_counterexample(),
+                      fn::examples::fig7_arrangement(), 1, 12};
+  const auto verdict = classify_obliviousness(input);
+  EXPECT_EQ(verdict.verdict, Obliviousness::kNotComputable)
+      << verdict.summary();
+}
+
+TEST(Classifier, DecreasingFunctionRejectedByObservation21) {
+  const fn::DiscreteFunction dec(
+      2,
+      [](const fn::Point& x) { return std::max<math::Int>(0, 9 - x[0] - x[1]); },
+      "decreasing");
+  AnalysisInput input{dec, fn::examples::fig7_arrangement(), 1, 10};
+  const auto verdict = classify_obliviousness(input);
+  EXPECT_EQ(verdict.verdict, Obliviousness::kNotComputable);
+  EXPECT_NE(verdict.reason.find("Observation 2.1"), std::string::npos)
+      << verdict.reason;
+}
+
+TEST(Classifier, Fig7SpecCompilesAndVerifies) {
+  AnalysisInput input{fn::examples::fig7(), fn::examples::fig7_arrangement(),
+                      1, 12};
+  const auto verdict = classify_obliviousness(input);
+  ASSERT_EQ(verdict.verdict, Obliviousness::kComputable) << verdict.summary();
+  ASSERT_TRUE(verdict.spec.has_value());
+  const crn::Crn crn = compile::compile_theorem52(*verdict.spec);
+  const auto result = verify::sim_check_points(
+      crn, fn::examples::fig7(), {{0, 0}, {3, 3}, {2, 7}, {8, 5}});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(Classifier, Fig4aIsComputable) {
+  AnalysisInput input{fn::examples::fig4a(),
+                      fn::examples::fig4a_arrangement(), 2, 14};
+  const auto verdict = classify_obliviousness(input);
+  EXPECT_EQ(verdict.verdict, Obliviousness::kComputable) << verdict.summary();
+}
+
+TEST(Classifier, WrongArrangementIsInconclusiveNotWrong) {
+  // fig4a analyzed over an arrangement that misses its switch hyperplanes:
+  // the extension fits fail, but no witness exists, so the verdict must be
+  // inconclusive — never a false "not computable".
+  AnalysisInput input{fn::examples::fig4a(), fn::examples::fig7_arrangement(),
+                      1, 10};
+  const auto verdict = classify_obliviousness(input);
+  EXPECT_NE(verdict.verdict, Obliviousness::kNotComputable)
+      << verdict.summary();
+}
+
+}  // namespace
+}  // namespace crnkit::analysis

@@ -1,0 +1,116 @@
+// Tests for monotone predicate compilation: atoms, AND/OR structure,
+// exhaustive verification of the compiled indicator CRNs, and downstream
+// composability of predicates (they are ordinary output-oblivious modules).
+#include <gtest/gtest.h>
+
+#include "compile/predicate.h"
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "crn/compose.h"
+#include "fn/properties.h"
+#include "geom/arrangement.h"
+#include "verify/stable.h"
+
+namespace crnkit::compile {
+namespace {
+
+using math::Int;
+
+void expect_computes(const crn::Crn& crn, const MonotoneFormula& formula,
+                     Int grid_max) {
+  const auto sweep = verify::check_stable_computation_on_grid(
+      crn, formula.indicator(), grid_max);
+  EXPECT_TRUE(sweep.all_ok) << sweep.failures.size() << " failures";
+}
+
+TEST(Predicate, SingleAtomThreshold) {
+  // [x >= 1] is exactly Fig 2's min(1, x).
+  const auto formula = MonotoneFormula::atom({1}, 1);
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  ASSERT_TRUE(crn.leader().has_value());
+  expect_computes(crn, formula, 6);
+}
+
+TEST(Predicate, WeightedAtom) {
+  // [2 x1 + x2 >= 5].
+  const auto formula = MonotoneFormula::atom({2, 1}, 5);
+  EXPECT_TRUE(formula.evaluate({2, 1}));
+  EXPECT_FALSE(formula.evaluate({1, 2}));
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  expect_computes(crn, formula, 4);
+}
+
+TEST(Predicate, TrivialAtomIsConstantTrue) {
+  const auto formula = MonotoneFormula::atom({1, 1}, 0);
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  expect_computes(crn, formula, 3);
+}
+
+TEST(Predicate, Conjunction) {
+  // [x1 >= 2] AND [x2 >= 1].
+  const auto formula =
+      MonotoneFormula::atom({1, 0}, 2) && MonotoneFormula::atom({0, 1}, 1);
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  expect_computes(crn, formula, 4);
+}
+
+TEST(Predicate, Disjunction) {
+  // [x1 >= 3] OR [x2 >= 2].
+  const auto formula =
+      MonotoneFormula::atom({1, 0}, 3) || MonotoneFormula::atom({0, 1}, 2);
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  expect_computes(crn, formula, 4);
+}
+
+TEST(Predicate, NestedFormula) {
+  // ([x1 >= 1] AND [x2 >= 1]) OR [x1 + x2 >= 5].
+  const auto formula =
+      (MonotoneFormula::atom({1, 0}, 1) && MonotoneFormula::atom({0, 1}, 1)) ||
+      MonotoneFormula::atom({1, 1}, 5);
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  expect_computes(crn, formula, 5);
+}
+
+TEST(Predicate, IndicatorIsNondecreasing) {
+  // Monotone formulas have nondecreasing indicators (the reason they are
+  // obliviously-computable at all, Observation 2.1).
+  const auto formula =
+      (MonotoneFormula::atom({2, 1}, 4) || MonotoneFormula::atom({0, 1}, 3)) &&
+      MonotoneFormula::atom({1, 1}, 2);
+  EXPECT_FALSE(
+      fn::find_nondecreasing_violation(formula.indicator(), 6).has_value());
+}
+
+TEST(Predicate, RejectsNegativeCoefficients) {
+  EXPECT_THROW((void)MonotoneFormula::atom({1, -1}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)MonotoneFormula::atom({1}, -2), std::invalid_argument);
+}
+
+TEST(Predicate, ComposesDownstream) {
+  // Predicates are output-oblivious modules: gate a payload on
+  // [x1 >= 2] by multiplying the indicator by 3 downstream.
+  const crn::Crn pred =
+      compile_monotone_predicate(MonotoneFormula::atom({1, 0}, 2));
+  const crn::Crn gated = crn::concatenate(pred, scale_crn(3), "3*[x1>=2]");
+  const fn::DiscreteFunction expected(
+      2, [](const fn::Point& x) -> Int { return x[0] >= 2 ? 3 : 0; },
+      "3*[x1>=2]");
+  const auto sweep =
+      verify::check_stable_computation_on_grid(gated, expected, 3);
+  EXPECT_TRUE(sweep.all_ok);
+}
+
+TEST(Predicate, MajorityStyleThreeWay) {
+  // [x1 + x2 >= 2] AND ([x1 >= 1] OR [x3 >= 1]) over three inputs.
+  const auto formula =
+      MonotoneFormula::atom({1, 1, 0}, 2) &&
+      (MonotoneFormula::atom({1, 0, 0}, 1) ||
+       MonotoneFormula::atom({0, 0, 1}, 1));
+  const crn::Crn crn = compile_monotone_predicate(formula);
+  expect_computes(crn, formula, 2);
+}
+
+}  // namespace
+}  // namespace crnkit::compile

@@ -1,0 +1,290 @@
+// Property-based sweeps: randomized instances exercise the invariants the
+// paper's proofs rely on —
+//   - random nondecreasing nonnegative quilt-affine functions compile
+//     (Lemma 6.1) to CRNs proved correct on a grid;
+//   - random eventually-periodic 1D functions compile (Theorem 3.1) and,
+//     when superadditive, also leaderlessly (Theorem 9.2);
+//   - random min-of-affine 2D functions go through the Theorem 5.2
+//     compiler;
+//   - the Fourier-Motzkin solver agrees with brute-force rational grid
+//     search on random small systems;
+//   - the reachability relation is additive (Section 2.2): C ->* D implies
+//     C + E ->* D + E.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compile/leaderless.h"
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "compile/quilt.h"
+#include "compile/theorem52.h"
+#include "fn/properties.h"
+#include "geom/fourier_motzkin.h"
+#include "verify/reachability.h"
+#include "verify/simcheck.h"
+#include "verify/stable.h"
+
+namespace crnkit {
+namespace {
+
+using math::Int;
+using math::Rational;
+
+// --- Random quilt-affine functions -> Lemma 6.1 ---
+
+/// Builds a random nondecreasing, nonnegative quilt-affine function by
+/// drawing periodic finite differences >= 0 directly: pick B values then
+/// raise the gradient until all differences are nonnegative.
+fn::QuiltAffine random_quilt(std::mt19937_64& rng, int d, Int p) {
+  std::uniform_int_distribution<Int> offset_dist(0, 2 * p);
+  const Int classes = math::checked_pow(p, d);
+  std::vector<Rational> offsets(static_cast<std::size_t>(classes));
+  for (auto& b : offsets) b = Rational(offset_dist(rng));
+  // Integer gradient in [1, 3]: dominates any offset jump of at most 2p
+  // per unit step? Not necessarily — bump the gradient until monotone.
+  std::uniform_int_distribution<Int> grad_dist(1, 3);
+  math::RatVec gradient(static_cast<std::size_t>(d));
+  for (auto& g : gradient) g = Rational(grad_dist(rng));
+  for (Int raise = 0; raise < 64; ++raise) {
+    try {
+      fn::QuiltAffine g(gradient, p, offsets, "rand");
+      if (g.is_nondecreasing() && g.is_nonnegative_everywhere()) return g;
+    } catch (const std::invalid_argument&) {
+      // non-integer valued cannot happen with integer data; fallthrough
+    }
+    for (auto& gi : gradient) gi += Rational(1);
+  }
+  throw std::logic_error("random_quilt: failed to build a monotone instance");
+}
+
+class QuiltPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuiltPropertySweep, Lemma61CompilesRandomInstances) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  std::uniform_int_distribution<int> dim_dist(1, 2);
+  std::uniform_int_distribution<Int> period_dist(1, 3);
+  const int d = dim_dist(rng);
+  const Int p = period_dist(rng);
+  const fn::QuiltAffine g = random_quilt(rng, d, p);
+  const crn::Crn crn = compile::compile_quilt_affine(g);
+  const auto sweep = verify::check_stable_computation_on_grid(
+      crn, g.as_function(), d == 1 ? 8 : 4);
+  EXPECT_TRUE(sweep.all_ok) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQuilts, QuiltPropertySweep,
+                         ::testing::Range(0, 12));
+
+// --- Random 1D functions -> Theorems 3.1 / 9.2 ---
+
+struct RandomOned {
+  fn::OneDStructure structure;
+  fn::DiscreteFunction as_function() const {
+    fn::OneDStructure s = structure;
+    return fn::DiscreteFunction(
+        1, [s](const fn::Point& x) { return s.evaluate(x[0]); }, "rand1d");
+  }
+};
+
+RandomOned random_oned(std::mt19937_64& rng, bool force_origin_zero) {
+  std::uniform_int_distribution<Int> n_dist(0, 4);
+  std::uniform_int_distribution<Int> p_dist(1, 3);
+  std::uniform_int_distribution<Int> delta_dist(0, 3);
+  fn::OneDStructure s;
+  s.n = n_dist(rng);
+  s.p = p_dist(rng);
+  s.deltas.resize(static_cast<std::size_t>(s.p));
+  for (auto& d : s.deltas) d = delta_dist(rng);
+  s.initial.resize(static_cast<std::size_t>(s.n + 1));
+  Int value = force_origin_zero ? 0 : delta_dist(rng);
+  for (Int i = 0; i <= s.n; ++i) {
+    s.initial[static_cast<std::size_t>(i)] = value;
+    value += delta_dist(rng);
+  }
+  return RandomOned{std::move(s)};
+}
+
+class OnedPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnedPropertySweep, Theorem31CompilesRandomInstances) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const RandomOned instance = random_oned(rng, false);
+  const fn::DiscreteFunction f = instance.as_function();
+  const crn::Crn crn = compile::compile_oned(instance.structure, "rand1d");
+  for (Int x = 0; x <= 12; ++x) {
+    ASSERT_TRUE(verify::check_stable_computation(crn, {x}, f(x)).ok)
+        << instance.structure.to_string() << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOnedFunctions, OnedPropertySweep,
+                         ::testing::Range(0, 16));
+
+class LeaderlessPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeaderlessPropertySweep, Theorem92CompilesSuperadditiveInstances) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  // Rejection-sample until superadditive on a grid.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const RandomOned instance = random_oned(rng, /*force_origin_zero=*/true);
+    const fn::DiscreteFunction f = instance.as_function();
+    if (fn::find_superadditive_violation(f, 16).has_value()) continue;
+    const crn::Crn crn = compile::compile_leaderless_oned(f);
+    for (Int x = 0; x <= 10; ++x) {
+      ASSERT_TRUE(verify::check_stable_computation(crn, {x}, f(x)).ok)
+          << instance.structure.to_string() << " at x=" << x;
+    }
+    return;
+  }
+  GTEST_SKIP() << "no superadditive instance drawn";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSuperadditive, LeaderlessPropertySweep,
+                         ::testing::Range(0, 10));
+
+// --- Random min-of-affine 2D functions -> Theorem 5.2 ---
+
+class MinOfAffineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinOfAffineSweep, Theorem52CompilesRandomMinOfAffine) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  std::uniform_int_distribution<Int> coeff(0, 3);
+  std::uniform_int_distribution<Int> off(0, 6);
+  std::vector<fn::QuiltAffine> parts;
+  const int m = 2 + GetParam() % 2;
+  for (int k = 0; k < m; ++k) {
+    // Nonzero gradient keeps the parts nondecreasing and non-trivial.
+    Int a = coeff(rng);
+    Int b = coeff(rng);
+    if (a == 0 && b == 0) a = 1;
+    parts.push_back(fn::QuiltAffine::affine({Rational(a), Rational(b)},
+                                            Rational(off(rng)),
+                                            "p" + std::to_string(k)));
+  }
+  const fn::MinOfQuiltAffine m_fn(parts);
+  const fn::DiscreteFunction f = m_fn.as_function();
+  compile::ObliviousSpec spec{f, 0, parts, {}};
+  const crn::Crn crn = compile::compile_theorem52(spec);
+  const auto result = verify::sim_check_points(
+      crn, f, {{0, 0}, {1, 3}, {4, 2}, {5, 5}},
+      verify::SimCheckOptions{2, 5'000'000,
+                              static_cast<std::uint64_t>(GetParam())});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMinOfAffine, MinOfAffineSweep,
+                         ::testing::Range(0, 8));
+
+// --- Fourier-Motzkin vs brute force ---
+
+class FourierMotzkinSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FourierMotzkinSweep, AgreesWithGridBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  std::uniform_int_distribution<Int> coeff(-2, 2);
+  std::uniform_int_distribution<Int> rhs(-3, 3);
+  std::uniform_int_distribution<int> count(1, 4);
+  const int d = 2;
+  std::vector<geom::LinearConstraint> constraints;
+  const int k = count(rng);
+  for (int i = 0; i < k; ++i) {
+    math::RatVec coeffs{Rational(coeff(rng)), Rational(coeff(rng))};
+    constraints.push_back(geom::ge(std::move(coeffs), Rational(rhs(rng))));
+  }
+  const bool fm = geom::feasible(constraints, d);
+  // Brute force over a half-integer grid in [-8, 8]^2. If FM says feasible
+  // its witness must satisfy everything; if a grid point satisfies all
+  // constraints, FM must have said feasible. (FM infeasible + grid hit
+  // would be a soundness bug; FM feasible with a witness outside the grid
+  // is fine.)
+  bool grid_hit = false;
+  for (Int a = -16; a <= 16 && !grid_hit; ++a) {
+    for (Int b = -16; b <= 16 && !grid_hit; ++b) {
+      const math::RatVec z{Rational(a, 2), Rational(b, 2)};
+      bool all = true;
+      for (const auto& c : constraints) {
+        if (!geom::satisfies(c, z)) {
+          all = false;
+          break;
+        }
+      }
+      grid_hit = all;
+    }
+  }
+  if (grid_hit) {
+    EXPECT_TRUE(fm);
+  }
+  if (fm) {
+    const auto witness = geom::find_solution(constraints, d);
+    ASSERT_TRUE(witness.has_value());
+    for (const auto& c : constraints) {
+      EXPECT_TRUE(geom::satisfies(c, *witness)) << c.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, FourierMotzkinSweep,
+                         ::testing::Range(0, 24));
+
+// --- Additivity of reachability (Section 2.2) ---
+
+class AdditivitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdditivitySweep, ReachabilityIsAdditive) {
+  // For the max CRN: sample a config D reachable from C, then check D + E
+  // is reachable from C + E for a random extra vector E.
+  const crn::Crn crn = compile::fig1_max_crn();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 1);
+  std::uniform_int_distribution<Int> extra(0, 2);
+
+  const crn::Config c = crn.initial_configuration({2, 2});
+  const auto graph = verify::explore(crn, c);
+  ASSERT_TRUE(graph.complete);
+  std::uniform_int_distribution<std::size_t> pick(0, graph.size() - 1);
+  const crn::Config d = graph.configs[pick(rng)];
+
+  crn::Config e(crn.species_count(), 0);
+  for (auto& v : e) v = extra(rng);
+  crn::Config c_plus(c);
+  crn::Config d_plus(d);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    c_plus[i] += e[i];
+    d_plus[i] += e[i];
+  }
+  const auto graph_plus = verify::explore(crn, c_plus);
+  ASSERT_TRUE(graph_plus.complete);
+  bool found = false;
+  for (const auto& config : graph_plus.configs) {
+    if (config == d_plus) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAdditivity, AdditivitySweep,
+                         ::testing::Range(0, 10));
+
+// --- Observation 2.1 as a property of every compiled CRN ---
+
+TEST(ObliviousImpliesNondecreasing, CompiledOutputsNeverDecrease) {
+  // On every reachable path of an output-oblivious CRN, the output count is
+  // nondecreasing (syntactic consequence checked semantically).
+  const crn::Crn crn = compile::compile_oned(
+      fn::DiscreteFunction(1, [](const fn::Point& x) { return (3 * x[0]) / 2; },
+                           "f"));
+  const auto graph = verify::explore(crn, crn.initial_configuration({6}));
+  ASSERT_TRUE(graph.complete);
+  const auto y = static_cast<std::size_t>(crn.output_or_throw());
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    for (const int next : graph.succ[node]) {
+      EXPECT_GE(graph.configs[static_cast<std::size_t>(next)][y],
+                graph.configs[node][y]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crnkit

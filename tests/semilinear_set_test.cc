@@ -1,0 +1,103 @@
+// Tests for semilinear sets (Definition 2.5): membership of threshold/mod
+// atoms, Boolean structure, De Morgan consistency, and the domains of the
+// paper's example functions expressed as sets.
+#include <gtest/gtest.h>
+
+#include "fn/semilinear_set.h"
+#include "geom/arrangement.h"
+
+namespace crnkit::fn {
+namespace {
+
+using math::Int;
+
+TEST(SemilinearSet, ThresholdAtom) {
+  const auto s = SemilinearSet::threshold({1, -1}, 1);  // x1 - x2 >= 1
+  EXPECT_TRUE(s.contains({3, 1}));
+  EXPECT_FALSE(s.contains({1, 1}));
+  EXPECT_FALSE(s.contains({0, 5}));
+  EXPECT_EQ(s.dimension(), 2);
+}
+
+TEST(SemilinearSet, ModAtom) {
+  const auto s = SemilinearSet::mod({1, 1}, 0, 2);  // x1 + x2 even
+  EXPECT_TRUE(s.contains({1, 1}));
+  EXPECT_TRUE(s.contains({0, 0}));
+  EXPECT_FALSE(s.contains({1, 2}));
+  // Negative b normalizes into [0, c).
+  const auto t = SemilinearSet::mod({1}, -1, 3);  // x = 2 (mod 3)
+  EXPECT_TRUE(t.contains({2}));
+  EXPECT_TRUE(t.contains({5}));
+  EXPECT_FALSE(t.contains({3}));
+}
+
+TEST(SemilinearSet, BooleanStructure) {
+  const auto ge2 = SemilinearSet::threshold({1}, 2);
+  const auto even = SemilinearSet::mod({1}, 0, 2);
+  const auto both = ge2 & even;
+  EXPECT_TRUE(both.contains({4}));
+  EXPECT_FALSE(both.contains({3}));
+  EXPECT_FALSE(both.contains({0}));
+  const auto either = ge2 | even;
+  EXPECT_TRUE(either.contains({0}));
+  EXPECT_TRUE(either.contains({3}));
+  EXPECT_FALSE(either.contains({1}));
+  const auto neither = ~either;
+  EXPECT_TRUE(neither.contains({1}));
+  EXPECT_FALSE(neither.contains({2}));
+}
+
+TEST(SemilinearSet, DeMorganOnGrid) {
+  const auto a = SemilinearSet::threshold({2, -1}, 1);
+  const auto b = SemilinearSet::mod({1, 2}, 1, 3);
+  const auto lhs = ~(a | b);
+  const auto rhs = ~a & ~b;
+  geom::for_each_grid_point(2, 8, [&](const std::vector<Int>& x) {
+    EXPECT_EQ(lhs.contains(x), rhs.contains(x));
+  });
+}
+
+TEST(SemilinearSet, MinusAndCounts) {
+  const auto ge1 = SemilinearSet::threshold({1}, 1);
+  const auto ge5 = SemilinearSet::threshold({1}, 5);
+  const auto band = ge1.minus(ge5);  // {1, 2, 3, 4}
+  EXPECT_EQ(band.count_within(10), 4);
+  EXPECT_EQ(SemilinearSet::all(1).count_within(10), 11);
+  EXPECT_EQ(SemilinearSet::none(1).count_within(10), 0);
+}
+
+TEST(SemilinearSet, IndicatorLowersToFunction) {
+  const auto diag = SemilinearSet::threshold({1, -1}, 0) &
+                    SemilinearSet::threshold({-1, 1}, 0);  // x1 == x2
+  const DiscreteFunction ind = diag.indicator("diag");
+  EXPECT_EQ(ind(Point{3, 3}), 1);
+  EXPECT_EQ(ind(Point{3, 4}), 0);
+}
+
+TEST(SemilinearSet, DomainOfMinPieces) {
+  // The two domains of min's piecewise form partition N^2.
+  const auto first = SemilinearSet::threshold({-1, 1}, 0);   // x1 <= x2
+  const auto second = ~first;                                // x1 > x2
+  geom::for_each_grid_point(2, 6, [&](const std::vector<Int>& x) {
+    EXPECT_NE(first.contains(x), second.contains(x));
+  });
+}
+
+TEST(SemilinearSet, DimensionMismatchThrows) {
+  const auto a = SemilinearSet::threshold({1}, 0);
+  const auto b = SemilinearSet::threshold({1, 1}, 0);
+  EXPECT_THROW((void)(a & b), std::invalid_argument);
+  EXPECT_THROW((void)a.contains({1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)SemilinearSet::mod({1}, 0, 0), std::invalid_argument);
+}
+
+TEST(SemilinearSet, RendersReadably) {
+  const auto s = SemilinearSet::threshold({1, -1}, 1) |
+                 SemilinearSet::mod({1, 1}, 0, 2);
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find(">="), std::string::npos);
+  EXPECT_NE(text.find("mod"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crnkit::fn

@@ -1,0 +1,211 @@
+// Tests for the stochastic layer: random silent runs, Gillespie direct and
+// next-reaction methods (both exact SSA), and the population-protocol pair
+// scheduler.
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "crn/bimolecular.h"
+#include "sim/gillespie.h"
+#include "sim/next_reaction.h"
+#include "sim/population.h"
+#include "sim/scheduler.h"
+
+namespace crnkit::sim {
+namespace {
+
+using crn::Config;
+using crn::Crn;
+using math::Int;
+
+TEST(Scheduler, RunsToSilenceOnMin) {
+  const Crn crn = compile::min_crn(2);
+  Rng rng(7);
+  const auto run = run_until_silent(crn, crn.initial_configuration({5, 3}),
+                                    rng);
+  EXPECT_TRUE(run.silent);
+  EXPECT_EQ(crn.output_count(run.final_config), 3);
+  EXPECT_EQ(run.steps, 3u);  // exactly min(5,3) firings
+}
+
+TEST(Scheduler, DeterministicUnderSeed) {
+  const Crn crn = compile::fig1_max_crn();
+  Rng rng1(42);
+  Rng rng2(42);
+  const auto a = run_until_silent(crn, crn.initial_configuration({4, 6}),
+                                  rng1);
+  const auto b = run_until_silent(crn, crn.initial_configuration({4, 6}),
+                                  rng2);
+  EXPECT_EQ(a.final_config, b.final_config);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(Scheduler, MaxCrnStillConvergesToMax) {
+  // Fig 1's max CRN stably computes max even though it consumes output.
+  const Crn crn = compile::fig1_max_crn();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const auto run = run_until_silent(crn, crn.initial_configuration({4, 6}),
+                                      rng);
+    ASSERT_TRUE(run.silent);
+    EXPECT_EQ(crn.output_count(run.final_config), 6);
+  }
+}
+
+TEST(Gillespie, PropensityIsCombinatorial) {
+  const crn::Reaction r({{0, 2}}, {{1, 1}});  // 2A -> B
+  EXPECT_DOUBLE_EQ(propensity(r, {4, 0}), 6.0);   // C(4,2)
+  EXPECT_DOUBLE_EQ(propensity(r, {1, 0}), 0.0);
+  const crn::Reaction r2({{0, 1}, {1, 1}}, {{2, 1}});  // A + B -> C
+  EXPECT_DOUBLE_EQ(propensity(r2, {3, 5, 0}), 15.0);
+}
+
+TEST(Gillespie, DirectMethodComputesDouble) {
+  const Crn crn = compile::scale_crn(2);
+  Rng rng(5);
+  const auto run = simulate_direct(crn, crn.initial_configuration({10}), rng);
+  EXPECT_TRUE(run.exhausted);
+  EXPECT_EQ(run.events, 10u);
+  EXPECT_EQ(crn.output_count(run.final_config), 20);
+  EXPECT_GT(run.time, 0.0);
+}
+
+TEST(Gillespie, ObserverSeesEveryEvent) {
+  const Crn crn = compile::scale_crn(1);
+  Rng rng(5);
+  GillespieOptions options;
+  int events = 0;
+  double last_time = 0.0;
+  options.observer = [&](double t, const Config&) {
+    EXPECT_GE(t, last_time);
+    last_time = t;
+    ++events;
+  };
+  (void)simulate_direct(crn, crn.initial_configuration({7}), rng, options);
+  EXPECT_EQ(events, 7);
+}
+
+TEST(Gillespie, RatesChangeSelectionWeights) {
+  // Two competing conversions; with rate 1000:1 nearly all X goes to Y1.
+  Crn crn("race");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y1");
+  crn.add_reaction_str("X -> Y1");
+  crn.add_reaction_str("X -> Y2");
+  GillespieOptions options;
+  options.rates = {1000.0, 1.0};
+  Rng rng(11);
+  const auto run =
+      simulate_direct(crn, crn.initial_configuration({200}), rng, options);
+  EXPECT_GT(crn.output_count(run.final_config), 180);
+}
+
+TEST(NextReaction, AgreesWithDirectOnFinalState) {
+  // Both exact SSA variants must drive min to completion.
+  const Crn crn = compile::min_crn(2);
+  Rng rng(3);
+  const auto run =
+      simulate_next_reaction(crn, crn.initial_configuration({8, 5}), rng);
+  EXPECT_TRUE(run.exhausted);
+  EXPECT_EQ(crn.output_count(run.final_config), 5);
+}
+
+TEST(NextReaction, HandlesCatalyticChains) {
+  // Leader chain: L + X -> Y repeated via leader states.
+  Crn crn("chain");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.set_leader_species("L");
+  crn.add_reaction_str("L + X -> Y + L");
+  Rng rng(9);
+  const auto run =
+      simulate_next_reaction(crn, crn.initial_configuration({25}), rng);
+  EXPECT_TRUE(run.exhausted);
+  EXPECT_EQ(crn.output_count(run.final_config), 25);
+  EXPECT_EQ(run.events, 25u);
+}
+
+TEST(NextReaction, TimeDistributionMatchesDirectRoughly) {
+  // Mean completion time of X -> Y from 1 molecule is 1 (Exp(1)); compare
+  // the two simulators' sample means loosely.
+  const Crn crn = compile::scale_crn(1);
+  double direct_sum = 0.0;
+  double nrm_sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    Rng r1(100 + static_cast<std::uint64_t>(t));
+    Rng r2(100 + static_cast<std::uint64_t>(t));
+    direct_sum +=
+        simulate_direct(crn, crn.initial_configuration({1}), r1).time;
+    nrm_sum +=
+        simulate_next_reaction(crn, crn.initial_configuration({1}), r2).time;
+  }
+  EXPECT_NEAR(direct_sum / trials, 1.0, 0.2);
+  EXPECT_NEAR(nrm_sum / trials, 1.0, 0.2);
+}
+
+TEST(Population, RunsBimolecularMinToSilence) {
+  const Crn crn = compile::min_crn(2);  // already bimolecular
+  Rng rng(17);
+  const auto run =
+      run_population(crn, crn.initial_configuration({6, 9}), rng);
+  EXPECT_TRUE(run.silent);
+  EXPECT_EQ(crn.output_count(run.final_config), 6);
+  EXPECT_GT(run.parallel_time, 0.0);
+}
+
+TEST(Population, RejectsHigherOrderReactions) {
+  Crn crn("higher");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("3 X -> Y");
+  Rng rng(1);
+  EXPECT_THROW(
+      (void)run_population(crn, crn.initial_configuration({6}), rng),
+      std::invalid_argument);
+  // After bimolecular conversion it runs fine.
+  const Crn bi = crn::to_bimolecular(crn);
+  Rng rng2(1);
+  const auto run = run_population(bi, bi.initial_configuration({6}), rng2);
+  EXPECT_TRUE(run.silent);
+  EXPECT_EQ(bi.output_count(run.final_config), 2);
+}
+
+TEST(Population, LonePopulationHandlesUnimolecular) {
+  // Single leader molecule must still fire its unimolecular reaction.
+  Crn crn("lone");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.set_leader_species("L");
+  crn.add_reaction_str("L -> 3 Y");
+  Rng rng(2);
+  const auto run = run_population(crn, crn.initial_configuration({0}), rng);
+  EXPECT_TRUE(run.silent);
+  EXPECT_EQ(crn.output_count(run.final_config), 3);
+}
+
+TEST(Population, ParallelTimeScalesWithLeaderBottleneck) {
+  // Leader-driven absorption L + X -> L + Y is a sequential bottleneck:
+  // expected parallel time grows linearly in n. Check monotone growth.
+  Crn crn("leaderchain");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.set_leader_species("L");
+  crn.add_reaction_str("L + X -> L + Y");
+  double prev = 0.0;
+  for (const Int n : {8, 32, 128}) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      Rng rng(seed);
+      const auto run =
+          run_population(crn, crn.initial_configuration({n}), rng);
+      EXPECT_TRUE(run.silent);
+      EXPECT_EQ(crn.output_count(run.final_config), n);
+      total += run.parallel_time;
+    }
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+}  // namespace
+}  // namespace crnkit::sim

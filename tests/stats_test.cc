@@ -1,0 +1,108 @@
+// Tests for the convergence-statistics layer: Welford accumulation against
+// closed forms, seeded reproducibility, and sensible convergence summaries
+// on known CRNs.
+#include <gtest/gtest.h>
+
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "crn/bimolecular.h"
+#include "fn/examples.h"
+#include "sim/stats.h"
+
+namespace crnkit::sim {
+namespace {
+
+using math::Int;
+
+TEST(SampleStats, MatchesClosedForms) {
+  SampleStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(SampleStats, DegenerateCases) {
+  SampleStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Convergence, MinCrnStepCountIsDeterministic) {
+  // min fires exactly min(x1, x2) reactions in every run.
+  const crn::Crn crn = compile::min_crn(2);
+  const auto stats = measure_convergence(crn, {5, 9}, 10);
+  EXPECT_EQ(stats.silent_trials, 10);
+  EXPECT_TRUE(stats.output_consistent);
+  EXPECT_EQ(stats.output, 5);
+  EXPECT_DOUBLE_EQ(stats.steps.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.steps.variance(), 0.0);
+}
+
+TEST(Convergence, MaxCrnStepCountIsScheduleInvariant) {
+  // Although the *order* of reactions varies wildly (transient overshoot),
+  // each of max's four reactions fires a fixed number of times on a given
+  // input — x1 + x2 + 2*min(x1,x2) total — so the step count has zero
+  // variance across schedules.
+  const crn::Crn crn = compile::fig1_max_crn();
+  const auto stats = measure_convergence(crn, {6, 4}, 20);
+  EXPECT_EQ(stats.silent_trials, 20);
+  EXPECT_TRUE(stats.output_consistent);
+  EXPECT_EQ(stats.output, 6);
+  EXPECT_DOUBLE_EQ(stats.steps.mean(), 6 + 4 + 2 * 4);
+  EXPECT_DOUBLE_EQ(stats.steps.variance(), 0.0);
+}
+
+TEST(Convergence, RacingCrnHasStepVariance) {
+  // A genuinely schedule-dependent CRN: X -> Y vs X -> 2Y; 2Y -> Z halves
+  // a varying amount of output, so step counts vary across seeds.
+  crn::Crn crn("race");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Z");
+  crn.add_reaction_str("X -> Y");
+  crn.add_reaction_str("X -> 2 Y");
+  crn.add_reaction_str("2 Y -> Z");
+  const auto stats = measure_convergence(crn, {9, }, 30);
+  EXPECT_EQ(stats.silent_trials, 30);
+  EXPECT_GT(stats.steps.variance(), 0.0);
+}
+
+TEST(Convergence, SeededReproducibility) {
+  const crn::Crn crn = compile::fig1_max_crn();
+  const auto a = measure_convergence(crn, {4, 7}, 8, 99);
+  const auto b = measure_convergence(crn, {4, 7}, 8, 99);
+  EXPECT_DOUBLE_EQ(a.steps.mean(), b.steps.mean());
+  EXPECT_DOUBLE_EQ(a.steps.variance(), b.steps.variance());
+}
+
+TEST(Convergence, PopulationParallelTimeGrowsWithInput) {
+  const crn::Crn bi = crn::to_bimolecular(
+      compile::compile_oned(fn::examples::floor_3x_over_2()));
+  const auto small = measure_population_convergence(bi, {8}, 5);
+  const auto large = measure_population_convergence(bi, {64}, 5);
+  EXPECT_EQ(small.silent_trials, 5);
+  EXPECT_EQ(large.silent_trials, 5);
+  EXPECT_GT(large.parallel_time.mean(), small.parallel_time.mean());
+  EXPECT_GT(large.interactions.mean(), small.interactions.mean());
+}
+
+TEST(Convergence, BrokenCrnFlagsInconsistentOutput) {
+  // X -> Y vs X -> 2Y race: different runs give different outputs.
+  crn::Crn crn("race");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("X -> Y");
+  crn.add_reaction_str("X -> 2 Y");
+  const auto stats = measure_convergence(crn, {10}, 20);
+  EXPECT_FALSE(stats.output_consistent);
+}
+
+}  // namespace
+}  // namespace crnkit::sim

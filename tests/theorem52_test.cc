@@ -1,0 +1,216 @@
+// Tests for the full Theorem 5.2 compiler: hand-authored specs for 2D
+// functions (min, fig7, fig4a), verified by the exhaustive checker on small
+// grids and the randomized checker on larger inputs.
+#include <gtest/gtest.h>
+
+#include "compile/theorem52.h"
+#include "crn/checks.h"
+#include "fn/examples.h"
+#include "verify/simcheck.h"
+#include "verify/stable.h"
+
+namespace crnkit::compile {
+namespace {
+
+using crn::Crn;
+using math::Int;
+using math::Rational;
+
+ObliviousSpec min2_spec() {
+  // min(x1,x2) = min of the two projections, with threshold 0.
+  return ObliviousSpec{
+      fn::examples::min2(),
+      0,
+      {fn::QuiltAffine::affine({Rational(1), Rational(0)}, Rational(0), "x1"),
+       fn::QuiltAffine::affine({Rational(0), Rational(1)}, Rational(0),
+                               "x2")},
+      {}};
+}
+
+ObliviousSpec fig7_spec() {
+  // fig7 = min(g1, g2, gU) for x >= (1,1); below that the rows/columns are
+  // handled by the recursive terms.
+  return ObliviousSpec{fn::examples::fig7(), 1, fn::examples::fig7_extensions(),
+                       {}};
+}
+
+ObliviousSpec fig4a_spec() {
+  return ObliviousSpec{fn::examples::fig4a(), 4,
+                       fn::examples::fig4a_eventual().parts(),
+                       {}};
+}
+
+TEST(DropInput, ProducesRestrictedBlackBox) {
+  const auto f = fn::examples::fig7();
+  const auto r = drop_input(f, 0, 2);  // x1 pinned to 2
+  EXPECT_EQ(r.dimension(), 1);
+  EXPECT_EQ(r(fn::Point{5}), f(fn::Point{2, 5}));
+  EXPECT_EQ(r(fn::Point{2}), f(fn::Point{2, 2}));
+  EXPECT_EQ(r(fn::Point{0}), f(fn::Point{2, 0}));
+}
+
+TEST(Theorem52, OneDimensionalFallsBackToTheorem31) {
+  ObliviousSpec spec{fn::examples::floor_3x_over_2(),
+                     0,
+                     {fn::examples::fig3a_quilt()},
+                     {}};
+  const Crn crn = compile_theorem52(spec);
+  ASSERT_TRUE(crn::is_output_oblivious(crn));
+  for (Int x = 0; x <= 10; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(crn, {x}, (3 * x) / 2).ok)
+        << x;
+  }
+}
+
+TEST(Theorem52, MinWithZeroThresholdIsSmall) {
+  const Crn crn = compile_theorem52(min2_spec());
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  // Exhaustive check on a small grid.
+  const auto sweep =
+      verify::check_stable_computation_on_grid(crn, fn::examples::min2(), 3);
+  EXPECT_TRUE(sweep.all_ok) << sweep.failures.size() << " failures";
+}
+
+TEST(Theorem52, MinLargerInputsRandomized) {
+  const Crn crn = compile_theorem52(min2_spec());
+  const auto result = verify::sim_check_points(
+      crn, fn::examples::min2(),
+      {{9, 4}, {20, 20}, {0, 15}, {31, 2}});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(Theorem52, Fig7ExhaustiveOnSmallGrid) {
+  // Exhaustive proof on the tiny grid (the composed circuit's reachable
+  // space grows combinatorially; larger inputs are covered stochastically).
+  const Crn crn = compile_theorem52(fig7_spec());
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  const auto sweep = verify::check_stable_computation_on_grid(
+      crn, fn::examples::fig7(), 1, verify::StableCheckOptions{600'000});
+  EXPECT_TRUE(sweep.all_ok) << sweep.failures.size() << " failures";
+}
+
+TEST(Theorem52, Fig7RandomizedOnLargerInputs) {
+  const Crn crn = compile_theorem52(fig7_spec());
+  const auto result = verify::sim_check_points(
+      crn, fn::examples::fig7(),
+      {{0, 0}, {4, 4}, {7, 7}, {3, 9}, {9, 3}, {12, 13}, {10, 0}, {0, 10}});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(Theorem52, Fig4aRandomizedAcrossAllRegimes) {
+  const Crn crn = compile_theorem52(fig4a_spec());
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  // Points in the finite region (incl. the perturbed ones), the boundary
+  // strips, and the eventual region.
+  const auto result = verify::sim_check_points(
+      crn, fn::examples::fig4a(),
+      {{0, 0},
+       {1, 2},
+       {2, 1},
+       {3, 3},
+       {2, 9},
+       {9, 2},
+       {0, 8},
+       {4, 4},
+       {5, 7},
+       {8, 8},
+       {10, 6}},
+      verify::SimCheckOptions{3, 5'000'000, 7});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(Theorem52, SpecValidationCatchesWrongEventualMin) {
+  // Claim min(x1,x2) is eventually x1 + x2: validation must reject.
+  ObliviousSpec bad{fn::examples::min2(),
+                    1,
+                    {fn::QuiltAffine::affine({Rational(1), Rational(1)},
+                                             Rational(0), "sum")},
+                    {}};
+  EXPECT_THROW((void)compile_theorem52(bad), std::invalid_argument);
+}
+
+TEST(Theorem52, MissingRestrictionProviderForHighDimThrows) {
+  // A 3D spec with threshold >= 1 and no children must throw (its 2D
+  // restrictions cannot be derived automatically).
+  const fn::DiscreteFunction f3(
+      3,
+      [](const fn::Point& x) { return std::min(std::min(x[0], x[1]), x[2]); },
+      "min3");
+  ObliviousSpec spec{
+      f3,
+      1,
+      {fn::QuiltAffine::affine({Rational(1), Rational(0), Rational(0)},
+                               Rational(0), "x1"),
+       fn::QuiltAffine::affine({Rational(0), Rational(1), Rational(0)},
+                               Rational(0), "x2"),
+       fn::QuiltAffine::affine({Rational(0), Rational(0), Rational(1)},
+                               Rational(0), "x3")},
+      {}};
+  EXPECT_THROW((void)compile_theorem52(spec), std::invalid_argument);
+}
+
+TEST(Theorem52, ThreeDimensionalMinWithZeroThreshold) {
+  // With threshold 0 there are no restrictions, so 3D compiles directly.
+  const fn::DiscreteFunction f3(
+      3,
+      [](const fn::Point& x) { return std::min(std::min(x[0], x[1]), x[2]); },
+      "min3");
+  ObliviousSpec spec{
+      f3,
+      0,
+      {fn::QuiltAffine::affine({Rational(1), Rational(0), Rational(0)},
+                               Rational(0), "x1"),
+       fn::QuiltAffine::affine({Rational(0), Rational(1), Rational(0)},
+                               Rational(0), "x2"),
+       fn::QuiltAffine::affine({Rational(0), Rational(0), Rational(1)},
+                               Rational(0), "x3")},
+      {}};
+  const Crn crn = compile_theorem52(spec);
+  const auto result = verify::sim_check_points(
+      crn, f3, {{0, 0, 0}, {1, 2, 3}, {5, 5, 5}, {7, 2, 9}});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(Theorem52, ThreeDimensionalWithHandAuthoredChildren) {
+  // f(x) = min(x1 + x2, x2 + x3, x1 + x3): threshold 1 exercises 2D
+  // restrictions, supplied as hand-authored child specs.
+  const fn::DiscreteFunction f3(
+      3,
+      [](const fn::Point& x) {
+        return std::min(std::min(x[0] + x[1], x[1] + x[2]), x[0] + x[2]);
+      },
+      "minpairs");
+  auto pairs_parts = [] {
+    return std::vector<fn::QuiltAffine>{
+        fn::QuiltAffine::affine({Rational(1), Rational(1), Rational(0)},
+                                Rational(0), "x1+x2"),
+        fn::QuiltAffine::affine({Rational(0), Rational(1), Rational(1)},
+                                Rational(0), "x2+x3"),
+        fn::QuiltAffine::affine({Rational(1), Rational(0), Rational(1)},
+                                Rational(0), "x1+x3")};
+  };
+  ObliviousSpec spec{f3, 1, pairs_parts(), {}};
+  // Children: pin x_i = 0 -> f becomes min over 2D pairs; e.g. pinning
+  // x1 = 0 gives min(x2, x2 + x3, x3) = min(x2, x3) over (x2, x3).
+  for (int i = 0; i < 3; ++i) {
+    const auto restricted = drop_input(f3, i, 0);
+    ObliviousSpec child{
+        restricted,
+        0,
+        {fn::QuiltAffine::affine({Rational(1), Rational(0)}, Rational(0),
+                                 "a"),
+         fn::QuiltAffine::affine({Rational(0), Rational(1)}, Rational(0),
+                                 "b")},
+        {}};
+    spec.children[{i, 0}] = std::make_shared<ObliviousSpec>(child);
+  }
+  const Crn crn = compile_theorem52(spec);
+  EXPECT_TRUE(crn::is_output_oblivious(crn));
+  const auto result = verify::sim_check_points(
+      crn, f3, {{0, 0, 0}, {2, 0, 5}, {3, 3, 3}, {1, 4, 2}},
+      verify::SimCheckOptions{3, 5'000'000, 11});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+}  // namespace
+}  // namespace crnkit::compile

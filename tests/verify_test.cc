@@ -1,0 +1,188 @@
+// Tests for the verification layer: exact reachability, the stable-
+// computation decision procedure on the Figure 1 / Figure 2 examples, the
+// Lemma 4.1 witness machinery (max and Equation (2)), and agreement between
+// the exhaustive and randomized checkers.
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "fn/examples.h"
+#include "verify/reachability.h"
+#include "verify/simcheck.h"
+#include "verify/stable.h"
+#include "verify/witness.h"
+
+namespace crnkit::verify {
+namespace {
+
+using crn::Crn;
+using math::Int;
+
+TEST(Reachability, EnumeratesMinConfigurations) {
+  const Crn crn = compile::min_crn(2);
+  const auto graph = explore(crn, crn.initial_configuration({2, 3}));
+  // Configurations: y fired 0,1,2 times -> 3 configs.
+  EXPECT_TRUE(graph.complete);
+  EXPECT_EQ(graph.size(), 3u);
+}
+
+TEST(Reachability, PathReconstruction) {
+  const Crn crn = compile::scale_crn(2);
+  const auto graph = explore(crn, crn.initial_configuration({3}));
+  ASSERT_TRUE(graph.complete);
+  // The deepest configuration is reached by 3 firings of reaction 0.
+  const auto over = find_output_exceeding(crn, graph, 5);
+  ASSERT_TRUE(over.has_value());
+  const auto path = path_from_root(graph, *over);
+  EXPECT_EQ(path.size(), 3u);
+  for (const int r : path) EXPECT_EQ(r, 0);
+}
+
+TEST(Reachability, BudgetTruncationIsFlagged) {
+  const Crn crn = compile::scale_crn(1);
+  const auto graph =
+      explore(crn, crn.initial_configuration({100}), ExploreOptions{10});
+  EXPECT_FALSE(graph.complete);
+  EXPECT_LE(graph.size(), 10u);
+}
+
+TEST(StableComputation, Fig1ExamplesAreCorrect) {
+  // 2x.
+  const Crn twice = compile::scale_crn(2);
+  EXPECT_TRUE(check_stable_computation(twice, {7}, 14).ok);
+  EXPECT_FALSE(check_stable_computation(twice, {7}, 13).ok);
+  // min.
+  const Crn min2 = compile::min_crn(2);
+  EXPECT_TRUE(check_stable_computation(min2, {4, 6}, 4).ok);
+  // max: stably computes max even though it is not output-oblivious.
+  const Crn max2 = compile::fig1_max_crn();
+  EXPECT_TRUE(check_stable_computation(max2, {4, 6}, 6).ok);
+  EXPECT_TRUE(check_stable_computation(max2, {5, 5}, 5).ok);
+}
+
+TEST(StableComputation, MaxOvershootsButRecovers) {
+  // On input (2,2) the max CRN can reach Y = 4 > 2 transiently; the
+  // overproduction field reports it while the overall check still passes.
+  const Crn max2 = compile::fig1_max_crn();
+  const auto result = check_stable_computation(max2, {2, 2}, 2);
+  EXPECT_TRUE(result.ok);
+  ASSERT_TRUE(result.overproduction.has_value());
+  EXPECT_GT(max2.output_count(*result.overproduction), 2);
+}
+
+TEST(StableComputation, Fig2BothComputeMin1) {
+  const fn::DiscreteFunction f = fn::examples::min_const1();
+  const Crn leaderless = compile::fig2_min1_leaderless();
+  const Crn with_leader = compile::fig2_min1_leader();
+  for (Int x = 0; x <= 6; ++x) {
+    EXPECT_TRUE(check_stable_computation(leaderless, {x}, f(x)).ok)
+        << "leaderless at " << x;
+    EXPECT_TRUE(check_stable_computation(with_leader, {x}, f(x)).ok)
+        << "leader at " << x;
+  }
+}
+
+TEST(StableComputation, GridSweep) {
+  const Crn min2 = compile::min_crn(2);
+  const auto sweep =
+      check_stable_computation_on_grid(min2, fn::examples::min2(), 5);
+  EXPECT_TRUE(sweep.all_ok);
+  EXPECT_EQ(sweep.points_checked, 36);
+}
+
+TEST(StableComputation, DetectsBrokenCrn) {
+  // X -> Y; X -> 2Y cannot stably compute the identity: once some X took
+  // the doubling path the output is stuck too high.
+  Crn crn("broken");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("X -> Y");
+  crn.add_reaction_str("X -> 2 Y");
+  const auto result = check_stable_computation(crn, {3}, 3);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.overproduction.has_value());
+  EXPECT_TRUE(result.counterexample.has_value());
+}
+
+TEST(StableComputation, IncompleteExplorationNeverClaimsSuccess) {
+  const Crn twice = compile::scale_crn(2);
+  StableCheckOptions options;
+  options.max_configs = 3;
+  const auto result = check_stable_computation(twice, {50}, 100, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(Lemma41, MaxFamilyFromThePaper) {
+  // a_i = (i, 0), Delta_ij = (0, j): the Section 4 witness for max.
+  EXPECT_TRUE(
+      check_linear_family(fn::examples::max2(), {1, 0}, {0, 1}, 10));
+}
+
+TEST(Lemma41, Eq2FamilyFromThePaper) {
+  EXPECT_TRUE(check_linear_family(fn::examples::eq2_counterexample(), {1, 0},
+                                  {0, 1}, 10));
+}
+
+TEST(Lemma41, MinHasNoWitness) {
+  EXPECT_FALSE(find_lemma41_witness(fn::examples::min2()).has_value());
+}
+
+TEST(Lemma41, Fig4aHasNoWitness) {
+  EXPECT_FALSE(find_lemma41_witness(fn::examples::fig4a()).has_value());
+}
+
+TEST(Lemma41, SearchFindsMaxWitness) {
+  const auto witness = find_lemma41_witness(fn::examples::max2());
+  ASSERT_TRUE(witness.has_value());
+  // Whatever directions were found must genuinely pass the check.
+  EXPECT_TRUE(check_linear_family(fn::examples::max2(), witness->u,
+                                  witness->v, 12));
+}
+
+TEST(Lemma41, SearchFindsEq2Witness) {
+  EXPECT_TRUE(
+      find_lemma41_witness(fn::examples::eq2_counterexample()).has_value());
+}
+
+TEST(DifferenceReversal, SingleReversalIsWeakerThanLemma41) {
+  // Both max and min exhibit single difference reversals — e.g. for min,
+  // a=(0,4), b=(4,4), d=(4,0) gives 4 > 0 — which is exactly why the
+  // *pair* form is not an impossibility witness: min is obliviously-
+  // computable, and only max extends its reversal to a full Lemma 4.1
+  // linear family (checked in the Lemma41 tests above).
+  EXPECT_TRUE(find_difference_reversal(fn::examples::max2(), 4).has_value());
+  EXPECT_TRUE(find_difference_reversal(fn::examples::min2(), 4).has_value());
+  // A genuinely difference-monotone function has none: x1 + x2.
+  const fn::DiscreteFunction sum(
+      2, [](const fn::Point& x) { return x[0] + x[1]; }, "sum");
+  EXPECT_FALSE(find_difference_reversal(sum, 4).has_value());
+}
+
+TEST(SimCheck, AgreesWithExhaustiveChecker) {
+  const Crn min2 = compile::min_crn(2);
+  const auto result = sim_check_grid(min2, fn::examples::min2(), 4);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.mismatches, 0);
+}
+
+TEST(SimCheck, CatchesBrokenCrn) {
+  Crn crn("broken");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("X -> 2 Y");
+  const auto result = sim_check_point(crn, fn::examples::twice(), {3});
+  EXPECT_TRUE(result.ok);  // X -> 2Y does compute 2x
+  const auto bad =
+      sim_check_point(crn, fn::examples::floor_3x_over_2(), {3});
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(SimCheck, LargeInputsBeyondExhaustiveReach) {
+  const Crn min2 = compile::min_crn(2);
+  const auto result = sim_check_points(
+      min2, fn::examples::min2(), {{500, 700}, {1000, 999}, {0, 1234}});
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+}  // namespace
+}  // namespace crnkit::verify
