@@ -4,14 +4,23 @@
 // data series behind a figure, or a table — and (b) registers
 // google-benchmark timings for the machinery involved. The EXPERIMENTS.md
 // index maps each binary to its paper artifact.
+//
+// Binaries that track a performance trajectory across PRs additionally
+// emit a machine-readable BENCH_<name>.json via JsonWriter /
+// write_bench_json: a flat list of records with a name, events/sec (or
+// another throughput measure), and wall time, so CI and future sessions
+// can diff perf without parsing the human tables.
 #ifndef CRNKIT_BENCH_BENCH_TABLE_H_
 #define CRNKIT_BENCH_BENCH_TABLE_H_
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
-#include <type_traits>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace crnkit::bench {
@@ -31,8 +40,7 @@ inline void print_table(const std::string& title,
   std::fflush(stdout);
 }
 
-template <typename T>
-  requires std::is_integral_v<T>
+template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
 std::string fmt(T v) {
   return std::to_string(v);
 }
@@ -40,6 +48,62 @@ inline std::string fmt(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
+}
+
+/// One machine-readable benchmark record. `events_per_sec` is the
+/// throughput measure (events, interactions, or items per second depending
+/// on the bench); `wall_seconds` the wall time of the measured run.
+struct BenchRecord {
+  std::string name;
+  double events_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes BENCH_<bench_name>.json in the current working directory:
+///   {"bench": "...", "records": [{"name": ..., "events_per_sec": ...,
+///    "wall_seconds": ..., "events": ...}, ...]}
+/// Extra top-level string/number fields can be appended via `extra`
+/// (already-serialized `"key": value` fragments).
+inline void write_bench_json(const std::string& bench_name,
+                             const std::vector<BenchRecord>& records,
+                             const std::vector<std::string>& extra = {}) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n";
+  for (const auto& fragment : extra) os << "  " << fragment << ",\n";
+  os << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char nums[96];
+    std::snprintf(nums, sizeof(nums),
+                  "\"events_per_sec\": %.1f, \"wall_seconds\": %.6f, "
+                  "\"events\": %llu",
+                  r.events_per_sec, r.wall_seconds,
+                  static_cast<unsigned long long>(r.events));
+    os << "    {\"name\": \"" << json_escape(r.name) << "\", " << nums
+       << '}' << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream file(path);
+  file << os.str();
+  std::printf("wrote %s\n", path.c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace crnkit::bench

@@ -72,11 +72,12 @@ void print_artifacts() {
 
 void BM_SsaMin(benchmark::State& state) {
   const crn::Crn min2 = compile::min_crn(2);
+  const sim::CompiledNetwork compiled(min2);
   const Int n = state.range(0);
   for (auto _ : state) {
     sim::Rng rng(42);
-    const auto run =
-        sim::simulate_direct(min2, min2.initial_configuration({n, n}), rng);
+    const auto run = sim::simulate_direct(
+        compiled, min2.initial_configuration({n, n}), rng);
     benchmark::DoNotOptimize(run.events);
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -85,11 +86,12 @@ BENCHMARK(BM_SsaMin)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_SsaMax(benchmark::State& state) {
   const crn::Crn max2 = compile::fig1_max_crn();
+  const sim::CompiledNetwork compiled(max2);
   const Int n = state.range(0);
   for (auto _ : state) {
     sim::Rng rng(42);
-    const auto run =
-        sim::simulate_direct(max2, max2.initial_configuration({n, n}), rng);
+    const auto run = sim::simulate_direct(
+        compiled, max2.initial_configuration({n, n}), rng);
     benchmark::DoNotOptimize(run.events);
   }
   state.SetItemsProcessed(state.iterations() * n);

@@ -3,27 +3,38 @@
 // (Theorems 3.1 / 6.1) absorb inputs sequentially, so expected parallel
 // time grows superlinearly in n — the cost of the paper's leader-based
 // generality (cf. Section 10's discussion of time).
+//
+// Trials run through the batched EnsembleRunner (population method): one
+// compile per construction, seeded per-trajectory streams, all cores.
+// Emits BENCH_convergence.json with aggregate interactions/sec per case.
 #include "bench_table.h"
 #include "compile/leaderless.h"
 #include "compile/oned.h"
 #include "crn/bimolecular.h"
 #include "fn/examples.h"
-#include "sim/population.h"
+#include "sim/ensemble.h"
 
 namespace {
 
 using namespace crnkit;
 using math::Int;
 
-double mean_parallel_time(const crn::Crn& bi, Int x, int trials) {
-  double total = 0.0;
-  for (int t = 0; t < trials; ++t) {
-    sim::Rng rng(static_cast<std::uint64_t>(1000 + 31 * x + t));
-    const auto run =
-        sim::run_population(bi, bi.initial_configuration({x}), rng);
-    total += run.parallel_time;
-  }
-  return total / trials;
+struct ConvergencePoint {
+  double mean_parallel_time = 0.0;
+  double interactions_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t interactions = 0;
+};
+
+ConvergencePoint mean_parallel_time(const sim::EnsembleRunner& runner, Int x,
+                                    int trials) {
+  sim::EnsembleOptions options;
+  options.trajectories = trials;
+  options.seed = static_cast<std::uint64_t>(1000 + 31 * x);
+  options.method = sim::EnsembleMethod::kPopulation;
+  const auto batch = runner.run_for_input({x}, options);
+  return {batch.time_stats.mean(), batch.events_per_second(),
+          batch.wall_seconds, batch.total_events};
 }
 
 void print_artifacts() {
@@ -32,15 +43,27 @@ void print_artifacts() {
       crn::to_bimolecular(compile::compile_oned(f));
   const crn::Crn leaderless_crn =
       crn::to_bimolecular(compile::compile_leaderless_oned(f));
+  const sim::EnsembleRunner leader_runner(leader_crn);
+  const sim::EnsembleRunner leaderless_runner(leaderless_crn);
 
   std::vector<std::vector<std::string>> rows;
+  std::vector<bench::BenchRecord> records;
   for (const Int n : {8, 16, 32, 64, 128}) {
-    const double t_leader = mean_parallel_time(leader_crn, n, 5);
-    const double t_leaderless = mean_parallel_time(leaderless_crn, n, 5);
-    rows.push_back({bench::fmt(n), bench::fmt(t_leader),
-                    bench::fmt(t_leader / static_cast<double>(n)),
-                    bench::fmt(t_leaderless),
-                    bench::fmt(t_leaderless / static_cast<double>(n))});
+    const ConvergencePoint leader = mean_parallel_time(leader_runner, n, 5);
+    const ConvergencePoint leaderless =
+        mean_parallel_time(leaderless_runner, n, 5);
+    rows.push_back({bench::fmt(n), bench::fmt(leader.mean_parallel_time),
+                    bench::fmt(leader.mean_parallel_time /
+                               static_cast<double>(n)),
+                    bench::fmt(leaderless.mean_parallel_time),
+                    bench::fmt(leaderless.mean_parallel_time /
+                               static_cast<double>(n))});
+    records.push_back({"leader/n=" + std::to_string(n),
+                       leader.interactions_per_sec, leader.wall_seconds,
+                       leader.interactions});
+    records.push_back({"leaderless/n=" + std::to_string(n),
+                       leaderless.interactions_per_sec,
+                       leaderless.wall_seconds, leaderless.interactions});
   }
   bench::print_table(
       "Parallel time to silence for floor(3x/2): Theorem 3.1 (leader) vs "
@@ -49,33 +72,40 @@ void print_artifacts() {
   std::printf("\nExpected shape: leader-driven time grows superlinearly "
               "(the single leader is a sequential bottleneck); the "
               "leaderless merge cascade is faster per input.\n");
+  bench::write_bench_json("convergence", records);
 }
 
 void BM_PopulationLeader(benchmark::State& state) {
   const crn::Crn bi = crn::to_bimolecular(
       compile::compile_oned(fn::examples::floor_3x_over_2()));
+  const sim::EnsembleRunner runner(bi);
   const Int n = state.range(0);
+  sim::EnsembleOptions options;
+  options.trajectories = 4;
+  options.method = sim::EnsembleMethod::kPopulation;
+  options.seed = 7;
   for (auto _ : state) {
-    sim::Rng rng(7);
-    const auto run =
-        sim::run_population(bi, bi.initial_configuration({n}), rng);
-    benchmark::DoNotOptimize(run.interactions);
+    benchmark::DoNotOptimize(
+        runner.run_for_input({n}, options).total_events);
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  state.SetItemsProcessed(state.iterations() * 4 * n);
 }
 BENCHMARK(BM_PopulationLeader)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_PopulationLeaderless(benchmark::State& state) {
   const crn::Crn bi = crn::to_bimolecular(
       compile::compile_leaderless_oned(fn::examples::floor_3x_over_2()));
+  const sim::EnsembleRunner runner(bi);
   const Int n = state.range(0);
+  sim::EnsembleOptions options;
+  options.trajectories = 4;
+  options.method = sim::EnsembleMethod::kPopulation;
+  options.seed = 7;
   for (auto _ : state) {
-    sim::Rng rng(7);
-    const auto run =
-        sim::run_population(bi, bi.initial_configuration({n}), rng);
-    benchmark::DoNotOptimize(run.interactions);
+    benchmark::DoNotOptimize(
+        runner.run_for_input({n}, options).total_events);
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  state.SetItemsProcessed(state.iterations() * 4 * n);
 }
 BENCHMARK(BM_PopulationLeaderless)->Arg(16)->Arg(64)->Arg(256);
 

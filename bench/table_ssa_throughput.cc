@@ -1,13 +1,22 @@
-// T3 (extension table): SSA throughput — Gillespie direct method vs
-// Gibson-Bruck next-reaction method, on a small dense CRN (every reaction
-// shares species) and on a wide compiled circuit (many nearly-independent
-// reactions, where the dependency-graph method should win).
+// T3 (extension table): SSA throughput — the seed's dense direct method
+// (every propensity recomputed per event) vs the compiled engine paths:
+// direct method with dependency-graph updates, Gibson-Bruck next-reaction,
+// and the batched EnsembleRunner (aggregate events/sec across a trajectory
+// batch). Run on a small dense CRN (every reaction shares species) and on a
+// wide compiled circuit (many nearly-independent reactions, where the
+// dependency-graph methods win asymptotically).
+//
+// Emits BENCH_ssa_throughput.json with per-path events/sec and the
+// compiled-over-dense speedup per CRN, so the perf trajectory is tracked
+// across PRs.
 #include <chrono>
 
 #include "bench_table.h"
 #include "compile/primitives.h"
 #include "compile/theorem52.h"
+#include "crn/compose.h"
 #include "fn/examples.h"
+#include "sim/ensemble.h"
 #include "sim/gillespie.h"
 #include "sim/next_reaction.h"
 
@@ -16,55 +25,176 @@ namespace {
 using namespace crnkit;
 using math::Int;
 
-double events_per_second(const crn::Crn& crn, const crn::Config& initial,
-                         bool next_reaction) {
+enum class Path { kDense, kDirect, kNextReaction, kEnsemble };
+
+struct Measurement {
+  double events_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+Measurement measure(const crn::Crn& crn, const crn::Config& initial,
+                    Path path, std::uint64_t max_events) {
+  Measurement m;
+  if (path == Path::kEnsemble) {
+    const sim::EnsembleRunner runner(crn);
+    sim::EnsembleOptions options;
+    options.trajectories = 8;
+    options.seed = 12345;
+    options.method = sim::EnsembleMethod::kDirect;
+    options.max_events = max_events / 8;
+    const auto batch = runner.run(initial, options);
+    return {batch.events_per_second(), batch.wall_seconds,
+            batch.total_events};
+  }
+
   sim::Rng rng(12345);
   sim::GillespieOptions options;
-  options.max_events = 400'000;
+  options.max_events = max_events;
+  if (path == Path::kDense) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto run = sim::simulate_direct_dense(crn, initial, rng, options);
+    m.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    m.events = run.events;
+    m.events_per_sec =
+        static_cast<double>(run.events) / std::max(m.wall_seconds, 1e-9);
+    return m;
+  }
+  const sim::CompiledNetwork compiled(crn);
   const auto start = std::chrono::steady_clock::now();
-  const auto run = next_reaction
-                       ? sim::simulate_next_reaction(crn, initial, rng,
-                                                     options)
-                       : sim::simulate_direct(crn, initial, rng, options);
-  const auto elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-  return static_cast<double>(run.events) / std::max(elapsed, 1e-9);
+  sim::GillespieResult run;
+  switch (path) {
+    case Path::kDirect:
+      run = sim::simulate_direct(compiled, initial, rng, options);
+      break;
+    case Path::kNextReaction:
+      run = sim::simulate_next_reaction(compiled, initial, rng, options);
+      break;
+    case Path::kDense:
+    case Path::kEnsemble:
+      break;  // handled above
+  }
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  m.events = run.events;
+  m.events_per_sec =
+      static_cast<double>(run.events) / std::max(m.wall_seconds, 1e-9);
+  return m;
 }
 
 void print_artifacts() {
+  struct Case {
+    std::string name;
+    crn::Crn crn;
+    crn::Config initial;
+  };
+  std::vector<Case> cases;
+  {
+    crn::Crn max2 = compile::fig1_max_crn();
+    crn::Config init = max2.initial_configuration({100000, 100000});
+    cases.push_back({"fig1-max (4 rxn)", std::move(max2), std::move(init)});
+  }
+  {
+    crn::Crn min2 = compile::min_crn(2);
+    crn::Config init = min2.initial_configuration({200000, 200000});
+    cases.push_back({"fig1-min (1 rxn)", std::move(min2), std::move(init)});
+  }
+  {
+    compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                                fn::examples::fig7_extensions(), {}};
+    crn::Crn wide = compile::compile_theorem52(spec);
+    crn::Config init = wide.initial_configuration({3000, 4000});
+    const std::string name =
+        "thm52-fig7 (" + std::to_string(wide.reactions().size()) + " rxn)";
+    cases.push_back({name, std::move(wide), std::move(init)});
+  }
+  {
+    // Deep Observation 2.2 chain: 256 concatenated oblivious identity
+    // modules. This is the composition regime the dependency graph exists
+    // for: firing one stage's reaction only perturbs its neighbours, so
+    // the O(R) dense recompute is pure waste.
+    crn::Crn chain = compile::identity_crn();
+    for (int stage = 1; stage < 256; ++stage) {
+      chain = crn::concatenate(chain, compile::identity_crn(),
+                               "chain" + std::to_string(stage + 1));
+    }
+    crn::Config init = chain.initial_configuration({50000});
+    const std::string name =
+        "chain-256 (" + std::to_string(chain.reactions().size()) + " rxn)";
+    cases.push_back({name, std::move(chain), std::move(init)});
+  }
+
+  const std::uint64_t max_events = 400'000;
   std::vector<std::vector<std::string>> rows;
+  std::vector<bench::BenchRecord> records;
+  std::vector<std::string> extras;
+  for (const Case& c : cases) {
+    const Measurement dense = measure(c.crn, c.initial, Path::kDense,
+                                      max_events);
+    const Measurement direct = measure(c.crn, c.initial, Path::kDirect,
+                                       max_events);
+    const Measurement nrm = measure(c.crn, c.initial, Path::kNextReaction,
+                                    max_events);
+    const Measurement ens = measure(c.crn, c.initial, Path::kEnsemble,
+                                    max_events);
+    const double speedup = direct.events_per_sec /
+                           std::max(dense.events_per_sec, 1e-9);
+    rows.push_back({c.name, bench::fmt(dense.events_per_sec),
+                    bench::fmt(direct.events_per_sec),
+                    bench::fmt(nrm.events_per_sec),
+                    bench::fmt(ens.events_per_sec), bench::fmt(speedup)});
+    records.push_back({c.name + "/dense", dense.events_per_sec,
+                       dense.wall_seconds, dense.events});
+    records.push_back({c.name + "/direct", direct.events_per_sec,
+                       direct.wall_seconds, direct.events});
+    records.push_back({c.name + "/next-reaction", nrm.events_per_sec,
+                       nrm.wall_seconds, nrm.events});
+    records.push_back({c.name + "/ensemble", ens.events_per_sec,
+                       ens.wall_seconds, ens.events});
 
-  // Dense: Fig 1 max CRN (4 reactions, heavily coupled).
-  const crn::Crn max2 = compile::fig1_max_crn();
-  const auto max_init = max2.initial_configuration({100000, 100000});
-  rows.push_back(
-      {"fig1-max (4 rxn)", bench::fmt(events_per_second(max2, max_init,
-                                                        false)),
-       bench::fmt(events_per_second(max2, max_init, true))});
+    std::string key = c.name.substr(0, c.name.find(' '));
+    for (char& ch : key) {
+      if (ch == '-') ch = '_';
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"speedup_%s\": %.2f", key.c_str(),
+                  speedup);
+    extras.emplace_back(buf);
+  }
 
-  // Wide: the Theorem 5.2 circuit for fig7 (dozens of loosely coupled
-  // reactions across modules).
-  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
-                              fn::examples::fig7_extensions(), {}};
-  const crn::Crn wide = compile::compile_theorem52(spec);
-  const auto wide_init = wide.initial_configuration({3000, 4000});
-  rows.push_back({"thm52-fig7 (" + std::to_string(wide.reactions().size()) +
-                      " rxn)",
-                  bench::fmt(events_per_second(wide, wide_init, false)),
-                  bench::fmt(events_per_second(wide, wide_init, true))});
-
-  bench::print_table("SSA throughput (events/second)",
-                     {"CRN", "direct", "next-reaction"}, rows, 22);
+  bench::print_table(
+      "SSA throughput (events/second): seed dense direct vs compiled engine",
+      {"CRN", "dense", "direct", "next-rxn", "ensemble", "speedup"}, rows,
+      18);
+  bench::write_bench_json("ssa_throughput", records, extras);
 }
 
-void BM_DirectMaxCrn(benchmark::State& state) {
+void BM_DenseDirectMaxCrn(benchmark::State& state) {
   const crn::Crn max2 = compile::fig1_max_crn();
   const Int n = state.range(0);
   for (auto _ : state) {
     sim::Rng rng(1);
     benchmark::DoNotOptimize(
-        sim::simulate_direct(max2, max2.initial_configuration({n, n}), rng)
+        sim::simulate_direct_dense(max2, max2.initial_configuration({n, n}),
+                                   rng)
+            .events);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_DenseDirectMaxCrn)->Arg(1000)->Arg(10000);
+
+void BM_DirectMaxCrn(benchmark::State& state) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const sim::CompiledNetwork compiled(max2);
+  const Int n = state.range(0);
+  for (auto _ : state) {
+    sim::Rng rng(1);
+    benchmark::DoNotOptimize(
+        sim::simulate_direct(compiled, max2.initial_configuration({n, n}),
+                             rng)
             .events);
   }
   state.SetItemsProcessed(state.iterations() * 3 * n);
@@ -73,11 +203,12 @@ BENCHMARK(BM_DirectMaxCrn)->Arg(1000)->Arg(10000);
 
 void BM_NextReactionMaxCrn(benchmark::State& state) {
   const crn::Crn max2 = compile::fig1_max_crn();
+  const sim::CompiledNetwork compiled(max2);
   const Int n = state.range(0);
   for (auto _ : state) {
     sim::Rng rng(1);
     benchmark::DoNotOptimize(
-        sim::simulate_next_reaction(max2,
+        sim::simulate_next_reaction(compiled,
                                     max2.initial_configuration({n, n}), rng)
             .events);
   }
@@ -89,30 +220,32 @@ void BM_DirectWideCircuit(benchmark::State& state) {
   compile::ObliviousSpec spec{fn::examples::fig7(), 1,
                               fn::examples::fig7_extensions(), {}};
   const crn::Crn wide = compile::compile_theorem52(spec);
+  const sim::CompiledNetwork compiled(wide);
   const Int n = state.range(0);
   for (auto _ : state) {
     sim::Rng rng(1);
     benchmark::DoNotOptimize(
-        sim::simulate_direct(wide, wide.initial_configuration({n, n}), rng)
+        sim::simulate_direct(compiled, wide.initial_configuration({n, n}),
+                             rng)
             .events);
   }
 }
 BENCHMARK(BM_DirectWideCircuit)->Arg(200)->Arg(1000);
 
-void BM_NextReactionWideCircuit(benchmark::State& state) {
-  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
-                              fn::examples::fig7_extensions(), {}};
-  const crn::Crn wide = compile::compile_theorem52(spec);
+void BM_EnsembleMaxCrn(benchmark::State& state) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const sim::EnsembleRunner runner(max2);
   const Int n = state.range(0);
+  sim::EnsembleOptions options;
+  options.trajectories = 8;
+  options.method = sim::EnsembleMethod::kDirect;
   for (auto _ : state) {
-    sim::Rng rng(1);
     benchmark::DoNotOptimize(
-        sim::simulate_next_reaction(wide,
-                                    wide.initial_configuration({n, n}), rng)
-            .events);
+        runner.run_for_input({n, n}, options).total_events);
   }
+  state.SetItemsProcessed(state.iterations() * 8 * 3 * n);
 }
-BENCHMARK(BM_NextReactionWideCircuit)->Arg(200)->Arg(1000);
+BENCHMARK(BM_EnsembleMaxCrn)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

@@ -1,0 +1,106 @@
+#include "sim/compiled_network.h"
+
+#include <algorithm>
+
+#include "math/check.h"
+
+namespace crnkit::sim {
+
+CompiledNetwork::CompiledNetwork(const crn::Crn& crn)
+    : species_count_(crn.species_count()) {
+  const std::vector<crn::Reaction>& reactions = crn.reactions();
+  const std::size_t n = reactions.size();
+
+  kinds_.resize(n, Kind::kGeneral);
+  kernel_s0_.resize(n, 0);
+  kernel_s1_.resize(n, 0);
+  reactant_off_.assign(n + 1, 0);
+  delta_off_.assign(n + 1, 0);
+
+  // --- CSR reactants and net deltas ---
+  for (std::size_t j = 0; j < n; ++j) {
+    reactant_off_[j] = reactant_species_.size();
+    for (const crn::Term& t : reactions[j].reactants()) {
+      reactant_species_.push_back(static_cast<std::uint32_t>(t.species));
+      reactant_count_.push_back(t.count);
+    }
+
+    delta_off_[j] = delta_species_.size();
+    // Terms are sorted by species id on both sides; merge to net changes.
+    const auto& rs = reactions[j].reactants();
+    const auto& ps = reactions[j].products();
+    std::size_t ri = 0;
+    std::size_t pi = 0;
+    while (ri < rs.size() || pi < ps.size()) {
+      crn::SpeciesId s;
+      math::Int delta = 0;
+      if (pi == ps.size() ||
+          (ri < rs.size() && rs[ri].species < ps[pi].species)) {
+        s = rs[ri].species;
+        delta = -rs[ri].count;
+        ++ri;
+      } else if (ri == rs.size() || ps[pi].species < rs[ri].species) {
+        s = ps[pi].species;
+        delta = ps[pi].count;
+        ++pi;
+      } else {
+        s = rs[ri].species;
+        delta = ps[pi].count - rs[ri].count;
+        ++ri;
+        ++pi;
+      }
+      if (delta != 0) {
+        delta_species_.push_back(static_cast<std::uint32_t>(s));
+        delta_value_.push_back(delta);
+      }
+    }
+
+    // --- kernel specialisation ---
+    if (rs.empty()) {
+      kinds_[j] = Kind::kConstant;
+    } else if (rs.size() == 1 && rs[0].count == 1) {
+      kinds_[j] = Kind::kUnary;
+      kernel_s0_[j] = static_cast<std::uint32_t>(rs[0].species);
+    } else if (rs.size() == 1 && rs[0].count == 2) {
+      kinds_[j] = Kind::kPair;
+      kernel_s0_[j] = static_cast<std::uint32_t>(rs[0].species);
+    } else if (rs.size() == 2 && rs[0].count == 1 && rs[1].count == 1) {
+      kinds_[j] = Kind::kBinary;
+      kernel_s0_[j] = static_cast<std::uint32_t>(rs[0].species);
+      kernel_s1_[j] = static_cast<std::uint32_t>(rs[1].species);
+    }
+  }
+  reactant_off_[n] = reactant_species_.size();
+  delta_off_[n] = delta_species_.size();
+
+  // --- dependency graph: j -> reactions reading a species j changes ---
+  std::vector<std::vector<std::uint32_t>> readers(species_count_);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = reactant_off_[j]; i < reactant_off_[j + 1]; ++i) {
+      readers[reactant_species_[i]].push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  dep_off_.assign(n + 1, 0);
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t tick = 0;
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t j = 0; j < n; ++j) {
+    dep_off_[j] = dep_.size();
+    ++tick;
+    scratch.clear();
+    for (std::size_t i = delta_off_[j]; i < delta_off_[j + 1]; ++i) {
+      for (const std::uint32_t k : readers[delta_species_[i]]) {
+        if (stamp[k] != tick) {
+          stamp[k] = tick;
+          scratch.push_back(k);
+        }
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    dep_.insert(dep_.end(), scratch.begin(), scratch.end());
+    max_degree_ = std::max(max_degree_, scratch.size());
+  }
+  dep_off_[n] = dep_.size();
+}
+
+}  // namespace crnkit::sim

@@ -1,0 +1,126 @@
+#include "sim/ensemble.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "math/check.h"
+#include "sim/gillespie.h"
+#include "sim/next_reaction.h"
+#include "sim/population.h"
+#include "sim/scheduler.h"
+
+namespace crnkit::sim {
+
+std::string EnsembleResult::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "trajectories=" << trajectories.size() << " silent=" << silent_count
+     << " events=" << total_events << " wall=" << wall_seconds << "s ("
+     << events_per_second() << " ev/s)";
+  if (!output_consistent) {
+    os << " OUTPUT-INCONSISTENT";
+  }
+  return os.str();
+}
+
+EnsembleRunner::EnsembleRunner(const crn::Crn& crn)
+    : crn_(&crn), compiled_(crn) {}
+
+EnsembleResult EnsembleRunner::run(const crn::Config& initial,
+                                   const EnsembleOptions& options) const {
+  require(options.trajectories >= 0,
+          "EnsembleRunner::run: negative trajectory count");
+  EnsembleResult result;
+  const std::size_t count = static_cast<std::size_t>(options.trajectories);
+  result.trajectories.resize(count);
+  if (count == 0) return result;
+
+  const auto run_one = [&](std::size_t i) {
+    Rng rng(Rng::derive_stream_seed(options.seed, i));
+    Trajectory& out = result.trajectories[i];
+    switch (options.method) {
+      case EnsembleMethod::kSilentRun: {
+        const auto r = run_until_silent(compiled_, initial, rng,
+                                        SilentRunOptions{options.max_steps});
+        out = {r.final_config, r.steps, 0.0, r.silent};
+        break;
+      }
+      case EnsembleMethod::kDirect:
+      case EnsembleMethod::kNextReaction: {
+        GillespieOptions go;
+        go.max_events = options.max_events;
+        go.max_time = options.max_time;
+        go.rates = options.rates;
+        const auto r = options.method == EnsembleMethod::kDirect
+                           ? simulate_direct(compiled_, initial, rng, go)
+                           : simulate_next_reaction(compiled_, initial, rng,
+                                                    go);
+        out = {r.final_config, r.events, r.time, r.exhausted};
+        break;
+      }
+      case EnsembleMethod::kPopulation: {
+        const auto r =
+            run_population(*crn_, initial, rng,
+                           PopulationRunOptions{options.max_interactions});
+        out = {r.final_config, r.interactions, r.parallel_time, r.silent};
+        break;
+      }
+    }
+  };
+
+  unsigned workers = options.threads > 0
+                         ? static_cast<unsigned>(options.threads)
+                         : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > count) workers = static_cast<unsigned>(count);
+
+  const auto start = std::chrono::steady_clock::now();
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+  // Deterministic aggregation, in trajectory order.
+  bool first_output = true;
+  for (const Trajectory& t : result.trajectories) {
+    result.total_events += t.events;
+    result.events_stats.add(static_cast<double>(t.events));
+    result.time_stats.add(t.time);
+    if (!t.silent) continue;
+    ++result.silent_count;
+    if (!crn_->output().has_value()) continue;
+    const math::Int y = crn_->output_count(t.final_config);
+    result.output_stats.add(static_cast<double>(y));
+    if (first_output) {
+      result.output = y;
+      first_output = false;
+    } else if (y != result.output) {
+      result.output_consistent = false;
+    }
+  }
+  return result;
+}
+
+EnsembleResult EnsembleRunner::run_for_input(
+    const fn::Point& x, const EnsembleOptions& options) const {
+  return run(crn_->initial_configuration(x), options);
+}
+
+}  // namespace crnkit::sim

@@ -1,0 +1,110 @@
+// EnsembleRunner: batched high-throughput stochastic simulation.
+//
+// Compiles a crn::Crn once into a CompiledNetwork, then runs many
+// independent trajectories across std::thread workers. Each trajectory i
+// gets its own Rng seeded by Rng::derive_stream_seed(options.seed, i), and
+// results are collected into a slot indexed by i — so the full result set
+// (and every aggregate computed from it) is bit-identical for a fixed seed
+// regardless of the thread count. Aggregation (sim::SampleStats over
+// steps/events, SSA or parallel time, and output counts) happens after the
+// join, in trajectory order.
+//
+// This is the production path for verify/simcheck (randomized stable-
+// computation checking on compositions too large to enumerate) and for the
+// bench tables: one compile, N trajectories, all cores.
+#ifndef CRNKIT_SIM_ENSEMBLE_H_
+#define CRNKIT_SIM_ENSEMBLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "fn/function.h"
+#include "sim/compiled_network.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace crnkit::sim {
+
+/// Which per-trajectory simulator the ensemble batches.
+enum class EnsembleMethod {
+  kSilentRun,     ///< random silent-run scheduler (step counts)
+  kDirect,        ///< Gillespie direct method on the compiled network
+  kNextReaction,  ///< Gibson-Bruck next-reaction method
+  kPopulation,    ///< population-protocol pair scheduler (parallel time)
+};
+
+struct EnsembleOptions {
+  int trajectories = 1;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+  std::uint64_t seed = 0x5eed5eedULL;
+  EnsembleMethod method = EnsembleMethod::kSilentRun;
+  /// Budgets, by method: silent-run steps, SSA events, pair interactions.
+  std::uint64_t max_steps = 5'000'000;
+  std::uint64_t max_events = 10'000'000;
+  std::uint64_t max_interactions = 50'000'000;
+  double max_time = 1e300;
+  /// Per-reaction SSA rate constants; empty means all 1.0.
+  std::vector<double> rates;
+};
+
+/// One trajectory's outcome. `events` counts steps / SSA events / pair
+/// interactions depending on the method; `time` is SSA time (kDirect,
+/// kNextReaction) or parallel time (kPopulation), 0 for kSilentRun.
+struct Trajectory {
+  crn::Config final_config;
+  std::uint64_t events = 0;
+  double time = 0.0;
+  bool silent = false;  ///< reached a silent configuration within budget
+};
+
+struct EnsembleResult {
+  std::vector<Trajectory> trajectories;  ///< indexed by trajectory id
+  std::uint64_t total_events = 0;
+  double wall_seconds = 0.0;  ///< wall time of the whole batch
+  int silent_count = 0;
+
+  SampleStats events_stats;  ///< per-trajectory steps/events/interactions
+  SampleStats time_stats;    ///< per-trajectory SSA or parallel time
+  SampleStats output_stats;  ///< per-trajectory output counts (if declared)
+
+  /// All silent trajectories agreed on the output count.
+  bool output_consistent = true;
+  math::Int output = 0;  ///< the common output (meaningful if consistent)
+
+  /// Aggregate throughput of the batch.
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_events) / wall_seconds
+               : 0.0;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class EnsembleRunner {
+ public:
+  /// Compiles `crn`. The Crn must outlive the runner (the population
+  /// scheduler and output accounting read it).
+  explicit EnsembleRunner(const crn::Crn& crn);
+
+  [[nodiscard]] const CompiledNetwork& compiled() const { return compiled_; }
+
+  /// Runs options.trajectories independent trajectories from `initial`.
+  [[nodiscard]] EnsembleResult run(const crn::Config& initial,
+                                   const EnsembleOptions& options) const;
+
+  /// Runs from the paper's initial configuration I_x.
+  [[nodiscard]] EnsembleResult run_for_input(
+      const fn::Point& x, const EnsembleOptions& options) const;
+
+ private:
+  const crn::Crn* crn_;
+  CompiledNetwork compiled_;
+};
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_ENSEMBLE_H_

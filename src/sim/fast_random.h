@@ -1,0 +1,142 @@
+// Fast random primitives for the simulation hot loops.
+//
+// The public Rng (mt19937_64 + std::distributions) costs ~30ns per SSA
+// event in distribution overhead alone. The engines instead derive a
+// FastStream from the caller's Rng at simulation start: a xoshiro256++
+// generator (~2ns per draw) seeded by four mt19937_64 draws, plus a
+// Marsaglia-Tsang ziggurat sampler for Exp(1) (~4ns vs ~18ns for
+// std::exponential_distribution). Everything remains deterministic in the
+// caller's seed: the derived stream is a pure function of the Rng state.
+//
+// The ziggurat tables are built once per process (magic-static init) from
+// first principles; the layer recursion is the standard one for
+// f(x) = exp(-x) with 256 strips and tail cutoff R.
+#ifndef CRNKIT_SIM_FAST_RANDOM_H_
+#define CRNKIT_SIM_FAST_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace crnkit::sim {
+
+/// xoshiro256++ (Blackman-Vigna), a small-state generator whose full
+/// 256-bit state is seeded from the caller's Rng.
+class FastStream {
+ public:
+  explicit FastStream(Rng& rng) {
+    // Four mt19937_64 draws; xoshiro must not start all-zero (mt19937_64
+    // cannot emit four zeros in a row from a valid state, but guard
+    // anyway).
+    for (int tries = 0; tries < 4; ++tries) {
+      for (std::uint64_t& word : s_) word = rng.engine()();
+      if ((s_[0] | s_[1] | s_[2] | s_[3]) != 0) break;
+    }
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1), 53 random bits.
+  double uniform() { return static_cast<double>((*this)() >> 11) * kInv53; }
+
+  /// Uniform index in [0, bound), bound > 0 — Lemire's unbiased
+  /// multiply-shift rejection method (no division on the hot path).
+  std::size_t uniform_index(std::size_t bound) {
+    const std::uint64_t n = bound;
+    std::uint64_t x = (*this)();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<unsigned __int128>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::size_t>(m >> 64);
+  }
+
+ private:
+  static constexpr double kInv53 = 1.0 / 9007199254740992.0;  // 2^-53
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+/// Ziggurat sampler for the Exp(1) distribution.
+class ExpZiggurat {
+ public:
+  static const ExpZiggurat& instance() {
+    static const ExpZiggurat z;
+    return z;
+  }
+
+  /// One Exp(1) variate from `stream`.
+  double sample(FastStream& stream) const {
+    for (;;) {
+      const std::uint64_t u = stream();
+      const std::size_t i = u & 255u;
+      const std::uint64_t r = u >> 8;  // 56 uniform bits
+      const double x = static_cast<double>(r) * we_[i];
+      if (r < ke_[i]) return x;  // inside the strip: ~98.9% of draws
+      if (i == 0) {
+        // Tail beyond R: Exp(1) memorylessness, x = R + Exp(1).
+        return kR - std::log(1.0 - stream.uniform());
+      }
+      if (fe_[i] + stream.uniform() * (fe_[i - 1] - fe_[i]) <
+          std::exp(-x)) {
+        return x;  // wedge acceptance
+      }
+    }
+  }
+
+ private:
+  static constexpr double kR = 7.69711747013104972;  // tail cutoff
+  static constexpr double kV = 3.949659822581572e-3;  // strip area
+  static constexpr double kM = 72057594037927936.0;   // 2^56
+
+  ExpZiggurat() {
+    const double f_r = std::exp(-kR);
+    const double q = kV / f_r;  // virtual width of the base strip
+    ke_[0] = static_cast<std::uint64_t>((kR / q) * kM);
+    ke_[1] = 0;
+    we_[0] = q / kM;
+    we_[255] = kR / kM;
+    fe_[0] = 1.0;
+    fe_[255] = f_r;
+    double x_next = kR;
+    for (int i = 254; i >= 1; --i) {
+      const double x = -std::log(kV / x_next + std::exp(-x_next));
+      ke_[i + 1] = static_cast<std::uint64_t>((x / x_next) * kM);
+      x_next = x;
+      fe_[i] = std::exp(-x);
+      we_[i] = x / kM;
+    }
+  }
+
+  std::uint64_t ke_[256];
+  double we_[256];
+  double fe_[256];
+};
+
+/// Exp(rate) variate, rate > 0.
+inline double fast_exponential(FastStream& stream, double rate) {
+  return ExpZiggurat::instance().sample(stream) / rate;
+}
+
+}  // namespace crnkit::sim
+
+#endif  // CRNKIT_SIM_FAST_RANDOM_H_

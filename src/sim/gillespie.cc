@@ -1,6 +1,9 @@
 #include "sim/gillespie.h"
 
+#include <algorithm>
+
 #include "math/check.h"
+#include "sim/fast_random.h"
 
 namespace crnkit::sim {
 
@@ -17,12 +20,225 @@ double propensity(const crn::Reaction& reaction, const crn::Config& config) {
   return a;
 }
 
+namespace {
+
+/// Binary sum tree over per-reaction propensities: point update and
+/// proportional sampling in O(log R). Parent nodes are recomputed from
+/// their children on every update, so node values are exact sums of the
+/// current leaves — no incremental drift.
+class PropensityTree {
+ public:
+  explicit PropensityTree(std::size_t n) : n_(n) {
+    leaves_ = 1;
+    while (leaves_ < n_) leaves_ <<= 1;
+    if (leaves_ == 0) leaves_ = 1;
+    tree_.assign(2 * leaves_, 0.0);
+  }
+
+  void set(std::size_t j, double value) {
+    std::size_t i = leaves_ + j;
+    tree_[i] = value;
+    for (i >>= 1; i >= 1; i >>= 1) {
+      tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+    }
+  }
+
+  [[nodiscard]] double get(std::size_t j) const {
+    return tree_[leaves_ + j];
+  }
+
+  [[nodiscard]] double total() const { return tree_[1]; }
+
+  /// Index of the leaf containing prefix mass `x` in [0, total()).
+  [[nodiscard]] std::size_t sample(double x) const {
+    std::size_t i = 1;
+    while (i < leaves_) {
+      i *= 2;
+      if (x >= tree_[i]) {
+        x -= tree_[i];
+        ++i;
+      }
+    }
+    std::size_t j = i - leaves_;
+    if (j >= n_) j = n_ - 1;  // float edge case at the right boundary
+    return j;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t leaves_;
+  std::vector<double> tree_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Direct method with a flat propensity array: O(deg) dependency updates,
+/// incremental total (exactly resynced every kResyncPeriod events so
+/// floating drift never accumulates), and linear-scan selection. The scan
+/// is O(R) but branch-light and cache-local — fastest for the small-R
+/// networks the compilers emit. Used when R <= kSmallNetwork.
+constexpr std::size_t kSmallNetwork = 64;
+constexpr std::uint64_t kResyncPeriod = 8192;
+
+GillespieResult direct_flat(const CompiledNetwork& net,
+                            const crn::Config& initial, Rng& rng,
+                            const GillespieOptions& options) {
+  const std::size_t n = net.reaction_count();
+  GillespieResult result;
+  result.final_config = initial;
+  FastStream stream(rng);
+  const ExpZiggurat& zig = ExpZiggurat::instance();
+
+  const bool has_rates = !options.rates.empty();
+  std::vector<double> a(n);
+  std::size_t num_active = 0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double rate = has_rates ? options.rates[j] : 1.0;
+    a[j] = rate * net.propensity(j, result.final_config);
+    if (a[j] > 0.0) ++num_active;
+    total += a[j];
+  }
+
+  const bool has_observer = static_cast<bool>(options.observer);
+  std::uint64_t until_resync = kResyncPeriod;
+  while (result.events < options.max_events && result.time < options.max_time) {
+    if (num_active == 0) {
+      result.exhausted = true;
+      return result;
+    }
+    if (--until_resync == 0 || total <= 0.0) {
+      // Periodic exact resync (and immediately when drift would zero the
+      // total while reactions are still active).
+      total = 0.0;
+      for (std::size_t j = 0; j < n; ++j) total += a[j];
+      until_resync = kResyncPeriod;
+    }
+    result.time += zig.sample(stream) / total;
+    if (result.time >= options.max_time) break;
+
+    double u = stream.uniform() * total;
+    std::size_t pick = n;
+    std::size_t last_active = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (a[j] <= 0.0) continue;
+      last_active = j;
+      if (u < a[j]) {
+        pick = j;
+        break;
+      }
+      u -= a[j];
+    }
+    if (pick == n) pick = last_active;  // drift pushed u past the end
+
+    net.apply(pick, result.final_config);
+    ++result.events;
+    if (has_observer) options.observer(result.time, result.final_config);
+
+    for (const std::uint32_t k : net.dependents(pick)) {
+      const double a_old = a[k];
+      const double rate = has_rates ? options.rates[k] : 1.0;
+      const double a_new = rate * net.propensity(k, result.final_config);
+      if ((a_old > 0.0) != (a_new > 0.0)) {
+        num_active += (a_new > 0.0) ? 1 : -1;
+      }
+      a[k] = a_new;
+      total += a_new - a_old;
+    }
+  }
+  result.exhausted = num_active == 0;
+  return result;
+}
+
+GillespieResult direct_tree(const CompiledNetwork& net,
+                            const crn::Config& initial, Rng& rng,
+                            const GillespieOptions& options) {
+  const std::size_t n = net.reaction_count();
+  GillespieResult result;
+  result.final_config = initial;
+  FastStream stream(rng);
+  const ExpZiggurat& zig = ExpZiggurat::instance();
+
+  const bool has_rates = !options.rates.empty();
+  PropensityTree tree(n);
+  std::size_t num_active = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double rate = has_rates ? options.rates[j] : 1.0;
+    const double a = rate * net.propensity(j, result.final_config);
+    if (a > 0.0) ++num_active;
+    tree.set(j, a);
+  }
+
+  const bool has_observer = static_cast<bool>(options.observer);
+  while (result.events < options.max_events && result.time < options.max_time) {
+    if (num_active == 0) {
+      result.exhausted = true;
+      return result;
+    }
+    const double total = tree.total();
+    result.time += zig.sample(stream) / total;
+    if (result.time >= options.max_time) break;
+
+    std::size_t pick = tree.sample(stream.uniform() * total);
+    if (tree.get(pick) <= 0.0) {
+      // Floating-point boundary: fall back to the first active reaction.
+      for (pick = 0; pick < n && tree.get(pick) <= 0.0; ++pick) {
+      }
+      if (pick == n) {
+        result.exhausted = true;
+        return result;
+      }
+    }
+    net.apply(pick, result.final_config);
+    ++result.events;
+    if (has_observer) options.observer(result.time, result.final_config);
+
+    for (const std::uint32_t k : net.dependents(pick)) {
+      const double a_old = tree.get(k);
+      const double rate = has_rates ? options.rates[k] : 1.0;
+      const double a_new = rate * net.propensity(k, result.final_config);
+      if ((a_old > 0.0) != (a_new > 0.0)) {
+        num_active += (a_new > 0.0) ? 1 : -1;
+      }
+      tree.set(k, a_new);
+    }
+  }
+  result.exhausted = num_active == 0;
+  return result;
+}
+
+}  // namespace
+
+GillespieResult simulate_direct(const CompiledNetwork& net,
+                                const crn::Config& initial, Rng& rng,
+                                const GillespieOptions& options) {
+  const std::size_t n = net.reaction_count();
+  require(options.rates.empty() || options.rates.size() == n,
+          "simulate_direct: rates size mismatch");
+  if (n == 0) {
+    GillespieResult result;
+    result.final_config = initial;
+    result.exhausted = true;
+    return result;
+  }
+  return n <= kSmallNetwork ? direct_flat(net, initial, rng, options)
+                            : direct_tree(net, initial, rng, options);
+}
+
 GillespieResult simulate_direct(const crn::Crn& crn,
                                 const crn::Config& initial, Rng& rng,
                                 const GillespieOptions& options) {
+  return simulate_direct(CompiledNetwork(crn), initial, rng, options);
+}
+
+GillespieResult simulate_direct_dense(const crn::Crn& crn,
+                                      const crn::Config& initial, Rng& rng,
+                                      const GillespieOptions& options) {
   require(options.rates.empty() ||
               options.rates.size() == crn.reactions().size(),
-          "simulate_direct: rates size mismatch");
+          "simulate_direct_dense: rates size mismatch");
   GillespieResult result;
   result.final_config = initial;
 

@@ -6,6 +6,14 @@
 //   a_j(c) = k_j * prod_s C(c_s, r_{j,s})
 // i.e. the number of distinct reactant combinations. The next reaction fires
 // after an Exp(sum_j a_j) delay and is chosen proportionally to a_j.
+//
+// Two implementations of the same process law:
+//  * simulate_direct — the production path, on a CompiledNetwork: after an
+//    event only the propensities of dependent reactions are recomputed
+//    (O(deg) instead of O(R)) and the proportional pick runs over a binary
+//    sum tree (O(log R) instead of O(R)).
+//  * simulate_direct_dense — the original dense implementation, kept as the
+//    cross-validation reference and benchmark baseline.
 #ifndef CRNKIT_SIM_GILLESPIE_H_
 #define CRNKIT_SIM_GILLESPIE_H_
 
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "crn/network.h"
+#include "sim/compiled_network.h"
 #include "sim/rng.h"
 
 namespace crnkit::sim {
@@ -40,12 +49,30 @@ struct GillespieResult {
 [[nodiscard]] double propensity(const crn::Reaction& reaction,
                                 const crn::Config& config);
 
-/// Direct-method SSA from `initial`.
+/// Direct-method SSA from `initial` on a precompiled network. Use this
+/// overload (or an EnsembleRunner) when simulating the same network many
+/// times.
+[[nodiscard]] GillespieResult simulate_direct(const CompiledNetwork& net,
+                                              const crn::Config& initial,
+                                              Rng& rng,
+                                              const GillespieOptions& options =
+                                                  {});
+
+/// Direct-method SSA from `initial`; compiles `crn` and runs the compiled
+/// engine.
 [[nodiscard]] GillespieResult simulate_direct(const crn::Crn& crn,
                                               const crn::Config& initial,
                                               Rng& rng,
                                               const GillespieOptions& options =
                                                   {});
+
+/// The original dense direct method: every propensity recomputed from
+/// crn::Reaction terms on every event. Reference implementation for
+/// cross-validation tests and the benchmark baseline; prefer
+/// simulate_direct.
+[[nodiscard]] GillespieResult simulate_direct_dense(
+    const crn::Crn& crn, const crn::Config& initial, Rng& rng,
+    const GillespieOptions& options = {});
 
 }  // namespace crnkit::sim
 

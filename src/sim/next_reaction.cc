@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "math/check.h"
+#include "sim/fast_random.h"
 
 namespace crnkit::sim {
 
@@ -71,13 +72,12 @@ class IndexedPriorityQueue {
 
 }  // namespace
 
-GillespieResult simulate_next_reaction(const crn::Crn& crn,
+GillespieResult simulate_next_reaction(const CompiledNetwork& net,
                                        const crn::Config& initial, Rng& rng,
                                        const GillespieOptions& options) {
-  require(options.rates.empty() ||
-              options.rates.size() == crn.reactions().size(),
+  const std::size_t n = net.reaction_count();
+  require(options.rates.empty() || options.rates.size() == n,
           "simulate_next_reaction: rates size mismatch");
-  const std::size_t n = crn.reactions().size();
   GillespieResult result;
   result.final_config = initial;
   if (n == 0) {
@@ -89,40 +89,14 @@ GillespieResult simulate_next_reaction(const crn::Crn& crn,
     return options.rates.empty() ? 1.0 : options.rates[j];
   };
 
-  // Dependency graph: reaction j -> reactions whose propensity can change
-  // when j fires (those consuming/producing a species j touches).
-  std::vector<std::vector<std::size_t>> affects(n);
-  {
-    std::vector<std::vector<std::size_t>> readers(crn.species_count());
-    for (std::size_t j = 0; j < n; ++j) {
-      for (const crn::Term& t : crn.reactions()[j].reactants()) {
-        readers[static_cast<std::size_t>(t.species)].push_back(j);
-      }
-    }
-    for (std::size_t j = 0; j < n; ++j) {
-      std::vector<bool> seen(n, false);
-      auto touch = [&](crn::SpeciesId s) {
-        for (const std::size_t k : readers[static_cast<std::size_t>(s)]) {
-          if (!seen[k]) {
-            seen[k] = true;
-            affects[j].push_back(k);
-          }
-        }
-      };
-      for (const crn::Term& t : crn.reactions()[j].reactants()) {
-        touch(t.species);
-      }
-      for (const crn::Term& t : crn.reactions()[j].products()) {
-        touch(t.species);
-      }
-    }
-  }
+  FastStream stream(rng);
+  auto exp_draw = [&](double rate) { return fast_exponential(stream, rate); };
 
   std::vector<double> a(n);
   IndexedPriorityQueue queue(n);
   for (std::size_t j = 0; j < n; ++j) {
-    a[j] = rate_of(j) * propensity(crn.reactions()[j], result.final_config);
-    queue.update(j, a[j] > 0.0 ? rng.exponential(a[j]) : kInf);
+    a[j] = rate_of(j) * net.propensity(j, result.final_config);
+    queue.update(j, a[j] > 0.0 ? exp_draw(a[j]) : kInf);
   }
 
   while (result.events < options.max_events) {
@@ -137,20 +111,22 @@ GillespieResult simulate_next_reaction(const crn::Crn& crn,
       break;
     }
     result.time = t_next;
-    crn.reactions()[j].apply_in_place(result.final_config);
+    net.apply(j, result.final_config);
     ++result.events;
     if (options.observer) options.observer(result.time, result.final_config);
 
-    // The fired reaction always draws a fresh exponential (even when its
-    // species sets make it miss its own dependency list, e.g. reactions
-    // with an empty reactant side).
-    a[j] = rate_of(j) * propensity(crn.reactions()[j], result.final_config);
-    queue.update(j,
-                 a[j] > 0.0 ? result.time + rng.exponential(a[j]) : kInf);
-    for (const std::size_t k : affects[j]) {
-      if (k == j) continue;
+    bool redrew_self = false;
+    for (const std::uint32_t k : net.dependents(j)) {
+      if (k == j) {
+        // The fired reaction always draws a fresh exponential.
+        a[j] = rate_of(j) * net.propensity(j, result.final_config);
+        queue.update(j,
+                     a[j] > 0.0 ? result.time + exp_draw(a[j]) : kInf);
+        redrew_self = true;
+        continue;
+      }
       const double a_old = a[k];
-      a[k] = rate_of(k) * propensity(crn.reactions()[k], result.final_config);
+      a[k] = rate_of(k) * net.propensity(k, result.final_config);
       if (a[k] <= 0.0) {
         queue.update(k, kInf);
       } else if (a_old > 0.0 && queue.key(k) != kInf) {
@@ -159,12 +135,25 @@ GillespieResult simulate_next_reaction(const crn::Crn& crn,
                      result.time + (a_old / a[k]) * (queue.key(k) -
                                                      result.time));
       } else {
-        queue.update(k, result.time + rng.exponential(a[k]));
+        queue.update(k, result.time + exp_draw(a[k]));
       }
     }
+    if (!redrew_self) {
+      // j's propensity is unchanged (its deltas miss its own reactants,
+      // e.g. catalytic or source reactions), but its clock has fired and
+      // must be rescheduled with a fresh exponential.
+      queue.update(j,
+                   a[j] > 0.0 ? result.time + exp_draw(a[j]) : kInf);
+    }
   }
-  result.exhausted = crn.is_silent(result.final_config);
+  result.exhausted = queue.key(queue.top()) == kInf;
   return result;
+}
+
+GillespieResult simulate_next_reaction(const crn::Crn& crn,
+                                       const crn::Config& initial, Rng& rng,
+                                       const GillespieOptions& options) {
+  return simulate_next_reaction(CompiledNetwork(crn), initial, rng, options);
 }
 
 }  // namespace crnkit::sim

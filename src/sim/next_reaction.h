@@ -4,6 +4,9 @@
 // species with the fired one. Asymptotically faster for CRNs with many
 // reactions touching disjoint species — e.g. the composed circuits the
 // Theorem 5.2 compiler emits.
+//
+// Runs on CompiledNetwork: the dependency graph is precompiled once per
+// network instead of rebuilt per simulation call.
 #ifndef CRNKIT_SIM_NEXT_REACTION_H_
 #define CRNKIT_SIM_NEXT_REACTION_H_
 
@@ -11,8 +14,14 @@
 
 namespace crnkit::sim {
 
-/// Next-reaction-method SSA from `initial`. Semantically identical to
-/// simulate_direct (same exact process law, different random stream usage).
+/// Next-reaction-method SSA from `initial` on a precompiled network.
+/// Semantically identical to simulate_direct (same exact process law,
+/// different random stream usage).
+[[nodiscard]] GillespieResult simulate_next_reaction(
+    const CompiledNetwork& net, const crn::Config& initial, Rng& rng,
+    const GillespieOptions& options = {});
+
+/// Convenience overload: compiles `crn` and runs the compiled engine.
 [[nodiscard]] GillespieResult simulate_next_reaction(
     const crn::Crn& crn, const crn::Config& initial, Rng& rng,
     const GillespieOptions& options = {});

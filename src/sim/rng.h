@@ -29,6 +29,17 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  /// Decorrelated per-stream seed for stream `index` of a base seed
+  /// (splitmix64 finalizer). Used by the ensemble runner so trajectory i's
+  /// random stream depends only on (base, i) — never on thread scheduling.
+  [[nodiscard]] static std::uint64_t derive_stream_seed(std::uint64_t base,
+                                                        std::uint64_t index) {
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
  private:
   std::mt19937_64 engine_;
 };

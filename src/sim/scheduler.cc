@@ -1,32 +1,68 @@
 #include "sim/scheduler.h"
 
+#include <vector>
+
+#include "sim/fast_random.h"
+
 namespace crnkit::sim {
 
-SilentRunResult run_until_silent(const crn::Crn& crn,
+SilentRunResult run_until_silent(const CompiledNetwork& net,
                                  const crn::Config& initial, Rng& rng,
                                  const SilentRunOptions& options) {
   SilentRunResult result;
   result.final_config = initial;
-  std::vector<std::size_t> applicable;
-  applicable.reserve(crn.reactions().size());
-  for (std::uint64_t step = 0; step < options.max_steps; ++step) {
-    applicable.clear();
-    for (std::size_t i = 0; i < crn.reactions().size(); ++i) {
-      if (crn.reactions()[i].applicable(result.final_config)) {
-        applicable.push_back(i);
-      }
+  FastStream stream(rng);
+  const std::size_t n = net.reaction_count();
+
+  // Live applicable set: a swap-remove vector plus an index map, so uniform
+  // sampling is O(1) and membership updates are O(1).
+  std::vector<std::uint32_t> live;
+  constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> pos(n, kAbsent);
+  live.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (net.applicable(j, result.final_config)) {
+      pos[j] = live.size();
+      live.push_back(static_cast<std::uint32_t>(j));
     }
-    if (applicable.empty()) {
+  }
+  auto set_live = [&](std::size_t j, bool applicable) {
+    const bool was = pos[j] != kAbsent;
+    if (applicable == was) return;
+    if (applicable) {
+      pos[j] = live.size();
+      live.push_back(static_cast<std::uint32_t>(j));
+    } else {
+      const std::size_t hole = pos[j];
+      const std::uint32_t moved = live.back();
+      live[hole] = moved;
+      pos[moved] = hole;
+      live.pop_back();
+      pos[j] = kAbsent;
+    }
+  };
+
+  for (std::uint64_t step = 0; step < options.max_steps; ++step) {
+    if (live.empty()) {
       result.silent = true;
       result.steps = step;
       return result;
     }
-    const std::size_t pick = applicable[rng.uniform_index(applicable.size())];
-    crn.reactions()[pick].apply_in_place(result.final_config);
+    const std::size_t pick = live[stream.uniform_index(live.size())];
+    net.apply(pick, result.final_config);
+    for (const std::uint32_t k : net.dependents(pick)) {
+      set_live(k, net.applicable(k, result.final_config));
+    }
   }
   result.steps = options.max_steps;
-  result.silent = crn.is_silent(result.final_config);
+  result.silent = live.empty();
   return result;
+}
+
+SilentRunResult run_until_silent(const crn::Crn& crn,
+                                 const crn::Config& initial, Rng& rng,
+                                 const SilentRunOptions& options) {
+  return run_until_silent(CompiledNetwork(crn), initial, rng, options);
 }
 
 }  // namespace crnkit::sim

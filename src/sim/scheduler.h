@@ -8,12 +8,17 @@
 // exhaustive checker in verify/ proves this for small inputs; the scheduler
 // scales the check to compositions whose reachable space is too large to
 // enumerate.
+//
+// Runs on CompiledNetwork: the set of applicable reactions is maintained
+// incrementally through the dependency graph (O(deg) per step instead of
+// O(R)), with O(1) uniform sampling from the live set.
 #ifndef CRNKIT_SIM_SCHEDULER_H_
 #define CRNKIT_SIM_SCHEDULER_H_
 
 #include <cstdint>
 
 #include "crn/network.h"
+#include "sim/compiled_network.h"
 #include "sim/rng.h"
 
 namespace crnkit::sim {
@@ -29,7 +34,12 @@ struct SilentRunOptions {
 };
 
 /// Runs from `initial` until silence (uniform choice among applicable
-/// reactions at every step).
+/// reactions at every step) on a precompiled network.
+[[nodiscard]] SilentRunResult run_until_silent(
+    const CompiledNetwork& net, const crn::Config& initial, Rng& rng,
+    const SilentRunOptions& options = {});
+
+/// Convenience overload: compiles `crn` and runs the compiled engine.
 [[nodiscard]] SilentRunResult run_until_silent(
     const crn::Crn& crn, const crn::Config& initial, Rng& rng,
     const SilentRunOptions& options = {});

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "math/check.h"
+#include "sim/ensemble.h"
 
 namespace crnkit::sim {
 
@@ -44,23 +45,20 @@ std::string SampleStats::to_string() const {
 ConvergenceStats measure_convergence(const crn::Crn& crn, const fn::Point& x,
                                      int trials, std::uint64_t seed_base) {
   require(trials >= 1, "measure_convergence: need at least one trial");
+  const EnsembleRunner runner(crn);
+  EnsembleOptions options;
+  options.trajectories = trials;
+  options.seed = seed_base;
+  options.method = EnsembleMethod::kSilentRun;
+  const EnsembleResult batch = runner.run_for_input(x, options);
+
   ConvergenceStats stats;
-  bool first = true;
-  for (int t = 0; t < trials; ++t) {
-    Rng rng(seed_base + 7919 * static_cast<std::uint64_t>(t));
-    const auto run =
-        run_until_silent(crn, crn.initial_configuration(x), rng);
-    ++stats.trials;
-    if (!run.silent) continue;
-    ++stats.silent_trials;
-    stats.steps.add(static_cast<double>(run.steps));
-    const math::Int y = crn.output_count(run.final_config);
-    if (first) {
-      stats.output = y;
-      first = false;
-    } else if (y != stats.output) {
-      stats.output_consistent = false;
-    }
+  stats.trials = static_cast<int>(batch.trajectories.size());
+  stats.silent_trials = batch.silent_count;
+  stats.output_consistent = batch.output_consistent;
+  stats.output = batch.output;
+  for (const Trajectory& run : batch.trajectories) {
+    if (run.silent) stats.steps.add(static_cast<double>(run.events));
   }
   return stats;
 }
@@ -70,16 +68,20 @@ PopulationStats measure_population_convergence(const crn::Crn& crn,
                                                std::uint64_t seed_base) {
   require(trials >= 1,
           "measure_population_convergence: need at least one trial");
+  const EnsembleRunner runner(crn);
+  EnsembleOptions options;
+  options.trajectories = trials;
+  options.seed = seed_base;
+  options.method = EnsembleMethod::kPopulation;
+  const EnsembleResult batch = runner.run_for_input(x, options);
+
   PopulationStats stats;
-  for (int t = 0; t < trials; ++t) {
-    Rng rng(seed_base + 104729 * static_cast<std::uint64_t>(t));
-    const auto run =
-        run_population(crn, crn.initial_configuration(x), rng);
-    ++stats.trials;
+  stats.trials = static_cast<int>(batch.trajectories.size());
+  stats.silent_trials = batch.silent_count;
+  for (const Trajectory& run : batch.trajectories) {
     if (!run.silent) continue;
-    ++stats.silent_trials;
-    stats.parallel_time.add(run.parallel_time);
-    stats.interactions.add(static_cast<double>(run.interactions));
+    stats.parallel_time.add(run.time);
+    stats.interactions.add(static_cast<double>(run.events));
   }
   return stats;
 }

@@ -14,20 +14,27 @@ std::string SimCheckResult::summary() const {
   return os.str();
 }
 
-SimCheckResult sim_check_point(const crn::Crn& crn,
-                               const fn::DiscreteFunction& f,
-                               const fn::Point& x,
-                               const SimCheckOptions& options) {
-  require(crn.input_arity() == f.dimension(),
-          "sim_check_point: arity mismatch");
+namespace {
+
+/// Checks one input point through an already-compiled ensemble runner, so
+/// grid/point-list sweeps compile the network exactly once.
+SimCheckResult check_point_with(const crn::Crn& crn,
+                                const sim::EnsembleRunner& runner,
+                                const fn::DiscreteFunction& f,
+                                const fn::Point& x,
+                                const SimCheckOptions& options) {
   SimCheckResult result;
   const math::Int expected = f(x);
-  for (int trial = 0; trial < options.trials_per_point; ++trial) {
-    sim::Rng rng(options.seed + 0x9e37 * static_cast<std::uint64_t>(trial) +
-                 31 * static_cast<std::uint64_t>(result.trials));
-    const auto run =
-        sim::run_until_silent(crn, crn.initial_configuration(x), rng,
-                              sim::SilentRunOptions{options.max_steps});
+
+  sim::EnsembleOptions ensemble;
+  ensemble.trajectories = options.trials_per_point;
+  ensemble.threads = options.threads;
+  ensemble.seed = options.seed;
+  ensemble.method = sim::EnsembleMethod::kSilentRun;
+  ensemble.max_steps = options.max_steps;
+  const sim::EnsembleResult batch = runner.run_for_input(x, ensemble);
+
+  for (const sim::Trajectory& run : batch.trajectories) {
     ++result.trials;
     if (!run.silent) continue;  // inconclusive trial
     ++result.silent_trials;
@@ -47,8 +54,6 @@ SimCheckResult sim_check_point(const crn::Crn& crn,
   return result;
 }
 
-namespace {
-
 void merge(SimCheckResult& into, const SimCheckResult& part) {
   into.ok = into.ok && part.ok;
   into.trials += part.trials;
@@ -60,15 +65,28 @@ void merge(SimCheckResult& into, const SimCheckResult& part) {
 
 }  // namespace
 
+SimCheckResult sim_check_point(const crn::Crn& crn,
+                               const fn::DiscreteFunction& f,
+                               const fn::Point& x,
+                               const SimCheckOptions& options) {
+  require(crn.input_arity() == f.dimension(),
+          "sim_check_point: arity mismatch");
+  const sim::EnsembleRunner runner(crn);
+  return check_point_with(crn, runner, f, x, options);
+}
+
 SimCheckResult sim_check_grid(const crn::Crn& crn,
                               const fn::DiscreteFunction& f,
                               math::Int grid_max,
                               const SimCheckOptions& options) {
+  require(crn.input_arity() == f.dimension(),
+          "sim_check_grid: arity mismatch");
+  const sim::EnsembleRunner runner(crn);
   SimCheckResult result;
   geom::for_each_grid_point(f.dimension(), grid_max,
                             [&](const std::vector<math::Int>& x) {
                               merge(result,
-                                    sim_check_point(crn, f, x, options));
+                                    check_point_with(crn, runner, f, x, options));
                             });
   return result;
 }
@@ -77,9 +95,12 @@ SimCheckResult sim_check_points(const crn::Crn& crn,
                                 const fn::DiscreteFunction& f,
                                 const std::vector<fn::Point>& points,
                                 const SimCheckOptions& options) {
+  require(crn.input_arity() == f.dimension(),
+          "sim_check_points: arity mismatch");
+  const sim::EnsembleRunner runner(crn);
   SimCheckResult result;
   for (const fn::Point& x : points) {
-    merge(result, sim_check_point(crn, f, x, options));
+    merge(result, check_point_with(crn, runner, f, x, options));
   }
   return result;
 }

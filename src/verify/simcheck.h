@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "fn/function.h"
-#include "sim/scheduler.h"
+#include "sim/ensemble.h"
 
 namespace crnkit::verify {
 
@@ -31,6 +31,9 @@ struct SimCheckOptions {
   int trials_per_point = 5;
   std::uint64_t max_steps = 5'000'000;
   std::uint64_t seed = 1;
+  /// Worker threads for the trial batch; 0 means all hardware threads.
+  /// Results are bit-identical for a fixed seed regardless of this value.
+  int threads = 0;
 };
 
 /// Randomized check of `crn` against f on a single input x.

@@ -1,0 +1,149 @@
+// Tests for the batched ensemble runner: determinism regardless of thread
+// count, correct aggregation, and agreement with the per-call simulators.
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "crn/compose.h"
+#include "sim/ensemble.h"
+
+namespace crnkit::sim {
+namespace {
+
+using crn::Crn;
+using math::Int;
+
+EnsembleOptions silent_options(int trajectories, int threads,
+                               std::uint64_t seed) {
+  EnsembleOptions options;
+  options.trajectories = trajectories;
+  options.threads = threads;
+  options.seed = seed;
+  options.method = EnsembleMethod::kSilentRun;
+  return options;
+}
+
+TEST(Ensemble, BitReproducibleAcrossThreadCounts) {
+  const Crn crn = crn::concatenate(compile::min_crn(2),
+                                   compile::scale_crn(2), "2min");
+  const EnsembleRunner runner(crn);
+  const auto reference =
+      runner.run_for_input({20, 13}, silent_options(64, 1, 42));
+  for (const int threads : {2, 3, 8}) {
+    const auto batch =
+        runner.run_for_input({20, 13}, silent_options(64, threads, 42));
+    ASSERT_EQ(batch.trajectories.size(), reference.trajectories.size());
+    for (std::size_t i = 0; i < batch.trajectories.size(); ++i) {
+      EXPECT_EQ(batch.trajectories[i].final_config,
+                reference.trajectories[i].final_config)
+          << "trajectory " << i << " with " << threads << " threads";
+      EXPECT_EQ(batch.trajectories[i].events,
+                reference.trajectories[i].events);
+      EXPECT_EQ(batch.trajectories[i].silent,
+                reference.trajectories[i].silent);
+    }
+    EXPECT_EQ(batch.total_events, reference.total_events);
+    EXPECT_EQ(batch.silent_count, reference.silent_count);
+    EXPECT_DOUBLE_EQ(batch.events_stats.mean(),
+                     reference.events_stats.mean());
+    EXPECT_DOUBLE_EQ(batch.output_stats.mean(),
+                     reference.output_stats.mean());
+  }
+}
+
+TEST(Ensemble, SeedsChangeTrajectories) {
+  const Crn crn = compile::fig1_max_crn();
+  const EnsembleRunner runner(crn);
+  EnsembleOptions options;
+  options.trajectories = 8;
+  options.method = EnsembleMethod::kDirect;
+  options.seed = 1;
+  const auto a = runner.run_for_input({6, 9}, options);
+  options.seed = 2;
+  const auto b = runner.run_for_input({6, 9}, options);
+  // Outputs agree (max is stably computed) but the SSA completion times are
+  // continuous random variables and must differ between seeds.
+  EXPECT_EQ(a.output, b.output);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    if (a.trajectories[i].time != b.trajectories[i].time) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Ensemble, SilentRunComputesStableOutput) {
+  const Crn crn = crn::concatenate(compile::min_crn(2),
+                                   compile::scale_crn(2), "2min");
+  const EnsembleRunner runner(crn);
+  const auto batch = runner.run_for_input({5, 3}, silent_options(16, 0, 7));
+  EXPECT_EQ(batch.silent_count, 16);
+  EXPECT_TRUE(batch.output_consistent);
+  EXPECT_EQ(batch.output, 6);
+  EXPECT_EQ(batch.output_stats.min(), 6.0);
+  EXPECT_EQ(batch.output_stats.max(), 6.0);
+}
+
+TEST(Ensemble, DirectMethodBatchTracksEventsAndTime) {
+  const Crn crn = compile::scale_crn(2);
+  const EnsembleRunner runner(crn);
+  EnsembleOptions options;
+  options.trajectories = 10;
+  options.method = EnsembleMethod::kDirect;
+  options.seed = 3;
+  const auto batch = runner.run_for_input({25}, options);
+  EXPECT_EQ(batch.silent_count, 10);  // every trajectory exhausts
+  EXPECT_EQ(batch.total_events, 250u);  // 25 conversions each
+  EXPECT_TRUE(batch.output_consistent);
+  EXPECT_EQ(batch.output, 50);
+  for (const Trajectory& t : batch.trajectories) {
+    EXPECT_GT(t.time, 0.0);
+  }
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  EXPECT_GT(batch.events_per_second(), 0.0);
+}
+
+TEST(Ensemble, NextReactionMatchesDirectOutputs) {
+  const Crn crn = compile::min_crn(2);
+  const EnsembleRunner runner(crn);
+  for (const EnsembleMethod method :
+       {EnsembleMethod::kDirect, EnsembleMethod::kNextReaction}) {
+    EnsembleOptions options;
+    options.trajectories = 6;
+    options.method = method;
+    options.seed = 11;
+    const auto batch = runner.run_for_input({12, 30}, options);
+    EXPECT_EQ(batch.silent_count, 6);
+    EXPECT_TRUE(batch.output_consistent);
+    EXPECT_EQ(batch.output, 12);
+  }
+}
+
+TEST(Ensemble, PopulationMethodReportsParallelTime) {
+  const Crn crn = compile::min_crn(2);  // bimolecular already
+  const EnsembleRunner runner(crn);
+  EnsembleOptions options;
+  options.trajectories = 5;
+  options.method = EnsembleMethod::kPopulation;
+  options.seed = 17;
+  const auto batch = runner.run_for_input({6, 9}, options);
+  EXPECT_EQ(batch.silent_count, 5);
+  EXPECT_TRUE(batch.output_consistent);
+  EXPECT_EQ(batch.output, 6);
+  for (const Trajectory& t : batch.trajectories) {
+    EXPECT_GT(t.time, 0.0);  // parallel time
+    EXPECT_GT(t.events, 0u);  // interactions
+  }
+}
+
+TEST(Ensemble, ZeroTrajectoriesIsEmpty) {
+  const Crn crn = compile::min_crn(2);
+  const EnsembleRunner runner(crn);
+  const auto batch = runner.run_for_input({1, 1}, silent_options(0, 4, 9));
+  EXPECT_TRUE(batch.trajectories.empty());
+  EXPECT_EQ(batch.total_events, 0u);
+  EXPECT_EQ(batch.silent_count, 0);
+}
+
+}  // namespace
+}  // namespace crnkit::sim
