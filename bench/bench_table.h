@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "util/json_writer.h"
 
 namespace crnkit::bench {
 
@@ -60,48 +61,33 @@ struct BenchRecord {
   std::uint64_t events = 0;
 };
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+using util::json_escape;
 
 /// Writes BENCH_<bench_name>.json in the current working directory:
 ///   {"bench": "...", "records": [{"name": ..., "events_per_sec": ...,
 ///    "wall_seconds": ..., "events": ...}, ...]}
 /// Extra top-level string/number fields can be appended via `extra`
-/// (already-serialized `"key": value` fragments).
+/// (already-serialized `"key": value` fragments). Serialization is the
+/// shared util::JsonWriter, so escaping matches the crnc CLI's output.
 inline void write_bench_json(const std::string& bench_name,
                              const std::vector<BenchRecord>& records,
                              const std::vector<std::string>& extra = {}) {
-  std::ostringstream os;
-  os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n";
-  for (const auto& fragment : extra) os << "  " << fragment << ",\n";
-  os << "  \"records\": [\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
-    char nums[96];
-    std::snprintf(nums, sizeof(nums),
-                  "\"events_per_sec\": %.1f, \"wall_seconds\": %.6f, "
-                  "\"events\": %llu",
-                  r.events_per_sec, r.wall_seconds,
-                  static_cast<unsigned long long>(r.events));
-    os << "    {\"name\": \"" << json_escape(r.name) << "\", " << nums
-       << '}' << (i + 1 < records.size() ? "," : "") << '\n';
+  util::JsonWriter w;
+  w.begin_object().kv("bench", bench_name);
+  for (const auto& fragment : extra) w.raw_member(fragment);
+  w.key("records").begin_array();
+  for (const BenchRecord& r : records) {
+    w.begin_object()
+        .kv("name", r.name)
+        .kv_fixed("events_per_sec", r.events_per_sec, 1)
+        .kv_fixed("wall_seconds", r.wall_seconds, 6)
+        .kv("events", r.events)
+        .end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array().end_object();
   const std::string path = "BENCH_" + bench_name + ".json";
   std::ofstream file(path);
-  file << os.str();
+  file << w.str() << "\n";
   std::printf("wrote %s\n", path.c_str());
   std::fflush(stdout);
 }

@@ -14,8 +14,8 @@
 #include "bench_table.h"
 #include "compile/primitives.h"
 #include "compile/theorem52.h"
-#include "crn/compose.h"
 #include "fn/examples.h"
+#include "scenario/registry.h"
 #include "sim/ensemble.h"
 #include "sim/gillespie.h"
 #include "sim/next_reaction.h"
@@ -91,40 +91,21 @@ void print_artifacts() {
     crn::Crn crn;
     crn::Config initial;
   };
+  // The workloads come from the scenario registry (dense Fig. 1 networks
+  // where every reaction shares species, the wide Theorem 5.2 circuit, and
+  // the deep Observation 2.2 chain whose dependency graph makes the O(R)
+  // dense recompute pure waste). Inputs are each scenario's sim_input —
+  // sized so no case goes silent inside the event budget.
   std::vector<Case> cases;
-  {
-    crn::Crn max2 = compile::fig1_max_crn();
-    crn::Config init = max2.initial_configuration({100000, 100000});
-    cases.push_back({"fig1-max (4 rxn)", std::move(max2), std::move(init)});
-  }
-  {
-    crn::Crn min2 = compile::min_crn(2);
-    crn::Config init = min2.initial_configuration({200000, 200000});
-    cases.push_back({"fig1-min (1 rxn)", std::move(min2), std::move(init)});
-  }
-  {
-    compile::ObliviousSpec spec{fn::examples::fig7(), 1,
-                                fn::examples::fig7_extensions(), {}};
-    crn::Crn wide = compile::compile_theorem52(spec);
-    crn::Config init = wide.initial_configuration({3000, 4000});
-    const std::string name =
-        "thm52-fig7 (" + std::to_string(wide.reactions().size()) + " rxn)";
-    cases.push_back({name, std::move(wide), std::move(init)});
-  }
-  {
-    // Deep Observation 2.2 chain: 256 concatenated oblivious identity
-    // modules. This is the composition regime the dependency graph exists
-    // for: firing one stage's reaction only perturbs its neighbours, so
-    // the O(R) dense recompute is pure waste.
-    crn::Crn chain = compile::identity_crn();
-    for (int stage = 1; stage < 256; ++stage) {
-      chain = crn::concatenate(chain, compile::identity_crn(),
-                               "chain" + std::to_string(stage + 1));
-    }
-    crn::Config init = chain.initial_configuration({50000});
-    const std::string name =
-        "chain-256 (" + std::to_string(chain.reactions().size()) + " rxn)";
-    cases.push_back({name, std::move(chain), std::move(init)});
+  for (const char* scenario_name :
+       {"fig1/max", "fig1/min", "thm52/fig7", "chain/compose-256"}) {
+    scenario::Scenario s =
+        scenario::Registry::builtin().build(scenario_name);
+    crn::Config init = s.crn.initial_configuration(s.sim_input);
+    const std::string name = s.name + " (" +
+                             std::to_string(s.crn.reactions().size()) +
+                             " rxn)";
+    cases.push_back({name, std::move(s.crn), std::move(init)});
   }
 
   const std::uint64_t max_events = 400'000;
@@ -157,7 +138,7 @@ void print_artifacts() {
 
     std::string key = c.name.substr(0, c.name.find(' '));
     for (char& ch : key) {
-      if (ch == '-') ch = '_';
+      if (ch == '-' || ch == '/') ch = '_';
     }
     char buf[96];
     std::snprintf(buf, sizeof(buf), "\"speedup_%s\": %.2f", key.c_str(),

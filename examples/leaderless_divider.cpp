@@ -2,43 +2,45 @@
 // superadditive function floor(x/3) ("division by three with no leader"),
 // with the corrective-difference merge reactions printed, verified
 // exhaustively, and contrasted with the leader-based Theorem 3.1 CRN.
+// Both networks come from the scenario registry (fn/div3-leaderless and
+// fn/div3) — the same workloads `crnc verify` and `crnc bench` exercise.
 //
 // Run:  ./build/examples/leaderless_divider
 #include <cstdio>
 
-#include "compile/leaderless.h"
-#include "compile/oned.h"
 #include "crn/checks.h"
-#include "fn/function.h"
+#include "scenario/registry.h"
 #include "verify/stable.h"
 
 int main() {
   using namespace crnkit;
   using math::Int;
 
-  const fn::DiscreteFunction f(
-      1, [](const fn::Point& x) { return x[0] / 3; }, "floor(x/3)");
+  const auto& registry = scenario::Registry::builtin();
+  const scenario::Scenario leaderless = registry.build("fn/div3-leaderless");
+  const scenario::Scenario with_leader = registry.build("fn/div3");
+  const fn::DiscreteFunction& f = *leaderless.reference;
 
-  const crn::Crn leaderless = compile::compile_leaderless_oned(f);
   std::printf("leaderless CRN (Theorem 9.2):\n%s\n\n",
-              leaderless.to_string().c_str());
+              leaderless.crn.to_string().c_str());
   std::printf("has leader: %s; output-oblivious: %s\n\n",
-              leaderless.leader() ? "yes" : "no",
-              crn::is_output_oblivious(leaderless) ? "yes" : "no");
+              leaderless.crn.leader() ? "yes" : "no",
+              crn::is_output_oblivious(leaderless.crn) ? "yes" : "no");
 
-  const crn::Crn with_leader = compile::compile_oned(f);
   std::printf("for comparison, Theorem 3.1 CRN: %zu species / %zu reactions "
               "(leader) vs %zu / %zu (leaderless)\n\n",
-              with_leader.species_count(), with_leader.reactions().size(),
-              leaderless.species_count(), leaderless.reactions().size());
+              with_leader.crn.species_count(),
+              with_leader.crn.reactions().size(),
+              leaderless.crn.species_count(),
+              leaderless.crn.reactions().size());
 
   bool all_ok = true;
   for (Int x = 0; x <= 20; ++x) {
     const auto result =
-        verify::check_stable_computation(leaderless, {x}, f(x));
+        verify::check_stable_computation(leaderless.crn, {x}, f(x));
     if (!result.ok) {
       std::printf("FAIL at x = %lld: %s\n", static_cast<long long>(x),
-                  result.summary(leaderless).c_str());
+                  result.summary(leaderless.crn).c_str());
       all_ok = false;
     }
   }

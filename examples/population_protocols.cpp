@@ -1,24 +1,24 @@
-// The population-protocol view (Section 1): compile floor(3x/2) with
-// Theorem 3.1, convert to bimolecular form (footnote 5), and run the
-// uniform pair scheduler, reporting parallel time as input size grows —
-// the leader-driven construction needs Theta(n) parallel time per absorbed
+// The population-protocol view (Section 1): the registry's
+// protocol/floor-3x2 scenario — floor(3x/2) compiled with Theorem 3.1 and
+// converted to bimolecular form (footnote 5) — run under the uniform pair
+// scheduler, reporting parallel time as input size grows. The
+// leader-driven construction needs Theta(n) parallel time per absorbed
 // input, so expect superlinear totals.
 //
 // Run:  ./build/examples/population_protocols
 #include <cstdio>
 
-#include "compile/oned.h"
-#include "crn/bimolecular.h"
-#include "fn/examples.h"
+#include "scenario/registry.h"
 #include "sim/population.h"
 
 int main() {
   using namespace crnkit;
   using math::Int;
 
-  const auto f = fn::examples::floor_3x_over_2();
-  const crn::Crn compiled = compile::compile_oned(f);
-  const crn::Crn bi = crn::to_bimolecular(compiled);
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("protocol/floor-3x2");
+  const crn::Crn& bi = s.crn;
+  const fn::DiscreteFunction& f = *s.reference;
   std::printf("bimolecular CRN for %s:\n%s\n\n", f.name().c_str(),
               bi.to_string().c_str());
 

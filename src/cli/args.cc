@@ -1,0 +1,80 @@
+#include "cli/args.h"
+
+#include <stdexcept>
+
+namespace crnkit::cli {
+
+namespace {
+
+bool is_flag(const std::string& arg) {
+  return arg.size() >= 3 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+bool Args::take_flag(const std::string& name) {
+  const std::string wanted = "--" + name;
+  for (auto it = argv_.begin(); it != argv_.end(); ++it) {
+    if (*it == wanted) {
+      argv_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> Args::take_option(const std::string& name) {
+  const std::string wanted = "--" + name;
+  const std::string prefix = wanted + "=";
+  for (auto it = argv_.begin(); it != argv_.end(); ++it) {
+    if (it->rfind(prefix, 0) == 0) {
+      std::string value = it->substr(prefix.size());
+      argv_.erase(it);
+      return value;
+    }
+    if (*it == wanted) {
+      const auto value_it = it + 1;
+      if (value_it == argv_.end() || is_flag(*value_it)) {
+        throw std::invalid_argument("flag '" + wanted + "' needs a value");
+      }
+      std::string value = *value_it;
+      argv_.erase(it, value_it + 1);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t Args::take_int(const std::string& name, std::int64_t fallback) {
+  const auto text = take_option(name);
+  if (!text) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(*text, &used);
+    if (used != text->size() || v < 0) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag '--" + name +
+                                "' needs a nonnegative integer, got '" +
+                                *text + "'");
+  }
+}
+
+std::optional<std::string> Args::take_positional() {
+  for (auto it = argv_.begin(); it != argv_.end(); ++it) {
+    if (!is_flag(*it)) {
+      std::string value = *it;
+      argv_.erase(it);
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+void Args::finish() const {
+  if (argv_.empty()) return;
+  throw std::invalid_argument("unrecognized argument '" + argv_.front() +
+                              "'");
+}
+
+}  // namespace crnkit::cli

@@ -1,0 +1,42 @@
+// Tiny flag parser for the crnc subcommands. A subcommand take()s the
+// flags it knows — `--name value`, `--name=value`, boolean `--name` — and
+// positional operands, then calls finish(), which rejects anything left
+// over with a precise message. No global flag table: each command's
+// parsing is local to the command.
+#ifndef CRNKIT_CLI_ARGS_H_
+#define CRNKIT_CLI_ARGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crnkit::cli {
+
+class Args {
+ public:
+  explicit Args(std::vector<std::string> argv) : argv_(std::move(argv)) {}
+
+  /// Consumes boolean `--name`; true iff present.
+  bool take_flag(const std::string& name);
+
+  /// Consumes `--name value` or `--name=value`; throws
+  /// std::invalid_argument when the flag is present without a value.
+  std::optional<std::string> take_option(const std::string& name);
+
+  /// take_option parsed as a nonnegative integer, with a default.
+  std::int64_t take_int(const std::string& name, std::int64_t fallback);
+
+  /// Consumes the first remaining argument that is not a flag.
+  std::optional<std::string> take_positional();
+
+  /// Throws std::invalid_argument if any argument was not consumed.
+  void finish() const;
+
+ private:
+  std::vector<std::string> argv_;
+};
+
+}  // namespace crnkit::cli
+
+#endif  // CRNKIT_CLI_ARGS_H_

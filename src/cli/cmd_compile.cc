@@ -1,0 +1,60 @@
+// crnc compile: materialize a workload as .crn text — the bridge between
+// the registry's compilers and anything that consumes the text format
+// (files round-trip through crn::from_text / crn::to_text). --bimolecular
+// additionally lowers reactions to order <= 2 (footnote 5), producing a
+// population-protocol-ready network.
+#include <fstream>
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/workload.h"
+#include "crn/bimolecular.h"
+#include "crn/io.h"
+#include "util/json_writer.h"
+
+namespace crnkit::cli {
+
+int cmd_compile(Args& args, std::ostream& out) {
+  const bool json = args.take_flag("json");
+  const bool bimolecular = args.take_flag("bimolecular");
+  const auto out_path = args.take_option("out");
+  const auto target = args.take_positional();
+  args.finish();
+  if (!target) {
+    throw std::invalid_argument("compile needs a scenario or file");
+  }
+
+  Workload workload = load_workload(*target);
+  crn::Crn network = std::move(workload.scenario.crn);
+  if (bimolecular) network = crn::to_bimolecular(network);
+  const std::string text = crn::to_text(network);
+
+  if (out_path) {
+    std::ofstream file(*out_path);
+    if (!file) {
+      throw std::invalid_argument("cannot write '" + *out_path + "'");
+    }
+    file << text;
+  }
+
+  if (json) {
+    util::JsonWriter w;
+    w.begin_object()
+        .kv("name", network.name())
+        .kv("species", network.species_count())
+        .kv("reactions", network.reactions().size())
+        .kv("bimolecular", bimolecular)
+        .kv("out", out_path ? *out_path : "")
+        .kv("crn_text", text)
+        .end_object();
+    out << w.str() << "\n";
+  } else if (out_path) {
+    out << "wrote " << *out_path << " (" << network.species_count()
+        << " species, " << network.reactions().size() << " reactions)\n";
+  } else {
+    out << text;
+  }
+  return 0;
+}
+
+}  // namespace crnkit::cli

@@ -1,0 +1,157 @@
+// crnc verify: exact stable-computation checking (the SCC-condensation
+// decision procedure of verify/stable.h) over a workload's curated verify
+// points, a `--grid N` sweep, or a single `--input`. Every point must be
+// proved (ok and complete exploration) for exit 0. Scenarios tagged
+// "unverifiable" are skipped with their recorded reason unless --force.
+#include <algorithm>
+#include <ostream>
+
+#include "cli/commands.h"
+#include "cli/workload.h"
+#include "scenario/scenario.h"
+#include "util/json_writer.h"
+#include "verify/stable.h"
+
+namespace crnkit::cli {
+
+int cmd_verify(Args& args, std::ostream& out) {
+  const bool json = args.take_flag("json");
+  const bool force = args.take_flag("force");
+  const auto grid = args.take_option("grid");
+  const auto input_text = args.take_option("input");
+  const auto expect_text = args.take_option("expect");
+  const std::int64_t max_configs_flag = args.take_int("max-configs", 0);
+  const auto target = args.take_positional();
+  args.finish();
+  if (!target) throw std::invalid_argument("verify needs a scenario or file");
+
+  const Workload workload = load_workload(*target);
+  const scenario::Scenario& s = workload.scenario;
+
+  if (s.unverifiable() && !force) {
+    if (json) {
+      util::JsonWriter w;
+      w.begin_object()
+          .kv("scenario", s.name)
+          .kv("skipped", true)
+          .kv("reason", s.unverifiable_reason)
+          .kv("ok", true)
+          .end_object();
+      out << w.str() << "\n";
+    } else {
+      out << s.name << ": skipped (unverifiable): " << s.unverifiable_reason
+          << "\n";
+    }
+    return 0;
+  }
+
+  // Resolve the points to check and their expected outputs.
+  std::vector<fn::Point> points;
+  std::vector<math::Int> expected;
+  if (input_text) {
+    points.push_back(scenario::point_from_string(*input_text));
+    if (expect_text) {
+      expected.push_back(
+          scenario::point_from_string(*expect_text).front());
+    } else if (s.reference) {
+      expected.push_back((*s.reference)(points.front()));
+    } else {
+      throw std::invalid_argument(
+          "file workloads have no reference function; pass --expect V");
+    }
+  } else {
+    if (!s.reference) {
+      throw std::invalid_argument(
+          "file workloads have no reference function; pass --input and "
+          "--expect");
+    }
+    if (grid) {
+      const math::Int m = scenario::point_from_string(*grid).front();
+      points = scenario::grid_points(s.crn.input_arity(), m);
+    } else {
+      points = s.verify_points;
+    }
+    for (const fn::Point& x : points) expected.push_back((*s.reference)(x));
+  }
+  if (points.empty()) {
+    throw std::invalid_argument("no verify points for '" + s.name + "'");
+  }
+
+  verify::StableCheckOptions options;
+  if (max_configs_flag > 0) {
+    options.max_configs = static_cast<std::size_t>(max_configs_flag);
+  } else if (s.verify_max_configs > 0) {
+    options.max_configs = s.verify_max_configs;
+  }
+
+  int proved = 0;
+  int failed = 0;
+  int inconclusive = 0;
+  std::size_t max_explored = 0;
+  util::JsonWriter w;
+  std::vector<std::vector<std::string>> rows;
+  if (json) {
+    w.begin_object()
+        .kv("scenario", s.name)
+        .kv("max_configs", options.max_configs)
+        .key("points")
+        .begin_array();
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto result =
+        verify::check_stable_computation(s.crn, points[i], expected[i],
+                                         options);
+    const bool proof = result.ok && result.complete;
+    if (proof) {
+      ++proved;
+    } else if (!result.complete) {
+      ++inconclusive;
+    } else {
+      ++failed;
+    }
+    max_explored = std::max(max_explored, result.num_configs);
+    const std::string status = proof          ? "proved"
+                               : result.complete ? "FAILED"
+                                                 : "inconclusive";
+    if (json) {
+      w.begin_object()
+          .kv("x", scenario::point_to_string(points[i]))
+          .kv("expected", static_cast<std::int64_t>(expected[i]))
+          .kv("ok", result.ok)
+          .kv("complete", result.complete)
+          .kv("configs", result.num_configs)
+          .kv("status", status)
+          .end_object();
+    } else {
+      rows.push_back({scenario::point_to_string(points[i]),
+                      std::to_string(expected[i]), status,
+                      std::to_string(result.num_configs)});
+    }
+  }
+
+  const bool all_ok = failed == 0 && inconclusive == 0;
+  if (json) {
+    w.end_array()
+        .kv("proved", proved)
+        .kv("failed", failed)
+        .kv("inconclusive", inconclusive)
+        .kv("max_configs_explored", max_explored)
+        .kv("ok", all_ok)
+        .end_object();
+    out << w.str() << "\n";
+  } else {
+    print_table(out, {"x", "expected", "status", "configs"}, rows);
+    out << "\n"
+        << s.name << ": " << proved << "/" << points.size()
+        << " points proved";
+    if (failed > 0) out << ", " << failed << " FAILED";
+    if (inconclusive > 0) {
+      out << ", " << inconclusive
+          << " inconclusive (raise --max-configs)";
+    }
+    out << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace crnkit::cli

@@ -1,0 +1,42 @@
+// The crnc subcommand entry points. Each takes the already-sliced
+// argument list (subcommand name removed) and the output stream; usage
+// errors are thrown as std::invalid_argument and mapped to exit code 2 by
+// run_crnc, while check failures return 1 directly.
+#ifndef CRNKIT_CLI_COMMANDS_H_
+#define CRNKIT_CLI_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "sim/ensemble.h"
+
+namespace crnkit::cli {
+
+int cmd_list(Args& args, std::ostream& out);
+int cmd_show(Args& args, std::ostream& out);
+int cmd_compile(Args& args, std::ostream& out);
+int cmd_simulate(Args& args, std::ostream& out);
+int cmd_verify(Args& args, std::ostream& out);
+int cmd_bench(Args& args, std::ostream& out);
+
+/// Fixed-width human table: header then rows, column widths fitted to the
+/// widest cell.
+void print_table(std::ostream& out,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a tag list as "a,b,c".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& separator);
+
+/// Maps a `--method` value (silent | direct | next-reaction | population)
+/// to the ensemble method; throws std::invalid_argument otherwise. Shared
+/// by simulate and bench so they accept the same spellings.
+[[nodiscard]] sim::EnsembleMethod parse_ensemble_method(
+    const std::string& name);
+
+}  // namespace crnkit::cli
+
+#endif  // CRNKIT_CLI_COMMANDS_H_

@@ -1,0 +1,115 @@
+#include "cli/crnc.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "cli/commands.h"
+
+namespace crnkit::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(crnc — compile, verify, simulate, and benchmark CRN workloads
+
+usage: crnc <command> [args]
+
+commands:
+  list                        catalog the registered scenarios
+      [--json | --markdown] [--tag TAG]
+  show <scenario|file.crn>    metadata, verify points, and the CRN text
+      [--json]
+  compile <scenario|file.crn> emit the network in .crn text form
+      [--out FILE] [--bimolecular] [--json]
+  simulate <scenario|file.crn> batched stochastic simulation (ensemble)
+      [--input X1,X2,...] [--trajectories N] [--seed S] [--threads T]
+      [--method silent|direct|next-reaction|population]
+      [--max-steps N] [--max-events N] [--json]
+  verify <scenario|file.crn>  exact stable-computation check
+      [--grid N | --input X1,X2,... [--expect V]] [--max-configs N]
+      [--force] [--json]
+  bench <scenario|file.crn>   ensemble throughput measurement
+      [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
+      [--threads T] [--method ...] [--json]
+
+A workload is a scenario name from `crnc list` (e.g. fig1/min) or a path
+to a .crn text file (see src/crn/io.h for the format).
+)";
+
+}  // namespace
+
+void print_table(std::ostream& out, const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c > 0 ? "  " : "") << std::left
+          << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << "\n";
+  };
+  emit(header);
+  std::vector<std::string> rule;
+  rule.reserve(header.size());
+  for (const std::size_t w : widths) rule.emplace_back(w, '-');
+  emit(rule);
+  for (const auto& row : rows) emit(row);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+sim::EnsembleMethod parse_ensemble_method(const std::string& name) {
+  if (name == "silent") return sim::EnsembleMethod::kSilentRun;
+  if (name == "direct") return sim::EnsembleMethod::kDirect;
+  if (name == "next-reaction") return sim::EnsembleMethod::kNextReaction;
+  if (name == "population") return sim::EnsembleMethod::kPopulation;
+  throw std::invalid_argument(
+      "unknown method '" + name +
+      "' (expected silent, direct, next-reaction, or population)");
+}
+
+int run_crnc(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+
+  const std::string command = args[0];
+  Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
+  try {
+    if (command == "list") return cmd_list(rest, out);
+    if (command == "show") return cmd_show(rest, out);
+    if (command == "compile") return cmd_compile(rest, out);
+    if (command == "simulate") return cmd_simulate(rest, out);
+    if (command == "verify") return cmd_verify(rest, out);
+    if (command == "bench") return cmd_bench(rest, out);
+    err << "crnc: unknown command '" << command << "'\n\n" << kUsage;
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    err << "crnc " << command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "crnc " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace crnkit::cli

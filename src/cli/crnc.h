@@ -1,0 +1,22 @@
+// The crnc driver: one binary that lists, shows, compiles, simulates,
+// verifies, and benchmarks any CRN workload — a registry scenario or a
+// `.crn` file. tools/crnc_main.cc is a thin wrapper; tests call run_crnc
+// directly with captured streams.
+#ifndef CRNKIT_CLI_CRNC_H_
+#define CRNKIT_CLI_CRNC_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crnkit::cli {
+
+/// Runs `crnc <subcommand> ...` on an argument list (argv without the
+/// program name). Returns the process exit status: 0 success, 1 a check
+/// or simulation disagreed, 2 usage error.
+int run_crnc(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace crnkit::cli
+
+#endif  // CRNKIT_CLI_CRNC_H_

@@ -1,0 +1,40 @@
+#include "cli/workload.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "crn/io.h"
+
+namespace crnkit::cli {
+
+Workload load_workload(const std::string& target,
+                       const scenario::Registry& registry) {
+  if (registry.contains(target)) {
+    return Workload{registry.build(target), true};
+  }
+
+  std::ifstream file(target);
+  if (file) {
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    scenario::Scenario s;
+    s.name = target;
+    s.title = "loaded from file";
+    try {
+      s.crn = crn::from_text(contents.str());
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(target + ": " + e.what());
+    }
+    // A file gives no reference function; default the sim input to zeros
+    // of the right arity so `simulate` still has something to run.
+    s.sim_input.assign(static_cast<std::size_t>(s.crn.input_arity()), 0);
+    return Workload{std::move(s), false};
+  }
+
+  // Not a file: surface the registry's unknown-name error, which carries
+  // "did you mean" suggestions.
+  (void)registry.build(target);  // always throws
+  throw std::invalid_argument("unknown target '" + target + "'");
+}
+
+}  // namespace crnkit::cli

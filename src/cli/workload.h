@@ -1,0 +1,27 @@
+// Target resolution shared by the crnc subcommands: a target is either a
+// registry scenario name ("fig1/min") or a path to a `.crn` text file.
+// File workloads come back as anonymous scenarios (no reference function,
+// no curated verify points) so every command downstream handles one type.
+#ifndef CRNKIT_CLI_WORKLOAD_H_
+#define CRNKIT_CLI_WORKLOAD_H_
+
+#include <string>
+
+#include "scenario/registry.h"
+
+namespace crnkit::cli {
+
+struct Workload {
+  scenario::Scenario scenario;
+  bool from_registry = false;
+};
+
+/// Resolves `target` against the registry first, then the filesystem.
+/// Throws std::invalid_argument (with suggestions) when it is neither.
+[[nodiscard]] Workload load_workload(const std::string& target,
+                                     const scenario::Registry& registry =
+                                         scenario::Registry::builtin());
+
+}  // namespace crnkit::cli
+
+#endif  // CRNKIT_CLI_WORKLOAD_H_

@@ -31,50 +31,82 @@ std::string to_text(const Crn& crn) {
   return os.str();
 }
 
+namespace {
+
+/// Strips an inline `# comment` and surrounding whitespace.
+std::string strip_line(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line = line.substr(0, hash);
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = line.find_last_not_of(" \t\r");
+  return line.substr(first, last - first + 1);
+}
+
+/// Parses one non-blank line into `out`; errors are reported by the caller
+/// with the line number attached.
+void parse_line(Crn& out, const std::string& line, bool& named) {
+  std::istringstream words(line);
+  std::string keyword;
+  words >> keyword;
+  if (keyword == "crn") {
+    std::string name;
+    std::getline(words, name);
+    const auto start = name.find_first_not_of(" \t");
+    out.set_name(start == std::string::npos ? "crn" : name.substr(start));
+    named = true;
+  } else if (keyword == "species") {
+    std::string s;
+    while (words >> s) out.get_or_add_species(s);
+  } else if (keyword == "inputs") {
+    std::vector<std::string> names;
+    std::string s;
+    while (words >> s) names.push_back(s);
+    out.set_input_species(names);
+  } else if (keyword == "output") {
+    std::string s;
+    require(static_cast<bool>(words >> s), "output needs a species name");
+    out.set_output_species(s);
+  } else if (keyword == "leader") {
+    std::string s;
+    require(static_cast<bool>(words >> s), "leader needs a species name");
+    out.set_leader_species(s);
+  } else if (keyword == "rxn") {
+    std::string rest;
+    std::getline(words, rest);
+    // Reversible `A + B <-> C` expands to the two directed reactions.
+    const auto arrow = rest.find("<->");
+    if (arrow != std::string::npos) {
+      const std::string lhs = rest.substr(0, arrow);
+      const std::string rhs = rest.substr(arrow + 3);
+      out.add_reaction_str(lhs + " -> " + rhs);
+      out.add_reaction_str(rhs + " -> " + lhs);
+    } else {
+      out.add_reaction_str(rest);
+    }
+  } else {
+    throw std::invalid_argument("unknown keyword '" + keyword + "'");
+  }
+}
+
+}  // namespace
+
 Crn from_text(const std::string& text) {
   std::istringstream stream(text);
   std::string line;
   Crn out;
   bool named = false;
+  int line_number = 0;
   while (std::getline(stream, line)) {
-    // Trim leading whitespace; skip blanks and comments.
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    line = line.substr(first);
-    if (line.empty() || line[0] == '#') continue;
-
-    std::istringstream words(line);
-    std::string keyword;
-    words >> keyword;
-    if (keyword == "crn") {
-      std::string name;
-      std::getline(words, name);
-      const auto start = name.find_first_not_of(" \t");
-      out.set_name(start == std::string::npos ? "crn" : name.substr(start));
-      named = true;
-    } else if (keyword == "species") {
-      std::string s;
-      while (words >> s) out.get_or_add_species(s);
-    } else if (keyword == "inputs") {
-      std::vector<std::string> names;
-      std::string s;
-      while (words >> s) names.push_back(s);
-      out.set_input_species(names);
-    } else if (keyword == "output") {
-      std::string s;
-      require(static_cast<bool>(words >> s), "from_text: output needs a name");
-      out.set_output_species(s);
-    } else if (keyword == "leader") {
-      std::string s;
-      require(static_cast<bool>(words >> s), "from_text: leader needs a name");
-      out.set_leader_species(s);
-    } else if (keyword == "rxn") {
-      std::string rest;
-      std::getline(words, rest);
-      out.add_reaction_str(rest);
-    } else {
-      throw std::invalid_argument("from_text: unknown keyword '" + keyword +
-                                  "'");
+    ++line_number;
+    line = strip_line(line);
+    if (line.empty()) continue;
+    try {
+      parse_line(out, line, named);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("from_text: line " +
+                                  std::to_string(line_number) + ": " +
+                                  e.what());
     }
   }
   require(named, "from_text: missing 'crn <name>' header");

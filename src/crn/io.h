@@ -7,10 +7,12 @@
 //   leader L            (optional)
 //   rxn X1 + X2 -> Y
 //   rxn L -> 2 Y + L0
+//   rxn 2 X <-> X2          (reversible; expands to the two directions)
 //
 // Species are declared implicitly by the reactions and role lines; an
 // optional `species` line pins declaration order (ids) exactly, which keeps
-// round-trips id-stable.
+// round-trips id-stable. Blank lines are skipped and `#` starts a comment
+// (full-line or trailing); parse errors carry the 1-based line number.
 #ifndef CRNKIT_CRN_IO_H_
 #define CRNKIT_CRN_IO_H_
 

@@ -1,0 +1,258 @@
+// The built-in scenario catalog: the paper's Figure 1/2 examples, the
+// Theorem 3.1 / 5.2 / 9.2 compilations, Lemma 6.1 quilt-affine modules,
+// monotone predicates, Observation 2.2 composition chains, and the
+// population-protocol (bimolecular) view. Each factory builds the CRN with
+// the repo's own compilers, attaches the reference function, and picks
+// verify points small enough for the exact checker's budget.
+#include <algorithm>
+
+#include "compile/leaderless.h"
+#include "compile/oned.h"
+#include "compile/predicate.h"
+#include "compile/primitives.h"
+#include "compile/quilt.h"
+#include "compile/theorem52.h"
+#include "crn/bimolecular.h"
+#include "crn/compose.h"
+#include "fn/examples.h"
+#include "scenario/registry.h"
+
+namespace crnkit::scenario {
+
+namespace {
+
+using math::Int;
+
+std::vector<fn::Point> line_points(Int m) { return grid_points(1, m); }
+
+/// `stages` concatenated identity modules (Observation 2.2), the deep
+/// feed-forward chain the compiled engine's dependency graph exists for.
+crn::Crn identity_chain(int stages) {
+  crn::Crn chain = compile::identity_crn();
+  for (int stage = 1; stage < stages; ++stage) {
+    chain = crn::concatenate(chain, compile::identity_crn(),
+                             "chain" + std::to_string(stage + 1));
+  }
+  chain.set_name("identity-chain-" + std::to_string(stages));
+  return chain;
+}
+
+fn::DiscreteFunction identity_fn() {
+  return fn::DiscreteFunction(
+      1, [](const fn::Point& x) { return x[0]; }, "x");
+}
+
+fn::DiscreteFunction div3_fn() {
+  return fn::DiscreteFunction(
+      1, [](const fn::Point& x) { return x[0] / 3; }, "floor(x/3)");
+}
+
+Scenario make(std::string name, std::string title, std::string paper_ref,
+              std::vector<std::string> tags, crn::Crn crn,
+              fn::DiscreteFunction reference,
+              std::vector<fn::Point> verify_points, fn::Point sim_input) {
+  Scenario s;
+  s.name = std::move(name);
+  s.title = std::move(title);
+  s.paper_ref = std::move(paper_ref);
+  s.tags = std::move(tags);
+  s.crn = std::move(crn);
+  s.reference = std::move(reference);
+  s.verify_points = std::move(verify_points);
+  s.sim_input = std::move(sim_input);
+  return s;
+}
+
+}  // namespace
+
+void register_builtin_scenarios(Registry& registry) {
+  registry.add("fig1/twice", [] {
+    return make("fig1/twice", "f(x) = 2x via the single reaction X -> 2Y",
+                "Fig. 1", {"oblivious", "leaderless"}, compile::scale_crn(2),
+                fn::examples::twice(), line_points(6), {200000});
+  });
+
+  registry.add("fig1/min", [] {
+    return make("fig1/min", "f(x1,x2) = min(x1,x2) via X1 + X2 -> Y",
+                "Fig. 1", {"oblivious", "leaderless"}, compile::min_crn(2),
+                fn::examples::min2(), grid_points(2, 4), {200000, 200000});
+  });
+
+  registry.add("fig1/max", [] {
+    return make("fig1/max",
+                "f(x1,x2) = max(x1,x2); stably computed but NOT "
+                "output-oblivious (consumes Y)",
+                "Fig. 1 / Section 4", {"not-oblivious", "leaderless"},
+                compile::fig1_max_crn(), fn::examples::max2(),
+                grid_points(2, 4), {100000, 100000});
+  });
+
+  registry.add("fig1/2max-broken", [] {
+    Scenario s = make(
+        "fig1/2max-broken",
+        "the paper's broken composition: max (not output-oblivious) "
+        "concatenated with 2x does NOT stably compute 2*max",
+        // The *composed* network is syntactically output-oblivious (the
+        // final Y is never consumed); the breakage lives in the upstream
+        // max module, which is why obliviousness must hold module-wise.
+        "Fig. 1 / Obs. 2.2", {"composed", "oblivious", "unverifiable"},
+        crn::concatenate(compile::fig1_max_crn(), compile::scale_crn(2),
+                         "2max"),
+        fn::DiscreteFunction(
+            2, [](const fn::Point& x) { return 2 * std::max(x[0], x[1]); },
+            "2*max"),
+        grid_points(2, 3), {50000, 50000});
+    s.unverifiable_reason =
+        "intentional negative demo: the upstream max CRN consumes its "
+        "output, so downstream doubling over-counts; verify is expected to "
+        "find counterexamples (run with --force)";
+    return s;
+  });
+
+  registry.add("fig2/min1-leader", [] {
+    return make("fig2/min1-leader",
+                "f(x) = min(1,x) via L + X -> Y (output-oblivious, needs a "
+                "leader)",
+                "Fig. 2", {"oblivious", "leader"},
+                compile::fig2_min1_leader(), fn::examples::min_const1(),
+                line_points(6), {200000});
+  });
+
+  registry.add("fig2/min1-leaderless", [] {
+    return make("fig2/min1-leaderless",
+                "f(x) = min(1,x) via X -> Y; 2Y -> Y (leaderless, not "
+                "output-oblivious)",
+                "Fig. 2", {"not-oblivious", "leaderless"},
+                compile::fig2_min1_leaderless(), fn::examples::min_const1(),
+                line_points(6), {200000});
+  });
+
+  registry.add("fn/floor-3x2", [] {
+    return make("fn/floor-3x2",
+                "f(x) = floor(3x/2) compiled with the Theorem 3.1 "
+                "leader-state chain",
+                "Fig. 3a / Thm. 3.1", {"oblivious", "leader", "compiled"},
+                compile::compile_oned(fn::examples::floor_3x_over_2()),
+                fn::examples::floor_3x_over_2(), line_points(8), {100000});
+  });
+
+  registry.add("fn/quilt-affine", [] {
+    return make("fn/quilt-affine",
+                "the exact quilt-affine form of floor(3x/2) compiled with "
+                "the Lemma 6.1 congruence-class walker",
+                "Fig. 3a / Lemma 6.1", {"oblivious", "leader", "compiled"},
+                compile::compile_quilt_affine(fn::examples::fig3a_quilt()),
+                fn::examples::fig3a_quilt().as_function(), line_points(8),
+                {100000});
+  });
+
+  registry.add("fn/quilt-bumpy", [] {
+    return make("fn/quilt-bumpy",
+                "the 2D 'bumpy quilt' (1,2).x + B(x mod 3) compiled with "
+                "Lemma 6.1",
+                "Fig. 3b / Lemma 6.1", {"oblivious", "leader", "compiled"},
+                compile::compile_quilt_affine(fn::examples::fig3b_quilt()),
+                fn::examples::fig3b_quilt().as_function(), grid_points(2, 3),
+                {50000, 50000});
+  });
+
+  registry.add("fn/div3", [] {
+    return make("fn/div3",
+                "f(x) = floor(x/3) compiled with Theorem 3.1 (leader)",
+                "Thm. 3.1", {"oblivious", "leader", "compiled"},
+                compile::compile_oned(div3_fn()), div3_fn(), line_points(12),
+                {300000});
+  });
+
+  registry.add("fn/div3-leaderless", [] {
+    return make("fn/div3-leaderless",
+                "f(x) = floor(x/3) compiled with the Theorem 9.2 "
+                "leaderless merge construction",
+                "Thm. 9.2", {"oblivious", "leaderless", "compiled"},
+                compile::compile_leaderless_oned(div3_fn()), div3_fn(),
+                line_points(12), {300000});
+  });
+
+  registry.add("thm52/fig7", [] {
+    const compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                                      fn::examples::fig7_extensions(), {}};
+    Scenario s = make("thm52/fig7",
+                      "the Section 7.1 three-region function compiled with "
+                      "the full Theorem 5.2 feed-forward circuit",
+                      "Fig. 7 / Thm. 5.2",
+                      {"oblivious", "leader", "compiled", "composed"},
+                      compile::compile_theorem52(spec), fn::examples::fig7(),
+                      grid_points(2, 1), {3000, 4000});
+    // The composed circuit's reachable space grows combinatorially: the
+    // [0,1]^2 grid needs a raised budget, anything larger is covered
+    // stochastically (`crnc simulate`).
+    s.verify_max_configs = 600'000;
+    return s;
+  });
+
+  registry.add("pred/threshold", [] {
+    const auto formula = compile::MonotoneFormula::atom({2, 1}, 5);
+    return make("pred/threshold",
+                "indicator of [2 x1 + x2 >= 5] as an output-oblivious "
+                "predicate module",
+                "Fig. 2 / Section 2", {"oblivious", "leader", "predicate"},
+                compile::compile_monotone_predicate(formula),
+                formula.indicator(), grid_points(2, 4), {50000, 50000});
+  });
+
+  registry.add("pred/and-or", [] {
+    const auto formula = (compile::MonotoneFormula::atom({1, 0}, 2) &&
+                          compile::MonotoneFormula::atom({0, 1}, 1)) ||
+                         compile::MonotoneFormula::atom({1, 1}, 5);
+    return make("pred/and-or",
+                "monotone combination ([x1>=2] AND [x2>=1]) OR [x1+x2>=5] "
+                "as one oblivious module",
+                "Section 2 (monotone predicates)",
+                {"oblivious", "leader", "predicate", "composed"},
+                compile::compile_monotone_predicate(formula),
+                formula.indicator(), grid_points(2, 4), {50000, 50000});
+  });
+
+  registry.add("protocol/majority", [] {
+    const auto x1 = compile::MonotoneFormula::atom({1, 0, 0}, 1);
+    const auto x2 = compile::MonotoneFormula::atom({0, 1, 0}, 1);
+    const auto x3 = compile::MonotoneFormula::atom({0, 0, 1}, 1);
+    const auto maj = (x1 && x2) || (x1 && x3) || (x2 && x3);
+    return make("protocol/majority",
+                "three-input monotone majority gate, bimolecular form "
+                "(runs under the population-protocol pair scheduler)",
+                "Section 1 / footnote 5",
+                {"oblivious", "leader", "predicate", "protocol"},
+                crn::to_bimolecular(compile::compile_monotone_predicate(maj)),
+                maj.indicator(), grid_points(3, 2), {1000, 1000, 1000});
+  });
+
+  registry.add("protocol/floor-3x2", [] {
+    return make("protocol/floor-3x2",
+                "floor(3x/2) in bimolecular form: the population-protocol "
+                "view of the Theorem 3.1 chain",
+                "Section 1 / footnote 5", {"oblivious", "leader", "protocol"},
+                crn::to_bimolecular(
+                    compile::compile_oned(fn::examples::floor_3x_over_2())),
+                fn::examples::floor_3x_over_2(), line_points(6), {2000});
+  });
+
+  registry.add("chain/compose-4", [] {
+    return make("chain/compose-4",
+                "4 concatenated oblivious identity modules (Obs. 2.2)",
+                "Obs. 2.2", {"oblivious", "leaderless", "composed"},
+                identity_chain(4), identity_fn(), line_points(5), {100000});
+  });
+
+  registry.add("chain/compose-256", [] {
+    return make("chain/compose-256",
+                "256 concatenated oblivious identity modules — the deep-"
+                "composition regime of the dependency-graph engine",
+                "Obs. 2.2", {"oblivious", "leaderless", "composed", "large"},
+                identity_chain(256), identity_fn(),
+                // (x+256 choose 256) reachable configs: keep x <= 2.
+                line_points(2), {2000});
+  });
+}
+
+}  // namespace crnkit::scenario

@@ -1,0 +1,90 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+
+#include "math/check.h"
+
+namespace crnkit::scenario {
+
+namespace {
+
+/// Edit distance for "did you mean" suggestions on unknown names.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t prev = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = prev;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+Registry& Registry::builtin() {
+  static Registry* instance = [] {
+    auto* r = new Registry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+void Registry::add(const std::string& name, Factory factory) {
+  require(static_cast<bool>(factory), "Registry::add: empty factory");
+  require(!name.empty(), "Registry::add: empty name");
+  const bool inserted = factories_.emplace(name, std::move(factory)).second;
+  require(inserted, "Registry::add: duplicate scenario '" + name + "'");
+}
+
+bool Registry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+Scenario Registry::build(const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string message = "unknown scenario '" + name + "'";
+    std::string best;
+    std::size_t best_distance = name.size();  // only suggest close matches
+    for (const auto& [candidate, factory] : factories_) {
+      const std::size_t d = edit_distance(name, candidate);
+      if (d < best_distance || (d == best_distance && best.empty())) {
+        best_distance = d;
+        best = candidate;
+      }
+    }
+    if (!best.empty() && best_distance <= best.size() / 2) {
+      message += "; did you mean '" + best + "'?";
+    }
+    message += " (see `crnc list`)";
+    throw std::invalid_argument(message);
+  }
+  Scenario scenario = it->second();
+  require(scenario.name == name,
+          "Registry::build: factory for '" + name + "' produced '" +
+              scenario.name + "'");
+  return scenario;
+}
+
+std::vector<Scenario> Registry::build_all() const {
+  std::vector<Scenario> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(build(name));
+  return out;
+}
+
+}  // namespace crnkit::scenario

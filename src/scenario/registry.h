@@ -1,0 +1,58 @@
+// The scenario registry: a catalog mapping names like "fig1/min" or
+// "chain/compose-256" to factories that build the fully-instantiated
+// workload on demand (compilers run at build() time, so listing names is
+// cheap and scenarios are always constructed fresh).
+//
+// Registry::builtin() returns the process-wide catalog preloaded with the
+// paper's workloads (see builtin.cc); tests construct empty registries of
+// their own. Adding a scenario is one add() call — future subsystems
+// (servers, sharding drivers, alternative backends) register theirs the
+// same way and inherit `crnc` support for free.
+#ifndef CRNKIT_SCENARIO_REGISTRY_H_
+#define CRNKIT_SCENARIO_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace crnkit::scenario {
+
+class Registry {
+ public:
+  using Factory = std::function<Scenario()>;
+
+  /// The process-wide catalog with all built-in scenarios registered.
+  static Registry& builtin();
+
+  /// Registers a factory under `name`; throws std::invalid_argument on a
+  /// duplicate name. The factory must produce a Scenario whose `name`
+  /// matches (checked at build time).
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return factories_.size(); }
+
+  /// Sorted scenario names.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the named scenario. Throws std::invalid_argument for unknown
+  /// names, with close matches suggested in the message.
+  [[nodiscard]] Scenario build(const std::string& name) const;
+
+  /// Builds every scenario, in name order.
+  [[nodiscard]] std::vector<Scenario> build_all() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers the paper's built-in scenario catalog (idempotent only on a
+/// fresh registry; Registry::builtin() is the usual entry point).
+void register_builtin_scenarios(Registry& registry);
+
+}  // namespace crnkit::scenario
+
+#endif  // CRNKIT_SCENARIO_REGISTRY_H_

@@ -1,0 +1,70 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::scenario {
+
+bool Scenario::has_tag(const std::string& tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+std::vector<math::Int> Scenario::expected_outputs() const {
+  std::vector<math::Int> out;
+  if (!reference) return out;
+  out.reserve(verify_points.size());
+  for (const fn::Point& x : verify_points) out.push_back((*reference)(x));
+  return out;
+}
+
+std::string point_to_string(const fn::Point& x) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i > 0) os << ',';
+    os << x[i];
+  }
+  return os.str();
+}
+
+fn::Point point_from_string(const std::string& text) {
+  fn::Point out;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(part, &used);
+      require(used == part.size() && v >= 0,
+              "point_from_string: bad component '" + part + "'");
+      out.push_back(v);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("point_from_string: bad component '" +
+                                  part + "' in '" + text + "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("point_from_string: component out of "
+                                  "range in '" + text + "'");
+    }
+  }
+  require(!out.empty(), "point_from_string: empty input '" + text + "'");
+  return out;
+}
+
+std::vector<fn::Point> grid_points(int d, math::Int m) {
+  require(d >= 1 && m >= 0, "grid_points: need d >= 1 and m >= 0");
+  std::vector<fn::Point> out;
+  fn::Point x(static_cast<std::size_t>(d), 0);
+  while (true) {
+    out.push_back(x);
+    int i = d - 1;
+    while (i >= 0 && x[static_cast<std::size_t>(i)] == m) {
+      x[static_cast<std::size_t>(i)] = 0;
+      --i;
+    }
+    if (i < 0) return out;
+    ++x[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace crnkit::scenario

@@ -1,0 +1,76 @@
+// A scenario is a named, fully-instantiated CRN workload: the network, the
+// reference function it is supposed to stably compute, the input points the
+// exact verifier should sweep, and a default large input for simulation and
+// benchmarking. Scenarios are the currency between the registry (a catalog
+// of the paper's constructions), the `crnc` CLI, the benches, and the
+// examples — anything that used to hand-roll a Crn + inputs pulls a
+// scenario instead.
+#ifndef CRNKIT_SCENARIO_SCENARIO_H_
+#define CRNKIT_SCENARIO_SCENARIO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "fn/function.h"
+
+namespace crnkit::scenario {
+
+struct Scenario {
+  /// Registry key, e.g. "fig1/min", "thm52/fig7", "chain/compose-256".
+  std::string name;
+  /// One-line human description.
+  std::string title;
+  /// Where in the paper the workload comes from, e.g. "Fig. 1".
+  std::string paper_ref;
+  /// Free-form labels: "oblivious", "leader", "leaderless", "composed",
+  /// "predicate", "protocol", "large", "unverifiable".
+  std::vector<std::string> tags;
+
+  crn::Crn crn;
+
+  /// The function the CRN should stably compute; absent for workloads
+  /// loaded from bare `.crn` files.
+  std::optional<fn::DiscreteFunction> reference;
+
+  /// Inputs for the exact stable-computation check. Kept small enough that
+  /// the reachable space fits the checker's default budget (scenarios
+  /// tagged "large" restrict these aggressively).
+  std::vector<fn::Point> verify_points;
+
+  /// Recommended exploration budget for the exact checker; 0 means the
+  /// checker's default. Composed circuits with combinatorial reachable
+  /// spaces raise this so their tiny verify grids still complete.
+  std::size_t verify_max_configs = 0;
+
+  /// Default input for `crnc simulate` / `crnc bench` — sized for
+  /// throughput, not for exact checking.
+  fn::Point sim_input;
+
+  /// Set when tagged "unverifiable": why `crnc verify` is expected to fail
+  /// or is not affordable for this scenario.
+  std::string unverifiable_reason;
+
+  [[nodiscard]] bool has_tag(const std::string& tag) const;
+  /// True iff tagged "unverifiable".
+  [[nodiscard]] bool unverifiable() const { return has_tag("unverifiable"); }
+
+  /// Expected output per verify point (empty when no reference).
+  [[nodiscard]] std::vector<math::Int> expected_outputs() const;
+};
+
+/// Renders a point as "3,4" (the CLI's `--input` syntax).
+[[nodiscard]] std::string point_to_string(const fn::Point& x);
+
+/// Parses "3,4" into a point; throws std::invalid_argument on bad syntax
+/// or negative components.
+[[nodiscard]] fn::Point point_from_string(const std::string& text);
+
+/// All points of [0, m]^d in lexicographic order — the grid sweeps used
+/// by scenario verify points and `crnc verify --grid`.
+[[nodiscard]] std::vector<fn::Point> grid_points(int d, math::Int m);
+
+}  // namespace crnkit::scenario
+
+#endif  // CRNKIT_SCENARIO_SCENARIO_H_

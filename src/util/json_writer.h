@@ -1,0 +1,154 @@
+// Minimal streaming JSON emission, shared by the bench tables and the
+// `crnc` CLI. The writer tracks nesting and comma placement so callers
+// only name keys and values; strings are escaped completely (quotes,
+// backslashes, and all control characters, the latter as \u00XX — the
+// bench helpers' original escaper missed those).
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object().kv("name", crn.name()).key("tags").begin_array();
+//   for (const auto& t : tags) w.value(t);
+//   w.end_array().end_object();
+//   out << w.str();
+#ifndef CRNKIT_UTIL_JSON_WRITER_H_
+#define CRNKIT_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace crnkit::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Names the next member of the enclosing object.
+  JsonWriter& key(const std::string& name) {
+    separate();
+    os_ << '"' << json_escape(name) << "\": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    separate();
+    os_ << '"' << json_escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  /// Doubles default to shortest-ish %.10g; use value_fixed for tables
+  /// whose diffs should be stable at a known precision.
+  JsonWriter& value(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    separate();
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value_fixed(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    separate();
+    os_ << buf;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    return key(name).value(v);
+  }
+  JsonWriter& kv_fixed(const std::string& name, double v, int precision) {
+    return key(name).value_fixed(v, precision);
+  }
+
+  /// Escape hatch: splices an already-serialized fragment (e.g. a
+  /// `"key": value` member prepared by a caller) as the next element.
+  JsonWriter& raw_member(const std::string& fragment) {
+    separate();
+    os_ << fragment;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  JsonWriter& open(char bracket) {
+    separate();
+    os_ << bracket;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char bracket) {
+    if (!needs_comma_.empty()) needs_comma_.pop_back();
+    os_ << bracket;
+    return *this;
+  }
+  /// Emits the comma before a new element when needed, and marks the
+  /// enclosing scope as populated. A value directly after key() never
+  /// takes a comma.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) os_ << ", ";
+      needs_comma_.back() = true;
+    }
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_JSON_WRITER_H_

@@ -1,0 +1,310 @@
+// Tests for the crnc CLI driver: every subcommand runs in-process against
+// captured streams, --json output is syntactically valid JSON, exit codes
+// distinguish success / check failure / usage error, and file workloads
+// round-trip through compile -> verify.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/crnc.h"
+#include "scenario/registry.h"
+
+namespace crnkit::cli {
+namespace {
+
+/// Minimal recursive-descent JSON syntax checker (objects, arrays,
+/// strings, numbers, booleans, null) — enough to catch malformed output.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct RunResult {
+  int status = -1;
+  std::string out;
+  std::string err;
+};
+
+RunResult run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int status = run_crnc(args, out, err);
+  return {status, out.str(), err.str()};
+}
+
+void expect_valid_json(const std::string& text) {
+  EXPECT_TRUE(JsonChecker(text).valid()) << "invalid JSON:\n" << text;
+}
+
+TEST(Crnc, NoArgumentsPrintsUsageAndFails) {
+  const auto r = run({});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Crnc, HelpSucceeds) {
+  EXPECT_EQ(run({"help"}).status, 0);
+}
+
+TEST(Crnc, UnknownCommandFailsWithUsage) {
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Crnc, UnknownScenarioSuggests) {
+  const auto r = run({"show", "fig1/minn"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("fig1/min"), std::string::npos) << r.err;
+}
+
+TEST(Crnc, UnknownFlagIsRejected) {
+  const auto r = run({"list", "--bogus"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+TEST(Crnc, ListHumanAndJson) {
+  const auto human = run({"list"});
+  EXPECT_EQ(human.status, 0);
+  EXPECT_NE(human.out.find("fig1/min"), std::string::npos);
+
+  const auto json = run({"list", "--json"});
+  EXPECT_EQ(json.status, 0);
+  expect_valid_json(json.out);
+  EXPECT_NE(json.out.find("\"scenarios\""), std::string::npos);
+  EXPECT_NE(json.out.find("chain/compose-256"), std::string::npos);
+}
+
+TEST(Crnc, ListMarkdownEmitsTable) {
+  const auto r = run({"list", "--markdown"});
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("| Scenario |"), std::string::npos);
+  EXPECT_NE(r.out.find("`fig1/min`"), std::string::npos);
+}
+
+TEST(Crnc, ListTagFilter) {
+  const auto r = run({"list", "--json", "--tag", "protocol"});
+  EXPECT_EQ(r.status, 0);
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("protocol/majority"), std::string::npos);
+  EXPECT_EQ(r.out.find("fig1/min"), std::string::npos);
+}
+
+TEST(Crnc, ShowJsonCarriesExpectedOutputs) {
+  const auto r = run({"show", "fig1/twice", "--json"});
+  EXPECT_EQ(r.status, 0);
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"verify_points\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"expected\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"crn_text\""), std::string::npos);
+}
+
+TEST(Crnc, CompileEmitsParsableText) {
+  const auto r = run({"compile", "fig1/min"});
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("crn min"), std::string::npos);
+  EXPECT_NE(r.out.find("rxn"), std::string::npos);
+}
+
+TEST(Crnc, CompileToFileThenVerifyAsFileWorkload) {
+  const std::string path =
+      testing::TempDir() + "/crnc_cli_test_doubling.crn";
+  const auto compile = run({"compile", "fig1/twice", "--out", path});
+  EXPECT_EQ(compile.status, 0);
+
+  // File workloads carry no reference function: --input/--expect drive it.
+  const auto good = run({"verify", path, "--input", "4", "--expect", "8"});
+  EXPECT_EQ(good.status, 0) << good.err;
+  const auto bad = run({"verify", path, "--input", "4", "--expect", "9"});
+  EXPECT_EQ(bad.status, 1);
+  const auto missing = run({"verify", path});
+  EXPECT_EQ(missing.status, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Crnc, SimulateAgreesWithReference) {
+  const auto r = run({"simulate", "fig1/min", "--input", "5,7",
+                      "--trajectories", "4", "--seed", "7", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"expected\": 5"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+}
+
+TEST(Crnc, SimulateBudgetCappedReportsInconclusiveNotAgreement) {
+  // No trajectory reaches silence inside 3 events, so nothing was actually
+  // compared against the reference — the output must say so instead of
+  // claiming agreement.
+  const auto r = run({"simulate", "fig1/min", "--input", "50,50",
+                      "--trajectories", "2", "--max-events", "3", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"silent\": 0"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"compared\": false"), std::string::npos) << r.out;
+
+  const auto human = run({"simulate", "fig1/min", "--input", "50,50",
+                          "--trajectories", "2", "--max-events", "3"});
+  EXPECT_NE(human.out.find("inconclusive"), std::string::npos) << human.out;
+  EXPECT_EQ(human.out.find("agrees"), std::string::npos) << human.out;
+}
+
+TEST(Crnc, SimulateMethodsRun) {
+  for (const char* method : {"silent", "direct", "next-reaction"}) {
+    const auto r = run({"simulate", "fig1/twice", "--input", "20",
+                        "--trajectories", "2", "--method", method,
+                        "--json"});
+    EXPECT_EQ(r.status, 0) << method << ": " << r.err;
+    expect_valid_json(r.out);
+  }
+  // The population scheduler needs a bimolecular network.
+  const auto r = run({"simulate", "protocol/floor-3x2", "--input", "12",
+                      "--trajectories", "2", "--method", "population",
+                      "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+}
+
+TEST(Crnc, VerifyScenarioJson) {
+  const auto r = run({"verify", "fig1/min", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"proved\": 25"), std::string::npos) << r.out;
+}
+
+TEST(Crnc, VerifyGridOverride) {
+  const auto r = run({"verify", "fig1/twice", "--grid", "3", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("\"proved\": 4"), std::string::npos) << r.out;
+}
+
+TEST(Crnc, VerifyUnverifiableSkipsUnlessForced) {
+  const auto skipped = run({"verify", "fig1/2max-broken", "--json"});
+  EXPECT_EQ(skipped.status, 0);
+  expect_valid_json(skipped.out);
+  EXPECT_NE(skipped.out.find("\"skipped\": true"), std::string::npos);
+
+  const auto forced = run({"verify", "fig1/2max-broken", "--force"});
+  EXPECT_EQ(forced.status, 1);
+  EXPECT_NE(forced.out.find("FAILED"), std::string::npos);
+}
+
+TEST(Crnc, VerifyEveryRegisteredScenario) {
+  // The catalog's contract behind `crnc list`: every registered scenario
+  // verifies, or is tagged unverifiable (which `verify` reports as a
+  // skip). New registrations are covered automatically.
+  for (const std::string& name : scenario::Registry::builtin().names()) {
+    const auto r = run({"verify", name, "--json"});
+    EXPECT_EQ(r.status, 0) << name << ":\n" << r.out << r.err;
+    expect_valid_json(r.out);
+  }
+}
+
+TEST(Crnc, BenchEmitsRecordShape) {
+  const auto r = run({"bench", "fig1/min", "--trajectories", "2", "--events",
+                      "50000", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"events_per_sec\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"wall_seconds\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crnkit::cli

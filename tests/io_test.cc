@@ -62,6 +62,26 @@ TEST(Io, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(crn.reactions().size(), 1u);
 }
 
+TEST(Io, TrailingCommentsIgnored) {
+  const Crn crn = from_text(
+      "crn c\ninputs X   # the input\noutput Y\nrxn X -> 2 Y  # doubles\n");
+  EXPECT_EQ(crn.reactions().size(), 1u);
+  EXPECT_TRUE(verify::check_stable_computation(crn, {3}, 6).ok);
+}
+
+TEST(Io, ReversibleReactionExpandsToBothDirections) {
+  const Crn crn = from_text(R"(
+crn dimer
+inputs X
+output Y
+rxn 2 X <-> X2
+rxn X + X2 -> Y
+)");
+  ASSERT_EQ(crn.reactions().size(), 3u);
+  // Footnote 5's 3X -> Y in bimolecular form: f(x) = floor(x/3).
+  EXPECT_TRUE(verify::check_stable_computation(crn, {7}, 2).ok);
+}
+
 TEST(Io, RejectsMalformedInput) {
   EXPECT_THROW((void)from_text("inputs X\noutput Y\n"),
                std::invalid_argument);  // missing header
@@ -69,6 +89,23 @@ TEST(Io, RejectsMalformedInput) {
                std::invalid_argument);
   EXPECT_THROW((void)from_text("crn c\noutput\n"), std::invalid_argument);
   EXPECT_THROW((void)from_text("crn c\nrxn A + B\n"), std::invalid_argument);
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)from_text(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no throw)");
+  };
+  EXPECT_NE(message_of("crn c\nbogus line\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(message_of("crn c\ninputs X\n\n# c\nrxn A + B\n").find("line 5"),
+            std::string::npos);
+  EXPECT_NE(message_of("crn c\noutput\n").find("line 2"),
+            std::string::npos);
 }
 
 }  // namespace

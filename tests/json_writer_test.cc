@@ -1,0 +1,69 @@
+// Tests for the shared JSON emission helper: escaping (including the
+// control characters and quote/backslash cases the old bench escaper
+// mishandled), comma placement, and nesting.
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace crnkit::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("fig1/min"), "fig1/min");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object().kv("a", 1).kv("b", "two").kv("c", true).end_object();
+  EXPECT_EQ(w.str(), "{\"a\": 1, \"b\": \"two\", \"c\": true}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object().key("xs").begin_array();
+  w.value(1).value(2);
+  w.begin_object().kv("deep", false).end_object();
+  w.end_array().kv("n", std::size_t{3}).end_object();
+  EXPECT_EQ(w.str(), "{\"xs\": [1, 2, {\"deep\": false}], \"n\": 3}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object().key("a").begin_array().end_array().key("o")
+      .begin_object().end_object().end_object();
+  EXPECT_EQ(w.str(), "{\"a\": [], \"o\": {}}");
+}
+
+TEST(JsonWriter, FixedPrecisionDoubles) {
+  JsonWriter w;
+  w.begin_object().kv_fixed("x", 1.0 / 3.0, 3).end_object();
+  EXPECT_EQ(w.str(), "{\"x\": 0.333}");
+}
+
+TEST(JsonWriter, KeysAreEscaped) {
+  JsonWriter w;
+  w.begin_object().kv("a\"b", 1).end_object();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\": 1}");
+}
+
+TEST(JsonWriter, RawMemberKeepsCommaDiscipline) {
+  JsonWriter w;
+  w.begin_object().kv("a", 1).raw_member("\"speedup\": 2.50").kv("b", 2)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"a\": 1, \"speedup\": 2.50, \"b\": 2}");
+}
+
+}  // namespace
+}  // namespace crnkit::util

@@ -1,0 +1,132 @@
+// Tests for the scenario registry: catalog size and metadata invariants,
+// the text-format round-trip property over every registered CRN, and exact
+// stable-computation verification of every scenario's verify points (the
+// catalog's correctness contract — anything tagged "unverifiable" must
+// say why instead).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crn/checks.h"
+#include "crn/io.h"
+#include "scenario/registry.h"
+#include "verify/stable.h"
+
+namespace crnkit::scenario {
+namespace {
+
+TEST(Registry, HasAtLeastTwelveScenarios) {
+  EXPECT_GE(Registry::builtin().size(), 12u);
+}
+
+TEST(Registry, NamesAreSortedAndBuildable) {
+  const auto names = Registry::builtin().names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+  for (const std::string& name : names) {
+    const Scenario s = Registry::builtin().build(name);
+    EXPECT_EQ(s.name, name);
+  }
+}
+
+TEST(Registry, UnknownNameSuggestsCloseMatch) {
+  try {
+    (void)Registry::builtin().build("fig1/minn");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fig1/min"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  Registry registry;
+  registry.add("a/b", [] { return Scenario(); });
+  EXPECT_THROW(registry.add("a/b", [] { return Scenario(); }),
+               std::exception);
+}
+
+TEST(Scenarios, MetadataIsConsistent) {
+  for (const Scenario& s : Registry::builtin().build_all()) {
+    SCOPED_TRACE(s.name);
+    EXPECT_FALSE(s.title.empty());
+    EXPECT_FALSE(s.tags.empty());
+    EXPECT_TRUE(s.crn.output().has_value());
+    EXPECT_EQ(static_cast<int>(s.sim_input.size()), s.crn.input_arity());
+    if (s.reference) {
+      EXPECT_EQ(s.reference->dimension(), s.crn.input_arity());
+    }
+    for (const fn::Point& x : s.verify_points) {
+      EXPECT_EQ(static_cast<int>(x.size()), s.crn.input_arity());
+    }
+    // The "oblivious" tag is a checked claim, not a label.
+    EXPECT_EQ(s.has_tag("oblivious"), crn::is_output_oblivious(s.crn));
+    EXPECT_EQ(s.has_tag("not-oblivious"),
+              !crn::is_output_oblivious(s.crn));
+    EXPECT_EQ(s.has_tag("leader"), s.crn.leader().has_value());
+    EXPECT_EQ(s.unverifiable(), !s.unverifiable_reason.empty());
+    EXPECT_EQ(s.expected_outputs().size(), s.verify_points.size());
+  }
+}
+
+TEST(Scenarios, TextFormatRoundTripsEveryScenario) {
+  for (const Scenario& s : Registry::builtin().build_all()) {
+    SCOPED_TRACE(s.name);
+    const std::string text = crn::to_text(s.crn);
+    const crn::Crn parsed = crn::from_text(text);
+    EXPECT_EQ(crn::to_text(parsed), text);
+    EXPECT_EQ(parsed.species_count(), s.crn.species_count());
+    EXPECT_EQ(parsed.reactions().size(), s.crn.reactions().size());
+    EXPECT_EQ(parsed.input_arity(), s.crn.input_arity());
+    EXPECT_EQ(parsed.leader().has_value(), s.crn.leader().has_value());
+  }
+}
+
+TEST(Scenarios, EveryVerifiableScenarioPassesExactCheck) {
+  for (const Scenario& s : Registry::builtin().build_all()) {
+    if (s.unverifiable()) continue;
+    SCOPED_TRACE(s.name);
+    ASSERT_TRUE(s.reference.has_value());
+    ASSERT_FALSE(s.verify_points.empty());
+    verify::StableCheckOptions options;
+    if (s.verify_max_configs > 0) {
+      options.max_configs = s.verify_max_configs;
+    }
+    for (const fn::Point& x : s.verify_points) {
+      const auto result = verify::check_stable_computation(
+          s.crn, x, (*s.reference)(x), options);
+      EXPECT_TRUE(result.ok && result.complete)
+          << "at x = " << point_to_string(x) << ": "
+          << result.summary(s.crn);
+    }
+  }
+}
+
+TEST(Scenarios, BrokenCompositionIsActuallyBroken) {
+  const Scenario s = Registry::builtin().build("fig1/2max-broken");
+  ASSERT_TRUE(s.unverifiable());
+  // The negative demo must stay negative: some verify point fails.
+  bool some_failure = false;
+  for (const fn::Point& x : s.verify_points) {
+    const auto result =
+        verify::check_stable_computation(s.crn, x, (*s.reference)(x));
+    if (!result.ok) {
+      some_failure = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(some_failure);
+}
+
+TEST(PointStrings, RoundTrip) {
+  EXPECT_EQ(point_to_string({3, 4}), "3,4");
+  EXPECT_EQ(point_from_string("3,4"), (fn::Point{3, 4}));
+  EXPECT_EQ(point_from_string("0"), (fn::Point{0}));
+  EXPECT_THROW((void)point_from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)point_from_string("1,x"), std::invalid_argument);
+  EXPECT_THROW((void)point_from_string("-1"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crnkit::scenario

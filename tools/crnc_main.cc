@@ -1,0 +1,12 @@
+// The crnc binary: thin argv wrapper over cli::run_crnc (which tests call
+// directly with captured streams).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/crnc.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return crnkit::cli::run_crnc(args, std::cout, std::cerr);
+}
