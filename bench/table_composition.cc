@@ -33,8 +33,9 @@ void print_artifacts() {
     const auto graph = verify::explore(bad, bad.initial_configuration(x));
     Int worst = 0;
     const auto y = static_cast<std::size_t>(bad.output_or_throw());
-    for (const auto& config : graph.configs) {
-      worst = std::max(worst, config[y]);
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      worst = std::max(worst,
+                       static_cast<Int>(graph.view(static_cast<int>(i))[y]));
     }
     const bool max_ok =
         verify::check_stable_computation(bad, x, want_max).ok;

@@ -1,13 +1,21 @@
-// T4 (extension table): cost of *proving* stable computation — reachable
-// configuration counts and SCC-checker decisions as inputs grow, for the
-// Fig 1 examples and the Theorem 5.2 circuit. The state space of the
-// composed circuit grows combinatorially (products of per-module
-// interleavings), which is exactly why the library pairs the exact checker
-// with the randomized one.
+// T4 (extension table): cost of *proving* stable computation — and the
+// perf trajectory of the exact-verification core.
+//
+// The arena-backed explorer (verify/config_store.h + reachability.cc:
+// flat 32-bit arena, sharded open-addressing interning with incremental
+// Zobrist hashing, compiled delta kernels, CSR edges) is measured against
+// `legacy_explore`, a verbatim port of the pre-PR explorer
+// (std::unordered_map over heap-allocated crn::Config vectors, term-list
+// reaction application) on the same workloads at the same node budget.
+// Emits BENCH_verification.json (configs/sec, edges/sec, peak
+// bytes/config, speedups) so CI diffs the verifier's throughput like the
+// SSA engine's.
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
 #include "bench_table.h"
-#include "compile/primitives.h"
-#include "compile/theorem52.h"
-#include "fn/examples.h"
+#include "scenario/registry.h"
 #include "verify/reachability.h"
 #include "verify/stable.h"
 
@@ -16,76 +24,270 @@ namespace {
 using namespace crnkit;
 using math::Int;
 
+// --- the pre-PR explorer, kept verbatim as the measurement baseline ---
+
+struct LegacyConfigHash {
+  std::size_t operator()(const crn::Config& c) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const math::Int v : c) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct LegacyGraph {
+  std::vector<crn::Config> configs;
+  std::vector<std::vector<int>> succ;
+  std::vector<int> parent;
+  std::vector<int> parent_reaction;
+  bool complete = true;
+};
+
+LegacyGraph legacy_explore(const crn::Crn& crn, const crn::Config& initial,
+                           std::size_t max_configs) {
+  LegacyGraph graph;
+  std::unordered_map<crn::Config, int, LegacyConfigHash> ids;
+  ids.reserve(max_configs * 2);
+  auto intern = [&](const crn::Config& c) -> int {
+    const auto it = ids.find(c);
+    if (it != ids.end()) return it->second;
+    const int id = static_cast<int>(graph.configs.size());
+    ids.emplace(c, id);
+    graph.configs.push_back(c);
+    graph.succ.emplace_back();
+    graph.parent.push_back(-1);
+    graph.parent_reaction.push_back(-1);
+    return id;
+  };
+  std::deque<int> frontier;
+  frontier.push_back(intern(initial));
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    const crn::Config current = graph.configs[static_cast<std::size_t>(node)];
+    for (std::size_t j = 0; j < crn.reactions().size(); ++j) {
+      const crn::Reaction& r = crn.reactions()[j];
+      if (!r.applicable(current)) continue;
+      crn::Config next = current;
+      r.apply_in_place(next);
+      const bool known = ids.find(next) != ids.end();
+      if (!known && graph.configs.size() >= max_configs) {
+        graph.complete = false;
+        continue;
+      }
+      const int next_id = intern(next);
+      graph.succ[static_cast<std::size_t>(node)].push_back(next_id);
+      if (!known) {
+        graph.parent[static_cast<std::size_t>(next_id)] = node;
+        graph.parent_reaction[static_cast<std::size_t>(next_id)] =
+            static_cast<int>(j);
+        frontier.push_back(next_id);
+      }
+    }
+  }
+  return graph;
+}
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 void print_artifacts() {
-  std::vector<std::vector<std::string>> rows;
-  auto census = [&rows](const std::string& name, const crn::Crn& crn,
-                        const fn::Point& x, Int expected) {
-    const auto graph = verify::explore(crn, crn.initial_configuration(x));
-    const auto check = verify::check_stable_computation(crn, x, expected);
-    rows.push_back({name,
-                    "(" + std::to_string(x[0]) +
-                        (x.size() > 1 ? "," + std::to_string(x[1]) : "") +
-                        ")",
-                    bench::fmt(static_cast<long long>(graph.size())),
-                    graph.complete ? "complete" : "truncated",
-                    check.ok ? "proved" : "failed/unknown"});
+  struct Case {
+    std::string scenario;
+    fn::Point x;
+  };
+  // Workloads from the registry: the Theorem 5.2 circuit (the composed
+  // state-space regime the verifier exists for) and the million-node
+  // composition-chain proof.
+  const std::vector<Case> cases = {
+      {"thm52/fig7", {2, 2}},
+      {"thm52/fig7", {3, 3}},
+      {"chain/compose-18", {8}},
   };
 
-  const crn::Crn min2 = compile::min_crn(2);
-  const crn::Crn max2 = compile::fig1_max_crn();
-  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
-                              fn::examples::fig7_extensions(), {}};
-  const crn::Crn circuit = compile::compile_theorem52(spec);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<bench::BenchRecord> records;
+  std::vector<std::string> extra;
+  const std::size_t max_configs = 2'000'000;
 
-  for (const Int n : {2, 4, 8, 16}) {
-    census("min", min2, {n, n}, n);
+  // Touch the code paths once so the first timed case is not a cold
+  // start.
+  {
+    const scenario::Scenario warm =
+        scenario::Registry::builtin().build("fig1/min");
+    (void)verify::explore(warm.crn, warm.crn.initial_configuration({8, 8}));
+    (void)legacy_explore(warm.crn, warm.crn.initial_configuration({8, 8}),
+                         max_configs);
   }
-  for (const Int n : {2, 4, 6}) {
-    census("max", max2, {n, n}, n);
+
+  for (const Case& c : cases) {
+    const scenario::Scenario s = scenario::Registry::builtin().build(
+        c.scenario);
+    const crn::Config initial = s.crn.initial_configuration(c.x);
+    const std::string label =
+        c.scenario + "(" + scenario::point_to_string(c.x) + ")";
+
+    // Best of two runs per engine, and each engine's graph is freed
+    // before the next is timed — no run is measured under another's
+    // memory footprint or first-touch page faults.
+    constexpr int kRuns = 2;
+    std::size_t legacy_configs = 0;
+    double legacy_s = 1e300;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const LegacyGraph legacy = legacy_explore(s.crn, initial, max_configs);
+      legacy_s = std::min(legacy_s, seconds_since(t0));
+      legacy_configs = legacy.configs.size();
+    }
+
+    std::size_t arena_configs = 0;
+    std::size_t arena_edges = 0;
+    std::size_t arena_bytes = 0;
+    bool complete = false;
+    double arena_s = 1e300;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto graph = verify::explore(
+          s.crn, initial, verify::ExploreOptions{max_configs});
+      arena_s = std::min(arena_s, seconds_since(t0));
+      arena_configs = graph.size();
+      arena_edges = graph.edge_count();
+      arena_bytes = graph.stats.arena_bytes;
+      complete = graph.complete;
+    }
+
+    std::size_t mt_configs = 0;
+    double arena_mt_s = 1e300;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto graph_mt = verify::explore(
+          s.crn, initial, verify::ExploreOptions{max_configs, /*threads=*/0});
+      arena_mt_s = std::min(arena_mt_s, seconds_since(t0));
+      mt_configs = graph_mt.size();
+    }
+
+    const double n = static_cast<double>(arena_configs);
+    const double speedup =
+        (legacy_s / static_cast<double>(legacy_configs)) / (arena_s / n);
+    const double bytes_per_config = static_cast<double>(arena_bytes) / n;
+    rows.push_back({label, bench::fmt(static_cast<long long>(arena_configs)),
+                    bench::fmt(static_cast<long long>(arena_edges)),
+                    complete ? "complete" : "truncated",
+                    bench::fmt(legacy_s), bench::fmt(arena_s),
+                    bench::fmt(speedup), bench::fmt(bytes_per_config)});
+
+    records.push_back({"legacy/" + label,
+                       static_cast<double>(legacy_configs) / legacy_s,
+                       legacy_s, legacy_configs});
+    records.push_back({"arena/" + label, n / arena_s, arena_s,
+                       arena_configs});
+    records.push_back({"arena-mt/" + label,
+                       static_cast<double>(mt_configs) / arena_mt_s,
+                       arena_mt_s, mt_configs});
+    records.push_back({"arena/" + label + "/edges",
+                       static_cast<double>(arena_edges) / arena_s, arena_s,
+                       arena_edges});
+
+    std::string key = label;
+    for (char& ch : key) {
+      if (ch == '/' || ch == '(' || ch == ')' || ch == ',' || ch == '-') {
+        ch = '_';
+      }
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"speedup_%s\": %.2f", key.c_str(),
+                  speedup);
+    extra.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "\"peak_bytes_per_config_%s\": %.1f",
+                  key.c_str(), bytes_per_config);
+    extra.emplace_back(buf);
   }
-  for (const Int n : {1, 2, 3}) {
-    census("thm52-fig7", circuit, {n, n}, fn::examples::fig7()({n, n}));
-  }
+
   bench::print_table(
-      "Exact verification cost: reachable configurations vs input",
-      {"CRN", "x", "configs", "exploration", "verdict"}, rows, 14);
-  std::printf("\nThe composed circuit's state space grows combinatorially — "
-              "the reason sim_check (randomized silent runs) exists.\n");
+      "Exact verification: arena explorer vs the pre-PR explorer "
+      "(equal max_configs)",
+      {"workload", "configs", "edges", "exploration", "legacy_s", "arena_s",
+       "speedup", "B/config"},
+      rows, 14);
+
+  // The acceptance workload: a composition chain proven exactly at >= 1M
+  // explored configurations, full SCC decision included.
+  {
+    const scenario::Scenario s =
+        scenario::Registry::builtin().build("chain/compose-18");
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto check = verify::check_stable_computation(s.crn, {8}, 8);
+    const double proof_s = seconds_since(t0);
+    std::printf("\nchain/compose-18 @ x=8: %s in %.2fs (%zu configs, %zu "
+                "edges — a stable-computation *proof* over a >1M-node "
+                "reachability graph)\n",
+                check.ok && check.complete ? "PROVED" : "NOT PROVED",
+                proof_s, check.num_configs, check.num_edges);
+    records.push_back({"proof/chain/compose-18(8)",
+                       static_cast<double>(check.num_configs) / proof_s,
+                       proof_s, check.num_configs});
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"chain18_proof_seconds\": %.3f",
+                  proof_s);
+    extra.emplace_back(buf);
+  }
+
+  bench::write_bench_json("verification", records, extra);
 }
 
 void BM_ExploreMin(benchmark::State& state) {
-  const crn::Crn min2 = compile::min_crn(2);
+  const scenario::Scenario s = scenario::Registry::builtin().build("fig1/min");
   const Int n = state.range(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        verify::explore(min2, min2.initial_configuration({n, n})).size());
+        verify::explore(s.crn, s.crn.initial_configuration({n, n})).size());
   }
 }
 BENCHMARK(BM_ExploreMin)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_ExploreMax(benchmark::State& state) {
-  const crn::Crn max2 = compile::fig1_max_crn();
+  const scenario::Scenario s = scenario::Registry::builtin().build("fig1/max");
   const Int n = state.range(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        verify::explore(max2, max2.initial_configuration({n, n})).size());
+        verify::explore(s.crn, s.crn.initial_configuration({n, n})).size());
   }
 }
 BENCHMARK(BM_ExploreMax)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
 void BM_StableCheckCircuit(benchmark::State& state) {
-  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
-                              fn::examples::fig7_extensions(), {}};
-  const crn::Crn circuit = compile::compile_theorem52(spec);
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("thm52/fig7");
   const Int n = state.range(0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        verify::check_stable_computation(circuit, {n, n},
-                                         fn::examples::fig7()({n, n}))
+        verify::check_stable_computation(s.crn, {n, n},
+                                         (*s.reference)({n, n}))
             .ok);
   }
 }
 BENCHMARK(BM_StableCheckCircuit)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreCircuitParallel(benchmark::State& state) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("thm52/fig7");
+  verify::ExploreOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::explore(s.crn, s.crn.initial_configuration({2, 2}), options)
+            .size());
+  }
+}
+BENCHMARK(BM_ExploreCircuitParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -48,8 +48,8 @@ int main() {
     const auto path = verify::path_from_root(graph, *over);
     std::printf("\n2*max on (2,3): expected 6, but Y can reach %lld via %zu "
                 "reactions:\n",
-                static_cast<long long>(broken.output_count(
-                    graph.configs[static_cast<std::size_t>(*over)])),
+                static_cast<long long>(
+                    broken.output_count(graph.config(*over))),
                 path.size());
     for (const int r : path) {
       std::printf("  %s\n",

@@ -4,6 +4,7 @@
 // proved (ok and complete exploration) for exit 0. Scenarios tagged
 // "unverifiable" are skipped with their recorded reason unless --force.
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 #include "cli/commands.h"
@@ -17,10 +18,12 @@ namespace crnkit::cli {
 int cmd_verify(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
   const bool force = args.take_flag("force");
+  const bool stats = args.take_flag("stats");
   const auto grid = args.take_option("grid");
   const auto input_text = args.take_option("input");
   const auto expect_text = args.take_option("expect");
   const std::int64_t max_configs_flag = args.take_int("max-configs", 0);
+  const std::int64_t threads_flag = args.take_int("threads", 1);
   const auto target = args.take_positional();
   args.finish();
   if (!target) throw std::invalid_argument("verify needs a scenario or file");
@@ -83,11 +86,18 @@ int cmd_verify(Args& args, std::ostream& out) {
   } else if (s.verify_max_configs > 0) {
     options.max_configs = s.verify_max_configs;
   }
+  options.threads = static_cast<int>(threads_flag);
 
   int proved = 0;
   int failed = 0;
   int inconclusive = 0;
   std::size_t max_explored = 0;
+  std::size_t total_configs = 0;
+  std::size_t total_edges = 0;
+  double total_seconds = 0.0;
+  std::size_t frontier_peak = 0;
+  std::size_t arena_bytes_peak = 0;
+  int threads_resolved = options.threads;  // explore() reports the real count
   util::JsonWriter w;
   std::vector<std::vector<std::string>> rows;
   if (json) {
@@ -110,6 +120,14 @@ int cmd_verify(Args& args, std::ostream& out) {
       ++failed;
     }
     max_explored = std::max(max_explored, result.num_configs);
+    total_configs += result.num_configs;
+    total_edges += result.num_edges;
+    total_seconds += result.explore_stats.wall_seconds;
+    frontier_peak =
+        std::max(frontier_peak, result.explore_stats.frontier_peak);
+    arena_bytes_peak =
+        std::max(arena_bytes_peak, result.explore_stats.arena_bytes);
+    threads_resolved = result.explore_stats.threads;
     const std::string status = proof          ? "proved"
                                : result.complete ? "FAILED"
                                                  : "inconclusive";
@@ -120,8 +138,20 @@ int cmd_verify(Args& args, std::ostream& out) {
           .kv("ok", result.ok)
           .kv("complete", result.complete)
           .kv("configs", result.num_configs)
-          .kv("status", status)
-          .end_object();
+          .kv("status", status);
+      if (stats) {
+        const double secs = result.explore_stats.wall_seconds;
+        w.kv("edges", result.num_edges)
+            .kv_fixed("wall_seconds", secs, 6)
+            .kv_fixed("configs_per_sec",
+                      secs > 0.0
+                          ? static_cast<double>(result.num_configs) / secs
+                          : 0.0,
+                      1)
+            .kv("frontier_peak", result.explore_stats.frontier_peak)
+            .kv("arena_bytes", result.explore_stats.arena_bytes);
+      }
+      w.end_object();
     } else {
       rows.push_back({scenario::point_to_string(points[i]),
                       std::to_string(expected[i]), status,
@@ -130,14 +160,28 @@ int cmd_verify(Args& args, std::ostream& out) {
   }
 
   const bool all_ok = failed == 0 && inconclusive == 0;
+  const double total_rate =
+      total_seconds > 0.0 ? static_cast<double>(total_configs) / total_seconds
+                          : 0.0;
   if (json) {
     w.end_array()
         .kv("proved", proved)
         .kv("failed", failed)
         .kv("inconclusive", inconclusive)
-        .kv("max_configs_explored", max_explored)
-        .kv("ok", all_ok)
-        .end_object();
+        .kv("max_configs_explored", max_explored);
+    if (stats) {
+      w.key("stats")
+          .begin_object()
+          .kv("threads", threads_resolved)
+          .kv("configs", total_configs)
+          .kv("edges", total_edges)
+          .kv_fixed("wall_seconds", total_seconds, 6)
+          .kv_fixed("configs_per_sec", total_rate, 1)
+          .kv("frontier_peak", frontier_peak)
+          .kv("arena_bytes", arena_bytes_peak)
+          .end_object();
+    }
+    w.kv("ok", all_ok).end_object();
     out << w.str() << "\n";
   } else {
     print_table(out, {"x", "expected", "status", "configs"}, rows);
@@ -150,6 +194,16 @@ int cmd_verify(Args& args, std::ostream& out) {
           << " inconclusive (raise --max-configs)";
     }
     out << "\n";
+    if (stats) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "stats: %zu configs, %zu edges in %.3fs (%.0f "
+                    "configs/sec), frontier peak %zu, arena %.1f MiB\n",
+                    total_configs, total_edges, total_seconds, total_rate,
+                    frontier_peak,
+                    static_cast<double>(arena_bytes_peak) / (1024.0 * 1024.0));
+      out << line;
+    }
   }
   return all_ok ? 0 : 1;
 }

@@ -29,7 +29,7 @@ commands:
       [--max-steps N] [--max-events N] [--json]
   verify <scenario|file.crn>  exact stable-computation check
       [--grid N | --input X1,X2,... [--expect V]] [--max-configs N]
-      [--force] [--json]
+      [--threads T] [--stats] [--force] [--json]
   bench <scenario|file.crn>   ensemble throughput measurement
       [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
       [--threads T] [--method ...] [--json]

@@ -183,10 +183,12 @@ void register_builtin_scenarios(Registry& registry) {
                       {"oblivious", "leader", "compiled", "composed"},
                       compile::compile_theorem52(spec), fn::examples::fig7(),
                       grid_points(2, 1), {3000, 4000});
-    // The composed circuit's reachable space grows combinatorially: the
-    // [0,1]^2 grid needs a raised budget, anything larger is covered
-    // stochastically (`crnc simulate`).
-    s.verify_max_configs = 600'000;
+    // The composed circuit's reachable space grows combinatorially —
+    // ~18.5k configs at (2,2), ~320k at (3,3) — well inside the arena
+    // explorer's 2M default budget, so both are proved exactly; anything
+    // larger is covered stochastically (`crnc simulate`).
+    s.verify_points.push_back({2, 2});
+    s.verify_points.push_back({3, 3});
     return s;
   });
 
@@ -242,6 +244,15 @@ void register_builtin_scenarios(Registry& registry) {
                 "4 concatenated oblivious identity modules (Obs. 2.2)",
                 "Obs. 2.2", {"oblivious", "leaderless", "composed"},
                 identity_chain(4), identity_fn(), line_points(5), {100000});
+  });
+
+  registry.add("chain/compose-18", [] {
+    return make("chain/compose-18",
+                "18 concatenated oblivious identity modules at x=8 — a "
+                "C(26,18) = 1,562,275-configuration exact proof, the "
+                "million-node regime of the arena-backed explorer",
+                "Obs. 2.2", {"oblivious", "leaderless", "composed", "large"},
+                identity_chain(18), identity_fn(), {{1}, {8}}, {100000});
   });
 
   registry.add("chain/compose-256", [] {

@@ -60,11 +60,31 @@ class CompiledNetwork {
 
   /// True iff `config` has all reactants of reaction j. Inline below.
   [[nodiscard]] bool applicable(std::size_t j,
-                                const crn::Config& config) const;
+                                const crn::Config& config) const {
+    return applicable(j, config.data());
+  }
+
+  /// Raw-pointer applicability over the CSR reactant slice — the shared
+  /// fast path of the simulators and the exact verifier's arena explorer
+  /// (which stores configurations as 32-bit counts without crn::Config
+  /// wrappers; any integral element type promotes correctly).
+  template <typename CountT>
+  [[nodiscard]] bool applicable(std::size_t j, const CountT* config) const {
+    for (std::size_t i = reactant_off_[j]; i < reactant_off_[j + 1]; ++i) {
+      if (config[reactant_species_[i]] < reactant_count_[i]) return false;
+    }
+    return true;
+  }
 
   /// Applies reaction j's net deltas in place; the caller must have checked
   /// applicability.
   void apply(std::size_t j, crn::Config& config) const {
+    apply_delta(j, config.data());
+  }
+
+  /// Raw-pointer delta application — the simulators' and any explorer's
+  /// fast path.
+  void apply_delta(std::size_t j, math::Int* config) const {
     for (std::size_t i = delta_off_[j]; i < delta_off_[j + 1]; ++i) {
       config[delta_species_[i]] += delta_value_[i];
     }
@@ -81,6 +101,10 @@ class CompiledNetwork {
   [[nodiscard]] Span<std::uint32_t> delta_species(std::size_t j) const {
     return {delta_species_.data() + delta_off_[j],
             delta_species_.data() + delta_off_[j + 1]};
+  }
+  [[nodiscard]] Span<math::Int> delta_values(std::size_t j) const {
+    return {delta_value_.data() + delta_off_[j],
+            delta_value_.data() + delta_off_[j + 1]};
   }
 
   /// Largest dependents() size over all reactions (the per-event update
@@ -155,14 +179,6 @@ inline double CompiledNetwork::propensity(std::size_t j,
     }
   }
   return a;
-}
-
-inline bool CompiledNetwork::applicable(std::size_t j,
-                                        const crn::Config& config) const {
-  for (std::size_t i = reactant_off_[j]; i < reactant_off_[j + 1]; ++i) {
-    if (config[reactant_species_[i]] < reactant_count_[i]) return false;
-  }
-  return true;
 }
 
 }  // namespace crnkit::sim

@@ -1,0 +1,335 @@
+#include "verify/config_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "math/check.h"
+
+namespace crnkit::verify {
+
+namespace {
+constexpr unsigned kInitialSlotBits = 6;
+constexpr std::size_t kInitialSlots = std::size_t{1}
+                                      << kInitialSlotBits;  // per shard
+
+/// Asks the kernel to back a large buffer with transparent huge pages:
+/// the arena and the big hash tables are faulted in once and probed
+/// randomly, so 2 MiB pages cut both the fault count and TLB pressure.
+void advise_huge(void* data, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr std::size_t kHuge = 2u << 20;
+  if (bytes < 2 * kHuge) return;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t aligned = (addr + kHuge - 1) & ~(kHuge - 1);
+  const std::size_t usable = bytes - static_cast<std::size_t>(aligned - addr);
+  (void)madvise(reinterpret_cast<void*>(aligned), usable & ~(kHuge - 1),
+                MADV_HUGEPAGE);
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
+ConfigStore::ConfigStore(std::size_t width)
+    : width_(width), shards_(kShards) {
+  zseed_.resize(width_);
+  for (std::size_t s = 0; s < width_; ++s) {
+    zseed_[s] = splitmix64(0x9b1a5d9c0e7f3a21ULL + s);
+  }
+  for (Shard& shard : shards_) {
+    shard.slots.assign(kInitialSlots, 0);
+    shard.mask = kInitialSlots - 1;
+    shard.shift = 64 - kShardBits - kInitialSlotBits;
+  }
+}
+
+std::uint64_t ConfigStore::hash(const math::Int* c) const {
+  std::uint64_t h = 0;
+  for (std::size_t s = 0; s < width_; ++s) h ^= elem_hash(s, c[s]);
+  return h;
+}
+
+namespace {
+
+/// Word-at-a-time equality over Count ranges — the segments between delta
+/// positions are short, so an inlined compare beats a memcmp call.
+inline bool counts_equal(const ConfigStore::Count* a,
+                         const ConfigStore::Count* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    std::uint64_t wa;
+    std::uint64_t wb;
+    std::memcpy(&wa, a + i, sizeof(wa));
+    std::memcpy(&wb, b + i, sizeof(wb));
+    if (wa != wb) return false;
+  }
+  return i == n || a[i] == b[i];
+}
+
+}  // namespace
+
+bool ConfigStore::equal_delta(const Count* row, const Count* base,
+                              const std::uint32_t* ds, const math::Int* dv,
+                              std::size_t nd) const {
+  // The delta list is sorted by species: between delta positions the row
+  // must equal the base verbatim; at each delta position it must equal
+  // base + delta.
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k < nd; ++k) {
+    const std::size_t s = ds[k];
+    if (!counts_equal(row + prev, base + prev, s - prev)) return false;
+    if (row[s] != static_cast<std::int64_t>(base[s]) + dv[k]) return false;
+    prev = s + 1;
+  }
+  return counts_equal(row + prev, base + prev, width_ - prev);
+}
+
+void ConfigStore::materialize(Shard& shard, const Count* base,
+                              const std::uint32_t* ds, const math::Int* dv,
+                              std::size_t nd) {
+  const std::size_t at = shard.staged.size();
+  shard.staged.resize(at + width_);
+  Count* out = shard.staged.data() + at;
+  std::memcpy(out, base, width_ * sizeof(Count));
+  for (std::size_t k = 0; k < nd; ++k) {
+    const std::int64_t value =
+        static_cast<std::int64_t>(out[ds[k]]) + dv[k];
+    require(value >= 0 && value <= std::numeric_limits<Count>::max(),
+            "ConfigStore: species count outside [0, 2^31)");
+    out[ds[k]] = static_cast<Count>(value);
+  }
+}
+
+void ConfigStore::reserve(std::size_t n_configs) {
+  pool_.reserve(n_configs * width_);
+  id_hash_.reserve(n_configs);
+  advise_huge(pool_.data(), pool_.capacity() * sizeof(Count));
+  advise_huge(id_hash_.data(), id_hash_.capacity() * sizeof(std::uint64_t));
+}
+
+void ConfigStore::grow(Shard& shard) {
+  const std::size_t cap = shard.mask + 1;
+  std::vector<std::uint64_t> old(std::move(shard.slots));
+  // Advise before first touch: huge pages must be requested before the
+  // zero-fill faults the region in.
+  shard.slots = std::vector<std::uint64_t>();
+  shard.slots.reserve(cap * 2);
+  advise_huge(shard.slots.data(), cap * 2 * sizeof(std::uint64_t));
+  shard.slots.assign(cap * 2, 0);
+  shard.mask = cap * 2 - 1;
+  --shard.shift;
+  for (const std::uint64_t word : old) {
+    if (word == 0) continue;
+    // Recover the full hash (slots only keep the tag bits).
+    const std::uint64_t enc = word & 0xffffffffULL;
+    const std::uint64_t h =
+        (enc & kPendingBit)
+            ? shard.staged_hash[static_cast<std::size_t>(enc & ~kPendingBit)]
+            : id_hash_[static_cast<std::size_t>(enc - 1)];
+    std::size_t idx = (h >> shard.shift) & shard.mask;
+    while (shard.slots[idx] != 0) idx = (idx + 1) & shard.mask;
+    shard.slots[idx] = word;
+    if (enc & kPendingBit) {
+      shard.staged_slot[static_cast<std::size_t>(enc & ~kPendingBit)] =
+          static_cast<std::uint32_t>(idx);
+    }
+  }
+}
+
+void ConfigStore::insert_slot(Shard& shard, std::uint64_t h,
+                              std::uint64_t enc) {
+  std::size_t idx = (h >> shard.shift) & shard.mask;
+  while (shard.slots[idx] != 0) idx = (idx + 1) & shard.mask;
+  shard.slots[idx] = pack(h, enc);
+  ++shard.used;
+}
+
+ConfigStore::StageResult ConfigStore::stage_delta(std::uint64_t h,
+                                                  const Count* base,
+                                                  const std::uint32_t* ds,
+                                                  const math::Int* dv,
+                                                  std::size_t nd) {
+  const int s = shard_of(h);
+  Shard& shard = shards_[static_cast<std::size_t>(s)];
+  if ((shard.used + 1) * 8 >= (shard.mask + 1) * 5) grow(shard);
+
+  std::size_t idx = (h >> shard.shift) & shard.mask;
+  while (true) {
+    const std::uint64_t word = shard.slots[idx];
+    if (word == 0) break;
+    if (tag_matches(word, h)) {
+      const std::uint64_t enc = word & 0xffffffffULL;
+      if (enc & kPendingBit) {
+        const std::size_t local = static_cast<std::size_t>(enc & ~kPendingBit);
+        if (equal_delta(shard.staged.data() + local * width_, base, ds, dv,
+                        nd)) {
+          return {-static_cast<std::int64_t>((local << kShardBits) |
+                                             static_cast<std::size_t>(s)) -
+                      2,
+                  false};
+        }
+      } else {
+        const auto id = static_cast<std::int32_t>(enc - 1);
+        if (equal_delta(view(id), base, ds, dv, nd)) {
+          return {static_cast<std::int64_t>(id), false};
+        }
+      }
+    }
+    idx = (idx + 1) & shard.mask;
+  }
+
+  const std::size_t local = shard.staged_hash.size();
+  materialize(shard, base, ds, dv, nd);
+  shard.staged_hash.push_back(h);
+  shard.staged_slot.push_back(static_cast<std::uint32_t>(idx));
+  shard.slots[idx] = pack(h, kPendingBit | local);
+  ++shard.used;
+  return {-static_cast<std::int64_t>((local << kShardBits) |
+                                     static_cast<std::size_t>(s)) -
+              2,
+          true};
+}
+
+std::int64_t ConfigStore::find_delta(std::uint64_t h, const Count* base,
+                                     const std::uint32_t* ds,
+                                     const math::Int* dv,
+                                     std::size_t nd) const {
+  const Shard& shard = shards_[static_cast<std::size_t>(shard_of(h))];
+  std::size_t idx = (h >> shard.shift) & shard.mask;
+  while (true) {
+    const std::uint64_t word = shard.slots[idx];
+    if (word == 0) return kDroppedHandle;
+    if (tag_matches(word, h)) {
+      const std::uint64_t enc = word & 0xffffffffULL;
+      if (!(enc & kPendingBit)) {
+        const auto id = static_cast<std::int32_t>(enc - 1);
+        if (equal_delta(view(id), base, ds, dv, nd)) {
+          return static_cast<std::int64_t>(id);
+        }
+      }
+    }
+    idx = (idx + 1) & shard.mask;
+  }
+}
+
+ConfigStore::StageResult ConfigStore::stage(std::uint64_t h,
+                                            const math::Int* c) {
+  // Full-configuration staging (the root): route through stage_delta with
+  // an empty delta over a narrowed copy of `c`.
+  std::vector<Count> narrow(width_);
+  for (std::size_t s = 0; s < width_; ++s) {
+    require(c[s] >= 0 && c[s] <= std::numeric_limits<Count>::max(),
+            "ConfigStore: species count outside [0, 2^31)");
+    narrow[s] = static_cast<Count>(c[s]);
+  }
+  return stage_delta(h, narrow.data(), nullptr, nullptr, 0);
+}
+
+std::size_t ConfigStore::staged_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.staged_hash.size();
+  return total;
+}
+
+std::size_t ConfigStore::commit(std::size_t max_new) {
+  // Assign consecutive ids in (shard, stage-order) order.
+  std::size_t budget = max_new;
+  std::size_t total = 0;
+  std::int32_t next = static_cast<std::int32_t>(size_);
+  bool any_rejects = false;
+  for (Shard& shard : shards_) {
+    const std::size_t staged = shard.staged_hash.size();
+    shard.base = next;
+    shard.accepted = staged < budget ? staged : budget;
+    budget -= shard.accepted;
+    total += shard.accepted;
+    next += static_cast<std::int32_t>(shard.accepted);
+    if (shard.accepted < staged) any_rejects = true;
+  }
+
+  // Appending via insert() keeps vector growth geometric and skips the
+  // zero-initialization a resize()-then-memcpy would pay on every level.
+  for (Shard& shard : shards_) {
+    if (shard.accepted > 0) {
+      pool_.insert(pool_.end(), shard.staged.begin(),
+                   shard.staged.begin() +
+                       static_cast<std::ptrdiff_t>(shard.accepted * width_));
+      id_hash_.insert(id_hash_.end(), shard.staged_hash.begin(),
+                      shard.staged_hash.begin() +
+                          static_cast<std::ptrdiff_t>(shard.accepted));
+    }
+    if (shard.accepted == shard.staged_hash.size()) {
+      // No rejects: point the pending slots at their final ids.
+      for (std::size_t local = 0; local < shard.accepted; ++local) {
+        const std::uint64_t enc = static_cast<std::uint64_t>(
+                                      shard.base + static_cast<std::int32_t>(
+                                                       local)) +
+                                  1;
+        std::uint64_t& word = shard.slots[shard.staged_slot[local]];
+        word = (word >> 32 << 32) | enc;
+      }
+    }
+  }
+  size_ += total;
+
+  if (any_rejects) {
+    // Open addressing cannot delete in place: rebuild the affected shards
+    // from the committed pool (at most once per exploration — after the
+    // budget fills, callers switch to find_delta()).
+    for (Shard& shard : shards_) {
+      if (shard.accepted == shard.staged_hash.size()) continue;
+      std::fill(shard.slots.begin(), shard.slots.end(), 0);
+      shard.used = 0;
+    }
+    for (std::size_t id = 0; id < size_; ++id) {
+      const std::uint64_t h = id_hash_[id];
+      Shard& shard = shards_[static_cast<std::size_t>(shard_of(h))];
+      if (shard.accepted == shard.staged_hash.size()) continue;
+      if ((shard.used + 1) * 8 >= (shard.mask + 1) * 5) grow(shard);
+      insert_slot(shard, h, id + 1);
+    }
+  }
+  return total;
+}
+
+std::int32_t ConfigStore::resolve(std::int64_t handle) const {
+  if (handle >= 0) return static_cast<std::int32_t>(handle);
+  if (handle == kDroppedHandle) return -1;
+  const std::uint64_t enc = static_cast<std::uint64_t>(-handle - 2);
+  const Shard& shard = shards_[enc & (kShards - 1)];
+  const std::size_t local = enc >> kShardBits;
+  if (local >= shard.accepted) return -1;
+  return shard.base + static_cast<std::int32_t>(local);
+}
+
+void ConfigStore::finish_level() {
+  for (Shard& shard : shards_) {
+    shard.staged.clear();
+    shard.staged_hash.clear();
+    shard.staged_slot.clear();
+    shard.accepted = 0;
+  }
+}
+
+std::size_t ConfigStore::bytes() const {
+  // Sizes, not capacities, for the arena: reserve() may map far more
+  // address space than the exploration touches.
+  std::size_t total = pool_.size() * sizeof(Count) +
+                      id_hash_.size() * sizeof(std::uint64_t);
+  for (const Shard& shard : shards_) {
+    total += shard.slots.capacity() * sizeof(std::uint64_t);
+    total += shard.staged.capacity() * sizeof(Count);
+    total += shard.staged_hash.capacity() * sizeof(std::uint64_t);
+    total += shard.staged_slot.capacity() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+}  // namespace crnkit::verify

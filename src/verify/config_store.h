@@ -1,0 +1,271 @@
+// ConfigStore: the arena-backed configuration interner behind the exact
+// verifier.
+//
+// Every explored configuration lives in one contiguous pool of 32-bit
+// counts — node id i occupies pool[i * width, (i+1) * width) — so the
+// explorer never heap-allocates per configuration, neighbouring nodes
+// share cache lines, and a membership compare moves half the bytes a
+// dense math::Int layout would (counts are checked against the 2^31
+// range when configurations are created; exact exploration of graphs
+// whose counts exceed that is far beyond any feasible node budget).
+//
+// Membership is an open-addressing (linear probe) hash set sharded by
+// the top bits of a Zobrist-style hash: each species/value pair
+// contributes splitmix64(seed[species] ^ value), XOR-combined, so
+// applying a reaction updates the hash incrementally in O(deltas)
+// rather than rehashing the whole configuration. A slot is one packed
+// 64-bit word (32-bit hash tag + 32-bit encoded id) — a probe touches a
+// single cache line, and full-configuration compares gate every hit, so
+// tag collisions cost a compare, never correctness. prefetch()/
+// prefetch_row() let explorers hide the table's and the arena's DRAM
+// latency behind candidate generation.
+//
+// Candidates are described as (base row, reaction delta) pairs —
+// stage_delta()/find_delta() compare stored rows against base+delta on
+// the fly and only materialize a configuration when it is genuinely new.
+//
+// Interning is level-synchronous to keep the parallel explorer
+// deterministic: during a BFS level, shard owners stage candidates
+// (concurrently — a shard is only ever touched by its owner), then a
+// single commit() assigns consecutive node ids in (shard, stage-order)
+// order and copies accepted configurations into the pool. A node budget
+// is enforced at commit time; shards whose staged entries were rejected
+// are rebuilt so the table never contains configurations the graph does
+// not.
+#ifndef CRNKIT_VERIFY_CONFIG_STORE_H_
+#define CRNKIT_VERIFY_CONFIG_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crn/reaction.h"
+
+namespace crnkit::verify {
+
+/// splitmix64 finalizer: the mixing function for hashes and shard choice.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class ConfigStore {
+ public:
+  /// Arena element: molecular counts, range-checked on creation.
+  using Count = std::int32_t;
+
+  static constexpr int kShardBits = 6;
+  static constexpr int kShards = 1 << kShardBits;
+  /// stage()/find() handle for a configuration dropped by the budget.
+  static constexpr std::int64_t kDroppedHandle = -1;
+
+  explicit ConfigStore(std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Node id -> its counts inside the arena (width() values).
+  [[nodiscard]] const Count* view(std::int32_t id) const {
+    return pool_.data() + static_cast<std::size_t>(id) * width_;
+  }
+  /// Materializes a configuration (for results and error messages; hot
+  /// paths use view()).
+  [[nodiscard]] crn::Config config(std::int32_t id) const {
+    const Count* p = view(id);
+    return crn::Config(p, p + width_);
+  }
+  /// The stored hash of a committed configuration (so explorers derive
+  /// successor hashes incrementally without rehashing the node).
+  [[nodiscard]] std::uint64_t id_hash(std::int32_t id) const {
+    return id_hash_[static_cast<std::size_t>(id)];
+  }
+
+  /// Zobrist hash of a full configuration. Per-species-and-value
+  /// contributions XOR together, so callers can update incrementally with
+  /// elem_hash when a reaction changes a few counts.
+  [[nodiscard]] std::uint64_t hash(const math::Int* c) const;
+  [[nodiscard]] std::uint64_t elem_hash(std::size_t species,
+                                        math::Int value) const {
+    return splitmix64(zseed_[species] ^ static_cast<std::uint64_t>(value));
+  }
+  [[nodiscard]] static int shard_of(std::uint64_t h) {
+    return static_cast<int>(h >> (64 - kShardBits));
+  }
+
+  /// Pulls the slot a probe for `h` would start at into cache.
+  void prefetch(std::uint64_t h) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const Shard& shard = shards_[static_cast<std::size_t>(shard_of(h))];
+    __builtin_prefetch(shard.slots.data() + ((h >> shard.shift) & shard.mask));
+#else
+    (void)h;
+#endif
+  }
+
+  /// Warming hint for a later stage/find of the same hash: walks the
+  /// (already prefetched) probe chain and prefetches the configuration
+  /// row a hash-tag match would be compared against. Purely advisory —
+  /// the real probe re-walks the now-cached chain — but it overlaps the
+  /// compare's DRAM read with the caller's other candidates, which is
+  /// most of an interning's latency.
+  void prefetch_row(std::uint64_t h) const;
+
+  // --- level protocol ---
+  //
+  // Within one BFS level, stage_delta()/stage() may be called
+  // concurrently as long as each shard (shard_of(h)) is only touched by
+  // one thread. commit(), resolve() after commit, and finish_level() are
+  // serial.
+
+  struct StageResult {
+    /// >= 0: id of an already-committed identical configuration.
+    /// < -1: opaque pending handle — pass to resolve() after commit().
+    std::int64_t handle = kDroppedHandle;
+    /// True iff this call created the pending entry (the caller staging a
+    /// new configuration first "wins" it — the deterministic BFS parent).
+    bool created = false;
+  };
+
+  /// Interns the configuration `base + delta` (with precomputed hash
+  /// `h`), where `base` is an arena row and (ds, dv, nd) a reaction's
+  /// sorted net-delta list: an existing id, an existing pending entry
+  /// from this level, or a fresh pending entry. The configuration is
+  /// only materialized when new.
+  StageResult stage_delta(std::uint64_t h, const Count* base,
+                          const std::uint32_t* ds, const math::Int* dv,
+                          std::size_t nd);
+
+  /// Lookup-only variant (used once the node budget is exhausted):
+  /// a committed id, or kDroppedHandle.
+  [[nodiscard]] std::int64_t find_delta(std::uint64_t h, const Count* base,
+                                        const std::uint32_t* ds,
+                                        const math::Int* dv,
+                                        std::size_t nd) const;
+
+  /// Interns a full configuration (the exploration root).
+  StageResult stage(std::uint64_t h, const math::Int* c);
+
+  /// Total configurations staged this level.
+  [[nodiscard]] std::size_t staged_count() const;
+
+  /// Commits up to `max_new` staged configurations, in (shard, stage
+  /// order) order, assigning them consecutive ids starting at size().
+  /// Returns the number accepted. Shards with rejected entries are
+  /// rebuilt from the committed pool so rejected configurations vanish.
+  std::size_t commit(std::size_t max_new);
+
+  /// Maps a stage/find handle to a final node id after commit();
+  /// -1 if the configuration was rejected by the budget.
+  [[nodiscard]] std::int32_t resolve(std::int64_t handle) const;
+
+  /// Final id of the level's `local`-th staged entry in `shard` (stage
+  /// order); -1 if it was rejected. Valid between commit() and
+  /// finish_level().
+  [[nodiscard]] std::int32_t committed_id(int shard,
+                                          std::size_t local) const {
+    const Shard& sh = shards_[static_cast<std::size_t>(shard)];
+    if (local >= sh.accepted) return -1;
+    return sh.base + static_cast<std::int32_t>(local);
+  }
+
+  /// Clears the level's staging buffers (after edges are built).
+  void finish_level();
+
+  /// Capacity hint (in configurations): avoids arena reallocation copies
+  /// during exploration, and requests huge-page backing for the arena.
+  /// Reserved address space is untouched until used.
+  void reserve(std::size_t n_configs);
+
+  /// Memory footprint in bytes: arena and per-node hashes by *used* size
+  /// (reserve() may map far more untouched address space), hash tables
+  /// and staging buffers by capacity.
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  // A slot packs (hash tag << 32 | encoded id) into one word; 0 is
+  // empty. Encoded id: committed node i -> i + 1; pending staged local
+  // l -> kPendingBit | l. Full hashes are recoverable from id_hash_ /
+  // staged_hash, so growth rehashes without storing them per slot.
+  static constexpr std::uint64_t kPendingBit = 0x80000000ULL;
+
+  struct Shard {
+    std::vector<std::uint64_t> slots;
+    std::size_t mask = 0;
+    /// Probe index = (h >> shift) & mask: the hash bits directly below
+    /// the shard bits, so callers that bucket candidates by those bits
+    /// probe a contiguous (cache-resident) stripe of the table.
+    unsigned shift = 0;
+    std::size_t used = 0;
+
+    // Level staging: configurations waiting for commit().
+    std::vector<Count> staged;                 // width values each
+    std::vector<std::uint64_t> staged_hash;
+    std::vector<std::uint32_t> staged_slot;    // slot holding each entry
+
+    // Set by commit().
+    std::int32_t base = 0;
+    std::size_t accepted = 0;
+  };
+
+  // The tag is the LOW hash half: the shard uses the top 6 bits and the
+  // probe index the bits directly below them, so the low bits stay
+  // independent of where the slot sits.
+  [[nodiscard]] static std::uint64_t pack(std::uint64_t h,
+                                          std::uint64_t enc) {
+    return (h << 32) | enc;
+  }
+  [[nodiscard]] static bool tag_matches(std::uint64_t word,
+                                        std::uint64_t h) {
+    return (word >> 32) == (h & 0xffffffffULL);
+  }
+
+  void grow(Shard& shard);
+  void insert_slot(Shard& shard, std::uint64_t h, std::uint64_t enc);
+  /// row == base + delta, element-wise over the full width.
+  [[nodiscard]] bool equal_delta(const Count* row, const Count* base,
+                                 const std::uint32_t* ds,
+                                 const math::Int* dv, std::size_t nd) const;
+  /// Appends base + delta to `shard`'s staging buffer (range-checked).
+  void materialize(Shard& shard, const Count* base, const std::uint32_t* ds,
+                   const math::Int* dv, std::size_t nd);
+
+  std::size_t width_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Count> pool_;
+  std::vector<std::uint64_t> id_hash_;  // per-node hash, id order
+  std::vector<std::uint64_t> zseed_;    // per-species Zobrist seeds
+  std::vector<Shard> shards_;
+};
+
+inline void ConfigStore::prefetch_row(std::uint64_t h) const {
+#if defined(__GNUC__) || defined(__clang__)
+  const Shard& shard = shards_[static_cast<std::size_t>(shard_of(h))];
+  std::size_t idx = (h >> shard.shift) & shard.mask;
+  while (true) {
+    const std::uint64_t word = shard.slots[idx];
+    if (word == 0) return;
+    if (tag_matches(word, h)) {
+      const std::uint64_t enc = word & 0xffffffffULL;
+      const Count* row =
+          (enc & kPendingBit)
+              ? shard.staged.data() +
+                    static_cast<std::size_t>(enc & ~kPendingBit) * width_
+              : view(static_cast<std::int32_t>(enc - 1));
+      const char* p = reinterpret_cast<const char*>(row);
+      __builtin_prefetch(p);
+      __builtin_prefetch(p + 64);
+      __builtin_prefetch(p + 128);
+      return;
+    }
+    idx = (idx + 1) & shard.mask;
+  }
+#else
+  (void)h;
+#endif
+}
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_CONFIG_STORE_H_

@@ -1,7 +1,11 @@
 #include "verify/reachability.h"
 
 #include <algorithm>
-#include <deque>
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <thread>
 
 #include "math/check.h"
 
@@ -9,65 +13,350 @@ namespace crnkit::verify {
 
 namespace {
 
-struct ConfigHash {
-  std::size_t operator()(const crn::Config& c) const {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (const math::Int v : c) {
-      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
-           (h >> 2);
-    }
-    return h;
-  }
+constexpr int kShards = ConfigStore::kShards;
+/// Levels smaller than this are expanded on the calling thread: the graph
+/// is identical either way, and per-level thread spawns only pay off once
+/// a level carries real work.
+constexpr std::size_t kMinParallelFrontier = 256;
+/// Probe-prefetch lookahead in the interning loops.
+constexpr std::size_t kPrefetchAhead = 8;
+
+/// A successor candidate awaiting id resolution: the source node, the
+/// producing reaction, the successor's hash, and the ConfigStore handle
+/// from stage()/find(). Candidate configurations are *not* stored — they
+/// are rebuilt from (src, reaction) against the arena when needed, which
+/// keeps the per-level footprint at 24 bytes per candidate.
+struct Candidate {
+  std::int32_t src;
+  std::int32_t reaction;
+  std::uint64_t hash;
+  std::int64_t handle;
 };
+
+/// Per-worker state: the candidate slice generated from a contiguous
+/// frontier slice, per-shard candidate index lists for the interning
+/// phase, and the local CSR piece built in the edge phase.
+struct WorkerBuf {
+  std::vector<Candidate> cands;
+  std::array<std::vector<std::uint32_t>, kShards> by_shard;
+  std::int32_t lo = 0;  ///< frontier slice [lo, hi)
+  std::int32_t hi = 0;
+  std::vector<std::int32_t> succ;      ///< local edges
+  std::vector<std::uint32_t> succ_end;  ///< per-node end offset into succ
+  bool saw_dropped = false;
+};
+
+/// fn(t) for t in [0, n); fn(0) runs on the calling thread. A worker's
+/// exception (count range checks, allocation failure) is rethrown here
+/// after the join, so callers see the same error the serial path throws.
+void run_workers(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> pool;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  const auto guarded = [&](int t) {
+    try {
+      fn(t);
+    } catch (...) {
+      errors[static_cast<std::size_t>(t)] = std::current_exception();
+    }
+  };
+  pool.reserve(static_cast<std::size_t>(n - 1));
+  for (int t = 1; t < n; ++t) pool.emplace_back(guarded, t);
+  guarded(0);
+  for (std::thread& th : pool) th.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
 
 }  // namespace
 
 ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
                           const ExploreOptions& options) {
-  ReachabilityGraph graph;
-  std::unordered_map<crn::Config, int, ConfigHash> ids;
-  ids.reserve(options.max_configs * 2);
+  require(initial.size() == crn.species_count(),
+          "explore: initial configuration width mismatch");
+  require(options.max_configs <= (std::size_t{1} << 31) - 2,
+          "explore: max_configs exceeds the 2^31 node id space");
+  const auto t0 = std::chrono::steady_clock::now();
 
-  auto intern = [&](const crn::Config& c) -> int {
-    const auto it = ids.find(c);
-    if (it != ids.end()) return it->second;
-    const int id = static_cast<int>(graph.configs.size());
-    ids.emplace(c, id);
-    graph.configs.push_back(c);
-    graph.succ.emplace_back();
-    graph.parent.push_back(-1);
-    graph.parent_reaction.push_back(-1);
-    return id;
+  const sim::CompiledNetwork net(crn);
+  const std::size_t width = crn.species_count();
+  const std::size_t n_reactions = net.reaction_count();
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = std::min(threads, kShards);
+
+  ReachabilityGraph graph(width);
+  graph.stats.threads = threads;
+  ConfigStore& store = graph.store;
+  store.reserve(std::min<std::size_t>(options.max_configs, 4'000'000));
+
+  // Per-node applicability bitmasks, maintained through the compiled
+  // reaction dependency graph: a node differs from its BFS parent only in
+  // the parent reaction's deltas, so only dependents(parent_reaction) can
+  // change applicability — O(deg) per node instead of O(R), and successor
+  // generation walks set bits instead of scanning every reaction.
+  const bool use_masks = n_reactions > 0 && n_reactions <= 64;
+  std::vector<std::uint64_t> app_mask;
+  const auto full_mask = [&](const auto* config) {
+    std::uint64_t m = 0;
+    for (std::size_t j = 0; j < n_reactions; ++j) {
+      if (net.applicable(j, config)) m |= std::uint64_t{1} << j;
+    }
+    return m;
   };
 
-  std::deque<int> frontier;
-  frontier.push_back(intern(initial));
-  std::size_t processed = 0;
-  while (!frontier.empty()) {
-    const int node = frontier.front();
-    frontier.pop_front();
-    ++processed;
-    const crn::Config current = graph.configs[static_cast<std::size_t>(node)];
-    for (std::size_t j = 0; j < crn.reactions().size(); ++j) {
-      const crn::Reaction& r = crn.reactions()[j];
-      if (!r.applicable(current)) continue;
-      crn::Config next = current;
-      r.apply_in_place(next);
-      const bool known = ids.find(next) != ids.end();
-      if (!known && graph.configs.size() >= options.max_configs) {
-        graph.complete = false;
-        continue;  // record no new nodes, but keep existing edges coming
+  // Intern the root (id 0; stored even under a zero budget, like the
+  // original explorer).
+  {
+    (void)store.stage(store.hash(initial.data()), initial.data());
+    const std::size_t got = store.commit(1);
+    ensure(got == 1, "explore: root interning failed");
+    store.finish_level();
+    graph.parent.push_back(-1);
+    graph.parent_reaction.push_back(-1);
+    graph.succ_off.push_back(0);
+    if (use_masks) app_mask.push_back(full_mask(initial.data()));
+  }
+
+  // Generates all successor candidates of node u into `out`: hashes are
+  // derived incrementally from the node's stored hash across each
+  // reaction's deltas. With masks, only the applicable bits are visited;
+  // the fallback (R > 64) checks every reaction against the arena row.
+  const auto emit_candidate = [&](std::int32_t u,
+                                  const ConfigStore::Count* row,
+                                  std::uint64_t h0, std::size_t j,
+                                  std::vector<Candidate>& out) {
+    const auto ds = net.delta_species(j);
+    const auto dv = net.delta_values(j);
+    std::uint64_t h = h0;
+    for (std::size_t k = 0; k < ds.size(); ++k) {
+      const std::size_t s = ds[k];
+      const auto value = static_cast<math::Int>(row[s]);
+      h ^= store.elem_hash(s, value);
+      h ^= store.elem_hash(s, value + dv[k]);
+    }
+    out.push_back({u, static_cast<std::int32_t>(j), h,
+                   ConfigStore::kDroppedHandle});
+  };
+  const auto generate_node = [&](std::int32_t u,
+                                 std::vector<Candidate>& out) {
+    const ConfigStore::Count* row = store.view(u);
+    const std::uint64_t h0 = store.id_hash(u);
+    if (use_masks) {
+      std::uint64_t m = app_mask[static_cast<std::size_t>(u)];
+      while (m != 0) {
+        const auto j =
+            static_cast<std::size_t>(__builtin_ctzll(m));
+        m &= m - 1;
+        emit_candidate(u, row, h0, j, out);
       }
-      const int next_id = intern(next);
-      graph.succ[static_cast<std::size_t>(node)].push_back(next_id);
-      if (!known) {
-        graph.parent[static_cast<std::size_t>(next_id)] = node;
-        graph.parent_reaction[static_cast<std::size_t>(next_id)] =
-            static_cast<int>(j);
-        frontier.push_back(next_id);
+      return;
+    }
+    for (std::size_t j = 0; j < n_reactions; ++j) {
+      if (!net.applicable(j, row)) continue;
+      emit_candidate(u, row, h0, j, out);
+    }
+  };
+
+  // Interns candidate `cand`: the configuration is described as (source
+  // row, reaction delta) and only materialized by the store when it turns
+  // out to be new. Records (src, reaction) when it creates the entry.
+  const auto intern_candidate =
+      [&](Candidate& cand, bool budget_full,
+          std::vector<std::pair<std::int32_t, std::int32_t>>& parents) {
+        const auto j = static_cast<std::size_t>(cand.reaction);
+        const auto ds = net.delta_species(j);
+        const auto dv = net.delta_values(j);
+        const ConfigStore::Count* base = store.view(cand.src);
+        if (budget_full) {
+          cand.handle = store.find_delta(cand.hash, base, ds.begin(),
+                                         dv.begin(), ds.size());
+        } else {
+          const auto staged = store.stage_delta(cand.hash, base, ds.begin(),
+                                                dv.begin(), ds.size());
+          cand.handle = staged.handle;
+          if (staged.created) parents.push_back({cand.src, cand.reaction});
+        }
+      };
+
+  // Reused across levels.
+  std::array<std::vector<std::pair<std::int32_t, std::int32_t>>, kShards>
+      staged_parent;  // (src, reaction) per created entry, stage order
+  std::vector<WorkerBuf> bufs;
+
+  std::int32_t level_begin = 0;
+  std::int32_t level_end = 1;
+  while (level_begin < level_end) {
+    const std::size_t level_nodes =
+        static_cast<std::size_t>(level_end - level_begin);
+    graph.stats.frontier_peak =
+        std::max(graph.stats.frontier_peak, level_nodes);
+    ++graph.stats.levels;
+    const bool budget_full = store.size() >= options.max_configs;
+    // Worker count for this level. The graph is identical for any value:
+    // candidate order is (node, reaction) regardless of slicing, and
+    // per-shard staging order is that order filtered to the shard.
+    const int workers =
+        (threads > 1 && level_nodes >= kMinParallelFrontier) ? threads : 1;
+    bufs.resize(static_cast<std::size_t>(workers));
+    const std::size_t chunk =
+        (level_nodes + static_cast<std::size_t>(workers) - 1) /
+        static_cast<std::size_t>(workers);
+
+    // Generate: workers take contiguous frontier slices, so the
+    // concatenation of their buffers is exactly (node, reaction) order.
+    run_workers(workers, [&](int t) {
+      WorkerBuf& buf = bufs[static_cast<std::size_t>(t)];
+      buf.cands.clear();
+      for (auto& v : buf.by_shard) v.clear();
+      buf.lo = level_begin + static_cast<std::int32_t>(
+                                 static_cast<std::size_t>(t) * chunk);
+      buf.hi = std::min<std::int32_t>(
+          level_end, buf.lo + static_cast<std::int32_t>(chunk));
+      buf.lo = std::min(buf.lo, buf.hi);
+      for (std::int32_t u = buf.lo; u < buf.hi; ++u) {
+        generate_node(u, buf.cands);
+      }
+      for (std::uint32_t i = 0;
+           i < static_cast<std::uint32_t>(buf.cands.size()); ++i) {
+        buf.by_shard[static_cast<std::size_t>(
+                         ConfigStore::shard_of(buf.cands[i].hash))]
+            .push_back(i);
+      }
+    });
+
+    // Intern: each shard has one owner, which walks the workers'
+    // per-shard candidate lists in worker order — again (node, reaction)
+    // order, since worker slices are contiguous. A staggered prefetch
+    // pipeline hides the table's and the arena's DRAM latency behind real
+    // interning work.
+    run_workers(workers, [&](int t) {
+      for (int s = t; s < kShards; s += workers) {
+        auto& parents = staged_parent[static_cast<std::size_t>(s)];
+        parents.clear();
+        for (WorkerBuf& buf : bufs) {
+          const auto& list = buf.by_shard[static_cast<std::size_t>(s)];
+          for (std::size_t i = 0; i < list.size(); ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+            // Four-distance pipeline: candidate struct, its probe slot,
+            // its source row, and the row it will be compared against
+            // each get a full DRAM round-trip of lead time.
+            if (i + 2 * kPrefetchAhead < list.size()) {
+              __builtin_prefetch(&buf.cands[list[i + 2 * kPrefetchAhead]]);
+            }
+            if (i + kPrefetchAhead < list.size()) {
+              store.prefetch(buf.cands[list[i + kPrefetchAhead]].hash);
+            }
+            if (i + kPrefetchAhead / 2 + 2 < list.size()) {
+              __builtin_prefetch(store.view(
+                  buf.cands[list[i + kPrefetchAhead / 2 + 2]].src));
+            }
+            if (i + kPrefetchAhead / 2 < list.size()) {
+              store.prefetch_row(
+                  buf.cands[list[i + kPrefetchAhead / 2]].hash);
+            }
+#endif
+            intern_candidate(buf.cands[list[i]], budget_full, parents);
+          }
+        }
+      }
+    });
+
+    // Number the level: ids are consecutive in (shard, stage-order)
+    // order, capped by the node budget.
+    const std::size_t before = store.size();
+    const std::size_t remaining =
+        options.max_configs > before ? options.max_configs - before : 0;
+    const std::size_t accepted = store.commit(remaining);
+    for (int s = 0; s < kShards; ++s) {
+      const auto& parents = staged_parent[static_cast<std::size_t>(s)];
+      for (std::size_t local = 0; local < parents.size(); ++local) {
+        if (store.committed_id(s, local) < 0) break;  // rejects are a suffix
+        graph.parent.push_back(parents[local].first);
+        graph.parent_reaction.push_back(parents[local].second);
       }
     }
+    ensure(graph.parent.size() == store.size(),
+           "explore: parent/id bookkeeping diverged");
+    if (use_masks) {
+      // A new node's applicability differs from its parent's only on the
+      // dependents of the reaction that produced it.
+      app_mask.resize(store.size());
+      for (std::size_t id = before; id < store.size(); ++id) {
+        const auto p = static_cast<std::size_t>(graph.parent[id]);
+        const auto r = static_cast<std::size_t>(graph.parent_reaction[id]);
+        const ConfigStore::Count* row =
+            store.view(static_cast<std::int32_t>(id));
+        std::uint64_t m = app_mask[p];
+        for (const std::uint32_t j : net.dependents(r)) {
+          const std::uint64_t bit = std::uint64_t{1} << j;
+          if (net.applicable(j, row)) {
+            m |= bit;
+          } else {
+            m &= ~bit;
+          }
+        }
+        app_mask[id] = m;
+      }
+    }
+
+    // Edges: each worker resolves its own candidates in (node, reaction)
+    // order into a local CSR piece, deduplicating successors per node; a
+    // candidate dropped by the budget leaves the graph incomplete. The
+    // pieces are stitched in worker order, preserving id order.
+    const int edge_workers = static_cast<int>(bufs.size());
+    run_workers(edge_workers, [&](int t) {
+      WorkerBuf& buf = bufs[static_cast<std::size_t>(t)];
+      buf.succ.clear();
+      buf.succ_end.clear();
+      buf.saw_dropped = false;
+      std::size_t next_cand = 0;
+      for (std::int32_t u = buf.lo; u < buf.hi; ++u) {
+        const std::size_t node_start = buf.succ.size();
+        while (next_cand < buf.cands.size() &&
+               buf.cands[next_cand].src == u) {
+          const std::int32_t id =
+              store.resolve(buf.cands[next_cand].handle);
+          ++next_cand;
+          if (id < 0) {
+            buf.saw_dropped = true;
+            continue;
+          }
+          bool seen = false;
+          for (std::size_t i = node_start; i < buf.succ.size(); ++i) {
+            if (buf.succ[i] == id) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) buf.succ.push_back(id);
+        }
+        buf.succ_end.push_back(static_cast<std::uint32_t>(buf.succ.size()));
+      }
+    });
+    for (const WorkerBuf& buf : bufs) {
+      const std::uint64_t base = graph.succ.size();
+      graph.succ.insert(graph.succ.end(), buf.succ.begin(), buf.succ.end());
+      for (const std::uint32_t end : buf.succ_end) {
+        graph.succ_off.push_back(base + end);
+      }
+      if (buf.saw_dropped) graph.complete = false;
+    }
+
+    store.finish_level();
+    level_begin = static_cast<std::int32_t>(before);
+    level_end = static_cast<std::int32_t>(before + accepted);
   }
+
+  ensure(graph.succ_off.size() == store.size() + 1,
+         "explore: CSR offsets diverged from node count");
+  graph.stats.arena_bytes = store.bytes();
+  graph.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return graph;
 }
 
@@ -77,8 +366,8 @@ std::vector<int> path_from_root(const ReachabilityGraph& graph, int node) {
   std::vector<int> reactions;
   int current = node;
   while (graph.parent[static_cast<std::size_t>(current)] != -1) {
-    reactions.push_back(graph.parent_reaction[static_cast<std::size_t>(
-        current)]);
+    reactions.push_back(
+        graph.parent_reaction[static_cast<std::size_t>(current)]);
     current = graph.parent[static_cast<std::size_t>(current)];
   }
   std::reverse(reactions.begin(), reactions.end());
@@ -90,7 +379,9 @@ std::optional<int> find_output_exceeding(const crn::Crn& crn,
                                          math::Int bound) {
   const auto y = static_cast<std::size_t>(crn.output_or_throw());
   for (std::size_t i = 0; i < graph.size(); ++i) {
-    if (graph.configs[i][y] > bound) return static_cast<int>(i);
+    if (graph.view(static_cast<int>(i))[y] > bound) {
+      return static_cast<int>(i);
+    }
   }
   return std::nullopt;
 }

@@ -1,35 +1,83 @@
 // Exact reachability graphs (Section 2.2's reachability relation ->*).
 //
-// BFS over configurations from an initial configuration, hashing each
-// configuration once; edges record which reaction produced them, so witness
-// reaction sequences can be reconstructed. Exploration is bounded by a
-// configurable node budget; `complete` reports whether the whole reachable
-// set was enumerated (all stable-computation *proofs* require complete
-// graphs; incomplete graphs still yield counterexample witnesses).
+// Level-synchronous BFS over configurations from an initial configuration,
+// on a compiled, cache-friendly representation: configurations live in a
+// flat arena (verify::ConfigStore — no per-node heap allocation),
+// successor generation runs through the sim::CompiledNetwork CSR delta
+// kernels with incremental Zobrist hashing, and edges land in a
+// deduplicated CSR adjacency (succ_off/succ) that feeds the SCC passes of
+// stable.h directly.
+//
+// Exploration is deterministic at every thread count: within a level,
+// discovered configurations are numbered by (shard of their hash, order
+// of first discovery in (source node, reaction) order), and worker
+// threads own disjoint hash shards — so node ids, parents, and edges are
+// bit-identical whether explored with 1 thread or 64 (the reproducibility
+// contract sim::EnsembleRunner established for trajectories, extended to
+// proofs).
+//
+// Exploration is bounded by a configurable node budget; `complete`
+// reports whether the whole reachable set was enumerated (all
+// stable-computation *proofs* require complete graphs; incomplete graphs
+// still yield counterexample witnesses, and parents stay valid so
+// path_from_root works on every retained node).
 #ifndef CRNKIT_VERIFY_REACHABILITY_H_
 #define CRNKIT_VERIFY_REACHABILITY_H_
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "crn/network.h"
+#include "sim/compiled_network.h"
+#include "verify/config_store.h"
 
 namespace crnkit::verify {
 
-struct ReachabilityGraph {
-  std::vector<crn::Config> configs;        ///< node id -> configuration
-  std::vector<std::vector<int>> succ;      ///< node id -> successor node ids
-  std::vector<int> parent;                 ///< BFS tree parent (-1 for root)
-  std::vector<int> parent_reaction;        ///< reaction used to reach node
-  bool complete = true;                    ///< false iff node budget was hit
+/// Perf counters of one exploration (surfaced by `crnc verify --stats`
+/// and BENCH_verification.json).
+struct ExploreStats {
+  double wall_seconds = 0.0;
+  std::size_t frontier_peak = 0;  ///< largest BFS level, in nodes
+  std::size_t levels = 0;         ///< BFS depth explored
+  std::size_t arena_bytes = 0;    ///< ConfigStore arena + hash tables
+  int threads = 1;  ///< resolved worker count (small levels still run serial)
+};
 
-  [[nodiscard]] std::size_t size() const { return configs.size(); }
+struct ReachabilityGraph {
+  ConfigStore store;                       ///< node id -> configuration
+  std::vector<std::uint64_t> succ_off;     ///< CSR offsets, size()+1 entries
+  std::vector<std::int32_t> succ;          ///< deduplicated successor ids
+  std::vector<std::int32_t> parent;        ///< BFS tree parent (-1 for root)
+  std::vector<std::int32_t> parent_reaction;  ///< reaction reaching node
+  bool complete = true;                    ///< false iff node budget was hit
+  ExploreStats stats;
+
+  explicit ReachabilityGraph(std::size_t width) : store(width) {}
+
+  [[nodiscard]] std::size_t size() const { return store.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return succ.size(); }
+
+  /// Node id -> counts in the arena (store.width() values, 32-bit).
+  [[nodiscard]] const ConfigStore::Count* view(int node) const {
+    return store.view(static_cast<std::int32_t>(node));
+  }
+  /// Materialized copy (results and error messages; hot paths use view).
+  [[nodiscard]] crn::Config config(int node) const {
+    return store.config(static_cast<std::int32_t>(node));
+  }
+  /// Successor node ids, deduplicated, in first-discovery order.
+  [[nodiscard]] sim::Span<std::int32_t> successors(int node) const {
+    return {succ.data() + succ_off[static_cast<std::size_t>(node)],
+            succ.data() + succ_off[static_cast<std::size_t>(node) + 1]};
+  }
 };
 
 struct ExploreOptions {
-  std::size_t max_configs = 250'000;
+  std::size_t max_configs = 2'000'000;
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). The
+  /// resulting graph is identical for every value.
+  int threads = 1;
 };
 
 /// Enumerates configurations reachable from `initial`.
@@ -42,7 +90,7 @@ struct ExploreOptions {
 [[nodiscard]] std::vector<int> path_from_root(const ReachabilityGraph& graph,
                                               int node);
 
-/// First node (in BFS order) whose output count exceeds `bound`, if any.
+/// First node (in id order) whose output count exceeds `bound`, if any.
 [[nodiscard]] std::optional<int> find_output_exceeding(
     const crn::Crn& crn, const ReachabilityGraph& graph, math::Int bound);
 

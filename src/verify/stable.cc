@@ -9,12 +9,13 @@ namespace crnkit::verify {
 
 namespace {
 
-/// Iterative Tarjan SCC. Returns component id per node; components are
-/// numbered in reverse topological order (every edge goes from a component
-/// to one with a smaller or equal id... Tarjan numbers sinks first).
-std::vector<int> tarjan_scc(const std::vector<std::vector<int>>& succ,
+/// Iterative Tarjan SCC over the reachability graph's CSR adjacency.
+/// Returns component id per node; components are numbered in reverse
+/// topological order (every edge goes from a component to one with a
+/// smaller or equal id... Tarjan numbers sinks first).
+std::vector<int> tarjan_scc(const ReachabilityGraph& graph,
                             int& component_count) {
-  const int n = static_cast<int>(succ.size());
+  const int n = static_cast<int>(graph.size());
   std::vector<int> index(static_cast<std::size_t>(n), -1);
   std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
   std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
@@ -43,8 +44,9 @@ std::vector<int> tarjan_scc(const std::vector<std::vector<int>>& succ,
         on_stack[static_cast<std::size_t>(v)] = true;
       }
       bool descended = false;
-      while (frame.child < succ[static_cast<std::size_t>(v)].size()) {
-        const int w = succ[static_cast<std::size_t>(v)][frame.child];
+      const auto children = graph.successors(v);
+      while (frame.child < children.size()) {
+        const int w = children[frame.child];
         ++frame.child;
         if (index[static_cast<std::size_t>(w)] == -1) {
           call_stack.push_back({w, 0});
@@ -106,19 +108,22 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
 
   const crn::Config initial = crn.initial_configuration(x);
   const ReachabilityGraph graph =
-      explore(crn, initial, ExploreOptions{options.max_configs});
+      explore(crn, initial,
+              ExploreOptions{options.max_configs, options.threads});
   result.complete = graph.complete;
   result.num_configs = graph.size();
+  result.num_edges = graph.edge_count();
+  result.explore_stats = graph.stats;
 
   const auto y = static_cast<std::size_t>(crn.output_or_throw());
 
   // Overproduction is meaningful on its own (even from incomplete graphs).
   if (const auto over = find_output_exceeding(crn, graph, expected)) {
-    result.overproduction = graph.configs[static_cast<std::size_t>(*over)];
+    result.overproduction = graph.config(*over);
   }
 
   int component_count = 0;
-  const std::vector<int> component = tarjan_scc(graph.succ, component_count);
+  const std::vector<int> component = tarjan_scc(graph, component_count);
 
   // Tarjan numbers components in reverse topological order: every edge goes
   // from a higher-or-equal component id to a lower-or-equal... concretely,
@@ -133,7 +138,7 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   // Gather member output ranges.
   for (std::size_t node = 0; node < graph.size(); ++node) {
     const auto c = static_cast<std::size_t>(component[node]);
-    const math::Int out = graph.configs[node][y];
+    const math::Int out = graph.view(static_cast<int>(node))[y];
     if (!initialized[c]) {
       reach_min[c] = out;
       reach_max[c] = out;
@@ -150,7 +155,7 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   std::vector<std::vector<int>> comp_succ(
       static_cast<std::size_t>(component_count));
   for (std::size_t node = 0; node < graph.size(); ++node) {
-    for (const int next : graph.succ[node]) {
+    for (const std::int32_t next : graph.successors(static_cast<int>(node))) {
       const int cu = component[node];
       const int cv = component[static_cast<std::size_t>(next)];
       if (cu != cv) comp_succ[static_cast<std::size_t>(cu)].push_back(cv);
@@ -185,7 +190,7 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   for (std::size_t node = 0; node < graph.size(); ++node) {
     if (!good[static_cast<std::size_t>(component[node])]) {
       result.ok = false;
-      result.counterexample = graph.configs[node];
+      result.counterexample = graph.config(static_cast<int>(node));
       break;
     }
   }

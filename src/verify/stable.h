@@ -25,6 +25,8 @@ struct StableCheckResult {
   bool complete = true;   ///< exploration enumerated all reachable configs
   math::Int expected = 0;
   std::size_t num_configs = 0;
+  std::size_t num_edges = 0;   ///< deduplicated reachability edges
+  ExploreStats explore_stats;  ///< perf counters of the exploration
   /// A reachable configuration from which no correct stable configuration
   /// is reachable (present iff !ok).
   std::optional<crn::Config> counterexample;
@@ -36,7 +38,10 @@ struct StableCheckResult {
 };
 
 struct StableCheckOptions {
-  std::size_t max_configs = 250'000;
+  std::size_t max_configs = 2'000'000;
+  /// Exploration worker threads; 0 means hardware concurrency. The graph
+  /// and verdict are identical for every value.
+  int threads = 1;
 };
 
 /// Decides whether `crn` stably computes `expected` on input x.

@@ -275,6 +275,42 @@ TEST(Crnc, VerifyGridOverride) {
   EXPECT_NE(r.out.find("\"proved\": 4"), std::string::npos) << r.out;
 }
 
+TEST(Crnc, VerifyStatsEmitsPerfFields) {
+  const auto r = run({"verify", "fig1/min", "--stats", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  for (const char* field : {"\"stats\"", "\"wall_seconds\"",
+                            "\"configs_per_sec\"", "\"frontier_peak\"",
+                            "\"arena_bytes\"", "\"edges\""}) {
+    EXPECT_NE(r.out.find(field), std::string::npos) << field << "\n" << r.out;
+  }
+}
+
+TEST(Crnc, VerifyThreadsIsDeterministic) {
+  // Without --stats (no timings), the whole JSON report must be
+  // byte-identical at any thread count.
+  const auto serial = run({"verify", "thm52/fig7", "--threads", "1",
+                           "--max-configs", "30000", "--json"});
+  const auto parallel = run({"verify", "thm52/fig7", "--threads", "3",
+                             "--max-configs", "30000", "--json"});
+  EXPECT_EQ(serial.status, parallel.status);
+  EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Crnc, VerifyTruncationIsInconclusiveNotPass) {
+  // A budget too small for the reachable set must never produce a PASS:
+  // exit 1 and per-point status "inconclusive".
+  const auto r = run({"verify", "fig1/twice", "--input", "50",
+                      "--max-configs", "5", "--json"});
+  EXPECT_EQ(r.status, 1);
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"status\": \"inconclusive\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"complete\": false"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"inconclusive\": 1"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("\"status\": \"proved\""), std::string::npos) << r.out;
+}
+
 TEST(Crnc, VerifyUnverifiableSkipsUnlessForced) {
   const auto skipped = run({"verify", "fig1/2max-broken", "--json"});
   EXPECT_EQ(skipped.status, 0);

@@ -70,8 +70,9 @@ TEST(Primitives, ConstantSeedsFromLeader) {
     // Terminal configuration carries exactly c outputs.
     Int final_y = -1;
     for (std::size_t i = 0; i < graph.size(); ++i) {
-      if (crn.is_silent(graph.configs[i])) {
-        final_y = crn.output_count(graph.configs[i]);
+      const crn::Config config = graph.config(static_cast<int>(i));
+      if (crn.is_silent(config)) {
+        final_y = crn.output_count(config);
       }
     }
     EXPECT_EQ(final_y, c);

@@ -72,7 +72,7 @@ TEST(Concatenate, OvershootPathIsConstructible) {
                     .applicable(c));
     composed.reactions()[static_cast<std::size_t>(r)].apply_in_place(c);
   }
-  EXPECT_EQ(c, graph.configs[static_cast<std::size_t>(*over)]);
+  EXPECT_EQ(c, graph.config(*over));
 }
 
 TEST(Concatenate, ChainsOfObliviousModulesStayOblivious) {

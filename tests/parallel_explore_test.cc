@@ -1,0 +1,101 @@
+// The parallel explorer's reproducibility contract: for every thread
+// count, explore() produces the *same graph* — node ids (and the arena
+// configurations behind them), CSR edge sets, BFS parents, completeness,
+// and therefore verdicts — as the serial explorer. This mirrors the
+// EnsembleRunner guarantee (fixed seed => bit-identical trajectories at
+// any thread count), extended to exact proofs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "compile/primitives.h"
+#include "compile/theorem52.h"
+#include "crn/compose.h"
+#include "fn/examples.h"
+#include "scenario/registry.h"
+#include "verify/stable.h"
+
+namespace crnkit::verify {
+namespace {
+
+void expect_identical(const ReachabilityGraph& a, const ReachabilityGraph& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  ASSERT_EQ(a.complete, b.complete) << label;
+  ASSERT_EQ(a.store.width(), b.store.width()) << label;
+  // Node numbering: the arenas must match byte for byte.
+  EXPECT_EQ(std::memcmp(a.store.view(0), b.store.view(0),
+                        a.size() * a.store.width() *
+                            sizeof(ConfigStore::Count)),
+            0)
+      << label << ": arena contents differ";
+  EXPECT_EQ(a.succ_off, b.succ_off) << label;
+  EXPECT_EQ(a.succ, b.succ) << label;
+  EXPECT_EQ(a.parent, b.parent) << label;
+  EXPECT_EQ(a.parent_reaction, b.parent_reaction) << label;
+}
+
+void sweep_thread_counts(const crn::Crn& crn, const crn::Config& initial,
+                         std::size_t max_configs, const std::string& label) {
+  const auto serial =
+      explore(crn, initial, ExploreOptions{max_configs, /*threads=*/1});
+  for (const int threads : {2, 3, 8}) {
+    const auto parallel =
+        explore(crn, initial, ExploreOptions{max_configs, threads});
+    expect_identical(serial, parallel,
+                     label + " @ threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelExplore, AllVerifiableScenariosMatchSerial) {
+  for (const scenario::Scenario& s :
+       scenario::Registry::builtin().build_all()) {
+    if (s.unverifiable()) continue;
+    SCOPED_TRACE(s.name);
+    // First verify point, budget capped to keep the sweep fast; the graph
+    // comparison is exact either way.
+    const fn::Point& x = s.verify_points.front();
+    std::size_t budget = s.verify_max_configs > 0 ? s.verify_max_configs
+                                                  : std::size_t{2'000'000};
+    budget = std::min<std::size_t>(budget, 50'000);
+    sweep_thread_counts(s.crn, s.crn.initial_configuration(x), budget,
+                        s.name);
+  }
+}
+
+TEST(ParallelExplore, WideFrontiersEngageTheShardedPath) {
+  // Levels above the parallel threshold (the small-frontier fallback is
+  // trivially identical): the Theorem 5.2 circuit at (2,2) explores
+  // ~18.5k configs with frontiers in the thousands.
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+  sweep_thread_counts(circuit, circuit.initial_configuration({2, 2}),
+                      2'000'000, "thm52(2,2)");
+}
+
+TEST(ParallelExplore, TruncationIsDeterministicAcrossThreadCounts) {
+  // The budget can cut a wide level mid-frontier; the accepted prefix is
+  // defined by (shard, stage order), not by thread scheduling.
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+  sweep_thread_counts(circuit, circuit.initial_configuration({2, 2}), 7'000,
+                      "thm52(2,2) truncated");
+}
+
+TEST(ParallelExplore, VerdictsMatchSerial) {
+  const crn::Crn composed = crn::concatenate(
+      compile::min_crn(2), compile::scale_crn(2), "2min");
+  for (const int threads : {1, 4}) {
+    StableCheckOptions options;
+    options.threads = threads;
+    const auto good = check_stable_computation(composed, {3, 5}, 6, options);
+    EXPECT_TRUE(good.ok && good.complete) << "threads=" << threads;
+    const auto bad = check_stable_computation(composed, {3, 5}, 7, options);
+    EXPECT_FALSE(bad.ok) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace crnkit::verify

@@ -242,7 +242,7 @@ TEST_P(AdditivitySweep, ReachabilityIsAdditive) {
   const auto graph = verify::explore(crn, c);
   ASSERT_TRUE(graph.complete);
   std::uniform_int_distribution<std::size_t> pick(0, graph.size() - 1);
-  const crn::Config d = graph.configs[pick(rng)];
+  const crn::Config d = graph.config(static_cast<int>(pick(rng)));
 
   crn::Config e(crn.species_count(), 0);
   for (auto& v : e) v = extra(rng);
@@ -255,8 +255,8 @@ TEST_P(AdditivitySweep, ReachabilityIsAdditive) {
   const auto graph_plus = verify::explore(crn, c_plus);
   ASSERT_TRUE(graph_plus.complete);
   bool found = false;
-  for (const auto& config : graph_plus.configs) {
-    if (config == d_plus) {
+  for (std::size_t i = 0; i < graph_plus.size(); ++i) {
+    if (graph_plus.config(static_cast<int>(i)) == d_plus) {
       found = true;
       break;
     }
@@ -279,9 +279,8 @@ TEST(ObliviousImpliesNondecreasing, CompiledOutputsNeverDecrease) {
   ASSERT_TRUE(graph.complete);
   const auto y = static_cast<std::size_t>(crn.output_or_throw());
   for (std::size_t node = 0; node < graph.size(); ++node) {
-    for (const int next : graph.succ[node]) {
-      EXPECT_GE(graph.configs[static_cast<std::size_t>(next)][y],
-                graph.configs[node][y]);
+    for (const std::int32_t next : graph.successors(static_cast<int>(node))) {
+      EXPECT_GE(graph.view(next)[y], graph.view(static_cast<int>(node))[y]);
     }
   }
 }

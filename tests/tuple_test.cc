@@ -115,7 +115,8 @@ TEST(Tuple, ExhaustiveSmallProof) {
   const auto graph = verify::explore(
       tuple.crn, tuple.crn.initial_configuration({2, 3}));
   ASSERT_TRUE(graph.complete);
-  for (const auto& config : graph.configs) {
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const crn::Config config = graph.config(static_cast<int>(i));
     if (!tuple.crn.is_silent(config)) continue;
     EXPECT_EQ(tuple.output_count(config, 0), 2);
     EXPECT_EQ(tuple.output_count(config, 1), 2);

@@ -4,6 +4,8 @@
 // the exhaustive and randomized checkers.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "compile/primitives.h"
 #include "fn/examples.h"
 #include "verify/reachability.h"
@@ -43,6 +45,54 @@ TEST(Reachability, BudgetTruncationIsFlagged) {
       explore(crn, crn.initial_configuration({100}), ExploreOptions{10});
   EXPECT_FALSE(graph.complete);
   EXPECT_LE(graph.size(), 10u);
+}
+
+TEST(Reachability, DuplicateSuccessorEdgesAreDeduped) {
+  // Two distinct reactions with the same net effect reach the same
+  // successor; the CSR adjacency must record the edge once.
+  Crn crn("dup");
+  crn.add_reaction_str("X -> Y");
+  crn.add_reaction_str("X + Z -> Y + Z");
+  crn.set_input_species({"X", "Z"});
+  crn.set_output_species("Y");
+  const auto graph = explore(crn, crn.initial_configuration({2, 1}));
+  ASSERT_TRUE(graph.complete);
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    const auto succ = graph.successors(static_cast<int>(node));
+    std::set<std::int32_t> unique(succ.begin(), succ.end());
+    EXPECT_EQ(unique.size(), succ.size()) << "duplicate edge at " << node;
+  }
+  // From the root (X=2, Z=1) both reactions produce (X=1, Y=1, Z=1), so
+  // the root's successor list is a single edge.
+  EXPECT_EQ(graph.successors(0).size(), 1u);
+}
+
+TEST(Reachability, TruncationKeepsParentsUsable) {
+  // Budget hit mid-frontier: every retained node still has a valid BFS
+  // parent chain, and replaying path_from_root reproduces its config.
+  const Crn crn = compile::scale_crn(2);
+  const auto graph =
+      explore(crn, crn.initial_configuration({40}), ExploreOptions{17});
+  EXPECT_FALSE(graph.complete);
+  ASSERT_EQ(graph.size(), 17u);
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    const auto path = path_from_root(graph, static_cast<int>(node));
+    crn::Config c = crn.initial_configuration({40});
+    for (const int r : path) {
+      ASSERT_TRUE(crn.reactions()[static_cast<std::size_t>(r)].applicable(c));
+      crn.reactions()[static_cast<std::size_t>(r)].apply_in_place(c);
+    }
+    EXPECT_EQ(c, graph.config(static_cast<int>(node)));
+  }
+}
+
+TEST(Reachability, RootOnlyBudgetStillInternsRoot) {
+  const Crn crn = compile::scale_crn(1);
+  const auto graph =
+      explore(crn, crn.initial_configuration({3}), ExploreOptions{1});
+  EXPECT_EQ(graph.size(), 1u);
+  EXPECT_FALSE(graph.complete);
+  EXPECT_EQ(graph.config(0), crn.initial_configuration({3}));
 }
 
 TEST(StableComputation, Fig1ExamplesAreCorrect) {
