@@ -1,0 +1,156 @@
+// Composition pipeline throughput: random circuit DAGs from the
+// `circuit/random-<n>-<seed>` family are lowered through crn::Circuit,
+// shrunk by the optimization passes, and exact-verified — measuring
+// modules compiled per second, species/reactions before and after the
+// passes, and verify throughput (configs/sec) on the composed outputs.
+// Emits BENCH_composition.json for CI trend tracking.
+#include <chrono>
+
+#include "bench_table.h"
+#include "compile/circuit_expr.h"
+#include "crn/passes.h"
+#include "verify/stable.h"
+
+namespace {
+
+using namespace crnkit;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(const Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void print_artifacts() {
+  struct Case {
+    int modules;
+    std::uint64_t seed;
+  };
+  const std::vector<Case> cases = {{12, 1}, {16, 2}, {20, 3}, {32, 4},
+                                   {48, 5}};
+
+  std::vector<bench::BenchRecord> records;
+  std::vector<std::vector<std::string>> rows;
+  util::JsonWriter circuits;
+  circuits.begin_array();
+
+  for (const Case& c : cases) {
+    const std::string name = "circuit/random-" + std::to_string(c.modules) +
+                             "-" + std::to_string(c.seed);
+    const compile::CircuitExpr expr =
+        compile::random_circuit_expr(c.modules, c.seed);
+
+    // Compile throughput: expression -> circuit -> flat CRN, averaged over
+    // repeated lowerings so the clock resolution doesn't dominate.
+    const int reps = 20;
+    const auto compile_start = Clock::now();
+    compile::LoweredCircuit lowered;
+    for (int r = 0; r < reps; ++r) {
+      lowered = compile::lower_circuit_expr(expr, name);
+    }
+    const double compile_seconds = seconds_since(compile_start) / reps;
+
+    const auto optimize_start = Clock::now();
+    const crn::PassPipelineResult optimized = crn::optimize(lowered.crn);
+    const double optimize_seconds = seconds_since(optimize_start);
+
+    // Verify throughput on the composed output. Fan-out in the bigger
+    // DAGs makes the all-ones reachable space exceed the default budget;
+    // their exact point is all-zeros (leader-driven constants only), with
+    // larger inputs covered by simcheck in the test suite.
+    const fn::Point x(static_cast<std::size_t>(optimized.crn.input_arity()),
+                      c.modules <= 20 ? 1 : 0);
+    const math::Int expected = expr.evaluate(x);
+    const auto verify_start = Clock::now();
+    const auto verdict =
+        verify::check_stable_computation(optimized.crn, x, expected);
+    const double verify_seconds = seconds_since(verify_start);
+    const std::string verify_status =
+        verdict.ok && verdict.complete
+            ? "proved"
+            : !verdict.complete ? "inconclusive" : "FAILED";
+
+    rows.push_back(
+        {name, bench::fmt(static_cast<long long>(c.modules)),
+         bench::fmt(static_cast<long long>(optimized.species_before)) + "/" +
+             bench::fmt(static_cast<long long>(optimized.reactions_before)),
+         bench::fmt(static_cast<long long>(optimized.species_after)) + "/" +
+             bench::fmt(static_cast<long long>(optimized.reactions_after)),
+         bench::fmt(compile_seconds * 1e3) + "ms",
+         bench::fmt(optimize_seconds * 1e3) + "ms", verify_status,
+         bench::fmt(static_cast<long long>(verdict.num_configs))});
+
+    bench::BenchRecord compile_record;
+    compile_record.name = name + "/compile";
+    compile_record.events = static_cast<std::uint64_t>(c.modules);
+    compile_record.wall_seconds = compile_seconds;
+    compile_record.events_per_sec =
+        compile_seconds > 0.0 ? c.modules / compile_seconds : 0.0;
+    records.push_back(compile_record);
+
+    bench::BenchRecord verify_record;
+    verify_record.name = name + "/verify";
+    verify_record.events = verdict.num_configs;
+    verify_record.wall_seconds = verify_seconds;
+    verify_record.events_per_sec =
+        verify_seconds > 0.0
+            ? static_cast<double>(verdict.num_configs) / verify_seconds
+            : 0.0;
+    records.push_back(verify_record);
+
+    circuits.begin_object()
+        .kv("name", name)
+        .kv("modules", c.modules)
+        .kv("species_before", optimized.species_before)
+        .kv("species_after", optimized.species_after)
+        .kv("reactions_before", optimized.reactions_before)
+        .kv("reactions_after", optimized.reactions_after)
+        .kv("verify_status", verify_status)
+        .kv("verify_configs", verdict.num_configs)
+        .end_object();
+  }
+  circuits.end_array();
+
+  bench::print_table(
+      "Composition pipeline: compile -> optimize -> exact verify",
+      {"circuit", "modules", "raw sp/rx", "opt sp/rx", "compile",
+       "optimize", "verify", "configs"},
+      rows, 13);
+
+  bench::write_bench_json("composition", records,
+                          {"\"circuits\": " + circuits.str()});
+}
+
+void BM_ParseExpression(benchmark::State& state) {
+  const std::string text = "min(x1 + 2*x2, div(x3, 2)) + max(sub(x1, 1), 2)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compile::parse_circuit_expr(text).module_count());
+  }
+}
+BENCHMARK(BM_ParseExpression);
+
+void BM_LowerRandomCircuit(benchmark::State& state) {
+  const compile::CircuitExpr expr =
+      compile::random_circuit_expr(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compile::lower_circuit_expr(expr, "bench").crn.species_count());
+  }
+}
+BENCHMARK(BM_LowerRandomCircuit)->Arg(12)->Arg(48);
+
+void BM_OptimizeRandomCircuit(benchmark::State& state) {
+  const compile::CircuitExpr expr =
+      compile::random_circuit_expr(static_cast<int>(state.range(0)), 1);
+  const compile::LoweredCircuit lowered =
+      compile::lower_circuit_expr(expr, "bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crn::optimize(lowered.crn).crn.species_count());
+  }
+}
+BENCHMARK(BM_OptimizeRandomCircuit)->Arg(12)->Arg(48);
+
+}  // namespace
+
+CRNKIT_BENCH_MAIN(print_artifacts)

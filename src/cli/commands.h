@@ -17,6 +17,7 @@ namespace crnkit::cli {
 int cmd_list(Args& args, std::ostream& out);
 int cmd_show(Args& args, std::ostream& out);
 int cmd_compile(Args& args, std::ostream& out);
+int cmd_compose(Args& args, std::ostream& out);
 int cmd_simulate(Args& args, std::ostream& out);
 int cmd_verify(Args& args, std::ostream& out);
 int cmd_bench(Args& args, std::ostream& out);

@@ -23,6 +23,13 @@ commands:
       [--json]
   compile <scenario|file.crn> emit the network in .crn text form
       [--out FILE] [--bimolecular] [--json]
+  compose <expr|file.wire|circuit/random-N-S>
+                              certify (Lemma 2.3), compile, and optimize a
+                              feed-forward circuit of oblivious modules
+      [--out FILE] [--no-opt] [--skip-cert] [--cert-grid N]
+      [--verify [--grid N] [--max-configs N]]
+      [--simcheck [--trials N] [--max-steps N] [--seed S]]
+      [--threads T] [--json]
   simulate <scenario|file.crn> batched stochastic simulation (ensemble)
       [--input X1,X2,...] [--trajectories N] [--seed S] [--threads T]
       [--method silent|direct|next-reaction|population]
@@ -98,6 +105,7 @@ int run_crnc(const std::vector<std::string>& args, std::ostream& out,
     if (command == "list") return cmd_list(rest, out);
     if (command == "show") return cmd_show(rest, out);
     if (command == "compile") return cmd_compile(rest, out);
+    if (command == "compose") return cmd_compose(rest, out);
     if (command == "simulate") return cmd_simulate(rest, out);
     if (command == "verify") return cmd_verify(rest, out);
     if (command == "bench") return cmd_bench(rest, out);

@@ -1,0 +1,570 @@
+#include "compile/circuit_expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "compile/primitives.h"
+#include "compile/quilt.h"
+#include "crn/compose.h"
+#include "fn/quilt_affine.h"
+#include "math/check.h"
+#include "math/rational.h"
+#include "sim/rng.h"
+
+namespace crnkit::compile {
+
+using math::Int;
+
+int CircuitExpr::add_node(Node node) {
+  for (const int c : node.children) {
+    require(c >= 0 && c < static_cast<int>(nodes_.size()),
+            "CircuitExpr: child index out of range");
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int CircuitExpr::input(int i) {
+  require(i >= 0, "CircuitExpr::input: negative index");
+  arity_ = std::max(arity_, i + 1);
+  Node n;
+  n.kind = Kind::kInput;
+  n.input = i;
+  return add_node(std::move(n));
+}
+
+int CircuitExpr::constant(Int c) {
+  require(c >= 0, "CircuitExpr::constant: negative constant");
+  Node n;
+  n.kind = Kind::kConst;
+  n.value = c;
+  return add_node(std::move(n));
+}
+
+int CircuitExpr::affine(Int a0, std::vector<Int> coefficients,
+                        std::vector<int> children) {
+  require(!children.empty(),
+          "CircuitExpr::affine: no children (use constant)");
+  require(coefficients.size() == children.size(),
+          "CircuitExpr::affine: coefficient/child count mismatch");
+  require(a0 >= 0, "CircuitExpr::affine: negative constant");
+  for (const Int a : coefficients) {
+    require(a >= 0, "CircuitExpr::affine: negative coefficient");
+  }
+  Node n;
+  n.kind = Kind::kAffine;
+  n.constant = a0;
+  n.coefficients = std::move(coefficients);
+  n.children = std::move(children);
+  return add_node(std::move(n));
+}
+
+int CircuitExpr::min_of(std::vector<int> children) {
+  require(children.size() >= 2, "CircuitExpr::min_of: need >= 2 children");
+  Node n;
+  n.kind = Kind::kMin;
+  n.children = std::move(children);
+  return add_node(std::move(n));
+}
+
+int CircuitExpr::max_const(int child, Int value) {
+  require(value >= 0, "CircuitExpr::max_const: negative constant");
+  Node n;
+  n.kind = Kind::kMaxConst;
+  n.value = value;
+  n.children = {child};
+  return add_node(std::move(n));
+}
+
+int CircuitExpr::clamp(int child, Int value) {
+  require(value >= 0, "CircuitExpr::clamp: negative threshold");
+  Node n;
+  n.kind = Kind::kClamp;
+  n.value = value;
+  n.children = {child};
+  return add_node(std::move(n));
+}
+
+int CircuitExpr::div(int child, Int k) {
+  require(k >= 1, "CircuitExpr::div: divisor must be >= 1");
+  Node n;
+  n.kind = Kind::kDiv;
+  n.value = k;
+  n.children = {child};
+  return add_node(std::move(n));
+}
+
+void CircuitExpr::set_root(int node) {
+  require(node >= 0 && node < static_cast<int>(nodes_.size()),
+          "CircuitExpr::set_root: bad node");
+  root_ = node;
+}
+
+int CircuitExpr::module_count() const {
+  int count = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind != Kind::kInput) ++count;
+  }
+  return count;
+}
+
+Int CircuitExpr::evaluate(const fn::Point& x) const {
+  require(root_ >= 0, "CircuitExpr::evaluate: no root set");
+  require(static_cast<int>(x.size()) >= arity_,
+          "CircuitExpr::evaluate: point too short");
+  std::vector<Int> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const auto child = [&](std::size_t j) {
+      return value[static_cast<std::size_t>(n.children[j])];
+    };
+    switch (n.kind) {
+      case Kind::kInput:
+        value[i] = x[static_cast<std::size_t>(n.input)];
+        break;
+      case Kind::kConst:
+        value[i] = n.value;
+        break;
+      case Kind::kAffine: {
+        Int sum = n.constant;
+        for (std::size_t j = 0; j < n.children.size(); ++j) {
+          sum += n.coefficients[j] * child(j);
+        }
+        value[i] = sum;
+        break;
+      }
+      case Kind::kMin: {
+        Int best = child(0);
+        for (std::size_t j = 1; j < n.children.size(); ++j) {
+          best = std::min(best, child(j));
+        }
+        value[i] = best;
+        break;
+      }
+      case Kind::kMaxConst:
+        value[i] = std::max(child(0), n.value);
+        break;
+      case Kind::kClamp:
+        value[i] = std::max<Int>(0, child(0) - n.value);
+        break;
+      case Kind::kDiv:
+        value[i] = child(0) / n.value;
+        break;
+    }
+  }
+  return value[static_cast<std::size_t>(root_)];
+}
+
+fn::DiscreteFunction CircuitExpr::as_function(const std::string& name) const {
+  require(root_ >= 0, "CircuitExpr::as_function: no root set");
+  const CircuitExpr copy = *this;
+  return fn::DiscreteFunction(
+      std::max(1, arity_),
+      [copy](const fn::Point& x) { return copy.evaluate(x); }, name);
+}
+
+std::string CircuitExpr::to_string() const {
+  require(root_ >= 0, "CircuitExpr::to_string: no root set");
+  std::vector<std::string> text(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const auto child = [&](std::size_t j) {
+      return text[static_cast<std::size_t>(n.children[j])];
+    };
+    std::ostringstream os;
+    switch (n.kind) {
+      case Kind::kInput:
+        os << "x" << (n.input + 1);
+        break;
+      case Kind::kConst:
+        os << n.value;
+        break;
+      case Kind::kAffine: {
+        os << "(";
+        for (std::size_t j = 0; j < n.children.size(); ++j) {
+          if (j > 0) os << " + ";
+          if (n.coefficients[j] != 1) os << n.coefficients[j] << "*";
+          os << child(j);
+        }
+        if (n.constant != 0) os << " + " << n.constant;
+        os << ")";
+        break;
+      }
+      case Kind::kMin: {
+        os << "min(";
+        for (std::size_t j = 0; j < n.children.size(); ++j) {
+          if (j > 0) os << ", ";
+          os << child(j);
+        }
+        os << ")";
+        break;
+      }
+      case Kind::kMaxConst:
+        os << "max(" << child(0) << ", " << n.value << ")";
+        break;
+      case Kind::kClamp:
+        os << "sub(" << child(0) << ", " << n.value << ")";
+        break;
+      case Kind::kDiv:
+        os << "div(" << child(0) << ", " << n.value << ")";
+        break;
+    }
+    text[i] = os.str();
+  }
+  return text[static_cast<std::size_t>(root_)];
+}
+
+namespace {
+
+/// Recursive-descent parser for the compose expression syntax.
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : text_(text) {}
+
+  CircuitExpr parse() {
+    const int root = expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    out_.set_root(root);
+    return std::move(out_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("expression parse error at position " +
+                                std::to_string(pos_ + 1) + ": " + what +
+                                " in '" + text_ + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool at_digit() {
+    const char c = peek();
+    return c >= '0' && c <= '9';
+  }
+
+  Int integer() {
+    skip_ws();
+    if (!at_digit()) fail("expected an integer");
+    Int value = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + (text_[pos_] - '0');
+      if (value > 1'000'000'000'000LL) fail("integer out of range");
+      ++pos_;
+    }
+    return value;
+  }
+
+  std::string identifier() {
+    skip_ws();
+    std::string word;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= 'a' && text_[pos_] <= 'z') ||
+            (text_[pos_] >= 'A' && text_[pos_] <= 'Z'))) {
+      word += text_[pos_++];
+    }
+    return word;
+  }
+
+  /// expr := term ('+' term)*; constant terms fold into one affine node.
+  int expr() {
+    Int a0 = 0;
+    std::vector<Int> coefficients;
+    std::vector<int> children;
+    while (true) {
+      term(a0, coefficients, children);
+      if (peek() != '+') break;
+      ++pos_;
+    }
+    if (children.empty()) return out_.constant(a0);
+    if (children.size() == 1 && coefficients[0] == 1 && a0 == 0) {
+      return children[0];  // no wrapper module for a bare factor
+    }
+    return out_.affine(a0, std::move(coefficients), std::move(children));
+  }
+
+  void term(Int& a0, std::vector<Int>& coefficients,
+            std::vector<int>& children) {
+    if (at_digit()) {
+      const Int value = integer();
+      if (peek() == '*') {
+        ++pos_;
+        coefficients.push_back(value);
+        children.push_back(factor());
+      } else {
+        a0 += value;
+      }
+      return;
+    }
+    coefficients.push_back(1);
+    children.push_back(factor());
+  }
+
+  int factor() {
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      const int node = expr();
+      expect(')');
+      return node;
+    }
+    const std::string word = identifier();
+    if (word.empty()) fail("expected a factor");
+    if (word == "x") {
+      if (!at_digit()) fail("input needs an index, e.g. x1");
+      const Int index = integer();
+      if (index < 1 || index > 64) fail("input index out of range");
+      return out_.input(static_cast<int>(index) - 1);
+    }
+    if (word == "min") {
+      expect('(');
+      std::vector<int> children{expr()};
+      while (peek() == ',') {
+        ++pos_;
+        children.push_back(expr());
+      }
+      expect(')');
+      if (children.size() < 2) fail("min needs at least two arguments");
+      return out_.min_of(std::move(children));
+    }
+    if (word == "max" || word == "sub" || word == "div") {
+      expect('(');
+      const int child = expr();
+      if (peek() != ',') {
+        if (word == "max") {
+          fail("max needs a constant second argument (general max is not "
+               "obliviously computable, Section 4)");
+        }
+        fail(word + " needs a constant second argument");
+      }
+      ++pos_;
+      if (!at_digit()) {
+        if (word == "max") {
+          fail("max(e, n) requires constant n: general max is not "
+               "obliviously computable (Section 4)");
+        }
+        fail(word + "(e, n) requires constant n");
+      }
+      const Int n = integer();
+      expect(')');
+      if (word == "max") return out_.max_const(child, n);
+      if (word == "sub") return out_.clamp(child, n);
+      if (n < 1) fail("div needs a divisor >= 1");
+      return out_.div(child, n);
+    }
+    fail("unknown function '" + word + "'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  CircuitExpr out_;
+};
+
+/// Deterministic, seed-stable stream for the random family: the ensemble
+/// runner's splitmix64 stream derivation (sim::Rng::derive_stream_seed)
+/// over an avalanched base, one draw per counter value.
+struct SplitMix {
+  explicit SplitMix(std::uint64_t seed)
+      : base_(seed * 0x632be59bd9b4e019ULL + 0xd1b54a32d192ed03ULL) {}
+  std::uint64_t next() { return sim::Rng::derive_stream_seed(base_, index_++); }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t index_ = 0;
+};
+
+}  // namespace
+
+CircuitExpr parse_circuit_expr(const std::string& text) {
+  require(!text.empty(), "parse_circuit_expr: empty expression");
+  return ExprParser(text).parse();
+}
+
+CircuitExpr random_circuit_expr(int modules, std::uint64_t seed) {
+  require(modules >= 1, "random_circuit_expr: need >= 1 module");
+  SplitMix rng(seed);
+  CircuitExpr e;
+  const int arity = 2 + static_cast<int>(rng.below(2));
+  std::vector<int> node_ids;
+  std::vector<bool> consumed;
+  for (int i = 0; i < arity; ++i) {
+    node_ids.push_back(e.input(i));
+    consumed.push_back(false);
+  }
+  const auto pick_child = [&]() {
+    std::vector<std::size_t> fresh;
+    for (std::size_t i = 0; i < node_ids.size(); ++i) {
+      if (!consumed[i]) fresh.push_back(i);
+    }
+    std::size_t slot;
+    if (!fresh.empty() && rng.below(2) == 0) {
+      slot = fresh[rng.below(fresh.size())];
+    } else {
+      slot = rng.below(node_ids.size());
+    }
+    consumed[slot] = true;
+    return node_ids[slot];
+  };
+  for (int m = 0; m + 1 < modules; ++m) {
+    const std::uint64_t roll = rng.below(100);
+    int id;
+    if (roll < 35) {
+      const std::size_t ports = 1 + rng.below(2);
+      std::vector<Int> coefficients;
+      std::vector<int> children;
+      for (std::size_t j = 0; j < ports; ++j) {
+        coefficients.push_back(1 + static_cast<Int>(rng.below(2)));
+        children.push_back(pick_child());
+      }
+      id = e.affine(static_cast<Int>(rng.below(3)), std::move(coefficients),
+                    std::move(children));
+    } else if (roll < 60) {
+      const int a = pick_child();
+      const int b = pick_child();
+      id = e.min_of({a, b});
+    } else if (roll < 75) {
+      id = e.clamp(pick_child(), 1 + static_cast<Int>(rng.below(2)));
+    } else if (roll < 90) {
+      id = e.max_const(pick_child(), 1 + static_cast<Int>(rng.below(2)));
+    } else {
+      id = e.div(pick_child(), 2 + static_cast<Int>(rng.below(2)));
+    }
+    node_ids.push_back(id);
+    consumed.push_back(false);
+  }
+  // Final fan-in sum over everything still unconsumed: the DAG has a single
+  // sink and every module output a consumer, and its coefficient-1 ports
+  // are exactly the unary conversions the collapse pass exists for.
+  std::vector<Int> coefficients;
+  std::vector<int> children;
+  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+    if (consumed[i]) continue;
+    coefficients.push_back(1);
+    children.push_back(node_ids[i]);
+  }
+  ensure(!children.empty(), "random_circuit_expr: no root candidates");
+  e.set_root(e.affine(0, std::move(coefficients), std::move(children)));
+  return e;
+}
+
+crn::Crn div_crn(Int k) {
+  require(k >= 1, "div_crn: divisor must be >= 1");
+  if (k == 1) return identity_crn();
+  math::RatVec gradient{math::Rational(1, k)};
+  std::vector<math::Rational> offsets;
+  for (Int a = 0; a < k; ++a) offsets.emplace_back(-a, k);
+  const fn::QuiltAffine g(std::move(gradient), k, std::move(offsets),
+                          "x/" + std::to_string(k));
+  return compile_quilt_affine(g);
+}
+
+LoweredCircuit lower_circuit_expr(const CircuitExpr& expr,
+                                  const std::string& name) {
+  require(expr.root() >= 0, "lower_circuit_expr: no root set");
+  crn::Circuit circuit(std::max(1, expr.arity()), name);
+  std::vector<crn::Wire> wires(expr.nodes().size());
+  LoweredCircuit out;
+
+  for (std::size_t i = 0; i < expr.nodes().size(); ++i) {
+    const CircuitExpr::Node& node = expr.nodes()[i];
+    if (node.kind == CircuitExpr::Kind::kInput) {
+      wires[i] = crn::Wire::external(node.input);
+      continue;
+    }
+    CircuitModule module;
+    switch (node.kind) {
+      case CircuitExpr::Kind::kConst: {
+        module.crn = constant_crn(node.value);
+        module.label = "const-" + std::to_string(node.value);
+        break;
+      }
+      case CircuitExpr::Kind::kAffine: {
+        module.crn = affine_crn(node.coefficients, node.constant);
+        module.label = "affine/" + std::to_string(node.children.size());
+        const std::vector<Int> coefficients = node.coefficients;
+        const Int constant = node.constant;
+        module.fn = fn::DiscreteFunction(
+            static_cast<int>(node.children.size()),
+            [coefficients, constant](const fn::Point& x) {
+              Int sum = constant;
+              for (std::size_t j = 0; j < coefficients.size(); ++j) {
+                sum += coefficients[j] * x[j];
+              }
+              return sum;
+            },
+            "affine");
+        break;
+      }
+      case CircuitExpr::Kind::kMin: {
+        module.crn = min_crn(static_cast<int>(node.children.size()));
+        module.label = "min/" + std::to_string(node.children.size());
+        module.fn = fn::DiscreteFunction(
+            static_cast<int>(node.children.size()),
+            [](const fn::Point& x) {
+              return *std::min_element(x.begin(), x.end());
+            },
+            "min");
+        break;
+      }
+      case CircuitExpr::Kind::kMaxConst: {
+        module.crn = max_const_crn(node.value);
+        module.label = "max-" + std::to_string(node.value);
+        const Int n = node.value;
+        module.fn = fn::DiscreteFunction(
+            1, [n](const fn::Point& x) { return std::max(x[0], n); }, "max");
+        break;
+      }
+      case CircuitExpr::Kind::kClamp: {
+        module.crn = clamp_crn(node.value);
+        module.label = "sub-" + std::to_string(node.value);
+        const Int n = node.value;
+        module.fn = fn::DiscreteFunction(
+            1, [n](const fn::Point& x) { return std::max<Int>(0, x[0] - n); },
+            "sub");
+        break;
+      }
+      case CircuitExpr::Kind::kDiv: {
+        module.crn = div_crn(node.value);
+        module.label = "div/" + std::to_string(node.value);
+        const Int k = node.value;
+        module.fn = fn::DiscreteFunction(
+            1, [k](const fn::Point& x) { return x[0] / k; }, "div");
+        break;
+      }
+      case CircuitExpr::Kind::kInput:
+        break;  // handled above
+    }
+    const int m = circuit.add_module(module.crn);
+    module.label = "m" + std::to_string(m) + ": " + module.label;
+    for (std::size_t j = 0; j < node.children.size(); ++j) {
+      circuit.connect(wires[static_cast<std::size_t>(node.children[j])], m,
+                      static_cast<int>(j));
+    }
+    wires[i] = crn::Wire::of_module(m);
+    out.modules.push_back(std::move(module));
+  }
+
+  circuit.add_output(wires[static_cast<std::size_t>(expr.root())]);
+  out.crn = circuit.compile();
+  return out;
+}
+
+}  // namespace crnkit::compile

@@ -1,0 +1,126 @@
+// The function-expression IR behind `crnc compose`: nested min / affine /
+// clamp / constant-max / floor-division terms over k external inputs. Every
+// operator has an output-oblivious primitive CRN (compile/primitives.h and
+// the Lemma 6.1 quilt compiler), so a whole expression lowers through
+// crn::Circuit — one module per operator node, wires for the data edges —
+// into a single flat CRN that stably computes the expression (Observation
+// 2.2 / Lemma 6.2). General binary max is deliberately absent: it is not
+// obliviously computable (Section 4); only "x v n" with constant n is.
+//
+// The IR is a node pool. Children always precede parents (indices are
+// topological), shared children are real DAG edges (the lowering fans the
+// wire out), and evaluation doubles as the recorded reference function for
+// verification of the compiled network.
+#ifndef CRNKIT_COMPILE_CIRCUIT_EXPR_H_
+#define CRNKIT_COMPILE_CIRCUIT_EXPR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "fn/function.h"
+
+namespace crnkit::compile {
+
+class CircuitExpr {
+ public:
+  enum class Kind {
+    kInput,     ///< external input x_i
+    kConst,     ///< constant c
+    kAffine,    ///< a0 + a1 e1 + ... + am em (ai >= 0)
+    kMin,       ///< min(e1, ..., em), m >= 2
+    kMaxConst,  ///< max(e, n) for constant n
+    kClamp,     ///< (e - n)+  i.e. max(0, e - n)
+    kDiv,       ///< floor(e / k), lowered via a Lemma 6.1 quilt module
+  };
+
+  struct Node {
+    Kind kind = Kind::kInput;
+    int input = -1;                        ///< kInput: 0-based input index
+    math::Int value = 0;                   ///< c, n, or k by kind
+    math::Int constant = 0;                ///< kAffine: a0
+    std::vector<math::Int> coefficients;   ///< kAffine: parallel to children
+    std::vector<int> children;             ///< node indices, all < own index
+  };
+
+  CircuitExpr() = default;
+
+  // --- builders; each returns the new node's index ---
+  int input(int i);
+  int constant(math::Int c);
+  int affine(math::Int a0, std::vector<math::Int> coefficients,
+             std::vector<int> children);
+  int min_of(std::vector<int> children);
+  int max_const(int child, math::Int n);
+  int clamp(int child, math::Int n);
+  int div(int child, math::Int k);
+  void set_root(int node);
+
+  [[nodiscard]] int arity() const { return arity_; }
+  [[nodiscard]] int root() const { return root_; }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  /// Operator nodes — the number of circuit modules the lowering creates.
+  [[nodiscard]] int module_count() const;
+
+  [[nodiscard]] math::Int evaluate(const fn::Point& x) const;
+  /// The expression as a reference function of dimension max(arity, 1).
+  [[nodiscard]] fn::DiscreteFunction as_function(
+      const std::string& name) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int add_node(Node node);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int arity_ = 0;
+};
+
+/// Parses the `crnc compose` expression syntax:
+///   expr   := term ('+' term)*
+///   term   := INT '*' factor | INT | factor
+///   factor := 'x'INT | 'min(' expr (',' expr)+ ')' | 'max(' expr ',' INT ')'
+///           | 'sub(' expr ',' INT ')' | 'div(' expr ',' INT ')'
+///           | '(' expr ')'
+/// e.g. "min(x1 + x2, 2*x3) + 1" or "div(sub(x1, 2), 3)". Inputs are
+/// 1-based in the syntax. Throws std::invalid_argument with the offending
+/// position on malformed input, including `max` with a non-constant second
+/// argument (not obliviously computable).
+[[nodiscard]] CircuitExpr parse_circuit_expr(const std::string& text);
+
+/// A deterministic pseudo-random circuit DAG with exactly `modules`
+/// operator nodes over 2-3 inputs: the scenario family
+/// `circuit/random-<modules>-<seed>`. The last module is a fan-in sum that
+/// consumes every otherwise-unconsumed value, so the DAG always satisfies
+/// the Circuit wiring invariants. Values stay small enough for exact
+/// verification on the {0,1}^d grid.
+[[nodiscard]] CircuitExpr random_circuit_expr(int modules,
+                                              std::uint64_t seed);
+
+/// One lowered module with the function it computes, for Lemma 2.3
+/// certification and reporting. `fn` is absent for zero-input (constant)
+/// modules, whose composability is their syntactic obliviousness.
+struct CircuitModule {
+  std::string label;  ///< e.g. "m2: min/2"
+  crn::Crn crn;
+  std::optional<fn::DiscreteFunction> fn;
+};
+
+struct LoweredCircuit {
+  crn::Crn crn;  ///< the flat composed network (inputs X1..Xd, output Y)
+  std::vector<CircuitModule> modules;  ///< in circuit module order
+};
+
+/// Lowers the expression through crn::Circuit into a single flat CRN.
+[[nodiscard]] LoweredCircuit lower_circuit_expr(const CircuitExpr& expr,
+                                                const std::string& name);
+
+/// floor(x / k) as an output-oblivious module: identity for k = 1, the
+/// Lemma 6.1 quilt compilation of x/k - (x mod k)/k otherwise.
+[[nodiscard]] crn::Crn div_crn(math::Int k);
+
+}  // namespace crnkit::compile
+
+#endif  // CRNKIT_COMPILE_CIRCUIT_EXPR_H_

@@ -82,6 +82,47 @@ Crn scale_crn(Int k) {
   return out;
 }
 
+Crn affine_crn(const std::vector<Int>& coefficients, Int constant) {
+  require(!coefficients.empty() || constant > 0,
+          "affine_crn: empty form (use constant_crn)");
+  require(constant >= 0, "affine_crn: negative constant");
+  Crn out("affine");
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    require(coefficients[i] >= 0, "affine_crn: negative coefficient");
+    inputs.push_back("X" + std::to_string(i + 1));
+  }
+  out.set_input_species(inputs);
+  out.set_output_species("Y");
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    if (coefficients[i] == 0) {
+      // The port must still be consumed so its molecules cannot linger.
+      out.add_reaction({{inputs[i], 1}}, {{"W", 1}});
+    } else {
+      out.add_reaction({{inputs[i], 1}}, {{"Y", coefficients[i]}});
+    }
+  }
+  if (constant > 0) {
+    out.set_leader_species("L");
+    out.add_reaction({{"L", 1}}, {{"Y", constant}});
+  }
+  crn::require_output_oblivious(out);
+  return out;
+}
+
+Crn max_const_crn(Int n) {
+  require(n >= 0, "max_const_crn: negative constant");
+  if (n == 0) return identity_crn();
+  Crn out("max-const" + std::to_string(n));
+  out.set_input_species({"X"});
+  out.set_output_species("Y");
+  out.set_leader_species("L");
+  out.add_reaction({{"L", 1}}, {{"Y", n}});
+  out.add_reaction({{"X", n + 1}}, {{"X", n}, {"Y", 1}});
+  crn::require_output_oblivious(out);
+  return out;
+}
+
 Crn fig1_max_crn() {
   Crn out("fig1-max");
   out.set_input_species({"X1", "X2"});

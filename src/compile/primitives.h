@@ -35,6 +35,18 @@ namespace crnkit::compile {
 /// f(x) = k x via X -> k Y (Fig 1's 2x for k = 2).
 [[nodiscard]] crn::Crn scale_crn(math::Int k);
 
+/// The nonnegative affine form a0 + a1 x1 + ... + am xm with ports
+/// X1..Xm: Xi -> ai Y (Xi -> inert for ai = 0) and L -> a0 Y when a0 > 0.
+/// The workhorse of sum terms in composed circuits.
+[[nodiscard]] crn::Crn affine_crn(const std::vector<math::Int>& coefficients,
+                                  math::Int constant);
+
+/// max(x, n) for a constant n >= 0 — the "x v n" of Lemma 6.2 — via
+/// L -> n Y and (n+1) X -> n X + Y (identity for n = 0). General binary
+/// max is NOT obliviously computable (Section 4); only the constant form
+/// composes.
+[[nodiscard]] crn::Crn max_const_crn(math::Int n);
+
 /// Fig 1's max CRN (NOT output-oblivious; consumes Y via K + Y -> 0):
 ///   X1 -> Z1 + Y; X2 -> Z2 + Y; Z1 + Z2 -> K; K + Y -> 0.
 [[nodiscard]] crn::Crn fig1_max_crn();

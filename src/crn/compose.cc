@@ -1,5 +1,7 @@
 #include "crn/compose.h"
 
+#include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -86,7 +88,9 @@ const Crn& Circuit::module(int m) const {
 void Circuit::connect(Wire source, int m, int port) {
   require(m >= 0 && m < module_count(), "Circuit::connect: bad module");
   require(port >= 0 && port < module(m).input_arity(),
-          "Circuit::connect: bad port");
+          "Circuit::connect: arity mismatch: port " + std::to_string(port) +
+              " out of range for module " + std::to_string(m) + " (arity " +
+              std::to_string(module(m).input_arity()) + ")");
   if (source.module == -1) {
     require(source.input >= 0 && source.input < arity_,
             "Circuit::connect: bad external input");
@@ -106,6 +110,12 @@ void Circuit::add_output(Wire source) {
     require(source.module >= 0 && source.module < module_count(),
             "Circuit::add_output: bad source module");
   }
+  // The sum junction adds *distinct* wires; the same wire twice would fold
+  // into one fan-out reaction emitting 2 Y per molecule, silently doubling
+  // that summand (use a scale module to multiply).
+  require(std::find(outputs_.begin(), outputs_.end(), source) ==
+              outputs_.end(),
+          "Circuit::add_output: duplicate sum-junction wire");
   outputs_.push_back(source);
 }
 
@@ -164,6 +174,14 @@ Crn Circuit::compile() const {
     consumers[c.source].push_back({c.module, c.port});
   }
   for (const Wire& w : outputs_) consumers[w].push_back({-2, 0});
+
+  // Every module's output must flow somewhere: an unconsumed output species
+  // would accumulate outside the declared circuit function.
+  for (int m = 0; m < module_count(); ++m) {
+    require(consumers.count(Wire::of_module(m)) > 0,
+            "Circuit::compile: module " + std::to_string(m) +
+                " output unconsumed (wire it to a port or add_output it)");
+  }
 
   // Decide renames: single-consumer wires unify names, except that an
   // external input is never renamed onto Y (a conversion reaction is used).

@@ -74,9 +74,15 @@ void parse_line(Crn& out, const std::string& line, bool& named) {
   } else if (keyword == "rxn") {
     std::string rest;
     std::getline(words, rest);
-    // Reversible `A + B <-> C` expands to the two directed reactions.
+    // Reversible `A + B <-> C` (spaces optional) expands to the two
+    // directed reactions. An empty side is the empty multiset, exactly as
+    // in the directed syntax. More than one arrow of either kind is
+    // rejected (add_reaction_str refuses stray '->' in either side rather
+    // than absorbing it into a species name).
     const auto arrow = rest.find("<->");
     if (arrow != std::string::npos) {
+      require(rest.find("<->", arrow + 3) == std::string::npos,
+              "multiple '<->' in '" + rest + "'");
       const std::string lhs = rest.substr(0, arrow);
       const std::string rhs = rest.substr(arrow + 3);
       out.add_reaction_str(lhs + " -> " + rhs);

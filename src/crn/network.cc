@@ -64,12 +64,24 @@ std::vector<std::pair<std::string, math::Int>> parse_side(
     math::Int count = 1;
     std::string name = t;
     if (i > 0) {
+      // 19+ digits would overflow std::stoll (std::out_of_range escaping
+      // as a crash instead of a parse error).
+      require(i <= 18,
+              "parse_side: coefficient out of range in '" + t + "'");
       count = std::stoll(t.substr(0, i));
       name = t.substr(i);
       const auto name_start = name.find_first_not_of(" \t");
       require(name_start != std::string::npos,
               "parse_side: coefficient without species in '" + t + "'");
       name = name.substr(name_start);
+    }
+    // A name with interior whitespace or arrow characters means the
+    // reaction text was malformed (e.g. a second '->'); never let it
+    // silently become a species.
+    for (const char c : name) {
+      require(!std::isspace(static_cast<unsigned char>(c)) && c != '<' &&
+                  c != '>',
+              "parse_side: invalid species name '" + name + "'");
     }
     out.emplace_back(name, count);
   }
@@ -79,9 +91,14 @@ std::vector<std::pair<std::string, math::Int>> parse_side(
 }  // namespace
 
 void Crn::add_reaction_str(const std::string& text) {
+  require(text.find("<->") == std::string::npos,
+          "add_reaction_str: reversible '<->' in '" + text +
+              "' (only crn::from_text expands reversible reactions)");
   const auto arrow = text.find("->");
   require(arrow != std::string::npos,
           "add_reaction_str: missing '->' in '" + text + "'");
+  require(text.find("->", arrow + 2) == std::string::npos,
+          "add_reaction_str: multiple '->' in '" + text + "'");
   add_reaction(parse_side(text.substr(0, arrow)),
                parse_side(text.substr(arrow + 2)));
 }

@@ -1,0 +1,300 @@
+#include "crn/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "math/check.h"
+
+namespace crnkit::crn {
+
+namespace {
+
+/// Canonical term list: merged counts, zero terms dropped, sorted by
+/// species — the same normal form Reaction's constructor produces, usable
+/// before construction (Reaction refuses no-op reactions, so passes must
+/// detect them first).
+std::vector<Term> canonical_terms(const std::vector<Term>& terms) {
+  std::map<SpeciesId, math::Int> counts;
+  for (const Term& t : terms) counts[t.species] += t.count;
+  std::vector<Term> out;
+  for (const auto& [species, count] : counts) {
+    if (count != 0) out.push_back({species, count});
+  }
+  return out;
+}
+
+bool terms_equal(const std::vector<Term>& a, const std::vector<Term>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].species != b[i].species || a[i].count != b[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A stable text key for reaction deduplication.
+std::string reaction_key(const Reaction& r) {
+  std::ostringstream os;
+  for (const Term& t : r.reactants()) os << t.species << "*" << t.count << ",";
+  os << ">";
+  for (const Term& t : r.products()) os << t.species << "*" << t.count << ",";
+  return os.str();
+}
+
+bool has_role(const Crn& crn, SpeciesId s) {
+  if (crn.output() && *crn.output() == s) return true;
+  if (crn.leader() && *crn.leader() == s) return true;
+  return std::find(crn.inputs().begin(), crn.inputs().end(), s) !=
+         crn.inputs().end();
+}
+
+void copy_roles(const Crn& from, Crn& to) {
+  std::vector<std::string> input_names;
+  for (const SpeciesId id : from.inputs()) {
+    input_names.push_back(from.species_name(id));
+  }
+  to.set_input_species(input_names);
+  if (from.output()) to.set_output_species(from.species_name(*from.output()));
+  if (from.leader()) to.set_leader_species(from.species_name(*from.leader()));
+}
+
+/// Rebuilds `crn` keeping only species in `keep` (by id) and the reactions
+/// for which `keep_reaction` is true, with products filtered to kept
+/// species. Role species must be in `keep`.
+Crn rebuild(const Crn& crn, const std::vector<bool>& keep,
+            const std::vector<bool>& keep_reaction) {
+  Crn out(crn.name());
+  for (std::size_t s = 0; s < crn.species_count(); ++s) {
+    if (keep[s]) out.get_or_add_species(crn.species_name(
+        static_cast<SpeciesId>(s)));
+  }
+  for (std::size_t i = 0; i < crn.reactions().size(); ++i) {
+    if (!keep_reaction[i]) continue;
+    const Reaction& r = crn.reactions()[i];
+    std::vector<Term> reactants;
+    std::vector<Term> products;
+    for (const Term& t : r.reactants()) {
+      reactants.push_back({out.species(crn.species_name(t.species)), t.count});
+    }
+    for (const Term& t : r.products()) {
+      if (!keep[static_cast<std::size_t>(t.species)]) continue;
+      products.push_back({out.species(crn.species_name(t.species)), t.count});
+    }
+    const std::vector<Term> cr = canonical_terms(reactants);
+    const std::vector<Term> cp = canonical_terms(products);
+    // Product filtering can only strip write-only waste; a reaction reduced
+    // to a no-op no longer changes any kept species and is dropped.
+    if (terms_equal(cr, cp)) continue;
+    out.add_reaction(Reaction(cr, cp));
+  }
+  copy_roles(crn, out);
+  return out;
+}
+
+}  // namespace
+
+Crn fuse_duplicate_reactions(const Crn& crn) {
+  Crn out(crn.name());
+  for (const std::string& s : crn.species_table().names()) {
+    out.get_or_add_species(s);
+  }
+  std::set<std::string> seen;
+  for (const Reaction& r : crn.reactions()) {
+    if (!seen.insert(reaction_key(r)).second) continue;
+    out.add_reaction(r);
+  }
+  copy_roles(crn, out);
+  return out;
+}
+
+Crn eliminate_dead_species(const Crn& crn) {
+  const std::size_t n = crn.species_count();
+
+  // Producibility fixpoint: a species can appear in some reachable
+  // configuration iff it is an input, the leader, or a product of a
+  // reaction all of whose reactants are producible.
+  std::vector<bool> producible(n, false);
+  for (const SpeciesId id : crn.inputs()) {
+    producible[static_cast<std::size_t>(id)] = true;
+  }
+  if (crn.leader()) producible[static_cast<std::size_t>(*crn.leader())] = true;
+  bool grew = true;
+  std::vector<bool> fires(crn.reactions().size(), false);
+  while (grew) {
+    grew = false;
+    for (std::size_t i = 0; i < crn.reactions().size(); ++i) {
+      if (fires[i]) continue;
+      const Reaction& r = crn.reactions()[i];
+      bool all = true;
+      for (const Term& t : r.reactants()) {
+        if (!producible[static_cast<std::size_t>(t.species)]) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      fires[i] = true;
+      for (const Term& t : r.products()) {
+        std::size_t s = static_cast<std::size_t>(t.species);
+        if (!producible[s]) {
+          producible[s] = true;
+          grew = true;
+        }
+      }
+    }
+  }
+
+  // Write-only species: never a reactant of a firing reaction and no role.
+  // They only pad configurations; strip them from product lists.
+  std::vector<bool> consumed(n, false);
+  for (std::size_t i = 0; i < crn.reactions().size(); ++i) {
+    if (!fires[i]) continue;
+    for (const Term& t : crn.reactions()[i].reactants()) {
+      consumed[static_cast<std::size_t>(t.species)] = true;
+    }
+  }
+  std::vector<bool> keep(n, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    const SpeciesId id = static_cast<SpeciesId>(s);
+    keep[s] = has_role(crn, id) || (producible[s] && consumed[s]);
+  }
+  return rebuild(crn, keep, fires);
+}
+
+Crn collapse_fanout_chains(const Crn& crn) {
+  Crn current = crn;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::size_t n = current.species_count();
+    std::vector<int> consumer_count(n, 0);
+    std::vector<std::size_t> consumer_index(n, 0);
+    for (std::size_t i = 0; i < current.reactions().size(); ++i) {
+      for (const Term& t : current.reactions()[i].reactants()) {
+        ++consumer_count[static_cast<std::size_t>(t.species)];
+        consumer_index[static_cast<std::size_t>(t.species)] = i;
+      }
+    }
+    for (std::size_t s = 0; s < n && !changed; ++s) {
+      const SpeciesId w = static_cast<SpeciesId>(s);
+      if (has_role(current, w) || consumer_count[s] != 1) continue;
+      const std::size_t ridx = consumer_index[s];
+      const Reaction& conv = current.reactions()[ridx];
+      if (conv.reactants().size() != 1 || conv.reactants()[0].count != 1 ||
+          conv.products().size() != 1 || conv.products()[0].count != 1 ||
+          conv.products()[0].species == w) {
+        continue;
+      }
+      const SpeciesId z = conv.products()[0].species;
+      // W's only fate is the inevitable conversion W -> Z: substituting Z
+      // for W (and dropping the conversion) quotients away the pending-
+      // conversion configurations without touching any stable output.
+      Crn next(current.name());
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t == s) continue;
+        next.get_or_add_species(
+            current.species_name(static_cast<SpeciesId>(t)));
+      }
+      const std::string& z_name = current.species_name(z);
+      auto mapped_name = [&](SpeciesId id) -> const std::string& {
+        return id == w ? z_name : current.species_name(id);
+      };
+      for (std::size_t i = 0; i < current.reactions().size(); ++i) {
+        if (i == ridx) continue;
+        const Reaction& r = current.reactions()[i];
+        std::vector<Term> reactants;
+        std::vector<Term> products;
+        for (const Term& t : r.reactants()) {
+          reactants.push_back({next.species(mapped_name(t.species)), t.count});
+        }
+        for (const Term& t : r.products()) {
+          products.push_back({next.species(mapped_name(t.species)), t.count});
+        }
+        const std::vector<Term> cr = canonical_terms(reactants);
+        const std::vector<Term> cp = canonical_terms(products);
+        if (terms_equal(cr, cp)) continue;  // e.g. Z -> W became a no-op
+        next.add_reaction(Reaction(cr, cp));
+      }
+      copy_roles(current, next);
+      current = std::move(next);
+      changed = true;
+    }
+  }
+  return current;
+}
+
+Crn renumber_species(const Crn& crn) {
+  std::vector<std::string> order;
+  std::set<std::string> placed;
+  const auto place = [&](const std::string& name) {
+    if (placed.insert(name).second) order.push_back(name);
+  };
+  for (const SpeciesId id : crn.inputs()) place(crn.species_name(id));
+  if (crn.leader()) place(crn.species_name(*crn.leader()));
+  for (const Reaction& r : crn.reactions()) {
+    for (const Term& t : r.reactants()) place(crn.species_name(t.species));
+    for (const Term& t : r.products()) place(crn.species_name(t.species));
+  }
+  if (crn.output()) place(crn.species_name(*crn.output()));
+
+  Crn out(crn.name());
+  for (const std::string& name : order) out.get_or_add_species(name);
+  for (const Reaction& r : crn.reactions()) {
+    std::vector<Term> reactants;
+    std::vector<Term> products;
+    for (const Term& t : r.reactants()) {
+      reactants.push_back({out.species(crn.species_name(t.species)), t.count});
+    }
+    for (const Term& t : r.products()) {
+      products.push_back({out.species(crn.species_name(t.species)), t.count});
+    }
+    out.add_reaction(Reaction(std::move(reactants), std::move(products)));
+  }
+  copy_roles(crn, out);
+  return out;
+}
+
+PassPipelineResult optimize(const Crn& crn, const PassOptions& options) {
+  PassPipelineResult result;
+  result.crn = crn;
+  result.species_before = crn.species_count();
+  result.reactions_before = crn.reactions().size();
+
+  const auto apply = [&result](const std::string& name, Crn next) {
+    PassStats stats;
+    stats.pass = name;
+    stats.species_before = result.crn.species_count();
+    stats.reactions_before = result.crn.reactions().size();
+    stats.species_after = next.species_count();
+    stats.reactions_after = next.reactions().size();
+    result.passes.push_back(stats);
+    result.crn = std::move(next);
+    return result.passes.back().changed();
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    if (options.fuse_duplicates) {
+      changed |= apply("fuse-duplicates",
+                       fuse_duplicate_reactions(result.crn));
+    }
+    if (options.dead_species) {
+      changed |= apply("dead-species", eliminate_dead_species(result.crn));
+    }
+    if (options.collapse_chains) {
+      changed |= apply("collapse-chains", collapse_fanout_chains(result.crn));
+    }
+    if (!changed) break;
+  }
+  if (options.renumber) {
+    apply("renumber", renumber_species(result.crn));
+  }
+  result.species_after = result.crn.species_count();
+  result.reactions_after = result.crn.reactions().size();
+  return result;
+}
+
+}  // namespace crnkit::crn

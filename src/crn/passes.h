@@ -1,0 +1,93 @@
+// Optimization passes over CRNs, sized for the networks the composition
+// pipeline emits (src/compile/circuit_expr.h): module wiring leaves behind
+// unary conversion chains, write-only waste species, and duplicated
+// reactions that the flat network no longer needs. Every pass preserves
+// stable computation — the optimized network stably computes f on x iff the
+// input network does — so `crnc compose` can verify the optimized artifact
+// against the reference function and tests can cross-validate optimized
+// vs. unoptimized verdicts (exact checker on small grids, simcheck beyond).
+//
+// Passes:
+//   - fuse_duplicate_reactions: drop textually identical reactions (counts
+//     only affect kinetics, never reachability or stability).
+//   - eliminate_dead_species: remove reactions that can never fire (some
+//     reactant is never producible from any initial configuration) and
+//     write-only waste species (produced, never consumed, no role).
+//   - collapse_fanout_chains: a species W with no role whose only consumer
+//     is the unary conversion W -> Z is renamed to Z and the conversion
+//     deleted — the pattern fan-out wiring produces in long chains.
+//   - renumber_species: canonical compact numbering (inputs, leader, then
+//     first use, output) dropping species no reaction or role mentions.
+#ifndef CRNKIT_CRN_PASSES_H_
+#define CRNKIT_CRN_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+
+namespace crnkit::crn {
+
+/// Before/after size accounting for one pass application.
+struct PassStats {
+  std::string pass;
+  std::size_t species_before = 0;
+  std::size_t species_after = 0;
+  std::size_t reactions_before = 0;
+  std::size_t reactions_after = 0;
+
+  [[nodiscard]] bool changed() const {
+    return species_before != species_after ||
+           reactions_before != reactions_after;
+  }
+};
+
+struct PassOptions {
+  bool fuse_duplicates = true;
+  bool dead_species = true;
+  bool collapse_chains = true;
+  bool renumber = true;
+  /// The fuse/dead/collapse cycle repeats until a fixpoint or this bound.
+  int max_rounds = 16;
+};
+
+struct PassPipelineResult {
+  Crn crn;
+  /// One entry per executed pass application, in order.
+  std::vector<PassStats> passes;
+  std::size_t species_before = 0;
+  std::size_t species_after = 0;
+  std::size_t reactions_before = 0;
+  std::size_t reactions_after = 0;
+};
+
+/// Removes duplicate reactions (identical canonical reactant and product
+/// term lists).
+[[nodiscard]] Crn fuse_duplicate_reactions(const Crn& crn);
+
+/// Removes never-firing reactions (a reactant is not producible from any
+/// initial configuration: not an input, not the leader, and not a product
+/// of any producible reaction) and write-only species (never a reactant,
+/// no input/output/leader role) from product lists. Reactions whose product
+/// removal makes them no-ops are dropped.
+[[nodiscard]] Crn eliminate_dead_species(const Crn& crn);
+
+/// Collapses unary conversion chains: W (no role) whose only consuming
+/// reaction is exactly W -> Z gets renamed to Z everywhere and the
+/// conversion deleted. Iterates to a fixpoint internally.
+[[nodiscard]] Crn collapse_fanout_chains(const Crn& crn);
+
+/// Rebuilds the CRN with canonical species numbering: inputs first, then
+/// the leader, then species in order of first appearance in the reaction
+/// list, then the output. Species mentioned by no reaction and no role are
+/// dropped.
+[[nodiscard]] Crn renumber_species(const Crn& crn);
+
+/// Runs the full pipeline (fuse -> dead -> collapse, repeated to fixpoint,
+/// then one renumbering) with per-pass size accounting.
+[[nodiscard]] PassPipelineResult optimize(const Crn& crn,
+                                          const PassOptions& options = {});
+
+}  // namespace crnkit::crn
+
+#endif  // CRNKIT_CRN_PASSES_H_

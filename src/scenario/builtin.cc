@@ -264,6 +264,10 @@ void register_builtin_scenarios(Registry& registry) {
                 // (x+256 choose 256) reachable configs: keep x <= 2.
                 line_points(2), {2000});
   });
+
+  // circuit/random-<modules>-<seed>: the composition pipeline's randomized
+  // DAG family (representative instances + open-ended family resolver).
+  register_circuit_scenarios(registry);
 }
 
 }  // namespace crnkit::scenario

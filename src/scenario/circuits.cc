@@ -1,0 +1,105 @@
+#include "scenario/circuits.h"
+
+#include <algorithm>
+
+#include "compile/circuit_expr.h"
+#include "crn/passes.h"
+#include "math/check.h"
+#include "scenario/registry.h"
+
+namespace crnkit::scenario {
+
+namespace {
+
+constexpr const char* kPrefix = "circuit/random-";
+
+/// Parses a decimal run of `text` starting at `pos`; nullopt when empty,
+/// non-numeric, or out of range.
+std::optional<std::uint64_t> parse_u64(const std::string& text,
+                                       std::size_t begin, std::size_t end) {
+  if (begin >= end) return std::nullopt;
+  std::uint64_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (UINT64_MAX - 9) / 10) return std::nullopt;  // overflow
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string random_circuit_name(const RandomCircuitParams& p) {
+  return kPrefix + std::to_string(p.modules) + "-" + std::to_string(p.seed);
+}
+
+std::optional<RandomCircuitParams> parse_random_circuit_name(
+    const std::string& name) {
+  if (name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  const std::size_t body = std::string(kPrefix).size();
+  const std::size_t dash = name.find('-', body);
+  if (dash == std::string::npos) return std::nullopt;
+  const auto modules = parse_u64(name, body, dash);
+  const auto seed = parse_u64(name, dash + 1, name.size());
+  // Out-of-range module counts are simply not members of the family, so
+  // Registry::contains keeps its bool contract and build() falls through
+  // to the usual unknown-scenario error.
+  if (!modules || !seed || *modules < 1 || *modules > 512) {
+    return std::nullopt;
+  }
+  RandomCircuitParams p;
+  p.modules = static_cast<int>(*modules);
+  p.seed = *seed;
+  // Only the canonical rendering names a scenario: "random-07-1" must not
+  // build a scenario that calls itself "random-7-1".
+  if (random_circuit_name(p) != name) return std::nullopt;
+  return p;
+}
+
+Scenario build_random_circuit_scenario(const RandomCircuitParams& p) {
+  const std::string name = random_circuit_name(p);
+  const compile::CircuitExpr expr =
+      compile::random_circuit_expr(p.modules, p.seed);
+  compile::LoweredCircuit lowered = compile::lower_circuit_expr(expr, name);
+  crn::PassPipelineResult optimized = crn::optimize(lowered.crn);
+
+  Scenario s;
+  s.name = name;
+  std::string rendered = expr.to_string();
+  if (rendered.size() > 72) rendered = rendered.substr(0, 69) + "...";
+  s.title = "random " + std::to_string(p.modules) +
+            "-module circuit DAG (seed " + std::to_string(p.seed) +
+            "): f = " + rendered;
+  s.paper_ref = "Lemma 6.2 / Obs. 2.2";
+  s.tags = {"circuit", "composed", "oblivious",
+            optimized.crn.leader() ? "leader" : "leaderless"};
+  s.crn = std::move(optimized.crn);
+  s.reference = expr.as_function(name);
+  // {0,1}^d is provable exactly with the default budget at every size the
+  // family registers; larger inputs are simcheck / simulate territory.
+  s.verify_points = grid_points(std::max(1, expr.arity()), 1);
+  s.sim_input.assign(static_cast<std::size_t>(std::max(1, expr.arity())),
+                     10);
+  return s;
+}
+
+void register_circuit_scenarios(Registry& registry) {
+  // Representative instances for the catalog (and the test sweeps)...
+  for (const RandomCircuitParams p :
+       {RandomCircuitParams{12, 1}, RandomCircuitParams{16, 2},
+        RandomCircuitParams{20, 3}}) {
+    registry.add(random_circuit_name(p),
+                 [p] { return build_random_circuit_scenario(p); });
+  }
+  // ...and the open-ended family: any circuit/random-<n>-<seed>.
+  registry.add_family(
+      [](const std::string& name) -> std::optional<Registry::Factory> {
+        const auto p = parse_random_circuit_name(name);
+        if (!p) return std::nullopt;
+        return Registry::Factory(
+            [params = *p] { return build_random_circuit_scenario(params); });
+      });
+}
+
+}  // namespace crnkit::scenario

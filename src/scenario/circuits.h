@@ -1,0 +1,41 @@
+// The `circuit/random-<modules>-<seed>` scenario family: deterministic
+// random feed-forward circuit DAGs built from the compose pipeline
+// (compile/circuit_expr.h), lowered through crn::Circuit, optimized with
+// the pass framework, and recorded with the expression's own evaluator as
+// the reference function. The name is the parameterization, so any
+// (modules, seed) pair is addressable from `crnc` without pre-registering
+// it — the workload generator every scaling PR can lean on.
+#ifndef CRNKIT_SCENARIO_CIRCUITS_H_
+#define CRNKIT_SCENARIO_CIRCUITS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace crnkit::scenario {
+
+struct RandomCircuitParams {
+  int modules = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Renders "circuit/random-<modules>-<seed>".
+[[nodiscard]] std::string random_circuit_name(const RandomCircuitParams& p);
+
+/// Parses "circuit/random-<modules>-<seed>"; nullopt when `name` is not a
+/// canonical family member (wrong shape, leading zeros, or modules outside
+/// [1, 512]) — never throws, so Registry::contains stays a plain bool.
+[[nodiscard]] std::optional<RandomCircuitParams> parse_random_circuit_name(
+    const std::string& name);
+
+/// Builds the fully-instantiated scenario: compiled, optimized, with
+/// reference function, verify points on the {0,1}^d grid, and a
+/// throughput-sized sim input.
+[[nodiscard]] Scenario build_random_circuit_scenario(
+    const RandomCircuitParams& p);
+
+}  // namespace crnkit::scenario
+
+#endif  // CRNKIT_SCENARIO_CIRCUITS_H_

@@ -43,8 +43,21 @@ void Registry::add(const std::string& name, Factory factory) {
   require(inserted, "Registry::add: duplicate scenario '" + name + "'");
 }
 
+void Registry::add_family(FamilyResolver resolver) {
+  require(static_cast<bool>(resolver), "Registry::add_family: empty resolver");
+  families_.push_back(std::move(resolver));
+}
+
+std::optional<Registry::Factory> Registry::resolve_family(
+    const std::string& name) const {
+  for (const FamilyResolver& family : families_) {
+    if (auto factory = family(name)) return factory;
+  }
+  return std::nullopt;
+}
+
 bool Registry::contains(const std::string& name) const {
-  return factories_.count(name) > 0;
+  return factories_.count(name) > 0 || resolve_family(name).has_value();
 }
 
 std::vector<std::string> Registry::names() const {
@@ -55,8 +68,15 @@ std::vector<std::string> Registry::names() const {
 }
 
 Scenario Registry::build(const std::string& name) const {
-  const auto it = factories_.find(name);
+  auto it = factories_.find(name);
   if (it == factories_.end()) {
+    if (const auto factory = resolve_family(name)) {
+      Scenario scenario = (*factory)();
+      require(scenario.name == name,
+              "Registry::build: family factory for '" + name +
+                  "' produced '" + scenario.name + "'");
+      return scenario;
+    }
     std::string message = "unknown scenario '" + name + "'";
     std::string best;
     std::size_t best_distance = name.size();  // only suggest close matches

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,10 +28,22 @@ class Registry {
   /// The process-wide catalog with all built-in scenarios registered.
   static Registry& builtin();
 
+  /// A parameterized scenario family: given a name, returns a factory when
+  /// the name belongs to the family (e.g. "circuit/random-<n>-<seed>"),
+  /// nullopt otherwise. Families make open-ended workload spaces —
+  /// any (n, seed) — addressable without registering each instance.
+  using FamilyResolver =
+      std::function<std::optional<Factory>(const std::string&)>;
+
   /// Registers a factory under `name`; throws std::invalid_argument on a
   /// duplicate name. The factory must produce a Scenario whose `name`
   /// matches (checked at build time).
   void add(const std::string& name, Factory factory);
+
+  /// Registers a family resolver, consulted by contains()/build() after
+  /// the exact-name catalog. names() lists only exact-name scenarios, so
+  /// families should also add() a few representative instances.
+  void add_family(FamilyResolver resolver);
 
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::size_t size() const { return factories_.size(); }
@@ -46,12 +59,21 @@ class Registry {
   [[nodiscard]] std::vector<Scenario> build_all() const;
 
  private:
+  [[nodiscard]] std::optional<Factory> resolve_family(
+      const std::string& name) const;
+
   std::map<std::string, Factory> factories_;
+  std::vector<FamilyResolver> families_;
 };
 
 /// Registers the paper's built-in scenario catalog (idempotent only on a
 /// fresh registry; Registry::builtin() is the usual entry point).
 void register_builtin_scenarios(Registry& registry);
+
+/// Registers the `circuit/random-<modules>-<seed>` family (circuits.cc):
+/// representative instances plus the open-ended family resolver. Called by
+/// register_builtin_scenarios.
+void register_circuit_scenarios(Registry& registry);
 
 }  // namespace crnkit::scenario
 

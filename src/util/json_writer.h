@@ -13,6 +13,7 @@
 #ifndef CRNKIT_UTIL_JSON_WRITER_H_
 #define CRNKIT_UTIL_JSON_WRITER_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <sstream>
@@ -84,8 +85,11 @@ class JsonWriter {
     return *this;
   }
   /// Doubles default to shortest-ish %.10g; use value_fixed for tables
-  /// whose diffs should be stable at a known precision.
+  /// whose diffs should be stable at a known precision. JSON has no NaN or
+  /// Infinity tokens, so non-finite values (zero-event bench records,
+  /// zero-silent-trial simcheck rates) are emitted as null.
   JsonWriter& value(double v) {
+    if (!std::isfinite(v)) return null();
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.10g", v);
     separate();
@@ -93,10 +97,16 @@ class JsonWriter {
     return *this;
   }
   JsonWriter& value_fixed(double v, int precision) {
+    if (!std::isfinite(v)) return null();
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
     separate();
     os_ << buf;
+    return *this;
+  }
+  JsonWriter& null() {
+    separate();
+    os_ << "null";
     return *this;
   }
 

@@ -7,10 +7,33 @@
 
 namespace crnkit::verify {
 
+SimCheckResult::Verdict SimCheckResult::verdict() const {
+  if (mismatches > 0) return Verdict::kFail;
+  if (inconclusive_points > 0) return Verdict::kInconclusive;
+  return Verdict::kPass;
+}
+
+std::string SimCheckResult::verdict_name() const {
+  switch (verdict()) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kFail: return "fail";
+    case Verdict::kInconclusive: return "inconclusive";
+  }
+  return "inconclusive";
+}
+
 std::string SimCheckResult::summary() const {
   std::ostringstream os;
-  os << (ok ? "OK" : "FAIL") << " trials=" << trials
-     << " silent=" << silent_trials << " mismatches=" << mismatches;
+  os << (verdict() == Verdict::kPass
+             ? "OK"
+             : verdict() == Verdict::kFail ? "FAIL" : "INCONCLUSIVE")
+     << " trials=" << trials << " silent=" << silent_trials
+     << " non_silent=" << non_silent_trials
+     << " mismatches=" << mismatches;
+  if (inconclusive_points > 0) {
+    os << " inconclusive_points=" << inconclusive_points
+       << " (no trial reached silence; raise max_steps)";
+  }
   return os.str();
 }
 
@@ -36,7 +59,12 @@ SimCheckResult check_point_with(const crn::Crn& crn,
 
   for (const sim::Trajectory& run : batch.trajectories) {
     ++result.trials;
-    if (!run.silent) continue;  // inconclusive trial
+    if (!run.silent) {
+      // Exhausted max_steps: no evidence either way, tracked separately so
+      // callers never read timeouts as agreement.
+      ++result.non_silent_trials;
+      continue;
+    }
     ++result.silent_trials;
     const math::Int got = crn.output_count(run.final_config);
     if (got != expected) {
@@ -45,11 +73,12 @@ SimCheckResult check_point_with(const crn::Crn& crn,
       result.failures.emplace_back(x, got);
     }
   }
-  // No silent trial at all is inconclusive; report it as failure so callers
-  // never mistake a timeout for a verified point.
+  // No silent trial at all: the point is inconclusive, not failed — but
+  // `ok` stays conservative so callers never mistake a timeout for a
+  // verified point.
   if (result.silent_trials == 0) {
     result.ok = false;
-    result.failures.emplace_back(x, -1);
+    ++result.inconclusive_points;
   }
   return result;
 }
@@ -58,7 +87,9 @@ void merge(SimCheckResult& into, const SimCheckResult& part) {
   into.ok = into.ok && part.ok;
   into.trials += part.trials;
   into.silent_trials += part.silent_trials;
+  into.non_silent_trials += part.non_silent_trials;
   into.mismatches += part.mismatches;
+  into.inconclusive_points += part.inconclusive_points;
   into.failures.insert(into.failures.end(), part.failures.begin(),
                        part.failures.end());
 }

@@ -18,11 +18,27 @@
 namespace crnkit::verify {
 
 struct SimCheckResult {
-  bool ok = true;          ///< all silent trials matched expected outputs
+  /// True iff every silent trial matched AND every point produced at least
+  /// one silent trial. `ok` is the "safe to trust" bit; consult verdict()
+  /// to distinguish a disproof from exhausted step budgets.
+  bool ok = true;
   int trials = 0;
-  int silent_trials = 0;   ///< trials that actually reached silence
+  int silent_trials = 0;  ///< trials that actually reached silence
+  /// Trials that exhausted max_steps without reaching silence. These carry
+  /// no agreement evidence in either direction and never count toward it.
+  int non_silent_trials = 0;
   int mismatches = 0;
+  /// Points where no trial at all went silent: zero evidence, not failure.
+  int inconclusive_points = 0;
   std::vector<std::pair<fn::Point, math::Int>> failures;  ///< (x, got)
+
+  enum class Verdict { kPass, kFail, kInconclusive };
+  /// kFail on any silent-trial mismatch (a genuine disproof: every silent
+  /// configuration is stable); kInconclusive when some point produced no
+  /// silent trial (raise max_steps); kPass otherwise.
+  [[nodiscard]] Verdict verdict() const;
+  /// "pass" | "fail" | "inconclusive" for CLI/JSON surfaces.
+  [[nodiscard]] std::string verdict_name() const;
 
   [[nodiscard]] std::string summary() const;
 };

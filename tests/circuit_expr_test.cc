@@ -1,0 +1,165 @@
+// Tests for the compose expression IR: parsing, evaluation, deterministic
+// random generation, and lowering through crn::Circuit into flat CRNs that
+// stably compute the expression.
+#include <gtest/gtest.h>
+
+#include "compile/circuit_expr.h"
+#include "crn/checks.h"
+#include "crn/passes.h"
+#include "verify/simcheck.h"
+#include "verify/stable.h"
+
+namespace crnkit::compile {
+namespace {
+
+using math::Int;
+
+fn::Point pt(std::initializer_list<Int> xs) { return fn::Point(xs); }
+
+TEST(CircuitExprParse, AffineAndMin) {
+  const CircuitExpr e = parse_circuit_expr("min(x1 + x2, 2*x3) + 1");
+  EXPECT_EQ(e.arity(), 3);
+  EXPECT_EQ(e.module_count(), 4);  // sum, scale, min, +1 wrapper
+  EXPECT_EQ(e.evaluate(pt({2, 3, 1})), 3);   // min(5, 2) + 1
+  EXPECT_EQ(e.evaluate(pt({1, 0, 5})), 2);   // min(1, 10) + 1
+  EXPECT_EQ(e.evaluate(pt({0, 0, 0})), 1);
+}
+
+TEST(CircuitExprParse, NestedFunctionsAndConstants) {
+  const CircuitExpr e = parse_circuit_expr("div(sub(max(x1, 2), 1), 2)");
+  EXPECT_EQ(e.arity(), 1);
+  // floor((max(x,2) - 1)+ / 2)
+  EXPECT_EQ(e.evaluate(pt({0})), 0);   // (2-1)/2
+  EXPECT_EQ(e.evaluate(pt({5})), 2);   // (5-1)/2
+  EXPECT_EQ(e.evaluate(pt({9})), 4);
+}
+
+TEST(CircuitExprParse, PureConstant) {
+  const CircuitExpr e = parse_circuit_expr("2 + 3");
+  EXPECT_EQ(e.module_count(), 1);
+  EXPECT_EQ(e.evaluate(pt({0})), 5);
+}
+
+TEST(CircuitExprParse, SharedSubexpressionViaRepeatedInput) {
+  const CircuitExpr e = parse_circuit_expr("x1 + x1 + x2");
+  EXPECT_EQ(e.evaluate(pt({3, 1})), 7);
+}
+
+TEST(CircuitExprParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_circuit_expr(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("min(x1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("min(x1)"), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("x1 +"), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("x0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("foo(x1)"), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("x1 x2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("min(x1, 99999999999999999999)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_circuit_expr("div(x1, 0)"),
+               std::invalid_argument);
+}
+
+TEST(CircuitExprParse, GeneralMaxIsRejectedWithPaperDiagnostic) {
+  try {
+    (void)parse_circuit_expr("max(x1, x2)");
+    FAIL() << "general max must not parse";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not obliviously computable"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CircuitExprParse, ToStringRoundTripsThroughParser) {
+  const CircuitExpr e =
+      parse_circuit_expr("min(x1 + 2*x2 + 1, div(x1, 2)) + max(x2, 3)");
+  const CircuitExpr reparsed = parse_circuit_expr(e.to_string());
+  for (Int a = 0; a <= 3; ++a) {
+    for (Int b = 0; b <= 3; ++b) {
+      EXPECT_EQ(e.evaluate(pt({a, b})), reparsed.evaluate(pt({a, b})))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(CircuitExprLower, CompiledCrnComputesTheExpression) {
+  const CircuitExpr e = parse_circuit_expr("min(x1 + x2, 2*x3) + 1");
+  const LoweredCircuit lowered = lower_circuit_expr(e, "t");
+  EXPECT_EQ(static_cast<int>(lowered.modules.size()), e.module_count());
+  EXPECT_TRUE(crn::is_output_oblivious(lowered.crn));
+  const auto f = e.as_function("t");
+  for (Int a = 0; a <= 1; ++a) {
+    for (Int b = 0; b <= 1; ++b) {
+      for (Int c = 0; c <= 1; ++c) {
+        const auto result = verify::check_stable_computation(
+            lowered.crn, {a, b, c}, f(pt({a, b, c})));
+        EXPECT_TRUE(result.ok && result.complete)
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(CircuitExprLower, DivModuleIsLemma61Quilt) {
+  const crn::Crn div3 = div_crn(3);
+  EXPECT_TRUE(crn::is_output_oblivious(div3));
+  ASSERT_TRUE(div3.leader().has_value());
+  for (Int x = 0; x <= 9; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(div3, {x}, x / 3).ok) << x;
+  }
+  // k = 1 degenerates to the identity conversion.
+  EXPECT_EQ(div_crn(1).reactions().size(), 1u);
+}
+
+TEST(CircuitExprRandom, DeterministicAndExactModuleCount) {
+  const CircuitExpr a = random_circuit_expr(12, 7);
+  const CircuitExpr b = random_circuit_expr(12, 7);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.module_count(), 12);
+  EXPECT_EQ(random_circuit_expr(31, 5).module_count(), 31);
+  // Different seeds give different circuits (overwhelmingly).
+  EXPECT_NE(random_circuit_expr(12, 1).to_string(),
+            random_circuit_expr(12, 2).to_string());
+}
+
+TEST(CircuitExprRandom, LowersVerifiesAndShrinksAcrossSeeds) {
+  // The whole pipeline across several seeds: lower, optimize (must
+  // strictly shrink: the collector sum always leaves collapsible unary
+  // conversions), and the optimized network still computes the expression
+  // — exact on {0,1}^d, simcheck on a larger point.
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const CircuitExpr e = random_circuit_expr(12, seed);
+    const LoweredCircuit lowered = lower_circuit_expr(e, "r");
+    const crn::PassPipelineResult optimized = crn::optimize(lowered.crn);
+    EXPECT_LT(optimized.species_after, optimized.species_before) << seed;
+    EXPECT_LT(optimized.reactions_after, optimized.reactions_before) << seed;
+
+    const auto f = e.as_function("r");
+    fn::Point x(static_cast<std::size_t>(e.arity()), 0);
+    verify::StableCheckOptions budget;
+    budget.max_configs = 300'000;  // heavy-fan-out seeds may exceed this
+    for (int mask = 0; mask < (1 << e.arity()); ++mask) {
+      for (int i = 0; i < e.arity(); ++i) {
+        x[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+      }
+      const auto result =
+          verify::check_stable_computation(optimized.crn, x, f(x), budget);
+      // Any *complete* exploration must be a proof; an exhausted budget is
+      // inconclusive (the simcheck below still covers the point
+      // stochastically), but never a disproof.
+      if (result.complete) {
+        EXPECT_TRUE(result.ok) << "seed " << seed << " at mask " << mask;
+      }
+    }
+
+    fn::Point big(static_cast<std::size_t>(e.arity()), 6);
+    verify::SimCheckOptions options;
+    options.trials_per_point = 3;
+    const auto sim = verify::sim_check_point(optimized.crn, f, big, options);
+    EXPECT_EQ(sim.verdict(), verify::SimCheckResult::Verdict::kPass)
+        << "seed " << seed << ": " << sim.summary();
+  }
+}
+
+}  // namespace
+}  // namespace crnkit::compile

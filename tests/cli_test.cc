@@ -10,110 +10,14 @@
 
 #include "cli/crnc.h"
 #include "scenario/registry.h"
+#include "util/json_parse.h"
 
 namespace crnkit::cli {
 namespace {
 
-/// Minimal recursive-descent JSON syntax checker (objects, arrays,
-/// strings, numbers, booleans, null) — enough to catch malformed output.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string();
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    return number();
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') return ++pos_, true;
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == '}') return ++pos_, true;
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') return ++pos_, true;
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == ']') return ++pos_, true;
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool literal(const std::string& word) {
-    if (text_.compare(pos_, word.size(), word) != 0) return false;
-    pos_ += word.size();
-    return true;
-  }
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+// The JSON syntax checker is shared with the json_check tool the bench
+// smoke tests use (util/json_parse.h).
+using JsonChecker = util::JsonSyntaxChecker;
 
 struct RunResult {
   int status = -1;
@@ -331,6 +235,146 @@ TEST(Crnc, VerifyEveryRegisteredScenario) {
     EXPECT_EQ(r.status, 0) << name << ":\n" << r.out << r.err;
     expect_valid_json(r.out);
   }
+}
+
+TEST(Crnc, NumericFlagOverflowIsUsageErrorNotCrash) {
+  // Out-of-range integers must surface as usage errors (exit 2), never as
+  // an uncaught std::out_of_range terminating the process.
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"simulate", "fig1/min", "--max-steps", "99999999999999999999"},
+           {"verify", "fig1/twice", "--max-configs",
+            "99999999999999999999"},
+           {"simulate", "fig1/min", "--trajectories", "-3"},
+           {"bench", "fig1/min", "--events", "123abc"}}) {
+    const auto r = run(args);
+    EXPECT_EQ(r.status, 2) << args[2] << ": " << r.err;
+    EXPECT_NE(r.err.find("nonnegative integer"), std::string::npos) << r.err;
+  }
+}
+
+TEST(Crnc, InputPointOverflowIsUsageErrorNotCrash) {
+  const auto huge = run({"verify", "fig1/min", "--input",
+                         "99999999999999999999,1"});
+  EXPECT_EQ(huge.status, 2) << huge.err;
+  EXPECT_NE(huge.err.find("out of range"), std::string::npos) << huge.err;
+
+  const auto junk = run({"simulate", "fig1/min", "--input", "3,x"});
+  EXPECT_EQ(junk.status, 2) << junk.err;
+}
+
+TEST(Crnc, ComposeExpressionEndToEnd) {
+  const auto r = run({"compose", "min(x1 + x2, 2*x3) + 1", "--verify",
+                      "--simcheck", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"certified\": true"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"passes\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"verdict\": \"pass\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"non_silent_trials\": 0"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"ok\": true"), std::string::npos) << r.out;
+}
+
+TEST(Crnc, ComposeRandomFamilyShrinksAndVerifies) {
+  const auto r = run({"compose", "circuit/random-12-1", "--verify",
+                      "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"modules\": 12"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"failed\": 0"), std::string::npos) << r.out;
+  // The optimization passes must strictly shrink the compiled network.
+  const auto number_after = [&r](const std::string& key) {
+    const auto at = r.out.find(key);
+    EXPECT_NE(at, std::string::npos) << key;
+    return std::stoll(r.out.substr(at + key.size()));
+  };
+  EXPECT_LT(number_after("\"species\": "), number_after("\"species_raw\": "));
+  EXPECT_LT(number_after("\"reactions\": "),
+            number_after("\"reactions_raw\": "));
+}
+
+TEST(Crnc, ComposeSimcheckTinyBudgetIsInconclusiveNotFail) {
+  const auto r = run({"compose", "min(x1, x2)", "--simcheck", "--max-steps",
+                      "1", "--json"});
+  EXPECT_EQ(r.status, 1) << r.out;
+  expect_valid_json(r.out);
+  EXPECT_NE(r.out.find("\"verdict\": \"inconclusive\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"mismatches\": 0"), std::string::npos) << r.out;
+}
+
+TEST(Crnc, ComposeRejectsNonComposableModule) {
+  // The paper's 2max demo: max consumes its output, Lemma 2.3 certifies it
+  // non-composable, and compose refuses to build the broken circuit.
+  const std::string path = testing::TempDir() + "/crnc_cli_test_2max.wire";
+  {
+    std::ofstream file(path);
+    file << "circuit 2max\narity 2\n"
+            "module m fig1/max\nmodule d fig1/twice\n"
+            "connect x1 m.1\nconnect x2 m.2\nconnect m d.1\noutput d\n";
+  }
+  const auto r = run({"compose", path});
+  EXPECT_EQ(r.status, 1) << r.out;
+  EXPECT_NE(r.out.find("REJECTED (Lemma 2.3)"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("not composable by concatenation"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("certification FAILED"), std::string::npos) << r.out;
+
+  const auto json = run({"compose", path, "--json"});
+  EXPECT_EQ(json.status, 1);
+  expect_valid_json(json.out);
+  EXPECT_NE(json.out.find("\"composable\": false"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Crnc, ComposeWireFileBuildsCorrectCircuit) {
+  // min into doubling — both modules oblivious, composes and verifies.
+  const std::string path = testing::TempDir() + "/crnc_cli_test_2min.wire";
+  {
+    std::ofstream file(path);
+    file << "circuit 2min  # f = 2*min(x1,x2)\narity 2\n"
+            "module m fig1/min\nmodule d fig1/twice\n"
+            "connect x1 m.1\nconnect x2 m.2\nconnect m d.1\noutput d\n";
+  }
+  const auto r = run({"compose", path, "--out",
+                      testing::TempDir() + "/crnc_cli_test_2min.crn"});
+  EXPECT_EQ(r.status, 0) << r.out;
+  // No reference function in a wire file: the compiled artifact is checked
+  // through the file-workload verify path instead.
+  const auto check = run({"verify",
+                          testing::TempDir() + "/crnc_cli_test_2min.crn",
+                          "--input", "3,5", "--expect", "6"});
+  EXPECT_EQ(check.status, 0) << check.err;
+  std::remove(path.c_str());
+  std::remove((testing::TempDir() + "/crnc_cli_test_2min.crn").c_str());
+}
+
+TEST(Crnc, ComposeRejectsReservedModuleId) {
+  // `x<digits>` names external inputs in wire sources; a module with that
+  // id would be unreferenceable, so the parser refuses it up front.
+  const std::string path = testing::TempDir() + "/crnc_cli_test_xid.wire";
+  {
+    std::ofstream file(path);
+    file << "circuit bad\narity 1\nmodule x1 fig1/twice\n"
+            "connect x1 x1.1\noutput x1\n";
+  }
+  const auto r = run({"compose", path});
+  EXPECT_EQ(r.status, 2) << r.out;
+  EXPECT_NE(r.err.find("reserved for external inputs"), std::string::npos)
+      << r.err;
+  std::remove(path.c_str());
+}
+
+TEST(Crnc, ComposeParseErrorIsUsageError) {
+  const auto r = run({"compose", "min(x1"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("parse error"), std::string::npos) << r.err;
+
+  // General max is not obliviously computable; the parser says so.
+  const auto max2 = run({"compose", "max(x1, x2)"});
+  EXPECT_EQ(max2.status, 2);
+  EXPECT_NE(max2.err.find("not obliviously computable"), std::string::npos)
+      << max2.err;
 }
 
 TEST(Crnc, BenchEmitsRecordShape) {

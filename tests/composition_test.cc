@@ -173,6 +173,73 @@ TEST(Circuit, RejectsSelfLoopAndRequiresOutput) {
   EXPECT_THROW((void)no_output.compile(), std::invalid_argument);
 }
 
+/// Captures the std::invalid_argument message of a wiring mistake so the
+/// tests can lock in the diagnostics `crnc compose` relies on.
+template <typename Fn>
+std::string wiring_error(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "(no throw)";
+}
+
+TEST(Circuit, RejectsCycles) {
+  // m0 -> m1 -> m0: feed-forward only, Circuit must refuse.
+  Circuit circuit(1, "cycle");
+  const int a = circuit.add_module(compile::identity_crn());
+  const int b = circuit.add_module(compile::identity_crn());
+  circuit.connect(Wire::of_module(a), b, 0);
+  circuit.connect(Wire::of_module(b), a, 0);
+  circuit.add_output(Wire::external(0));
+  const std::string message = wiring_error([&] { (void)circuit.compile(); });
+  EXPECT_NE(message.find("cycle"), std::string::npos) << message;
+}
+
+TEST(Circuit, RejectsUnconsumedModuleOutput) {
+  // m1's output goes nowhere: its molecules would accumulate outside the
+  // declared function.
+  Circuit circuit(1, "dangling");
+  const int used = circuit.add_module(compile::identity_crn());
+  const int dangling = circuit.add_module(compile::scale_crn(2));
+  circuit.connect(Wire::external(0), used, 0);
+  circuit.connect(Wire::external(0), dangling, 0);
+  circuit.add_output(Wire::of_module(used));
+  const std::string message = wiring_error([&] { (void)circuit.compile(); });
+  EXPECT_NE(message.find("module 1 output unconsumed"), std::string::npos)
+      << message;
+}
+
+TEST(Circuit, RejectsArityMismatch) {
+  Circuit circuit(2, "arity");
+  const int m = circuit.add_module(compile::min_crn(2));
+  const std::string message = wiring_error(
+      [&] { circuit.connect(Wire::external(0), m, 2); });
+  EXPECT_NE(message.find("arity mismatch"), std::string::npos) << message;
+  EXPECT_NE(message.find("port 2 out of range"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("(arity 2)"), std::string::npos) << message;
+}
+
+TEST(Circuit, RejectsDuplicateSumJunctionWires) {
+  // The same wire twice in the sum junction would fold into one fan-out
+  // reaction emitting 2 Y — silent doubling, so it is refused.
+  Circuit circuit(1, "dup-sum");
+  const int m = circuit.add_module(compile::identity_crn());
+  circuit.connect(Wire::external(0), m, 0);
+  circuit.add_output(Wire::of_module(m));
+  const std::string message = wiring_error(
+      [&] { circuit.add_output(Wire::of_module(m)); });
+  EXPECT_NE(message.find("duplicate sum-junction wire"), std::string::npos)
+      << message;
+
+  Circuit external(1, "dup-external");
+  external.add_output(Wire::external(0));
+  EXPECT_THROW(external.add_output(Wire::external(0)),
+               std::invalid_argument);
+}
+
 TEST(Circuit, ExternalInputDirectlyToOutput) {
   // Identity circuit: external wire feeding only Y becomes a conversion.
   Circuit circuit(1, "ext-to-y");

@@ -82,6 +82,82 @@ rxn X + X2 -> Y
   EXPECT_TRUE(verify::check_stable_computation(crn, {7}, 2).ok);
 }
 
+TEST(Io, ReversibleWithoutSpaces) {
+  // `A+B<->C` must expand exactly like its spaced form.
+  const Crn crn = from_text(R"(
+crn tight
+inputs A B
+output Y
+rxn A+B<->C
+rxn C -> Y
+)");
+  ASSERT_EQ(crn.reactions().size(), 3u);
+  EXPECT_TRUE(crn.has_species("C"));
+  // No mangled species like "B<" may appear.
+  for (const std::string& name : crn.species_table().names()) {
+    EXPECT_EQ(name.find('<'), std::string::npos) << name;
+    EXPECT_EQ(name.find('>'), std::string::npos) << name;
+  }
+  EXPECT_TRUE(verify::check_stable_computation(crn, {2, 2}, 2).ok);
+}
+
+TEST(Io, ReversibleWithTrailingComment) {
+  const Crn crn = from_text(
+      "crn c\ninputs X\noutput Y\nrxn 2 X <-> X2  # dimerization\n"
+      "rxn X + X2 -> Y\n");
+  ASSERT_EQ(crn.reactions().size(), 3u);
+  EXPECT_FALSE(crn.has_species("#"));
+  EXPECT_TRUE(verify::check_stable_computation(crn, {7}, 2).ok);
+}
+
+TEST(Io, ReversibleEmptySideParsesToTwoDirectedReactions) {
+  // `<-> C` is the empty left side: expansion gives 0 -> C and C -> 0.
+  const Crn crn = from_text("crn c\noutput Y\nrxn <-> C\n");
+  ASSERT_EQ(crn.reactions().size(), 2u);
+  EXPECT_TRUE(crn.reactions()[0].reactants().empty());
+  ASSERT_EQ(crn.reactions()[0].products().size(), 1u);
+  EXPECT_TRUE(crn.reactions()[1].products().empty());
+  ASSERT_EQ(crn.reactions()[1].reactants().size(), 1u);
+  EXPECT_EQ(crn.species_name(crn.reactions()[1].reactants()[0].species),
+            "C");
+}
+
+TEST(Io, MultipleArrowsAreRejectedWithLineNumbers) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)from_text(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no throw)");
+  };
+  // A second '->' must not silently become part of a species name.
+  EXPECT_NE(message_of("crn c\nrxn A -> B -> C\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(message_of("crn c\nrxn A -> B -> C\n").find("multiple '->'"),
+            std::string::npos);
+  EXPECT_NE(message_of("crn c\nrxn A <-> B <-> C\n").find("multiple '<->'"),
+            std::string::npos);
+  EXPECT_NE(message_of("crn c\nrxn A <-> B -> C\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(message_of("crn c\ninputs X\nrxn A -> B -> C\n").find("line 3"),
+            std::string::npos);
+}
+
+TEST(Io, HugeCoefficientIsParseErrorNotCrash) {
+  EXPECT_THROW(
+      (void)from_text("crn c\nrxn 99999999999999999999 X -> Y\n"),
+      std::invalid_argument);
+  Crn crn("direct");
+  EXPECT_THROW(crn.add_reaction_str("99999999999999999999 X -> Y"),
+               std::invalid_argument);
+}
+
+TEST(Io, AddReactionStrRefusesReversibleArrow) {
+  Crn crn("direct");
+  EXPECT_THROW(crn.add_reaction_str("A <-> B"), std::invalid_argument);
+}
+
 TEST(Io, RejectsMalformedInput) {
   EXPECT_THROW((void)from_text("inputs X\noutput Y\n"),
                std::invalid_argument);  // missing header

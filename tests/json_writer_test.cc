@@ -3,6 +3,10 @@
 // mishandled), comma placement, and nesting.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "util/json_parse.h"
 #include "util/json_writer.h"
 
 namespace crnkit::util {
@@ -50,6 +54,33 @@ TEST(JsonWriter, FixedPrecisionDoubles) {
   JsonWriter w;
   w.begin_object().kv_fixed("x", 1.0 / 3.0, 3).end_object();
   EXPECT_EQ(w.str(), "{\"x\": 0.333}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  // JSON has no NaN/Infinity tokens: a zero-event bench record or a
+  // zero-silent-trial rate must serialize as null, not "nan"/"inf".
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  JsonWriter w;
+  w.begin_object()
+      .kv("nan", nan)
+      .kv("inf", inf)
+      .kv("neg_inf", -inf)
+      .kv_fixed("fixed_nan", nan, 3)
+      .kv("fine", 1.5)
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"nan\": null, \"inf\": null, "
+            "\"neg_inf\": null, \"fixed_nan\": null, \"fine\": 1.5}");
+  EXPECT_TRUE(JsonSyntaxChecker(w.str()).valid());
+}
+
+TEST(JsonWriter, NonFiniteInsideArrayKeepsCommaDiscipline) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  JsonWriter w;
+  w.begin_array().value(1.0).value(nan).value(2.0).end_array();
+  EXPECT_EQ(w.str(), "[1, null, 2]");
+  EXPECT_TRUE(JsonSyntaxChecker(w.str()).valid());
 }
 
 TEST(JsonWriter, KeysAreEscaped) {

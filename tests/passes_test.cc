@@ -1,0 +1,186 @@
+// Tests for the CRN optimization passes: each pass's rewrite in isolation,
+// and pass-equivalence — the optimized network must carry exactly the same
+// stable-computation verdicts as the input network (exact checker on small
+// grids; the circuit_expr tests add simcheck beyond).
+#include <gtest/gtest.h>
+
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "crn/compose.h"
+#include "crn/io.h"
+#include "crn/passes.h"
+#include "verify/stable.h"
+
+namespace crnkit::crn {
+namespace {
+
+using math::Int;
+
+Crn from(const std::string& text) { return from_text(text); }
+
+TEST(Passes, FuseDuplicateReactions) {
+  const Crn crn = from(R"(
+crn dup
+inputs X
+output Y
+rxn X -> Y
+rxn X -> Y
+rxn X -> Y
+rxn 2 X -> X + Y
+)");
+  const Crn fused = fuse_duplicate_reactions(crn);
+  EXPECT_EQ(fused.reactions().size(), 2u);
+  EXPECT_EQ(fused.species_count(), crn.species_count());
+  EXPECT_TRUE(verify::check_stable_computation(fused, {3}, 3).ok);
+}
+
+TEST(Passes, DeadSpeciesRemovesNeverFiringReactions) {
+  // G is never producible, so G + X -> Q can never fire; Q then vanishes
+  // with it, and the inert waste species W is stripped from products.
+  const Crn crn = from(R"(
+crn dead
+species G Q W
+inputs X
+output Y
+rxn X -> Y + W
+rxn G + X -> Q
+)");
+  const Crn cleaned = eliminate_dead_species(crn);
+  EXPECT_EQ(cleaned.reactions().size(), 1u);
+  EXPECT_FALSE(cleaned.has_species("G"));
+  EXPECT_FALSE(cleaned.has_species("Q"));
+  EXPECT_FALSE(cleaned.has_species("W"));
+  EXPECT_TRUE(cleaned.has_species("X"));
+  EXPECT_TRUE(verify::check_stable_computation(cleaned, {4}, 4).ok);
+}
+
+TEST(Passes, DeadSpeciesKeepsRoleSpecies) {
+  // The output is never produced here; it must survive anyway.
+  const Crn crn = from(R"(
+crn inert
+inputs X
+output Y
+rxn X -> K
+)");
+  const Crn cleaned = eliminate_dead_species(crn);
+  EXPECT_TRUE(cleaned.has_species("Y"));
+  EXPECT_TRUE(verify::check_stable_computation(cleaned, {2}, 0).ok);
+}
+
+TEST(Passes, CollapseFanoutChains) {
+  // A -> B -> C -> Y conversion chain collapses to a single conversion.
+  const Crn crn = from(R"(
+crn chain
+inputs X
+output Y
+rxn X -> A
+rxn A -> B
+rxn B -> C
+rxn C -> Y
+)");
+  const Crn collapsed = collapse_fanout_chains(crn);
+  EXPECT_EQ(collapsed.reactions().size(), 1u);
+  EXPECT_TRUE(verify::check_stable_computation(collapsed, {5}, 5).ok);
+}
+
+TEST(Passes, CollapseKeepsRolesAndNonUnaryConsumers) {
+  // B is consumed by a binary reaction: no collapse. The input X and the
+  // output Y are never collapsed even when their shape matches.
+  const Crn crn = from(R"(
+crn keep
+inputs X1 X2
+output Y
+rxn X1 -> B
+rxn X2 -> C
+rxn B + C -> Y
+)");
+  const Crn collapsed = collapse_fanout_chains(crn);
+  EXPECT_EQ(collapsed.reactions().size(), 3u);
+  EXPECT_TRUE(verify::check_stable_computation(collapsed, {2, 3}, 2).ok);
+}
+
+TEST(Passes, RenumberOrdersRolesFirstAndDropsUnused) {
+  Crn crn("renumber");
+  crn.add_species("Zfirst");  // unused: dropped
+  crn.add_species("Mid");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction({{"X", 1}}, {{"Mid", 1}});
+  crn.add_reaction({{"Mid", 1}}, {{"Y", 1}});
+  const Crn renumbered = renumber_species(crn);
+  EXPECT_EQ(renumbered.species_count(), 3u);
+  EXPECT_EQ(renumbered.species_name(SpeciesId{0}), "X");
+  EXPECT_FALSE(renumbered.has_species("Zfirst"));
+  EXPECT_EQ(renumbered.species_name(renumbered.output_or_throw()), "Y");
+  EXPECT_TRUE(verify::check_stable_computation(renumbered, {3}, 3).ok);
+}
+
+TEST(Passes, OptimizeCollapsesIdentityChains) {
+  // The Observation 2.2 identity chain is pure conversion: 18 stages
+  // collapse to the single reaction X -> Y, turning the 1.5M-config exact
+  // proof of chain/compose-18 into a trivial one.
+  Crn chain = compile::identity_crn();
+  for (int stage = 1; stage < 18; ++stage) {
+    chain = concatenate(chain, compile::identity_crn());
+  }
+  const PassPipelineResult result = optimize(chain);
+  EXPECT_EQ(result.reactions_after, 1u);
+  EXPECT_EQ(result.species_after, 2u);
+  EXPECT_GE(result.reactions_before, 18u);
+  EXPECT_FALSE(result.passes.empty());
+  for (const PassStats& p : result.passes) {
+    EXPECT_GE(p.species_before, p.species_after) << p.pass;
+    EXPECT_GE(p.reactions_before, p.reactions_after) << p.pass;
+  }
+  EXPECT_TRUE(verify::check_stable_computation(result.crn, {8}, 8).ok);
+}
+
+TEST(Passes, EquivalenceOnVerdicts) {
+  // Pass-equivalence includes *negative* verdicts: the broken 2max
+  // composition must still fail at the same points after optimization.
+  const Crn broken = concatenate(compile::fig1_max_crn(),
+                                 compile::scale_crn(2), "2max");
+  const Crn optimized = optimize(broken).crn;
+  for (Int a = 0; a <= 2; ++a) {
+    for (Int b = 0; b <= 2; ++b) {
+      const Int expected = 2 * std::max(a, b);
+      const bool before =
+          verify::check_stable_computation(broken, {a, b}, expected).ok;
+      const bool after =
+          verify::check_stable_computation(optimized, {a, b}, expected).ok;
+      EXPECT_EQ(before, after) << a << "," << b;
+    }
+  }
+}
+
+TEST(Passes, EquivalenceAcrossPrimitives) {
+  // Optimizing a compiled primitive must preserve its function exactly
+  // (even when the passes find nothing to shrink).
+  const Crn affine = compile::affine_crn({2, 3}, 1);
+  const Crn optimized = optimize(affine).crn;
+  for (Int a = 0; a <= 3; ++a) {
+    for (Int b = 0; b <= 3; ++b) {
+      EXPECT_TRUE(verify::check_stable_computation(optimized, {a, b},
+                                                   2 * a + 3 * b + 1)
+                      .ok)
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(Passes, NewPrimitivesComputeTheirFunctions) {
+  for (Int x = 0; x <= 5; ++x) {
+    EXPECT_TRUE(verify::check_stable_computation(compile::max_const_crn(2),
+                                                 {x}, std::max(x, Int{2}))
+                    .ok)
+        << x;
+  }
+  EXPECT_TRUE(is_output_oblivious(compile::max_const_crn(3)));
+  EXPECT_TRUE(
+      verify::check_stable_computation(compile::affine_crn({0, 1}, 2),
+                                       {4, 3}, 5)
+          .ok);
+}
+
+}  // namespace
+}  // namespace crnkit::crn

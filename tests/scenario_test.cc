@@ -47,6 +47,44 @@ TEST(Registry, DuplicateRegistrationThrows) {
                std::exception);
 }
 
+TEST(Registry, CircuitFamilyResolvesUnregisteredInstances) {
+  // Any circuit/random-<n>-<seed> is addressable, not just the registered
+  // representatives.
+  const Registry& registry = Registry::builtin();
+  EXPECT_TRUE(registry.contains("circuit/random-14-9"));
+  const Scenario s = registry.build("circuit/random-14-9");
+  EXPECT_EQ(s.name, "circuit/random-14-9");
+  ASSERT_TRUE(s.reference.has_value());
+  EXPECT_TRUE(s.has_tag("circuit"));
+  // Deterministic: building twice gives the identical network.
+  EXPECT_EQ(crn::to_text(registry.build("circuit/random-14-9").crn),
+            crn::to_text(s.crn));
+  // Non-members fall through to the usual unknown-name error, and
+  // contains() stays a plain bool for all of them: wrong shape,
+  // non-canonical spellings (leading zeros), absurd parameters.
+  EXPECT_FALSE(registry.contains("circuit/random-14"));
+  EXPECT_FALSE(registry.contains("circuit/random-x-y"));
+  EXPECT_FALSE(registry.contains("circuit/random-07-1"));
+  EXPECT_FALSE(registry.contains("circuit/random-100000-1"));
+  EXPECT_THROW((void)registry.build("circuit/random-14"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.build("circuit/random-100000-1"),
+               std::invalid_argument);
+}
+
+TEST(Registry, CircuitFamilyInstancesVerifyExactly) {
+  // A family member that is NOT a registered representative goes through
+  // the same exact-verification contract as the catalog.
+  const Scenario s = Registry::builtin().build("circuit/random-13-11");
+  ASSERT_TRUE(s.reference.has_value());
+  for (const fn::Point& x : s.verify_points) {
+    const auto result =
+        verify::check_stable_computation(s.crn, x, (*s.reference)(x));
+    EXPECT_TRUE(result.ok && result.complete)
+        << "at x = " << point_to_string(x);
+  }
+}
+
 TEST(Scenarios, MetadataIsConsistent) {
   for (const Scenario& s : Registry::builtin().build_all()) {
     SCOPED_TRACE(s.name);

@@ -232,6 +232,60 @@ TEST(SimCheck, LargeInputsBeyondExhaustiveReach) {
   const auto result = sim_check_points(
       min2, fn::examples::min2(), {{500, 700}, {1000, 999}, {0, 1234}});
   EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.verdict(), SimCheckResult::Verdict::kPass);
+  EXPECT_EQ(result.non_silent_trials, 0);
+}
+
+TEST(SimCheck, ExhaustedStepBudgetIsInconclusiveNotEvidence) {
+  // A step budget of 1 cannot reach silence from x = 50: every trial is
+  // non-silent, carries no agreement evidence, and the verdict is an
+  // explicit inconclusive — not a pass and not a disproof.
+  const Crn min2 = compile::min_crn(2);
+  SimCheckOptions options;
+  options.max_steps = 1;
+  const auto result =
+      sim_check_point(min2, fn::examples::min2(), {50, 50}, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.verdict(), SimCheckResult::Verdict::kInconclusive);
+  EXPECT_EQ(result.verdict_name(), "inconclusive");
+  EXPECT_EQ(result.silent_trials, 0);
+  EXPECT_EQ(result.non_silent_trials, result.trials);
+  EXPECT_EQ(result.mismatches, 0);
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(result.inconclusive_points, 1);
+  EXPECT_NE(result.summary().find("INCONCLUSIVE"), std::string::npos)
+      << result.summary();
+}
+
+TEST(SimCheck, MixedConclusiveAndInconclusivePoints) {
+  // (0,0) is silent immediately; (50,50) cannot finish in one step. The
+  // merged result distinguishes the evidence from the timeout.
+  const Crn min2 = compile::min_crn(2);
+  SimCheckOptions options;
+  options.max_steps = 1;
+  const auto result = sim_check_points(min2, fn::examples::min2(),
+                                       {{0, 0}, {50, 50}}, options);
+  EXPECT_EQ(result.verdict(), SimCheckResult::Verdict::kInconclusive);
+  EXPECT_GT(result.silent_trials, 0);
+  EXPECT_GT(result.non_silent_trials, 0);
+  EXPECT_EQ(result.inconclusive_points, 1);
+  EXPECT_EQ(result.mismatches, 0);
+}
+
+TEST(SimCheck, MismatchOutranksInconclusive) {
+  // X -> 2Y against f(x) = x: silent trials disprove, so the verdict is
+  // fail even if other trials were to time out.
+  Crn crn("broken");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  crn.add_reaction_str("X -> 2 Y");
+  const auto result = sim_check_point(
+      crn, fn::DiscreteFunction(1, [](const fn::Point& x) { return x[0]; },
+                                "x"),
+      {3});
+  EXPECT_EQ(result.verdict(), SimCheckResult::Verdict::kFail);
+  EXPECT_GT(result.mismatches, 0);
+  EXPECT_FALSE(result.failures.empty());
 }
 
 }  // namespace
