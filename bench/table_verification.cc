@@ -8,14 +8,26 @@
 // (std::unordered_map over heap-allocated crn::Config vectors, term-list
 // reaction application) on the same workloads at the same node budget.
 // Emits BENCH_verification.json (configs/sec, edges/sec, peak
-// bytes/config, speedups) so CI diffs the verifier's throughput like the
-// SSA engine's.
+// bytes/config, speedups, and an mt-speedup sweep over {1,2,4,8} task-pool
+// threads) so CI diffs the verifier's throughput like the SSA engine's —
+// tools/bench_compare gates releases on >30% configs/s regressions against
+// the committed baseline.
+//
+// Setting CRNKIT_BENCH_FAST=1 (the ctest `bench_smoke_verification_run`
+// fixture) trims to the arena engine on the light workloads: enough
+// records for bench_compare to diff, cheap enough for every test run.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "bench_table.h"
 #include "scenario/registry.h"
+#include "util/task_pool.h"
 #include "verify/reachability.h"
 #include "verify/stable.h"
 
@@ -95,24 +107,50 @@ double seconds_since(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
+std::string key_of(const std::string& label) {
+  std::string key = label;
+  for (char& ch : key) {
+    if (ch == '/' || ch == '(' || ch == ')' || ch == ',' || ch == '-') {
+      ch = '_';
+    }
+  }
+  return key;
+}
+
 void print_artifacts() {
   struct Case {
     std::string scenario;
     fn::Point x;
+    bool heavy;  ///< skipped in fast mode
   };
   // Workloads from the registry: the Theorem 5.2 circuit (the composed
   // state-space regime the verifier exists for) and the million-node
-  // composition-chain proof.
+  // composition-chain proofs. The last two are the PR-5 frontier
+  // workloads (~1M and ~2.6M configurations).
   const std::vector<Case> cases = {
-      {"thm52/fig7", {2, 2}},
-      {"thm52/fig7", {3, 3}},
-      {"chain/compose-18", {8}},
+      {"thm52/fig7", {2, 2}, false},
+      {"thm52/fig7", {3, 3}, false},
+      {"chain/compose-18", {8}, false},
+      {"thm52/fig7", {4, 3}, true},
+      {"chain/compose-24", {7}, true},
   };
+  // Fast mode (ctest bench_smoke_verification_run): arena engine only, on
+  // the light workloads — the records bench_compare needs, at smoke-test
+  // cost. Full mode adds the legacy baseline, the heavy workloads, the
+  // {1,2,4,8}-thread pool sweep, and the end-to-end proof record.
+  const bool fast = std::getenv("CRNKIT_BENCH_FAST") != nullptr;
+  const std::vector<int> sweep_threads = {2, 4, 8};
 
   std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<std::string>> mt_rows;
   std::vector<bench::BenchRecord> records;
   std::vector<std::string> extra;
-  const std::size_t max_configs = 2'000'000;
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"host_threads\": %u",
+                  std::thread::hardware_concurrency());
+    extra.emplace_back(buf);
+  }
 
   // Touch the code paths once so the first timed case is not a cold
   // start.
@@ -120,16 +158,22 @@ void print_artifacts() {
     const scenario::Scenario warm =
         scenario::Registry::builtin().build("fig1/min");
     (void)verify::explore(warm.crn, warm.crn.initial_configuration({8, 8}));
-    (void)legacy_explore(warm.crn, warm.crn.initial_configuration({8, 8}),
-                         max_configs);
+    if (!fast) {
+      (void)legacy_explore(warm.crn, warm.crn.initial_configuration({8, 8}),
+                           2'000'000);
+    }
   }
 
   for (const Case& c : cases) {
+    if (fast && c.heavy) continue;
     const scenario::Scenario s = scenario::Registry::builtin().build(
         c.scenario);
     const crn::Config initial = s.crn.initial_configuration(c.x);
     const std::string label =
         c.scenario + "(" + scenario::point_to_string(c.x) + ")";
+    const std::string key = key_of(label);
+    const std::size_t max_configs =
+        std::max<std::size_t>(2'000'000, s.verify_max_configs);
 
     // Best of two runs per engine, and each engine's graph is freed
     // before the next is timed — no run is measured under another's
@@ -137,11 +181,14 @@ void print_artifacts() {
     constexpr int kRuns = 2;
     std::size_t legacy_configs = 0;
     double legacy_s = 1e300;
-    for (int run = 0; run < kRuns; ++run) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const LegacyGraph legacy = legacy_explore(s.crn, initial, max_configs);
-      legacy_s = std::min(legacy_s, seconds_since(t0));
-      legacy_configs = legacy.configs.size();
+    if (!fast) {
+      for (int run = 0; run < kRuns; ++run) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const LegacyGraph legacy =
+            legacy_explore(s.crn, initial, max_configs);
+        legacy_s = std::min(legacy_s, seconds_since(t0));
+        legacy_configs = legacy.configs.size();
+      }
     }
 
     std::size_t arena_configs = 0;
@@ -149,6 +196,12 @@ void print_artifacts() {
     std::size_t arena_bytes = 0;
     bool complete = false;
     double arena_s = 1e300;
+    // One untimed run first: faults the case's pages in and trains the
+    // allocator's mmap threshold, so the timed best-of measures the warm
+    // steady state in fast and full mode alike (full mode used to get
+    // this warmth from the legacy run as a side effect).
+    (void)verify::explore(s.crn, initial,
+                          verify::ExploreOptions{max_configs});
     for (int run = 0; run < kRuns; ++run) {
       const auto t0 = std::chrono::steady_clock::now();
       const auto graph = verify::explore(
@@ -159,49 +212,78 @@ void print_artifacts() {
       arena_bytes = graph.stats.arena_bytes;
       complete = graph.complete;
     }
-
-    std::size_t mt_configs = 0;
-    double arena_mt_s = 1e300;
-    for (int run = 0; run < kRuns; ++run) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto graph_mt = verify::explore(
-          s.crn, initial, verify::ExploreOptions{max_configs, /*threads=*/0});
-      arena_mt_s = std::min(arena_mt_s, seconds_since(t0));
-      mt_configs = graph_mt.size();
-    }
-
     const double n = static_cast<double>(arena_configs);
-    const double speedup =
-        (legacy_s / static_cast<double>(legacy_configs)) / (arena_s / n);
-    const double bytes_per_config = static_cast<double>(arena_bytes) / n;
-    rows.push_back({label, bench::fmt(static_cast<long long>(arena_configs)),
-                    bench::fmt(static_cast<long long>(arena_edges)),
-                    complete ? "complete" : "truncated",
-                    bench::fmt(legacy_s), bench::fmt(arena_s),
-                    bench::fmt(speedup), bench::fmt(bytes_per_config)});
-
-    records.push_back({"legacy/" + label,
-                       static_cast<double>(legacy_configs) / legacy_s,
-                       legacy_s, legacy_configs});
     records.push_back({"arena/" + label, n / arena_s, arena_s,
                        arena_configs});
-    records.push_back({"arena-mt/" + label,
-                       static_cast<double>(mt_configs) / arena_mt_s,
-                       arena_mt_s, mt_configs});
     records.push_back({"arena/" + label + "/edges",
                        static_cast<double>(arena_edges) / arena_s, arena_s,
                        arena_edges});
 
-    std::string key = label;
-    for (char& ch : key) {
-      if (ch == '/' || ch == '(' || ch == ')' || ch == ',' || ch == '-') {
-        ch = '_';
-      }
-    }
+    // The task-pool thread sweep: same workload, same budget, explicit
+    // worker counts. The explorer guarantees the graphs are bit-identical
+    // across the sweep; the configs/s column is the scaling story.
+    std::vector<std::string> mt_row = {label, bench::fmt(arena_s)};
     char buf[96];
-    std::snprintf(buf, sizeof(buf), "\"speedup_%s\": %.2f", key.c_str(),
-                  speedup);
-    extra.emplace_back(buf);
+    if (!fast) {
+      for (const int threads : sweep_threads) {
+        double mt_s = 1e300;
+        std::size_t mt_configs = 0;
+        for (int run = 0; run < kRuns; ++run) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto graph_mt = verify::explore(
+              s.crn, initial,
+              verify::ExploreOptions{max_configs, threads});
+          mt_s = std::min(mt_s, seconds_since(t0));
+          mt_configs = graph_mt.size();
+        }
+        records.push_back({"arena-mt" + std::to_string(threads) + "/" +
+                               label,
+                           static_cast<double>(mt_configs) / mt_s, mt_s,
+                           mt_configs});
+        std::snprintf(buf, sizeof(buf), "\"mt_speedup_%s_t%d\": %.2f",
+                      key.c_str(), threads, arena_s / mt_s);
+        extra.emplace_back(buf);
+        mt_row.push_back(bench::fmt(arena_s / mt_s));
+      }
+      mt_rows.push_back(mt_row);
+
+      // Hardware-default thread count, the `--threads 0` production
+      // setting (also the record name PR-3 used, kept diffable).
+      double arena_mt_s = 1e300;
+      std::size_t mt_configs = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto graph_mt = verify::explore(
+            s.crn, initial,
+            verify::ExploreOptions{max_configs, /*threads=*/0});
+        arena_mt_s = std::min(arena_mt_s, seconds_since(t0));
+        mt_configs = graph_mt.size();
+      }
+      records.push_back({"arena-mt/" + label,
+                         static_cast<double>(mt_configs) / arena_mt_s,
+                         arena_mt_s, mt_configs});
+    }
+
+    const double bytes_per_config = static_cast<double>(arena_bytes) / n;
+    const double speedup =
+        fast ? 0.0
+             : (legacy_s / static_cast<double>(legacy_configs)) /
+                   (arena_s / n);
+    rows.push_back({label, bench::fmt(static_cast<long long>(arena_configs)),
+                    bench::fmt(static_cast<long long>(arena_edges)),
+                    complete ? "complete" : "truncated",
+                    fast ? "-" : bench::fmt(legacy_s), bench::fmt(arena_s),
+                    fast ? "-" : bench::fmt(speedup),
+                    bench::fmt(bytes_per_config)});
+
+    if (!fast) {
+      records.push_back({"legacy/" + label,
+                         static_cast<double>(legacy_configs) / legacy_s,
+                         legacy_s, legacy_configs});
+      std::snprintf(buf, sizeof(buf), "\"speedup_%s\": %.2f", key.c_str(),
+                    speedup);
+      extra.emplace_back(buf);
+    }
     std::snprintf(buf, sizeof(buf), "\"peak_bytes_per_config_%s\": %.1f",
                   key.c_str(), bytes_per_config);
     extra.emplace_back(buf);
@@ -213,27 +295,89 @@ void print_artifacts() {
       {"workload", "configs", "edges", "exploration", "legacy_s", "arena_s",
        "speedup", "B/config"},
       rows, 14);
+  if (!mt_rows.empty()) {
+    bench::print_table(
+        "Task-pool thread scaling (speedup over 1-thread arena; graphs "
+        "bit-identical across the sweep)",
+        {"workload", "t1_s", "x2", "x4", "x8"}, mt_rows, 18);
+  }
 
-  // The acceptance workload: a composition chain proven exactly at >= 1M
-  // explored configurations, full SCC decision included.
-  {
-    const scenario::Scenario s =
-        scenario::Registry::builtin().build("chain/compose-18");
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto check = verify::check_stable_computation(s.crn, {8}, 8);
-    const double proof_s = seconds_since(t0);
-    std::printf("\nchain/compose-18 @ x=8: %s in %.2fs (%zu configs, %zu "
-                "edges — a stable-computation *proof* over a >1M-node "
-                "reachability graph)\n",
-                check.ok && check.complete ? "PROVED" : "NOT PROVED",
-                proof_s, check.num_configs, check.num_edges);
-    records.push_back({"proof/chain/compose-18(8)",
-                       static_cast<double>(check.num_configs) / proof_s,
-                       proof_s, check.num_configs});
+  // Job-submission latency: what the pool actually buys per BFS level /
+  // ensemble batch. The old explorer paid a std::thread spawn+join per
+  // worker per phase; the pool pays a wakeup. Measured as round-trips of
+  // an 8-chunk no-op job on 2 logical threads vs spawning and joining one
+  // std::thread per round (the smallest unit run_workers used to burn).
+  if (!fast) {
+    constexpr int kRounds = 2000;
+    util::TaskPool& pool = util::TaskPool::instance();
+    std::atomic<std::uint64_t> sink{0};
+    // Warm the pool so worker spawn cost stays out of the loop.
+    pool.parallel_for(8, 1, [&](std::size_t i) { sink += i; }, 2);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      pool.parallel_for(8, 1, [&](std::size_t i) { sink += i; }, 2);
+    }
+    const double pool_s = seconds_since(t0);
+    t0 = std::chrono::steady_clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      std::thread worker([&] { sink += 1; });
+      for (std::size_t i = 0; i < 8; ++i) sink += i;
+      worker.join();
+    }
+    const double spawn_s = seconds_since(t0);
+    records.push_back({"pool/job_submit", kRounds / pool_s, pool_s,
+                       static_cast<std::size_t>(kRounds)});
+    records.push_back({"threadspawn/job_submit", kRounds / spawn_s, spawn_s,
+                       static_cast<std::size_t>(kRounds)});
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "\"chain18_proof_seconds\": %.3f",
-                  proof_s);
+    std::snprintf(buf, sizeof(buf), "\"pool_submit_speedup\": %.2f",
+                  spawn_s / pool_s);
     extra.emplace_back(buf);
+    std::printf("\njob submission: pool %.1f us vs thread spawn/join %.1f "
+                "us (%.1fx) over %d rounds\n",
+                1e6 * pool_s / kRounds, 1e6 * spawn_s / kRounds,
+                spawn_s / pool_s, kRounds);
+  }
+
+  // The acceptance workloads: composition chains proven exactly at >= 1M
+  // explored configurations, full SCC decision included.
+  if (!fast) {
+    for (const auto& proof_case :
+         std::vector<std::pair<std::string, fn::Point>>{
+             {"chain/compose-18", {8}}, {"chain/compose-24", {7}}}) {
+      const scenario::Scenario s =
+          scenario::Registry::builtin().build(proof_case.first);
+      verify::StableCheckOptions options;
+      if (s.verify_max_configs > 0) {
+        options.max_configs = s.verify_max_configs;
+      }
+      const math::Int expected = (*s.reference)(proof_case.second);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto check = verify::check_stable_computation(
+          s.crn, proof_case.second, expected, options);
+      const double proof_s = seconds_since(t0);
+      const std::string label =
+          proof_case.first + "(" +
+          scenario::point_to_string(proof_case.second) + ")";
+      std::printf("\n%s: %s in %.2fs (%zu configs, %zu edges — a "
+                  "stable-computation *proof* over a >1M-node "
+                  "reachability graph)\n",
+                  label.c_str(),
+                  check.ok && check.complete ? "PROVED" : "NOT PROVED",
+                  proof_s, check.num_configs, check.num_edges);
+      records.push_back({"proof/" + label,
+                         static_cast<double>(check.num_configs) / proof_s,
+                         proof_s, check.num_configs});
+    }
+    // Kept under its PR-3 key so baseline diffs line up.
+    char buf[64];
+    for (const bench::BenchRecord& r : records) {
+      if (r.name == "proof/chain/compose-18(8)") {
+        std::snprintf(buf, sizeof(buf), "\"chain18_proof_seconds\": %.3f",
+                      r.wall_seconds);
+        extra.emplace_back(buf);
+      }
+    }
   }
 
   bench::write_bench_json("verification", records, extra);

@@ -4,6 +4,7 @@
 // proved (ok and complete exploration) for exit 0. Scenarios tagged
 // "unverifiable" are skipped with their recorded reason unless --force.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <ostream>
 
@@ -97,6 +98,9 @@ int cmd_verify(Args& args, std::ostream& out) {
   double total_seconds = 0.0;
   std::size_t frontier_peak = 0;
   std::size_t arena_bytes_peak = 0;
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_steals = 0;
+  std::uint64_t pool_parks = 0;
   int threads_resolved = options.threads;  // explore() reports the real count
   util::JsonWriter w;
   std::vector<std::vector<std::string>> rows;
@@ -127,6 +131,9 @@ int cmd_verify(Args& args, std::ostream& out) {
         std::max(frontier_peak, result.explore_stats.frontier_peak);
     arena_bytes_peak =
         std::max(arena_bytes_peak, result.explore_stats.arena_bytes);
+    pool_tasks += result.explore_stats.pool_tasks;
+    pool_steals += result.explore_stats.pool_steals;
+    pool_parks += result.explore_stats.pool_parks;
     threads_resolved = result.explore_stats.threads;
     const std::string status = proof          ? "proved"
                                : result.complete ? "FAILED"
@@ -179,6 +186,18 @@ int cmd_verify(Args& args, std::ostream& out) {
           .kv_fixed("configs_per_sec", total_rate, 1)
           .kv("frontier_peak", frontier_peak)
           .kv("arena_bytes", arena_bytes_peak)
+          .key("pool")
+          .begin_object()
+          .kv("tasks", pool_tasks)
+          .kv("steals", pool_steals)
+          .kv("parks", pool_parks)
+          .kv_fixed("park_ratio",
+                    pool_tasks > 0
+                        ? static_cast<double>(pool_parks) /
+                              static_cast<double>(pool_tasks)
+                        : 0.0,
+                    3)
+          .end_object()
           .end_object();
     }
     w.kv("ok", all_ok).end_object();
@@ -202,6 +221,16 @@ int cmd_verify(Args& args, std::ostream& out) {
                     total_configs, total_edges, total_seconds, total_rate,
                     frontier_peak,
                     static_cast<double>(arena_bytes_peak) / (1024.0 * 1024.0));
+      out << line;
+      std::snprintf(
+          line, sizeof(line),
+          "pool:  %llu tasks, %llu steals, %llu parks (park ratio %.3f)\n",
+          static_cast<unsigned long long>(pool_tasks),
+          static_cast<unsigned long long>(pool_steals),
+          static_cast<unsigned long long>(pool_parks),
+          pool_tasks > 0 ? static_cast<double>(pool_parks) /
+                               static_cast<double>(pool_tasks)
+                         : 0.0);
       out << line;
     }
   }

@@ -184,11 +184,13 @@ void register_builtin_scenarios(Registry& registry) {
                       compile::compile_theorem52(spec), fn::examples::fig7(),
                       grid_points(2, 1), {3000, 4000});
     // The composed circuit's reachable space grows combinatorially —
-    // ~18.5k configs at (2,2), ~320k at (3,3) — well inside the arena
-    // explorer's 2M default budget, so both are proved exactly; anything
-    // larger is covered stochastically (`crnc simulate`).
+    // ~18.5k configs at (2,2), ~320k at (3,3), ~995k at (4,3) — well
+    // inside the arena explorer's 2M default budget, so all are proved
+    // exactly; anything larger is covered stochastically
+    // (`crnc simulate`).
     s.verify_points.push_back({2, 2});
     s.verify_points.push_back({3, 3});
+    s.verify_points.push_back({4, 3});
     return s;
   });
 
@@ -253,6 +255,20 @@ void register_builtin_scenarios(Registry& registry) {
                 "million-node regime of the arena-backed explorer",
                 "Obs. 2.2", {"oblivious", "leaderless", "composed", "large"},
                 identity_chain(18), identity_fn(), {{1}, {8}}, {100000});
+  });
+
+  registry.add("chain/compose-24", [] {
+    Scenario s =
+        make("chain/compose-24",
+             "24 concatenated oblivious identity modules at x=7 — a "
+             "C(31,24) = 2,629,575-configuration exact proof, the "
+             "frontier workload of the work-stealing parallel explorer",
+             "Obs. 2.2", {"oblivious", "leaderless", "composed", "large"},
+             identity_chain(24), identity_fn(), {{1}, {7}}, {100000});
+    // The reachable set at x=7 overruns the checker's 2M default budget;
+    // 3M covers it with slack and stays ~300 MiB of arena + edges.
+    s.verify_max_configs = 3'000'000;
+    return s;
   });
 
   registry.add("chain/compose-256", [] {

@@ -1,6 +1,6 @@
 #include "sim/ensemble.h"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -10,6 +10,7 @@
 #include "sim/next_reaction.h"
 #include "sim/population.h"
 #include "sim/scheduler.h"
+#include "util/task_pool.h"
 
 namespace crnkit::sim {
 
@@ -32,6 +33,15 @@ EnsembleResult EnsembleRunner::run(const crn::Config& initial,
                                    const EnsembleOptions& options) const {
   require(options.trajectories >= 0,
           "EnsembleRunner::run: negative trajectory count");
+  // Rates are validated at the batch boundary for *every* method — the
+  // kSilentRun/kPopulation paths ignore them, but a mis-sized vector is a
+  // caller bug either way and must not surface only when the method flips.
+  require(options.rates.empty() ||
+              options.rates.size() == compiled_.reaction_count(),
+          "EnsembleRunner::run: options.rates has " +
+              std::to_string(options.rates.size()) +
+              " entries for a network with " +
+              std::to_string(compiled_.reaction_count()) + " reactions");
   EnsembleResult result;
   const std::size_t count = static_cast<std::size_t>(options.trajectories);
   result.trajectories.resize(count);
@@ -80,18 +90,16 @@ EnsembleResult EnsembleRunner::run(const crn::Config& initial,
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) run_one(i);
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < count;
-             i = next.fetch_add(1)) {
-          run_one(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
+    // Persistent pool, reused across run() calls: simcheck and compose
+    // certification issue hundreds of small batches, and the per-call
+    // thread spawn/join this replaces used to dominate their wall time.
+    // Chunked scheduling: aim for a few chunks per worker so the
+    // work-stealing deques can balance uneven trajectory lengths, but
+    // never chunks so small that scheduling overhead swamps a tiny batch.
+    const std::size_t grain = std::max<std::size_t>(
+        1, count / (static_cast<std::size_t>(workers) * 4));
+    util::TaskPool::instance().parallel_for(count, grain, run_one,
+                                            static_cast<int>(workers));
   }
   result.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)

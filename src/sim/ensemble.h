@@ -1,13 +1,16 @@
 // EnsembleRunner: batched high-throughput stochastic simulation.
 //
 // Compiles a crn::Crn once into a CompiledNetwork, then runs many
-// independent trajectories across std::thread workers. Each trajectory i
-// gets its own Rng seeded by Rng::derive_stream_seed(options.seed, i), and
-// results are collected into a slot indexed by i — so the full result set
-// (and every aggregate computed from it) is bit-identical for a fixed seed
-// regardless of the thread count. Aggregation (sim::SampleStats over
-// steps/events, SSA or parallel time, and output counts) happens after the
-// join, in trajectory order.
+// independent trajectories on the persistent util::TaskPool (work-stealing
+// deques, parked workers — no thread spawn/join per run() call, so
+// verify/simcheck's hundreds of small batches pay submission cost only).
+// Each trajectory i gets its own Rng seeded by
+// Rng::derive_stream_seed(options.seed, i), and results are collected into
+// a slot indexed by i — so the full result set (and every aggregate
+// computed from it) is bit-identical for a fixed seed regardless of the
+// thread count. Aggregation (sim::SampleStats over steps/events, SSA or
+// parallel time, and output counts) happens after the batch, in trajectory
+// order.
 //
 // This is the production path for verify/simcheck (randomized stable-
 // computation checking on compositions too large to enumerate) and for the

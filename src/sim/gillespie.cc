@@ -216,7 +216,10 @@ GillespieResult simulate_direct(const CompiledNetwork& net,
                                 const GillespieOptions& options) {
   const std::size_t n = net.reaction_count();
   require(options.rates.empty() || options.rates.size() == n,
-          "simulate_direct: rates size mismatch");
+          "simulate_direct: options.rates has " +
+              std::to_string(options.rates.size()) +
+              " entries for a network with " + std::to_string(n) +
+              " reactions");
   if (n == 0) {
     GillespieResult result;
     result.final_config = initial;
@@ -238,7 +241,10 @@ GillespieResult simulate_direct_dense(const crn::Crn& crn,
                                       const GillespieOptions& options) {
   require(options.rates.empty() ||
               options.rates.size() == crn.reactions().size(),
-          "simulate_direct_dense: rates size mismatch");
+          "simulate_direct_dense: options.rates has " +
+              std::to_string(options.rates.size()) +
+              " entries for a network with " +
+              std::to_string(crn.reactions().size()) + " reactions");
   GillespieResult result;
   result.final_config = initial;
 

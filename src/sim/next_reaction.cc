@@ -77,7 +77,10 @@ GillespieResult simulate_next_reaction(const CompiledNetwork& net,
                                        const GillespieOptions& options) {
   const std::size_t n = net.reaction_count();
   require(options.rates.empty() || options.rates.size() == n,
-          "simulate_next_reaction: rates size mismatch");
+          "simulate_next_reaction: options.rates has " +
+              std::to_string(options.rates.size()) +
+              " entries for a network with " + std::to_string(n) +
+              " reactions");
   GillespieResult result;
   result.final_config = initial;
   if (n == 0) {

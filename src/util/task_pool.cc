@@ -1,0 +1,316 @@
+#include "util/task_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+
+namespace crnkit::util {
+
+namespace {
+/// Hard cap on persistent workers — far above any sane request, so a
+/// runaway thread count can't take the process down.
+constexpr int kMaxWorkers = 256;
+
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
+/// Fixed-capacity Chase-Lev deque over chunk ids. Filled once by the
+/// submitter before the job is published (never pushed afterwards), so
+/// only the take/steal races of the classic algorithm remain: the owner
+/// pops from the bottom, thieves CAS the top.
+struct TaskPool::Deque {
+  std::vector<std::size_t> buf;
+  std::size_t mask = 0;
+  alignas(64) std::atomic<std::int64_t> top{0};
+  alignas(64) std::atomic<std::int64_t> bottom{0};
+
+  /// Prefill with `chunks` dealt to this deque, highest first, so the
+  /// owner's bottom-end pops yield *increasing* chunk ids (pipelined
+  /// consumers see their slices in order) while thieves strip the highest
+  /// remaining chunk from the top.
+  void fill(std::size_t first_chunk, std::size_t stride, std::size_t count) {
+    std::size_t cap = 1;
+    while (cap < count) cap <<= 1;
+    buf.assign(cap, 0);
+    mask = cap - 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      buf[i] = first_chunk + (count - 1 - i) * stride;
+    }
+    top.store(0, std::memory_order_relaxed);
+    bottom.store(static_cast<std::int64_t>(count),
+                 std::memory_order_relaxed);
+  }
+
+  /// Owner-side pop (bottom end). False when empty.
+  bool take(std::size_t& out) {
+    const std::int64_t b = bottom.load(std::memory_order_relaxed) - 1;
+    bottom.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = buf[static_cast<std::size_t>(b) & mask];
+      if (t == b) {
+        // Last element: race the thieves for it.
+        const bool won = top.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;
+    }
+    bottom.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Thief-side steal (top end): 1 = got one, 0 = empty, -1 = lost a race
+  /// (caller may retry).
+  int steal(std::size_t& out) {
+    std::int64_t t = top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom.load(std::memory_order_acquire);
+    if (t >= b) return 0;
+    out = buf[static_cast<std::size_t>(t) & mask];
+    if (!top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+      return -1;
+    }
+    return 1;
+  }
+};
+
+/// One parallel_for in flight. Heap-held behind shared_ptr: a worker that
+/// wakes late keeps the job (and its deques) alive past the caller's
+/// return, finds nothing to do, and leaves without touching freed memory.
+struct TaskPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  int slots = 1;  ///< participant cap == deque count
+  std::vector<Deque> deques;
+
+  std::atomic<int> tickets{0};
+  std::atomic<int> active{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::mutex error_mu;
+  std::size_t first_error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_error;
+};
+
+struct TaskPool::Worker {
+  std::thread thread;
+  alignas(64) std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> parks{0};
+};
+
+TaskPool& TaskPool::instance() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::TaskPool(int workers) {
+  if (workers > 0) ensure_workers(workers + 1);
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+bool TaskPool::in_pool_task() { return t_in_pool_task; }
+
+void TaskPool::ensure_workers(int logical_threads) {
+  const int want = std::min(logical_threads - 1, kMaxWorkers);
+  if (want <= worker_count()) return;
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  while (static_cast<int>(workers_.size()) < want) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker& w = *workers_.back();
+    w.thread = std::thread([this, &w] { worker_main(w); });
+    n_workers_.store(static_cast<int>(workers_.size()),
+                     std::memory_order_release);
+  }
+}
+
+void TaskPool::worker_main(Worker& self) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  for (;;) {
+    while (!shutdown_ && epoch_ == seen) {
+      self.parks.fetch_add(1, std::memory_order_relaxed);
+      wake_cv_.wait(lk);
+    }
+    if (shutdown_) return;
+    seen = epoch_;
+    std::shared_ptr<Job> job = current_;
+    lk.unlock();
+    if (job) {
+      t_in_pool_task = true;
+      work_on(*job, self.tasks, self.steals);
+      t_in_pool_task = false;
+    }
+    lk.lock();
+  }
+}
+
+void TaskPool::run_chunk(Job& job, std::size_t chunk) {
+  const std::size_t begin = chunk * job.grain;
+  const std::size_t end = std::min(job.n, begin + job.grain);
+  try {
+    for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(job.error_mu);
+    if (chunk < job.first_error_chunk) {
+      job.first_error_chunk = chunk;
+      job.first_error = std::current_exception();
+    }
+  }
+  job.completed.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TaskPool::work_on(Job& job, std::atomic<std::uint64_t>& tasks,
+                       std::atomic<std::uint64_t>& steals) {
+  const int ticket = job.tickets.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= job.slots) return;  // participant cap reached
+  job.active.fetch_add(1, std::memory_order_acq_rel);
+
+  std::size_t chunk;
+  Deque& own = job.deques[static_cast<std::size_t>(ticket)];
+  while (own.take(chunk)) {
+    run_chunk(job, chunk);
+    tasks.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Own deque drained: strip the other deques until every chunk is
+  // claimed. A lost CAS race (-1) means the victim still has work, so the
+  // scan stays hot until a pass sees nothing but empties.
+  for (;;) {
+    bool got = false;
+    bool contended = false;
+    for (int d = 1; d < job.slots && !got; ++d) {
+      Deque& victim =
+          job.deques[static_cast<std::size_t>((ticket + d) % job.slots)];
+      const int r = victim.steal(chunk);
+      if (r == 1) {
+        steals.fetch_add(1, std::memory_order_relaxed);
+        run_chunk(job, chunk);
+        tasks.fetch_add(1, std::memory_order_relaxed);
+        got = true;
+      } else if (r == -1) {
+        contended = true;
+      }
+    }
+    if (!got && !contended) break;
+  }
+
+  if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(job.done_mu);
+    job.done_cv.notify_all();
+  }
+}
+
+void TaskPool::parallel_for(std::size_t n, std::size_t grain,
+                            const std::function<void(std::size_t)>& fn,
+                            int max_threads) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  int logical = max_threads;
+  if (logical <= 0) {
+    logical =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  const auto run_inline = [&] {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    caller_tasks_.fetch_add(n_chunks, std::memory_order_relaxed);
+  };
+  if (logical <= 1 || n_chunks <= 1 || t_in_pool_task) {
+    run_inline();
+    return;
+  }
+  ensure_workers(logical);
+  const int slots = static_cast<int>(std::min<std::size_t>(
+      n_chunks,
+      static_cast<std::size_t>(std::min(logical, worker_count() + 1))));
+  if (slots <= 1) {
+    run_inline();
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->grain = grain;
+  job->n_chunks = n_chunks;
+  job->slots = slots;
+  job->deques = std::vector<Deque>(static_cast<std::size_t>(slots));
+  for (int d = 0; d < slots; ++d) {
+    // Deque d owns chunks d, d + slots, d + 2*slots, ... — the
+    // deterministic round-robin deal.
+    const std::size_t count =
+        (n_chunks - static_cast<std::size_t>(d) +
+         static_cast<std::size_t>(slots) - 1) /
+        static_cast<std::size_t>(slots);
+    job->deques[static_cast<std::size_t>(d)].fill(
+        static_cast<std::size_t>(d), static_cast<std::size_t>(slots), count);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    current_ = job;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+
+  // The caller is a participant like any worker — including the
+  // in-pool-task flag, so a nested parallel_for issued from one of the
+  // caller's own chunks runs inline instead of re-entering the job lock
+  // this frame already holds. (work_on has no throwing path: run_chunk
+  // catches everything into the job's error slot.)
+  t_in_pool_task = true;
+  work_on(*job, caller_tasks_, caller_steals_);
+  t_in_pool_task = false;
+
+  {
+    std::unique_lock<std::mutex> lk(job->done_mu);
+    job->done_cv.wait(lk, [&] {
+      return job->completed.load(std::memory_order_acquire) ==
+                 job->n_chunks &&
+             job->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    current_.reset();
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+TaskPool::Counters TaskPool::counters() const {
+  Counters total;
+  total.jobs = jobs_.load(std::memory_order_relaxed);
+  total.tasks = caller_tasks_.load(std::memory_order_relaxed);
+  total.steals = caller_steals_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  for (const auto& w : workers_) {
+    total.tasks += w->tasks.load(std::memory_order_relaxed);
+    total.steals += w->steals.load(std::memory_order_relaxed);
+    total.parks += w->parks.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace crnkit::util

@@ -1,0 +1,135 @@
+// TaskPool: the process-wide persistent worker pool behind the parallel
+// verifier and the ensemble runner.
+//
+// Before this pool existed, verify/reachability.cc spawned and joined a
+// fresh std::thread team *per BFS level* (two full barriers per level) and
+// sim::EnsembleRunner did the same per run() call — so simcheck and
+// `crnc compose` certification, which issue hundreds of small batches,
+// paid thread-creation latency on every verify point and the measured
+// arena-mt speedup pinned at 1.0x. This pool spawns workers once, parks
+// them on a condition variable between jobs, and hands work out through
+// per-participant work-stealing deques (Chase-Lev take/steal), so a job
+// submission is a counter bump and a wakeup, not N clone() calls.
+//
+// parallel_for(n, grain, fn) runs fn(i) for every i in [0, n). Work is cut
+// into chunks of `grain` consecutive indices; chunk c covers
+// [c*grain, min(n, (c+1)*grain)). Chunks are dealt round-robin across the
+// participant deques in increasing chunk order *before* execution starts —
+// the deterministic staging order the explorer's (shard, stage-order)
+// numbering contract builds on: which OS thread runs a chunk is scheduling
+// noise, but chunk c's identity (and therefore everything a consumer keys
+// by chunk or index) is fixed by arithmetic alone. Each participant pops
+// its own deque from the bottom (its chunks in increasing order — the
+// order pipelined consumers want) while thieves steal from the top.
+//
+// Guarantees:
+//  * fn(i) is invoked exactly once for every i in [0, n), across the
+//    calling thread and up to max_threads-1 pool workers.
+//  * The call blocks until every invocation has finished.
+//  * If invocations throw, the exception of the lowest-numbered failing
+//    chunk is rethrown on the calling thread (the error the serial loop
+//    would have hit first).
+//  * Nested calls (from inside a task) and max_threads <= 1 run inline on
+//    the calling thread — no deadlock, same results.
+//
+// Jobs are serialized: a second concurrent parallel_for blocks until the
+// first finishes (consumers are coarse-grained; nesting runs inline).
+// Counters (jobs, tasks, steals, parks) are process-lifetime monotonic;
+// callers snapshot before/after a region to report utilization (surfaced
+// by `crnc verify --stats`).
+#ifndef CRNKIT_UTIL_TASK_POOL_H_
+#define CRNKIT_UTIL_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crnkit::util {
+
+class TaskPool {
+ public:
+  /// Monotonic process-lifetime activity counters (snapshot-diff to meter
+  /// a region).
+  struct Counters {
+    std::uint64_t jobs = 0;    ///< parallel_for calls that engaged workers
+    std::uint64_t tasks = 0;   ///< chunks executed (pool jobs + inline)
+    std::uint64_t steals = 0;  ///< chunks taken from another deque
+    std::uint64_t parks = 0;   ///< worker blocks on the wake condvar
+  };
+
+  /// The shared pool. Workers are spawned lazily (first parallel job) and
+  /// live until process exit.
+  static TaskPool& instance();
+
+  /// `workers` pool threads (0 = lazy: grown on demand up to
+  /// hardware_concurrency() - 1). Mostly for tests; production code uses
+  /// instance().
+  explicit TaskPool(int workers = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Current persistent worker-thread count (callers add one more).
+  [[nodiscard]] int worker_count() const {
+    return n_workers_.load(std::memory_order_acquire);
+  }
+
+  /// Grows the pool so that `logical_threads` participants (including the
+  /// caller) can run concurrently. Monotonic; never shrinks.
+  void ensure_workers(int logical_threads);
+
+  /// Runs fn(i) for every i in [0, n) in chunks of `grain`, on the calling
+  /// thread plus up to max_threads-1 pool workers (max_threads 0 means
+  /// hardware concurrency). See the file comment for the full contract.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn,
+                    int max_threads = 0);
+
+  [[nodiscard]] Counters counters() const;
+
+  /// True while the current thread is executing a pool task (nested
+  /// parallel_for calls run inline).
+  [[nodiscard]] static bool in_pool_task();
+
+ private:
+  struct Deque;
+  struct Job;
+  struct Worker;
+
+  void worker_main(Worker& self);
+  /// Participate in `job`: claim a deque ticket, drain own deque, then
+  /// steal until the job has no unclaimed chunks.
+  static void work_on(Job& job, std::atomic<std::uint64_t>& tasks,
+                      std::atomic<std::uint64_t>& steals);
+  static void run_chunk(Job& job, std::size_t chunk);
+
+  mutable std::mutex workers_mu_;  ///< guards workers_ growth
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<int> n_workers_{0};
+
+  std::mutex job_mu_;  ///< serializes job submissions
+
+  // Parked workers wait on wake_cv_ for an epoch bump; current_ holds the
+  // in-flight job (shared_ptr so a late-waking worker can never touch a
+  // freed job).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  // Caller-side counter shares (workers keep their own, summed lazily).
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> caller_tasks_{0};
+  std::atomic<std::uint64_t> caller_steals_{0};
+};
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_TASK_POOL_H_

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstring>
-#include <functional>
+#include <mutex>
 #include <thread>
 
 #include "math/check.h"
+#include "util/task_pool.h"
 
 namespace crnkit::verify {
 
@@ -15,9 +17,14 @@ namespace {
 
 constexpr int kShards = ConfigStore::kShards;
 /// Levels smaller than this are expanded on the calling thread: the graph
-/// is identical either way, and per-level thread spawns only pay off once
+/// is identical either way, and scheduling pool tasks only pays off once
 /// a level carries real work.
 constexpr std::size_t kMinParallelFrontier = 256;
+/// Smallest frontier slice worth a task of its own; levels are cut into
+/// up to kSlicesPerThread slices per worker above this, so the
+/// work-stealing deques have slack to balance uneven successor counts.
+constexpr std::size_t kMinSliceNodes = 128;
+constexpr std::size_t kSlicesPerThread = 4;
 /// Probe-prefetch lookahead in the interning loops.
 constexpr std::size_t kPrefetchAhead = 8;
 
@@ -33,40 +40,33 @@ struct Candidate {
   std::int64_t handle;
 };
 
-/// Per-worker state: the candidate slice generated from a contiguous
+/// Per-slice state: the candidate list generated from a contiguous
 /// frontier slice, per-shard candidate index lists for the interning
-/// phase, and the local CSR piece built in the edge phase.
-struct WorkerBuf {
+/// phase, and the local CSR piece built in the edge phase. Slices are the
+/// task-pool chunks; their concatenation in slice order is exactly
+/// (node, reaction) order, which is what keeps the graph bit-identical at
+/// every thread count.
+struct SliceBuf {
   std::vector<Candidate> cands;
   std::array<std::vector<std::uint32_t>, kShards> by_shard;
   std::int32_t lo = 0;  ///< frontier slice [lo, hi)
   std::int32_t hi = 0;
-  std::vector<std::int32_t> succ;      ///< local edges
+  std::vector<std::int32_t> succ;       ///< local edges
   std::vector<std::uint32_t> succ_end;  ///< per-node end offset into succ
   bool saw_dropped = false;
 };
 
-/// fn(t) for t in [0, n); fn(0) runs on the calling thread. A worker's
-/// exception (count range checks, allocation failure) is rethrown here
-/// after the join, so callers see the same error the serial path throws.
-void run_workers(int n, const std::function<void(int)>& fn) {
-  std::vector<std::thread> pool;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-  const auto guarded = [&](int t) {
-    try {
-      fn(t);
-    } catch (...) {
-      errors[static_cast<std::size_t>(t)] = std::current_exception();
-    }
-  };
-  pool.reserve(static_cast<std::size_t>(n - 1));
-  for (int t = 1; t < n; ++t) pool.emplace_back(guarded, t);
-  guarded(0);
-  for (std::thread& th : pool) th.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-}
+/// Per-shard interning state for the pipelined generate->intern flow.
+/// A shard is only ever advanced by the thread holding its mutex, and
+/// always in slice order — so the staging order within a shard is the
+/// global (node, reaction) order filtered to the shard, independent of
+/// which worker interns which bucket when.
+struct ShardFlow {
+  std::mutex mu;
+  std::uint32_t next_slice = 0;
+  /// (src, reaction) per created entry, stage order.
+  std::vector<std::pair<std::int32_t, std::int32_t>> parents;
+};
 
 }  // namespace
 
@@ -77,6 +77,8 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
   require(options.max_configs <= (std::size_t{1} << 31) - 2,
           "explore: max_configs exceeds the 2^31 node id space");
   const auto t0 = std::chrono::steady_clock::now();
+  util::TaskPool& pool = util::TaskPool::instance();
+  const util::TaskPool::Counters pool_before = pool.counters();
 
   const sim::CompiledNetwork net(crn);
   const std::size_t width = crn.species_count();
@@ -182,10 +184,14 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
         }
       };
 
-  // Reused across levels.
-  std::array<std::vector<std::pair<std::int32_t, std::int32_t>>, kShards>
-      staged_parent;  // (src, reaction) per created entry, stage order
-  std::vector<WorkerBuf> bufs;
+  // Reused across levels. gen_done[k] publishes slice k's candidate
+  // buckets to the shard drains; flows carry the per-shard intern cursors.
+  std::vector<SliceBuf> bufs;
+  std::array<ShardFlow, kShards> flows;
+  const std::size_t max_slices =
+      static_cast<std::size_t>(threads) * kSlicesPerThread;
+  std::vector<std::atomic<std::uint8_t>> gen_done(
+      std::max<std::size_t>(max_slices, 1));
 
   std::int32_t level_begin = 0;
   std::int32_t level_end = 1;
@@ -196,24 +202,84 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
         std::max(graph.stats.frontier_peak, level_nodes);
     ++graph.stats.levels;
     const bool budget_full = store.size() >= options.max_configs;
-    // Worker count for this level. The graph is identical for any value:
+    // Slice count for this level. The graph is identical for any value:
     // candidate order is (node, reaction) regardless of slicing, and
     // per-shard staging order is that order filtered to the shard.
-    const int workers =
-        (threads > 1 && level_nodes >= kMinParallelFrontier) ? threads : 1;
-    bufs.resize(static_cast<std::size_t>(workers));
+    const bool parallel =
+        threads > 1 && level_nodes >= kMinParallelFrontier;
+    const std::size_t n_slices =
+        parallel ? std::min<std::size_t>(
+                       max_slices,
+                       std::max<std::size_t>(1, level_nodes / kMinSliceNodes))
+                 : 1;
+    if (bufs.size() < n_slices) bufs.resize(n_slices);
     const std::size_t chunk =
-        (level_nodes + static_cast<std::size_t>(workers) - 1) /
-        static_cast<std::size_t>(workers);
+        (level_nodes + n_slices - 1) / n_slices;
+    for (ShardFlow& flow : flows) {
+      flow.next_slice = 0;
+      flow.parents.clear();
+    }
+    for (std::size_t k = 0; k < n_slices; ++k) {
+      gen_done[k].store(0, std::memory_order_relaxed);
+    }
 
-    // Generate: workers take contiguous frontier slices, so the
+    // Interns every not-yet-drained bucket of shard s whose slice has
+    // finished generating. try_lock keeps generators moving when another
+    // worker already owns the shard; the final sweep below (all slices
+    // done) picks up whatever the opportunistic passes left behind. A
+    // staggered prefetch pipeline hides the table's and the arena's DRAM
+    // latency behind real interning work.
+    const auto drain_shard = [&](int s, bool blocking) {
+      ShardFlow& flow = flows[static_cast<std::size_t>(s)];
+      std::unique_lock<std::mutex> lk(flow.mu, std::defer_lock);
+      if (blocking) {
+        lk.lock();
+      } else if (!lk.try_lock()) {
+        return;
+      }
+      std::uint32_t k = flow.next_slice;
+      while (k < n_slices &&
+             gen_done[k].load(std::memory_order_acquire) != 0) {
+        SliceBuf& buf = bufs[k];
+        const auto& list = buf.by_shard[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+          // Four-distance pipeline: candidate struct, its probe slot,
+          // its source row, and the row it will be compared against
+          // each get a full DRAM round-trip of lead time.
+          if (i + 2 * kPrefetchAhead < list.size()) {
+            __builtin_prefetch(&buf.cands[list[i + 2 * kPrefetchAhead]]);
+          }
+          if (i + kPrefetchAhead < list.size()) {
+            store.prefetch(buf.cands[list[i + kPrefetchAhead]].hash);
+          }
+          if (i + kPrefetchAhead / 2 + 2 < list.size()) {
+            __builtin_prefetch(store.view(
+                buf.cands[list[i + kPrefetchAhead / 2 + 2]].src));
+          }
+          if (i + kPrefetchAhead / 2 < list.size()) {
+            store.prefetch_row(
+                buf.cands[list[i + kPrefetchAhead / 2]].hash);
+          }
+#endif
+          intern_candidate(buf.cands[list[i]], budget_full, flow.parents);
+        }
+        ++k;
+      }
+      flow.next_slice = k;
+    };
+
+    // Generate: slices take contiguous frontier ranges, so the
     // concatenation of their buffers is exactly (node, reaction) order.
-    run_workers(workers, [&](int t) {
-      WorkerBuf& buf = bufs[static_cast<std::size_t>(t)];
+    // As soon as a slice's buckets are published, the generating worker
+    // pipelines into interning whatever shards are free — candidates flow
+    // to shard owners per chunk, not at a level barrier.
+    const auto generate_slice = [&](std::size_t k) {
+      SliceBuf& buf = bufs[k];
       buf.cands.clear();
       for (auto& v : buf.by_shard) v.clear();
-      buf.lo = level_begin + static_cast<std::int32_t>(
-                                 static_cast<std::size_t>(t) * chunk);
+      buf.lo = level_begin +
+               static_cast<std::int32_t>(k * chunk);
       buf.hi = std::min<std::int32_t>(
           level_end, buf.lo + static_cast<std::int32_t>(chunk));
       buf.lo = std::min(buf.lo, buf.hi);
@@ -226,44 +292,26 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
                          ConfigStore::shard_of(buf.cands[i].hash))]
             .push_back(i);
       }
-    });
+      gen_done[k].store(1, std::memory_order_release);
+      for (int s = 0; s < kShards; ++s) drain_shard(s, /*blocking=*/false);
+    };
 
-    // Intern: each shard has one owner, which walks the workers'
-    // per-shard candidate lists in worker order — again (node, reaction)
-    // order, since worker slices are contiguous. A staggered prefetch
-    // pipeline hides the table's and the arena's DRAM latency behind real
-    // interning work.
-    run_workers(workers, [&](int t) {
-      for (int s = t; s < kShards; s += workers) {
-        auto& parents = staged_parent[static_cast<std::size_t>(s)];
-        parents.clear();
-        for (WorkerBuf& buf : bufs) {
-          const auto& list = buf.by_shard[static_cast<std::size_t>(s)];
-          for (std::size_t i = 0; i < list.size(); ++i) {
-#if defined(__GNUC__) || defined(__clang__)
-            // Four-distance pipeline: candidate struct, its probe slot,
-            // its source row, and the row it will be compared against
-            // each get a full DRAM round-trip of lead time.
-            if (i + 2 * kPrefetchAhead < list.size()) {
-              __builtin_prefetch(&buf.cands[list[i + 2 * kPrefetchAhead]]);
-            }
-            if (i + kPrefetchAhead < list.size()) {
-              store.prefetch(buf.cands[list[i + kPrefetchAhead]].hash);
-            }
-            if (i + kPrefetchAhead / 2 + 2 < list.size()) {
-              __builtin_prefetch(store.view(
-                  buf.cands[list[i + kPrefetchAhead / 2 + 2]].src));
-            }
-            if (i + kPrefetchAhead / 2 < list.size()) {
-              store.prefetch_row(
-                  buf.cands[list[i + kPrefetchAhead / 2]].hash);
-            }
-#endif
-            intern_candidate(buf.cands[list[i]], budget_full, parents);
-          }
-        }
-      }
-    });
+    if (!parallel) {
+      generate_slice(0);
+      // generate_slice already drained every shard (single thread, no
+      // contention), but keep the sweep for the empty-bucket cursors.
+      for (int s = 0; s < kShards; ++s) drain_shard(s, /*blocking=*/true);
+    } else {
+      pool.parallel_for(n_slices, 1, generate_slice, threads);
+      // Finish the pipeline: every slice is generated now, so a blocking
+      // sweep (sharded across tasks, one owner per shard) interns every
+      // bucket the opportunistic drains skipped over.
+      pool.parallel_for(
+          kShards, 8, [&](std::size_t s) {
+            drain_shard(static_cast<int>(s), /*blocking=*/true);
+          },
+          threads);
+    }
 
     // Number the level: ids are consecutive in (shard, stage-order)
     // order, capped by the node budget.
@@ -272,7 +320,7 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
         options.max_configs > before ? options.max_configs - before : 0;
     const std::size_t accepted = store.commit(remaining);
     for (int s = 0; s < kShards; ++s) {
-      const auto& parents = staged_parent[static_cast<std::size_t>(s)];
+      const auto& parents = flows[static_cast<std::size_t>(s)].parents;
       for (std::size_t local = 0; local < parents.size(); ++local) {
         if (store.committed_id(s, local) < 0) break;  // rejects are a suffix
         graph.parent.push_back(parents[local].first);
@@ -283,9 +331,12 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
            "explore: parent/id bookkeeping diverged");
     if (use_masks) {
       // A new node's applicability differs from its parent's only on the
-      // dependents of the reaction that produced it.
+      // dependents of the reaction that produced it. Parents always sit in
+      // an earlier level, so the new rows are independent of each other
+      // and safe to compute in parallel.
       app_mask.resize(store.size());
-      for (std::size_t id = before; id < store.size(); ++id) {
+      const auto mask_node = [&](std::size_t id_off) {
+        const std::size_t id = before + id_off;
         const auto p = static_cast<std::size_t>(graph.parent[id]);
         const auto r = static_cast<std::size_t>(graph.parent_reaction[id]);
         const ConfigStore::Count* row =
@@ -300,16 +351,20 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
           }
         }
         app_mask[id] = m;
+      };
+      if (parallel && accepted >= kMinParallelFrontier) {
+        pool.parallel_for(accepted, 4096, mask_node, threads);
+      } else {
+        for (std::size_t i = 0; i < accepted; ++i) mask_node(i);
       }
     }
 
-    // Edges: each worker resolves its own candidates in (node, reaction)
+    // Edges: each slice resolves its own candidates in (node, reaction)
     // order into a local CSR piece, deduplicating successors per node; a
     // candidate dropped by the budget leaves the graph incomplete. The
-    // pieces are stitched in worker order, preserving id order.
-    const int edge_workers = static_cast<int>(bufs.size());
-    run_workers(edge_workers, [&](int t) {
-      WorkerBuf& buf = bufs[static_cast<std::size_t>(t)];
+    // pieces are stitched in slice order, preserving id order.
+    const auto edge_slice = [&](std::size_t k) {
+      SliceBuf& buf = bufs[k];
       buf.succ.clear();
       buf.succ_end.clear();
       buf.saw_dropped = false;
@@ -336,8 +391,14 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
         }
         buf.succ_end.push_back(static_cast<std::uint32_t>(buf.succ.size()));
       }
-    });
-    for (const WorkerBuf& buf : bufs) {
+    };
+    if (!parallel) {
+      edge_slice(0);
+    } else {
+      pool.parallel_for(n_slices, 1, edge_slice, threads);
+    }
+    for (std::size_t k = 0; k < n_slices; ++k) {
+      const SliceBuf& buf = bufs[k];
       const std::uint64_t base = graph.succ.size();
       graph.succ.insert(graph.succ.end(), buf.succ.begin(), buf.succ.end());
       for (const std::uint32_t end : buf.succ_end) {
@@ -354,6 +415,10 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
   ensure(graph.succ_off.size() == store.size() + 1,
          "explore: CSR offsets diverged from node count");
   graph.stats.arena_bytes = store.bytes();
+  const util::TaskPool::Counters pool_after = pool.counters();
+  graph.stats.pool_tasks = pool_after.tasks - pool_before.tasks;
+  graph.stats.pool_steals = pool_after.steals - pool_before.steals;
+  graph.stats.pool_parks = pool_after.parks - pool_before.parks;
   graph.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -10,11 +10,18 @@
 //
 // Exploration is deterministic at every thread count: within a level,
 // discovered configurations are numbered by (shard of their hash, order
-// of first discovery in (source node, reaction) order), and worker
-// threads own disjoint hash shards — so node ids, parents, and edges are
-// bit-identical whether explored with 1 thread or 64 (the reproducibility
-// contract sim::EnsembleRunner established for trajectories, extended to
-// proofs).
+// of first discovery in (source node, reaction) order), and a hash shard
+// is only ever advanced by one thread at a time, in frontier-slice order —
+// so node ids, parents, and edges are bit-identical whether explored with
+// 1 thread or 64 (the reproducibility contract sim::EnsembleRunner
+// established for trajectories, extended to proofs).
+//
+// Parallel levels run on the persistent util::TaskPool (work-stealing
+// deques, parked workers) instead of spawning threads per level, and the
+// generate -> intern hand-off is pipelined: as each frontier slice
+// finishes generating, its per-shard candidate buckets flow to whichever
+// worker owns the shard's intern cursor, with only the id-assigning
+// commit left as a per-level barrier.
 //
 // Exploration is bounded by a configurable node budget; `complete`
 // reports whether the whole reachable set was enumerated (all
@@ -42,6 +49,12 @@ struct ExploreStats {
   std::size_t levels = 0;         ///< BFS depth explored
   std::size_t arena_bytes = 0;    ///< ConfigStore arena + hash tables
   int threads = 1;  ///< resolved worker count (small levels still run serial)
+  // util::TaskPool utilization during this exploration (counter deltas on
+  // the shared pool — concurrent explorations in other threads bleed into
+  // each other's deltas, which the CLI treats as informational).
+  std::uint64_t pool_tasks = 0;   ///< pool chunks executed
+  std::uint64_t pool_steals = 0;  ///< chunks stolen across worker deques
+  std::uint64_t pool_parks = 0;   ///< worker condvar parks
 };
 
 struct ReachabilityGraph {

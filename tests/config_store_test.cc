@@ -1,0 +1,176 @@
+// Growth/rehash stress tests for verify::ConfigStore, the sharded
+// open-addressing interner behind the exact verifier. The scenarios the
+// explorer never quite reaches in unit tests: interleaved interning
+// across many shards and levels that pushes every shard past (at least)
+// two slot-table resize thresholds, with pending (staged) entries alive
+// while a shard grows — asserting that committed ids, arena contents, and
+// membership lookups all stay stable through the rehashes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "verify/config_store.h"
+
+namespace crnkit::verify {
+namespace {
+
+using math::Int;
+
+/// Deterministically distinct configuration #i over `width` species.
+std::vector<Int> nth_config(std::size_t i, std::size_t width) {
+  std::vector<Int> c(width);
+  for (std::size_t s = 0; s < width; ++s) {
+    c[s] = static_cast<Int>((i >> (8 * (s % 4))) & 0xff) +
+           static_cast<Int>(s * 1000);
+  }
+  c[0] = static_cast<Int>(i % 97);
+  c[width - 1] = static_cast<Int>(i);  // uniqueness anchor
+  return c;
+}
+
+TEST(ConfigStore, GrowthKeepsIdsAndLookupsStableAcrossLevels) {
+  // Each of the 64 shards starts with 64 slots and grows at 62.5% load:
+  // first resize near 40 entries, second near 80. 12k distinct
+  // configurations spread hash-uniformly over the shards push every shard
+  // past both thresholds (~188 entries/shard mean), interleaved over many
+  // commit levels so rehashes happen with committed *and* pending entries
+  // in the table.
+  constexpr std::size_t kWidth = 5;
+  constexpr std::size_t kTotal = 12'000;
+  constexpr std::size_t kPerLevel = 750;
+
+  ConfigStore store(kWidth);
+  std::map<std::size_t, std::vector<Int>> by_id;  // id -> configuration
+
+  std::size_t next = 0;
+  while (next < kTotal) {
+    const std::size_t level_end = std::min(kTotal, next + kPerLevel);
+    std::vector<std::pair<std::int64_t, std::size_t>> staged;  // handle, i
+    for (; next < level_end; ++next) {
+      const std::vector<Int> c = nth_config(next, kWidth);
+      const auto result = store.stage(store.hash(c.data()), c.data());
+      ASSERT_TRUE(result.created) << "config " << next
+                                  << " unexpectedly already present";
+      staged.push_back({result.handle, next});
+    }
+    const std::size_t before = store.size();
+    const std::size_t accepted = store.commit(kPerLevel);
+    ASSERT_EQ(accepted, staged.size());
+    ASSERT_EQ(store.size(), before + accepted);
+    for (const auto& [handle, i] : staged) {
+      const std::int32_t id = store.resolve(handle);
+      ASSERT_GE(id, 0);
+      by_id[static_cast<std::size_t>(id)] = nth_config(i, kWidth);
+    }
+    store.finish_level();
+  }
+  ASSERT_EQ(store.size(), kTotal);
+
+  // Every committed id still views its own configuration...
+  for (const auto& [id, expected] : by_id) {
+    const ConfigStore::Count* row =
+        store.view(static_cast<std::int32_t>(id));
+    for (std::size_t s = 0; s < kWidth; ++s) {
+      ASSERT_EQ(static_cast<Int>(row[s]), expected[s])
+          << "id " << id << " species " << s;
+    }
+  }
+  // ...and re-interning any of them finds the existing id instead of
+  // creating a duplicate (lookups survived every rehash).
+  for (const auto& [id, expected] : by_id) {
+    const auto result = store.stage(store.hash(expected.data()),
+                                    expected.data());
+    EXPECT_FALSE(result.created) << "id " << id << " duplicated";
+    EXPECT_EQ(result.handle, static_cast<std::int64_t>(id));
+  }
+  EXPECT_EQ(store.staged_count(), 0u);
+}
+
+TEST(ConfigStore, GrowthWithPendingEntriesInOneLevel) {
+  // A single huge level: shards must grow while most of their entries are
+  // still *pending* (the staged_slot repointing path in grow()), and the
+  // level's (shard, stage-order) ids must come out exactly as commit
+  // assigns them.
+  constexpr std::size_t kWidth = 4;
+  constexpr std::size_t kTotal = 9'000;
+
+  ConfigStore store(kWidth);
+  std::vector<std::int64_t> handles;
+  handles.reserve(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::vector<Int> c = nth_config(i, kWidth);
+    const auto result = store.stage(store.hash(c.data()), c.data());
+    ASSERT_TRUE(result.created);
+    // Staging the same configuration again must hit the pending entry,
+    // even after later insertions force rehashes around it.
+    const auto again = store.stage(store.hash(c.data()), c.data());
+    EXPECT_FALSE(again.created);
+    EXPECT_EQ(again.handle, result.handle);
+    handles.push_back(result.handle);
+  }
+  ASSERT_EQ(store.staged_count(), kTotal);
+  ASSERT_EQ(store.commit(kTotal), kTotal);
+
+  std::vector<std::int32_t> ids(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::int32_t id = store.resolve(handles[i]);  // pre-finish_level
+    ASSERT_GE(id, 0);
+    ids[i] = id;
+    const std::vector<Int> expected = nth_config(i, kWidth);
+    const ConfigStore::Count* row = store.view(id);
+    for (std::size_t s = 0; s < kWidth; ++s) {
+      ASSERT_EQ(static_cast<Int>(row[s]), expected[s]) << "i=" << i;
+    }
+  }
+  store.finish_level();
+
+  // After commit, the same configurations resolve by lookup to the same
+  // ids through stage() on the now-rehashed committed tables.
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::vector<Int> c = nth_config(i, kWidth);
+    const auto result = store.stage(store.hash(c.data()), c.data());
+    EXPECT_FALSE(result.created);
+    EXPECT_EQ(result.handle, static_cast<std::int64_t>(ids[i]));
+  }
+}
+
+TEST(ConfigStore, BudgetRejectsRebuildShardsConsistently) {
+  // Commit under a budget smaller than the staged count: rejected entries
+  // must vanish from the tables (shard rebuild path), and every accepted
+  // id must stay found; the rejected configurations intern as *new* later.
+  constexpr std::size_t kWidth = 3;
+  constexpr std::size_t kTotal = 4'000;
+  constexpr std::size_t kBudget = 1'500;
+
+  ConfigStore store(kWidth);
+  std::vector<std::int64_t> handles;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::vector<Int> c = nth_config(i, kWidth);
+    handles.push_back(store.stage(store.hash(c.data()), c.data()).handle);
+  }
+  ASSERT_EQ(store.commit(kBudget), kBudget);
+  std::size_t kept = 0;
+  std::vector<bool> accepted(kTotal, false);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::int32_t id = store.resolve(handles[i]);
+    if (id >= 0) {
+      accepted[i] = true;
+      ++kept;
+    }
+  }
+  EXPECT_EQ(kept, kBudget);
+  store.finish_level();
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::vector<Int> c = nth_config(i, kWidth);
+    const auto result = store.stage(store.hash(c.data()), c.data());
+    // Accepted entries are found; rejected ones were really removed and
+    // re-intern as fresh pending entries.
+    EXPECT_EQ(result.created, !accepted[i]) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace crnkit::verify

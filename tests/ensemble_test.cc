@@ -2,9 +2,13 @@
 // count, correct aggregation, and agreement with the per-call simulators.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "compile/primitives.h"
 #include "crn/compose.h"
 #include "sim/ensemble.h"
+#include "util/task_pool.h"
 
 namespace crnkit::sim {
 namespace {
@@ -133,6 +137,83 @@ TEST(Ensemble, PopulationMethodReportsParallelTime) {
   for (const Trajectory& t : batch.trajectories) {
     EXPECT_GT(t.time, 0.0);  // parallel time
     EXPECT_GT(t.events, 0u);  // interactions
+  }
+}
+
+TEST(Ensemble, ConsecutiveRunsReusePoolWorkers) {
+  // The fix this PR exists for: simcheck/compose certification calls
+  // run() hundreds of times with small batches, and each call used to
+  // spawn and join a fresh thread team. Two consecutive runs must now (a)
+  // leave the persistent pool's worker count unchanged — reuse, not
+  // respawn — and (b) produce bit-identical results (no thread-count
+  // drift between calls).
+  const Crn crn = crn::concatenate(compile::min_crn(2),
+                                   compile::scale_crn(2), "2min");
+  const EnsembleRunner runner(crn);
+  const auto first = runner.run_for_input({15, 9}, silent_options(24, 4, 5));
+  util::TaskPool& pool = util::TaskPool::instance();
+  const int workers_after_first = pool.worker_count();
+  EXPECT_GE(workers_after_first, 3) << "threads=4 should grow the pool";
+  const auto jobs_before = pool.counters().jobs;
+
+  const auto second = runner.run_for_input({15, 9},
+                                           silent_options(24, 4, 5));
+  EXPECT_EQ(pool.worker_count(), workers_after_first)
+      << "second run() must reuse pool workers, not spawn new ones";
+  EXPECT_GE(pool.counters().jobs, jobs_before + 1)
+      << "second run() should have been scheduled as a pool job";
+
+  ASSERT_EQ(first.trajectories.size(), second.trajectories.size());
+  for (std::size_t i = 0; i < first.trajectories.size(); ++i) {
+    EXPECT_EQ(first.trajectories[i].final_config,
+              second.trajectories[i].final_config) << "trajectory " << i;
+    EXPECT_EQ(first.trajectories[i].events, second.trajectories[i].events);
+  }
+  EXPECT_EQ(first.total_events, second.total_events);
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(Ensemble, SmallBatchesRunInChunksWithoutDroppingTrajectories) {
+  // Chunked scheduling must cover every trajectory slot exactly once even
+  // when the batch is smaller than (workers * chunking factor).
+  const Crn crn = compile::min_crn(2);
+  const EnsembleRunner runner(crn);
+  for (const int trajectories : {1, 2, 3, 5, 7}) {
+    for (const int threads : {2, 8}) {
+      const auto batch = runner.run_for_input(
+          {4, 6}, silent_options(trajectories, threads, 13));
+      ASSERT_EQ(batch.trajectories.size(),
+                static_cast<std::size_t>(trajectories));
+      EXPECT_EQ(batch.silent_count, trajectories);
+      for (const Trajectory& t : batch.trajectories) {
+        EXPECT_FALSE(t.final_config.empty());
+      }
+    }
+  }
+}
+
+TEST(Ensemble, MismatchedRatesRejectedAtEveryEntryPoint) {
+  // The rates vector is validated at the batch boundary with the
+  // reaction count in the message — for every method, including
+  // kSilentRun (which ignores rates) via the run_until_silent path.
+  const Crn crn = compile::min_crn(2);  // 1 reaction
+  const EnsembleRunner runner(crn);
+  for (const EnsembleMethod method :
+       {EnsembleMethod::kSilentRun, EnsembleMethod::kDirect,
+        EnsembleMethod::kNextReaction, EnsembleMethod::kPopulation}) {
+    EnsembleOptions options;
+    options.trajectories = 2;
+    options.method = method;
+    options.rates = {1.0, 2.0, 3.0};
+    try {
+      (void)runner.run_for_input({2, 2}, options);
+      FAIL() << "expected invalid_argument, method="
+             << static_cast<int>(method);
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("3 entries"), std::string::npos) << what;
+      EXPECT_NE(what.find("1 reactions"), std::string::npos) << what;
+    }
   }
 }
 

@@ -63,6 +63,40 @@ TEST(ParallelExplore, AllVerifiableScenariosMatchSerial) {
   }
 }
 
+TEST(ParallelExplore, AllVerifiableScenariosMatchSerialWhenTruncated) {
+  // Same catalog sweep with a budget tight enough to cut wide levels
+  // mid-frontier: the accepted prefix is defined by (shard, stage order),
+  // so truncated graphs must also be bit-identical across thread counts
+  // now that every parallel level runs through the task pool.
+  for (const scenario::Scenario& s :
+       scenario::Registry::builtin().build_all()) {
+    if (s.unverifiable()) continue;
+    SCOPED_TRACE(s.name);
+    const fn::Point& x = s.verify_points.back();
+    sweep_thread_counts(s.crn, s.crn.initial_configuration(x), 9'000,
+                        s.name + " truncated");
+  }
+}
+
+TEST(ParallelExplore, WideParallelLevelsActuallyUseThePool) {
+  // Guards the port itself: a wide frontier at threads=8 must schedule
+  // pool tasks (and resolve the requested thread count into the stats),
+  // not fall back to the serial path.
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+  const auto graph = explore(circuit, circuit.initial_configuration({2, 2}),
+                             ExploreOptions{2'000'000, /*threads=*/8});
+  EXPECT_EQ(graph.stats.threads, 8);
+  EXPECT_GT(graph.stats.pool_tasks, 0u)
+      << "wide levels should run as task-pool chunks";
+  // Serial exploration of the same graph schedules no pool work at all.
+  const auto serial = explore(circuit, circuit.initial_configuration({2, 2}),
+                              ExploreOptions{2'000'000, /*threads=*/1});
+  EXPECT_EQ(serial.stats.pool_tasks, 0u);
+  expect_identical(serial, graph, "thm52(2,2) pool stats run");
+}
+
 TEST(ParallelExplore, WideFrontiersEngageTheShardedPath) {
   // Levels above the parallel threshold (the small-frontier fallback is
   // trivially identical): the Theorem 5.2 circuit at (2,2) explores

@@ -132,6 +132,14 @@ TEST(Scenarios, EveryVerifiableScenarioPassesExactCheck) {
       options.max_configs = s.verify_max_configs;
     }
     for (const fn::Point& x : s.verify_points) {
+#ifndef NDEBUG
+      // Debug builds explore an order of magnitude slower; the
+      // multi-million-config frontier points of the "large" chains
+      // (compose-18 at x=8, compose-24 at x=7) are Release workloads —
+      // the bench gate and the crnc smoke tests keep covering them — so
+      // Debug sweeps each large scenario at its small point only.
+      if (s.has_tag("large") && &x != &s.verify_points.front()) continue;
+#endif
       const auto result = verify::check_stable_computation(
           s.crn, x, (*s.reference)(x), options);
       EXPECT_TRUE(result.ok && result.complete)

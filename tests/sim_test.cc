@@ -3,6 +3,9 @@
 // scheduler.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "compile/primitives.h"
 #include "crn/bimolecular.h"
 #include "sim/gillespie.h"
@@ -97,6 +100,57 @@ TEST(Gillespie, RatesChangeSelectionWeights) {
   const auto run =
       simulate_direct(crn, crn.initial_configuration({200}), rng, options);
   EXPECT_GT(crn.output_count(run.final_config), 180);
+}
+
+TEST(Gillespie, MismatchedRatesRejectedAtTheEntryBoundary) {
+  // A mis-sized rates vector must be rejected up front — before any event
+  // fires — by every simulator entry point, with both sizes spelled out.
+  Crn crn("race");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y1");
+  crn.add_reaction_str("X -> Y1");
+  crn.add_reaction_str("X -> Y2");  // 2 reactions
+  const CompiledNetwork net(crn);
+  const Config initial = crn.initial_configuration({5});
+  GillespieOptions options;
+  options.rates = {1.0, 2.0, 3.0, 4.0};  // 4 entries
+
+  const auto expect_mismatch = [](const char* entry, auto&& call) {
+    try {
+      call();
+      FAIL() << entry << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(entry), std::string::npos) << what;
+      EXPECT_NE(what.find("4 entries"), std::string::npos) << what;
+      EXPECT_NE(what.find("2 reactions"), std::string::npos) << what;
+    }
+  };
+  expect_mismatch("simulate_direct", [&] {
+    Rng rng(1);
+    (void)simulate_direct(net, initial, rng, options);
+  });
+  expect_mismatch("simulate_direct", [&] {
+    Rng rng(1);
+    (void)simulate_direct(crn, initial, rng, options);  // compiling overload
+  });
+  expect_mismatch("simulate_next_reaction", [&] {
+    Rng rng(1);
+    (void)simulate_next_reaction(net, initial, rng, options);
+  });
+  expect_mismatch("simulate_next_reaction", [&] {
+    Rng rng(1);
+    (void)simulate_next_reaction(crn, initial, rng, options);
+  });
+  expect_mismatch("simulate_direct_dense", [&] {
+    Rng rng(1);
+    (void)simulate_direct_dense(crn, initial, rng, options);
+  });
+
+  // A correctly-sized vector still passes the boundary.
+  options.rates = {1.0, 2.0};
+  Rng rng(1);
+  EXPECT_NO_THROW((void)simulate_direct(net, initial, rng, options));
 }
 
 TEST(NextReaction, AgreesWithDirectOnFinalState) {
