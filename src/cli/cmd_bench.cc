@@ -2,74 +2,45 @@
 // compile, a trajectory batch under a fixed event budget, aggregate
 // events/sec. The JSON record shape matches the bench tables'
 // BENCH_*.json (name, events_per_sec, wall_seconds, events) so CI can
-// diff CLI-driven numbers against the bench binaries'.
-#include <algorithm>
+// diff CLI-driven numbers against the bench binaries'. Runs through
+// svc::Service.
 #include <cstdio>
 #include <ostream>
 
 #include "cli/commands.h"
-#include "cli/workload.h"
-#include "sim/ensemble.h"
-#include "util/json_writer.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
 int cmd_bench(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
-  const auto input_text = args.take_option("input");
-  const int trajectories =
-      static_cast<int>(args.take_int("trajectories", 8));
-  const std::uint64_t event_budget =
-      static_cast<std::uint64_t>(args.take_int("events", 400'000));
-  sim::EnsembleOptions options;
-  options.trajectories = trajectories;
-  options.seed = static_cast<std::uint64_t>(args.take_int("seed", 12345));
-  options.threads = static_cast<int>(args.take_int("threads", 0));
-  const std::string method_name =
-      args.take_option("method").value_or("direct");
-  options.method = parse_ensemble_method(method_name);
-  // Split the budget across trajectories so the batch measures the same
-  // amount of work regardless of the batch size.
-  const std::uint64_t per_trajectory =
-      std::max<std::uint64_t>(1, event_budget /
-                                     static_cast<std::uint64_t>(
-                                         std::max(1, trajectories)));
-  options.max_events = per_trajectory;
-  options.max_steps = per_trajectory;
-  options.max_interactions = per_trajectory;
+
+  svc::BenchRequest request;
+  request.input = args.take_option("input");
+  request.trajectories = static_cast<int>(args.take_int("trajectories", 8));
+  request.events = static_cast<std::uint64_t>(args.take_int("events",
+                                                            400'000));
+  request.seed = static_cast<std::uint64_t>(args.take_int("seed", 12345));
+  request.threads = static_cast<int>(args.take_int("threads", 0));
+  request.method = args.take_option("method").value_or("direct");
   const auto target = args.take_positional();
   args.finish();
   if (!target) throw std::invalid_argument("bench needs a scenario or file");
+  request.target = *target;
 
-  const Workload workload = load_workload(*target);
-  const scenario::Scenario& s = workload.scenario;
-  const fn::Point x = input_text ? scenario::point_from_string(*input_text)
-                                 : s.sim_input;
-
-  const sim::EnsembleRunner runner(s.crn);
-  const sim::EnsembleResult result = runner.run_for_input(x, options);
+  svc::Service service;
+  const svc::BenchResponse response = service.bench(request);
 
   if (json) {
-    util::JsonWriter w;
-    w.begin_object()
-        .kv("name", s.name)
-        .kv("input", scenario::point_to_string(x))
-        .kv("method", method_name)
-        .kv("trajectories", trajectories)
-        .kv("species", s.crn.species_count())
-        .kv("reactions", s.crn.reactions().size())
-        .kv_fixed("events_per_sec", result.events_per_second(), 1)
-        .kv_fixed("wall_seconds", result.wall_seconds, 6)
-        .kv("events", result.total_events)
-        .end_object();
-    out << w.str() << "\n";
+    out << svc::to_json(response) << "\n";
   } else {
-    out << s.name << " on x = (" << scenario::point_to_string(x) << "): "
-        << result.total_events << " events in " << result.wall_seconds
-        << " s across " << trajectories << " trajectories (" << method_name
-        << ")\n";
+    out << response.name << " on x = (" << response.input << "): "
+        << response.events << " events in " << response.wall_seconds
+        << " s across " << response.trajectories << " trajectories ("
+        << response.method << ")\n";
     char rate[64];
-    std::snprintf(rate, sizeof(rate), "%.0f", result.events_per_second());
+    std::snprintf(rate, sizeof(rate), "%.0f", response.events_per_sec);
     out << "throughput: " << rate << " events/sec\n";
   }
   return 0;

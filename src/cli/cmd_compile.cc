@@ -2,15 +2,13 @@
 // the registry's compilers and anything that consumes the text format
 // (files round-trip through crn::from_text / crn::to_text). --bimolecular
 // additionally lowers reactions to order <= 2 (footnote 5), producing a
-// population-protocol-ready network.
-#include <fstream>
+// population-protocol-ready network. Runs through svc::Service; the --out
+// file write is a CLI-only capability (the daemon never parses it).
 #include <ostream>
 
 #include "cli/commands.h"
-#include "cli/workload.h"
-#include "crn/bimolecular.h"
-#include "crn/io.h"
-#include "util/json_writer.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
@@ -24,35 +22,20 @@ int cmd_compile(Args& args, std::ostream& out) {
     throw std::invalid_argument("compile needs a scenario or file");
   }
 
-  Workload workload = load_workload(*target);
-  crn::Crn network = std::move(workload.scenario.crn);
-  if (bimolecular) network = crn::to_bimolecular(network);
-  const std::string text = crn::to_text(network);
-
-  if (out_path) {
-    std::ofstream file(*out_path);
-    if (!file) {
-      throw std::invalid_argument("cannot write '" + *out_path + "'");
-    }
-    file << text;
-  }
+  svc::CompileRequest request;
+  request.target = *target;
+  request.bimolecular = bimolecular;
+  request.out_path = out_path.value_or("");
+  svc::Service service;
+  const svc::CompileResponse response = service.compile(request);
 
   if (json) {
-    util::JsonWriter w;
-    w.begin_object()
-        .kv("name", network.name())
-        .kv("species", network.species_count())
-        .kv("reactions", network.reactions().size())
-        .kv("bimolecular", bimolecular)
-        .kv("out", out_path ? *out_path : "")
-        .kv("crn_text", text)
-        .end_object();
-    out << w.str() << "\n";
-  } else if (out_path) {
-    out << "wrote " << *out_path << " (" << network.species_count()
-        << " species, " << network.reactions().size() << " reactions)\n";
+    out << svc::to_json(response) << "\n";
+  } else if (!response.out.empty()) {
+    out << "wrote " << response.out << " (" << response.species
+        << " species, " << response.reactions << " reactions)\n";
   } else {
-    out << text;
+    out << response.crn_text;
   }
   return 0;
 }

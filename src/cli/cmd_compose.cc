@@ -1,206 +1,35 @@
-// crnc compose: the circuit composition pipeline. A target — a function
-// expression, a `.wire` wiring file over registry modules, or a
-// `circuit/random-<n>-<seed>` family name — is certified module-by-module
-// with Lemma 2.3 (strip-and-recheck; non-composable modules like fig1/max
-// are rejected with the failing input), compiled through crn::Circuit into
-// one flat network, shrunk by the optimization passes (crn/passes.h) with
-// per-pass accounting, and optionally checked against the recorded
-// reference function: exact stable-computation proof on a small grid,
-// randomized simcheck beyond it.
-#include <algorithm>
-#include <fstream>
-#include <functional>
+// crnc compose: the circuit composition pipeline, run through
+// svc::Service (see svc/service_compose.cc for the pipeline itself:
+// Lemma 2.3 certification, crn::Circuit compilation, the optimization
+// passes, and the optional exact-verify / simcheck gates). This file only
+// parses flags and renders the ComposeResponse.
 #include <ostream>
-#include <sstream>
-#include <tuple>
 
 #include "cli/commands.h"
-#include "cli/workload.h"
-#include "compile/circuit_expr.h"
-#include "crn/checks.h"
-#include "crn/compose.h"
-#include "crn/io.h"
-#include "crn/passes.h"
-#include "scenario/circuits.h"
-#include "util/json_writer.h"
-#include "verify/composability.h"
-#include "verify/simcheck.h"
-#include "verify/stable.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
-namespace {
-
-/// One module headed into the circuit, with everything certification and
-/// reporting need.
-struct ComposeModule {
-  std::string label;
-  crn::Crn crn;
-  std::optional<fn::DiscreteFunction> fn;
-};
-
-struct CertRecord {
-  std::string module;
-  bool oblivious = false;
-  bool composable = false;
-  int reactions_stripped = 0;
-  std::string detail;
-};
-
-/// Lemma 2.3 certification of one module. Output-oblivious modules compose
-/// by Observation 2.2. A non-oblivious module with a reference function
-/// runs the strip-and-recheck experiment; when the stripped CRN still
-/// computes f it is substituted (it is output-oblivious and computes the
-/// same function), otherwise the module is rejected with the failing
-/// input. Without a reference there is nothing to recheck against: reject.
-CertRecord certify_module(ComposeModule& module, math::Int cert_grid) {
-  CertRecord record;
-  record.module = module.label;
-  record.oblivious = crn::is_output_oblivious(module.crn);
-  if (record.oblivious) {
-    record.composable = true;
-    record.detail = "output-oblivious (composable, Obs. 2.2)";
-    return record;
-  }
-  const auto consuming = crn::find_output_consuming_reaction(module.crn);
-  if (!module.fn || module.crn.input_arity() < 1) {
-    record.detail = "not output-oblivious (" + consuming.value_or("") +
-                    ") and no reference function to run the Lemma 2.3 "
-                    "strip-and-recheck against";
-    return record;
-  }
-  const auto report =
-      verify::check_composability(module.crn, *module.fn, cert_grid);
-  record.reactions_stripped = report.reactions_removed;
-  record.composable = report.composable();
-  if (report.composable()) {
-    // The stripped CRN (C'_f of Lemma 2.3) computes the same function and
-    // is output-oblivious: wire it instead.
-    module.crn = verify::strip_output_consumers(module.crn);
-    record.detail = "not output-oblivious, but the stripped CRN still "
-                    "computes f on [0," +
-                    std::to_string(cert_grid) +
-                    "]^d; composed with " +
-                    std::to_string(report.reactions_removed) +
-                    " output-consuming reaction(s) stripped (Lemma 2.3)";
-  } else {
-    record.detail =
-        "REJECTED (Lemma 2.3): consumes its output (" +
-        consuming.value_or("") + ") and the stripped CRN no longer " +
-        "computes f" +
-        (report.failure.empty() ? std::string()
-                                : "; first failure at " + report.failure) +
-        " — not composable by concatenation";
-  }
-  return record;
-}
-
-/// Parses the `.wire` format:
-///   circuit <name>
-///   arity <k>
-///   module <id> <registry-scenario-or-crn-file>
-///   connect <x<i> | <id>> <id>.<port>     (ports 1-based)
-///   output <x<i> | <id>>                  (repeatable: sum junction)
-/// '#' comments and blank lines are ignored.
-struct WireFile {
-  std::string name = "circuit";
-  int arity = 0;
-  std::vector<std::pair<std::string, std::string>> modules;  // id -> target
-  std::vector<std::tuple<std::string, std::string, int>> connects;
-  std::vector<std::string> outputs;
-};
-
-WireFile parse_wire_file(const std::string& path, const std::string& text) {
-  WireFile out;
-  std::istringstream stream(text);
-  std::string line;
-  int line_number = 0;
-  const auto fail = [&](const std::string& what) {
-    throw std::invalid_argument(path + ": line " +
-                                std::to_string(line_number) + ": " + what);
-  };
-  while (std::getline(stream, line)) {
-    ++line_number;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    std::istringstream words(line);
-    std::string keyword;
-    if (!(words >> keyword)) continue;
-    if (keyword == "circuit") {
-      if (!(words >> out.name)) fail("circuit needs a name");
-    } else if (keyword == "arity") {
-      if (!(words >> out.arity) || out.arity < 1) {
-        fail("arity needs a positive integer");
-      }
-    } else if (keyword == "module") {
-      std::string id;
-      std::string target;
-      if (!(words >> id >> target)) fail("module needs '<id> <target>'");
-      // x<digits> names external inputs in wire sources; a module with
-      // that id would be unreferenceable.
-      if (id.size() >= 2 && id[0] == 'x' &&
-          id.find_first_not_of("0123456789", 1) == std::string::npos) {
-        fail("module id '" + id + "' is reserved for external inputs");
-      }
-      out.modules.emplace_back(id, target);
-    } else if (keyword == "connect") {
-      std::string source;
-      std::string sink;
-      if (!(words >> source >> sink)) {
-        fail("connect needs '<source> <module>.<port>'");
-      }
-      const auto dot = sink.rfind('.');
-      if (dot == std::string::npos) fail("connect sink needs '.<port>'");
-      int port = 0;
-      try {
-        std::size_t used = 0;
-        port = std::stoi(sink.substr(dot + 1), &used);
-        if (used != sink.size() - dot - 1 || port < 1) throw std::exception();
-      } catch (const std::exception&) {
-        fail("bad port in '" + sink + "'");
-      }
-      out.connects.emplace_back(source, sink.substr(0, dot), port - 1);
-    } else if (keyword == "output") {
-      std::string source;
-      if (!(words >> source)) fail("output needs a source");
-      out.outputs.push_back(source);
-    } else {
-      fail("unknown keyword '" + keyword + "'");
-    }
-  }
-  if (out.modules.empty()) {
-    throw std::invalid_argument(path + ": no modules declared");
-  }
-  if (out.outputs.empty()) {
-    throw std::invalid_argument(path + ": no output declared");
-  }
-  return out;
-}
-
-bool looks_like_wire_file(const std::string& target) {
-  if (target.size() >= 5 &&
-      target.compare(target.size() - 5, 5, ".wire") == 0) {
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 int cmd_compose(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
-  const bool no_opt = args.take_flag("no-opt");
-  const bool skip_cert = args.take_flag("skip-cert");
-  const bool do_verify = args.take_flag("verify");
-  const bool do_simcheck = args.take_flag("simcheck");
-  const auto out_path = args.take_option("out");
-  const std::int64_t cert_grid = args.take_int("cert-grid", 2);
-  const std::int64_t grid = args.take_int("grid", 1);
-  const std::int64_t max_configs = args.take_int("max-configs", 0);
-  const std::int64_t trials = args.take_int("trials", 5);
-  const std::int64_t max_steps = args.take_int("max-steps", 5'000'000);
-  const std::int64_t seed = args.take_int("seed", 1);
-  const std::int64_t threads = args.take_int("threads", 1);
+
+  svc::ComposeRequest request;
+  request.no_opt = args.take_flag("no-opt");
+  request.skip_cert = args.take_flag("skip-cert");
+  request.do_verify = args.take_flag("verify");
+  request.do_simcheck = args.take_flag("simcheck");
+  request.use_cache = !args.take_flag("no-cache");
+  request.out_path = args.take_option("out").value_or("");
+  request.cert_grid = args.take_int("cert-grid", 2);
+  request.grid = args.take_int("grid", 1);
+  request.max_configs =
+      static_cast<std::size_t>(args.take_int("max-configs", 0));
+  request.trials = static_cast<int>(args.take_int("trials", 5));
+  request.max_steps =
+      static_cast<std::uint64_t>(args.take_int("max-steps", 5'000'000));
+  request.seed = static_cast<std::uint64_t>(args.take_int("seed", 1));
+  request.threads = static_cast<int>(args.take_int("threads", 1));
   const auto target = args.take_positional();
   args.finish();
   if (!target) {
@@ -208,302 +37,68 @@ int cmd_compose(Args& args, std::ostream& out) {
         "compose needs an expression, a .wire file, or a circuit scenario "
         "name");
   }
+  request.target = *target;
 
-  // --- resolve the target into modules + a wired circuit ---
-  std::string name;
-  std::string expression;  // rendered expression, when there is one
-  std::vector<ComposeModule> modules;
-  std::optional<fn::DiscreteFunction> reference;
-  int arity = 1;
-  // Deferred circuit construction: certification may substitute stripped
-  // module CRNs, so the circuit is wired only after every module passed.
-  std::function<crn::Crn()> build;
+  svc::Service service;
+  const svc::ComposeResponse response = service.compose(request);
 
-  if (looks_like_wire_file(*target)) {
-    std::ifstream file(*target);
-    if (!file) throw std::invalid_argument("cannot read '" + *target + "'");
-    std::ostringstream contents;
-    contents << file.rdbuf();
-    const WireFile wire = parse_wire_file(*target, contents.str());
-    name = wire.name;
-    arity = std::max(1, wire.arity);
-    std::vector<std::string> ids;
-    for (const auto& [id, module_target] : wire.modules) {
-      if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
-        throw std::invalid_argument(*target + ": duplicate module id '" +
-                                    id + "'");
-      }
-      ids.push_back(id);
-      const Workload loaded = load_workload(module_target);
-      ComposeModule m;
-      m.label = id + " (" + module_target + ")";
-      m.crn = loaded.scenario.crn;
-      m.fn = loaded.scenario.reference;
-      modules.push_back(std::move(m));
-    }
-    const auto wire_of = [ids, arity,
-                          path = *target](const std::string& source) {
-      if (source.size() >= 2 && source.size() <= 8 && source[0] == 'x') {
-        bool digits = true;
-        for (std::size_t i = 1; i < source.size(); ++i) {
-          digits = digits && source[i] >= '0' && source[i] <= '9';
-        }
-        if (digits) {
-          const int index = std::stoi(source.substr(1));
-          require(index >= 1 && index <= arity,
-                  path + ": input '" + source + "' out of range (arity " +
-                      std::to_string(arity) + ")");
-          return crn::Wire::external(index - 1);
-        }
-      }
-      const auto it = std::find(ids.begin(), ids.end(), source);
-      require(it != ids.end(),
-              path + ": unknown wire source '" + source + "'");
-      return crn::Wire::of_module(
-          static_cast<int>(std::distance(ids.begin(), it)));
-    };
-    build = [&modules, wire, wire_of, name, arity]() {
-      crn::Circuit circuit(arity, name);
-      for (const ComposeModule& m : modules) {
-        (void)circuit.add_module(m.crn);
-      }
-      for (const auto& [source, sink, port] : wire.connects) {
-        const auto it = std::find_if(
-            wire.modules.begin(), wire.modules.end(),
-            [&sink = sink](const auto& m) { return m.first == sink; });
-        require(it != wire.modules.end(),
-                "unknown module '" + sink + "' in connect");
-        circuit.connect(wire_of(source),
-                        static_cast<int>(
-                            std::distance(wire.modules.begin(), it)),
-                        port);
-      }
-      for (const std::string& source : wire.outputs) {
-        circuit.add_output(wire_of(source));
-      }
-      return circuit.compile();
-    };
-  } else {
-    // circuit/random family name, or an inline expression.
-    compile::CircuitExpr expr;
-    if (const auto params = scenario::parse_random_circuit_name(*target)) {
-      expr = compile::random_circuit_expr(params->modules, params->seed);
-      name = *target;
-    } else {
-      expr = compile::parse_circuit_expr(*target);
-      name = "compose";
-    }
-    expression = expr.to_string();
-    arity = std::max(1, expr.arity());
-    reference = expr.as_function(name);
-    compile::LoweredCircuit lowered =
-        compile::lower_circuit_expr(expr, name);
-    for (compile::CircuitModule& m : lowered.modules) {
-      modules.push_back(ComposeModule{std::move(m.label), std::move(m.crn),
-                                      std::move(m.fn)});
-    }
-    crn::Crn compiled = std::move(lowered.crn);
-    build = [compiled]() { return compiled; };
-  }
-
-  // --- Lemma 2.3 certification, module by module ---
-  std::vector<CertRecord> certs;
-  bool certified = true;
-  if (!skip_cert) {
-    for (ComposeModule& m : modules) {
-      certs.push_back(certify_module(m, cert_grid));
-      certified = certified && certs.back().composable;
-      // Expression lowering only emits output-oblivious primitives (the
-      // Circuit inside lower_circuit_expr already compiled them), so the
-      // stripped-CRN substitution can never apply there — the deferred
-      // `build` below would ignore it. Keep that assumption loud.
-      ensure(expression.empty() || certs.back().oblivious,
-             "compose: expression-lowered module '" + certs.back().module +
-                 "' is not output-oblivious");
-    }
-  }
-
-  util::JsonWriter w;
   if (json) {
-    w.begin_object()
-        .kv("target", *target)
-        .kv("name", name)
-        .kv("arity", arity)
-        .kv("modules", modules.size());
-    if (!expression.empty()) w.kv("expression", expression);
-    w.key("certification").begin_array();
-    for (const CertRecord& c : certs) {
-      w.begin_object()
-          .kv("module", c.module)
-          .kv("oblivious", c.oblivious)
-          .kv("composable", c.composable)
-          .kv("reactions_stripped", c.reactions_stripped)
-          .kv("detail", c.detail)
-          .end_object();
-    }
-    w.end_array().kv("certified", certified);
-  } else {
-    out << name << ": " << modules.size() << " module(s), arity " << arity;
-    if (!expression.empty()) out << ", f = " << expression;
-    out << "\n";
-    for (const CertRecord& c : certs) {
-      out << "  " << c.module << ": " << c.detail << "\n";
-    }
+    out << svc::to_json(response) << "\n";
+    return response.ok ? 0 : 1;
   }
 
-  if (!certified) {
-    if (json) {
-      w.kv("ok", false).end_object();
-      out << w.str() << "\n";
-    } else {
-      out << name << ": certification FAILED — composition refused "
-          << "(Lemma 2.3)\n";
-    }
+  out << response.name << ": " << response.modules << " module(s), arity "
+      << response.arity;
+  if (!response.expression.empty()) out << ", f = " << response.expression;
+  out << "\n";
+  for (const svc::ComposeCertRecord& c : response.certification) {
+    out << "  " << c.module << ": " << c.detail << "\n";
+  }
+
+  if (!response.compiled) {
+    out << response.name << ": certification FAILED — composition refused "
+        << "(Lemma 2.3)\n";
     return 1;
   }
 
-  // --- compile and optimize ---
-  const crn::Crn raw = build();
-  crn::PassOptions pass_options;
-  pass_options.fuse_duplicates = pass_options.dead_species =
-      pass_options.collapse_chains = pass_options.renumber = !no_opt;
-  crn::PassPipelineResult optimized = crn::optimize(raw, pass_options);
-  const crn::Crn& network = optimized.crn;
+  out << "compiled: " << response.species_raw << " species, "
+      << response.reactions_raw << " reactions";
+  if (!request.no_opt) {
+    out << " -> optimized: " << response.species << " species, "
+        << response.reactions << " reactions";
+  }
+  out << "\n";
+  std::vector<std::vector<std::string>> rows;
+  for (const svc::ComposePassStat& p : response.passes) {
+    if (!p.changed()) continue;
+    rows.push_back({p.pass,
+                    std::to_string(p.species_before) + " -> " +
+                        std::to_string(p.species_after),
+                    std::to_string(p.reactions_before) + " -> " +
+                        std::to_string(p.reactions_after)});
+  }
+  if (!rows.empty()) {
+    print_table(out, {"pass", "species", "reactions"}, rows);
+  }
 
-  if (json) {
-    w.kv("species_raw", raw.species_count())
-        .kv("reactions_raw", raw.reactions().size())
-        .key("passes")
-        .begin_array();
-    for (const crn::PassStats& p : optimized.passes) {
-      w.begin_object()
-          .kv("pass", p.pass)
-          .kv("species_before", p.species_before)
-          .kv("species_after", p.species_after)
-          .kv("reactions_before", p.reactions_before)
-          .kv("reactions_after", p.reactions_after)
-          .end_object();
-    }
-    w.end_array()
-        .kv("species", network.species_count())
-        .kv("reactions", network.reactions().size());
-  } else {
-    out << "compiled: " << raw.species_count() << " species, "
-        << raw.reactions().size() << " reactions";
-    if (!no_opt) {
-      out << " -> optimized: " << network.species_count() << " species, "
-          << network.reactions().size() << " reactions";
-    }
+  if (!response.out.empty()) out << "wrote " << response.out << "\n";
+
+  if (response.verify) {
+    const svc::ComposeVerifySummary& v = *response.verify;
+    out << "verify (exact, grid [0," << v.grid << "]^" << response.arity
+        << "): " << v.proved << "/" << v.points << " proved";
+    if (v.failed > 0) out << ", " << v.failed << " FAILED";
+    if (v.inconclusive > 0) out << ", " << v.inconclusive << " inconclusive";
     out << "\n";
-    std::vector<std::vector<std::string>> rows;
-    for (const crn::PassStats& p : optimized.passes) {
-      if (!p.changed()) continue;
-      rows.push_back({p.pass,
-                      std::to_string(p.species_before) + " -> " +
-                          std::to_string(p.species_after),
-                      std::to_string(p.reactions_before) + " -> " +
-                          std::to_string(p.reactions_after)});
-    }
-    if (!rows.empty()) {
-      print_table(out, {"pass", "species", "reactions"}, rows);
-    }
   }
-
-  if (out_path) {
-    std::ofstream file(*out_path);
-    if (!file) throw std::invalid_argument("cannot write '" + *out_path + "'");
-    file << crn::to_text(network);
-    if (!json) out << "wrote " << *out_path << "\n";
+  if (response.simcheck) {
+    out << "simcheck: " << response.simcheck->summary << "\n";
   }
-
-  bool checks_ok = true;
-
-  // --- exact verification on the small grid ---
-  if (do_verify) {
-    require(reference.has_value(),
-            "--verify needs a reference function (expression or "
-            "circuit/random targets)");
-    verify::StableCheckOptions options;
-    if (max_configs > 0) {
-      options.max_configs = static_cast<std::size_t>(max_configs);
-    }
-    options.threads = static_cast<int>(threads);
-    int proved = 0;
-    int failed = 0;
-    int inconclusive = 0;
-    const auto points = scenario::grid_points(arity, grid);
-    for (const fn::Point& x : points) {
-      const auto result = verify::check_stable_computation(
-          network, x, (*reference)(x), options);
-      if (result.ok && result.complete) {
-        ++proved;
-      } else if (!result.complete) {
-        ++inconclusive;
-      } else {
-        ++failed;
-      }
-    }
-    checks_ok = checks_ok && failed == 0 && inconclusive == 0;
-    if (json) {
-      w.key("verify")
-          .begin_object()
-          .kv("grid", grid)
-          .kv("points", points.size())
-          .kv("proved", proved)
-          .kv("failed", failed)
-          .kv("inconclusive", inconclusive)
-          .end_object();
-    } else {
-      out << "verify (exact, grid [0," << grid << "]^" << arity
-          << "): " << proved << "/" << points.size() << " proved";
-      if (failed > 0) out << ", " << failed << " FAILED";
-      if (inconclusive > 0) out << ", " << inconclusive << " inconclusive";
-      out << "\n";
-    }
+  if (response.verify || response.simcheck) {
+    out << response.name << ": " << (response.ok ? "OK" : "CHECKS FAILED")
+        << "\n";
   }
-
-  // --- randomized check beyond the exact grid ---
-  if (do_simcheck) {
-    require(reference.has_value(),
-            "--simcheck needs a reference function (expression or "
-            "circuit/random targets)");
-    verify::SimCheckOptions options;
-    options.trials_per_point = static_cast<int>(trials);
-    options.max_steps = static_cast<std::uint64_t>(max_steps);
-    options.seed = static_cast<std::uint64_t>(seed);
-    options.threads = static_cast<int>(threads);
-    std::vector<fn::Point> points = scenario::grid_points(arity, grid + 2);
-    points.push_back(fn::Point(static_cast<std::size_t>(arity), 7));
-    fn::Point mixed;
-    for (int i = 0; i < arity; ++i) mixed.push_back(3 + 5 * (i % 2));
-    points.push_back(mixed);
-    const auto result =
-        verify::sim_check_points(network, *reference, points, options);
-    checks_ok = checks_ok && result.verdict() ==
-                                 verify::SimCheckResult::Verdict::kPass;
-    if (json) {
-      w.key("simcheck")
-          .begin_object()
-          .kv("points", points.size())
-          .kv("trials", result.trials)
-          .kv("silent_trials", result.silent_trials)
-          .kv("non_silent_trials", result.non_silent_trials)
-          .kv("mismatches", result.mismatches)
-          .kv("inconclusive_points", result.inconclusive_points)
-          .kv("verdict", result.verdict_name())
-          .end_object();
-    } else {
-      out << "simcheck: " << result.summary() << "\n";
-    }
-  }
-
-  if (json) {
-    w.kv("ok", checks_ok).end_object();
-    out << w.str() << "\n";
-  } else if (do_verify || do_simcheck) {
-    out << name << ": " << (checks_ok ? "OK" : "CHECKS FAILED") << "\n";
-  }
-  return checks_ok ? 0 : 1;
+  return response.ok ? 0 : 1;
 }
 
 }  // namespace crnkit::cli

@@ -1,13 +1,11 @@
-// crnc list: catalog the scenario registry. Human table by default,
-// `--json` for machines, `--markdown` for the README's catalog section,
-// `--tag TAG` to filter.
-#include <algorithm>
+// crnc list: catalog the scenario registry through svc::Service. Human
+// table by default, `--json` for machines (the versioned service schema),
+// `--markdown` for the README's catalog section, `--tag TAG` to filter.
 #include <ostream>
 
 #include "cli/commands.h"
-#include "crn/checks.h"
-#include "scenario/registry.h"
-#include "util/json_writer.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
@@ -17,43 +15,13 @@ int cmd_list(Args& args, std::ostream& out) {
   const auto tag = args.take_option("tag");
   args.finish();
 
-  std::vector<scenario::Scenario> scenarios =
-      scenario::Registry::builtin().build_all();
-  if (tag) {
-    scenarios.erase(
-        std::remove_if(scenarios.begin(), scenarios.end(),
-                       [&](const scenario::Scenario& s) {
-                         return !s.has_tag(*tag);
-                       }),
-        scenarios.end());
-  }
+  svc::ListRequest request;
+  request.tag = tag;
+  svc::Service service;
+  const svc::ListResponse response = service.list(request);
 
   if (json) {
-    util::JsonWriter w;
-    w.begin_object().key("scenarios").begin_array();
-    for (const scenario::Scenario& s : scenarios) {
-      w.begin_object()
-          .kv("name", s.name)
-          .kv("title", s.title)
-          .kv("paper_ref", s.paper_ref)
-          .key("tags")
-          .begin_array();
-      for (const std::string& t : s.tags) w.value(t);
-      w.end_array()
-          .kv("species", s.crn.species_count())
-          .kv("reactions", s.crn.reactions().size())
-          .kv("arity", s.crn.input_arity())
-          .kv("leader", s.crn.leader().has_value())
-          .kv("output_oblivious", crn::is_output_oblivious(s.crn))
-          .kv("verify_points", s.verify_points.size())
-          .kv("sim_input", scenario::point_to_string(s.sim_input));
-      if (!s.unverifiable_reason.empty()) {
-        w.kv("unverifiable_reason", s.unverifiable_reason);
-      }
-      w.end_object();
-    }
-    w.end_array().kv("count", scenarios.size()).end_object();
-    out << w.str() << "\n";
+    out << svc::to_json(response) << "\n";
     return 0;
   }
 
@@ -61,27 +29,26 @@ int cmd_list(Args& args, std::ostream& out) {
     out << "| Scenario | Paper | Species | Reactions | Tags | Description "
            "|\n";
     out << "| --- | --- | ---: | ---: | --- | --- |\n";
-    for (const scenario::Scenario& s : scenarios) {
-      out << "| `" << s.name << "` | " << s.paper_ref << " | "
-          << s.crn.species_count() << " | " << s.crn.reactions().size()
-          << " | " << join(s.tags, ", ") << " | " << s.title << " |\n";
+    for (const svc::ScenarioSummary& s : response.scenarios) {
+      out << "| `" << s.name << "` | " << s.paper_ref << " | " << s.species
+          << " | " << s.reactions << " | " << join(s.tags, ", ") << " | "
+          << s.title << " |\n";
     }
     return 0;
   }
 
   std::vector<std::vector<std::string>> rows;
-  for (const scenario::Scenario& s : scenarios) {
-    rows.push_back({s.name, std::to_string(s.crn.species_count()),
-                    std::to_string(s.crn.reactions().size()),
-                    std::to_string(s.crn.input_arity()),
-                    s.crn.leader() ? "yes" : "no",
-                    crn::is_output_oblivious(s.crn) ? "yes" : "no",
-                    join(s.tags, ","), s.paper_ref});
+  for (const svc::ScenarioSummary& s : response.scenarios) {
+    rows.push_back({s.name, std::to_string(s.species),
+                    std::to_string(s.reactions), std::to_string(s.arity),
+                    s.leader ? "yes" : "no",
+                    s.output_oblivious ? "yes" : "no", join(s.tags, ","),
+                    s.paper_ref});
   }
   print_table(out, {"scenario", "species", "rxns", "arity", "leader",
                     "oblivious", "tags", "paper"},
               rows);
-  out << "\n" << scenarios.size() << " scenarios\n";
+  out << "\n" << response.scenarios.size() << " scenarios\n";
   return 0;
 }
 

@@ -1,0 +1,75 @@
+// crnc serve: run the verification/simulation daemon (svc::Server) over
+// one shared svc::Service, so all connections hit the same
+// content-addressed proof cache. --cache-file persists the cache across
+// runs (loaded on start when present and valid — a stale or corrupt file
+// is reported and ignored — and saved on clean shutdown). The process
+// runs until SIGINT/SIGTERM, then drains connections and exits 0.
+#include <csignal>
+#include <fstream>
+#include <ostream>
+
+#include "cli/commands.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace crnkit::cli {
+
+int cmd_serve(Args& args, std::ostream& out) {
+  svc::Server::Options server_options;
+  server_options.port = static_cast<int>(args.take_int("port", 7341));
+  server_options.host = args.take_option("host").value_or("127.0.0.1");
+  svc::Service::Options service_options;
+  service_options.cache.max_bytes = static_cast<std::size_t>(
+      args.take_int("cache-bytes", 64ll << 20));
+  const auto cache_file = args.take_option("cache-file");
+  args.finish();
+
+  svc::Service service(service_options);
+  if (cache_file && std::ifstream(*cache_file).good()) {
+    try {
+      const std::size_t loaded = service.proof_cache().load(*cache_file);
+      out << "crnc serve: loaded " << loaded << " cached proofs from "
+          << *cache_file << "\n";
+    } catch (const std::exception& e) {
+      out << "crnc serve: ignoring cache file: " << e.what() << "\n";
+    }
+  }
+
+  // Block the shutdown signals before spawning server threads (they
+  // inherit the mask), then wait for one synchronously.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  svc::Server server(service, server_options);
+  server.start();
+  out << "crnc serve: listening on " << server_options.host << ":"
+      << server.port() << " (line-JSON or HTTP/1.1, auto-detected)\n";
+  out.flush();
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  out << "crnc serve: caught signal " << signal_number << ", draining\n";
+  server.stop();
+
+  const svc::Server::Stats stats = server.stats();
+  const svc::ProofCache::Stats cache = service.proof_cache().stats();
+  out << "crnc serve: " << stats.connections << " connections, "
+      << stats.requests << " requests (" << stats.errors << " errors), "
+      << "cache " << cache.hits << " hits / " << cache.misses
+      << " misses\n";
+  if (cache_file) {
+    try {
+      service.proof_cache().save(*cache_file);
+      out << "crnc serve: saved " << cache.entries << " cached proofs to "
+          << *cache_file << "\n";
+    } catch (const std::exception& e) {
+      out << "crnc serve: could not save cache: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace crnkit::cli

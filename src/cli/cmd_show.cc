@@ -1,13 +1,11 @@
 // crnc show: full metadata for one workload — roles, obliviousness, the
-// verify points with expected outputs, and the CRN in .crn text form.
+// verify points with expected outputs, and the CRN in .crn text form —
+// fetched through svc::Service.
 #include <ostream>
 
 #include "cli/commands.h"
-#include "cli/workload.h"
-#include "crn/bimolecular.h"
-#include "crn/checks.h"
-#include "crn/io.h"
-#include "util/json_writer.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
@@ -17,70 +15,38 @@ int cmd_show(Args& args, std::ostream& out) {
   args.finish();
   if (!target) throw std::invalid_argument("show needs a scenario or file");
 
-  const Workload workload = load_workload(*target);
-  const scenario::Scenario& s = workload.scenario;
-  const std::vector<math::Int> expected = s.expected_outputs();
+  svc::ShowRequest request;
+  request.target = *target;
+  svc::Service service;
+  const svc::ShowResponse response = service.show(request);
+  const svc::ScenarioSummary& s = response.summary;
 
   if (json) {
-    util::JsonWriter w;
-    w.begin_object()
-        .kv("name", s.name)
-        .kv("title", s.title)
-        .kv("paper_ref", s.paper_ref)
-        .kv("from_registry", workload.from_registry)
-        .key("tags")
-        .begin_array();
-    for (const std::string& t : s.tags) w.value(t);
-    w.end_array()
-        .kv("species", s.crn.species_count())
-        .kv("reactions", s.crn.reactions().size())
-        .kv("arity", s.crn.input_arity())
-        .kv("leader", s.crn.leader().has_value())
-        .kv("output_oblivious", crn::is_output_oblivious(s.crn))
-        .kv("output_monotonic", crn::is_output_monotonic(s.crn))
-        .kv("max_reaction_order",
-            static_cast<std::int64_t>(crn::max_reaction_order(s.crn)))
-        .kv("reference", s.reference ? s.reference->name() : "");
-    if (!s.unverifiable_reason.empty()) {
-      w.kv("unverifiable_reason", s.unverifiable_reason);
-    }
-    w.key("verify_points").begin_array();
-    for (std::size_t i = 0; i < s.verify_points.size(); ++i) {
-      w.begin_object().kv("x",
-                          scenario::point_to_string(s.verify_points[i]));
-      if (s.reference) {
-        w.kv("expected", static_cast<std::int64_t>(expected[i]));
-      }
-      w.end_object();
-    }
-    w.end_array()
-        .kv("sim_input", scenario::point_to_string(s.sim_input))
-        .kv("crn_text", crn::to_text(s.crn))
-        .end_object();
-    out << w.str() << "\n";
+    out << svc::to_json(response) << "\n";
     return 0;
   }
 
   out << s.name << " — " << s.title << "\n";
   if (!s.paper_ref.empty()) out << "paper:      " << s.paper_ref << "\n";
   if (!s.tags.empty()) out << "tags:       " << join(s.tags, ", ") << "\n";
-  out << "species:    " << s.crn.species_count() << "\n";
-  out << "reactions:  " << s.crn.reactions().size() << "\n";
-  out << "arity:      " << s.crn.input_arity() << "\n";
-  out << "leader:     " << (s.crn.leader() ? "yes" : "no") << "\n";
-  out << "oblivious:  "
-      << (crn::is_output_oblivious(s.crn) ? "yes" : "no") << "\n";
-  if (s.reference) out << "reference:  " << s.reference->name() << "\n";
+  out << "species:    " << s.species << "\n";
+  out << "reactions:  " << s.reactions << "\n";
+  out << "arity:      " << s.arity << "\n";
+  out << "leader:     " << (s.leader ? "yes" : "no") << "\n";
+  out << "oblivious:  " << (s.output_oblivious ? "yes" : "no") << "\n";
+  if (!response.reference.empty()) {
+    out << "reference:  " << response.reference << "\n";
+  }
   if (!s.unverifiable_reason.empty()) {
     out << "unverifiable: " << s.unverifiable_reason << "\n";
   }
-  if (!s.verify_points.empty()) {
-    out << "verify:     " << s.verify_points.size() << " points, x = "
-        << scenario::point_to_string(s.verify_points.front()) << " .. "
-        << scenario::point_to_string(s.verify_points.back()) << "\n";
+  if (!response.verify_points.empty()) {
+    out << "verify:     " << response.verify_points.size()
+        << " points, x = " << response.verify_points.front().x << " .. "
+        << response.verify_points.back().x << "\n";
   }
-  out << "sim input:  " << scenario::point_to_string(s.sim_input) << "\n";
-  out << "\n" << crn::to_text(s.crn);
+  out << "sim input:  " << s.sim_input << "\n";
+  out << "\n" << response.crn_text;
   return 0;
 }
 

@@ -2,104 +2,62 @@
 // EnsembleRunner — one compile, N seeded trajectories across threads,
 // bit-identical results for a fixed seed at any thread count. When the
 // workload carries a reference function, silent trajectories are checked
-// against it and a mismatch fails the run (exit 1).
+// against it and a mismatch fails the run (exit 1). Runs through
+// svc::Service.
 #include <ostream>
 
 #include "cli/commands.h"
-#include "cli/workload.h"
-#include "sim/ensemble.h"
-#include "util/json_writer.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
 int cmd_simulate(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
-  const auto input_text = args.take_option("input");
-  sim::EnsembleOptions options;
-  options.trajectories =
-      static_cast<int>(args.take_int("trajectories", 16));
-  options.seed = static_cast<std::uint64_t>(args.take_int("seed", 1));
-  options.threads = static_cast<int>(args.take_int("threads", 0));
-  options.max_steps = static_cast<std::uint64_t>(
-      args.take_int("max-steps", static_cast<std::int64_t>(options.max_steps)));
-  options.max_events = static_cast<std::uint64_t>(args.take_int(
-      "max-events", static_cast<std::int64_t>(options.max_events)));
-  const std::string method_name =
-      args.take_option("method").value_or("direct");
-  options.method = parse_ensemble_method(method_name);
+
+  svc::SimulateRequest request;
+  request.input = args.take_option("input");
+  request.trajectories = static_cast<int>(args.take_int("trajectories", 16));
+  request.seed = static_cast<std::uint64_t>(args.take_int("seed", 1));
+  request.threads = static_cast<int>(args.take_int("threads", 0));
+  request.max_steps =
+      static_cast<std::uint64_t>(args.take_int("max-steps", 5'000'000));
+  request.max_events =
+      static_cast<std::uint64_t>(args.take_int("max-events", 10'000'000));
+  request.method = args.take_option("method").value_or("direct");
   const auto target = args.take_positional();
   args.finish();
   if (!target) {
     throw std::invalid_argument("simulate needs a scenario or file");
   }
+  request.target = *target;
 
-  const Workload workload = load_workload(*target);
-  const scenario::Scenario& s = workload.scenario;
-  const fn::Point x = input_text ? scenario::point_from_string(*input_text)
-                                 : s.sim_input;
-
-  const sim::EnsembleRunner runner(s.crn);
-  const sim::EnsembleResult result = runner.run_for_input(x, options);
-
-  const bool all_silent =
-      result.silent_count == static_cast<int>(result.trajectories.size());
-  // Only silent trajectories have settled: with none, output_consistent is
-  // vacuously true and no comparison against the reference happened.
-  const bool compared = result.silent_count > 0;
-  bool ok = result.output_consistent;
-  math::Int expected = 0;
-  const bool has_expected = s.reference.has_value();
-  if (has_expected) {
-    expected = (*s.reference)(x);
-    // A consistent silent output that disagrees with the reference is a
-    // genuine failure.
-    if (compared && result.output_consistent && result.output != expected) {
-      ok = false;
-    }
-  }
+  svc::Service service;
+  const svc::SimulateResponse response = service.simulate(request);
 
   if (json) {
-    util::JsonWriter w;
-    w.begin_object()
-        .kv("scenario", s.name)
-        .kv("input", scenario::point_to_string(x))
-        .kv("method", method_name)
-        .kv("trajectories",
-            static_cast<std::int64_t>(result.trajectories.size()))
-        .kv("threads", options.threads)
-        .kv("seed", options.seed)
-        .kv("silent", result.silent_count)
-        .kv("total_events", result.total_events)
-        .kv_fixed("wall_seconds", result.wall_seconds, 6)
-        .kv_fixed("events_per_sec", result.events_per_second(), 1)
-        .kv("output_consistent", result.output_consistent)
-        .kv("compared", compared)
-        .kv("output", static_cast<std::int64_t>(result.output));
-    if (has_expected) {
-      w.kv("expected", static_cast<std::int64_t>(expected));
-    }
-    w.kv("ok", ok).end_object();
-    out << w.str() << "\n";
+    out << svc::to_json(response) << "\n";
   } else {
-    out << s.name << " on x = (" << scenario::point_to_string(x) << "), "
-        << result.trajectories.size() << " trajectories, method "
-        << method_name << ":\n";
-    out << result.summary() << "\n";
-    if (!all_silent) {
-      out << "note: " << result.trajectories.size() - result.silent_count
+    out << response.scenario << " on x = (" << response.input << "), "
+        << response.trajectories << " trajectories, method "
+        << response.method << ":\n";
+    out << response.summary << "\n";
+    if (!response.all_silent) {
+      out << "note: "
+          << response.trajectories - static_cast<std::size_t>(response.silent)
           << " trajectories hit the event budget before silence\n";
     }
-    if (has_expected) {
-      if (!compared) {
-        out << "expected " << expected
+    if (response.has_expected) {
+      if (!response.compared) {
+        out << "expected " << response.expected
             << ": inconclusive (no trajectory reached silence)\n";
       } else {
-        out << "expected " << expected << ": "
-            << (ok ? "agrees" : "MISMATCH") << "\n";
+        out << "expected " << response.expected << ": "
+            << (response.ok ? "agrees" : "MISMATCH") << "\n";
       }
     }
   }
-  return ok ? 0 : 1;
+  return response.ok ? 0 : 1;
 }
 
 }  // namespace crnkit::cli

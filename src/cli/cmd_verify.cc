@@ -1,240 +1,94 @@
 // crnc verify: exact stable-computation checking (the SCC-condensation
 // decision procedure of verify/stable.h) over a workload's curated verify
-// points, a `--grid N` sweep, or a single `--input`. Every point must be
-// proved (ok and complete exploration) for exit 0. Scenarios tagged
-// "unverifiable" are skipped with their recorded reason unless --force.
-#include <algorithm>
-#include <cstdint>
+// points, a `--grid N` sweep, or a single `--input`, through svc::Service
+// and its content-addressed proof cache. Every point must be proved (ok
+// and complete exploration) for exit 0. Scenarios tagged "unverifiable"
+// are skipped with their recorded reason unless --force. --no-cache
+// bypasses the proof cache entirely.
 #include <cstdio>
 #include <ostream>
 
 #include "cli/commands.h"
-#include "cli/workload.h"
-#include "scenario/scenario.h"
-#include "util/json_writer.h"
-#include "verify/stable.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
 
 namespace crnkit::cli {
 
 int cmd_verify(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
-  const bool force = args.take_flag("force");
-  const bool stats = args.take_flag("stats");
-  const auto grid = args.take_option("grid");
-  const auto input_text = args.take_option("input");
-  const auto expect_text = args.take_option("expect");
-  const std::int64_t max_configs_flag = args.take_int("max-configs", 0);
-  const std::int64_t threads_flag = args.take_int("threads", 1);
+
+  svc::VerifyRequest request;
+  request.force = args.take_flag("force");
+  request.stats = args.take_flag("stats");
+  request.use_cache = !args.take_flag("no-cache");
+  request.grid = args.take_option("grid");
+  request.input = args.take_option("input");
+  request.expect = args.take_option("expect");
+  request.max_configs =
+      static_cast<std::size_t>(args.take_int("max-configs", 0));
+  request.threads = static_cast<int>(args.take_int("threads", 1));
   const auto target = args.take_positional();
   args.finish();
   if (!target) throw std::invalid_argument("verify needs a scenario or file");
+  request.target = *target;
 
-  const Workload workload = load_workload(*target);
-  const scenario::Scenario& s = workload.scenario;
+  svc::Service service;
+  const svc::VerifyResponse response = service.verify(request);
 
-  if (s.unverifiable() && !force) {
-    if (json) {
-      util::JsonWriter w;
-      w.begin_object()
-          .kv("scenario", s.name)
-          .kv("skipped", true)
-          .kv("reason", s.unverifiable_reason)
-          .kv("ok", true)
-          .end_object();
-      out << w.str() << "\n";
-    } else {
-      out << s.name << ": skipped (unverifiable): " << s.unverifiable_reason
-          << "\n";
-    }
+  if (json) {
+    out << svc::to_json(response) << "\n";
+    return response.ok ? 0 : 1;
+  }
+
+  if (response.skipped) {
+    out << response.scenario << ": skipped (unverifiable): "
+        << response.reason << "\n";
     return 0;
   }
 
-  // Resolve the points to check and their expected outputs.
-  std::vector<fn::Point> points;
-  std::vector<math::Int> expected;
-  if (input_text) {
-    points.push_back(scenario::point_from_string(*input_text));
-    if (expect_text) {
-      expected.push_back(
-          scenario::point_from_string(*expect_text).front());
-    } else if (s.reference) {
-      expected.push_back((*s.reference)(points.front()));
-    } else {
-      throw std::invalid_argument(
-          "file workloads have no reference function; pass --expect V");
-    }
-  } else {
-    if (!s.reference) {
-      throw std::invalid_argument(
-          "file workloads have no reference function; pass --input and "
-          "--expect");
-    }
-    if (grid) {
-      const math::Int m = scenario::point_from_string(*grid).front();
-      points = scenario::grid_points(s.crn.input_arity(), m);
-    } else {
-      points = s.verify_points;
-    }
-    for (const fn::Point& x : points) expected.push_back((*s.reference)(x));
-  }
-  if (points.empty()) {
-    throw std::invalid_argument("no verify points for '" + s.name + "'");
-  }
-
-  verify::StableCheckOptions options;
-  if (max_configs_flag > 0) {
-    options.max_configs = static_cast<std::size_t>(max_configs_flag);
-  } else if (s.verify_max_configs > 0) {
-    options.max_configs = s.verify_max_configs;
-  }
-  options.threads = static_cast<int>(threads_flag);
-
-  int proved = 0;
-  int failed = 0;
-  int inconclusive = 0;
-  std::size_t max_explored = 0;
-  std::size_t total_configs = 0;
-  std::size_t total_edges = 0;
-  double total_seconds = 0.0;
-  std::size_t frontier_peak = 0;
-  std::size_t arena_bytes_peak = 0;
-  std::uint64_t pool_tasks = 0;
-  std::uint64_t pool_steals = 0;
-  std::uint64_t pool_parks = 0;
-  int threads_resolved = options.threads;  // explore() reports the real count
-  util::JsonWriter w;
   std::vector<std::vector<std::string>> rows;
-  if (json) {
-    w.begin_object()
-        .kv("scenario", s.name)
-        .kv("max_configs", options.max_configs)
-        .key("points")
-        .begin_array();
+  for (const svc::VerifyPointReport& p : response.points) {
+    rows.push_back({p.x, std::to_string(p.expected), p.status,
+                    std::to_string(p.configs)});
   }
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto result =
-        verify::check_stable_computation(s.crn, points[i], expected[i],
-                                         options);
-    const bool proof = result.ok && result.complete;
-    if (proof) {
-      ++proved;
-    } else if (!result.complete) {
-      ++inconclusive;
-    } else {
-      ++failed;
-    }
-    max_explored = std::max(max_explored, result.num_configs);
-    total_configs += result.num_configs;
-    total_edges += result.num_edges;
-    total_seconds += result.explore_stats.wall_seconds;
-    frontier_peak =
-        std::max(frontier_peak, result.explore_stats.frontier_peak);
-    arena_bytes_peak =
-        std::max(arena_bytes_peak, result.explore_stats.arena_bytes);
-    pool_tasks += result.explore_stats.pool_tasks;
-    pool_steals += result.explore_stats.pool_steals;
-    pool_parks += result.explore_stats.pool_parks;
-    threads_resolved = result.explore_stats.threads;
-    const std::string status = proof          ? "proved"
-                               : result.complete ? "FAILED"
-                                                 : "inconclusive";
-    if (json) {
-      w.begin_object()
-          .kv("x", scenario::point_to_string(points[i]))
-          .kv("expected", static_cast<std::int64_t>(expected[i]))
-          .kv("ok", result.ok)
-          .kv("complete", result.complete)
-          .kv("configs", result.num_configs)
-          .kv("status", status);
-      if (stats) {
-        const double secs = result.explore_stats.wall_seconds;
-        w.kv("edges", result.num_edges)
-            .kv_fixed("wall_seconds", secs, 6)
-            .kv_fixed("configs_per_sec",
-                      secs > 0.0
-                          ? static_cast<double>(result.num_configs) / secs
-                          : 0.0,
-                      1)
-            .kv("frontier_peak", result.explore_stats.frontier_peak)
-            .kv("arena_bytes", result.explore_stats.arena_bytes);
-      }
-      w.end_object();
-    } else {
-      rows.push_back({scenario::point_to_string(points[i]),
-                      std::to_string(expected[i]), status,
-                      std::to_string(result.num_configs)});
-    }
+  print_table(out, {"x", "expected", "status", "configs"}, rows);
+  out << "\n"
+      << response.scenario << ": " << response.proved << "/"
+      << response.points.size() << " points proved";
+  if (response.failed > 0) out << ", " << response.failed << " FAILED";
+  if (response.inconclusive > 0) {
+    out << ", " << response.inconclusive
+        << " inconclusive (raise --max-configs)";
   }
-
-  const bool all_ok = failed == 0 && inconclusive == 0;
-  const double total_rate =
-      total_seconds > 0.0 ? static_cast<double>(total_configs) / total_seconds
-                          : 0.0;
-  if (json) {
-    w.end_array()
-        .kv("proved", proved)
-        .kv("failed", failed)
-        .kv("inconclusive", inconclusive)
-        .kv("max_configs_explored", max_explored);
-    if (stats) {
-      w.key("stats")
-          .begin_object()
-          .kv("threads", threads_resolved)
-          .kv("configs", total_configs)
-          .kv("edges", total_edges)
-          .kv_fixed("wall_seconds", total_seconds, 6)
-          .kv_fixed("configs_per_sec", total_rate, 1)
-          .kv("frontier_peak", frontier_peak)
-          .kv("arena_bytes", arena_bytes_peak)
-          .key("pool")
-          .begin_object()
-          .kv("tasks", pool_tasks)
-          .kv("steals", pool_steals)
-          .kv("parks", pool_parks)
-          .kv_fixed("park_ratio",
-                    pool_tasks > 0
-                        ? static_cast<double>(pool_parks) /
-                              static_cast<double>(pool_tasks)
-                        : 0.0,
-                    3)
-          .end_object()
-          .end_object();
-    }
-    w.kv("ok", all_ok).end_object();
-    out << w.str() << "\n";
-  } else {
-    print_table(out, {"x", "expected", "status", "configs"}, rows);
-    out << "\n"
-        << s.name << ": " << proved << "/" << points.size()
-        << " points proved";
-    if (failed > 0) out << ", " << failed << " FAILED";
-    if (inconclusive > 0) {
-      out << ", " << inconclusive
-          << " inconclusive (raise --max-configs)";
-    }
-    out << "\n";
-    if (stats) {
-      char line[160];
-      std::snprintf(line, sizeof(line),
-                    "stats: %zu configs, %zu edges in %.3fs (%.0f "
-                    "configs/sec), frontier peak %zu, arena %.1f MiB\n",
-                    total_configs, total_edges, total_seconds, total_rate,
-                    frontier_peak,
-                    static_cast<double>(arena_bytes_peak) / (1024.0 * 1024.0));
-      out << line;
-      std::snprintf(
-          line, sizeof(line),
-          "pool:  %llu tasks, %llu steals, %llu parks (park ratio %.3f)\n",
-          static_cast<unsigned long long>(pool_tasks),
-          static_cast<unsigned long long>(pool_steals),
-          static_cast<unsigned long long>(pool_parks),
-          pool_tasks > 0 ? static_cast<double>(pool_parks) /
-                               static_cast<double>(pool_tasks)
-                         : 0.0);
-      out << line;
-    }
+  out << "\n";
+  if (request.stats) {
+    const double total_rate =
+        response.total_seconds > 0.0
+            ? static_cast<double>(response.total_configs) /
+                  response.total_seconds
+            : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "stats: %zu configs, %zu edges in %.3fs (%.0f "
+                  "configs/sec), frontier peak %zu, arena %.1f MiB\n",
+                  response.total_configs, response.total_edges,
+                  response.total_seconds, total_rate, response.frontier_peak,
+                  static_cast<double>(response.arena_bytes_peak) /
+                      (1024.0 * 1024.0));
+    out << line;
+    std::snprintf(
+        line, sizeof(line),
+        "pool:  %llu tasks, %llu steals, %llu parks (park ratio %.3f)\n",
+        static_cast<unsigned long long>(response.pool_tasks),
+        static_cast<unsigned long long>(response.pool_steals),
+        static_cast<unsigned long long>(response.pool_parks),
+        response.pool_tasks > 0
+            ? static_cast<double>(response.pool_parks) /
+                  static_cast<double>(response.pool_tasks)
+            : 0.0);
+    out << line;
   }
-  return all_ok ? 0 : 1;
+  return response.ok ? 0 : 1;
 }
 
 }  // namespace crnkit::cli

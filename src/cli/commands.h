@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "cli/args.h"
-#include "sim/ensemble.h"
 
 namespace crnkit::cli {
 
@@ -21,6 +20,7 @@ int cmd_compose(Args& args, std::ostream& out);
 int cmd_simulate(Args& args, std::ostream& out);
 int cmd_verify(Args& args, std::ostream& out);
 int cmd_bench(Args& args, std::ostream& out);
+int cmd_serve(Args& args, std::ostream& out);
 
 /// Fixed-width human table: header then rows, column widths fitted to the
 /// widest cell.
@@ -31,12 +31,6 @@ void print_table(std::ostream& out,
 /// Renders a tag list as "a,b,c".
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                const std::string& separator);
-
-/// Maps a `--method` value (silent | direct | next-reaction | population)
-/// to the ensemble method; throws std::invalid_argument otherwise. Shared
-/// by simulate and bench so they accept the same spellings.
-[[nodiscard]] sim::EnsembleMethod parse_ensemble_method(
-    const std::string& name);
 
 }  // namespace crnkit::cli
 

@@ -40,6 +40,10 @@ commands:
   bench <scenario|file.crn>   ensemble throughput measurement
       [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
       [--threads T] [--method ...] [--json]
+  serve                       verification/simulation daemon: line-JSON or
+                              HTTP/1.1 over TCP (auto-detected), answered
+                              from a content-addressed proof cache
+      [--host H] [--port P] [--cache-bytes N] [--cache-file FILE]
 
 A workload is a scenario name from `crnc list` (e.g. fig1/min) or a path
 to a .crn text file (see src/crn/io.h for the format).
@@ -81,16 +85,6 @@ std::string join(const std::vector<std::string>& parts,
   return out;
 }
 
-sim::EnsembleMethod parse_ensemble_method(const std::string& name) {
-  if (name == "silent") return sim::EnsembleMethod::kSilentRun;
-  if (name == "direct") return sim::EnsembleMethod::kDirect;
-  if (name == "next-reaction") return sim::EnsembleMethod::kNextReaction;
-  if (name == "population") return sim::EnsembleMethod::kPopulation;
-  throw std::invalid_argument(
-      "unknown method '" + name +
-      "' (expected silent, direct, next-reaction, or population)");
-}
-
 int run_crnc(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   if (args.empty() || args[0] == "help" || args[0] == "--help" ||
@@ -109,6 +103,7 @@ int run_crnc(const std::vector<std::string>& args, std::ostream& out,
     if (command == "simulate") return cmd_simulate(rest, out);
     if (command == "verify") return cmd_verify(rest, out);
     if (command == "bench") return cmd_bench(rest, out);
+    if (command == "serve") return cmd_serve(rest, out);
     err << "crnc: unknown command '" << command << "'\n\n" << kUsage;
     return 2;
   } catch (const std::invalid_argument& e) {

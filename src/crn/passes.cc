@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "math/check.h"
+#include "util/hash.h"
 
 namespace crnkit::crn {
 
@@ -255,6 +256,240 @@ Crn renumber_species(const Crn& crn) {
   }
   copy_roles(crn, out);
   return out;
+}
+
+namespace {
+
+using util::hash_chain;
+using util::splitmix64;
+
+/// Order-independent signature of one reaction side under a species
+/// coloring: per-term hashes, sorted, then chained.
+std::uint64_t side_signature(const std::vector<Term>& terms,
+                             const std::vector<std::uint64_t>& color) {
+  std::vector<std::uint64_t> parts;
+  parts.reserve(terms.size());
+  for (const Term& t : terms) {
+    parts.push_back(
+        hash_chain(splitmix64(static_cast<std::uint64_t>(t.count)),
+                   color[static_cast<std::size_t>(t.species)]));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::uint64_t h = 0xc53ab5f00d15ea5eULL;
+  for (const std::uint64_t p : parts) h = hash_chain(h, p);
+  return h;
+}
+
+/// Name-free species colors: roles seed the coloring (input position,
+/// leader, output), then Weisfeiler-Leman-style rounds refine it with each
+/// species's multiset of reaction-side signatures until the color ranking
+/// stabilizes. Renaming species or permuting the reaction list cannot
+/// change the final colors.
+std::vector<std::uint64_t> species_colors(const Crn& crn) {
+  const std::size_t n = crn.species_count();
+  std::vector<std::uint64_t> color(n, splitmix64(0x517cc1b727220a95ULL));
+  for (std::size_t i = 0; i < crn.inputs().size(); ++i) {
+    auto& c = color[static_cast<std::size_t>(crn.inputs()[i])];
+    c = hash_chain(c, 0x1000 + i);
+  }
+  if (crn.leader()) {
+    auto& c = color[static_cast<std::size_t>(*crn.leader())];
+    c = hash_chain(c, 0x2000);
+  }
+  if (crn.output()) {
+    auto& c = color[static_cast<std::size_t>(*crn.output())];
+    c = hash_chain(c, 0x3000);
+  }
+
+  std::vector<std::size_t> previous_rank;
+  for (std::size_t round = 0; round < n + 2; ++round) {
+    std::vector<std::vector<std::uint64_t>> contrib(n);
+    for (const Reaction& r : crn.reactions()) {
+      const std::uint64_t rsig =
+          hash_chain(side_signature(r.reactants(), color),
+                     side_signature(r.products(), color));
+      for (const Term& t : r.reactants()) {
+        contrib[static_cast<std::size_t>(t.species)].push_back(hash_chain(
+            hash_chain(0xAA, static_cast<std::uint64_t>(t.count)), rsig));
+      }
+      for (const Term& t : r.products()) {
+        contrib[static_cast<std::size_t>(t.species)].push_back(hash_chain(
+            hash_chain(0xBB, static_cast<std::uint64_t>(t.count)), rsig));
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      std::sort(contrib[s].begin(), contrib[s].end());
+      std::uint64_t folded = 0x9ae16a3b2f90404fULL;
+      for (const std::uint64_t c : contrib[s]) folded = hash_chain(folded, c);
+      color[s] = hash_chain(color[s], folded);
+    }
+    // Stop once the induced ranking is stable (the usual case after a few
+    // rounds; the n+2 cap guards pathological inputs).
+    std::vector<std::uint64_t> sorted = color;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::size_t> rank(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      rank[s] = static_cast<std::size_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), color[s]) -
+          sorted.begin());
+    }
+    if (rank == previous_rank) break;
+    previous_rank = std::move(rank);
+  }
+  return color;
+}
+
+/// Flattened numeric key of a reaction for the final in-canonical-ids sort:
+/// reactant terms then product terms, each (species, count).
+std::vector<std::uint64_t> reaction_numeric_key(const Reaction& r) {
+  std::vector<std::uint64_t> key;
+  key.push_back(r.reactants().size());
+  for (const Term& t : r.reactants()) {
+    key.push_back(static_cast<std::uint64_t>(t.species));
+    key.push_back(static_cast<std::uint64_t>(t.count));
+  }
+  for (const Term& t : r.products()) {
+    key.push_back(static_cast<std::uint64_t>(t.species));
+    key.push_back(static_cast<std::uint64_t>(t.count));
+  }
+  return key;
+}
+
+}  // namespace
+
+Crn canonical_form(const Crn& crn) {
+  const std::vector<std::uint64_t> color = species_colors(crn);
+
+  // Sort reactions by their color signatures (ties broken by the sorted
+  // per-side (count, color) lists; remaining ties are automorphic).
+  struct Keyed {
+    std::uint64_t sig;
+    std::vector<std::uint64_t> detail;
+    const Reaction* reaction;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(crn.reactions().size());
+  for (const Reaction& r : crn.reactions()) {
+    Keyed k;
+    k.sig = hash_chain(side_signature(r.reactants(), color),
+                       side_signature(r.products(), color));
+    const auto detail_side = [&](const std::vector<Term>& terms) {
+      std::vector<std::uint64_t> parts;
+      for (const Term& t : terms) {
+        parts.push_back(
+            hash_chain(splitmix64(static_cast<std::uint64_t>(t.count)),
+                       color[static_cast<std::size_t>(t.species)]));
+      }
+      std::sort(parts.begin(), parts.end());
+      return parts;
+    };
+    k.detail = detail_side(r.reactants());
+    k.detail.push_back(0xD1Dull);  // side separator
+    const auto products = detail_side(r.products());
+    k.detail.insert(k.detail.end(), products.begin(), products.end());
+    k.reaction = &r;
+    keyed.push_back(std::move(k));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.sig != b.sig) return a.sig < b.sig;
+                     return a.detail < b.detail;
+                   });
+
+  Crn staged(crn.name());
+  for (const std::string& s : crn.species_table().names()) {
+    staged.get_or_add_species(s);
+  }
+  for (const Keyed& k : keyed) staged.add_reaction(*k.reaction);
+  copy_roles(crn, staged);
+
+  // Canonical species ids come from the name-free colors, not from term
+  // order inside reactions (Reaction stores terms sorted by the *input's*
+  // species ids, so first-appearance numbering would leak them). Ties are
+  // WL-indistinguishable; first use in the canonical reaction order breaks
+  // them.
+  const std::size_t n = crn.species_count();
+  std::vector<std::size_t> first_use(n, n);
+  {
+    std::size_t slot = 0;
+    const auto use = [&](SpeciesId id) {
+      auto& u = first_use[static_cast<std::size_t>(id)];
+      if (u == n) u = slot++;
+    };
+    for (const SpeciesId id : staged.inputs()) use(id);
+    if (staged.leader()) use(*staged.leader());
+    for (const Reaction& r : staged.reactions()) {
+      for (const Term& t : r.reactants()) use(t.species);
+      for (const Term& t : r.products()) use(t.species);
+    }
+    if (staged.output()) use(*staged.output());
+  }
+  std::vector<SpeciesId> by_color(n);
+  for (std::size_t s = 0; s < n; ++s) by_color[s] = static_cast<SpeciesId>(s);
+  std::sort(by_color.begin(), by_color.end(),
+            [&](SpeciesId a, SpeciesId b) {
+              const auto ai = static_cast<std::size_t>(a);
+              const auto bi = static_cast<std::size_t>(b);
+              if (color[ai] != color[bi]) return color[ai] < color[bi];
+              return first_use[ai] < first_use[bi];
+            });
+  Crn renumbered(staged.name());
+  for (const SpeciesId id : by_color) {
+    renumbered.get_or_add_species(staged.species_name(id));
+  }
+  for (const Reaction& r : staged.reactions()) {
+    std::vector<Term> reactants;
+    std::vector<Term> products;
+    for (const Term& t : r.reactants()) {
+      reactants.push_back(
+          {renumbered.species(staged.species_name(t.species)), t.count});
+    }
+    for (const Term& t : r.products()) {
+      products.push_back(
+          {renumbered.species(staged.species_name(t.species)), t.count});
+    }
+    renumbered.add_reaction(Reaction(std::move(reactants), std::move(products)));
+  }
+  copy_roles(staged, renumbered);
+  std::vector<const Reaction*> order;
+  order.reserve(renumbered.reactions().size());
+  for (const Reaction& r : renumbered.reactions()) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Reaction* a, const Reaction* b) {
+                     return reaction_numeric_key(*a) <
+                            reaction_numeric_key(*b);
+                   });
+  Crn out(renumbered.name());
+  for (const std::string& s : renumbered.species_table().names()) {
+    out.get_or_add_species(s);
+  }
+  for (const Reaction* r : order) out.add_reaction(*r);
+  copy_roles(renumbered, out);
+  return out;
+}
+
+std::uint64_t canonical_hash(const Crn& crn) {
+  const Crn canon = canonical_form(crn);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = hash_chain(h, canon.species_count());
+  h = hash_chain(h, canon.inputs().size());
+  for (const SpeciesId id : canon.inputs()) {
+    h = hash_chain(h, static_cast<std::uint64_t>(id));
+  }
+  h = hash_chain(h, canon.leader()
+                        ? static_cast<std::uint64_t>(*canon.leader()) + 1
+                        : 0);
+  h = hash_chain(h, canon.output()
+                        ? static_cast<std::uint64_t>(*canon.output()) + 1
+                        : 0);
+  h = hash_chain(h, canon.reactions().size());
+  for (const Reaction& r : canon.reactions()) {
+    for (const std::uint64_t v : reaction_numeric_key(r)) {
+      h = hash_chain(h, v);
+    }
+    h = hash_chain(h, 0x5eedULL);  // reaction separator
+  }
+  return h;
 }
 
 PassPipelineResult optimize(const Crn& crn, const PassOptions& options) {

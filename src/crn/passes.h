@@ -21,6 +21,7 @@
 #ifndef CRNKIT_CRN_PASSES_H_
 #define CRNKIT_CRN_PASSES_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,21 @@ struct PassPipelineResult {
 /// then one renumbering) with per-pass size accounting.
 [[nodiscard]] PassPipelineResult optimize(const Crn& crn,
                                           const PassOptions& options = {});
+
+/// The canonical form behind canonical_hash: species are ordered by a
+/// name-free color refinement (roles seed the colors, reaction structure
+/// refines them), reactions are sorted by their color signatures, and the
+/// result is rebuilt through renumber_species so numbering follows the
+/// canonical reaction order. Two CRNs that differ only by species
+/// renaming/reordering or reaction reordering canonicalize to structurally
+/// identical networks (same ids, same sorted reaction list, same roles).
+[[nodiscard]] Crn canonical_form(const Crn& crn);
+
+/// Content hash of the canonical form: splitmix64-chained over the
+/// flattened structure (arity, role ids, sorted reaction term lists).
+/// Invariant under species renaming and reaction reordering; the
+/// content-addressed proof cache keys verdicts by it.
+[[nodiscard]] std::uint64_t canonical_hash(const Crn& crn);
 
 }  // namespace crnkit::crn
 

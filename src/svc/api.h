@@ -1,0 +1,288 @@
+// The typed request/response API of the crnkit service layer. Every entry
+// point the `crnc` subcommands used to hand-roll — list, show, compile,
+// compose, simulate, verify, bench — is a (Request, Response) struct pair
+// here, executed by svc::Service. The CLI, the `crnc serve` daemon, and
+// tests all drive this one API; JSON serialization of the responses (and
+// parsing of daemon requests) lives in svc/serialize.h, stamped with
+// kSchemaVersion on every top-level object.
+#ifndef CRNKIT_SVC_API_H_
+#define CRNKIT_SVC_API_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/numtheory.h"
+
+namespace crnkit::svc {
+
+/// Version of the JSON wire schema. Emitted as "schema_version" in every
+/// top-level JSON object the service (CLI --json and daemon) produces;
+/// bumped on any incompatible field change.
+inline constexpr std::int64_t kSchemaVersion = 1;
+
+// ---------------------------------------------------------------- list --
+
+struct ListRequest {
+  /// Keep only scenarios carrying this tag when set.
+  std::optional<std::string> tag;
+};
+
+struct ScenarioSummary {
+  std::string name;
+  std::string title;
+  std::string paper_ref;
+  std::vector<std::string> tags;
+  std::size_t species = 0;
+  std::size_t reactions = 0;
+  int arity = 0;
+  bool leader = false;
+  bool output_oblivious = false;
+  std::size_t verify_points = 0;
+  std::string sim_input;
+  std::string unverifiable_reason;  ///< empty unless tagged unverifiable
+};
+
+struct ListResponse {
+  std::vector<ScenarioSummary> scenarios;
+};
+
+// ---------------------------------------------------------------- show --
+
+struct ShowRequest {
+  std::string target;  ///< registry scenario name or .crn file path
+};
+
+struct ShowVerifyPoint {
+  std::string x;  ///< "3,4" form
+  bool has_expected = false;
+  math::Int expected = 0;
+};
+
+struct ShowResponse {
+  ScenarioSummary summary;
+  bool from_registry = false;
+  bool output_monotonic = false;
+  int max_reaction_order = 0;
+  std::string reference;  ///< reference function name, "" for file workloads
+  std::vector<ShowVerifyPoint> verify_points;
+  std::string crn_text;
+};
+
+// ------------------------------------------------------------- compile --
+
+struct CompileRequest {
+  std::string target;
+  bool bimolecular = false;
+  std::string out_path;  ///< write the .crn text here when nonempty
+};
+
+struct CompileResponse {
+  std::string name;
+  std::size_t species = 0;
+  std::size_t reactions = 0;
+  bool bimolecular = false;
+  std::string out;  ///< path written, "" when none
+  std::string crn_text;
+};
+
+// ------------------------------------------------------------ simulate --
+
+struct SimulateRequest {
+  std::string target;
+  std::optional<std::string> input;  ///< "3,4"; default: scenario sim input
+  int trajectories = 16;
+  std::uint64_t seed = 1;
+  int threads = 0;  ///< 0 = hardware concurrency
+  std::optional<std::uint64_t> max_steps;
+  std::optional<std::uint64_t> max_events;
+  std::string method = "direct";  ///< silent|direct|next-reaction|population
+};
+
+struct SimulateResponse {
+  std::string scenario;
+  std::string input;
+  std::string method;
+  std::size_t trajectories = 0;
+  int threads = 0;
+  std::uint64_t seed = 0;
+  int silent = 0;
+  std::uint64_t total_events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  bool output_consistent = false;
+  bool compared = false;  ///< some trajectory settled; output was checked
+  math::Int output = 0;
+  bool has_expected = false;
+  math::Int expected = 0;
+  bool all_silent = false;
+  std::string summary;  ///< EnsembleResult::summary() human line
+  bool ok = false;
+};
+
+// -------------------------------------------------------------- verify --
+
+struct VerifyRequest {
+  std::string target;
+  std::optional<std::string> grid;    ///< sweep [0,N]^d instead of points
+  std::optional<std::string> input;   ///< single point "3,4"
+  std::optional<std::string> expect;  ///< expected output for --input
+  std::size_t max_configs = 0;  ///< 0 = scenario hint or checker default
+  int threads = 1;
+  bool force = false;  ///< verify even when tagged unverifiable
+  bool stats = false;  ///< collect exploration perf counters
+  bool use_cache = true;
+};
+
+struct VerifyPointReport {
+  std::string x;
+  math::Int expected = 0;
+  bool ok = false;
+  bool complete = false;
+  std::size_t configs = 0;
+  std::size_t edges = 0;
+  std::string status;  ///< proved | FAILED | inconclusive
+  bool cached = false;  ///< served from the proof cache
+  double wall_seconds = 0.0;
+  std::size_t frontier_peak = 0;
+  std::size_t arena_bytes = 0;
+  /// Replayable reaction path I_x -> counterexample (FAILED points only).
+  std::vector<int> witness;
+};
+
+struct VerifyResponse {
+  std::string scenario;
+  bool skipped = false;  ///< unverifiable scenario without force
+  std::string reason;    ///< skip reason
+  std::size_t max_configs = 0;
+  std::vector<VerifyPointReport> points;
+  int proved = 0;
+  int failed = 0;
+  int inconclusive = 0;
+  std::size_t max_configs_explored = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  // --- aggregates surfaced under stats ---
+  std::size_t total_configs = 0;
+  std::size_t total_edges = 0;
+  double total_seconds = 0.0;  ///< fresh computations only (hits are free)
+  std::size_t frontier_peak = 0;
+  std::size_t arena_bytes_peak = 0;
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_steals = 0;
+  std::uint64_t pool_parks = 0;
+  int threads_resolved = 1;
+  bool want_stats = false;
+  bool ok = false;
+};
+
+// --------------------------------------------------------------- bench --
+
+struct BenchRequest {
+  std::string target;
+  std::optional<std::string> input;
+  int trajectories = 8;
+  std::uint64_t events = 400'000;
+  std::uint64_t seed = 12345;
+  int threads = 0;
+  std::string method = "direct";
+};
+
+struct BenchResponse {
+  std::string name;
+  std::string input;
+  std::string method;
+  int trajectories = 0;
+  std::size_t species = 0;
+  std::size_t reactions = 0;
+  double events_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+// ------------------------------------------------------------- compose --
+
+struct ComposeRequest {
+  std::string target;  ///< expression | .wire file | circuit/random-N-S
+  bool no_opt = false;
+  bool skip_cert = false;
+  bool do_verify = false;
+  bool do_simcheck = false;
+  std::string out_path;
+  math::Int cert_grid = 2;
+  math::Int grid = 1;
+  std::size_t max_configs = 0;
+  int trials = 5;
+  std::uint64_t max_steps = 5'000'000;
+  std::uint64_t seed = 1;
+  int threads = 1;
+  bool use_cache = true;
+};
+
+struct ComposeCertRecord {
+  std::string module;
+  bool oblivious = false;
+  bool composable = false;
+  int reactions_stripped = 0;
+  std::string detail;
+};
+
+struct ComposePassStat {
+  std::string pass;
+  std::size_t species_before = 0;
+  std::size_t species_after = 0;
+  std::size_t reactions_before = 0;
+  std::size_t reactions_after = 0;
+
+  [[nodiscard]] bool changed() const {
+    return species_before != species_after ||
+           reactions_before != reactions_after;
+  }
+};
+
+struct ComposeVerifySummary {
+  math::Int grid = 1;
+  std::size_t points = 0;
+  int proved = 0;
+  int failed = 0;
+  int inconclusive = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+struct ComposeSimcheckSummary {
+  std::size_t points = 0;
+  int trials = 0;
+  int silent_trials = 0;
+  int non_silent_trials = 0;
+  int mismatches = 0;
+  int inconclusive_points = 0;
+  std::string verdict;  ///< pass | fail | inconclusive
+  std::string summary;  ///< human line
+};
+
+struct ComposeResponse {
+  std::string target;
+  std::string name;
+  std::string expression;  ///< rendered expression, "" for wire files
+  int arity = 1;
+  std::size_t modules = 0;
+  std::vector<ComposeCertRecord> certification;
+  bool certified = false;
+  /// False when certification refused the composition (nothing compiled).
+  bool compiled = false;
+  std::size_t species_raw = 0;
+  std::size_t reactions_raw = 0;
+  std::vector<ComposePassStat> passes;
+  std::size_t species = 0;
+  std::size_t reactions = 0;
+  std::string out;  ///< path written, "" when none
+  std::optional<ComposeVerifySummary> verify;
+  std::optional<ComposeSimcheckSummary> simcheck;
+  bool ok = false;
+};
+
+}  // namespace crnkit::svc
+
+#endif  // CRNKIT_SVC_API_H_

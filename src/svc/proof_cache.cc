@@ -1,0 +1,296 @@
+#include "svc/proof_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/json_value.h"
+#include "util/json_writer.h"
+
+namespace crnkit::svc {
+
+namespace {
+
+constexpr const char* kFormat = "crnkit-proof-cache";
+constexpr std::int64_t kCacheSchemaVersion = 1;
+
+std::string to_hex(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex(const std::string& text) {
+  if (text.empty() || text.size() > 16) {
+    throw std::runtime_error("proof cache: bad hex field '" + text + "'");
+  }
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw std::runtime_error("proof cache: bad hex field '" + text + "'");
+    }
+  }
+  return v;
+}
+
+/// Checksum over the verdict-critical content of the persisted entries, in
+/// file order. Perf counters are informational and excluded.
+std::uint64_t entries_checksum(
+    const std::vector<std::pair<ProofKey, ProofVerdict>>& entries) {
+  using util::hash_chain;
+  std::uint64_t h = 0x70726f6f66ULL;  // "proof"
+  for (const auto& [key, verdict] : entries) {
+    h = hash_chain(h, key.crn_hash);
+    h = hash_chain(h, key.x.size());
+    for (const math::Int v : key.x) {
+      h = hash_chain(h, static_cast<std::uint64_t>(v));
+    }
+    h = hash_chain(h, static_cast<std::uint64_t>(key.expected));
+    h = hash_chain(h, verdict.budget);
+    h = hash_chain(h, verdict.complete ? 1 : 0);
+    h = hash_chain(h, verdict.ok ? 1 : 0);
+    h = hash_chain(h, verdict.num_configs);
+    h = hash_chain(h, verdict.num_edges);
+    h = hash_chain(h, verdict.witness.size());
+    for (const int r : verdict.witness) {
+      h = hash_chain(h, static_cast<std::uint64_t>(r));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t ProofCache::SlotKeyHash::operator()(const SlotKey& key) const {
+  using util::hash_chain;
+  std::uint64_t h = hash_chain(key.proof.crn_hash, key.budget_slot);
+  for (const math::Int v : key.proof.x) {
+    h = hash_chain(h, static_cast<std::uint64_t>(v));
+  }
+  h = hash_chain(h, static_cast<std::uint64_t>(key.proof.expected));
+  return static_cast<std::size_t>(h);
+}
+
+ProofCache::ProofCache() : ProofCache(Options{}) {}
+
+ProofCache::ProofCache(const Options& options) : options_(options) {}
+
+std::size_t ProofCache::entry_bytes(const Entry& entry) {
+  return sizeof(Entry) + entry.key.proof.x.size() * sizeof(math::Int) +
+         entry.verdict.witness.size() * sizeof(int) + 64;
+}
+
+std::optional<ProofVerdict> ProofCache::lookup(const ProofKey& key,
+                                               std::size_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A complete verdict serves any budget that could have completed the
+  // same exploration.
+  const auto complete_it = index_.find(SlotKey{key, 0});
+  if (complete_it != index_.end() &&
+      budget >= complete_it->second->verdict.num_configs) {
+    lru_.splice(lru_.begin(), lru_, complete_it->second);
+    ++hits_;
+    return complete_it->second->verdict;
+  }
+  // A truncated verdict serves exactly its own budget — never a larger
+  // one, which could complete the exploration and flip the verdict.
+  const auto exact_it = index_.find(SlotKey{key, budget});
+  if (exact_it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, exact_it->second);
+    ++hits_;
+    return exact_it->second->verdict;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ProofCache::insert(const ProofKey& key, ProofVerdict verdict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_bytes == 0) return;
+  ++insertions_;
+  insert_locked(key, std::move(verdict), /*front=*/true);
+  evict_locked();
+}
+
+void ProofCache::insert_locked(const ProofKey& key, ProofVerdict verdict,
+                               bool front) {
+  SlotKey slot{key, verdict.complete ? 0 : verdict.budget};
+  const auto it = index_.find(slot);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    it->second->verdict = std::move(verdict);
+    it->second->bytes = entry_bytes(*it->second);
+    bytes_ += it->second->bytes;
+    if (front) lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Entry entry;
+  entry.key = slot;
+  entry.verdict = std::move(verdict);
+  entry.bytes = entry_bytes(entry);
+  bytes_ += entry.bytes;
+  const auto position =
+      front ? lru_.insert(lru_.begin(), std::move(entry))
+            : lru_.insert(lru_.end(), std::move(entry));
+  index_.emplace(position->key, position);
+}
+
+void ProofCache::evict_locked() {
+  while (bytes_ > options_.max_bytes && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ProofCache::Stats ProofCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void ProofCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ProofCache::save(const std::string& path) const {
+  std::vector<std::pair<ProofKey, ProofVerdict>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(lru_.size());
+    for (const Entry& e : lru_) entries.emplace_back(e.key.proof, e.verdict);
+  }
+  util::JsonWriter w;
+  w.begin_object()
+      .kv("format", kFormat)
+      .kv("schema_version", kCacheSchemaVersion)
+      .kv("entries_count", entries.size())
+      .key("entries")
+      .begin_array();
+  for (const auto& [key, verdict] : entries) {
+    w.begin_object().kv("crn_hash", to_hex(key.crn_hash)).key("x")
+        .begin_array();
+    for (const math::Int v : key.x) w.value(static_cast<std::int64_t>(v));
+    w.end_array()
+        .kv("expected", static_cast<std::int64_t>(key.expected))
+        .kv("budget", verdict.budget)
+        .kv("complete", verdict.complete)
+        .kv("ok", verdict.ok)
+        .kv("configs", verdict.num_configs)
+        .kv("edges", verdict.num_edges)
+        .kv_fixed("wall_seconds", verdict.stats.wall_seconds, 6)
+        .kv("frontier_peak", verdict.stats.frontier_peak)
+        .kv("levels", verdict.stats.levels)
+        .kv("arena_bytes", verdict.stats.arena_bytes)
+        .key("witness")
+        .begin_array();
+    for (const int r : verdict.witness) w.value(r);
+    w.end_array().end_object();
+  }
+  w.end_array().kv("checksum", to_hex(entries_checksum(entries)))
+      .end_object();
+
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("proof cache: cannot write '" + path + "'");
+  }
+  file << w.str() << "\n";
+  if (!file.good()) {
+    throw std::runtime_error("proof cache: short write to '" + path + "'");
+  }
+}
+
+std::size_t ProofCache::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("proof cache: cannot read '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+
+  util::JsonValue root;
+  try {
+    root = util::JsonValue::parse(contents.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("proof cache: '" + path + "' is not valid JSON (" +
+                             e.what() + ")");
+  }
+  if (root.get_string("format", "") != kFormat) {
+    throw std::runtime_error("proof cache: '" + path +
+                             "' has the wrong format marker");
+  }
+  if (root.get_int("schema_version", -1) != kCacheSchemaVersion) {
+    throw std::runtime_error(
+        "proof cache: '" + path + "' has schema_version " +
+        std::to_string(root.get_int("schema_version", -1)) + ", expected " +
+        std::to_string(kCacheSchemaVersion));
+  }
+
+  std::vector<std::pair<ProofKey, ProofVerdict>> entries;
+  for (const util::JsonValue& e : root.get("entries").items()) {
+    ProofKey key;
+    key.crn_hash = parse_hex(e.get("crn_hash").as_string());
+    for (const util::JsonValue& v : e.get("x").items()) {
+      key.x.push_back(v.as_int());
+    }
+    key.expected = e.get("expected").as_int();
+    ProofVerdict verdict;
+    verdict.budget = static_cast<std::size_t>(e.get("budget").as_int());
+    verdict.complete = e.get("complete").as_bool();
+    verdict.ok = e.get("ok").as_bool();
+    verdict.num_configs = static_cast<std::size_t>(e.get("configs").as_int());
+    verdict.num_edges = static_cast<std::size_t>(e.get("edges").as_int());
+    verdict.stats.wall_seconds =
+        e.has("wall_seconds") ? e.get("wall_seconds").as_double() : 0.0;
+    verdict.stats.frontier_peak =
+        static_cast<std::size_t>(e.get_int("frontier_peak", 0));
+    verdict.stats.levels = static_cast<std::size_t>(e.get_int("levels", 0));
+    verdict.stats.arena_bytes =
+        static_cast<std::size_t>(e.get_int("arena_bytes", 0));
+    for (const util::JsonValue& r : e.get("witness").items()) {
+      verdict.witness.push_back(static_cast<int>(r.as_int()));
+    }
+    entries.emplace_back(std::move(key), std::move(verdict));
+  }
+
+  const std::uint64_t expected_sum =
+      parse_hex(root.get("checksum").as_string());
+  const std::uint64_t actual_sum = entries_checksum(entries);
+  if (expected_sum != actual_sum) {
+    throw std::runtime_error("proof cache: '" + path +
+                             "' failed checksum validation (file " +
+                             to_hex(expected_sum) + ", content " +
+                             to_hex(actual_sum) + ")");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_bytes == 0) return 0;
+  for (auto& [key, verdict] : entries) {
+    insert_locked(key, std::move(verdict), /*front=*/false);
+  }
+  evict_locked();
+  return entries.size();
+}
+
+}  // namespace crnkit::svc

@@ -1,0 +1,152 @@
+// The content-addressed proof cache behind svc::Service and `crnc serve`.
+//
+// A stable-computation verdict depends only on the CRN's canonical form
+// (crn::canonical_hash — invariant under species renaming and reaction
+// reordering), the input point, the expected output, and — for truncated
+// explorations — the node budget. The cache keys verdicts accordingly:
+//
+//  * A COMPLETE verdict (the whole reachable set was enumerated) is a
+//    theorem about the CRN; it serves any later request whose budget could
+//    have completed the same exploration (budget >= num_configs). One
+//    complete entry per (crn, x, expected).
+//  * An INCOMPLETE verdict ("inconclusive", budget hit) is only the
+//    deterministic outcome of that exact budget; it serves requests with
+//    the same budget and nothing else — in particular it is NEVER served
+//    for a larger budget, which could complete and flip the verdict.
+//
+// Entries carry the verdict, the exploration's perf counters, and a
+// replayable witness path (reaction indices I_x -> counterexample) so a
+// cached FAILED verdict can still be audited without re-exploring.
+// Storage is a byte-budgeted LRU; save()/load() persist the cache as a
+// versioned JSON file with a content checksum, both validated on load.
+#ifndef CRNKIT_SVC_PROOF_CACHE_H_
+#define CRNKIT_SVC_PROOF_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fn/function.h"
+#include "verify/reachability.h"
+
+namespace crnkit::svc {
+
+/// Identity of one verify-point proof: canonical CRN content hash plus the
+/// checked point and expected output.
+struct ProofKey {
+  std::uint64_t crn_hash = 0;
+  fn::Point x;
+  math::Int expected = 0;
+
+  [[nodiscard]] bool operator==(const ProofKey& other) const {
+    return crn_hash == other.crn_hash && x == other.x &&
+           expected == other.expected;
+  }
+};
+
+/// A cached stable-computation verdict.
+struct ProofVerdict {
+  bool ok = false;
+  bool complete = false;
+  /// The max_configs budget the verdict was computed under. Lookup
+  /// semantics: complete entries serve any budget >= num_configs;
+  /// incomplete entries serve only budget == this.
+  std::size_t budget = 0;
+  std::size_t num_configs = 0;
+  std::size_t num_edges = 0;
+  verify::ExploreStats stats;  ///< counters of the original exploration
+  /// Replayable reaction path I_x -> counterexample (FAILED only).
+  std::vector<int> witness;
+};
+
+class ProofCache {
+ public:
+  struct Options {
+    /// LRU byte budget over the approximate entry footprints; 0 disables
+    /// caching entirely (every lookup misses, inserts are dropped).
+    std::size_t max_bytes = 64u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  ProofCache();
+  explicit ProofCache(const Options& options);
+
+  /// Returns the cached verdict a request with `budget` may reuse (see the
+  /// file comment for the budget semantics), refreshing its LRU position.
+  [[nodiscard]] std::optional<ProofVerdict> lookup(const ProofKey& key,
+                                                   std::size_t budget);
+
+  /// Inserts (or refreshes) the verdict computed for `key`. Complete
+  /// verdicts replace any previous complete entry for the key; incomplete
+  /// verdicts are stored per budget.
+  void insert(const ProofKey& key, ProofVerdict verdict);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+  /// Serializes every entry to `path` as versioned JSON with a content
+  /// checksum. Throws std::runtime_error when the file cannot be written.
+  void save(const std::string& path) const;
+
+  /// Loads entries persisted by save(), validating the format marker, the
+  /// schema version, and the content checksum; throws std::runtime_error
+  /// on mismatch (a stale or corrupted cache file must never be trusted).
+  /// Returns the number of entries loaded. Existing entries are kept;
+  /// loaded entries land cold (least-recently-used side).
+  std::size_t load(const std::string& path);
+
+ private:
+  /// Exact storage key: complete entries normalize the budget slot to 0
+  /// ("serves any sufficient budget"); incomplete entries key their exact
+  /// budget.
+  struct SlotKey {
+    ProofKey proof;
+    std::size_t budget_slot = 0;
+
+    [[nodiscard]] bool operator==(const SlotKey& other) const {
+      return budget_slot == other.budget_slot && proof == other.proof;
+    }
+  };
+
+  struct SlotKeyHash {
+    std::size_t operator()(const SlotKey& key) const;
+  };
+
+  struct Entry {
+    SlotKey key;
+    ProofVerdict verdict;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] static std::size_t entry_bytes(const Entry& entry);
+  /// Inserts without stats accounting (shared by insert() and load()).
+  /// `front` chooses the hot (true) or cold (false) end of the LRU list.
+  void insert_locked(const ProofKey& key, ProofVerdict verdict, bool front);
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<SlotKey, std::list<Entry>::iterator, SlotKeyHash> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace crnkit::svc
+
+#endif  // CRNKIT_SVC_PROOF_CACHE_H_

@@ -1,0 +1,389 @@
+#include "svc/serialize.h"
+
+#include <cstdint>
+
+#include "util/json_writer.h"
+
+namespace crnkit::svc {
+
+namespace {
+
+util::JsonWriter versioned() {
+  util::JsonWriter w;
+  w.begin_object().kv("schema_version", kSchemaVersion);
+  return w;
+}
+
+void write_summary_members(util::JsonWriter& w,
+                           const ScenarioSummary& s) {
+  w.kv("name", s.name)
+      .kv("title", s.title)
+      .kv("paper_ref", s.paper_ref)
+      .key("tags")
+      .begin_array();
+  for (const std::string& t : s.tags) w.value(t);
+  w.end_array()
+      .kv("species", s.species)
+      .kv("reactions", s.reactions)
+      .kv("arity", s.arity)
+      .kv("leader", s.leader)
+      .kv("output_oblivious", s.output_oblivious);
+}
+
+}  // namespace
+
+std::string to_json(const ListResponse& resp) {
+  util::JsonWriter w = versioned();
+  w.key("scenarios").begin_array();
+  for (const ScenarioSummary& s : resp.scenarios) {
+    w.begin_object();
+    write_summary_members(w, s);
+    w.kv("verify_points", s.verify_points).kv("sim_input", s.sim_input);
+    if (!s.unverifiable_reason.empty()) {
+      w.kv("unverifiable_reason", s.unverifiable_reason);
+    }
+    w.end_object();
+  }
+  w.end_array().kv("count", resp.scenarios.size()).end_object();
+  return w.str();
+}
+
+std::string to_json(const ShowResponse& resp) {
+  const ScenarioSummary& s = resp.summary;
+  util::JsonWriter w = versioned();
+  w.kv("name", s.name)
+      .kv("title", s.title)
+      .kv("paper_ref", s.paper_ref)
+      .kv("from_registry", resp.from_registry)
+      .key("tags")
+      .begin_array();
+  for (const std::string& t : s.tags) w.value(t);
+  w.end_array()
+      .kv("species", s.species)
+      .kv("reactions", s.reactions)
+      .kv("arity", s.arity)
+      .kv("leader", s.leader)
+      .kv("output_oblivious", s.output_oblivious)
+      .kv("output_monotonic", resp.output_monotonic)
+      .kv("max_reaction_order",
+          static_cast<std::int64_t>(resp.max_reaction_order))
+      .kv("reference", resp.reference);
+  if (!s.unverifiable_reason.empty()) {
+    w.kv("unverifiable_reason", s.unverifiable_reason);
+  }
+  w.key("verify_points").begin_array();
+  for (const ShowVerifyPoint& point : resp.verify_points) {
+    w.begin_object().kv("x", point.x);
+    if (point.has_expected) {
+      w.kv("expected", static_cast<std::int64_t>(point.expected));
+    }
+    w.end_object();
+  }
+  w.end_array()
+      .kv("sim_input", s.sim_input)
+      .kv("crn_text", resp.crn_text)
+      .end_object();
+  return w.str();
+}
+
+std::string to_json(const CompileResponse& resp) {
+  util::JsonWriter w = versioned();
+  w.kv("name", resp.name)
+      .kv("species", resp.species)
+      .kv("reactions", resp.reactions)
+      .kv("bimolecular", resp.bimolecular)
+      .kv("out", resp.out)
+      .kv("crn_text", resp.crn_text)
+      .end_object();
+  return w.str();
+}
+
+std::string to_json(const SimulateResponse& resp) {
+  util::JsonWriter w = versioned();
+  w.kv("scenario", resp.scenario)
+      .kv("input", resp.input)
+      .kv("method", resp.method)
+      .kv("trajectories", static_cast<std::int64_t>(resp.trajectories))
+      .kv("threads", resp.threads)
+      .kv("seed", resp.seed)
+      .kv("silent", resp.silent)
+      .kv("total_events", resp.total_events)
+      .kv_fixed("wall_seconds", resp.wall_seconds, 6)
+      .kv_fixed("events_per_sec", resp.events_per_sec, 1)
+      .kv("output_consistent", resp.output_consistent)
+      .kv("compared", resp.compared)
+      .kv("output", static_cast<std::int64_t>(resp.output));
+  if (resp.has_expected) {
+    w.kv("expected", static_cast<std::int64_t>(resp.expected));
+  }
+  w.kv("ok", resp.ok).end_object();
+  return w.str();
+}
+
+std::string to_json(const VerifyResponse& resp) {
+  util::JsonWriter w = versioned();
+  if (resp.skipped) {
+    w.kv("scenario", resp.scenario)
+        .kv("skipped", true)
+        .kv("reason", resp.reason)
+        .kv("ok", resp.ok)
+        .end_object();
+    return w.str();
+  }
+  w.kv("scenario", resp.scenario)
+      .kv("max_configs", resp.max_configs)
+      .key("points")
+      .begin_array();
+  for (const VerifyPointReport& p : resp.points) {
+    w.begin_object()
+        .kv("x", p.x)
+        .kv("expected", static_cast<std::int64_t>(p.expected))
+        .kv("ok", p.ok)
+        .kv("complete", p.complete)
+        .kv("configs", p.configs)
+        .kv("status", p.status)
+        .kv("cached", p.cached);
+    if (!p.witness.empty()) {
+      w.key("witness").begin_array();
+      for (const int r : p.witness) w.value(r);
+      w.end_array();
+    }
+    if (resp.want_stats) {
+      w.kv("edges", p.edges)
+          .kv_fixed("wall_seconds", p.wall_seconds, 6)
+          .kv_fixed("configs_per_sec",
+                    p.wall_seconds > 0.0
+                        ? static_cast<double>(p.configs) / p.wall_seconds
+                        : 0.0,
+                    1)
+          .kv("frontier_peak", p.frontier_peak)
+          .kv("arena_bytes", p.arena_bytes);
+    }
+    w.end_object();
+  }
+  w.end_array()
+      .kv("proved", resp.proved)
+      .kv("failed", resp.failed)
+      .kv("inconclusive", resp.inconclusive)
+      .kv("max_configs_explored", resp.max_configs_explored)
+      .kv("cache_hits", resp.cache_hits)
+      .kv("cache_misses", resp.cache_misses);
+  if (resp.want_stats) {
+    const double total_rate =
+        resp.total_seconds > 0.0
+            ? static_cast<double>(resp.total_configs) / resp.total_seconds
+            : 0.0;
+    w.key("stats")
+        .begin_object()
+        .kv("threads", resp.threads_resolved)
+        .kv("configs", resp.total_configs)
+        .kv("edges", resp.total_edges)
+        .kv_fixed("wall_seconds", resp.total_seconds, 6)
+        .kv_fixed("configs_per_sec", total_rate, 1)
+        .kv("frontier_peak", resp.frontier_peak)
+        .kv("arena_bytes", resp.arena_bytes_peak)
+        .key("pool")
+        .begin_object()
+        .kv("tasks", resp.pool_tasks)
+        .kv("steals", resp.pool_steals)
+        .kv("parks", resp.pool_parks)
+        .kv_fixed("park_ratio",
+                  resp.pool_tasks > 0
+                      ? static_cast<double>(resp.pool_parks) /
+                            static_cast<double>(resp.pool_tasks)
+                      : 0.0,
+                  3)
+        .end_object()
+        .end_object();
+  }
+  w.kv("ok", resp.ok).end_object();
+  return w.str();
+}
+
+std::string to_json(const BenchResponse& resp) {
+  util::JsonWriter w = versioned();
+  w.kv("name", resp.name)
+      .kv("input", resp.input)
+      .kv("method", resp.method)
+      .kv("trajectories", resp.trajectories)
+      .kv("species", resp.species)
+      .kv("reactions", resp.reactions)
+      .kv_fixed("events_per_sec", resp.events_per_sec, 1)
+      .kv_fixed("wall_seconds", resp.wall_seconds, 6)
+      .kv("events", resp.events)
+      .end_object();
+  return w.str();
+}
+
+std::string to_json(const ComposeResponse& resp) {
+  util::JsonWriter w = versioned();
+  w.kv("target", resp.target)
+      .kv("name", resp.name)
+      .kv("arity", resp.arity)
+      .kv("modules", resp.modules);
+  if (!resp.expression.empty()) w.kv("expression", resp.expression);
+  w.key("certification").begin_array();
+  for (const ComposeCertRecord& c : resp.certification) {
+    w.begin_object()
+        .kv("module", c.module)
+        .kv("oblivious", c.oblivious)
+        .kv("composable", c.composable)
+        .kv("reactions_stripped", c.reactions_stripped)
+        .kv("detail", c.detail)
+        .end_object();
+  }
+  w.end_array().kv("certified", resp.certified);
+  if (!resp.compiled) {
+    w.kv("ok", false).end_object();
+    return w.str();
+  }
+  w.kv("species_raw", resp.species_raw)
+      .kv("reactions_raw", resp.reactions_raw)
+      .key("passes")
+      .begin_array();
+  for (const ComposePassStat& p : resp.passes) {
+    w.begin_object()
+        .kv("pass", p.pass)
+        .kv("species_before", p.species_before)
+        .kv("species_after", p.species_after)
+        .kv("reactions_before", p.reactions_before)
+        .kv("reactions_after", p.reactions_after)
+        .end_object();
+  }
+  w.end_array()
+      .kv("species", resp.species)
+      .kv("reactions", resp.reactions);
+  if (resp.verify) {
+    w.key("verify")
+        .begin_object()
+        .kv("grid", static_cast<std::int64_t>(resp.verify->grid))
+        .kv("points", resp.verify->points)
+        .kv("proved", resp.verify->proved)
+        .kv("failed", resp.verify->failed)
+        .kv("inconclusive", resp.verify->inconclusive)
+        .kv("cache_hits", resp.verify->cache_hits)
+        .kv("cache_misses", resp.verify->cache_misses)
+        .end_object();
+  }
+  if (resp.simcheck) {
+    w.key("simcheck")
+        .begin_object()
+        .kv("points", resp.simcheck->points)
+        .kv("trials", resp.simcheck->trials)
+        .kv("silent_trials", resp.simcheck->silent_trials)
+        .kv("non_silent_trials", resp.simcheck->non_silent_trials)
+        .kv("mismatches", resp.simcheck->mismatches)
+        .kv("inconclusive_points", resp.simcheck->inconclusive_points)
+        .kv("verdict", resp.simcheck->verdict)
+        .end_object();
+  }
+  w.kv("ok", resp.ok).end_object();
+  return w.str();
+}
+
+std::string error_json(const std::string& message) {
+  util::JsonWriter w = versioned();
+  w.kv("error", message).kv("ok", false).end_object();
+  return w.str();
+}
+
+namespace {
+
+std::optional<std::string> opt_string(const util::JsonValue& v,
+                                      const std::string& key) {
+  const util::JsonValue* member = v.find(key);
+  if (member == nullptr || member->is_null()) return std::nullopt;
+  return member->as_string();
+}
+
+}  // namespace
+
+ListRequest parse_list_request(const util::JsonValue& v) {
+  ListRequest req;
+  req.tag = opt_string(v, "tag");
+  return req;
+}
+
+ShowRequest parse_show_request(const util::JsonValue& v) {
+  ShowRequest req;
+  req.target = v.get("target").as_string();
+  return req;
+}
+
+CompileRequest parse_compile_request(const util::JsonValue& v) {
+  CompileRequest req;
+  req.target = v.get("target").as_string();
+  req.bimolecular = v.get_bool("bimolecular", false);
+  return req;
+}
+
+SimulateRequest parse_simulate_request(const util::JsonValue& v) {
+  SimulateRequest req;
+  req.target = v.get("target").as_string();
+  req.input = opt_string(v, "input");
+  req.trajectories =
+      static_cast<int>(v.get_int("trajectories", req.trajectories));
+  req.seed = static_cast<std::uint64_t>(
+      v.get_int("seed", static_cast<std::int64_t>(req.seed)));
+  req.threads = static_cast<int>(v.get_int("threads", req.threads));
+  if (v.has("max_steps")) {
+    req.max_steps = static_cast<std::uint64_t>(v.get("max_steps").as_int());
+  }
+  if (v.has("max_events")) {
+    req.max_events =
+        static_cast<std::uint64_t>(v.get("max_events").as_int());
+  }
+  req.method = v.get_string("method", req.method);
+  return req;
+}
+
+VerifyRequest parse_verify_request(const util::JsonValue& v) {
+  VerifyRequest req;
+  req.target = v.get("target").as_string();
+  req.grid = opt_string(v, "grid");
+  req.input = opt_string(v, "input");
+  req.expect = opt_string(v, "expect");
+  req.max_configs = static_cast<std::size_t>(v.get_int("max_configs", 0));
+  req.threads = static_cast<int>(v.get_int("threads", req.threads));
+  req.force = v.get_bool("force", false);
+  req.stats = v.get_bool("stats", false);
+  req.use_cache = v.get_bool("use_cache", true);
+  return req;
+}
+
+BenchRequest parse_bench_request(const util::JsonValue& v) {
+  BenchRequest req;
+  req.target = v.get("target").as_string();
+  req.input = opt_string(v, "input");
+  req.trajectories =
+      static_cast<int>(v.get_int("trajectories", req.trajectories));
+  req.events = static_cast<std::uint64_t>(
+      v.get_int("events", static_cast<std::int64_t>(req.events)));
+  req.seed = static_cast<std::uint64_t>(
+      v.get_int("seed", static_cast<std::int64_t>(req.seed)));
+  req.threads = static_cast<int>(v.get_int("threads", req.threads));
+  req.method = v.get_string("method", req.method);
+  return req;
+}
+
+ComposeRequest parse_compose_request(const util::JsonValue& v) {
+  ComposeRequest req;
+  req.target = v.get("target").as_string();
+  req.no_opt = v.get_bool("no_opt", false);
+  req.skip_cert = v.get_bool("skip_cert", false);
+  req.do_verify = v.get_bool("verify", false);
+  req.do_simcheck = v.get_bool("simcheck", false);
+  req.cert_grid = v.get_int("cert_grid", static_cast<std::int64_t>(2));
+  req.grid = v.get_int("grid", static_cast<std::int64_t>(1));
+  req.max_configs = static_cast<std::size_t>(v.get_int("max_configs", 0));
+  req.trials = static_cast<int>(v.get_int("trials", req.trials));
+  req.max_steps = static_cast<std::uint64_t>(
+      v.get_int("max_steps", static_cast<std::int64_t>(req.max_steps)));
+  req.seed = static_cast<std::uint64_t>(
+      v.get_int("seed", static_cast<std::int64_t>(req.seed)));
+  req.threads = static_cast<int>(v.get_int("threads", req.threads));
+  req.use_cache = v.get_bool("use_cache", true);
+  return req;
+}
+
+}  // namespace crnkit::svc

@@ -1,0 +1,45 @@
+// JSON wire layer of the service API: one serializer per Response type
+// (used by `crnc <cmd> --json` and the daemon alike — both emit identical
+// bytes), and one parser per Request type (used by the daemon). Every
+// serialized top-level object starts with "schema_version": kSchemaVersion.
+//
+// Request parsers deliberately never read file-output fields (compile
+// --out, compose --out): a remote client must not be able to make the
+// daemon write files. Those fields are reachable only through the CLI.
+#ifndef CRNKIT_SVC_SERIALIZE_H_
+#define CRNKIT_SVC_SERIALIZE_H_
+
+#include <string>
+
+#include "svc/api.h"
+#include "util/json_value.h"
+
+namespace crnkit::svc {
+
+[[nodiscard]] std::string to_json(const ListResponse& resp);
+[[nodiscard]] std::string to_json(const ShowResponse& resp);
+[[nodiscard]] std::string to_json(const CompileResponse& resp);
+[[nodiscard]] std::string to_json(const SimulateResponse& resp);
+[[nodiscard]] std::string to_json(const VerifyResponse& resp);
+[[nodiscard]] std::string to_json(const BenchResponse& resp);
+[[nodiscard]] std::string to_json(const ComposeResponse& resp);
+
+/// The daemon's error shape: {"schema_version":…, "error": message,
+/// "ok": false}.
+[[nodiscard]] std::string error_json(const std::string& message);
+
+// Request parsers for the daemon. Each reads its known fields from the
+// already-parsed JSON object (missing fields keep the struct defaults) and
+// throws std::invalid_argument on type mismatches or bad values.
+[[nodiscard]] ListRequest parse_list_request(const util::JsonValue& v);
+[[nodiscard]] ShowRequest parse_show_request(const util::JsonValue& v);
+[[nodiscard]] CompileRequest parse_compile_request(const util::JsonValue& v);
+[[nodiscard]] SimulateRequest parse_simulate_request(
+    const util::JsonValue& v);
+[[nodiscard]] VerifyRequest parse_verify_request(const util::JsonValue& v);
+[[nodiscard]] BenchRequest parse_bench_request(const util::JsonValue& v);
+[[nodiscard]] ComposeRequest parse_compose_request(const util::JsonValue& v);
+
+}  // namespace crnkit::svc
+
+#endif  // CRNKIT_SVC_SERIALIZE_H_

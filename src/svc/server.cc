@@ -1,0 +1,372 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "svc/serialize.h"
+#include "util/json_value.h"
+#include "util/json_writer.h"
+#include "util/task_pool.h"
+
+namespace crnkit::svc {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Dispatches one parsed request object (already stripped of transport
+/// framing) by op name.
+std::string dispatch_op(Service& service, const std::string& op,
+                        const util::JsonValue& v) {
+  if (op == "list") return to_json(service.list(parse_list_request(v)));
+  if (op == "show") return to_json(service.show(parse_show_request(v)));
+  if (op == "compile") {
+    return to_json(service.compile(parse_compile_request(v)));
+  }
+  if (op == "simulate") {
+    return to_json(service.simulate(parse_simulate_request(v)));
+  }
+  if (op == "verify") {
+    return to_json(service.verify(parse_verify_request(v)));
+  }
+  if (op == "bench") return to_json(service.bench(parse_bench_request(v)));
+  if (op == "compose") {
+    return to_json(service.compose(parse_compose_request(v)));
+  }
+  if (op == "ping") {
+    util::JsonWriter w;
+    w.begin_object()
+        .kv("schema_version", kSchemaVersion)
+        .kv("pong", true)
+        .kv("ok", true)
+        .end_object();
+    return w.str();
+  }
+  if (op == "cache_stats") {
+    const ProofCache::Stats stats = service.proof_cache().stats();
+    util::JsonWriter w;
+    w.begin_object()
+        .kv("schema_version", kSchemaVersion)
+        .key("cache")
+        .begin_object()
+        .kv("hits", stats.hits)
+        .kv("misses", stats.misses)
+        .kv("insertions", stats.insertions)
+        .kv("evictions", stats.evictions)
+        .kv("entries", stats.entries)
+        .kv("bytes", stats.bytes)
+        .end_object()
+        .kv("ok", true)
+        .end_object();
+    return w.str();
+  }
+  throw std::invalid_argument("unknown op '" + op + "'");
+}
+
+}  // namespace
+
+std::string Server::dispatch_line(Service& service, const std::string& line,
+                                  std::uint64_t* errors) {
+  try {
+    const util::JsonValue v = util::JsonValue::parse(line);
+    const std::string op = v.get("op").as_string();
+    if (op == "batch") {
+      // Sub-requests are scheduled onto the shared work-stealing pool;
+      // results come back in request order. Nested batches are rejected
+      // (one scheduling layer is enough).
+      const util::JsonValue& reqs = v.get("requests");
+      std::vector<std::string> results(reqs.size());
+      util::TaskPool::instance().parallel_for(
+          reqs.size(), 1, [&](std::size_t i) {
+            try {
+              const std::string sub_op = reqs.at(i).get("op").as_string();
+              if (sub_op == "batch") {
+                throw std::invalid_argument("nested batch is not allowed");
+              }
+              results[i] = dispatch_op(service, sub_op, reqs.at(i));
+            } catch (const std::exception& e) {
+              if (errors != nullptr) ++*errors;
+              results[i] = error_json(e.what());
+            }
+          });
+      util::JsonWriter w;
+      w.begin_object()
+          .kv("schema_version", kSchemaVersion)
+          .key("results")
+          .begin_array();
+      for (const std::string& r : results) w.raw_member(r);
+      w.end_array().kv("ok", true).end_object();
+      return w.str();
+    }
+    return dispatch_op(service, op, v);
+  } catch (const std::exception& e) {
+    if (errors != nullptr) ++*errors;
+    return error_json(e.what());
+  }
+}
+
+Server::Server(Service& service) : Server(service, Options{}) {}
+
+Server::Server(Service& service, const Options& options)
+    : service_(service), options_(options) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: bad host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + options_.host +
+                             ":" + std::to_string(options_.port) + ": " +
+                             what);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    ++connections_;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    reap_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd.store(fd);
+    Connection& ref = *conn;
+    conns_.push_back(std::move(conn));
+    ref.thread = std::thread([this, &ref] { handle_connection(ref); });
+  }
+}
+
+void Server::reap_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load() && (*it)->thread.joinable()) {
+      (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::handle_connection(Connection& conn) {
+  const int fd = conn.fd.load();
+  // Peek enough of the first bytes to tell HTTP from line-JSON.
+  char buf[4096];
+  std::string carry;
+  const ssize_t first = ::recv(fd, buf, sizeof(buf), 0);
+  if (first > 0) {
+    carry.assign(buf, static_cast<std::size_t>(first));
+    const bool http = carry.rfind("POST ", 0) == 0 ||
+                      carry.rfind("GET ", 0) == 0 ||
+                      carry.rfind("HEAD ", 0) == 0 ||
+                      carry.rfind("PUT ", 0) == 0;
+    if (http) {
+      serve_http(fd, std::move(carry));
+    } else {
+      serve_line_protocol(fd, std::move(carry));
+    }
+  }
+  const int owned = conn.fd.exchange(-1);
+  if (owned >= 0) ::close(owned);
+  conn.done.store(true);
+}
+
+void Server::serve_line_protocol(int fd, std::string carry) {
+  std::string buffer = std::move(carry);
+  char buf[65536];
+  while (true) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      ++requests_;
+      std::uint64_t errs = 0;
+      const std::string response = dispatch_line(service_, line, &errs);
+      errors_ += errs;
+      if (!send_all(fd, response + "\n")) return;
+    }
+    if (!running_.load()) return;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void Server::serve_http(int fd, std::string carry) {
+  std::string buffer = std::move(carry);
+  char buf[65536];
+  // Read until the header/body split, then until content-length is met.
+  const auto read_more = [&]() -> bool {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    buffer.append(buf, static_cast<std::size_t>(n));
+    return true;
+  };
+  std::size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > (1u << 20) || !read_more()) return;
+  }
+  const std::string head = buffer.substr(0, header_end);
+  std::string body = buffer.substr(header_end + 4);
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
+  const std::string path = sp2 == std::string::npos
+                               ? ""
+                               : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::size_t content_length = 0;
+  {
+    // Case-insensitive Content-Length scan over the header block.
+    std::string lower = head;
+    for (char& c : lower) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    const std::size_t at = lower.find("content-length:");
+    if (at != std::string::npos) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(head.c_str() + at + 15, nullptr, 10));
+    }
+  }
+  while (body.size() < content_length) {
+    if (!read_more()) return;
+    body = buffer.substr(header_end + 4);
+  }
+  body.resize(content_length);
+
+  int status = 200;
+  std::string payload;
+  if (method == "GET" && path == "/healthz") {
+    util::JsonWriter w;
+    w.begin_object()
+        .kv("schema_version", kSchemaVersion)
+        .kv("ok", true)
+        .end_object();
+    payload = w.str();
+    ++requests_;
+  } else if (method == "POST" && path.rfind("/v1/", 0) == 0) {
+    const std::string op = path.substr(4);
+    if (body.empty()) body = "{}";
+    // Re-frame as a line request: {"op": <op>, ...body members}. Splicing
+    // keeps one dispatch path for both protocols.
+    std::string framed = "{\"op\": \"" + util::json_escape(op) + "\"";
+    if (body.size() >= 2 && body.front() == '{') {
+      const std::size_t open = body.find('{');
+      const std::size_t close = body.rfind('}');
+      if (close != std::string::npos && close > open) {
+        const std::string inner = body.substr(open + 1, close - open - 1);
+        const bool blank =
+            inner.find_first_not_of(" \t\r\n") == std::string::npos;
+        if (!blank) framed += ", " + inner;
+      }
+    }
+    framed += "}";
+    ++requests_;
+    std::uint64_t errs = 0;
+    payload = dispatch_line(service_, framed, &errs);
+    errors_ += errs;
+    if (errs > 0) status = 400;
+  } else {
+    status = 404;
+    payload = error_json("no route for " + method + " " + path);
+    ++errors_;
+  }
+
+  const std::string reason = status == 200   ? "OK"
+                             : status == 400 ? "Bad Request"
+                                             : "Not Found";
+  std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
+                         reason +
+                         "\r\nContent-Type: application/json\r\n"
+                         "Content-Length: " +
+                         std::to_string(payload.size() + 1) +
+                         "\r\nConnection: close\r\n\r\n" + payload + "\n";
+  (void)send_all(fd, response);
+}
+
+void Server::stop() {
+  const bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) {
+    const int fd = conn->fd.load();
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns_.clear();
+  (void)was_running;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections = connections_.load();
+  s.requests = requests_.load();
+  s.errors = errors_.load();
+  return s;
+}
+
+}  // namespace crnkit::svc

@@ -1,0 +1,108 @@
+// svc::Server — the `crnc serve` daemon core. Listens on a TCP socket and
+// answers service requests, auto-detecting the protocol per connection:
+//
+//  * line-JSON (default): each request is one JSON object on one line,
+//    {"op": "verify", "target": "fig1/min", ...}; the response is one line
+//    of the same versioned JSON the CLI's --json emits. Ops: list, show,
+//    compile, simulate, verify, bench, compose, ping, cache_stats, and
+//    batch ({"op":"batch","requests":[...]} — sub-requests are scheduled
+//    onto the shared util::TaskPool and answered in order).
+//  * HTTP/1.1: POST /v1/<op> with the same JSON object (minus "op") as the
+//    body; GET /healthz for liveness. One response per request,
+//    Connection: close.
+//
+// Connections are handled thread-per-connection; requests of concurrent
+// connections run concurrently against one shared svc::Service, so they
+// share its content-addressed proof cache. stop() shuts the listener and
+// every open connection down and joins all threads — safe to call while
+// requests are in flight (in-flight dispatches finish, then the
+// connection closes).
+#ifndef CRNKIT_SVC_SERVER_H_
+#define CRNKIT_SVC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace crnkit::svc {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; the bound port is port() after start()
+    int backlog = 64;
+  };
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;  ///< requests answered with an error response
+  };
+
+  /// The service must outlive the server.
+  explicit Server(Service& service);
+  Server(Service& service, const Options& options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, shuts down open connections, joins every thread.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (resolved for ephemeral binds). Valid after start().
+  [[nodiscard]] int port() const { return port_; }
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Executes one line-JSON request against `service` and returns the
+  /// response line (no trailing newline). Never throws: malformed input
+  /// and failed requests come back as the error JSON shape. Exposed for
+  /// in-process callers (tests, serve_replay's loopback mode).
+  static std::string dispatch_line(Service& service,
+                                   const std::string& line,
+                                   std::uint64_t* errors = nullptr);
+
+ private:
+  struct Connection {
+    std::atomic<int> fd{-1};
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handle_connection(Connection& conn);
+  void serve_line_protocol(int fd, std::string carry);
+  void serve_http(int fd, std::string carry);
+  /// Joins finished connection threads (called opportunistically).
+  void reap_locked();
+
+  Service& service_;
+  Options options_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace crnkit::svc
+
+#endif  // CRNKIT_SVC_SERVER_H_

@@ -1,0 +1,363 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "crn/bimolecular.h"
+#include "crn/checks.h"
+#include "crn/io.h"
+#include "crn/passes.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "sim/ensemble.h"
+#include "svc/workload.h"
+
+namespace crnkit::svc {
+
+namespace {
+
+/// Maps a method name (silent | direct | next-reaction | population) to
+/// the ensemble method; throws std::invalid_argument otherwise. Simulate
+/// and bench accept the same spellings.
+sim::EnsembleMethod parse_method(const std::string& name) {
+  if (name == "silent") return sim::EnsembleMethod::kSilentRun;
+  if (name == "direct") return sim::EnsembleMethod::kDirect;
+  if (name == "next-reaction") return sim::EnsembleMethod::kNextReaction;
+  if (name == "population") return sim::EnsembleMethod::kPopulation;
+  throw std::invalid_argument(
+      "unknown method '" + name +
+      "' (expected silent, direct, next-reaction, or population)");
+}
+
+ScenarioSummary summarize(const scenario::Scenario& s) {
+  ScenarioSummary out;
+  out.name = s.name;
+  out.title = s.title;
+  out.paper_ref = s.paper_ref;
+  out.tags = s.tags;
+  out.species = s.crn.species_count();
+  out.reactions = s.crn.reactions().size();
+  out.arity = s.crn.input_arity();
+  out.leader = s.crn.leader().has_value();
+  out.output_oblivious = crn::is_output_oblivious(s.crn);
+  out.verify_points = s.verify_points.size();
+  out.sim_input = scenario::point_to_string(s.sim_input);
+  out.unverifiable_reason = s.unverifiable_reason;
+  return out;
+}
+
+}  // namespace
+
+Service::Service() : Service(Options{}) {}
+
+Service::Service(const Options& options) : cache_(options.cache) {}
+
+ListResponse Service::list(const ListRequest& req) const {
+  std::vector<scenario::Scenario> scenarios =
+      scenario::Registry::builtin().build_all();
+  if (req.tag) {
+    scenarios.erase(std::remove_if(scenarios.begin(), scenarios.end(),
+                                   [&](const scenario::Scenario& s) {
+                                     return !s.has_tag(*req.tag);
+                                   }),
+                    scenarios.end());
+  }
+  ListResponse resp;
+  resp.scenarios.reserve(scenarios.size());
+  for (const scenario::Scenario& s : scenarios) {
+    resp.scenarios.push_back(summarize(s));
+  }
+  return resp;
+}
+
+ShowResponse Service::show(const ShowRequest& req) const {
+  const Workload workload = load_workload(req.target);
+  const scenario::Scenario& s = workload.scenario;
+  const std::vector<math::Int> expected = s.expected_outputs();
+
+  ShowResponse resp;
+  resp.summary = summarize(s);
+  resp.from_registry = workload.from_registry;
+  resp.output_monotonic = crn::is_output_monotonic(s.crn);
+  resp.max_reaction_order = crn::max_reaction_order(s.crn);
+  resp.reference = s.reference ? s.reference->name() : "";
+  for (std::size_t i = 0; i < s.verify_points.size(); ++i) {
+    ShowVerifyPoint point;
+    point.x = scenario::point_to_string(s.verify_points[i]);
+    if (s.reference) {
+      point.has_expected = true;
+      point.expected = expected[i];
+    }
+    resp.verify_points.push_back(std::move(point));
+  }
+  resp.crn_text = crn::to_text(s.crn);
+  return resp;
+}
+
+CompileResponse Service::compile(const CompileRequest& req) const {
+  Workload workload = load_workload(req.target);
+  crn::Crn network = std::move(workload.scenario.crn);
+  if (req.bimolecular) network = crn::to_bimolecular(network);
+  const std::string text = crn::to_text(network);
+
+  if (!req.out_path.empty()) {
+    std::ofstream file(req.out_path);
+    if (!file) {
+      throw std::invalid_argument("cannot write '" + req.out_path + "'");
+    }
+    file << text;
+  }
+
+  CompileResponse resp;
+  resp.name = network.name();
+  resp.species = network.species_count();
+  resp.reactions = network.reactions().size();
+  resp.bimolecular = req.bimolecular;
+  resp.out = req.out_path;
+  resp.crn_text = text;
+  return resp;
+}
+
+SimulateResponse Service::simulate(const SimulateRequest& req) const {
+  const Workload workload = load_workload(req.target);
+  const scenario::Scenario& s = workload.scenario;
+  const fn::Point x =
+      req.input ? scenario::point_from_string(*req.input) : s.sim_input;
+
+  sim::EnsembleOptions options;
+  options.trajectories = req.trajectories;
+  options.seed = req.seed;
+  options.threads = req.threads;
+  if (req.max_steps) options.max_steps = *req.max_steps;
+  if (req.max_events) options.max_events = *req.max_events;
+  options.method = parse_method(req.method);
+
+  const sim::EnsembleRunner runner(s.crn);
+  const sim::EnsembleResult result = runner.run_for_input(x, options);
+
+  SimulateResponse resp;
+  resp.scenario = s.name;
+  resp.input = scenario::point_to_string(x);
+  resp.method = req.method;
+  resp.trajectories = result.trajectories.size();
+  resp.threads = options.threads;
+  resp.seed = options.seed;
+  resp.silent = result.silent_count;
+  resp.total_events = result.total_events;
+  resp.wall_seconds = result.wall_seconds;
+  resp.events_per_sec = result.events_per_second();
+  resp.output_consistent = result.output_consistent;
+  resp.all_silent =
+      result.silent_count == static_cast<int>(result.trajectories.size());
+  // Only silent trajectories have settled: with none, output_consistent is
+  // vacuously true and no comparison against the reference happened.
+  resp.compared = result.silent_count > 0;
+  resp.output = result.output;
+  resp.summary = result.summary();
+
+  bool ok = result.output_consistent;
+  resp.has_expected = s.reference.has_value();
+  if (resp.has_expected) {
+    resp.expected = (*s.reference)(x);
+    // A consistent silent output that disagrees with the reference is a
+    // genuine failure.
+    if (resp.compared && result.output_consistent &&
+        result.output != resp.expected) {
+      ok = false;
+    }
+  }
+  resp.ok = ok;
+  return resp;
+}
+
+BenchResponse Service::bench(const BenchRequest& req) const {
+  sim::EnsembleOptions options;
+  options.trajectories = req.trajectories;
+  options.seed = req.seed;
+  options.threads = req.threads;
+  options.method = parse_method(req.method);
+  // Split the budget across trajectories so the batch measures the same
+  // amount of work regardless of the batch size.
+  const std::uint64_t per_trajectory = std::max<std::uint64_t>(
+      1, req.events / static_cast<std::uint64_t>(
+                          std::max(1, req.trajectories)));
+  options.max_events = per_trajectory;
+  options.max_steps = per_trajectory;
+  options.max_interactions = per_trajectory;
+
+  const Workload workload = load_workload(req.target);
+  const scenario::Scenario& s = workload.scenario;
+  const fn::Point x =
+      req.input ? scenario::point_from_string(*req.input) : s.sim_input;
+
+  const sim::EnsembleRunner runner(s.crn);
+  const sim::EnsembleResult result = runner.run_for_input(x, options);
+
+  BenchResponse resp;
+  resp.name = s.name;
+  resp.input = scenario::point_to_string(x);
+  resp.method = req.method;
+  resp.trajectories = req.trajectories;
+  resp.species = s.crn.species_count();
+  resp.reactions = s.crn.reactions().size();
+  resp.events_per_sec = result.events_per_second();
+  resp.wall_seconds = result.wall_seconds;
+  resp.events = result.total_events;
+  return resp;
+}
+
+Service::CheckOutcome Service::check_point(
+    const crn::Crn& crn, std::uint64_t crn_hash, const fn::Point& x,
+    math::Int expected, const verify::StableCheckOptions& options,
+    bool use_cache) {
+  const ProofKey key{crn_hash, x, expected};
+  CheckOutcome out;
+  out.report.x = scenario::point_to_string(x);
+  out.report.expected = expected;
+
+  if (use_cache) {
+    if (auto hit = cache_.lookup(key, options.max_configs)) {
+      out.report.ok = hit->ok;
+      out.report.complete = hit->complete;
+      out.report.configs = hit->num_configs;
+      out.report.edges = hit->num_edges;
+      out.report.cached = true;
+      out.report.wall_seconds = hit->stats.wall_seconds;
+      out.report.frontier_peak = hit->stats.frontier_peak;
+      out.report.arena_bytes = hit->stats.arena_bytes;
+      out.report.witness = std::move(hit->witness);
+      out.stats = hit->stats;
+    }
+  }
+  if (!out.report.cached) {
+    const verify::StableCheckResult result =
+        verify::check_stable_computation(crn, x, expected, options);
+    out.report.ok = result.ok;
+    out.report.complete = result.complete;
+    out.report.configs = result.num_configs;
+    out.report.edges = result.num_edges;
+    out.report.wall_seconds = result.explore_stats.wall_seconds;
+    out.report.frontier_peak = result.explore_stats.frontier_peak;
+    out.report.arena_bytes = result.explore_stats.arena_bytes;
+    out.report.witness = result.counterexample_path;
+    out.stats = result.explore_stats;
+    out.fresh = true;
+    if (use_cache) {
+      ProofVerdict verdict;
+      verdict.ok = result.ok;
+      verdict.complete = result.complete;
+      verdict.budget = options.max_configs;
+      verdict.num_configs = result.num_configs;
+      verdict.num_edges = result.num_edges;
+      verdict.stats = result.explore_stats;
+      verdict.witness = result.counterexample_path;
+      cache_.insert(key, std::move(verdict));
+    }
+  }
+  const bool proof = out.report.ok && out.report.complete;
+  out.report.status = proof                ? "proved"
+                      : out.report.complete ? "FAILED"
+                                            : "inconclusive";
+  return out;
+}
+
+VerifyResponse Service::verify(const VerifyRequest& req) {
+  const Workload workload = load_workload(req.target);
+  const scenario::Scenario& s = workload.scenario;
+
+  VerifyResponse resp;
+  resp.scenario = s.name;
+  resp.want_stats = req.stats;
+
+  if (s.unverifiable() && !req.force) {
+    resp.skipped = true;
+    resp.reason = s.unverifiable_reason;
+    resp.ok = true;
+    return resp;
+  }
+
+  // Resolve the points to check and their expected outputs.
+  std::vector<fn::Point> points;
+  std::vector<math::Int> expected;
+  if (req.input) {
+    points.push_back(scenario::point_from_string(*req.input));
+    if (req.expect) {
+      expected.push_back(scenario::point_from_string(*req.expect).front());
+    } else if (s.reference) {
+      expected.push_back((*s.reference)(points.front()));
+    } else {
+      throw std::invalid_argument(
+          "file workloads have no reference function; pass --expect V");
+    }
+  } else {
+    if (!s.reference) {
+      throw std::invalid_argument(
+          "file workloads have no reference function; pass --input and "
+          "--expect");
+    }
+    if (req.grid) {
+      const math::Int m = scenario::point_from_string(*req.grid).front();
+      points = scenario::grid_points(s.crn.input_arity(), m);
+    } else {
+      points = s.verify_points;
+    }
+    for (const fn::Point& x : points) expected.push_back((*s.reference)(x));
+  }
+  if (points.empty()) {
+    throw std::invalid_argument("no verify points for '" + s.name + "'");
+  }
+
+  verify::StableCheckOptions options;
+  if (req.max_configs > 0) {
+    options.max_configs = req.max_configs;
+  } else if (s.verify_max_configs > 0) {
+    options.max_configs = s.verify_max_configs;
+  }
+  options.threads = req.threads;
+  resp.max_configs = options.max_configs;
+  resp.threads_resolved = options.threads;
+
+  const std::uint64_t crn_hash = crn::canonical_hash(s.crn);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    CheckOutcome outcome = check_point(s.crn, crn_hash, points[i],
+                                       expected[i], options, req.use_cache);
+    const VerifyPointReport& report = outcome.report;
+    if (report.ok && report.complete) {
+      ++resp.proved;
+    } else if (!report.complete) {
+      ++resp.inconclusive;
+    } else {
+      ++resp.failed;
+    }
+    resp.max_configs_explored =
+        std::max(resp.max_configs_explored, report.configs);
+    resp.total_configs += report.configs;
+    resp.total_edges += report.edges;
+    resp.frontier_peak = std::max(resp.frontier_peak, report.frontier_peak);
+    resp.arena_bytes_peak =
+        std::max(resp.arena_bytes_peak, report.arena_bytes);
+    if (outcome.fresh) {
+      // Cache hits are free: wall time and pool counters aggregate over
+      // the explorations this request actually ran.
+      resp.total_seconds += outcome.stats.wall_seconds;
+      resp.pool_tasks += outcome.stats.pool_tasks;
+      resp.pool_steals += outcome.stats.pool_steals;
+      resp.pool_parks += outcome.stats.pool_parks;
+      resp.threads_resolved = outcome.stats.threads;
+      ++resp.cache_misses;
+    } else {
+      ++resp.cache_hits;
+    }
+    resp.points.push_back(std::move(outcome.report));
+  }
+  if (!req.use_cache) {
+    resp.cache_hits = 0;
+    resp.cache_misses = 0;
+  }
+  resp.ok = resp.failed == 0 && resp.inconclusive == 0;
+  return resp;
+}
+
+}  // namespace crnkit::svc

@@ -1,0 +1,61 @@
+// svc::Service — the one entry point behind every way of driving crnkit:
+// the `crnc` subcommands, the `crnc serve` daemon, and the tests all
+// execute the same typed (Request, Response) API (svc/api.h). The service
+// owns the content-addressed proof cache: verify requests (and compose
+// --verify grids) key each point's verdict by the canonical CRN hash, so
+// repeated traffic over the same networks — under any species naming or
+// reaction ordering — is answered without re-exploring.
+//
+// Thread safety: all methods are safe to call concurrently; the proof
+// cache is internally locked and everything else is per-call state.
+#ifndef CRNKIT_SVC_SERVICE_H_
+#define CRNKIT_SVC_SERVICE_H_
+
+#include <cstdint>
+
+#include "crn/network.h"
+#include "svc/api.h"
+#include "svc/proof_cache.h"
+#include "verify/stable.h"
+
+namespace crnkit::svc {
+
+class Service {
+ public:
+  struct Options {
+    ProofCache::Options cache;
+  };
+
+  Service();
+  explicit Service(const Options& options);
+
+  [[nodiscard]] ListResponse list(const ListRequest& req) const;
+  [[nodiscard]] ShowResponse show(const ShowRequest& req) const;
+  [[nodiscard]] CompileResponse compile(const CompileRequest& req) const;
+  [[nodiscard]] SimulateResponse simulate(const SimulateRequest& req) const;
+  [[nodiscard]] VerifyResponse verify(const VerifyRequest& req);
+  [[nodiscard]] BenchResponse bench(const BenchRequest& req) const;
+  [[nodiscard]] ComposeResponse compose(const ComposeRequest& req);
+
+  [[nodiscard]] ProofCache& proof_cache() { return cache_; }
+
+ private:
+  struct CheckOutcome {
+    VerifyPointReport report;
+    bool fresh = false;          ///< computed now (not a cache hit)
+    verify::ExploreStats stats;  ///< of the (possibly original) exploration
+  };
+
+  /// Checks one verify point, consulting the proof cache first when
+  /// `use_cache`. `crn_hash` must be crn::canonical_hash(crn).
+  [[nodiscard]] CheckOutcome check_point(
+      const crn::Crn& crn, std::uint64_t crn_hash, const fn::Point& x,
+      math::Int expected, const verify::StableCheckOptions& options,
+      bool use_cache);
+
+  ProofCache cache_;
+};
+
+}  // namespace crnkit::svc
+
+#endif  // CRNKIT_SVC_SERVICE_H_

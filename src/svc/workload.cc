@@ -1,11 +1,11 @@
-#include "cli/workload.h"
+#include "svc/workload.h"
 
 #include <fstream>
 #include <sstream>
 
 #include "crn/io.h"
 
-namespace crnkit::cli {
+namespace crnkit::svc {
 
 Workload load_workload(const std::string& target,
                        const scenario::Registry& registry) {
@@ -37,4 +37,4 @@ Workload load_workload(const std::string& target,
   throw std::invalid_argument("unknown target '" + target + "'");
 }
 
-}  // namespace crnkit::cli
+}  // namespace crnkit::svc

@@ -1,0 +1,29 @@
+// Target resolution shared by every service entry point: a target is
+// either a registry scenario name ("fig1/min") or a path to a `.crn` text
+// file. File workloads come back as anonymous scenarios (no reference
+// function, no curated verify points) so all downstream code handles one
+// type. Moved here from src/cli/ when the subcommand bodies became
+// svc::Service methods — the daemon resolves targets the same way.
+#ifndef CRNKIT_SVC_WORKLOAD_H_
+#define CRNKIT_SVC_WORKLOAD_H_
+
+#include <string>
+
+#include "scenario/registry.h"
+
+namespace crnkit::svc {
+
+struct Workload {
+  scenario::Scenario scenario;
+  bool from_registry = false;
+};
+
+/// Resolves `target` against the registry first, then the filesystem.
+/// Throws std::invalid_argument (with suggestions) when it is neither.
+[[nodiscard]] Workload load_workload(const std::string& target,
+                                     const scenario::Registry& registry =
+                                         scenario::Registry::builtin());
+
+}  // namespace crnkit::svc
+
+#endif  // CRNKIT_SVC_WORKLOAD_H_

@@ -1,0 +1,29 @@
+// Shared 64-bit mixing primitives: the splitmix64 finalizer (the same
+// function verify::ConfigStore uses for Zobrist seeds and shard choice)
+// and a chain combiner for content hashes — crn::canonical_hash and the
+// proof-cache keys/persistence checksums build on these. Header-only so
+// layers below verify/ can hash without a dependency inversion.
+#ifndef CRNKIT_UTIL_HASH_H_
+#define CRNKIT_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace crnkit::util {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive chain step: folds `v` into the running hash `h`.
+[[nodiscard]] inline std::uint64_t hash_chain(std::uint64_t h,
+                                              std::uint64_t v) {
+  return splitmix64(h ^ splitmix64(v));
+}
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_HASH_H_

@@ -191,6 +191,8 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
     if (!good[static_cast<std::size_t>(component[node])]) {
       result.ok = false;
       result.counterexample = graph.config(static_cast<int>(node));
+      result.counterexample_path =
+          path_from_root(graph, static_cast<int>(node));
       break;
     }
   }
@@ -198,6 +200,7 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   if (!graph.complete && result.ok) {
     result.ok = false;
     result.counterexample.reset();
+    result.counterexample_path.clear();
   }
   return result;
 }

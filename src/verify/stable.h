@@ -30,6 +30,11 @@ struct StableCheckResult {
   /// A reachable configuration from which no correct stable configuration
   /// is reachable (present iff !ok).
   std::optional<crn::Config> counterexample;
+  /// Reaction indices along the BFS tree from I_x to `counterexample` — a
+  /// replayable witness: applying them in order from the initial
+  /// configuration reproduces the counterexample. Empty when ok (or when
+  /// an incomplete exploration withheld the verdict without a witness).
+  std::vector<int> counterexample_path;
   /// A reachable configuration whose output exceeds the expected value
   /// (the signature failure mode of non-output-oblivious behavior).
   std::optional<crn::Config> overproduction;

@@ -11,6 +11,7 @@
 #include "cli/crnc.h"
 #include "scenario/registry.h"
 #include "util/json_parse.h"
+#include "util/json_value.h"
 
 namespace crnkit::cli {
 namespace {
@@ -384,6 +385,52 @@ TEST(Crnc, BenchEmitsRecordShape) {
   expect_valid_json(r.out);
   EXPECT_NE(r.out.find("\"events_per_sec\""), std::string::npos);
   EXPECT_NE(r.out.find("\"wall_seconds\""), std::string::npos);
+}
+
+TEST(Crnc, EveryJsonOutputCarriesSchemaVersion) {
+  // All subcommands route through svc::Service and its typed response
+  // serializers; every --json top-level object leads with the wire schema
+  // version so daemon clients and CLI consumers parse the same shape.
+  const std::vector<std::vector<std::string>> commands = {
+      {"list", "--json"},
+      {"show", "fig1/min", "--json"},
+      {"compile", "fig1/min", "--json"},
+      {"simulate", "fig1/twice", "--trajectories", "4", "--json"},
+      {"verify", "fig1/min", "--json"},
+      {"bench", "fig1/min", "--trajectories", "2", "--events", "20000",
+       "--json"},
+      {"compose", "min(x1, x2) + 1", "--json"},
+  };
+  for (const auto& argv : commands) {
+    const auto r = run(argv);
+    EXPECT_EQ(r.status, 0) << argv[0] << ": " << r.err;
+    const util::JsonValue root = util::JsonValue::parse(r.out);
+    EXPECT_EQ(root.get_int("schema_version", -1), 1) << argv[0];
+    EXPECT_EQ(r.out.rfind("{\"schema_version\": 1", 0), 0u)
+        << argv[0] << " does not lead with schema_version";
+  }
+}
+
+TEST(Crnc, VerifyJsonRoundTripsThroughParser) {
+  // The --json output is not just syntactically valid: it parses into the
+  // documented field shape, and the tallies are internally consistent.
+  const auto r = run({"verify", "fig1/min", "--json"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  const util::JsonValue root = util::JsonValue::parse(r.out);
+  EXPECT_EQ(root.get_string("scenario", ""), "fig1/min");
+  EXPECT_TRUE(root.get_bool("ok", false));
+  const auto points = root.get("points").size();
+  EXPECT_EQ(static_cast<std::int64_t>(points),
+            root.get_int("proved", -1) + root.get_int("failed", -1) +
+                root.get_int("inconclusive", -1));
+  // A fresh CLI process starts with a cold cache: all misses, no hits.
+  EXPECT_EQ(root.get_int("cache_hits", -1), 0);
+  EXPECT_EQ(root.get_int("cache_misses", 0),
+            static_cast<std::int64_t>(points));
+  for (const util::JsonValue& point : root.get("points").items()) {
+    EXPECT_FALSE(point.get_bool("cached", true));
+    EXPECT_EQ(point.get_string("status", "?"), "proved");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,311 @@
+// End-to-end tests for the `crnc serve` daemon core (svc::Server): the
+// line-JSON protocol over real sockets, HTTP auto-detection on the same
+// port, cross-connection proof-cache reuse, batch scheduling, 64-way
+// concurrent clients with verdicts bit-identical to a one-shot service
+// run, and clean shutdown with connections (and requests) in flight.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "svc/server.h"
+#include "svc/service.h"
+#include "util/json_value.h"
+
+namespace crnkit::svc {
+namespace {
+
+using util::JsonValue;
+
+/// Minimal blocking line client against 127.0.0.1:port.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send_raw(const std::string& text) {
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+      const ssize_t n =
+          ::send(fd_, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return buffer_;  // EOF: whatever is left
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string read_to_eof() {
+    std::string all = buffer_;
+    buffer_.clear();
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return all;
+      all.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string roundtrip(const std::string& line) {
+    send_raw(line + "\n");
+    return read_line();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(Serve, LineProtocolAnswersAndCachesAcrossConnections) {
+  Service service;
+  Server server(service);
+  server.start();
+
+  {
+    Client client(server.port());
+    const JsonValue pong = JsonValue::parse(client.roundtrip("{\"op\": \"ping\"}"));
+    EXPECT_EQ(pong.get_int("schema_version", -1), 1);
+    EXPECT_TRUE(pong.get_bool("pong", false));
+
+    const JsonValue cold = JsonValue::parse(client.roundtrip(
+        "{\"op\": \"verify\", \"target\": \"fig1/min\"}"));
+    EXPECT_TRUE(cold.get_bool("ok", false));
+    EXPECT_EQ(cold.get_int("cache_hits", -1), 0);
+    EXPECT_GT(cold.get_int("cache_misses", 0), 0);
+  }
+  {
+    // A new connection hits the entries the first one populated.
+    Client client(server.port());
+    const JsonValue warm = JsonValue::parse(client.roundtrip(
+        "{\"op\": \"verify\", \"target\": \"fig1/min\"}"));
+    EXPECT_TRUE(warm.get_bool("ok", false));
+    EXPECT_EQ(warm.get_int("cache_misses", -1), 0);
+    EXPECT_EQ(warm.get_int("cache_hits", 0),
+              static_cast<std::int64_t>(warm.get("points").size()));
+    for (const JsonValue& point : warm.get("points").items()) {
+      EXPECT_TRUE(point.get_bool("cached", false));
+    }
+  }
+
+  server.stop();
+  EXPECT_EQ(server.stats().connections, 2u);
+  EXPECT_EQ(server.stats().errors, 0u);
+}
+
+TEST(Serve, MalformedAndUnknownRequestsGetErrorResponses) {
+  Service service;
+  Server server(service);
+  server.start();
+
+  Client client(server.port());
+  const JsonValue bad = JsonValue::parse(client.roundtrip("{not json"));
+  EXPECT_EQ(bad.get_int("schema_version", -1), 1);
+  EXPECT_TRUE(bad.has("error"));
+  EXPECT_FALSE(bad.get_bool("ok", true));
+
+  const JsonValue unknown =
+      JsonValue::parse(client.roundtrip("{\"op\": \"frobnicate\"}"));
+  EXPECT_TRUE(unknown.has("error"));
+
+  server.stop();
+  EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(Serve, BatchSchedulesSubRequestsAndKeepsOrder) {
+  Service service;
+  Server server(service);
+  server.start();
+
+  Client client(server.port());
+  const JsonValue batch = JsonValue::parse(client.roundtrip(
+      "{\"op\": \"batch\", \"requests\": ["
+      "{\"op\": \"show\", \"target\": \"fig1/min\"}, "
+      "{\"op\": \"verify\", \"target\": \"fig1/twice\"}, "
+      "{\"op\": \"nope\"}]}"));
+  EXPECT_EQ(batch.get_int("schema_version", -1), 1);
+  ASSERT_EQ(batch.get("results").size(), 3u);
+  EXPECT_EQ(batch.get("results").at(0).get_string("name", ""), "fig1/min");
+  EXPECT_TRUE(batch.get("results").at(1).get_bool("ok", false));
+  EXPECT_TRUE(batch.get("results").at(2).has("error"));
+
+  server.stop();
+}
+
+TEST(Serve, HttpPostAndHealthzOnTheSamePort) {
+  Service service;
+  Server server(service);
+  server.start();
+
+  {
+    Client client(server.port());
+    const std::string body = "{\"target\": \"fig1/min\"}";
+    client.send_raw("POST /v1/verify HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body);
+    const std::string response = client.read_to_eof();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    const auto blank = response.find("\r\n\r\n");
+    ASSERT_NE(blank, std::string::npos);
+    const JsonValue parsed = JsonValue::parse(response.substr(blank + 4));
+    EXPECT_EQ(parsed.get_int("schema_version", -1), 1);
+    EXPECT_TRUE(parsed.get_bool("ok", false));
+  }
+  {
+    Client client(server.port());
+    client.send_raw("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    const std::string response = client.read_to_eof();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  }
+  {
+    Client client(server.port());
+    client.send_raw("GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(client.read_to_eof().find("404"), std::string::npos);
+  }
+
+  server.stop();
+}
+
+TEST(Serve, SixtyFourConcurrentClientsGetIdenticalVerdicts) {
+  // The acceptance bar: >= 64 concurrent mixed requests, every verdict
+  // bit-identical to a one-shot run against a fresh service.
+  Service reference;
+  const std::string want_min = Server::dispatch_line(
+      reference, "{\"op\": \"verify\", \"target\": \"fig1/min\"}");
+  const std::string want_sim = Server::dispatch_line(
+      reference,
+      "{\"op\": \"simulate\", \"target\": \"fig1/twice\", "
+      "\"trajectories\": 4, \"seed\": 7}");
+  const JsonValue want_min_json = JsonValue::parse(want_min);
+  const JsonValue want_sim_json = JsonValue::parse(want_sim);
+
+  Service service;
+  Server server(service);
+  server.start();
+
+  constexpr int kClients = 64;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(server.port());
+      const auto slot = static_cast<std::size_t>(i);
+      if (i % 3 != 2) {
+        responses[slot] = client.roundtrip(
+            "{\"op\": \"verify\", \"target\": \"fig1/min\"}");
+      } else {
+        responses[slot] = client.roundtrip(
+            "{\"op\": \"simulate\", \"target\": \"fig1/twice\", "
+            "\"trajectories\": 4, \"seed\": 7}");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.stop();
+
+  for (int i = 0; i < kClients; ++i) {
+    const JsonValue got =
+        JsonValue::parse(responses[static_cast<std::size_t>(i)]);
+    if (i % 3 != 2) {
+      EXPECT_TRUE(got.get_bool("ok", false)) << i;
+      EXPECT_EQ(got.get_int("proved", -1),
+                want_min_json.get_int("proved", -2))
+          << i;
+      EXPECT_EQ(got.get_int("failed", -1), 0) << i;
+      const auto& want_points = want_min_json.get("points").items();
+      const auto& got_points = got.get("points").items();
+      ASSERT_EQ(got_points.size(), want_points.size()) << i;
+      for (std::size_t p = 0; p < want_points.size(); ++p) {
+        EXPECT_EQ(got_points[p].get_string("x", "?"),
+                  want_points[p].get_string("x", "!"));
+        EXPECT_EQ(got_points[p].get_int("configs", -1),
+                  want_points[p].get_int("configs", -2));
+        EXPECT_EQ(got_points[p].get_string("status", "?"),
+                  want_points[p].get_string("status", "!"));
+      }
+    } else {
+      EXPECT_EQ(got.get_int("output", -1),
+                want_sim_json.get_int("output", -2))
+          << i;
+      EXPECT_EQ(got.get_int("total_events", -1),
+                want_sim_json.get_int("total_events", -2))
+          << i;
+      EXPECT_TRUE(got.get_bool("ok", false)) << i;
+    }
+  }
+  EXPECT_EQ(server.stats().connections, 64u);
+  EXPECT_EQ(server.stats().requests, 64u);
+  EXPECT_EQ(server.stats().errors, 0u);
+}
+
+TEST(Serve, StopWithConnectionsAndRequestsInFlightIsClean) {
+  Service service;
+  auto server = std::make_unique<Server>(service);
+  server->start();
+
+  // One idle connection, one with a half-sent request, one mid-request.
+  Client idle(server->port());
+  Client half(server->port());
+  half.send_raw("{\"op\": \"verify\", \"target\":");
+  Client busy(server->port());
+  busy.send_raw("{\"op\": \"verify\", \"target\": \"fig1/min\"}\n");
+
+  // stop() must shut all three down and join without hanging; the
+  // in-flight dispatch either finishes (full response line) or the
+  // connection closes — never a torn response.
+  server->stop();
+  const std::string leftover = busy.read_to_eof();
+  if (!leftover.empty()) {
+    EXPECT_EQ(leftover.back(), '\n');
+    const JsonValue parsed =
+        JsonValue::parse(leftover.substr(0, leftover.size() - 1));
+    EXPECT_EQ(parsed.get_int("schema_version", -1), 1);
+  }
+  EXPECT_EQ(idle.read_to_eof(), "");
+  EXPECT_EQ(half.read_to_eof(), "");
+
+  // A stopped server can be restarted on a fresh port.
+  server = std::make_unique<Server>(service);
+  server->start();
+  Client again(server->port());
+  EXPECT_TRUE(JsonValue::parse(again.roundtrip("{\"op\": \"ping\"}"))
+                  .get_bool("pong", false));
+  server->stop();
+}
+
+}  // namespace
+}  // namespace crnkit::svc

@@ -1,0 +1,380 @@
+// Tests for the svc layer: the Service entry point behind the CLI and the
+// daemon, and its content-addressed proof cache — hit accounting,
+// bit-identical cached verdicts, the budget-rejection rule (a truncated
+// proof is never served for a larger budget), LRU eviction, on-disk
+// persistence with corruption rejection, witness replay, and concurrent
+// mixed traffic against one shared service.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crn/network.h"
+#include "crn/passes.h"
+#include "svc/proof_cache.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
+#include "svc/workload.h"
+
+namespace crnkit::svc {
+namespace {
+
+VerifyRequest min_request() {
+  VerifyRequest req;
+  req.target = "fig1/min";
+  return req;
+}
+
+void expect_same_verdicts(const VerifyResponse& a, const VerifyResponse& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.proved, b.proved);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.inconclusive, b.inconclusive);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x) << i;
+    EXPECT_EQ(a.points[i].expected, b.points[i].expected) << i;
+    EXPECT_EQ(a.points[i].ok, b.points[i].ok) << i;
+    EXPECT_EQ(a.points[i].complete, b.points[i].complete) << i;
+    EXPECT_EQ(a.points[i].configs, b.points[i].configs) << i;
+    EXPECT_EQ(a.points[i].edges, b.points[i].edges) << i;
+    EXPECT_EQ(a.points[i].status, b.points[i].status) << i;
+    EXPECT_EQ(a.points[i].witness, b.points[i].witness) << i;
+  }
+}
+
+TEST(Service, VerifyCachesRepeatedRequests) {
+  Service service;
+  const VerifyResponse cold = service.verify(min_request());
+  EXPECT_TRUE(cold.ok);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, cold.points.size());
+  for (const VerifyPointReport& p : cold.points) EXPECT_FALSE(p.cached);
+
+  const VerifyResponse warm = service.verify(min_request());
+  EXPECT_EQ(warm.cache_hits, warm.points.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+  for (const VerifyPointReport& p : warm.points) EXPECT_TRUE(p.cached);
+  expect_same_verdicts(cold, warm);
+}
+
+TEST(Service, CacheIsKeyedByCanonicalFormNotByNames) {
+  // The same network as a renamed .crn file must hit the entries the
+  // registry scenario populated.
+  Service service;
+  VerifyRequest point = min_request();
+  point.input = "2,3";
+  point.expect = "2";
+  const VerifyResponse cold = service.verify(point);
+  EXPECT_EQ(cold.cache_misses, 1u);
+
+  const std::string path = testing::TempDir() + "svc_renamed_min.crn";
+  {
+    std::ofstream file(path, std::ios::trunc);
+    file << "crn renamed-min\ninputs B A\noutput Q\nrxn B + A -> Q\n";
+  }
+  VerifyRequest renamed;
+  renamed.target = path;
+  renamed.input = "2,3";
+  renamed.expect = "2";
+  const VerifyResponse warm = service.verify(renamed);
+  EXPECT_EQ(warm.cache_hits, 1u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  expect_same_verdicts(cold, warm);
+  std::remove(path.c_str());
+}
+
+TEST(Service, NoCacheFlagBypassesTheCache) {
+  Service service;
+  (void)service.verify(min_request());
+  VerifyRequest req = min_request();
+  req.use_cache = false;
+  const VerifyResponse fresh = service.verify(req);
+  EXPECT_EQ(fresh.cache_hits, 0u);
+  EXPECT_EQ(fresh.cache_misses, 0u);
+  for (const VerifyPointReport& p : fresh.points) EXPECT_FALSE(p.cached);
+}
+
+// The budget-rejection regression test (issue satellite): a verdict from a
+// truncated exploration is keyed by its exact budget and must never be
+// served for a larger budget, which could complete the exploration and
+// flip inconclusive into proved (or FAILED).
+TEST(Service, TruncatedVerdictIsNeverServedForLargerBudget) {
+  Service service;
+  VerifyRequest tiny = min_request();
+  tiny.input = "3,3";
+  tiny.expect = "3";
+  tiny.max_configs = 2;
+  const VerifyResponse truncated = service.verify(tiny);
+  ASSERT_EQ(truncated.points.size(), 1u);
+  EXPECT_FALSE(truncated.points[0].complete);
+  EXPECT_EQ(truncated.points[0].status, "inconclusive");
+  EXPECT_EQ(truncated.cache_misses, 1u);
+
+  // Same point, bigger budget: the truncated entry must not answer it.
+  VerifyRequest full = tiny;
+  full.max_configs = 200000;
+  const VerifyResponse proved = service.verify(full);
+  ASSERT_EQ(proved.points.size(), 1u);
+  EXPECT_EQ(proved.cache_hits, 0u);
+  EXPECT_EQ(proved.cache_misses, 1u);
+  EXPECT_TRUE(proved.points[0].complete);
+  EXPECT_EQ(proved.points[0].status, "proved");
+
+  // The truncated entry still answers its exact budget...
+  const VerifyResponse truncated_again = service.verify(tiny);
+  EXPECT_EQ(truncated_again.cache_hits, 1u);
+  EXPECT_EQ(truncated_again.points[0].status, "inconclusive");
+
+  // ...and the complete verdict answers any budget that could have
+  // completed the same exploration, including larger ones.
+  VerifyRequest larger = tiny;
+  larger.max_configs = 500000;
+  const VerifyResponse served = service.verify(larger);
+  EXPECT_EQ(served.cache_hits, 1u);
+  EXPECT_EQ(served.points[0].status, "proved");
+
+  // A budget below the explored size must not reuse the complete verdict:
+  // that exploration would have been truncated.
+  VerifyRequest below = tiny;
+  below.max_configs = proved.points[0].configs - 1;
+  const VerifyResponse retried = service.verify(below);
+  EXPECT_EQ(retried.cache_hits, 0u);
+  EXPECT_FALSE(retried.points[0].complete);
+}
+
+TEST(Service, FailedVerdictCarriesReplayableWitness) {
+  Service service;
+  VerifyRequest req;
+  req.target = "fig1/2max-broken";
+  req.input = "1,2";
+  req.expect = "4";
+  req.force = true;
+  const VerifyResponse resp = service.verify(req);
+  ASSERT_EQ(resp.points.size(), 1u);
+  ASSERT_EQ(resp.points[0].status, "FAILED");
+  ASSERT_FALSE(resp.points[0].witness.empty());
+
+  // Replay the witness from I_x: every reaction along the path must be
+  // applicable — the cached path is a checkable certificate, not a claim.
+  const crn::Crn network = load_workload("fig1/2max-broken").scenario.crn;
+  crn::Config config = network.initial_configuration({1, 2});
+  for (const int r : resp.points[0].witness) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(static_cast<std::size_t>(r), network.reactions().size());
+    const crn::Reaction& reaction =
+        network.reactions()[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(reaction.applicable(config));
+    reaction.apply_in_place(config);
+  }
+
+  // The witness survives the cache round-trip bit-identically.
+  const VerifyResponse cached = service.verify(req);
+  EXPECT_EQ(cached.cache_hits, 1u);
+  EXPECT_EQ(cached.points[0].witness, resp.points[0].witness);
+}
+
+TEST(ProofCache, CompleteSlotServesOnlySufficientBudgets) {
+  ProofCache cache;
+  ProofKey key;
+  key.crn_hash = 0xabcdef;
+  key.x = {3, 3};
+  key.expected = 3;
+
+  ProofVerdict complete;
+  complete.ok = true;
+  complete.complete = true;
+  complete.budget = 1000;
+  complete.num_configs = 40;
+  cache.insert(key, complete);
+
+  EXPECT_TRUE(cache.lookup(key, 40).has_value());
+  EXPECT_TRUE(cache.lookup(key, 100000).has_value());
+  EXPECT_FALSE(cache.lookup(key, 39).has_value());
+
+  ProofVerdict truncated;
+  truncated.ok = false;
+  truncated.complete = false;
+  truncated.budget = 10;
+  truncated.num_configs = 10;
+  cache.insert(key, truncated);
+  const auto hit = cache.lookup(key, 10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->complete);
+  // The truncated slot never answers any other budget (11 falls back to
+  // the complete slot only once the budget could cover it).
+  EXPECT_FALSE(cache.lookup(key, 11).has_value());
+}
+
+TEST(ProofCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  ProofCache::Options options;
+  options.max_bytes = 1024;  // room for a few entries, nowhere near eight
+  ProofCache cache(options);
+  const auto key_for = [](std::uint64_t i) {
+    ProofKey key;
+    key.crn_hash = i;
+    key.expected = 1;
+    return key;
+  };
+  ProofVerdict verdict;
+  verdict.complete = true;
+  verdict.num_configs = 1;
+  for (std::uint64_t i = 0; i < 8; ++i) cache.insert(key_for(i), verdict);
+
+  const ProofCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+  // The oldest keys are gone, the newest survive.
+  EXPECT_FALSE(cache.lookup(key_for(0), 10).has_value());
+  EXPECT_TRUE(cache.lookup(key_for(7), 10).has_value());
+}
+
+TEST(ProofCache, ZeroByteBudgetDisablesCaching) {
+  ProofCache::Options options;
+  options.max_bytes = 0;
+  ProofCache cache(options);
+  ProofKey key;
+  key.crn_hash = 1;
+  ProofVerdict verdict;
+  verdict.complete = true;
+  cache.insert(key, verdict);
+  EXPECT_FALSE(cache.lookup(key, 100).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ProofCache, PersistenceRoundTripsThroughService) {
+  const std::string path = testing::TempDir() + "svc_proof_cache.json";
+  VerifyResponse cold;
+  {
+    Service service;
+    cold = service.verify(min_request());
+    service.proof_cache().save(path);
+  }
+  Service service;
+  EXPECT_EQ(service.proof_cache().load(path), cold.points.size());
+  const VerifyResponse warm = service.verify(min_request());
+  EXPECT_EQ(warm.cache_hits, warm.points.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+  expect_same_verdicts(cold, warm);
+  std::remove(path.c_str());
+}
+
+TEST(ProofCache, LoadRejectsTamperedAndMalformedFiles) {
+  const std::string path = testing::TempDir() + "svc_proof_tampered.json";
+  {
+    Service service;
+    (void)service.verify(min_request());
+    service.proof_cache().save(path);
+  }
+  std::string text;
+  {
+    std::ifstream file(path);
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    text = contents.str();
+  }
+
+  const auto write_and_expect_reject = [&](const std::string& contents) {
+    std::ofstream file(path, std::ios::trunc);
+    file << contents;
+    file.close();
+    ProofCache cache;
+    EXPECT_THROW((void)cache.load(path), std::runtime_error);
+    EXPECT_EQ(cache.stats().entries, 0u);
+  };
+
+  // Flipping one verdict bit breaks the content checksum.
+  const auto ok_pos = text.find("\"ok\": true");
+  ASSERT_NE(ok_pos, std::string::npos);
+  std::string tampered = text;
+  tampered.replace(ok_pos, 10, "\"ok\": false");
+  write_and_expect_reject(tampered);
+
+  // A future schema version is refused rather than misread.
+  const auto version_pos = text.find("\"schema_version\": 1");
+  ASSERT_NE(version_pos, std::string::npos);
+  std::string future = text;
+  future.replace(version_pos, 19, "\"schema_version\": 99");
+  write_and_expect_reject(future);
+
+  // A wrong format marker and plain garbage are refused too.
+  std::string wrong_format = text;
+  const auto format_pos = wrong_format.find("crnkit-proof-cache");
+  ASSERT_NE(format_pos, std::string::npos);
+  wrong_format.replace(format_pos, 18, "crnkit-prof-cache!");
+  write_and_expect_reject(wrong_format);
+  write_and_expect_reject("not json at all");
+
+  std::remove(path.c_str());
+}
+
+TEST(Service, ConcurrentMixedRequestsMatchFreshVerdicts) {
+  // One shared service, 64 concurrent clients mixing verify and simulate.
+  // Every response must be bit-identical to a fresh single-threaded run.
+  Service reference_service;
+  const VerifyResponse want_verify = reference_service.verify(min_request());
+  SimulateRequest sim;
+  sim.target = "fig1/twice";
+  sim.trajectories = 4;
+  sim.seed = 7;
+  sim.threads = 1;
+  const SimulateResponse want_sim = reference_service.simulate(sim);
+
+  Service service;
+  constexpr int kClients = 64;
+  std::vector<VerifyResponse> verifies(kClients);
+  std::vector<SimulateResponse> simulates(kClients);
+  std::vector<char> is_verify(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    is_verify[static_cast<std::size_t>(i)] = (i % 3) != 2;
+    clients.emplace_back([&, i] {
+      const auto slot = static_cast<std::size_t>(i);
+      if (is_verify[slot]) {
+        verifies[slot] = service.verify(min_request());
+      } else {
+        simulates[slot] = service.simulate(sim);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const auto slot = static_cast<std::size_t>(i);
+    if (is_verify[slot]) {
+      expect_same_verdicts(want_verify, verifies[slot]);
+    } else {
+      EXPECT_EQ(want_sim.output, simulates[slot].output) << i;
+      EXPECT_EQ(want_sim.silent, simulates[slot].silent) << i;
+      EXPECT_EQ(want_sim.total_events, simulates[slot].total_events) << i;
+      EXPECT_EQ(want_sim.ok, simulates[slot].ok) << i;
+    }
+  }
+  // Every verify consulted the cache for every point. Racing cold clients
+  // may each compute the same point (there is no request coalescing), so
+  // misses can exceed the point count — but the sum is exact.
+  const ProofCache::Stats stats = service.proof_cache().stats();
+  std::size_t verify_count = 0;
+  for (const char v : is_verify) verify_count += v != 0;
+  EXPECT_EQ(stats.hits + stats.misses,
+            verify_count * want_verify.points.size());
+  EXPECT_GE(stats.misses, want_verify.points.size());
+}
+
+TEST(Serialize, VerifyResponseRoundTripsSchemaVersion) {
+  Service service;
+  const std::string json = to_json(service.verify(min_request()));
+  const util::JsonValue root = util::JsonValue::parse(json);
+  EXPECT_EQ(root.get_int("schema_version", -1), kSchemaVersion);
+  EXPECT_EQ(root.get("points").size(),
+            static_cast<std::size_t>(root.get_int("proved", -1)));
+  EXPECT_TRUE(root.get_bool("ok", false));
+}
+
+}  // namespace
+}  // namespace crnkit::svc

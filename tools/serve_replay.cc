@@ -1,0 +1,408 @@
+// serve_replay: replays a request mix against the crnc service twice —
+// a cold pass and a warm pass over the same sequence — and reports p50/p99
+// latency and throughput for each, plus the proof-cache counters. The mix
+// is zipf-distributed over the scenario registry (popular networks
+// dominate, the tail keeps the cache honest), weighted toward verify so
+// the cached path is what is being measured.
+//
+// Modes:
+//   serve_replay                        in-process Service (default)
+//   serve_replay --connect HOST:PORT    line-JSON over TCP to a live
+//                                       `crnc serve` (one connection per
+//                                       pass; the daemon must be fresh for
+//                                       the cold pass to be cold)
+//   serve_replay --requests FILE        replay FILE (one JSON request per
+//                                       line) instead of the generated mix
+//
+// Emits BENCH_serve.json (override with --out). --assert-warm-faster exits
+// nonzero unless warm p50 < cold p50 — the CI regression gate for the
+// cache. CRNKIT_BENCH_FAST=1 trims the generated mix for smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "scenario/registry.h"
+#include "svc/server.h"
+#include "svc/service.h"
+#include "util/hash.h"
+#include "util/json_value.h"
+#include "util/json_writer.h"
+
+namespace {
+
+using crnkit::util::splitmix64;
+
+struct PassReport {
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double wall_seconds = 0;
+  double requests_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double percentile(std::vector<double> sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+/// Deterministic splitmix64 counter PRNG in [0, 1).
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+  double uniform() {
+    state_ = splitmix64(state_ + 0x9e3779b97f4a7c15ULL);
+    return static_cast<double>(state_ >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The generated mix: zipf over the verifiable registry scenarios, ops
+/// weighted verify 70% / show 20% / simulate 10% (simulate is never
+/// cached, so it stays a small fraction of the measured traffic).
+std::vector<std::string> generate_requests(std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (const crnkit::scenario::Scenario& s :
+       crnkit::scenario::Registry::builtin().build_all()) {
+    if (s.has_tag("large") || s.unverifiable()) continue;
+    names.push_back(s.name);
+  }
+  if (names.empty()) throw std::runtime_error("no verifiable scenarios");
+
+  std::vector<double> cumulative;
+  double total = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    total += 1.0 / static_cast<double>(i + 1);
+    cumulative.push_back(total);
+  }
+
+  Prng prng(seed);
+  std::vector<std::string> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = prng.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const std::string& name =
+        names[static_cast<std::size_t>(it - cumulative.begin())];
+    const double op = prng.uniform();
+    if (op < 0.70) {
+      requests.push_back("{\"op\": \"verify\", \"target\": \"" + name +
+                         "\"}");
+    } else if (op < 0.90) {
+      requests.push_back("{\"op\": \"show\", \"target\": \"" + name + "\"}");
+    } else {
+      requests.push_back("{\"op\": \"simulate\", \"target\": \"" + name +
+                         "\", \"trajectories\": 4, \"max_events\": 50000}");
+    }
+  }
+  return requests;
+}
+
+std::vector<std::string> read_requests(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot read request file '" + path + "'");
+  }
+  std::vector<std::string> requests;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    requests.push_back(line);
+  }
+  return requests;
+}
+
+/// Line-JSON TCP client for --connect mode; one connection per pass.
+class LineClient {
+ public:
+  LineClient(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd_);
+      throw std::runtime_error("bad host '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      throw std::runtime_error("cannot connect to " + host + ":" +
+                               std::to_string(port));
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  std::string roundtrip(const std::string& line) {
+    const std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n <= 0) throw std::runtime_error("send failed");
+      sent += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return response;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) throw std::runtime_error("connection closed mid-reply");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+template <typename Dispatch>
+PassReport run_pass(const std::vector<std::string>& requests,
+                    Dispatch&& dispatch) {
+  using Clock = std::chrono::steady_clock;
+  PassReport report;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(requests.size());
+  std::vector<std::string> responses;
+  responses.reserve(requests.size());
+
+  const auto pass_start = Clock::now();
+  for (const std::string& request : requests) {
+    const auto start = Clock::now();
+    responses.push_back(dispatch(request));
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count());
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - pass_start).count();
+
+  report.requests = requests.size();
+  for (const std::string& response : responses) {
+    try {
+      if (crnkit::util::JsonValue::parse(response).has("error")) {
+        ++report.errors;
+      }
+    } catch (const std::invalid_argument&) {
+      ++report.errors;
+    }
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  report.p50_us = percentile(latencies_us, 0.50);
+  report.p99_us = percentile(latencies_us, 0.99);
+  report.requests_per_sec =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.requests) / report.wall_seconds
+          : 0;
+  return report;
+}
+
+void write_pass(crnkit::util::JsonWriter& w, const char* key,
+                const PassReport& report) {
+  w.key(key)
+      .begin_object()
+      .kv("requests", report.requests)
+      .kv("errors", report.errors)
+      .kv_fixed("wall_seconds", report.wall_seconds, 6)
+      .kv_fixed("requests_per_sec", report.requests_per_sec, 2)
+      .kv_fixed("p50_us", report.p50_us, 2)
+      .kv_fixed("p99_us", report.p99_us, 2)
+      .end_object();
+}
+
+int run(int argc, char** argv) {
+  std::size_t count = std::getenv("CRNKIT_BENCH_FAST") ? 48 : 160;
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_serve.json";
+  std::optional<std::string> requests_path;
+  std::optional<std::string> connect;
+  bool assert_warm_faster = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--count") {
+      count = static_cast<std::size_t>(std::stoull(need_value("--count")));
+    } else if (arg == "--seed") {
+      seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--out") {
+      out_path = need_value("--out");
+    } else if (arg == "--requests") {
+      requests_path = need_value("--requests");
+    } else if (arg == "--connect") {
+      connect = need_value("--connect");
+    } else if (arg == "--assert-warm-faster") {
+      assert_warm_faster = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_replay [--count N] [--seed S] [--out FILE] "
+                   "[--requests FILE] [--connect HOST:PORT] "
+                   "[--assert-warm-faster]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> requests =
+      requests_path ? read_requests(*requests_path)
+                    : generate_requests(count, seed);
+  if (requests.empty()) {
+    std::fprintf(stderr, "serve_replay: empty request list\n");
+    return 2;
+  }
+
+  std::map<std::string, std::size_t> mix;
+  for (const std::string& request : requests) {
+    std::string op = "?";
+    try {
+      op = crnkit::util::JsonValue::parse(request).get_string("op", "?");
+    } catch (const std::invalid_argument&) {
+    }
+    ++mix[op];
+  }
+
+  PassReport cold;
+  PassReport warm;
+  crnkit::svc::ProofCache::Stats cache;
+  bool have_cache = false;
+  if (connect) {
+    const auto colon = connect->rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "serve_replay: --connect wants HOST:PORT\n");
+      return 2;
+    }
+    const std::string host = connect->substr(0, colon);
+    const int port = std::stoi(connect->substr(colon + 1));
+    {
+      LineClient client(host, port);
+      cold = run_pass(requests, [&](const std::string& line) {
+        return client.roundtrip(line);
+      });
+    }
+    LineClient client(host, port);
+    warm = run_pass(requests, [&](const std::string& line) {
+      return client.roundtrip(line);
+    });
+  } else {
+    crnkit::svc::Service service;
+    const auto dispatch = [&](const std::string& line) {
+      return crnkit::svc::Server::dispatch_line(service, line);
+    };
+    cold = run_pass(requests, dispatch);
+    warm = run_pass(requests, dispatch);
+    cache = service.proof_cache().stats();
+    have_cache = true;
+  }
+
+  const double throughput_ratio =
+      cold.requests_per_sec > 0
+          ? warm.requests_per_sec / cold.requests_per_sec
+          : 0;
+  const double p50_speedup =
+      warm.p50_us > 0 ? cold.p50_us / warm.p50_us : 0;
+
+  crnkit::util::JsonWriter w;
+  w.begin_object()
+      .kv("schema_version", 1)
+      .kv("bench", "serve_replay")
+      .kv("mode", connect ? "connect" : "inprocess")
+      .kv("seed", seed)
+      .kv("requests", requests.size())
+      .key("mix")
+      .begin_object();
+  for (const auto& [op, n] : mix) w.kv(op, n);
+  w.end_object();
+  write_pass(w, "cold", cold);
+  write_pass(w, "warm", warm);
+  w.kv_fixed("cached_throughput_ratio", throughput_ratio, 3)
+      .kv_fixed("warm_p50_speedup", p50_speedup, 3);
+  if (have_cache) {
+    w.key("cache")
+        .begin_object()
+        .kv("hits", cache.hits)
+        .kv("misses", cache.misses)
+        .kv("insertions", cache.insertions)
+        .kv("evictions", cache.evictions)
+        .kv("entries", cache.entries)
+        .kv("bytes", cache.bytes)
+        .end_object();
+  }
+  w.end_object();
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "serve_replay: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+
+  std::printf(
+      "serve_replay: %zu requests (%zu errors cold, %zu warm)\n"
+      "  cold: %8.1f req/s  p50 %9.1f us  p99 %9.1f us\n"
+      "  warm: %8.1f req/s  p50 %9.1f us  p99 %9.1f us\n"
+      "  cached throughput ratio %.2fx, warm p50 speedup %.2fx -> %s\n",
+      requests.size(), cold.errors, warm.errors, cold.requests_per_sec,
+      cold.p50_us, cold.p99_us, warm.requests_per_sec, warm.p50_us,
+      warm.p99_us, throughput_ratio, p50_speedup, out_path.c_str());
+  if (have_cache) {
+    std::printf("  cache: %zu hits / %zu misses, %zu entries, %zu bytes\n",
+                static_cast<std::size_t>(cache.hits),
+                static_cast<std::size_t>(cache.misses), cache.entries,
+                cache.bytes);
+  }
+
+  if (assert_warm_faster && !(warm.p50_us < cold.p50_us)) {
+    std::fprintf(stderr,
+                 "serve_replay: FAIL — warm p50 (%.1f us) is not below cold "
+                 "p50 (%.1f us)\n",
+                 warm.p50_us, cold.p50_us);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_replay: %s\n", e.what());
+    return 1;
+  }
+}
