@@ -2,7 +2,25 @@
 
 #include <stdexcept>
 
+#include "cli/commands.h"
+#include "obs/trace.h"
+
 namespace crnkit::cli {
+
+ScopedTrace::ScopedTrace(Args& args) {
+  path_ = args.take_option("trace").value_or("");
+  if (!path_.empty()) obs::Tracer::start();
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (path_.empty()) return;
+  obs::Tracer::stop();
+  try {
+    obs::Tracer::write_chrome_json(path_);
+  } catch (const std::exception&) {
+    // A failed trace write must not flip the command's exit code.
+  }
+}
 
 namespace {
 

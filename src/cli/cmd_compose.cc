@@ -13,6 +13,7 @@ namespace crnkit::cli {
 
 int cmd_compose(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
+  ScopedTrace trace(args);
 
   svc::ComposeRequest request;
   request.no_opt = args.take_flag("no-opt");

@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "cli/commands.h"
+#include "obs/trace.h"
 #include "svc/server.h"
 #include "svc/service.h"
 
@@ -22,7 +23,20 @@ int cmd_serve(Args& args, std::ostream& out) {
   service_options.cache.max_bytes = static_cast<std::size_t>(
       args.take_int("cache-bytes", 64ll << 20));
   const auto cache_file = args.take_option("cache-file");
+  const auto trace_dir = args.take_option("trace-dir");
+  const auto log_file = args.take_option("log");
   args.finish();
+
+  std::ofstream access_log;
+  if (log_file) {
+    access_log.open(*log_file, std::ios::app);
+    if (!access_log) {
+      throw std::invalid_argument("serve: cannot open log file '" +
+                                  *log_file + "'");
+    }
+    server_options.access_log = &access_log;
+  }
+  if (trace_dir) obs::Tracer::start();
 
   svc::Service service(service_options);
   if (cache_file && std::ifstream(*cache_file).good()) {
@@ -53,6 +67,17 @@ int cmd_serve(Args& args, std::ostream& out) {
   sigwait(&signals, &signal_number);
   out << "crnc serve: caught signal " << signal_number << ", draining\n";
   server.stop();
+
+  if (trace_dir) {
+    obs::Tracer::stop();
+    const std::string trace_path = *trace_dir + "/serve_trace.json";
+    try {
+      obs::Tracer::write_chrome_json(trace_path);
+      out << "crnc serve: wrote trace to " << trace_path << "\n";
+    } catch (const std::exception& e) {
+      out << "crnc serve: could not write trace: " << e.what() << "\n";
+    }
+  }
 
   const svc::Server::Stats stats = server.stats();
   const svc::ProofCache::Stats cache = service.proof_cache().stats();

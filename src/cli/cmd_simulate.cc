@@ -14,6 +14,7 @@ namespace crnkit::cli {
 
 int cmd_simulate(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
+  ScopedTrace trace(args);
 
   svc::SimulateRequest request;
   request.input = args.take_option("input");

@@ -16,6 +16,7 @@ namespace crnkit::cli {
 
 int cmd_verify(Args& args, std::ostream& out) {
   const bool json = args.take_flag("json");
+  ScopedTrace trace(args);
 
   svc::VerifyRequest request;
   request.force = args.take_flag("force");

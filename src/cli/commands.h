@@ -13,6 +13,21 @@
 
 namespace crnkit::cli {
 
+/// Shared `--trace FILE` handling for the workload commands: consumes the
+/// flag, enables obs::Tracer for the command's duration, and writes the
+/// Chrome trace JSON on destruction (after the command body has run). A
+/// command without --trace constructs and destroys this for free.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(Args& args);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::string path_;
+};
+
 int cmd_list(Args& args, std::ostream& out);
 int cmd_show(Args& args, std::ostream& out);
 int cmd_compile(Args& args, std::ostream& out);

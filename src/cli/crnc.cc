@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cli/commands.h"
+#include "util/version.h"
 
 namespace crnkit::cli {
 
@@ -29,14 +30,14 @@ commands:
       [--out FILE] [--no-opt] [--skip-cert] [--cert-grid N]
       [--verify [--grid N] [--max-configs N]]
       [--simcheck [--trials N] [--max-steps N] [--seed S]]
-      [--threads T] [--json]
+      [--threads T] [--json] [--trace out.json]
   simulate <scenario|file.crn> batched stochastic simulation (ensemble)
       [--input X1,X2,...] [--trajectories N] [--seed S] [--threads T]
       [--method silent|direct|next-reaction|population]
-      [--max-steps N] [--max-events N] [--json]
+      [--max-steps N] [--max-events N] [--json] [--trace out.json]
   verify <scenario|file.crn>  exact stable-computation check
       [--grid N | --input X1,X2,... [--expect V]] [--max-configs N]
-      [--threads T] [--stats] [--force] [--json]
+      [--threads T] [--stats] [--force] [--json] [--trace out.json]
   bench <scenario|file.crn>   ensemble throughput measurement
       [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
       [--threads T] [--method ...] [--json]
@@ -44,6 +45,12 @@ commands:
                               HTTP/1.1 over TCP (auto-detected), answered
                               from a content-addressed proof cache
       [--host H] [--port P] [--cache-bytes N] [--cache-file FILE]
+      [--trace-dir DIR] [--log FILE]
+
+Metrics are exposed by the daemon at GET /metrics (Prometheus text) and
+the `metrics` line-JSON op; --trace writes Chrome trace_event JSON that
+chrome://tracing and Perfetto load directly. `crnc --version` prints the
+build identity.
 
 A workload is a scenario name from `crnc list` (e.g. fig1/min) or a path
 to a .crn text file (see src/crn/io.h for the format).
@@ -91,6 +98,10 @@ int run_crnc(const std::vector<std::string>& args, std::ostream& out,
       args[0] == "-h") {
     out << kUsage;
     return args.empty() ? 2 : 0;
+  }
+  if (args[0] == "--version" || args[0] == "version") {
+    out << "crnc " << kVersion << " (" << kGitDescribe << ")\n";
+    return 0;
   }
 
   const std::string command = args[0];

@@ -1,0 +1,338 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/json_writer.h"
+#include "util/task_pool.h"
+
+namespace crnkit::obs {
+
+namespace internal {
+
+namespace {
+/// Stable small shard index per thread; threads land on distinct cells
+/// until the shard count is exceeded, after which they share by hash.
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kCellShards;
+  return shard;
+}
+}  // namespace
+
+void ShardedCells::add(std::uint64_t n) {
+  cells[thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedCells::sum() const {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace internal
+
+void Counter::update_total(std::uint64_t total) {
+  // The exposed value is max(inc'd sum, mirrored floor); both grow
+  // monotonically, so scrapes never go backwards.
+  std::uint64_t seen = floor_.load(std::memory_order_relaxed);
+  while (seen < total && !floor_.compare_exchange_weak(
+                             seen, total, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Counter::value() const {
+  return std::max(cells_.sum(), floor_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (!(bounds_[i] < bounds_[i + 1])) {
+      throw std::logic_error("Histogram: bounds must be strictly increasing");
+    }
+  }
+  shards_.reserve(internal::kCellShards);
+  for (std::size_t i = 0; i < internal::kCellShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = *shards_[internal::thread_shard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t bits = shard.sum_bits.load(std::memory_order_relaxed);
+  for (;;) {
+    double sum;
+    std::memcpy(&sum, &bits, sizeof(sum));
+    sum += v;
+    std::uint64_t next;
+    std::memcpy(&next, &sum, sizeof(next));
+    if (shard.sum_bits.compare_exchange_weak(bits, next,
+                                             std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += shard->buckets[b].load(std::memory_order_relaxed);
+    }
+    const std::uint64_t bits = shard->sum_bits.load(std::memory_order_relaxed);
+    double sum;
+    std::memcpy(&sum, &bits, sizeof(sum));
+    snap.sum += sum;
+  }
+  for (const std::uint64_t n : snap.buckets) snap.count += n;
+  return snap;
+}
+
+const std::vector<double>& latency_buckets_seconds() {
+  static const std::vector<double> buckets = {
+      1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0,
+      10.0};
+  return buckets;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    // Default collectors: the task pool keeps its own monotonic counters
+    // (and a live parked-worker count); every scrape mirrors them into
+    // registry series so the pool needs no obs dependency of its own.
+    r->register_collector([r] {
+      static Counter& jobs = r->counter(
+          "crnkit_pool_jobs_total", "parallel_for calls that engaged workers");
+      static Counter& tasks =
+          r->counter("crnkit_pool_tasks_total", "task pool chunks executed");
+      static Counter& steals = r->counter(
+          "crnkit_pool_steals_total", "chunks stolen across worker deques");
+      static Counter& parks = r->counter("crnkit_pool_parks_total",
+                                         "worker blocks on the wake condvar");
+      static Gauge& workers =
+          r->gauge("crnkit_pool_workers", "persistent pool worker threads");
+      static Gauge& parked = r->gauge("crnkit_pool_parked_workers",
+                                      "pool workers currently parked");
+      const util::TaskPool& pool = util::TaskPool::instance();
+      const util::TaskPool::Counters c = pool.counters();
+      jobs.update_total(c.jobs);
+      tasks.update_total(c.tasks);
+      steals.update_total(c.steals);
+      parks.update_total(c.parks);
+      workers.set(pool.worker_count());
+      parked.set(pool.parked_workers());
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry::Series& Registry::find_or_create(const std::string& name,
+                                           const std::string& help,
+                                           const Labels& labels, Kind kind,
+                                           const std::vector<double>* bounds) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& series : series_) {
+    if (series->name == name && series->labels == sorted) {
+      if (series->kind != kind) {
+        throw std::logic_error("metric '" + name +
+                               "' registered with two kinds");
+      }
+      return *series;
+    }
+  }
+  bool family_known = false;
+  for (const auto& [fname, family] : families_) {
+    if (fname == name) {
+      if (family.kind != kind) {
+        throw std::logic_error("metric family '" + name +
+                               "' registered with two kinds");
+      }
+      family_known = true;
+      break;
+    }
+  }
+  if (!family_known) families_.push_back({name, Family{help, kind}});
+
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->labels = std::move(sorted);
+  series->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      series->counter.reset(new Counter());
+      break;
+    case Kind::kGauge:
+      series->gauge.reset(new Gauge());
+      break;
+    case Kind::kHistogram:
+      series->histogram.reset(new Histogram(*bounds));
+      break;
+  }
+  series_.push_back(std::move(series));
+  return *series_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  return *find_or_create(name, help, labels, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  return *find_or_create(name, help, labels, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const std::vector<double>& bounds,
+                               const Labels& labels) {
+  return *find_or_create(name, help, labels, Kind::kHistogram, &bounds)
+              .histogram;
+}
+
+void Registry::register_collector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+void Registry::run_collectors() {
+  // Copy under the lock, run outside it: collectors call back into
+  // counter()/gauge() which take mu_.
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns = collectors_;
+  }
+  for (const auto& fn : fns) fn();
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus sample value: integers render bare, doubles shortest-ish.
+std::string prom_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// A label set with one extra `le` pair appended (histogram buckets).
+Labels with_le(const Labels& labels, const std::string& le) {
+  Labels out = labels;
+  out.push_back({"le", le});
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() {
+  run_collectors();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [fname, family] : families_) {
+    os << "# HELP " << fname << " " << family.help << "\n";
+    os << "# TYPE " << fname << " "
+       << (family.kind == Kind::kCounter     ? "counter"
+           : family.kind == Kind::kGauge     ? "gauge"
+                                             : "histogram")
+       << "\n";
+    for (const auto& series : series_) {
+      if (series->name != fname) continue;
+      switch (series->kind) {
+        case Kind::kCounter:
+          os << series_key(fname, series->labels) << " "
+             << series->counter->value() << "\n";
+          break;
+        case Kind::kGauge:
+          os << series_key(fname, series->labels) << " "
+             << series->gauge->value() << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = series->histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+            cumulative += snap.buckets[b];
+            os << series_key(fname + "_bucket",
+                             with_le(series->labels,
+                                     prom_double(snap.bounds[b])))
+               << " " << cumulative << "\n";
+          }
+          cumulative += snap.buckets.back();
+          os << series_key(fname + "_bucket", with_le(series->labels, "+Inf"))
+             << " " << cumulative << "\n";
+          os << series_key(fname + "_sum", series->labels) << " "
+             << prom_double(snap.sum) << "\n";
+          os << series_key(fname + "_count", series->labels) << " "
+             << snap.count << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+void Registry::write_json(util::JsonWriter& w) {
+  run_collectors();
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& series : series_) {
+    if (series->kind != Kind::kCounter) continue;
+    w.kv(series_key(series->name, series->labels), series->counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& series : series_) {
+    if (series->kind != Kind::kGauge) continue;
+    w.kv(series_key(series->name, series->labels), series->gauge->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& series : series_) {
+    if (series->kind != Kind::kHistogram) continue;
+    const Histogram::Snapshot snap = series->histogram->snapshot();
+    w.key(series_key(series->name, series->labels)).begin_object();
+    w.kv("count", snap.count).kv("sum", snap.sum);
+    w.key("buckets").begin_array();
+    for (const std::uint64_t n : snap.buckets) w.value(n);
+    w.end_array().end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace crnkit::obs

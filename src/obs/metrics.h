@@ -1,0 +1,205 @@
+// obs::Registry — the process-wide metrics surface behind `GET /metrics`
+// on `crnc serve`, the `metrics` line-JSON op, and serve_replay --scrape.
+//
+// Three instrument kinds, all safe for concurrent use and cheap enough to
+// stay always-on (the fast verification bench budgets <2% for the whole
+// layer):
+//
+//  * Counter — monotonic. The hot path is one relaxed fetch_add on a
+//    per-thread-sharded cell (64 cache-line-separated slots indexed by a
+//    thread hash), merged only at scrape time, so concurrent writers never
+//    share a line. update_total() exists for collector-style mirrors of
+//    counters another subsystem already maintains (util::TaskPool).
+//  * Gauge — a current value (in-flight requests, cache bytes). One
+//    atomic int64 with set/add/sub; gauges are read-mostly and their
+//    writers are not hot paths.
+//  * Histogram — fixed bucket boundaries chosen at registration (latency
+//    seconds, batch sizes). observe() bumps the matching bucket cell in
+//    the caller's shard and CAS-accumulates the sum; rendering produces
+//    cumulative Prometheus `_bucket{le=...}` series plus `_sum`/`_count`.
+//
+// Series identity is (family name, sorted label set). Handles returned by
+// counter()/gauge()/histogram() are stable for the process lifetime —
+// instrumented code looks its series up once (static local) and keeps the
+// reference. Collectors registered with register_collector() run at the
+// start of every scrape, pulling externally-maintained totals (task pool
+// counters, parked-worker count) into the registry.
+//
+// Exposition: render_prometheus() emits text format 0.0.4 (# HELP/# TYPE
+// per family, series sorted by name then labels); write_json() emits the
+// flat {"series{labels}": value} object the `metrics` op and
+// serve_replay's before/after delta logic consume.
+#ifndef CRNKIT_OBS_METRICS_H_
+#define CRNKIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crnkit::util {
+class JsonWriter;
+}  // namespace crnkit::util
+
+namespace crnkit::obs {
+
+/// One `key="value"` Prometheus label.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+namespace internal {
+
+constexpr std::size_t kCellShards = 64;
+
+/// Cache-line-separated counter cells; writers pick a shard by thread
+/// hash, readers sum. Sums are monotone across reads (each cell only
+/// grows), which is what keeps scraped counters non-decreasing.
+struct ShardedCells {
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells[kCellShards];
+
+  void add(std::uint64_t n);
+  [[nodiscard]] std::uint64_t sum() const;
+};
+
+}  // namespace internal
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { cells_.add(n); }
+  /// Collector hook: raises the exposed total to `total` (an externally
+  /// maintained monotonic counter). No-op when `total` is not ahead.
+  void update_total(std::uint64_t total);
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  internal::ShardedCells cells_;
+  std::atomic<std::uint64_t> floor_{0};  ///< update_total high-water mark
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper bounds, +Inf excluded
+    std::vector<std::uint64_t> buckets;  ///< non-cumulative, bounds+1 slots
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> sum_bits{0};  ///< double, bit-cast
+
+    explicit Shard(std::size_t n) : buckets(n) {}
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Latency buckets shared by the request / exploration histograms:
+/// 10µs .. 10s, roughly log-spaced.
+[[nodiscard]] const std::vector<double>& latency_buckets_seconds();
+
+class Registry {
+ public:
+  /// The process-wide registry (the one `crnc serve` scrapes).
+  static Registry& instance();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Looks up or creates the series. `help` is recorded on first
+  /// registration of the family; kind mismatches on an existing name
+  /// throw std::logic_error (a programming bug, not input).
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<double>& bounds,
+                       const Labels& labels = {});
+
+  /// Runs `fn` at the start of every scrape (both exposition formats),
+  /// before values are read — the hook for mirroring externally-owned
+  /// totals (task pool, worker parks) into registry series.
+  void register_collector(std::function<void()> fn);
+
+  /// Prometheus text exposition format 0.0.4.
+  [[nodiscard]] std::string render_prometheus();
+
+  /// Flat JSON: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// with series keys rendered as name{labels}. Written into `w` as one
+  /// object value (the caller owns the surrounding structure).
+  void write_json(util::JsonWriter& w);
+
+  /// Distinct series currently registered (histogram = one series).
+  [[nodiscard]] std::size_t series_count() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string name;  ///< family name
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string help;
+    Kind kind;
+  };
+
+  Series& find_or_create(const std::string& name, const std::string& help,
+                         const Labels& labels, Kind kind,
+                         const std::vector<double>* bounds);
+  void run_collectors();
+
+  mutable std::mutex mu_;  ///< guards registration and the collector list
+  std::vector<std::unique_ptr<Series>> series_;
+  std::vector<std::pair<std::string, Family>> families_;  ///< insert order
+  std::vector<std::function<void()>> collectors_;
+};
+
+/// Renders "name{k1=\"v1\",k2=\"v2\"}" (bare name when no labels) — the
+/// series key used by write_json and serve_replay's delta computation.
+[[nodiscard]] std::string series_key(const std::string& name,
+                                     const Labels& labels);
+
+}  // namespace crnkit::obs
+
+#endif  // CRNKIT_OBS_METRICS_H_

@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/json_writer.h"
+
+namespace crnkit::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 1u << 16;  ///< events per thread
+
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  const char* arg_keys[Span::kMaxArgs];
+  std::int64_t arg_values[Span::kMaxArgs];
+  int n_args;
+};
+
+/// One thread's ring. Written only by the owning thread; read by the
+/// exporter after stop(), when the owner has gone quiet.
+struct Ring {
+  std::vector<Event> events;  ///< capacity-bounded, wraps at kRingCapacity
+  std::size_t next = 0;       ///< write cursor (== size until first wrap)
+  bool wrapped = false;
+  std::uint64_t overwritten = 0;
+  std::uint64_t generation = 0;
+  int tid = 0;
+
+  void push(const Event& e) {
+    if (!wrapped && events.size() < kRingCapacity) {
+      events.push_back(e);
+      next = events.size() % kRingCapacity;
+      wrapped = next == 0 && events.size() == kRingCapacity;
+      return;
+    }
+    events[next] = e;
+    next = (next + 1) % kRingCapacity;
+    ++overwritten;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;  ///< guards ring registration and export
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<std::uint64_t> generation{0};
+  int next_tid = 0;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+thread_local Ring* t_ring = nullptr;
+
+}  // namespace
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().epoch)
+          .count());
+}
+
+void Tracer::start() {
+  TraceState& s = state();
+  s.generation.fetch_add(1, std::memory_order_acq_rel);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, const char* const* arg_keys,
+                    const std::int64_t* arg_values, int n_args) {
+  TraceState& s = state();
+  const std::uint64_t current = s.generation.load(std::memory_order_acquire);
+  Ring* ring = t_ring;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<Ring>();
+    ring = owned.get();
+    std::lock_guard<std::mutex> lock(s.mu);
+    ring->generation = current;
+    ring->tid = s.next_tid++;
+    s.rings.push_back(std::move(owned));
+    t_ring = ring;
+  } else if (ring->generation != current) {
+    // Stale generation: a new trace started since this thread last
+    // recorded. Recycle our own ring (only the owner ever mutates it).
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+    ring->overwritten = 0;
+    ring->generation = current;
+  }
+  Event e;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.n_args = n_args;
+  for (int i = 0; i < n_args; ++i) {
+    e.arg_keys[i] = arg_keys[i];
+    e.arg_values[i] = arg_values[i];
+  }
+  ring->push(e);
+}
+
+std::uint64_t Tracer::dropped() {
+  TraceState& s = state();
+  const std::uint64_t current = s.generation.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : s.rings) {
+    if (ring->generation == current) total += ring->overwritten;
+  }
+  return total;
+}
+
+std::string Tracer::render_chrome_json() {
+  TraceState& s = state();
+  const std::uint64_t current = s.generation.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(s.mu);
+  util::JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const auto& ring : s.rings) {
+    if (ring->generation != current) continue;
+    const std::size_t count = ring->events.size();
+    const std::size_t first = ring->wrapped ? ring->next : 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const Event& e = ring->events[(first + i) % kRingCapacity];
+      w.begin_object()
+          .kv("name", e.name)
+          .kv("cat", "crnkit")
+          .kv("ph", "X")
+          .kv("pid", 1)
+          .kv("tid", ring->tid)
+          .kv_fixed("ts", static_cast<double>(e.start_ns) / 1000.0, 3)
+          .kv_fixed("dur", static_cast<double>(e.dur_ns) / 1000.0, 3);
+      if (e.n_args > 0) {
+        w.key("args").begin_object();
+        for (int a = 0; a < e.n_args; ++a) {
+          w.kv(e.arg_keys[a], e.arg_values[a]);
+        }
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array().kv("displayTimeUnit", "ms").end_object();
+  return w.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) {
+  const std::string json = render_chrome_json();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("trace: cannot write '" + path + "'");
+  }
+  out << json << "\n";
+}
+
+}  // namespace crnkit::obs

@@ -1,0 +1,110 @@
+// obs::Tracer — phase-labeled span tracing with Chrome trace_event JSON
+// export, behind `crnc verify/simulate/compose --trace out.json` and
+// `crnc serve --trace-dir`.
+//
+// A Span is an RAII complete event: construction stamps the start time,
+// destruction records (name, thread, start, duration, args) into the
+// calling thread's ring buffer. Numeric key=value args (const char* keys,
+// static literals only) attach per span, so a BFS level can carry its
+// frontier and candidate counts into the trace.
+//
+// Cost model:
+//  * Disabled (the default): Span construction is one relaxed atomic load
+//    and a branch — no clock read, no ring registration, no allocation.
+//    The explore hot path stays allocation-free, asserted by obs_test.
+//  * Enabled: recording appends to a fixed-capacity per-thread ring
+//    (lock-free for the owning thread; the global mutex is touched once
+//    per thread, at ring registration). A full ring wraps, keeping the
+//    most recent events and counting what it overwrote.
+//
+// start() begins a new trace generation: rings from earlier generations
+// are ignored by the exporter and lazily recycled by their owning thread
+// on its next record, so no thread ever touches another thread's buffer.
+// stop() disables recording; write_chrome_json() emits the classic
+// {"traceEvents": [...]} array of "ph":"X" complete events (microsecond
+// timestamps), which chrome://tracing and Perfetto load directly, nesting
+// spans per thread by time containment.
+#ifndef CRNKIT_OBS_TRACE_H_
+#define CRNKIT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace crnkit::obs {
+
+class Tracer {
+ public:
+  /// True while spans are being recorded. Relaxed load — the only cost
+  /// tracing adds to an instrumented hot path when disabled.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a new trace generation and enables recording.
+  static void start();
+
+  /// Disables recording. Spans still open keep their start stamp and
+  /// record on destruction into the stopped generation, where the next
+  /// export still sees them.
+  static void stop();
+
+  /// Serializes the current generation's events as Chrome trace JSON.
+  /// Call after stop() (in-flight spans race the export otherwise).
+  static std::string render_chrome_json();
+
+  /// render_chrome_json() to `path`; throws std::runtime_error when the
+  /// file cannot be written.
+  static void write_chrome_json(const std::string& path);
+
+  /// Events overwritten by full rings in the current generation.
+  static std::uint64_t dropped();
+
+ private:
+  friend class Span;
+  static void record(const char* name, std::uint64_t start_ns,
+                     std::uint64_t dur_ns, const char* const* arg_keys,
+                     const std::int64_t* arg_values, int n_args);
+  static std::uint64_t now_ns();
+
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span. Name must be a string literal (stored by pointer).
+class Span {
+ public:
+  static constexpr int kMaxArgs = 4;
+
+  explicit Span(const char* name) {
+    if (!Tracer::enabled()) return;
+    name_ = name;
+    start_ns_ = Tracer::now_ns();
+  }
+  ~Span() {
+    if (name_ == nullptr) return;
+    Tracer::record(name_, start_ns_, Tracer::now_ns() - start_ns_, arg_keys_,
+                   arg_values_, n_args_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches `key`=`value` (key must be a string literal). Ignored when
+  /// the tracer was disabled at construction or kMaxArgs is exceeded.
+  void arg(const char* key, std::int64_t value) {
+    if (name_ == nullptr || n_args_ >= kMaxArgs) return;
+    arg_keys_[n_args_] = key;
+    arg_values_[n_args_] = value;
+    ++n_args_;
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = tracer was off; span inert
+  std::uint64_t start_ns_ = 0;
+  const char* arg_keys_[kMaxArgs] = {};
+  std::int64_t arg_values_[kMaxArgs] = {};
+  int n_args_ = 0;
+};
+
+}  // namespace crnkit::obs
+
+#endif  // CRNKIT_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "math/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/gillespie.h"
 #include "sim/next_reaction.h"
 #include "sim/population.h"
@@ -13,6 +15,32 @@
 #include "util/task_pool.h"
 
 namespace crnkit::sim {
+
+namespace {
+
+/// Always-on ensemble metrics, bumped once per run() (batch granularity,
+/// never per event), so simulation throughput is untouched.
+struct EnsembleMetrics {
+  obs::Counter& runs;
+  obs::Counter& events;
+  obs::Histogram& trajectories;
+
+  static EnsembleMetrics& get() {
+    static EnsembleMetrics m{
+        obs::Registry::instance().counter("crnkit_sim_runs_total",
+                                          "ensemble batches executed"),
+        obs::Registry::instance().counter(
+            "crnkit_sim_events_total",
+            "reaction events simulated across all ensemble runs"),
+        obs::Registry::instance().histogram(
+            "crnkit_sim_trajectories", "trajectories per ensemble batch",
+            {1, 4, 16, 64, 256, 1024, 4096, 16384}),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string EnsembleResult::summary() const {
   std::ostringstream os;
@@ -46,6 +74,8 @@ EnsembleResult EnsembleRunner::run(const crn::Config& initial,
   const std::size_t count = static_cast<std::size_t>(options.trajectories);
   result.trajectories.resize(count);
   if (count == 0) return result;
+  obs::Span run_span("sim.ensemble_run");
+  run_span.arg("trajectories", static_cast<std::int64_t>(count));
 
   const auto run_one = [&](std::size_t i) {
     Rng rng(Rng::derive_stream_seed(options.seed, i));
@@ -123,6 +153,11 @@ EnsembleResult EnsembleRunner::run(const crn::Config& initial,
       result.output_consistent = false;
     }
   }
+  EnsembleMetrics& metrics = EnsembleMetrics::get();
+  metrics.runs.inc();
+  metrics.events.inc(result.total_events);
+  metrics.trajectories.observe(static_cast<double>(count));
+  run_span.arg("events", static_cast<std::int64_t>(result.total_events));
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/json_value.h"
 #include "util/json_writer.h"
@@ -12,6 +13,34 @@
 namespace crnkit::svc {
 
 namespace {
+
+/// Process-wide cache series (all ProofCache instances pool into them;
+/// the serve daemon owns exactly one). Counters are bumped under the
+/// cache mutex, from the same increments that feed stats() — so a scrape
+/// can never disagree with the authoritative totals, only trail them.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& evictions;
+  obs::Gauge& entries;
+  obs::Gauge& bytes;
+
+  static CacheMetrics& get() {
+    auto& reg = obs::Registry::instance();
+    static CacheMetrics m{
+        reg.counter("crnkit_cache_hits_total", "proof cache lookup hits"),
+        reg.counter("crnkit_cache_misses_total", "proof cache lookup misses"),
+        reg.counter("crnkit_cache_insertions_total",
+                    "proof cache verdicts inserted"),
+        reg.counter("crnkit_cache_evictions_total",
+                    "proof cache entries evicted by the byte budget"),
+        reg.gauge("crnkit_cache_entries", "proof cache entries resident"),
+        reg.gauge("crnkit_cache_bytes", "proof cache resident bytes"),
+    };
+    return m;
+  }
+};
 
 constexpr const char* kFormat = "crnkit-proof-cache";
 constexpr std::int64_t kCacheSchemaVersion = 1;
@@ -100,6 +129,7 @@ std::optional<ProofVerdict> ProofCache::lookup(const ProofKey& key,
       budget >= complete_it->second->verdict.num_configs) {
     lru_.splice(lru_.begin(), lru_, complete_it->second);
     ++hits_;
+    CacheMetrics::get().hits.inc();
     return complete_it->second->verdict;
   }
   // A truncated verdict serves exactly its own budget — never a larger
@@ -108,9 +138,11 @@ std::optional<ProofVerdict> ProofCache::lookup(const ProofKey& key,
   if (exact_it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, exact_it->second);
     ++hits_;
+    CacheMetrics::get().hits.inc();
     return exact_it->second->verdict;
   }
   ++misses_;
+  CacheMetrics::get().misses.inc();
   return std::nullopt;
 }
 
@@ -118,8 +150,10 @@ void ProofCache::insert(const ProofKey& key, ProofVerdict verdict) {
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.max_bytes == 0) return;
   ++insertions_;
+  CacheMetrics::get().insertions.inc();
   insert_locked(key, std::move(verdict), /*front=*/true);
   evict_locked();
+  sync_gauges_locked();
 }
 
 void ProofCache::insert_locked(const ProofKey& key, ProofVerdict verdict,
@@ -152,7 +186,13 @@ void ProofCache::evict_locked() {
     index_.erase(victim.key);
     lru_.pop_back();
     ++evictions_;
+    CacheMetrics::get().evictions.inc();
   }
+}
+
+void ProofCache::sync_gauges_locked() const {
+  CacheMetrics::get().entries.set(static_cast<std::int64_t>(lru_.size()));
+  CacheMetrics::get().bytes.set(static_cast<std::int64_t>(bytes_));
 }
 
 ProofCache::Stats ProofCache::stats() const {
@@ -172,6 +212,7 @@ void ProofCache::clear() {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
+  sync_gauges_locked();
 }
 
 void ProofCache::save(const std::string& path) const {
@@ -290,6 +331,7 @@ std::size_t ProofCache::load(const std::string& path) {
     insert_locked(key, std::move(verdict), /*front=*/false);
   }
   evict_locked();
+  sync_gauges_locked();
   return entries.size();
 }
 

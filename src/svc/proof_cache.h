@@ -135,6 +135,8 @@ class ProofCache {
   /// `front` chooses the hot (true) or cold (false) end of the LRU list.
   void insert_locked(const ProofKey& key, ProofVerdict verdict, bool front);
   void evict_locked();
+  /// Pushes entries/bytes into the crnkit_cache_* gauges.
+  void sync_gauges_locked() const;
 
   mutable std::mutex mu_;
   Options options_;

@@ -6,29 +6,66 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "svc/serialize.h"
 #include "util/json_value.h"
 #include "util/json_writer.h"
 #include "util/task_pool.h"
+#include "util/version.h"
 
 namespace crnkit::svc {
 
 namespace {
 
+/// Unlabeled server-wide series, resolved once. Per-op series (request
+/// counts, latency histograms) are looked up per request instead — one
+/// registry probe is noise next to the JSON parse, let alone a verify.
+struct ServerMetrics {
+  obs::Counter& connections;
+  obs::Counter& errors;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Gauge& inflight;
+
+  static ServerMetrics& get() {
+    auto& reg = obs::Registry::instance();
+    static ServerMetrics m{
+        reg.counter("crnkit_server_connections_total",
+                    "client connections accepted"),
+        reg.counter("crnkit_server_errors_total",
+                    "requests answered with an error response"),
+        reg.counter("crnkit_server_bytes_read_total",
+                    "bytes received from clients"),
+        reg.counter("crnkit_server_bytes_written_total",
+                    "bytes sent to clients"),
+        reg.gauge("crnkit_server_inflight_requests",
+                  "requests currently being dispatched"),
+    };
+    return m;
+  }
+};
+
 bool send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
+  bool ok = true;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
-    if (n <= 0) return false;
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
     sent += static_cast<std::size_t>(n);
   }
-  return true;
+  if (sent > 0) ServerMetrics::get().bytes_written.inc(sent);
+  return ok;
 }
 
 /// Dispatches one parsed request object (already stripped of transport
@@ -59,6 +96,25 @@ std::string dispatch_op(Service& service, const std::string& op,
         .end_object();
     return w.str();
   }
+  if (op == "metrics") {
+    // {"format": "prometheus"} wraps the text exposition in JSON (the
+    // shape serve_replay --metrics-out consumes over the line protocol);
+    // the default returns the registry as structured JSON.
+    if (v.get_string("format", "") == "prometheus") {
+      util::JsonWriter w;
+      w.begin_object()
+          .kv("schema_version", kSchemaVersion)
+          .kv("prometheus", obs::Registry::instance().render_prometheus())
+          .kv("ok", true)
+          .end_object();
+      return w.str();
+    }
+    util::JsonWriter w;
+    w.begin_object().kv("schema_version", kSchemaVersion).key("metrics");
+    obs::Registry::instance().write_json(w);
+    w.kv("ok", true).end_object();
+    return w.str();
+  }
   if (op == "cache_stats") {
     const ProofCache::Stats stats = service.proof_cache().stats();
     util::JsonWriter w;
@@ -83,10 +139,13 @@ std::string dispatch_op(Service& service, const std::string& op,
 }  // namespace
 
 std::string Server::dispatch_line(Service& service, const std::string& line,
-                                  std::uint64_t* errors) {
+                                  std::uint64_t* errors,
+                                  std::string* op_out) {
+  if (op_out != nullptr) *op_out = "?";
   try {
     const util::JsonValue v = util::JsonValue::parse(line);
     const std::string op = v.get("op").as_string();
+    if (op_out != nullptr) *op_out = op;
     if (op == "batch") {
       // Sub-requests are scheduled onto the shared work-stealing pool;
       // results come back in request order. Nested batches are rejected
@@ -163,6 +222,7 @@ void Server::start() {
   port_ = static_cast<int>(ntohs(bound.sin_port));
 
   running_.store(true);
+  start_time_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -175,6 +235,7 @@ void Server::accept_loop() {
       break;
     }
     ++connections_;
+    ServerMetrics::get().connections.inc();
     std::lock_guard<std::mutex> lock(conns_mu_);
     reap_locked();
     auto conn = std::make_unique<Connection>();
@@ -203,6 +264,7 @@ void Server::handle_connection(Connection& conn) {
   std::string carry;
   const ssize_t first = ::recv(fd, buf, sizeof(buf), 0);
   if (first > 0) {
+    ServerMetrics::get().bytes_read.inc(static_cast<std::uint64_t>(first));
     carry.assign(buf, static_cast<std::size_t>(first));
     const bool http = carry.rfind("POST ", 0) == 0 ||
                       carry.rfind("GET ", 0) == 0 ||
@@ -230,14 +292,27 @@ void Server::serve_line_protocol(int fd, std::string carry) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       ++requests_;
+      ServerMetrics::get().inflight.add(1);
+      const auto rt0 = std::chrono::steady_clock::now();
       std::uint64_t errs = 0;
-      const std::string response = dispatch_line(service_, line, &errs);
+      std::string op;
+      const std::string response =
+          dispatch_line(service_, line, &errs, &op);
       errors_ += errs;
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        rt0)
+              .count();
+      ServerMetrics::get().inflight.sub(1);
+      finish_request("line", op, errs > 0 ? 400 : 200, seconds,
+                     options_.access_log != nullptr ? cache_outcome(response)
+                                                    : "-");
       if (!send_all(fd, response + "\n")) return;
     }
     if (!running_.load()) return;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) return;
+    ServerMetrics::get().bytes_read.inc(static_cast<std::uint64_t>(n));
     buffer.append(buf, static_cast<std::size_t>(n));
   }
 }
@@ -249,6 +324,7 @@ void Server::serve_http(int fd, std::string carry) {
   const auto read_more = [&]() -> bool {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) return false;
+    ServerMetrics::get().bytes_read.inc(static_cast<std::uint64_t>(n));
     buffer.append(buf, static_cast<std::size_t>(n));
     return true;
   };
@@ -293,16 +369,34 @@ void Server::serve_http(int fd, std::string carry) {
 
   int status = 200;
   std::string payload;
+  std::string content_type = "application/json";
+  std::string op = "?";
+  ServerMetrics::get().inflight.add(1);
+  const auto rt0 = std::chrono::steady_clock::now();
   if (method == "GET" && path == "/healthz") {
+    op = "healthz";
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+            .count();
     util::JsonWriter w;
     w.begin_object()
         .kv("schema_version", kSchemaVersion)
+        .kv("version", kVersion)
+        .kv("git", kGitDescribe)
+        .kv_fixed("uptime_seconds", uptime, 3)
+        .kv("cache_entries", service_.proof_cache().stats().entries)
         .kv("ok", true)
         .end_object();
     payload = w.str();
     ++requests_;
+  } else if (method == "GET" && path == "/metrics") {
+    op = "metrics";
+    payload = obs::Registry::instance().render_prometheus();
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    ++requests_;
   } else if (method == "POST" && path.rfind("/v1/", 0) == 0) {
-    const std::string op = path.substr(4);
+    op = path.substr(4);
     if (body.empty()) body = "{}";
     // Re-frame as a line request: {"op": <op>, ...body members}. Splicing
     // keeps one dispatch path for both protocols.
@@ -320,7 +414,7 @@ void Server::serve_http(int fd, std::string carry) {
     framed += "}";
     ++requests_;
     std::uint64_t errs = 0;
-    payload = dispatch_line(service_, framed, &errs);
+    payload = dispatch_line(service_, framed, &errs, &op);
     errors_ += errs;
     if (errs > 0) status = 400;
   } else {
@@ -328,17 +422,54 @@ void Server::serve_http(int fd, std::string carry) {
     payload = error_json("no route for " + method + " " + path);
     ++errors_;
   }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - rt0)
+          .count();
+  ServerMetrics::get().inflight.sub(1);
+  finish_request("http", op, status, seconds,
+                 options_.access_log != nullptr ? cache_outcome(payload)
+                                                : "-");
 
   const std::string reason = status == 200   ? "OK"
                              : status == 400 ? "Bad Request"
                                              : "Not Found";
   std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
-                         reason +
-                         "\r\nContent-Type: application/json\r\n"
+                         reason + "\r\nContent-Type: " + content_type +
+                         "\r\n"
                          "Content-Length: " +
                          std::to_string(payload.size() + 1) +
                          "\r\nConnection: close\r\n\r\n" + payload + "\n";
   (void)send_all(fd, response);
+}
+
+void Server::finish_request(const char* proto, const std::string& op,
+                            int status, double seconds, const char* cache) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("crnkit_server_requests_total",
+              "requests dispatched, by op and protocol",
+              {{"op", op}, {"proto", proto}})
+      .inc();
+  reg.histogram("crnkit_server_request_seconds",
+                "request dispatch latency by op",
+                obs::latency_buckets_seconds(), {{"op", op}})
+      .observe(seconds);
+  if (status >= 400) ServerMetrics::get().errors.inc();
+  if (options_.access_log != nullptr) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    *options_.access_log << "op=" << op << " proto=" << proto
+                         << " status=" << status << " lat_us="
+                         << static_cast<long long>(seconds * 1e6)
+                         << " cache=" << cache << '\n';
+    options_.access_log->flush();
+  }
+}
+
+const char* Server::cache_outcome(const std::string& response) {
+  // The verify payload carries a per-request "cached" member; anything
+  // else does not touch the proof cache.
+  if (response.find("\"cached\": true") != std::string::npos) return "hit";
+  if (response.find("\"cached\": false") != std::string::npos) return "miss";
+  return "-";
 }
 
 void Server::stop() {

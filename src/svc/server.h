@@ -8,8 +8,9 @@
 //    batch ({"op":"batch","requests":[...]} — sub-requests are scheduled
 //    onto the shared util::TaskPool and answered in order).
 //  * HTTP/1.1: POST /v1/<op> with the same JSON object (minus "op") as the
-//    body; GET /healthz for liveness. One response per request,
-//    Connection: close.
+//    body; GET /healthz for liveness (build identity, uptime, cache size)
+//    and GET /metrics for the Prometheus text exposition of the process
+//    obs::Registry. One response per request, Connection: close.
 //
 // Connections are handled thread-per-connection; requests of concurrent
 // connections run concurrently against one shared svc::Service, so they
@@ -21,7 +22,9 @@
 #define CRNKIT_SVC_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +41,10 @@ class Server {
     std::string host = "127.0.0.1";
     int port = 0;  ///< 0 = ephemeral; the bound port is port() after start()
     int backlog = 64;
+    /// Per-request access log sink (one line per request: op, protocol,
+    /// status, latency, cache outcome). Writes are mutex-guarded; the
+    /// stream must outlive the server. nullptr disables logging.
+    std::ostream* access_log = nullptr;
   };
 
   struct Stats {
@@ -69,10 +76,14 @@ class Server {
   /// Executes one line-JSON request against `service` and returns the
   /// response line (no trailing newline). Never throws: malformed input
   /// and failed requests come back as the error JSON shape. Exposed for
-  /// in-process callers (tests, serve_replay's loopback mode).
+  /// in-process callers (tests, serve_replay's loopback mode). `op_out`,
+  /// when given, receives the dispatched op name ("?" when the request
+  /// could not be parsed far enough to know) — the label the server's
+  /// per-op metrics and access log key by.
   static std::string dispatch_line(Service& service,
                                    const std::string& line,
-                                   std::uint64_t* errors = nullptr);
+                                   std::uint64_t* errors = nullptr,
+                                   std::string* op_out = nullptr);
 
  private:
   struct Connection {
@@ -87,6 +98,14 @@ class Server {
   void serve_http(int fd, std::string carry);
   /// Joins finished connection threads (called opportunistically).
   void reap_locked();
+  /// Records one dispatched request into the obs registry and, when
+  /// options_.access_log is set, appends the access-log line. `cache`
+  /// is "hit", "miss", or "-" (op does not touch the proof cache).
+  void finish_request(const char* proto, const std::string& op, int status,
+                      double seconds, const char* cache);
+  /// Classifies the proof-cache outcome from a response body ("cached"
+  /// member of verify payloads); "-" when the op reports none.
+  [[nodiscard]] static const char* cache_outcome(const std::string& response);
 
   Service& service_;
   Options options_;
@@ -94,9 +113,12 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
+  std::chrono::steady_clock::time_point start_time_{};
 
   std::mutex conns_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex log_mu_;  ///< serializes access-log lines
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};

@@ -14,6 +14,16 @@ constexpr int kMaxWorkers = 256;
 thread_local bool t_in_pool_task = false;
 }  // namespace
 
+namespace {
+thread_local TaskPool::CounterScope* t_counter_scope = nullptr;
+}  // namespace
+
+TaskPool::CounterScope::CounterScope() : previous_(t_counter_scope) {
+  t_counter_scope = this;
+}
+
+TaskPool::CounterScope::~CounterScope() { t_counter_scope = previous_; }
+
 /// Fixed-capacity Chase-Lev deque over chunk ids. Filled once by the
 /// submitter before the job is published (never pushed afterwards), so
 /// only the take/steal races of the classic algorithm remain: the owner
@@ -92,6 +102,11 @@ struct TaskPool::Job {
   std::atomic<int> tickets{0};
   std::atomic<int> active{0};
   std::atomic<std::size_t> completed{0};
+  // Job-scoped activity: every chunk is counted here exactly once, no
+  // matter which thread ran it — the attribution source for the
+  // submitter's CounterScope.
+  std::atomic<std::uint64_t> job_tasks{0};
+  std::atomic<std::uint64_t> job_steals{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -149,7 +164,9 @@ void TaskPool::worker_main(Worker& self) {
   for (;;) {
     while (!shutdown_ && epoch_ == seen) {
       self.parks.fetch_add(1, std::memory_order_relaxed);
+      parked_now_.fetch_add(1, std::memory_order_relaxed);
       wake_cv_.wait(lk);
+      parked_now_.fetch_sub(1, std::memory_order_relaxed);
     }
     if (shutdown_) return;
     seen = epoch_;
@@ -190,6 +207,7 @@ void TaskPool::work_on(Job& job, std::atomic<std::uint64_t>& tasks,
   while (own.take(chunk)) {
     run_chunk(job, chunk);
     tasks.fetch_add(1, std::memory_order_relaxed);
+    job.job_tasks.fetch_add(1, std::memory_order_relaxed);
   }
   // Own deque drained: strip the other deques until every chunk is
   // claimed. A lost CAS race (-1) means the victim still has work, so the
@@ -205,6 +223,8 @@ void TaskPool::work_on(Job& job, std::atomic<std::uint64_t>& tasks,
         steals.fetch_add(1, std::memory_order_relaxed);
         run_chunk(job, chunk);
         tasks.fetch_add(1, std::memory_order_relaxed);
+        job.job_tasks.fetch_add(1, std::memory_order_relaxed);
+        job.job_steals.fetch_add(1, std::memory_order_relaxed);
         got = true;
       } else if (r == -1) {
         contended = true;
@@ -234,6 +254,9 @@ void TaskPool::parallel_for(std::size_t n, std::size_t grain,
   const auto run_inline = [&] {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     caller_tasks_.fetch_add(n_chunks, std::memory_order_relaxed);
+    if (t_counter_scope != nullptr) {
+      t_counter_scope->collected_.tasks += n_chunks;
+    }
   };
   if (logical <= 1 || n_chunks <= 1 || t_in_pool_task) {
     run_inline();
@@ -295,6 +318,15 @@ void TaskPool::parallel_for(std::size_t n, std::size_t grain,
   {
     std::lock_guard<std::mutex> lk(wake_mu_);
     current_.reset();
+  }
+  if (t_counter_scope != nullptr) {
+    // Exact per-job attribution for the submitting thread: every chunk of
+    // this job, wherever it ran, plus the steals it caused.
+    ++t_counter_scope->collected_.jobs;
+    t_counter_scope->collected_.tasks +=
+        job->job_tasks.load(std::memory_order_relaxed);
+    t_counter_scope->collected_.steals +=
+        job->job_steals.load(std::memory_order_relaxed);
   }
   if (job->first_error) std::rethrow_exception(job->first_error);
 }

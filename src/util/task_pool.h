@@ -55,12 +55,38 @@ namespace crnkit::util {
 class TaskPool {
  public:
   /// Monotonic process-lifetime activity counters (snapshot-diff to meter
-  /// a region).
+  /// a region, or scrape directly — the /metrics pool collector does).
   struct Counters {
     std::uint64_t jobs = 0;    ///< parallel_for calls that engaged workers
     std::uint64_t tasks = 0;   ///< chunks executed (pool jobs + inline)
     std::uint64_t steals = 0;  ///< chunks taken from another deque
     std::uint64_t parks = 0;   ///< worker blocks on the wake condvar
+  };
+
+  /// RAII per-job counter scope: while alive on a thread, every
+  /// parallel_for *submitted by that thread* adds its own job/task/steal
+  /// totals here — exact attribution even when other threads run
+  /// concurrent jobs on the shared pool (the global counters() deltas
+  /// bleed across submitters; these never do). Parks are not attributed:
+  /// a worker parks between jobs, when no submitter owns it. Scopes nest
+  /// (inner scopes shadow; totals still reach the outer scope on exit is
+  /// NOT provided — each scope sees only jobs submitted while it was the
+  /// innermost). Not copyable; keep on the stack of the submitting
+  /// thread.
+  class CounterScope {
+   public:
+    CounterScope();
+    ~CounterScope();
+    CounterScope(const CounterScope&) = delete;
+    CounterScope& operator=(const CounterScope&) = delete;
+
+    /// Totals of the jobs this scope's thread submitted so far.
+    [[nodiscard]] Counters collected() const { return collected_; }
+
+   private:
+    friend class TaskPool;
+    Counters collected_;
+    CounterScope* previous_ = nullptr;
   };
 
   /// The shared pool. Workers are spawned lazily (first parallel job) and
@@ -92,6 +118,12 @@ class TaskPool {
                     int max_threads = 0);
 
   [[nodiscard]] Counters counters() const;
+
+  /// Workers currently blocked on the wake condvar (live value for the
+  /// crnkit_pool_parked_workers gauge).
+  [[nodiscard]] int parked_workers() const {
+    return parked_now_.load(std::memory_order_relaxed);
+  }
 
   /// True while the current thread is executing a pool task (nested
   /// parallel_for calls run inline).
@@ -128,6 +160,7 @@ class TaskPool {
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> caller_tasks_{0};
   std::atomic<std::uint64_t> caller_steals_{0};
+  std::atomic<int> parked_now_{0};
 };
 
 }  // namespace crnkit::util

@@ -1,0 +1,22 @@
+// The one crnkit version string, shared by `crnc --version`, the serve
+// daemon's /healthz body, and anything else that identifies the build.
+// CRNKIT_GIT_DESCRIBE is stamped by CMake (`git describe --always
+// --dirty` at configure time) and falls back to "unknown" for builds
+// outside a git checkout.
+#ifndef CRNKIT_UTIL_VERSION_H_
+#define CRNKIT_UTIL_VERSION_H_
+
+namespace crnkit {
+
+inline constexpr const char* kVersion = "0.7.0";
+
+inline constexpr const char* kGitDescribe =
+#ifdef CRNKIT_GIT_DESCRIBE
+    CRNKIT_GIT_DESCRIBE;
+#else
+    "unknown";
+#endif
+
+}  // namespace crnkit
+
+#endif  // CRNKIT_UTIL_VERSION_H_

@@ -9,11 +9,43 @@
 #include <thread>
 
 #include "math/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/task_pool.h"
 
 namespace crnkit::verify {
 
 namespace {
+
+/// Always-on exploration metrics. Bumped at most once per BFS level (never
+/// per config), so the whole set stays inside the <2% bench budget.
+struct ExploreMetrics {
+  obs::Counter& explorations;
+  obs::Counter& configs;
+  obs::Counter& edges;
+  obs::Counter& levels;
+  obs::Histogram& seconds;
+
+  static ExploreMetrics& get() {
+    static ExploreMetrics m{
+        obs::Registry::instance().counter("crnkit_verify_explorations_total",
+                                          "reachability explorations run"),
+        obs::Registry::instance().counter(
+            "crnkit_verify_configs_total",
+            "configurations interned across all explorations"),
+        obs::Registry::instance().counter(
+            "crnkit_verify_edges_total",
+            "deduplicated reachability edges recorded"),
+        obs::Registry::instance().counter("crnkit_verify_levels_total",
+                                          "BFS levels expanded"),
+        obs::Registry::instance().histogram(
+            "crnkit_verify_explore_seconds",
+            "wall seconds per reachability exploration",
+            obs::latency_buckets_seconds()),
+    };
+    return m;
+  }
+};
 
 constexpr int kShards = ConfigStore::kShards;
 /// Levels smaller than this are expanded on the calling thread: the graph
@@ -78,7 +110,12 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
           "explore: max_configs exceeds the 2^31 node id space");
   const auto t0 = std::chrono::steady_clock::now();
   util::TaskPool& pool = util::TaskPool::instance();
-  const util::TaskPool::Counters pool_before = pool.counters();
+  // tasks/steals come from the scope (attributed to this exploration's
+  // own jobs); parks stay a global delta — see the ExploreStats comment.
+  const std::uint64_t parks_before = pool.counters().parks;
+  util::TaskPool::CounterScope pool_scope;
+  ExploreMetrics& metrics = ExploreMetrics::get();
+  obs::Span explore_span("verify.explore");
 
   const sim::CompiledNetwork net(crn);
   const std::size_t width = crn.species_count();
@@ -201,6 +238,11 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     graph.stats.frontier_peak =
         std::max(graph.stats.frontier_peak, level_nodes);
     ++graph.stats.levels;
+    metrics.levels.inc();
+    obs::Span level_span("verify.level");
+    level_span.arg("level",
+                   static_cast<std::int64_t>(graph.stats.levels - 1));
+    level_span.arg("frontier", static_cast<std::int64_t>(level_nodes));
     const bool budget_full = store.size() >= options.max_configs;
     // Slice count for this level. The graph is identical for any value:
     // candidate order is (node, reaction) regardless of slicing, and
@@ -296,21 +338,24 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
       for (int s = 0; s < kShards; ++s) drain_shard(s, /*blocking=*/false);
     };
 
-    if (!parallel) {
-      generate_slice(0);
-      // generate_slice already drained every shard (single thread, no
-      // contention), but keep the sweep for the empty-bucket cursors.
-      for (int s = 0; s < kShards; ++s) drain_shard(s, /*blocking=*/true);
-    } else {
-      pool.parallel_for(n_slices, 1, generate_slice, threads);
-      // Finish the pipeline: every slice is generated now, so a blocking
-      // sweep (sharded across tasks, one owner per shard) interns every
-      // bucket the opportunistic drains skipped over.
-      pool.parallel_for(
-          kShards, 8, [&](std::size_t s) {
-            drain_shard(static_cast<int>(s), /*blocking=*/true);
-          },
-          threads);
+    {
+      obs::Span generate_span("verify.generate");
+      if (!parallel) {
+        generate_slice(0);
+        // generate_slice already drained every shard (single thread, no
+        // contention), but keep the sweep for the empty-bucket cursors.
+        for (int s = 0; s < kShards; ++s) drain_shard(s, /*blocking=*/true);
+      } else {
+        pool.parallel_for(n_slices, 1, generate_slice, threads);
+        // Finish the pipeline: every slice is generated now, so a blocking
+        // sweep (sharded across tasks, one owner per shard) interns every
+        // bucket the opportunistic drains skipped over.
+        pool.parallel_for(
+            kShards, 8, [&](std::size_t s) {
+              drain_shard(static_cast<int>(s), /*blocking=*/true);
+            },
+            threads);
+      }
     }
 
     // Number the level: ids are consecutive in (shard, stage-order)
@@ -318,18 +363,25 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     const std::size_t before = store.size();
     const std::size_t remaining =
         options.max_configs > before ? options.max_configs - before : 0;
-    const std::size_t accepted = store.commit(remaining);
-    for (int s = 0; s < kShards; ++s) {
-      const auto& parents = flows[static_cast<std::size_t>(s)].parents;
-      for (std::size_t local = 0; local < parents.size(); ++local) {
-        if (store.committed_id(s, local) < 0) break;  // rejects are a suffix
-        graph.parent.push_back(parents[local].first);
-        graph.parent_reaction.push_back(parents[local].second);
+    std::size_t accepted = 0;
+    {
+      obs::Span commit_span("verify.commit");
+      accepted = store.commit(remaining);
+      for (int s = 0; s < kShards; ++s) {
+        const auto& parents = flows[static_cast<std::size_t>(s)].parents;
+        for (std::size_t local = 0; local < parents.size(); ++local) {
+          if (store.committed_id(s, local) < 0) break;  // rejects: a suffix
+          graph.parent.push_back(parents[local].first);
+          graph.parent_reaction.push_back(parents[local].second);
+        }
       }
+      commit_span.arg("accepted", static_cast<std::int64_t>(accepted));
     }
     ensure(graph.parent.size() == store.size(),
            "explore: parent/id bookkeeping diverged");
+    metrics.configs.inc(accepted);
     if (use_masks) {
+      obs::Span mask_span("verify.mask");
       // A new node's applicability differs from its parent's only on the
       // dependents of the reaction that produced it. Parents always sit in
       // an earlier level, so the new rows are independent of each other
@@ -392,19 +444,26 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
         buf.succ_end.push_back(static_cast<std::uint32_t>(buf.succ.size()));
       }
     };
-    if (!parallel) {
-      edge_slice(0);
-    } else {
-      pool.parallel_for(n_slices, 1, edge_slice, threads);
-    }
-    for (std::size_t k = 0; k < n_slices; ++k) {
-      const SliceBuf& buf = bufs[k];
-      const std::uint64_t base = graph.succ.size();
-      graph.succ.insert(graph.succ.end(), buf.succ.begin(), buf.succ.end());
-      for (const std::uint32_t end : buf.succ_end) {
-        graph.succ_off.push_back(base + end);
+    {
+      obs::Span edges_span("verify.edges");
+      const std::size_t edges_before = graph.succ.size();
+      if (!parallel) {
+        edge_slice(0);
+      } else {
+        pool.parallel_for(n_slices, 1, edge_slice, threads);
       }
-      if (buf.saw_dropped) graph.complete = false;
+      for (std::size_t k = 0; k < n_slices; ++k) {
+        const SliceBuf& buf = bufs[k];
+        const std::uint64_t base = graph.succ.size();
+        graph.succ.insert(graph.succ.end(), buf.succ.begin(), buf.succ.end());
+        for (const std::uint32_t end : buf.succ_end) {
+          graph.succ_off.push_back(base + end);
+        }
+        if (buf.saw_dropped) graph.complete = false;
+      }
+      const std::size_t level_edges = graph.succ.size() - edges_before;
+      edges_span.arg("edges", static_cast<std::int64_t>(level_edges));
+      metrics.edges.inc(level_edges);
     }
 
     store.finish_level();
@@ -415,13 +474,18 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
   ensure(graph.succ_off.size() == store.size() + 1,
          "explore: CSR offsets diverged from node count");
   graph.stats.arena_bytes = store.bytes();
-  const util::TaskPool::Counters pool_after = pool.counters();
-  graph.stats.pool_tasks = pool_after.tasks - pool_before.tasks;
-  graph.stats.pool_steals = pool_after.steals - pool_before.steals;
-  graph.stats.pool_parks = pool_after.parks - pool_before.parks;
+  const util::TaskPool::Counters scoped = pool_scope.collected();
+  graph.stats.pool_tasks = scoped.tasks;
+  graph.stats.pool_steals = scoped.steals;
+  graph.stats.pool_parks = pool.counters().parks - parks_before;
   graph.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  metrics.explorations.inc();
+  metrics.seconds.observe(graph.stats.wall_seconds);
+  explore_span.arg("configs", static_cast<std::int64_t>(graph.size()));
+  explore_span.arg("edges", static_cast<std::int64_t>(graph.edge_count()));
+  explore_span.arg("levels", static_cast<std::int64_t>(graph.stats.levels));
   return graph;
 }
 

@@ -49,12 +49,16 @@ struct ExploreStats {
   std::size_t levels = 0;         ///< BFS depth explored
   std::size_t arena_bytes = 0;    ///< ConfigStore arena + hash tables
   int threads = 1;  ///< resolved worker count (small levels still run serial)
-  // util::TaskPool utilization during this exploration (counter deltas on
-  // the shared pool — concurrent explorations in other threads bleed into
-  // each other's deltas, which the CLI treats as informational).
-  std::uint64_t pool_tasks = 0;   ///< pool chunks executed
-  std::uint64_t pool_steals = 0;  ///< chunks stolen across worker deques
-  std::uint64_t pool_parks = 0;   ///< worker condvar parks
+  // util::TaskPool utilization during this exploration. tasks and steals
+  // are attributed exactly to this exploration's own jobs through a
+  // TaskPool::CounterScope on the submitting thread — concurrent
+  // explorations on the shared pool no longer bleed into each other
+  // (asserted by parallel_explore_test). parks stay a process-global
+  // delta: workers park between jobs, when no exploration owns them, so
+  // the CLI treats that one as informational.
+  std::uint64_t pool_tasks = 0;   ///< chunks of this exploration's jobs
+  std::uint64_t pool_steals = 0;  ///< steals within this exploration's jobs
+  std::uint64_t pool_parks = 0;   ///< worker condvar parks (global delta)
 };
 
 struct ReachabilityGraph {

@@ -4,6 +4,7 @@
 
 #include "geom/arrangement.h"
 #include "math/check.h"
+#include "obs/trace.h"
 
 namespace crnkit::verify {
 
@@ -105,6 +106,7 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
                                            const StableCheckOptions& options) {
   StableCheckResult result;
   result.expected = expected;
+  obs::Span check_span("verify.stable_check");
 
   const crn::Config initial = crn.initial_configuration(x);
   const ReachabilityGraph graph =
@@ -123,7 +125,13 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   }
 
   int component_count = 0;
-  const std::vector<int> component = tarjan_scc(graph, component_count);
+  std::vector<int> component;
+  {
+    obs::Span scc_span("verify.scc");
+    component = tarjan_scc(graph, component_count);
+    scc_span.arg("nodes", static_cast<std::int64_t>(graph.size()));
+    scc_span.arg("components", component_count);
+  }
 
   // Tarjan numbers components in reverse topological order: every edge goes
   // from a higher-or-equal component id to a lower-or-equal... concretely,
@@ -202,6 +210,7 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
     result.counterexample.reset();
     result.counterexample_path.clear();
   }
+  check_span.arg("ok", result.ok ? 1 : 0);
   return result;
 }
 

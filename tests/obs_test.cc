@@ -1,0 +1,266 @@
+// Unit tests for the observability layer: obs::Registry instruments and
+// both exposition formats, obs::Tracer span recording and Chrome trace
+// export, and the cost contract — a Span constructed while the tracer is
+// disabled performs no heap allocation (the verify explore hot path
+// depends on this).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json_value.h"
+#include "util/json_writer.h"
+
+// Counting global operator new: semantics unchanged (malloc-backed), but
+// every allocation bumps g_allocations so tests can assert a scope is
+// allocation-free. Replacing the global operators in one TU covers the
+// whole test binary; each gtest case runs as its own ctest process, so
+// nothing else races the counter during the hot-path assertion.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace crnkit {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("test_total", "help");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 8000u);
+  // Same (name, labels) resolves to the same handle.
+  EXPECT_EQ(&registry.counter("test_total", "help"), &c);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(Metrics, LabelsMakeDistinctSeries) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("req_total", "h", {{"op", "verify"}});
+  obs::Counter& b = registry.counter("req_total", "h", {{"op", "compose"}});
+  EXPECT_NE(&a, &b);
+  a.inc(3);
+  b.inc(5);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(registry.series_count(), 2u);
+  // Label order does not change series identity.
+  obs::Counter& c = registry.counter(
+      "pair_total", "h", {{"a", "1"}, {"b", "2"}});
+  obs::Counter& d = registry.counter(
+      "pair_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&c, &d);
+}
+
+TEST(Metrics, CounterUpdateTotalIsHighWaterMark) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("mirror_total", "h");
+  c.update_total(10);
+  EXPECT_EQ(c.value(), 10u);
+  c.update_total(7);  // behind: no-op, counters stay monotone
+  EXPECT_EQ(c.value(), 10u);
+  c.update_total(25);
+  EXPECT_EQ(c.value(), 25u);
+}
+
+TEST(Metrics, GaugeSetAddSub) {
+  obs::Registry registry;
+  obs::Gauge& g = registry.gauge("inflight", "h");
+  g.set(5);
+  g.add(3);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 1);
+}
+
+TEST(Metrics, HistogramBucketsAndSnapshot) {
+  obs::Registry registry;
+  obs::Histogram& h =
+      registry.histogram("latency_seconds", "h", {0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0
+  h.observe(0.5);    // bucket 1
+  h.observe(0.5);    // bucket 1
+  h.observe(100.0);  // overflow bucket
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 101.05);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  obs::Registry registry;
+  registry.counter("thing_total", "h");
+  EXPECT_THROW(registry.gauge("thing_total", "h"), std::logic_error);
+  EXPECT_THROW(registry.histogram("thing_total", "h", {1.0}),
+               std::logic_error);
+}
+
+TEST(Metrics, PrometheusRendering) {
+  obs::Registry registry;
+  registry.counter("jobs_total", "Jobs run.", {{"op", "verify"}}).inc(2);
+  registry.gauge("workers", "Worker count.").set(4);
+  obs::Histogram& h = registry.histogram("wait_seconds", "Wait.", {1.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# HELP jobs_total Jobs run."), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jobs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total{op=\"verify\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE workers gauge"), std::string::npos);
+  EXPECT_NE(text.find("workers 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wait_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_count 2"), std::string::npos);
+}
+
+TEST(Metrics, CollectorRunsOnScrape) {
+  obs::Registry registry;
+  obs::Counter& mirror = registry.counter("mirrored_total", "h");
+  std::uint64_t external = 0;
+  registry.register_collector(
+      [&] { mirror.update_total(external); });
+  external = 42;
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("mirrored_total 42"), std::string::npos);
+}
+
+TEST(Metrics, JsonExposition) {
+  obs::Registry registry;
+  registry.counter("a_total", "h").inc(7);
+  registry.gauge("b", "h").set(-3);
+  registry.histogram("c_seconds", "h", {1.0}).observe(0.5);
+  util::JsonWriter w;
+  registry.write_json(w);
+  const util::JsonValue doc = util::JsonValue::parse(w.str());
+  EXPECT_EQ(doc.get("counters").get("a_total").as_int(), 7);
+  EXPECT_EQ(doc.get("gauges").get("b").as_int(), -3);
+  EXPECT_TRUE(doc.get("histograms").has("c_seconds"));
+}
+
+TEST(Metrics, SeriesKeyRendering) {
+  EXPECT_EQ(obs::series_key("x_total", {}), "x_total");
+  EXPECT_EQ(obs::series_key("x_total", {{"op", "verify"}, {"proto", "http"}}),
+            "x_total{op=\"verify\",proto=\"http\"}");
+}
+
+TEST(Metrics, GlobalRegistryExportsPoolSeries) {
+  const std::string text = obs::Registry::instance().render_prometheus();
+  EXPECT_NE(text.find("crnkit_pool_jobs_total"), std::string::npos);
+  EXPECT_NE(text.find("crnkit_pool_workers"), std::string::npos);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  obs::Tracer::stop();
+  {
+    obs::Span span("test.invisible");
+    span.arg("n", 1);
+  }
+  obs::Tracer::start();
+  obs::Tracer::stop();
+  const std::string json = obs::Tracer::render_chrome_json();
+  EXPECT_EQ(json.find("test.invisible"), std::string::npos);
+}
+
+TEST(Trace, SpansRecordWithArgs) {
+  obs::Tracer::start();
+  {
+    obs::Span outer("test.outer");
+    outer.arg("level", 3);
+    obs::Span inner("test.inner");
+    inner.arg("frontier", 17);
+  }
+  obs::Tracer::stop();
+  const std::string json = obs::Tracer::render_chrome_json();
+  const util::JsonValue doc = util::JsonValue::parse(json);
+  const util::JsonValue& events = doc.get("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_outer = false, saw_inner = false;
+  for (const util::JsonValue& e : events.items()) {
+    const std::string& name = e.get("name").as_string();
+    EXPECT_EQ(e.get("ph").as_string(), "X");
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.has("tid"));
+    if (name == "test.outer") {
+      saw_outer = true;
+      EXPECT_EQ(e.get("args").get("level").as_int(), 3);
+    } else if (name == "test.inner") {
+      saw_inner = true;
+      EXPECT_EQ(e.get("args").get("frontier").as_int(), 17);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(Trace, NewGenerationDropsOldEvents) {
+  obs::Tracer::start();
+  { obs::Span span("test.first_gen"); }
+  obs::Tracer::stop();
+  obs::Tracer::start();
+  { obs::Span span("test.second_gen"); }
+  obs::Tracer::stop();
+  const std::string json = obs::Tracer::render_chrome_json();
+  EXPECT_EQ(json.find("test.first_gen"), std::string::npos);
+  EXPECT_NE(json.find("test.second_gen"), std::string::npos);
+}
+
+TEST(Trace, SpansFromWorkerThreadsAreExported) {
+  obs::Tracer::start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] { obs::Span span("test.worker"); });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::Tracer::stop();
+  const std::string json = obs::Tracer::render_chrome_json();
+  std::size_t occurrences = 0;
+  for (std::size_t at = json.find("test.worker"); at != std::string::npos;
+       at = json.find("test.worker", at + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 4u);
+}
+
+TEST(Trace, DisabledSpanDoesNotAllocate) {
+  obs::Tracer::stop();
+  ASSERT_FALSE(obs::Tracer::enabled());
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    obs::Span span("test.hot_path");
+    span.arg("i", i);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+}  // namespace
+}  // namespace crnkit

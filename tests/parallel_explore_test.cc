@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 
 #include "compile/primitives.h"
 #include "compile/theorem52.h"
@@ -116,6 +117,40 @@ TEST(ParallelExplore, TruncationIsDeterministicAcrossThreadCounts) {
   const crn::Crn circuit = compile::compile_theorem52(spec);
   sweep_thread_counts(circuit, circuit.initial_configuration({2, 2}), 7'000,
                       "thm52(2,2) truncated");
+}
+
+TEST(ParallelExplore, ConcurrentExplorationsDoNotBleedPoolCounters) {
+  // stats.pool_tasks/pool_steals are attributed per exploration through
+  // util::TaskPool::CounterScope: two explorations sharing the process
+  // pool must each report exactly the chunk count of their own run (a
+  // deterministic function of the frontier sizes), not a mix of both.
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+  const auto solo = explore(circuit, circuit.initial_configuration({2, 2}),
+                            ExploreOptions{2'000'000, /*threads=*/4});
+  ASSERT_GT(solo.stats.pool_tasks, 0u);
+
+  ExploreStats a, b;
+  std::thread ta([&] {
+    a = explore(circuit, circuit.initial_configuration({2, 2}),
+                ExploreOptions{2'000'000, /*threads=*/4})
+            .stats;
+  });
+  std::thread tb([&] {
+    b = explore(circuit, circuit.initial_configuration({2, 2}),
+                ExploreOptions{2'000'000, /*threads=*/4})
+            .stats;
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.pool_tasks, solo.stats.pool_tasks)
+      << "exploration A absorbed another run's pool counters";
+  EXPECT_EQ(b.pool_tasks, solo.stats.pool_tasks)
+      << "exploration B absorbed another run's pool counters";
+  // Steals can only come from this exploration's own scheduled chunks.
+  EXPECT_LE(a.pool_steals, a.pool_tasks);
+  EXPECT_LE(b.pool_steals, b.pool_tasks);
 }
 
 TEST(ParallelExplore, VerdictsMatchSerial) {

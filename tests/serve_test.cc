@@ -5,8 +5,11 @@
 // run, and clean shutdown with connections (and requests) in flight.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -189,6 +192,16 @@ TEST(Serve, HttpPostAndHealthzOnTheSamePort) {
     client.send_raw("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
     const std::string response = client.read_to_eof();
     EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    const auto blank = response.find("\r\n\r\n");
+    ASSERT_NE(blank, std::string::npos);
+    const JsonValue health = JsonValue::parse(response.substr(blank + 4));
+    EXPECT_EQ(health.get_int("schema_version", -1), 1);
+    EXPECT_FALSE(health.get_string("version", "").empty());
+    EXPECT_FALSE(health.get_string("git", "").empty());
+    EXPECT_GE(health.get("uptime_seconds").as_double(), 0.0);
+    // The POST above verified fig1/min, so the shared cache has entries.
+    EXPECT_GT(health.get_int("cache_entries", -1), 0);
+    EXPECT_TRUE(health.get_bool("ok", false));
   }
   {
     Client client(server.port());
@@ -270,6 +283,120 @@ TEST(Serve, SixtyFourConcurrentClientsGetIdenticalVerdicts) {
   EXPECT_EQ(server.stats().connections, 64u);
   EXPECT_EQ(server.stats().requests, 64u);
   EXPECT_EQ(server.stats().errors, 0u);
+}
+
+/// The per-op request counter's value for one exact series key, from the
+/// structured `metrics` op (0 when the series does not exist yet).
+std::int64_t scraped_counter(int port, const std::string& series) {
+  Client client(port);
+  const JsonValue doc =
+      JsonValue::parse(client.roundtrip("{\"op\": \"metrics\"}"));
+  const JsonValue* value = doc.get("metrics").get("counters").find(series);
+  return value == nullptr ? 0 : value->as_int();
+}
+
+/// The sample value for `series` in a Prometheus text exposition (-1 when
+/// the series is absent).
+std::int64_t prom_counter(const std::string& text, const std::string& series) {
+  const std::size_t at = text.find(series + " ");
+  if (at == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + at + series.size() + 1, nullptr, 10);
+}
+
+TEST(Serve, MetricsScrapeAgreesWithAuthoritativeCountsUnderLoad) {
+  // 64 clients hammer verify while a scraper polls GET /metrics the whole
+  // time: scraped counters never decrease (sharded cells are monotone),
+  // and once the clients drain, the scraped totals equal the
+  // authoritative ones (server stats, proof-cache stats). The registry is
+  // process-global, so everything is asserted as a before/after delta.
+  const std::string kVerifyLine =
+      "crnkit_server_requests_total{op=\"verify\",proto=\"line\"}";
+
+  Service service;
+  Server server(service);
+  server.start();
+
+  const std::int64_t requests_before =
+      scraped_counter(server.port(), kVerifyLine);
+  const std::int64_t hits_before =
+      scraped_counter(server.port(), "crnkit_cache_hits_total");
+  const std::int64_t misses_before =
+      scraped_counter(server.port(), "crnkit_cache_misses_total");
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    std::int64_t last = requests_before;
+    while (!done.load()) {
+      Client client(server.port());
+      client.send_raw("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+      const std::string response = client.read_to_eof();
+      EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+      EXPECT_NE(response.find("text/plain; version=0.0.4"),
+                std::string::npos);
+      const std::int64_t now = prom_counter(response, kVerifyLine);
+      if (now >= 0) {
+        EXPECT_GE(now, last) << "scraped counter went backwards";
+        last = now;
+      }
+      ++scrapes;
+    }
+  });
+
+  constexpr int kClients = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      Client client(server.port());
+      const JsonValue got = JsonValue::parse(client.roundtrip(
+          "{\"op\": \"verify\", \"target\": \"fig1/min\"}"));
+      EXPECT_TRUE(got.get_bool("ok", false));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  done.store(true);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0);
+
+  // Every client's roundtrip() returned, so every finish_request() ran:
+  // the scrape must now agree exactly with the authoritative counters.
+  EXPECT_EQ(scraped_counter(server.port(), kVerifyLine) - requests_before,
+            kClients);
+  const ProofCache::Stats cache = service.proof_cache().stats();
+  EXPECT_EQ(scraped_counter(server.port(), "crnkit_cache_hits_total") -
+                hits_before,
+            static_cast<std::int64_t>(cache.hits));
+  EXPECT_EQ(scraped_counter(server.port(), "crnkit_cache_misses_total") -
+                misses_before,
+            static_cast<std::int64_t>(cache.misses));
+  server.stop();
+}
+
+TEST(Serve, AccessLogRecordsOpStatusAndCacheOutcome) {
+  std::ostringstream log;
+  Service service;
+  Server::Options options;
+  options.access_log = &log;
+  Server server(service, options);
+  server.start();
+
+  {
+    Client client(server.port());
+    client.roundtrip("{\"op\": \"verify\", \"target\": \"fig1/min\"}");
+    client.roundtrip("{\"op\": \"verify\", \"target\": \"fig1/min\"}");
+    client.roundtrip("{not json");
+  }
+  server.stop();
+
+  const std::string lines = log.str();
+  // Cold verify misses the proof cache, the repeat hits it, the malformed
+  // request logs as op=? with a 400.
+  EXPECT_NE(lines.find("op=verify proto=line status=200"),
+            std::string::npos);
+  EXPECT_NE(lines.find("cache=miss"), std::string::npos);
+  EXPECT_NE(lines.find("cache=hit"), std::string::npos);
+  EXPECT_NE(lines.find("op=? proto=line status=400"), std::string::npos);
 }
 
 TEST(Serve, StopWithConnectionsAndRequestsInFlightIsClean) {

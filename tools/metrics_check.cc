@@ -1,0 +1,334 @@
+// metrics_check <file> [--min-series N]: validates a Prometheus text
+// exposition (format 0.0.4) dump, the way json_check validates the
+// BENCH_*.json artifacts. CI scrapes GET /metrics off a live `crnc serve`
+// (and serve_replay --metrics-out) and runs this over the result, so a
+// malformed sample line, an undeclared family, or an incoherent histogram
+// fails the build instead of the scrape pipeline.
+//
+// Checks:
+//  * every sample line parses as `name{labels} value` with a legal metric
+//    name and a numeric value (+Inf/-Inf/NaN allowed);
+//  * every sample belongs to a family declared by preceding # HELP and
+//    # TYPE lines (histogram samples match their base family);
+//  * histogram buckets are cumulative (non-decreasing in le order), end
+//    in an +Inf bucket, and agree with the family's _count sample;
+//  * --min-series N: at least N distinct series (a histogram counts once
+//    per label set, like obs::Registry::series_count()).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool parse_value(const std::string& text, double* out) {
+  if (text == "+Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+struct Sample {
+  std::string name;
+  std::string labels;  ///< raw text inside {...}, "" when absent
+  double value = 0;
+};
+
+/// Splits one sample line; returns false (with a message) on bad syntax.
+bool parse_sample(const std::string& line, Sample* out, std::string* why) {
+  std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos) {
+    *why = "no value";
+    return false;
+  }
+  out->name = line.substr(0, name_end);
+  if (!valid_name(out->name)) {
+    *why = "bad metric name '" + out->name + "'";
+    return false;
+  }
+  std::size_t value_at = name_end;
+  out->labels.clear();
+  if (line[name_end] == '{') {
+    // Labels may contain escaped quotes; scan to the closing brace
+    // outside a quoted string.
+    bool in_string = false;
+    std::size_t i = name_end + 1;
+    for (; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '}') {
+        break;
+      }
+    }
+    if (i >= line.size()) {
+      *why = "unterminated label set";
+      return false;
+    }
+    out->labels = line.substr(name_end + 1, i - name_end - 1);
+    value_at = i + 1;
+  }
+  const std::size_t sp = line.find_first_not_of(' ', value_at);
+  if (sp == std::string::npos || line[value_at] != ' ') {
+    *why = "no value";
+    return false;
+  }
+  const std::string value_text = line.substr(sp);
+  if (!parse_value(value_text, &out->value)) {
+    *why = "bad value '" + value_text + "'";
+    return false;
+  }
+  return true;
+}
+
+/// The `le` label's value, and the label set with `le` removed (the
+/// histogram series identity).
+bool split_le(const std::string& labels, std::string* le,
+              std::string* rest) {
+  *le = "";
+  rest->clear();
+  std::size_t i = 0;
+  bool found = false;
+  while (i < labels.size()) {
+    const std::size_t eq = labels.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= labels.size() ||
+        labels[eq + 1] != '"') {
+      return false;
+    }
+    std::size_t end = eq + 2;
+    while (end < labels.size() && labels[end] != '"') {
+      if (labels[end] == '\\') ++end;
+      ++end;
+    }
+    if (end >= labels.size()) return false;
+    const std::string key = labels.substr(i, eq - i);
+    const std::string value = labels.substr(eq + 2, end - eq - 2);
+    if (key == "le") {
+      *le = value;
+      found = true;
+    } else {
+      if (!rest->empty()) *rest += ",";
+      *rest += key + "=\"" + value + "\"";
+    }
+    i = end + 1;
+    if (i < labels.size() && labels[i] == ',') ++i;
+  }
+  return found;
+}
+
+int check_file(const std::string& path, std::size_t min_series) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "metrics_check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, std::string> types;  ///< family -> TYPE
+  std::set<std::string> helped;
+  std::set<std::string> series;  ///< distinct (family, labels) series
+  // Histogram bookkeeping per (family|labels-minus-le).
+  struct HistState {
+    double last_bucket = -1;
+    bool saw_inf = false;
+    double inf_value = 0;
+    bool have_count = false;
+    double count = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t samples = 0;
+  int bad = 0;
+  const auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "metrics_check: %s:%zu: %s\n", path.c_str(), lineno,
+                 why.c_str());
+    ++bad;
+  };
+
+  while (std::getline(file, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, family;
+      comment >> hash >> kind >> family;
+      if (kind == "HELP") {
+        helped.insert(family);
+      } else if (kind == "TYPE") {
+        std::string type;
+        comment >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail("unknown type '" + type + "' for family '" + family + "'");
+        }
+        if (types.count(family) != 0) {
+          fail("family '" + family + "' declared twice");
+        }
+        types[family] = type;
+      }
+      continue;
+    }
+
+    Sample sample;
+    std::string why;
+    if (!parse_sample(line, &sample, &why)) {
+      fail(why);
+      continue;
+    }
+    ++samples;
+
+    // Resolve the declared family: exact, or a histogram expansion.
+    std::string family = sample.name;
+    std::string suffix;
+    if (types.count(family) == 0) {
+      for (const char* s : {"_bucket", "_sum", "_count"}) {
+        if (family.size() > std::strlen(s) &&
+            family.compare(family.size() - std::strlen(s), std::strlen(s),
+                           s) == 0) {
+          const std::string base =
+              family.substr(0, family.size() - std::strlen(s));
+          const auto it = types.find(base);
+          if (it != types.end() && it->second == "histogram") {
+            family = base;
+            suffix = s;
+            break;
+          }
+        }
+      }
+    }
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      fail("sample '" + sample.name + "' has no # TYPE declaration");
+      continue;
+    }
+    if (helped.count(family) == 0) {
+      fail("family '" + family + "' has no # HELP line");
+    }
+
+    if (type_it->second == "histogram") {
+      std::string le, rest;
+      if (suffix == "_bucket" && !split_le(sample.labels, &le, &rest)) {
+        fail("bucket sample without an le label: " + line);
+        continue;
+      }
+      const std::string key =
+          family + "|" + (suffix == "_bucket" ? rest : sample.labels);
+      HistState& h = hists[key];
+      series.insert("hist:" + key);
+      if (suffix == "_bucket") {
+        if (sample.value + 1e-9 < h.last_bucket) {
+          fail("histogram '" + family + "' buckets are not cumulative");
+        }
+        h.last_bucket = sample.value;
+        if (le == "+Inf") {
+          h.saw_inf = true;
+          h.inf_value = sample.value;
+        }
+      } else if (suffix == "_count") {
+        h.have_count = true;
+        h.count = sample.value;
+      } else if (suffix != "_sum") {
+        fail("bare sample '" + sample.name + "' in histogram family");
+      }
+    } else {
+      const std::string key =
+          sample.name +
+          (sample.labels.empty() ? "" : "{" + sample.labels + "}");
+      if (!series.insert(key).second) {
+        fail("duplicate series '" + key + "'");
+      }
+      if (type_it->second == "counter" && sample.value < 0) {
+        fail("counter '" + key + "' is negative");
+      }
+    }
+  }
+
+  for (const auto& [key, h] : hists) {
+    const std::string family = key.substr(0, key.find('|'));
+    if (!h.saw_inf) {
+      fail("histogram '" + family + "' has no +Inf bucket");
+    }
+    if (!h.have_count) {
+      fail("histogram '" + family + "' has no _count sample");
+    } else if (h.saw_inf && h.inf_value != h.count) {
+      fail("histogram '" + family + "' +Inf bucket disagrees with _count");
+    }
+  }
+
+  if (series.size() < min_series) {
+    std::fprintf(stderr,
+                 "metrics_check: %s has %zu series, expected >= %zu\n",
+                 path.c_str(), series.size(), min_series);
+    ++bad;
+  }
+  if (bad == 0) {
+    std::printf("metrics_check: %s OK (%zu samples, %zu series)\n",
+                path.c_str(), samples, series.size());
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t min_series = 0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-series") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "metrics_check: --min-series needs a value\n");
+        return 2;
+      }
+      min_series = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr,
+                                                          10));
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: metrics_check <file>... [--min-series N]\n");
+    return 2;
+  }
+  int bad = 0;
+  for (const std::string& file : files) bad += check_file(file, min_series);
+  return bad == 0 ? 0 : 1;
+}

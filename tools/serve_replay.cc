@@ -17,6 +17,12 @@
 // Emits BENCH_serve.json (override with --out). --assert-warm-faster exits
 // nonzero unless warm p50 < cold p50 — the CI regression gate for the
 // cache. CRNKIT_BENCH_FAST=1 trims the generated mix for smoke runs.
+//
+// Observability hooks: --scrape polls the `metrics` op before and after
+// the two passes and embeds the counter deltas in BENCH_serve.json (what
+// did this workload actually cost, in requests/configs/cache traffic);
+// --metrics-out FILE dumps the final Prometheus text exposition (the
+// payload tools/metrics_check validates in CI).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -117,6 +123,18 @@ std::vector<std::string> generate_requests(std::size_t count,
     }
   }
   return requests;
+}
+
+/// Counter series from a `metrics` op response: {"series{labels}": value}.
+std::map<std::string, std::int64_t> parse_counters(
+    const std::string& response) {
+  std::map<std::string, std::int64_t> out;
+  const crnkit::util::JsonValue v = crnkit::util::JsonValue::parse(response);
+  for (const auto& [key, value] :
+       v.get("metrics").get("counters").members()) {
+    out[key] = value.as_int();
+  }
+  return out;
 }
 
 std::vector<std::string> read_requests(const std::string& path) {
@@ -246,7 +264,9 @@ int run(int argc, char** argv) {
   std::string out_path = "BENCH_serve.json";
   std::optional<std::string> requests_path;
   std::optional<std::string> connect;
+  std::optional<std::string> metrics_out;
   bool assert_warm_faster = false;
+  bool scrape = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -268,11 +288,16 @@ int run(int argc, char** argv) {
       connect = need_value("--connect");
     } else if (arg == "--assert-warm-faster") {
       assert_warm_faster = true;
+    } else if (arg == "--scrape") {
+      scrape = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = need_value("--metrics-out");
     } else {
       std::fprintf(stderr,
                    "usage: serve_replay [--count N] [--seed S] [--out FILE] "
                    "[--requests FILE] [--connect HOST:PORT] "
-                   "[--assert-warm-faster]\n");
+                   "[--assert-warm-faster] [--scrape] "
+                   "[--metrics-out FILE]\n");
       return 2;
     }
   }
@@ -299,6 +324,9 @@ int run(int argc, char** argv) {
   PassReport warm;
   crnkit::svc::ProofCache::Stats cache;
   bool have_cache = false;
+  std::map<std::string, std::int64_t> counters_before;
+  std::map<std::string, std::int64_t> counters_after;
+  std::string prometheus_text;
   if (connect) {
     const auto colon = connect->rfind(':');
     if (colon == std::string::npos) {
@@ -307,25 +335,60 @@ int run(int argc, char** argv) {
     }
     const std::string host = connect->substr(0, colon);
     const int port = std::stoi(connect->substr(colon + 1));
+    if (scrape) {
+      LineClient client(host, port);
+      counters_before =
+          parse_counters(client.roundtrip("{\"op\": \"metrics\"}"));
+    }
     {
       LineClient client(host, port);
       cold = run_pass(requests, [&](const std::string& line) {
         return client.roundtrip(line);
       });
     }
-    LineClient client(host, port);
-    warm = run_pass(requests, [&](const std::string& line) {
-      return client.roundtrip(line);
-    });
+    {
+      LineClient client(host, port);
+      warm = run_pass(requests, [&](const std::string& line) {
+        return client.roundtrip(line);
+      });
+    }
+    if (scrape || metrics_out) {
+      LineClient client(host, port);
+      if (scrape) {
+        counters_after =
+            parse_counters(client.roundtrip("{\"op\": \"metrics\"}"));
+      }
+      if (metrics_out) {
+        prometheus_text =
+            crnkit::util::JsonValue::parse(
+                client.roundtrip(
+                    "{\"op\": \"metrics\", \"format\": \"prometheus\"}"))
+                .get("prometheus")
+                .as_string();
+      }
+    }
   } else {
     crnkit::svc::Service service;
     const auto dispatch = [&](const std::string& line) {
       return crnkit::svc::Server::dispatch_line(service, line);
     };
+    if (scrape) {
+      counters_before = parse_counters(dispatch("{\"op\": \"metrics\"}"));
+    }
     cold = run_pass(requests, dispatch);
     warm = run_pass(requests, dispatch);
     cache = service.proof_cache().stats();
     have_cache = true;
+    if (scrape) {
+      counters_after = parse_counters(dispatch("{\"op\": \"metrics\"}"));
+    }
+    if (metrics_out) {
+      prometheus_text =
+          crnkit::util::JsonValue::parse(
+              dispatch("{\"op\": \"metrics\", \"format\": \"prometheus\"}"))
+              .get("prometheus")
+              .as_string();
+    }
   }
 
   const double throughput_ratio =
@@ -361,6 +424,21 @@ int run(int argc, char** argv) {
         .kv("bytes", cache.bytes)
         .end_object();
   }
+  if (scrape) {
+    // What this workload cost, as counter deltas between the bracketing
+    // `metrics` scrapes (zero-delta series are omitted).
+    w.key("scrape").begin_object();
+    w.kv("series_before", counters_before.size())
+        .kv("series_after", counters_after.size());
+    w.key("counter_deltas").begin_object();
+    for (const auto& [key, value] : counters_after) {
+      const auto it = counters_before.find(key);
+      const std::int64_t delta =
+          value - (it == counters_before.end() ? 0 : it->second);
+      if (delta != 0) w.kv(key, delta);
+    }
+    w.end_object().end_object();
+  }
   w.end_object();
 
   std::ofstream out(out_path, std::ios::trunc);
@@ -370,6 +448,16 @@ int run(int argc, char** argv) {
     return 1;
   }
   out << w.str() << "\n";
+
+  if (metrics_out) {
+    std::ofstream prom(*metrics_out, std::ios::trunc);
+    if (!prom) {
+      std::fprintf(stderr, "serve_replay: cannot write %s\n",
+                   metrics_out->c_str());
+      return 1;
+    }
+    prom << prometheus_text;
+  }
 
   std::printf(
       "serve_replay: %zu requests (%zu errors cold, %zu warm)\n"
