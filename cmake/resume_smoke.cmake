@@ -1,0 +1,77 @@
+# Kill-and-resume end-to-end smoke (ctest checkpoint_resume_smoke).
+#
+# Interrupts a chain/compose-24 exploration mid-run and resumes it from
+# the checkpoint, requiring the resumed verdict, configuration count, and
+# edge count to be identical to an uninterrupted reference run. The
+# interruption is a deadline expiry: a cancelled exploration writes the
+# same level-boundary checkpoint a periodic snapshot leaves behind after
+# kill -9 (crash_durability proves torn checkpoint writes never corrupt
+# that file; this smoke proves the resume plumbing end to end).
+#
+# Invoked as:
+#   cmake -DCRNC=<path-to-crnc> -DWORK_DIR=<dir> -P resume_smoke.cmake
+
+set(CKPT "${WORK_DIR}/resume_smoke.ckpt")
+file(REMOVE "${CKPT}")
+
+# --stats puts per-point "edges" in the JSON; without it the edge-count
+# comparison below would match nothing on both sides and pass vacuously.
+set(POINT_ARGS verify chain/compose-24 --input 7 --expect 7 --force --stats)
+
+# Reference: the uninterrupted run.
+execute_process(
+  COMMAND ${CRNC} ${POINT_ARGS} --json
+  OUTPUT_VARIABLE REF_JSON
+  RESULT_VARIABLE REF_RC)
+if(NOT REF_RC EQUAL 0)
+  message(FATAL_ERROR "reference verify failed (rc=${REF_RC}): ${REF_JSON}")
+endif()
+
+# Interrupted: a 300ms deadline cuts the exploration mid-run; the cancel
+# path checkpoints before returning the typed deadline_exceeded verdict.
+execute_process(
+  COMMAND ${CRNC} ${POINT_ARGS} --deadline-ms 300 --checkpoint "${CKPT}"
+          --json
+  OUTPUT_VARIABLE CUT_JSON
+  RESULT_VARIABLE CUT_RC)
+string(FIND "${CUT_JSON}" "deadline_exceeded\": 1" CUT_AT)
+if(CUT_AT EQUAL -1)
+  message(FATAL_ERROR
+    "interrupted run was not cut short by the deadline: ${CUT_JSON}")
+endif()
+if(NOT EXISTS "${CKPT}")
+  message(FATAL_ERROR "interrupted run left no checkpoint at ${CKPT}")
+endif()
+
+# Resumed: pick the exploration back up from the checkpoint, no deadline.
+execute_process(
+  COMMAND ${CRNC} ${POINT_ARGS} --checkpoint "${CKPT}" --resume --json
+  OUTPUT_VARIABLE RES_JSON
+  RESULT_VARIABLE RES_RC)
+if(NOT RES_RC EQUAL 0)
+  message(FATAL_ERROR "resumed verify failed (rc=${RES_RC}): ${RES_JSON}")
+endif()
+
+# The resumed run must be indistinguishable from the reference run.
+foreach(FIELD "\"status\": \"[a-z]+\"" "\"configs\": [0-9]+"
+        "\"edges\": [0-9]+" "\"proved\": [0-9]+")
+  string(REGEX MATCH "${FIELD}" REF_VALUE "${REF_JSON}")
+  string(REGEX MATCH "${FIELD}" RES_VALUE "${RES_JSON}")
+  if(REF_VALUE STREQUAL "")
+    message(FATAL_ERROR
+      "field ${FIELD} missing from the reference JSON — the comparison "
+      "would be vacuous: ${REF_JSON}")
+  endif()
+  if(NOT REF_VALUE STREQUAL RES_VALUE)
+    message(FATAL_ERROR
+      "resume mismatch: reference '${REF_VALUE}' vs resumed '${RES_VALUE}'")
+  endif()
+  message(STATUS "resume agrees: ${RES_VALUE}")
+endforeach()
+string(FIND "${RES_JSON}" "\"status\": \"proved\"" PROVED_AT)
+if(PROVED_AT EQUAL -1)
+  message(FATAL_ERROR "resumed run did not prove the point: ${RES_JSON}")
+endif()
+
+file(REMOVE "${CKPT}")
+message(STATUS "checkpoint_resume_smoke: PASS")

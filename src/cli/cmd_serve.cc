@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "svc/server.h"
 #include "svc/service.h"
+#include "util/fault_injector.h"
 
 namespace crnkit::cli {
 
@@ -19,13 +20,32 @@ int cmd_serve(Args& args, std::ostream& out) {
   svc::Server::Options server_options;
   server_options.port = static_cast<int>(args.take_int("port", 7341));
   server_options.host = args.take_option("host").value_or("127.0.0.1");
+  server_options.max_connections =
+      static_cast<int>(args.take_int("max-connections", 0));
+  server_options.max_inflight =
+      static_cast<int>(args.take_int("max-inflight", 0));
+  server_options.retry_after_ms =
+      static_cast<int>(args.take_int("retry-after-ms", 250));
+  server_options.drain_grace_ms =
+      static_cast<int>(args.take_int("drain-grace-ms", 2000));
   svc::Service::Options service_options;
   service_options.cache.max_bytes = static_cast<std::size_t>(
       args.take_int("cache-bytes", 64ll << 20));
+  service_options.default_deadline_ms = args.take_int("deadline-ms", 0);
+  service_options.memory_budget_bytes = static_cast<std::size_t>(
+      args.take_int("memory-budget-mb", 0)) << 20;
   const auto cache_file = args.take_option("cache-file");
+  const auto cache_journal = args.take_option("cache-journal");
+  const auto faults = args.take_option("faults");
   const auto trace_dir = args.take_option("trace-dir");
   const auto log_file = args.take_option("log");
   args.finish();
+
+  if (faults) {
+    // CLI equivalent of CRNKIT_FAULTS — see util/fault_injector.h for
+    // the failpoint spec grammar.
+    util::FaultInjector::instance().configure(*faults);
+  }
 
   std::ofstream access_log;
   if (log_file) {
@@ -47,6 +67,17 @@ int cmd_serve(Args& args, std::ostream& out) {
     } catch (const std::exception& e) {
       out << "crnc serve: ignoring cache file: " << e.what() << "\n";
     }
+  }
+  if (cache_journal) {
+    // Replay first (verdicts that landed after the last snapshot), then
+    // arm the journal for this run's inserts.
+    const std::size_t replayed =
+        service.proof_cache().replay_journal(*cache_journal);
+    if (replayed > 0) {
+      out << "crnc serve: replayed " << replayed
+          << " journaled proofs from " << *cache_journal << "\n";
+    }
+    service.proof_cache().enable_journal(*cache_journal);
   }
 
   // Block the shutdown signals before spawning server threads (they
@@ -82,9 +113,9 @@ int cmd_serve(Args& args, std::ostream& out) {
   const svc::Server::Stats stats = server.stats();
   const svc::ProofCache::Stats cache = service.proof_cache().stats();
   out << "crnc serve: " << stats.connections << " connections, "
-      << stats.requests << " requests (" << stats.errors << " errors), "
-      << "cache " << cache.hits << " hits / " << cache.misses
-      << " misses\n";
+      << stats.requests << " requests (" << stats.errors << " errors, "
+      << stats.shed << " shed), cache " << cache.hits << " hits / "
+      << cache.misses << " misses\n";
   if (cache_file) {
     try {
       service.proof_cache().save(*cache_file);

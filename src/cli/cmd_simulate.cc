@@ -26,6 +26,7 @@ int cmd_simulate(Args& args, std::ostream& out) {
   request.max_events =
       static_cast<std::uint64_t>(args.take_int("max-events", 10'000'000));
   request.method = args.take_option("method").value_or("direct");
+  request.deadline_ms = args.take_int("deadline-ms", 0);
   const auto target = args.take_positional();
   args.finish();
   if (!target) {
@@ -43,6 +44,10 @@ int cmd_simulate(Args& args, std::ostream& out) {
         << response.trajectories << " trajectories, method "
         << response.method << ":\n";
     out << response.summary << "\n";
+    if (response.deadline_exceeded) {
+      out << "note: deadline exceeded — " << response.cancelled
+          << " trajectories were skipped\n";
+    }
     if (!response.all_silent) {
       out << "note: "
           << response.trajectories - static_cast<std::size_t>(response.silent)

@@ -28,6 +28,15 @@ int cmd_verify(Args& args, std::ostream& out) {
   request.max_configs =
       static_cast<std::size_t>(args.take_int("max-configs", 0));
   request.threads = static_cast<int>(args.take_int("threads", 1));
+  request.deadline_ms = args.take_int("deadline-ms", 0);
+  request.checkpoint_path = args.take_option("checkpoint").value_or("");
+  if (const auto every = args.take_option("checkpoint-every-secs")) {
+    request.checkpoint_every_secs = std::stod(*every);
+  }
+  request.resume = args.take_flag("resume");
+  if (request.resume && request.checkpoint_path.empty()) {
+    throw std::invalid_argument("verify: --resume needs --checkpoint FILE");
+  }
   const auto target = args.take_positional();
   args.finish();
   if (!target) throw std::invalid_argument("verify needs a scenario or file");
@@ -60,6 +69,10 @@ int cmd_verify(Args& args, std::ostream& out) {
   if (response.inconclusive > 0) {
     out << ", " << response.inconclusive
         << " inconclusive (raise --max-configs)";
+  }
+  if (response.deadline_exceeded > 0) {
+    out << ", " << response.deadline_exceeded
+        << " deadline_exceeded (raise --deadline-ms)";
   }
   out << "\n";
   if (request.stats) {

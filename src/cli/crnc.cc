@@ -34,10 +34,13 @@ commands:
   simulate <scenario|file.crn> batched stochastic simulation (ensemble)
       [--input X1,X2,...] [--trajectories N] [--seed S] [--threads T]
       [--method silent|direct|next-reaction|population]
-      [--max-steps N] [--max-events N] [--json] [--trace out.json]
+      [--max-steps N] [--max-events N] [--deadline-ms N]
+      [--json] [--trace out.json]
   verify <scenario|file.crn>  exact stable-computation check
       [--grid N | --input X1,X2,... [--expect V]] [--max-configs N]
-      [--threads T] [--stats] [--force] [--json] [--trace out.json]
+      [--threads T] [--stats] [--force] [--deadline-ms N]
+      [--checkpoint FILE [--checkpoint-every-secs N] [--resume]]
+      [--json] [--trace out.json]
   bench <scenario|file.crn>   ensemble throughput measurement
       [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
       [--threads T] [--method ...] [--json]
@@ -45,7 +48,9 @@ commands:
                               HTTP/1.1 over TCP (auto-detected), answered
                               from a content-addressed proof cache
       [--host H] [--port P] [--cache-bytes N] [--cache-file FILE]
-      [--trace-dir DIR] [--log FILE]
+      [--cache-journal FILE] [--max-connections N] [--max-inflight N]
+      [--retry-after-ms N] [--drain-grace-ms N] [--deadline-ms N]
+      [--memory-budget-mb N] [--faults SPEC] [--trace-dir DIR] [--log FILE]
 
 Metrics are exposed by the daemon at GET /metrics (Prometheus text) and
 the `metrics` line-JSON op; --trace writes Chrome trace_event JSON that

@@ -48,6 +48,9 @@ std::string EnsembleResult::summary() const {
   os << "trajectories=" << trajectories.size() << " silent=" << silent_count
      << " events=" << total_events << " wall=" << wall_seconds << "s ("
      << events_per_second() << " ev/s)";
+  if (cancelled_count > 0) {
+    os << " cancelled=" << cancelled_count;
+  }
   if (!output_consistent) {
     os << " OUTPUT-INCONSISTENT";
   }
@@ -78,6 +81,10 @@ EnsembleResult EnsembleRunner::run(const crn::Config& initial,
   run_span.arg("trajectories", static_cast<std::int64_t>(count));
 
   const auto run_one = [&](std::size_t i) {
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      result.trajectories[i].skipped = true;
+      return;
+    }
     Rng rng(Rng::derive_stream_seed(options.seed, i));
     Trajectory& out = result.trajectories[i];
     switch (options.method) {
@@ -138,6 +145,10 @@ EnsembleResult EnsembleRunner::run(const crn::Config& initial,
   // Deterministic aggregation, in trajectory order.
   bool first_output = true;
   for (const Trajectory& t : result.trajectories) {
+    if (t.skipped) {
+      ++result.cancelled_count;
+      continue;
+    }
     result.total_events += t.events;
     result.events_stats.add(static_cast<double>(t.events));
     result.time_stats.add(t.time);

@@ -27,6 +27,7 @@
 #include "sim/compiled_network.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
+#include "util/deadline.h"
 
 namespace crnkit::sim {
 
@@ -51,6 +52,12 @@ struct EnsembleOptions {
   double max_time = 1e300;
   /// Per-reaction SSA rate constants; empty means all 1.0.
   std::vector<double> rates;
+  /// Cooperative cancellation, polled before each trajectory starts:
+  /// once expired, remaining trajectories are skipped (marked in their
+  /// slot and counted in EnsembleResult::cancelled_count) and the batch
+  /// returns with whatever completed. Note a partially-cancelled batch
+  /// is NOT seed-reproducible — callers must treat it as degraded.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// One trajectory's outcome. `events` counts steps / SSA events / pair
@@ -61,6 +68,7 @@ struct Trajectory {
   std::uint64_t events = 0;
   double time = 0.0;
   bool silent = false;  ///< reached a silent configuration within budget
+  bool skipped = false;  ///< never ran: the batch's cancel token expired
 };
 
 struct EnsembleResult {
@@ -68,6 +76,7 @@ struct EnsembleResult {
   std::uint64_t total_events = 0;
   double wall_seconds = 0.0;  ///< wall time of the whole batch
   int silent_count = 0;
+  int cancelled_count = 0;  ///< trajectories skipped by an expired token
 
   SampleStats events_stats;  ///< per-trajectory steps/events/interactions
   SampleStats time_stats;    ///< per-trajectory SSA or parallel time

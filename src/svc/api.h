@@ -98,6 +98,10 @@ struct SimulateRequest {
   std::optional<std::uint64_t> max_steps;
   std::optional<std::uint64_t> max_events;
   std::string method = "direct";  ///< silent|direct|next-reaction|population
+  /// Wall-clock budget for the whole batch, in milliseconds; 0 means the
+  /// server default (or none). On expiry, remaining trajectories are
+  /// skipped and the response is marked deadline_exceeded.
+  std::int64_t deadline_ms = 0;
 };
 
 struct SimulateResponse {
@@ -118,6 +122,8 @@ struct SimulateResponse {
   math::Int expected = 0;
   bool all_silent = false;
   std::string summary;  ///< EnsembleResult::summary() human line
+  int cancelled = 0;  ///< trajectories skipped by the deadline
+  bool deadline_exceeded = false;
   bool ok = false;
 };
 
@@ -133,6 +139,16 @@ struct VerifyRequest {
   bool force = false;  ///< verify even when tagged unverifiable
   bool stats = false;  ///< collect exploration perf counters
   bool use_cache = true;
+  /// Wall-clock budget for the whole request, in milliseconds; 0 means
+  /// the server default (or none). Expired points return the typed
+  /// `deadline_exceeded` inconclusive status instead of hanging, and
+  /// their (nondeterministic) partial verdicts are never cached.
+  std::int64_t deadline_ms = 0;
+  // Checkpoint/resume (CLI-only: serialize.cc deliberately never parses
+  // these — a remote client must not make the daemon touch files).
+  std::string checkpoint_path;
+  double checkpoint_every_secs = 30.0;
+  bool resume = false;
 };
 
 struct VerifyPointReport {
@@ -142,7 +158,7 @@ struct VerifyPointReport {
   bool complete = false;
   std::size_t configs = 0;
   std::size_t edges = 0;
-  std::string status;  ///< proved | FAILED | inconclusive
+  std::string status;  ///< proved | FAILED | inconclusive | deadline_exceeded
   bool cached = false;  ///< served from the proof cache
   double wall_seconds = 0.0;
   std::size_t frontier_peak = 0;
@@ -159,7 +175,12 @@ struct VerifyResponse {
   std::vector<VerifyPointReport> points;
   int proved = 0;
   int failed = 0;
-  int inconclusive = 0;
+  int inconclusive = 0;  ///< includes deadline_exceeded points
+  int deadline_exceeded = 0;  ///< points cut short by the deadline
+  /// The memory budget clamped max_configs below the requested value:
+  /// over-budget points report sound truncated (inconclusive) verdicts
+  /// instead of risking the process.
+  bool degraded = false;
   std::size_t max_configs_explored = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;

@@ -4,11 +4,13 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/json_value.h"
 #include "util/json_writer.h"
+#include "util/posix_io.h"
 
 namespace crnkit::svc {
 
@@ -98,6 +100,70 @@ std::uint64_t entries_checksum(
   return h;
 }
 
+/// Writes one entry's verdict-critical + informational fields as a JSON
+/// object (shared by the snapshot writer and the journal appender).
+void write_entry(util::JsonWriter& w, const ProofKey& key,
+                 const ProofVerdict& verdict) {
+  w.begin_object().kv("crn_hash", to_hex(key.crn_hash)).key("x")
+      .begin_array();
+  for (const math::Int v : key.x) w.value(static_cast<std::int64_t>(v));
+  w.end_array()
+      .kv("expected", static_cast<std::int64_t>(key.expected))
+      .kv("budget", verdict.budget)
+      .kv("complete", verdict.complete)
+      .kv("ok", verdict.ok)
+      .kv("configs", verdict.num_configs)
+      .kv("edges", verdict.num_edges)
+      .kv_fixed("wall_seconds", verdict.stats.wall_seconds, 6)
+      .kv("frontier_peak", verdict.stats.frontier_peak)
+      .kv("levels", verdict.stats.levels)
+      .kv("arena_bytes", verdict.stats.arena_bytes)
+      .key("witness")
+      .begin_array();
+  for (const int r : verdict.witness) w.value(r);
+  w.end_array().end_object();
+}
+
+/// Inverse of write_entry; throws on any missing or malformed field.
+std::pair<ProofKey, ProofVerdict> parse_entry(const util::JsonValue& e) {
+  ProofKey key;
+  key.crn_hash = parse_hex(e.get("crn_hash").as_string());
+  for (const util::JsonValue& v : e.get("x").items()) {
+    key.x.push_back(v.as_int());
+  }
+  key.expected = e.get("expected").as_int();
+  ProofVerdict verdict;
+  verdict.budget = static_cast<std::size_t>(e.get("budget").as_int());
+  verdict.complete = e.get("complete").as_bool();
+  verdict.ok = e.get("ok").as_bool();
+  verdict.num_configs = static_cast<std::size_t>(e.get("configs").as_int());
+  verdict.num_edges = static_cast<std::size_t>(e.get("edges").as_int());
+  verdict.stats.wall_seconds =
+      e.has("wall_seconds") ? e.get("wall_seconds").as_double() : 0.0;
+  verdict.stats.frontier_peak =
+      static_cast<std::size_t>(e.get_int("frontier_peak", 0));
+  verdict.stats.levels = static_cast<std::size_t>(e.get_int("levels", 0));
+  verdict.stats.arena_bytes =
+      static_cast<std::size_t>(e.get_int("arena_bytes", 0));
+  for (const util::JsonValue& r : e.get("witness").items()) {
+    verdict.witness.push_back(static_cast<int>(r.as_int()));
+  }
+  return {std::move(key), std::move(verdict)};
+}
+
+/// One journal record: the entry plus its own checksum, on a single
+/// line — so a torn append invalidates only itself and replay can keep
+/// the valid prefix.
+std::string journal_line(const ProofKey& key, const ProofVerdict& verdict) {
+  std::vector<std::pair<ProofKey, ProofVerdict>> one;
+  one.emplace_back(key, verdict);
+  util::JsonWriter w;
+  w.begin_object().key("entry");
+  write_entry(w, key, verdict);
+  w.kv("checksum", to_hex(entries_checksum(one))).end_object();
+  return w.str() + "\n";
+}
+
 }  // namespace
 
 std::size_t ProofCache::SlotKeyHash::operator()(const SlotKey& key) const {
@@ -151,6 +217,13 @@ void ProofCache::insert(const ProofKey& key, ProofVerdict verdict) {
   if (options_.max_bytes == 0) return;
   ++insertions_;
   CacheMetrics::get().insertions.inc();
+  if (!journal_path_.empty()) {
+    // Durability is best-effort on the serving path: a failed append
+    // must not fail the request — the next snapshot still captures the
+    // entry, and replay tolerates the resulting gap.
+    (void)util::append_file(journal_path_, journal_line(key, verdict),
+                            "cache.journal");
+  }
   insert_locked(key, std::move(verdict), /*front=*/true);
   evict_locked();
   sync_gauges_locked();
@@ -230,36 +303,67 @@ void ProofCache::save(const std::string& path) const {
       .key("entries")
       .begin_array();
   for (const auto& [key, verdict] : entries) {
-    w.begin_object().kv("crn_hash", to_hex(key.crn_hash)).key("x")
-        .begin_array();
-    for (const math::Int v : key.x) w.value(static_cast<std::int64_t>(v));
-    w.end_array()
-        .kv("expected", static_cast<std::int64_t>(key.expected))
-        .kv("budget", verdict.budget)
-        .kv("complete", verdict.complete)
-        .kv("ok", verdict.ok)
-        .kv("configs", verdict.num_configs)
-        .kv("edges", verdict.num_edges)
-        .kv_fixed("wall_seconds", verdict.stats.wall_seconds, 6)
-        .kv("frontier_peak", verdict.stats.frontier_peak)
-        .kv("levels", verdict.stats.levels)
-        .kv("arena_bytes", verdict.stats.arena_bytes)
-        .key("witness")
-        .begin_array();
-    for (const int r : verdict.witness) w.value(r);
-    w.end_array().end_object();
+    write_entry(w, key, verdict);
   }
   w.end_array().kv("checksum", to_hex(entries_checksum(entries)))
       .end_object();
 
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) {
+  if (!util::atomic_write_file(path, w.str() + "\n", "cache.save")) {
     throw std::runtime_error("proof cache: cannot write '" + path + "'");
   }
-  file << w.str() << "\n";
-  if (!file.good()) {
-    throw std::runtime_error("proof cache: short write to '" + path + "'");
+  // The snapshot now holds everything the journal recorded; truncate it
+  // so replay after the next crash starts from this snapshot. Crashing
+  // between the rename above and this truncation merely re-replays
+  // entries already in the snapshot — insert is idempotent.
+  std::string journal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    journal = journal_path_;
   }
+  if (!journal.empty()) {
+    (void)util::atomic_write_file(journal, "", "cache.journal");
+  }
+}
+
+void ProofCache::enable_journal(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_path_ = path;
+}
+
+std::size_t ProofCache::replay_journal(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return 0;  // no journal yet — nothing to replay
+
+  std::vector<std::pair<ProofKey, ProofVerdict>> entries;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::pair<ProofKey, ProofVerdict> entry;
+    try {
+      const util::JsonValue record = util::JsonValue::parse(line);
+      entry = parse_entry(record.get("entry"));
+      std::vector<std::pair<ProofKey, ProofVerdict>> one;
+      one.emplace_back(entry.first, entry.second);
+      if (parse_hex(record.get("checksum").as_string()) !=
+          entries_checksum(one)) {
+        break;
+      }
+    } catch (const std::exception&) {
+      // Torn or corrupt record (kill -9 mid-append): keep the valid
+      // prefix, discard this line and everything after it.
+      break;
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_bytes == 0) return 0;
+  for (auto& [key, verdict] : entries) {
+    insert_locked(key, std::move(verdict), /*front=*/false);
+  }
+  evict_locked();
+  sync_gauges_locked();
+  return entries.size();
 }
 
 std::size_t ProofCache::load(const std::string& path) {
@@ -290,29 +394,7 @@ std::size_t ProofCache::load(const std::string& path) {
 
   std::vector<std::pair<ProofKey, ProofVerdict>> entries;
   for (const util::JsonValue& e : root.get("entries").items()) {
-    ProofKey key;
-    key.crn_hash = parse_hex(e.get("crn_hash").as_string());
-    for (const util::JsonValue& v : e.get("x").items()) {
-      key.x.push_back(v.as_int());
-    }
-    key.expected = e.get("expected").as_int();
-    ProofVerdict verdict;
-    verdict.budget = static_cast<std::size_t>(e.get("budget").as_int());
-    verdict.complete = e.get("complete").as_bool();
-    verdict.ok = e.get("ok").as_bool();
-    verdict.num_configs = static_cast<std::size_t>(e.get("configs").as_int());
-    verdict.num_edges = static_cast<std::size_t>(e.get("edges").as_int());
-    verdict.stats.wall_seconds =
-        e.has("wall_seconds") ? e.get("wall_seconds").as_double() : 0.0;
-    verdict.stats.frontier_peak =
-        static_cast<std::size_t>(e.get_int("frontier_peak", 0));
-    verdict.stats.levels = static_cast<std::size_t>(e.get_int("levels", 0));
-    verdict.stats.arena_bytes =
-        static_cast<std::size_t>(e.get_int("arena_bytes", 0));
-    for (const util::JsonValue& r : e.get("witness").items()) {
-      verdict.witness.push_back(static_cast<int>(r.as_int()));
-    }
-    entries.emplace_back(std::move(key), std::move(verdict));
+    entries.push_back(parse_entry(e));
   }
 
   const std::uint64_t expected_sum =

@@ -97,8 +97,24 @@ class ProofCache {
   void clear();
 
   /// Serializes every entry to `path` as versioned JSON with a content
-  /// checksum. Throws std::runtime_error when the file cannot be written.
+  /// checksum, written atomically (temp file + fsync + rename) — a crash
+  /// at any byte offset leaves either the previous snapshot or the new
+  /// one, never a torn file. After a successful snapshot the journal (if
+  /// enabled) is truncated: its entries are now in the snapshot. Throws
+  /// std::runtime_error when the file cannot be written.
   void save(const std::string& path) const;
+
+  /// Arms the append-only journal: every subsequent insert() is also
+  /// appended to `path` as one checksummed JSON line, flushed to disk —
+  /// so verdicts computed since the last snapshot survive kill -9.
+  /// Startup order: load() the snapshot, then replay_journal().
+  void enable_journal(const std::string& path);
+
+  /// Replays the journal at `path` (missing file = 0 entries): each line
+  /// is validated independently and replay stops at the first torn or
+  /// corrupt line, keeping the valid prefix — an interrupted append
+  /// never poisons the entries before it. Returns entries replayed.
+  std::size_t replay_journal(const std::string& path);
 
   /// Loads entries persisted by save(), validating the format marker, the
   /// schema version, and the content checksum; throws std::runtime_error
@@ -140,6 +156,7 @@ class ProofCache {
 
   mutable std::mutex mu_;
   Options options_;
+  std::string journal_path_;  ///< empty = journaling disabled
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<SlotKey, std::list<Entry>::iterator, SlotKeyHash> index_;
   std::size_t bytes_ = 0;

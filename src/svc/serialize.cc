@@ -116,6 +116,9 @@ std::string to_json(const SimulateResponse& resp) {
   if (resp.has_expected) {
     w.kv("expected", static_cast<std::int64_t>(resp.expected));
   }
+  if (resp.deadline_exceeded) {
+    w.kv("deadline_exceeded", true).kv("cancelled", resp.cancelled);
+  }
   w.kv("ok", resp.ok).end_object();
   return w.str();
 }
@@ -165,6 +168,8 @@ std::string to_json(const VerifyResponse& resp) {
       .kv("proved", resp.proved)
       .kv("failed", resp.failed)
       .kv("inconclusive", resp.inconclusive)
+      .kv("deadline_exceeded", resp.deadline_exceeded)
+      .kv("degraded", resp.degraded)
       .kv("max_configs_explored", resp.max_configs_explored)
       .kv("cache_hits", resp.cache_hits)
       .kv("cache_misses", resp.cache_misses);
@@ -334,6 +339,7 @@ SimulateRequest parse_simulate_request(const util::JsonValue& v) {
         static_cast<std::uint64_t>(v.get("max_events").as_int());
   }
   req.method = v.get_string("method", req.method);
+  req.deadline_ms = v.get_int("deadline_ms", 0);
   return req;
 }
 
@@ -348,6 +354,9 @@ VerifyRequest parse_verify_request(const util::JsonValue& v) {
   req.force = v.get_bool("force", false);
   req.stats = v.get_bool("stats", false);
   req.use_cache = v.get_bool("use_cache", true);
+  req.deadline_ms = v.get_int("deadline_ms", 0);
+  // checkpoint_path / checkpoint_every_secs / resume are deliberately
+  // not parsed: file paths never cross the wire (see header note).
   return req;
 }
 

@@ -1,6 +1,7 @@
 #include "svc/server.h"
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -15,8 +16,10 @@
 
 #include "obs/metrics.h"
 #include "svc/serialize.h"
+#include "util/fault_injector.h"
 #include "util/json_value.h"
 #include "util/json_writer.h"
+#include "util/posix_io.h"
 #include "util/task_pool.h"
 #include "util/version.h"
 
@@ -33,6 +36,9 @@ struct ServerMetrics {
   obs::Counter& bytes_read;
   obs::Counter& bytes_written;
   obs::Gauge& inflight;
+  obs::Gauge& active_connections;
+  obs::Counter& shed_connections;
+  obs::Counter& shed_requests;
 
   static ServerMetrics& get() {
     auto& reg = obs::Registry::instance();
@@ -47,25 +53,77 @@ struct ServerMetrics {
                     "bytes sent to clients"),
         reg.gauge("crnkit_server_inflight_requests",
                   "requests currently being dispatched"),
+        reg.gauge("crnkit_server_active_connections",
+                  "connections with a live handler thread"),
+        reg.counter("crnkit_server_shed_total",
+                    "work refused as overloaded, by admission gate",
+                    {{"gate", "connections"}}),
+        reg.counter("crnkit_server_shed_total",
+                    "work refused as overloaded, by admission gate",
+                    {{"gate", "inflight"}}),
     };
     return m;
   }
 };
 
 bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  bool ok = true;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      ok = false;
-      break;
-    }
-    sent += static_cast<std::size_t>(n);
+  auto& fi = util::FaultInjector::instance();
+  if (fi.armed() && fi.fires("server.write.reset")) {
+    errno = ECONNRESET;
+    return false;
   }
-  if (sent > 0) ServerMetrics::get().bytes_written.inc(sent);
+  const bool ok = util::send_all(fd, data.data(), data.size());
+  ServerMetrics::get().bytes_written.inc(data.size());
   return ok;
+}
+
+/// recv via the EINTR-retrying wrapper, with the server.read.reset
+/// failpoint simulating a peer reset mid-read.
+long recv_some(int fd, void* buf, std::size_t len) {
+  auto& fi = util::FaultInjector::instance();
+  if (fi.armed() && fi.fires("server.read.reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  return util::read_some(fd, buf, len);
+}
+
+/// The typed retriable shed payload of the line protocol; HTTP carries
+/// the same body under a 503 + Retry-After.
+std::string overloaded_json(int retry_after_ms) {
+  util::JsonWriter w;
+  w.begin_object()
+      .kv("schema_version", kSchemaVersion)
+      .kv("error", "overloaded")
+      .kv("retriable", true)
+      .kv("retry_after_ms", static_cast<std::int64_t>(retry_after_ms))
+      .kv("ok", false)
+      .end_object();
+  return w.str();
+}
+
+/// A complete HTTP 503 with a Retry-After hint (rounded up to whole
+/// seconds, minimum 1 — the header has no millisecond form).
+std::string http_overloaded_response(const std::string& body,
+                                     int retry_after_ms) {
+  const int retry_after_s =
+      retry_after_ms <= 0 ? 1 : (retry_after_ms + 999) / 1000;
+  return "HTTP/1.1 503 Service Unavailable\r\n"
+         "Content-Type: application/json\r\n"
+         "Retry-After: " +
+         std::to_string(retry_after_s) +
+         "\r\nContent-Length: " + std::to_string(body.size() + 1) +
+         "\r\nConnection: close\r\n\r\n" + body + "\n";
+}
+
+/// The server.dispatch.delay failpoint: stalls a dispatch by its arg in
+/// milliseconds (default 10) to surface tail-latency behaviour.
+void maybe_delay_dispatch() {
+  auto& fi = util::FaultInjector::instance();
+  if (fi.armed() && fi.fires("server.dispatch.delay")) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(fi.arg("server.dispatch.delay", 10)));
+  }
 }
 
 /// Dispatches one parsed request object (already stripped of transport
@@ -189,6 +247,10 @@ Server::Server(Service& service, const Options& options)
 Server::~Server() { stop(); }
 
 void Server::start() {
+  // A client closing mid-response must surface as a send error, not kill
+  // the process. util::send_all also passes MSG_NOSIGNAL, but that does
+  // not cover every write path on every platform.
+  std::signal(SIGPIPE, SIG_IGN);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("serve: socket() failed: " +
@@ -234,12 +296,24 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       break;
     }
+    auto& fi = util::FaultInjector::instance();
+    if (fi.armed() && fi.fires("server.accept")) {
+      // Simulated accept-path failure: the client sees a reset; the
+      // server must keep accepting.
+      ::close(fd);
+      continue;
+    }
     ++connections_;
     ServerMetrics::get().connections.inc();
+    const bool shed = options_.max_connections > 0 &&
+                      active_conns_.load() >= options_.max_connections;
+    active_conns_.fetch_add(1);
+    ServerMetrics::get().active_connections.add(1);
     std::lock_guard<std::mutex> lock(conns_mu_);
     reap_locked();
     auto conn = std::make_unique<Connection>();
     conn->fd.store(fd);
+    conn->shed = shed;
     Connection& ref = *conn;
     conns_.push_back(std::move(conn));
     ref.thread = std::thread([this, &ref] { handle_connection(ref); });
@@ -262,7 +336,7 @@ void Server::handle_connection(Connection& conn) {
   // Peek enough of the first bytes to tell HTTP from line-JSON.
   char buf[4096];
   std::string carry;
-  const ssize_t first = ::recv(fd, buf, sizeof(buf), 0);
+  const long first = recv_some(fd, buf, sizeof(buf));
   if (first > 0) {
     ServerMetrics::get().bytes_read.inc(static_cast<std::uint64_t>(first));
     carry.assign(buf, static_cast<std::size_t>(first));
@@ -270,7 +344,19 @@ void Server::handle_connection(Connection& conn) {
                       carry.rfind("GET ", 0) == 0 ||
                       carry.rfind("HEAD ", 0) == 0 ||
                       carry.rfind("PUT ", 0) == 0;
-    if (http) {
+    if (conn.shed) {
+      // Over max_connections: one typed retriable refusal, then close —
+      // the client backs off instead of hanging on an unread socket.
+      ++shed_;
+      ServerMetrics::get().shed_connections.inc();
+      const std::string body = overloaded_json(options_.retry_after_ms);
+      if (http) {
+        (void)send_all(fd,
+                       http_overloaded_response(body, options_.retry_after_ms));
+      } else {
+        (void)send_all(fd, body + "\n");
+      }
+    } else if (http) {
       serve_http(fd, std::move(carry));
     } else {
       serve_line_protocol(fd, std::move(carry));
@@ -279,6 +365,8 @@ void Server::handle_connection(Connection& conn) {
   const int owned = conn.fd.exchange(-1);
   if (owned >= 0) ::close(owned);
   conn.done.store(true);
+  active_conns_.fetch_sub(1);
+  ServerMetrics::get().active_connections.sub(1);
 }
 
 void Server::serve_line_protocol(int fd, std::string carry) {
@@ -292,7 +380,24 @@ void Server::serve_line_protocol(int fd, std::string carry) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       ++requests_;
+      // ping stays cheap and always answers — it is how clients probe an
+      // overloaded server; everything else respects the inflight gate.
+      const bool is_ping =
+          line.find("\"op\": \"ping\"") != std::string::npos ||
+          line.find("\"op\":\"ping\"") != std::string::npos;
+      if (!is_ping && options_.max_inflight > 0 &&
+          inflight_.load() >= options_.max_inflight) {
+        ++shed_;
+        ServerMetrics::get().shed_requests.inc();
+        finish_request("line", "overloaded", 503, 0.0, "-");
+        if (!send_all(fd, overloaded_json(options_.retry_after_ms) + "\n")) {
+          return;
+        }
+        continue;
+      }
+      inflight_.fetch_add(1);
       ServerMetrics::get().inflight.add(1);
+      maybe_delay_dispatch();
       const auto rt0 = std::chrono::steady_clock::now();
       std::uint64_t errs = 0;
       std::string op;
@@ -304,13 +409,14 @@ void Server::serve_line_protocol(int fd, std::string carry) {
                                         rt0)
               .count();
       ServerMetrics::get().inflight.sub(1);
+      inflight_.fetch_sub(1);
       finish_request("line", op, errs > 0 ? 400 : 200, seconds,
                      options_.access_log != nullptr ? cache_outcome(response)
                                                     : "-");
       if (!send_all(fd, response + "\n")) return;
     }
     if (!running_.load()) return;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const long n = recv_some(fd, buf, sizeof(buf));
     if (n <= 0) return;
     ServerMetrics::get().bytes_read.inc(static_cast<std::uint64_t>(n));
     buffer.append(buf, static_cast<std::size_t>(n));
@@ -322,7 +428,7 @@ void Server::serve_http(int fd, std::string carry) {
   char buf[65536];
   // Read until the header/body split, then until content-length is met.
   const auto read_more = [&]() -> bool {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const long n = recv_some(fd, buf, sizeof(buf));
     if (n <= 0) return false;
     ServerMetrics::get().bytes_read.inc(static_cast<std::uint64_t>(n));
     buffer.append(buf, static_cast<std::size_t>(n));
@@ -397,26 +503,37 @@ void Server::serve_http(int fd, std::string carry) {
     ++requests_;
   } else if (method == "POST" && path.rfind("/v1/", 0) == 0) {
     op = path.substr(4);
-    if (body.empty()) body = "{}";
-    // Re-frame as a line request: {"op": <op>, ...body members}. Splicing
-    // keeps one dispatch path for both protocols.
-    std::string framed = "{\"op\": \"" + util::json_escape(op) + "\"";
-    if (body.size() >= 2 && body.front() == '{') {
-      const std::size_t open = body.find('{');
-      const std::size_t close = body.rfind('}');
-      if (close != std::string::npos && close > open) {
-        const std::string inner = body.substr(open + 1, close - open - 1);
-        const bool blank =
-            inner.find_first_not_of(" \t\r\n") == std::string::npos;
-        if (!blank) framed += ", " + inner;
-      }
-    }
-    framed += "}";
     ++requests_;
-    std::uint64_t errs = 0;
-    payload = dispatch_line(service_, framed, &errs, &op);
-    errors_ += errs;
-    if (errs > 0) status = 400;
+    if (options_.max_inflight > 0 &&
+        inflight_.load() >= options_.max_inflight) {
+      ++shed_;
+      ServerMetrics::get().shed_requests.inc();
+      status = 503;
+      payload = overloaded_json(options_.retry_after_ms);
+    } else {
+      if (body.empty()) body = "{}";
+      // Re-frame as a line request: {"op": <op>, ...body members}.
+      // Splicing keeps one dispatch path for both protocols.
+      std::string framed = "{\"op\": \"" + util::json_escape(op) + "\"";
+      if (body.size() >= 2 && body.front() == '{') {
+        const std::size_t open = body.find('{');
+        const std::size_t close = body.rfind('}');
+        if (close != std::string::npos && close > open) {
+          const std::string inner = body.substr(open + 1, close - open - 1);
+          const bool blank =
+              inner.find_first_not_of(" \t\r\n") == std::string::npos;
+          if (!blank) framed += ", " + inner;
+        }
+      }
+      framed += "}";
+      inflight_.fetch_add(1);
+      maybe_delay_dispatch();
+      std::uint64_t errs = 0;
+      payload = dispatch_line(service_, framed, &errs, &op);
+      inflight_.fetch_sub(1);
+      errors_ += errs;
+      if (errs > 0) status = 400;
+    }
   } else {
     status = 404;
     payload = error_json("no route for " + method + " " + path);
@@ -430,6 +547,11 @@ void Server::serve_http(int fd, std::string carry) {
                  options_.access_log != nullptr ? cache_outcome(payload)
                                                 : "-");
 
+  if (status == 503) {
+    (void)send_all(fd,
+                   http_overloaded_response(payload, options_.retry_after_ms));
+    return;
+  }
   const std::string reason = status == 200   ? "OK"
                              : status == 400 ? "Bad Request"
                                              : "Not Found";
@@ -480,6 +602,16 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain: give in-flight dispatches (and their response writes) up to
+  // the grace period before force-closing their sockets — a SIGTERM'd
+  // server finishes what it started, but a stuck request cannot hold
+  // shutdown hostage.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_grace_ms);
+  while (inflight_.load() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   std::lock_guard<std::mutex> lock(conns_mu_);
   for (auto& conn : conns_) {
     const int fd = conn->fd.load();
@@ -497,6 +629,7 @@ Server::Stats Server::stats() const {
   s.connections = connections_.load();
   s.requests = requests_.load();
   s.errors = errors_.load();
+  s.shed = shed_.load();
   return s;
 }
 

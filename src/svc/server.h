@@ -45,12 +45,27 @@ class Server {
     /// status, latency, cache outcome). Writes are mutex-guarded; the
     /// stream must outlive the server. nullptr disables logging.
     std::ostream* access_log = nullptr;
+    /// Admission control: a connection accepted while this many are
+    /// already active is answered with one typed retriable "overloaded"
+    /// response (HTTP 503 + Retry-After, or the line-JSON equivalent
+    /// with retry_after_ms) and closed. 0 = unlimited.
+    int max_connections = 0;
+    /// A request arriving while this many dispatches are in flight is
+    /// shed the same way; /healthz, /metrics, and ping always answer so
+    /// operators can see an overloaded server. 0 = unlimited.
+    int max_inflight = 0;
+    /// Retry hint carried in every shed response.
+    int retry_after_ms = 250;
+    /// stop() drains: it waits up to this long for in-flight dispatches
+    /// to finish before force-closing their connections. 0 = immediate.
+    int drain_grace_ms = 2000;
   };
 
   struct Stats {
     std::uint64_t connections = 0;
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;  ///< requests answered with an error response
+    std::uint64_t shed = 0;    ///< connections/requests refused as overloaded
   };
 
   /// The service must outlive the server.
@@ -89,6 +104,7 @@ class Server {
   struct Connection {
     std::atomic<int> fd{-1};
     std::atomic<bool> done{false};
+    bool shed = false;  ///< over max_connections: answer overloaded, close
     std::thread thread;
   };
 
@@ -123,6 +139,9 @@ class Server {
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<int> active_conns_{0};  ///< handler threads not yet done
+  std::atomic<int> inflight_{0};      ///< dispatches currently running
 };
 
 }  // namespace crnkit::svc

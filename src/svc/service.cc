@@ -52,7 +52,25 @@ ScenarioSummary summarize(const scenario::Scenario& s) {
 
 Service::Service() : Service(Options{}) {}
 
-Service::Service(const Options& options) : cache_(options.cache) {}
+Service::Service(const Options& options)
+    : options_(options), cache_(options.cache) {}
+
+std::size_t Service::clamp_to_memory_budget(std::size_t max_configs,
+                                            std::size_t width,
+                                            bool* degraded) const {
+  if (options_.memory_budget_bytes == 0) return max_configs;
+  // Arena row + per-node hash + ~2 hash slots at the 5/8 load factor +
+  // one in-flight frontier candidate (24 B). Deliberately conservative:
+  // the clamp must undershoot, never overshoot, the real footprint.
+  const std::size_t per_config = width * sizeof(std::int32_t) + 8 + 16 + 24;
+  const std::size_t budget_configs =
+      options_.memory_budget_bytes / std::max<std::size_t>(1, per_config);
+  if (budget_configs < max_configs) {
+    if (degraded != nullptr) *degraded = true;
+    return std::max<std::size_t>(1, budget_configs);
+  }
+  return max_configs;
+}
 
 ListResponse Service::list(const ListRequest& req) const {
   std::vector<scenario::Scenario> scenarios =
@@ -133,6 +151,10 @@ SimulateResponse Service::simulate(const SimulateRequest& req) const {
   if (req.max_steps) options.max_steps = *req.max_steps;
   if (req.max_events) options.max_events = *req.max_events;
   options.method = parse_method(req.method);
+  const std::int64_t deadline_ms =
+      req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
+  const util::CancelToken token(deadline_ms);
+  options.cancel = &token;
 
   const sim::EnsembleRunner runner(s.crn);
   const sim::EnsembleResult result = runner.run_for_input(x, options);
@@ -156,8 +178,10 @@ SimulateResponse Service::simulate(const SimulateRequest& req) const {
   resp.compared = result.silent_count > 0;
   resp.output = result.output;
   resp.summary = result.summary();
+  resp.cancelled = result.cancelled_count;
+  resp.deadline_exceeded = result.cancelled_count > 0;
 
-  bool ok = result.output_consistent;
+  bool ok = result.output_consistent && !resp.deadline_exceeded;
   resp.has_expected = s.reference.has_value();
   if (resp.has_expected) {
     resp.expected = (*s.reference)(x);
@@ -244,6 +268,12 @@ Service::CheckOutcome Service::check_point(
     out.report.witness = result.counterexample_path;
     out.stats = result.explore_stats;
     out.fresh = true;
+    if (result.cancelled) {
+      // Where the deadline cut the exploration off is wall-clock luck,
+      // not content — never cache it, and surface the typed status.
+      out.report.status = "deadline_exceeded";
+      return out;
+    }
     if (use_cache) {
       ProofVerdict verdict;
       verdict.ok = result.ok;
@@ -316,15 +346,36 @@ VerifyResponse Service::verify(const VerifyRequest& req) {
     options.max_configs = s.verify_max_configs;
   }
   options.threads = req.threads;
+  options.max_configs = clamp_to_memory_budget(
+      options.max_configs, s.crn.species_count(), &resp.degraded);
+  if (points.size() == 1) {
+    // One checkpoint file describes one exploration; multi-point
+    // requests would overwrite it per point, so gate it to single-point
+    // runs (the `crnc verify --input` shape the CLI flags produce).
+    options.checkpoint_path = req.checkpoint_path;
+    options.checkpoint_every_secs = req.checkpoint_every_secs;
+    options.resume = req.resume;
+  }
   resp.max_configs = options.max_configs;
   resp.threads_resolved = options.threads;
+
+  // One token covers the whole request: points checked after expiry
+  // return deadline_exceeded immediately instead of each getting a
+  // fresh budget.
+  const std::int64_t deadline_ms =
+      req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
+  const util::CancelToken token(deadline_ms);
+  options.cancel = &token;
 
   const std::uint64_t crn_hash = crn::canonical_hash(s.crn);
   for (std::size_t i = 0; i < points.size(); ++i) {
     CheckOutcome outcome = check_point(s.crn, crn_hash, points[i],
                                        expected[i], options, req.use_cache);
     const VerifyPointReport& report = outcome.report;
-    if (report.ok && report.complete) {
+    if (report.status == "deadline_exceeded") {
+      ++resp.deadline_exceeded;
+      ++resp.inconclusive;
+    } else if (report.ok && report.complete) {
       ++resp.proved;
     } else if (!report.complete) {
       ++resp.inconclusive;

@@ -24,6 +24,15 @@ class Service {
  public:
   struct Options {
     ProofCache::Options cache;
+    /// Deadline applied to verify/simulate requests that do not carry
+    /// their own deadline_ms; 0 means none. Expired work returns typed
+    /// `deadline_exceeded` results instead of hanging the caller.
+    std::int64_t default_deadline_ms = 0;
+    /// Soft memory budget for a single exploration, in bytes; 0 means
+    /// unlimited. Requests whose max_configs would exceed it are clamped
+    /// to a sound truncated verdict (marked `degraded`) instead of
+    /// letting one request OOM the process.
+    std::size_t memory_budget_bytes = 0;
   };
 
   Service();
@@ -38,6 +47,15 @@ class Service {
   [[nodiscard]] ComposeResponse compose(const ComposeRequest& req);
 
   [[nodiscard]] ProofCache& proof_cache() { return cache_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// max_configs after the memory budget: an estimate of bytes/config
+  /// (arena row + hash + table slots + frontier candidate) caps the
+  /// budget so one exploration cannot OOM the daemon. Returns the input
+  /// when no budget is set; sets *degraded when it clamps.
+  [[nodiscard]] std::size_t clamp_to_memory_budget(std::size_t max_configs,
+                                                   std::size_t width,
+                                                   bool* degraded) const;
 
  private:
   struct CheckOutcome {
@@ -48,11 +66,15 @@ class Service {
 
   /// Checks one verify point, consulting the proof cache first when
   /// `use_cache`. `crn_hash` must be crn::canonical_hash(crn).
+  /// Deadline-cancelled results report status `deadline_exceeded` and
+  /// are never inserted into the cache (how far an expired exploration
+  /// got is wall-clock-dependent, not content-addressed).
   [[nodiscard]] CheckOutcome check_point(
       const crn::Crn& crn, std::uint64_t crn_hash, const fn::Point& x,
       math::Int expected, const verify::StableCheckOptions& options,
       bool use_cache);
 
+  Options options_;
   ProofCache cache_;
 };
 

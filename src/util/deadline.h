@@ -1,0 +1,77 @@
+// Cooperative cancellation for long computations: a CancelToken combines
+// an explicit cancel flag with an optional wall-clock deadline, and the
+// holders of long loops (the reachability explorer per BFS level, the
+// ensemble runner per trajectory) poll expired() at natural safepoints
+// and wind down instead of being torn mid-state.
+//
+// Expiry is *advisory*: nothing throws, nothing is interrupted. A
+// computation that observes expiry stops at its next safepoint, marks its
+// result incomplete/cancelled, and returns whatever sound partial answer
+// it has — the typed `deadline_exceeded` verdicts of svc::Service are
+// built from exactly that contract.
+//
+// Tokens are cheap to copy around by pointer and safe to poll from many
+// threads at once; cancel() may race with expired() freely.
+#ifndef CRNKIT_UTIL_DEADLINE_H_
+#define CRNKIT_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace crnkit::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never expires on its own (cancel() still works).
+  CancelToken() = default;
+
+  /// A token expiring `deadline_ms` milliseconds from now; 0 means no
+  /// deadline (identical to the default constructor). Tokens are pinned
+  /// in place (the atomic flag is not copyable); share by pointer.
+  explicit CancelToken(std::int64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      deadline_ = Clock::now() + std::chrono::milliseconds(deadline_ms);
+      has_deadline_ = true;
+    }
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; every subsequent expired() returns true.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancelled or past the deadline. One relaxed load plus (when
+  /// a deadline is armed) one clock read — cheap enough for per-level and
+  /// per-trajectory polling, too hot for per-config loops.
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+
+  /// Milliseconds until expiry: 0 when already expired, a large sentinel
+  /// (no practical bound) when no deadline is armed.
+  [[nodiscard]] std::int64_t remaining_ms() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0;
+    if (!has_deadline_) return kNoDeadlineMs;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline_ - Clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+  static constexpr std::int64_t kNoDeadlineMs = INT64_C(1) << 62;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_DEADLINE_H_

@@ -1,0 +1,191 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "verify/config_store.h"  // splitmix64
+
+namespace crnkit::util {
+
+namespace {
+
+/// One fired-fault counter per site, looked up on the (cold) fire path.
+void count_fire(const std::string& site) {
+  obs::Registry::instance()
+      .counter("crnkit_faults_injected_total",
+               "faults fired by armed failpoints, by site",
+               {{"site", site}})
+      .inc();
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("CRNKIT_FAULTS")) {
+      inj->configure(env);
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.find_first_not_of(" \t") == std::string::npos) continue;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("faults: expected site=trigger, got '" +
+                                  item + "'");
+    }
+    const std::string site = item.substr(0, eq);
+    std::string trigger = item.substr(eq + 1);
+
+    Point point;
+    // Peel a trailing ":arg=N" first; the rest is the trigger proper.
+    const std::size_t arg_at = trigger.find(":arg=");
+    if (arg_at != std::string::npos) {
+      point.has_arg = true;
+      point.arg = std::strtoll(trigger.c_str() + arg_at + 5, nullptr, 10);
+      trigger.resize(arg_at);
+    }
+
+    const auto number_after = [&](std::size_t prefix_len) -> std::uint64_t {
+      if (trigger.size() <= prefix_len) {
+        throw std::invalid_argument("faults: trigger '" + trigger +
+                                    "' for '" + site + "' needs a value");
+      }
+      return std::strtoull(trigger.c_str() + prefix_len, nullptr, 10);
+    };
+    if (trigger == "always") {
+      point.trigger = Trigger::kAlways;
+    } else if (trigger.rfind("once:", 0) == 0) {
+      point.trigger = Trigger::kOnce;
+      point.n = number_after(5);
+    } else if (trigger.rfind("every:", 0) == 0) {
+      point.trigger = Trigger::kEvery;
+      point.n = number_after(6);
+      if (point.n == 0) {
+        throw std::invalid_argument("faults: every:0 for '" + site + "'");
+      }
+    } else if (trigger.rfind("prob:", 0) == 0) {
+      point.trigger = Trigger::kProb;
+      char* after = nullptr;
+      point.p = std::strtod(trigger.c_str() + 5, &after);
+      if (point.p < 0.0 || point.p > 1.0) {
+        throw std::invalid_argument("faults: prob out of [0,1] for '" +
+                                    site + "'");
+      }
+      point.rng = 0x9e3779b97f4a7c15ULL;  // default seed
+      if (after != nullptr && *after == ':') {
+        point.rng = std::strtoull(after + 1, nullptr, 10);
+      }
+    } else if (trigger.rfind("at:", 0) == 0) {
+      point.trigger = Trigger::kAt;
+      point.n = number_after(3);
+    } else {
+      throw std::invalid_argument("faults: unknown trigger '" + trigger +
+                                  "' for '" + site + "'");
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (points_.emplace(site, point).second) {
+      armed_count_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      points_[site] = point;
+    }
+  }
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::evaluate_locked(Point& point, bool offset_reached) {
+  ++point.hits;
+  bool fire = false;
+  switch (point.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kOnce:
+      fire = point.hits == point.n;
+      break;
+    case Trigger::kEvery:
+      fire = point.hits % point.n == 0;
+      break;
+    case Trigger::kProb: {
+      point.rng = verify::splitmix64(point.rng);
+      fire = static_cast<double>(point.rng >> 11) * 0x1.0p-53 < point.p;
+      break;
+    }
+    case Trigger::kAt:
+      fire = offset_reached;
+      break;
+  }
+  if (fire) ++point.fired;
+  return fire;
+}
+
+bool FaultInjector::fires(const char* site) {
+  if (!armed()) return false;
+  std::string fired_site;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(site);
+    if (it == points_.end()) return false;
+    // An `at:` trigger never fires through the offset-less entry point.
+    if (!evaluate_locked(it->second, /*offset_reached=*/false)) return false;
+    fired_site = it->first;
+  }
+  count_fire(fired_site);
+  return true;
+}
+
+bool FaultInjector::fires_at(const char* site, std::uint64_t offset) {
+  if (!armed()) return false;
+  std::string fired_site;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(site);
+    if (it == points_.end()) return false;
+    Point& point = it->second;
+    const bool reached =
+        point.trigger == Trigger::kAt && point.fired == 0 && offset >= point.n;
+    if (!evaluate_locked(point, reached)) return false;
+    fired_site = it->first;
+  }
+  count_fire(fired_site);
+  return true;
+}
+
+std::int64_t FaultInjector::arg(const char* site,
+                                std::int64_t fallback) const {
+  if (!armed()) return fallback;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(site);
+  if (it == points_.end() || !it->second.has_arg) return fallback;
+  return it->second.arg;
+}
+
+std::vector<FaultInjector::SiteStats> FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteStats> out;
+  out.reserve(points_.size());
+  for (const auto& [site, point] : points_) {
+    out.push_back({site, point.hits, point.fired});
+  }
+  return out;
+}
+
+}  // namespace crnkit::util

@@ -1,0 +1,108 @@
+// util::FaultInjector — armed failpoints for exercising failure paths on
+// purpose. Production code asks `FaultInjector::instance().fires(site)`
+// at the places failures can really happen (cache persistence, checkpoint
+// writes, server socket I/O); with nothing armed that is one relaxed
+// atomic load, so the sites stay compiled into release builds and chaos
+// runs drive the exact binaries that ship.
+//
+// Arming: the CRNKIT_FAULTS environment variable (read once at first
+// use), `crnc serve --faults SPEC`, or configure() from tests. SPEC is a
+// comma-separated list of `site=trigger` pairs:
+//
+//   cache.save.crash=once:2        fire on the 2nd hit only
+//   server.read.reset=every:7      fire on every 7th hit
+//   server.dispatch.delay=prob:0.1:42   fire w.p. 0.1 (seeded, deterministic)
+//   checkpoint.save.short_write=always  fire on every hit
+//   cache.save.crash=at:4096       fire when the site's reported byte
+//                                  offset reaches 4096 (writers pass their
+//                                  cumulative offset to fires_at())
+//
+// An optional `:arg=N` suffix attaches an integer parameter the site
+// reads back with arg() — the injected-delay milliseconds, a short-write
+// byte count, and so on: `server.dispatch.delay=every:5:arg=20`.
+//
+// The failpoint catalog (what each site does when it fires) is in the
+// README's "Robustness & operations" section; sites are just strings, so
+// adding one needs no registry change. Every fire increments the
+// crnkit_faults_injected_total{site} counter.
+#ifndef CRNKIT_UTIL_FAULT_INJECTOR_H_
+#define CRNKIT_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crnkit::util {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. First call reads CRNKIT_FAULTS.
+  static FaultInjector& instance();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Parses and arms a spec ("site=trigger,site=trigger"); throws
+  /// std::invalid_argument on malformed specs. Replaces any existing
+  /// failpoint for the same site; an empty spec is a no-op.
+  void configure(const std::string& spec);
+
+  /// Disarms everything and zeroes the hit/fire counters.
+  void reset();
+
+  /// Counts a hit of `site` and decides whether the fault fires now.
+  /// False (after one relaxed load) when nothing is armed anywhere.
+  [[nodiscard]] bool fires(const char* site);
+
+  /// Offset-triggered variant for writers: fires once the caller's
+  /// cumulative `offset` reaches an `at:N` trigger (count/prob triggers
+  /// evaluate as in fires()). The byte offset a failpoint crosses is what
+  /// makes "kill -9 at any byte offset" reproducible.
+  [[nodiscard]] bool fires_at(const char* site, std::uint64_t offset);
+
+  /// The `arg=N` parameter of the site's failpoint (fallback when absent
+  /// or unarmed). Does not count a hit.
+  [[nodiscard]] std::int64_t arg(const char* site,
+                                 std::int64_t fallback = 0) const;
+
+  /// True when any failpoint is armed (the cheap branch-out the hot
+  /// sites rely on).
+  [[nodiscard]] bool armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  struct SiteStats {
+    std::string site;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+  [[nodiscard]] std::vector<SiteStats> stats() const;
+
+ private:
+  enum class Trigger { kAlways, kOnce, kEvery, kProb, kAt };
+
+  struct Point {
+    Trigger trigger = Trigger::kAlways;
+    std::uint64_t n = 0;        ///< once: target hit; every: period; at: offset
+    double p = 0.0;             ///< prob trigger probability
+    std::uint64_t rng = 0;      ///< prob trigger PRNG state
+    bool has_arg = false;
+    std::int64_t arg = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  [[nodiscard]] bool evaluate_locked(Point& point, bool offset_reached);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+  std::atomic<int> armed_count_{0};
+};
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_FAULT_INJECTOR_H_

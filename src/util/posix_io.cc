@@ -1,0 +1,202 @@
+#include "util/posix_io.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fault_injector.h"
+
+namespace crnkit::util {
+
+namespace {
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+/// Applies the write-path failpoints for one chunk: `<site>.crash`
+/// SIGKILLs the process once the cumulative offset crosses the trigger
+/// (the reproducible "kill -9 at byte N"); `<site>.short_write` reports
+/// how many bytes to actually write before failing (arg=N bytes of the
+/// chunk, default 0). Returns the (possibly shortened) chunk length, or
+/// -1 when the write should fail outright after the short write.
+long apply_write_faults(const char* site, std::uint64_t offset,
+                        std::size_t len, bool* fail_after) {
+  *fail_after = false;
+  if (site == nullptr || !FaultInjector::instance().armed()) {
+    return static_cast<long>(len);
+  }
+  auto& inj = FaultInjector::instance();
+  const std::string crash_site = std::string(site) + ".crash";
+  if (inj.fires_at(crash_site.c_str(), offset + len)) {
+    // Simulate kill -9 mid-write: no destructors, no atexit, no flush.
+    std::raise(SIGKILL);
+    _exit(137);  // unreachable unless SIGKILL is somehow blocked
+  }
+  const std::string short_site = std::string(site) + ".short_write";
+  if (inj.fires_at(short_site.c_str(), offset + len)) {
+    *fail_after = true;
+    const std::int64_t keep = inj.arg(short_site.c_str(), 0);
+    if (keep <= 0) return 0;
+    return keep < static_cast<std::int64_t>(len) ? static_cast<long>(keep)
+                                                 : static_cast<long>(len);
+  }
+  return static_cast<long>(len);
+}
+
+/// write_all against `fd` with the fault sites applied per chunk,
+/// tracking the cumulative offset for `at:` triggers.
+bool write_all_faulted(int fd, const char* data, std::size_t len,
+                       const char* fault_site, std::uint64_t* offset) {
+  while (len > 0) {
+    bool fail_after = false;
+    // Feed faults in bounded chunks so an at:N trigger lands inside the
+    // right chunk instead of after one giant write.
+    const std::size_t chunk = len < 4096 ? len : 4096;
+    const long want = apply_write_faults(fault_site, *offset, chunk,
+                                         &fail_after);
+    if (want > 0 && !write_all(fd, data, static_cast<std::size_t>(want))) {
+      return false;
+    }
+    if (fail_after) {
+      errno = EIO;
+      return false;
+    }
+    data += chunk;
+    len -= chunk;
+    *offset += chunk;
+  }
+  return true;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long read_some(int fd, void* data, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+bool atomic_write_file(const std::string& path, const std::string& data,
+                       const char* fault_site) {
+  FaultedFileWriter writer(path, fault_site);
+  if (!writer.write(data.data(), data.size())) return false;
+  return writer.commit();
+}
+
+FaultedFileWriter::FaultedFileWriter(const std::string& path,
+                                     const char* fault_site)
+    : path_(path),
+      tmp_(path + ".tmp." + std::to_string(static_cast<long>(::getpid()))),
+      fault_site_(fault_site) {
+  fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+}
+
+FaultedFileWriter::~FaultedFileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!committed_) ::unlink(tmp_.c_str());
+}
+
+bool FaultedFileWriter::write(const void* data, std::size_t len) {
+  if (!ok()) return false;
+  std::uint64_t offset = offset_;
+  const bool wrote = write_all_faulted(
+      fd_, static_cast<const char*>(data), len, fault_site_, &offset);
+  offset_ = offset;
+  if (!wrote) failed_ = true;
+  return wrote;
+}
+
+bool FaultedFileWriter::commit() {
+  if (!ok()) return false;
+  bool good = ::fsync(fd_) == 0;
+  ::close(fd_);
+  fd_ = -1;
+  if (good && fault_site_ != nullptr && FaultInjector::instance().armed()) {
+    // A crash between the full temp write and the rename: the temp file
+    // is complete but the destination still holds the old contents.
+    const std::string site = std::string(fault_site_) + ".crash_before_rename";
+    if (FaultInjector::instance().fires(site.c_str())) {
+      std::raise(SIGKILL);
+      _exit(137);
+    }
+  }
+  if (good) good = ::rename(tmp_.c_str(), path_.c_str()) == 0;
+  if (!good) {
+    ::unlink(tmp_.c_str());
+    failed_ = true;
+    return false;
+  }
+  committed_ = true;
+  fsync_parent_dir(path_);
+  return true;
+}
+
+bool append_file(const std::string& path, const std::string& data,
+                 const char* fault_site) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  // For `at:` triggers an appender's offset is its position in the file,
+  // not in this record — crash tests can target any absolute byte.
+  std::uint64_t offset = 0;
+  const off_t at = ::lseek(fd, 0, SEEK_END);
+  if (at > 0) offset = static_cast<std::uint64_t>(at);
+  bool ok = write_all_faulted(fd, data.data(), data.size(), fault_site,
+                              &offset);
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace crnkit::util

@@ -1,0 +1,86 @@
+// EINTR-safe POSIX I/O helpers plus atomic file replacement.
+//
+// The server and the persistence layers (proof cache, checkpoints) all
+// talk to raw file descriptors; these wrappers centralize the retry
+// loops, the SIGPIPE suppression, and the temp-file+fsync+rename dance
+// so "kill -9 at any byte offset" can never leave a half-written file
+// where a consistent one used to be.
+//
+// Failpoints (see util::FaultInjector): writers pass their cumulative
+// byte offset through the `fault_site` of atomic_write_file(), so
+// `SITE.crash=at:N` aborts the process mid-write and `SITE.short_write`
+// truncates one write — both before the rename, which is the whole
+// point: the destination path is only ever touched by a rename of a
+// fully-written, fsync'd temp file.
+#ifndef CRNKIT_UTIL_POSIX_IO_H_
+#define CRNKIT_UTIL_POSIX_IO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace crnkit::util {
+
+/// write(2) the whole buffer to `fd`, retrying on EINTR and partial
+/// writes. Returns false on any hard error (errno preserved).
+[[nodiscard]] bool write_all(int fd, const void* data, std::size_t len);
+
+/// send(2) the whole buffer (MSG_NOSIGNAL where available), retrying on
+/// EINTR and partial sends. Returns false on any hard error.
+[[nodiscard]] bool send_all(int fd, const void* data, std::size_t len);
+
+/// recv(2) up to `len` bytes, retrying on EINTR only. Returns the byte
+/// count, 0 on orderly shutdown, or -1 on a hard error.
+[[nodiscard]] long read_some(int fd, void* data, std::size_t len);
+
+/// Replaces `path` atomically: writes `data` to `path.tmp.<pid>`,
+/// fsyncs, renames over `path`, and fsyncs the directory. On any
+/// failure the temp file is unlinked and `path` is untouched. When
+/// `fault_site` is non-null, `<fault_site>.crash` (offset-triggered)
+/// kills the process mid-write, and `<fault_site>.short_write` drops
+/// the tail of one write before failing — for crash-durability tests.
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     const std::string& data,
+                                     const char* fault_site = nullptr);
+
+/// Appends `data` to `path` with O_APPEND and flushes it to disk
+/// (open/write_all/fsync/close — one shot, so concurrent appenders
+/// interleave at record granularity). Same fault sites as
+/// atomic_write_file. Returns false on any failure.
+[[nodiscard]] bool append_file(const std::string& path,
+                               const std::string& data,
+                               const char* fault_site = nullptr);
+
+/// Streaming variant of atomic_write_file for payloads too large to
+/// buffer (checkpoint arenas): opens `path.tmp.<pid>`, accepts any
+/// number of write() calls, then commit() fsyncs and renames over
+/// `path`. Destruction without commit() unlinks the temp file, so a
+/// failed save never touches the destination. The same
+/// `<fault_site>.crash` / `<fault_site>.short_write` /
+/// `<fault_site>.crash_before_rename` failpoints apply, with `at:N`
+/// offsets counted over the whole stream.
+class FaultedFileWriter {
+ public:
+  FaultedFileWriter(const std::string& path, const char* fault_site);
+  ~FaultedFileWriter();
+  FaultedFileWriter(const FaultedFileWriter&) = delete;
+  FaultedFileWriter& operator=(const FaultedFileWriter&) = delete;
+
+  /// False when the temp file failed to open or a write failed.
+  [[nodiscard]] bool ok() const { return fd_ >= 0 && !failed_; }
+  [[nodiscard]] bool write(const void* data, std::size_t len);
+  /// fsync + rename onto the destination; true on success.
+  [[nodiscard]] bool commit();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  const char* fault_site_ = nullptr;
+  int fd_ = -1;
+  bool failed_ = false;
+  bool committed_ = false;
+  unsigned long long offset_ = 0;
+};
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_POSIX_IO_H_

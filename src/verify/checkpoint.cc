@@ -1,0 +1,196 @@
+#include "verify/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/posix_io.h"
+
+namespace crnkit::verify {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'R', 'N', 'K', 'C', 'K', 'P', '1'};
+
+/// Rolling checksum over the payload: one splitmix64 round per 8-byte
+/// chunk (zero-padded tail), chained through the running state.
+class Checksum {
+ public:
+  void feed(const void* data, std::size_t len) {
+    const char* p = static_cast<const char*>(data);
+    // Carry partial chunks across feed() calls so the checksum depends
+    // only on the byte stream, not on write granularity.
+    while (len > 0) {
+      const std::size_t take =
+          len < sizeof(buf_) - fill_ ? len : sizeof(buf_) - fill_;
+      std::memcpy(buf_ + fill_, p, take);
+      fill_ += take;
+      p += take;
+      len -= take;
+      if (fill_ == sizeof(buf_)) flush_chunk();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t finish() {
+    if (fill_ > 0) {
+      std::memset(buf_ + fill_, 0, sizeof(buf_) - fill_);
+      flush_chunk();
+    }
+    return state_;
+  }
+
+ private:
+  void flush_chunk() {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, buf_, sizeof(chunk));
+    state_ = splitmix64(state_ ^ chunk);
+    fill_ = 0;
+  }
+
+  std::uint64_t state_ = 0x6b63686b70743176ULL;
+  char buf_[8];
+  std::size_t fill_ = 0;
+};
+
+void fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+bool read_exact(std::FILE* f, void* data, std::size_t len, Checksum* sum) {
+  if (len > 0 && std::fread(data, 1, len, f) != len) return false;
+  if (sum != nullptr) sum->feed(data, len);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t concrete_crn_fingerprint(const crn::Crn& crn) {
+  std::uint64_t h = splitmix64(crn.species_count());
+  const auto feed = [&h](std::uint64_t v) { h = splitmix64(h ^ v); };
+  for (const crn::Reaction& r : crn.reactions()) {
+    for (const crn::Term& t : r.reactants()) {
+      feed(static_cast<std::uint64_t>(t.species) * 2 + 1);
+      feed(static_cast<std::uint64_t>(t.count));
+    }
+    feed(0x9e3779b97f4a7c15ULL);  // reactants | products separator
+    for (const crn::Term& t : r.products()) {
+      feed(static_cast<std::uint64_t>(t.species) * 2 + 1);
+      feed(static_cast<std::uint64_t>(t.count));
+    }
+    feed(0xc2b2ae3d27d4eb4fULL);  // reaction separator
+  }
+  return h;
+}
+
+bool save_checkpoint(const std::string& path,
+                     const ExploreCheckpointView& ckpt, std::string* error) {
+  util::FaultedFileWriter writer(path, "checkpoint.save");
+  Checksum sum;
+  const auto put = [&](const void* data, std::size_t len) {
+    sum.feed(data, len);
+    return writer.write(data, len);
+  };
+  const auto put_u64 = [&](std::uint64_t v) { return put(&v, sizeof(v)); };
+
+  bool ok = writer.write(kMagic, sizeof(kMagic));  // magic is not summed
+  ok = ok && put_u64(ckpt.crn_hash) && put_u64(ckpt.initial_hash) &&
+       put_u64(ckpt.width) && put_u64(ckpt.max_configs) &&
+       put_u64(ckpt.level_begin) && put_u64(ckpt.level_end) &&
+       put_u64(ckpt.levels) && put_u64(ckpt.frontier_peak) &&
+       put_u64(ckpt.complete);
+  ok = ok && put_u64(ckpt.pool->size()) && put_u64(ckpt.id_hash->size()) &&
+       put_u64(ckpt.succ_off->size()) && put_u64(ckpt.succ->size()) &&
+       put_u64(ckpt.parent->size()) && put_u64(ckpt.parent_reaction->size());
+  ok = ok &&
+       put(ckpt.pool->data(), ckpt.pool->size() * sizeof(ConfigStore::Count));
+  ok = ok && put(ckpt.id_hash->data(),
+                 ckpt.id_hash->size() * sizeof(std::uint64_t));
+  ok = ok && put(ckpt.succ_off->data(),
+                 ckpt.succ_off->size() * sizeof(std::uint64_t));
+  ok = ok && put(ckpt.succ->data(), ckpt.succ->size() * sizeof(std::int32_t));
+  ok = ok &&
+       put(ckpt.parent->data(), ckpt.parent->size() * sizeof(std::int32_t));
+  ok = ok && put(ckpt.parent_reaction->data(),
+                 ckpt.parent_reaction->size() * sizeof(std::int32_t));
+  if (ok) {
+    const std::uint64_t checksum = sum.finish();
+    ok = writer.write(&checksum, sizeof(checksum));
+  }
+  if (!ok || !writer.commit()) {
+    fail(error, "checkpoint: write failed for " + path);
+    return false;
+  }
+  return true;
+}
+
+bool load_checkpoint(const std::string& path, ExploreCheckpoint* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail(error, "checkpoint: cannot open " + path);
+    return false;
+  }
+  Checksum sum;
+  char magic[8];
+  bool ok = read_exact(f, magic, sizeof(magic), nullptr) &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  std::uint64_t header[9] = {};
+  std::uint64_t sizes[6] = {};
+  ok = ok && read_exact(f, header, sizeof(header), &sum);
+  ok = ok && read_exact(f, sizes, sizeof(sizes), &sum);
+  // Sanity-bound the array sizes before allocating: a corrupt length
+  // field must not turn into a 2^60-element resize.
+  constexpr std::uint64_t kMaxElems = std::uint64_t{1} << 36;
+  for (const std::uint64_t n : sizes) ok = ok && n <= kMaxElems;
+  if (ok) {
+    out->crn_hash = header[0];
+    out->initial_hash = header[1];
+    out->width = header[2];
+    out->max_configs = header[3];
+    out->level_begin = header[4];
+    out->level_end = header[5];
+    out->levels = header[6];
+    out->frontier_peak = header[7];
+    out->complete = static_cast<std::uint8_t>(header[8]);
+    out->pool.resize(sizes[0]);
+    out->id_hash.resize(sizes[1]);
+    out->succ_off.resize(sizes[2]);
+    out->succ.resize(sizes[3]);
+    out->parent.resize(sizes[4]);
+    out->parent_reaction.resize(sizes[5]);
+    ok = read_exact(f, out->pool.data(),
+                    out->pool.size() * sizeof(ConfigStore::Count), &sum) &&
+         read_exact(f, out->id_hash.data(),
+                    out->id_hash.size() * sizeof(std::uint64_t), &sum) &&
+         read_exact(f, out->succ_off.data(),
+                    out->succ_off.size() * sizeof(std::uint64_t), &sum) &&
+         read_exact(f, out->succ.data(),
+                    out->succ.size() * sizeof(std::int32_t), &sum) &&
+         read_exact(f, out->parent.data(),
+                    out->parent.size() * sizeof(std::int32_t), &sum) &&
+         read_exact(f, out->parent_reaction.data(),
+                    out->parent_reaction.size() * sizeof(std::int32_t), &sum);
+  }
+  std::uint64_t stored_checksum = 0;
+  ok = ok && read_exact(f, &stored_checksum, sizeof(stored_checksum), nullptr);
+  std::fclose(f);
+  if (!ok || sum.finish() != stored_checksum) {
+    fail(error, "checkpoint: " + path + " is truncated or corrupt");
+    return false;
+  }
+
+  // Internal consistency: every per-node array must agree on the node
+  // count, and the cursors must describe a frontier inside it.
+  const std::uint64_t n = out->id_hash.size();
+  if (out->pool.size() != n * out->width || out->parent.size() != n ||
+      out->parent_reaction.size() != n ||
+      out->succ_off.size() != out->level_begin + 1 ||
+      out->level_begin > out->level_end || out->level_end > n ||
+      (out->succ_off.empty() ? !out->succ.empty()
+                             : out->succ_off.back() != out->succ.size())) {
+    fail(error, "checkpoint: " + path + " has inconsistent array sizes");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace crnkit::verify

@@ -1,0 +1,102 @@
+// Durable restart points for exact exploration.
+//
+// A checkpoint is taken at a BFS level boundary — the one moment the
+// explorer's entire state is a handful of flat arrays: the ConfigStore
+// arena + per-node hashes, the CSR edges built so far, the BFS tree, and
+// the [level_begin, level_end) frontier cursors. Because exploration is
+// deterministic at every thread count, resuming from those arrays and
+// running the remaining levels yields a *bit-identical* graph (node ids,
+// edges, parents, verdict) to the uninterrupted run — the property the
+// resume ctest asserts on chain/compose scenarios.
+//
+// File format (version 1, little-endian, written atomically via
+// util::FaultedFileWriter with the `checkpoint.save` fault sites):
+//
+//   magic "CRNKCKP1" | u64 header fields | arrays | trailing checksum
+//
+// The checksum is a splitmix64 chain over every payload byte; load()
+// recomputes it and rejects torn or bit-flipped files, and rejects
+// checkpoints whose CRN canonical hash, initial-configuration hash,
+// width, or node budget disagree with the resuming run (a checkpoint is
+// only valid for the exact exploration that wrote it).
+#ifndef CRNKIT_VERIFY_CHECKPOINT_H_
+#define CRNKIT_VERIFY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "verify/config_store.h"
+
+namespace crnkit::verify {
+
+/// Fingerprint of the *concrete* network (species ids included): the
+/// arena indexes configurations by concrete species id, so a checkpoint
+/// is only valid for a bit-identical network — a renaming-invariant
+/// canonical hash would wrongly accept reordered species.
+[[nodiscard]] std::uint64_t concrete_crn_fingerprint(const crn::Crn& crn);
+
+/// The explorer state snapshotted at a level boundary. save() borrows
+/// the arrays from the live exploration; load() materializes owned
+/// vectors the explorer then adopts (ConfigStore::restore + moves).
+struct ExploreCheckpoint {
+  // Identity — all four must match the resuming run exactly.
+  std::uint64_t crn_hash = 0;      ///< crn::canonical_hash of the network
+  std::uint64_t initial_hash = 0;  ///< Zobrist hash of the root config
+  std::uint64_t width = 0;
+  std::uint64_t max_configs = 0;
+
+  // Frontier cursors: the next level to expand is [level_begin, level_end).
+  std::uint64_t level_begin = 0;
+  std::uint64_t level_end = 0;
+  std::uint64_t levels = 0;         ///< ExploreStats.levels so far
+  std::uint64_t frontier_peak = 0;  ///< ExploreStats.frontier_peak so far
+  std::uint8_t complete = 1;
+
+  std::vector<ConfigStore::Count> pool;   ///< node arena, width per node
+  std::vector<std::uint64_t> id_hash;     ///< per-node Zobrist hashes
+  std::vector<std::uint64_t> succ_off;    ///< CSR offsets, level_begin+1
+  std::vector<std::int32_t> succ;         ///< CSR successor ids
+  std::vector<std::int32_t> parent;       ///< BFS parents, one per node
+  std::vector<std::int32_t> parent_reaction;
+};
+
+/// Borrowed view of live explorer state for save_checkpoint — a
+/// chain/compose-24 arena runs to hundreds of MB, so snapshots must not
+/// copy it.
+struct ExploreCheckpointView {
+  std::uint64_t crn_hash = 0;
+  std::uint64_t initial_hash = 0;
+  std::uint64_t width = 0;
+  std::uint64_t max_configs = 0;
+  std::uint64_t level_begin = 0;
+  std::uint64_t level_end = 0;
+  std::uint64_t levels = 0;
+  std::uint64_t frontier_peak = 0;
+  std::uint8_t complete = 1;
+  const std::vector<ConfigStore::Count>* pool = nullptr;
+  const std::vector<std::uint64_t>* id_hash = nullptr;
+  const std::vector<std::uint64_t>* succ_off = nullptr;
+  const std::vector<std::int32_t>* succ = nullptr;
+  const std::vector<std::int32_t>* parent = nullptr;
+  const std::vector<std::int32_t>* parent_reaction = nullptr;
+};
+
+/// Writes the checkpoint atomically (temp file + fsync + rename); on any
+/// failure the previous checkpoint file is untouched. Fault sites:
+/// checkpoint.save.crash / .short_write / .crash_before_rename.
+[[nodiscard]] bool save_checkpoint(const std::string& path,
+                                   const ExploreCheckpointView& ckpt,
+                                   std::string* error = nullptr);
+
+/// Loads and validates a checkpoint file: magic, version, checksum, and
+/// internal array-size consistency. Identity fields are the caller's to
+/// check against the resuming run.
+[[nodiscard]] bool load_checkpoint(const std::string& path,
+                                   ExploreCheckpoint* out,
+                                   std::string* error = nullptr);
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_CHECKPOINT_H_

@@ -318,6 +318,24 @@ void ConfigStore::finish_level() {
   }
 }
 
+void ConfigStore::restore(std::vector<Count>&& pool,
+                          std::vector<std::uint64_t>&& id_hash) {
+  require(size_ == 0 && staged_count() == 0,
+          "ConfigStore::restore: store not empty");
+  require(pool.size() == id_hash.size() * width_,
+          "ConfigStore::restore: arena/hash size mismatch");
+  pool_ = std::move(pool);
+  id_hash_ = std::move(id_hash);
+  size_ = id_hash_.size();
+  advise_huge(pool_.data(), pool_.capacity() * sizeof(Count));
+  for (std::size_t id = 0; id < size_; ++id) {
+    const std::uint64_t h = id_hash_[id];
+    Shard& shard = shards_[static_cast<std::size_t>(shard_of(h))];
+    if ((shard.used + 1) * 8 >= (shard.mask + 1) * 5) grow(shard);
+    insert_slot(shard, h, id + 1);
+  }
+}
+
 std::size_t ConfigStore::bytes() const {
   // Sizes, not capacities, for the arena: reserve() may map far more
   // address space than the exploration touches.

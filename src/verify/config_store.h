@@ -183,6 +183,21 @@ class ConfigStore {
   /// and staging buffers by capacity.
   [[nodiscard]] std::size_t bytes() const;
 
+  // --- checkpointing ---
+
+  /// The committed arena / per-node hashes, id order (what a checkpoint
+  /// persists; zseed_ is deterministic from the width and never stored).
+  [[nodiscard]] const std::vector<Count>& pool() const { return pool_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& id_hashes() const {
+    return id_hash_;
+  }
+
+  /// Adopts a checkpointed arena into a freshly-constructed store and
+  /// rebuilds the shard hash tables from it. Only valid while empty;
+  /// pool must hold exactly width() counts per id_hash entry.
+  void restore(std::vector<Count>&& pool,
+               std::vector<std::uint64_t>&& id_hash);
+
  private:
   // A slot packs (hash tag << 32 | encoded id) into one word; 0 is
   // empty. Encoded id: committed node i -> i + 1; pending staged local

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/task_pool.h"
+#include "verify/checkpoint.h"
 
 namespace crnkit::verify {
 
@@ -147,10 +148,62 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     return m;
   };
 
+  // Rebuilds the applicability mask of one restored node from its
+  // parent's (same incremental rule as the in-level mask pass; parents
+  // always have smaller ids, so id order is a valid evaluation order).
+  const auto mask_from_parent = [&](std::size_t id) {
+    const auto p = static_cast<std::size_t>(graph.parent[id]);
+    const auto r = static_cast<std::size_t>(graph.parent_reaction[id]);
+    const ConfigStore::Count* row = store.view(static_cast<std::int32_t>(id));
+    std::uint64_t m = app_mask[p];
+    for (const std::uint32_t j : net.dependents(r)) {
+      const std::uint64_t bit = std::uint64_t{1} << j;
+      if (net.applicable(j, row)) {
+        m |= bit;
+      } else {
+        m &= ~bit;
+      }
+    }
+    app_mask[id] = m;
+  };
+
+  const std::uint64_t root_hash = store.hash(initial.data());
+  const std::uint64_t crn_fp = options.checkpoint_path.empty()
+                                   ? 0
+                                   : concrete_crn_fingerprint(crn);
+  std::int32_t level_begin = 0;
+  std::int32_t level_end = 1;
+  bool resumed = false;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    ExploreCheckpoint ckpt;
+    if (load_checkpoint(options.checkpoint_path, &ckpt) &&
+        ckpt.crn_hash == crn_fp && ckpt.initial_hash == root_hash &&
+        ckpt.width == width && ckpt.max_configs == options.max_configs) {
+      store.restore(std::move(ckpt.pool), std::move(ckpt.id_hash));
+      graph.succ_off = std::move(ckpt.succ_off);
+      graph.succ = std::move(ckpt.succ);
+      graph.parent = std::move(ckpt.parent);
+      graph.parent_reaction = std::move(ckpt.parent_reaction);
+      graph.complete = ckpt.complete != 0;
+      graph.stats.levels = ckpt.levels;
+      graph.stats.frontier_peak = ckpt.frontier_peak;
+      level_begin = static_cast<std::int32_t>(ckpt.level_begin);
+      level_end = static_cast<std::int32_t>(ckpt.level_end);
+      resumed = true;
+      if (use_masks) {
+        app_mask.resize(store.size());
+        app_mask[0] = full_mask(store.view(0));
+        for (std::size_t id = 1; id < store.size(); ++id) {
+          mask_from_parent(id);
+        }
+      }
+    }
+  }
+
   // Intern the root (id 0; stored even under a zero budget, like the
   // original explorer).
-  {
-    (void)store.stage(store.hash(initial.data()), initial.data());
+  if (!resumed) {
+    (void)store.stage(root_hash, initial.data());
     const std::size_t got = store.commit(1);
     ensure(got == 1, "explore: root interning failed");
     store.finish_level();
@@ -230,9 +283,47 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
   std::vector<std::atomic<std::uint8_t>> gen_done(
       std::max<std::size_t>(max_slices, 1));
 
-  std::int32_t level_begin = 0;
-  std::int32_t level_end = 1;
+  // Snapshots the current level boundary; all explorer state is in flat
+  // arrays here, and determinism makes a resume from this file converge
+  // to the bit-identical graph.
+  const auto save_ckpt = [&]() {
+    ExploreCheckpointView view;
+    view.crn_hash = crn_fp;
+    view.initial_hash = root_hash;
+    view.width = width;
+    view.max_configs = options.max_configs;
+    view.level_begin = static_cast<std::uint64_t>(level_begin);
+    view.level_end = static_cast<std::uint64_t>(level_end);
+    view.levels = graph.stats.levels;
+    view.frontier_peak = graph.stats.frontier_peak;
+    view.complete = graph.complete ? 1 : 0;
+    view.pool = &store.pool();
+    view.id_hash = &store.id_hashes();
+    view.succ_off = &graph.succ_off;
+    view.succ = &graph.succ;
+    view.parent = &graph.parent;
+    view.parent_reaction = &graph.parent_reaction;
+    obs::Span ckpt_span("verify.checkpoint");
+    (void)save_checkpoint(options.checkpoint_path, view);
+  };
+
+  auto last_ckpt = std::chrono::steady_clock::now();
   while (level_begin < level_end) {
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      // Stop at the level boundary: save a resume point first (the CSR
+      // offsets still mark exactly the expanded prefix), then pad the
+      // offsets so unexpanded nodes read as successor-free — the graph
+      // stays structurally valid, just incomplete. The checkpoint keeps
+      // the pre-cancel completeness: stopping early is recoverable on
+      // resume, only budget truncation is not.
+      graph.cancelled = true;
+      if (!options.checkpoint_path.empty()) save_ckpt();
+      graph.complete = false;
+      while (graph.succ_off.size() < store.size() + 1) {
+        graph.succ_off.push_back(graph.succ.size());
+      }
+      break;
+    }
     const std::size_t level_nodes =
         static_cast<std::size_t>(level_end - level_begin);
     graph.stats.frontier_peak =
@@ -388,21 +479,7 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
       // and safe to compute in parallel.
       app_mask.resize(store.size());
       const auto mask_node = [&](std::size_t id_off) {
-        const std::size_t id = before + id_off;
-        const auto p = static_cast<std::size_t>(graph.parent[id]);
-        const auto r = static_cast<std::size_t>(graph.parent_reaction[id]);
-        const ConfigStore::Count* row =
-            store.view(static_cast<std::int32_t>(id));
-        std::uint64_t m = app_mask[p];
-        for (const std::uint32_t j : net.dependents(r)) {
-          const std::uint64_t bit = std::uint64_t{1} << j;
-          if (net.applicable(j, row)) {
-            m |= bit;
-          } else {
-            m &= ~bit;
-          }
-        }
-        app_mask[id] = m;
+        mask_from_parent(before + id_off);
       };
       if (parallel && accepted >= kMinParallelFrontier) {
         pool.parallel_for(accepted, 4096, mask_node, threads);
@@ -469,6 +546,15 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     store.finish_level();
     level_begin = static_cast<std::int32_t>(before);
     level_end = static_cast<std::int32_t>(before + accepted);
+
+    if (!options.checkpoint_path.empty() && level_begin < level_end) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_ckpt).count() >=
+          options.checkpoint_every_secs) {
+        save_ckpt();
+        last_ckpt = now;
+      }
+    }
   }
 
   ensure(graph.succ_off.size() == store.size() + 1,

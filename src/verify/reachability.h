@@ -33,10 +33,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "crn/network.h"
 #include "sim/compiled_network.h"
+#include "util/deadline.h"
 #include "verify/config_store.h"
 
 namespace crnkit::verify {
@@ -67,7 +69,11 @@ struct ReachabilityGraph {
   std::vector<std::int32_t> succ;          ///< deduplicated successor ids
   std::vector<std::int32_t> parent;        ///< BFS tree parent (-1 for root)
   std::vector<std::int32_t> parent_reaction;  ///< reaction reaching node
-  bool complete = true;                    ///< false iff node budget was hit
+  bool complete = true;   ///< false iff node budget was hit or cancelled
+  /// True iff exploration stopped at a level boundary because its cancel
+  /// token expired (deadline or explicit cancel); implies !complete
+  /// unless the graph happened to be fully enumerated already.
+  bool cancelled = false;
   ExploreStats stats;
 
   explicit ReachabilityGraph(std::size_t width) : store(width) {}
@@ -95,6 +101,20 @@ struct ExploreOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency(). The
   /// resulting graph is identical for every value.
   int threads = 1;
+  /// Cooperative cancellation, polled once per BFS level; an expired
+  /// token stops exploration at the next level boundary with
+  /// graph.cancelled set (and a final checkpoint saved, when enabled).
+  const util::CancelToken* cancel = nullptr;
+  /// When non-empty, the explorer snapshots its state to this file at
+  /// level boundaries (atomically — a crash never corrupts a previous
+  /// checkpoint) every `checkpoint_every_secs`; 0 means every level.
+  std::string checkpoint_path;
+  double checkpoint_every_secs = 30.0;
+  /// Resume from `checkpoint_path` when it holds a valid checkpoint of
+  /// this exact exploration (network, root, width, budget); otherwise
+  /// explore from scratch. Determinism makes the resumed graph
+  /// bit-identical to an uninterrupted run.
+  bool resume = false;
 };
 
 /// Enumerates configurations reachable from `initial`.

@@ -109,10 +109,16 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   obs::Span check_span("verify.stable_check");
 
   const crn::Config initial = crn.initial_configuration(x);
-  const ReachabilityGraph graph =
-      explore(crn, initial,
-              ExploreOptions{options.max_configs, options.threads});
+  ExploreOptions explore_options;
+  explore_options.max_configs = options.max_configs;
+  explore_options.threads = options.threads;
+  explore_options.cancel = options.cancel;
+  explore_options.checkpoint_path = options.checkpoint_path;
+  explore_options.checkpoint_every_secs = options.checkpoint_every_secs;
+  explore_options.resume = options.resume;
+  const ReachabilityGraph graph = explore(crn, initial, explore_options);
   result.complete = graph.complete;
+  result.cancelled = graph.cancelled;
   result.num_configs = graph.size();
   result.num_edges = graph.edge_count();
   result.explore_stats = graph.stats;

@@ -23,6 +23,10 @@ namespace crnkit::verify {
 struct StableCheckResult {
   bool ok = false;        ///< stably computes the expected value
   bool complete = true;   ///< exploration enumerated all reachable configs
+  /// Exploration stopped early because the cancel token expired
+  /// (deadline or explicit cancel); implies !complete and withholds the
+  /// verdict the same way a budget truncation does.
+  bool cancelled = false;
   math::Int expected = 0;
   std::size_t num_configs = 0;
   std::size_t num_edges = 0;   ///< deduplicated reachability edges
@@ -47,6 +51,14 @@ struct StableCheckOptions {
   /// Exploration worker threads; 0 means hardware concurrency. The graph
   /// and verdict are identical for every value.
   int threads = 1;
+  /// Optional cooperative cancellation, polled per BFS level (see
+  /// ExploreOptions::cancel).
+  const util::CancelToken* cancel = nullptr;
+  /// Checkpoint/resume pass-through to the explorer (CLI-only paths —
+  /// never populated from daemon requests).
+  std::string checkpoint_path;
+  double checkpoint_every_secs = 30.0;
+  bool resume = false;
 };
 
 /// Decides whether `crn` stably computes `expected` on input x.

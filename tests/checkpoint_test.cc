@@ -1,0 +1,289 @@
+// Checkpoint/resume for the exact explorer: the on-disk format round-trips
+// and rejects corruption, and — the property the whole feature rests on —
+// a resumed exploration converges to a graph bit-identical to the
+// uninterrupted run (node ids, arena bytes, CSR edges, BFS parents,
+// completeness), because exploration is deterministic.
+#include "verify/checkpoint.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "compile/theorem52.h"
+#include "fn/examples.h"
+#include "scenario/registry.h"
+#include "util/deadline.h"
+#include "verify/reachability.h"
+
+namespace crnkit::verify {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem + "." + std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+void expect_identical(const ReachabilityGraph& a, const ReachabilityGraph& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  ASSERT_EQ(a.complete, b.complete) << label;
+  ASSERT_EQ(a.store.width(), b.store.width()) << label;
+  EXPECT_EQ(std::memcmp(a.store.view(0), b.store.view(0),
+                        a.size() * a.store.width() *
+                            sizeof(ConfigStore::Count)),
+            0)
+      << label << ": arena contents differ";
+  EXPECT_EQ(a.succ_off, b.succ_off) << label;
+  EXPECT_EQ(a.succ, b.succ) << label;
+  EXPECT_EQ(a.parent, b.parent) << label;
+  EXPECT_EQ(a.parent_reaction, b.parent_reaction) << label;
+}
+
+TEST(Checkpoint, SaveLoadRoundtrip) {
+  const std::string path = temp_path("ckpt_roundtrip");
+  const std::vector<ConfigStore::Count> pool = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint64_t> id_hash = {0x11, 0x22};
+  const std::vector<std::uint64_t> succ_off = {0, 1};
+  const std::vector<std::int32_t> succ = {1};
+  const std::vector<std::int32_t> parent = {-1, 0};
+  const std::vector<std::int32_t> parent_reaction = {-1, 0};
+
+  ExploreCheckpointView view;
+  view.crn_hash = 0xabcdef;
+  view.initial_hash = 0x123456;
+  view.width = 3;
+  view.max_configs = 100;
+  view.level_begin = 1;
+  view.level_end = 2;
+  view.levels = 1;
+  view.frontier_peak = 1;
+  view.complete = 1;
+  view.pool = &pool;
+  view.id_hash = &id_hash;
+  view.succ_off = &succ_off;
+  view.succ = &succ;
+  view.parent = &parent;
+  view.parent_reaction = &parent_reaction;
+
+  std::string error;
+  ASSERT_TRUE(save_checkpoint(path, view, &error)) << error;
+
+  ExploreCheckpoint loaded;
+  ASSERT_TRUE(load_checkpoint(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.crn_hash, view.crn_hash);
+  EXPECT_EQ(loaded.initial_hash, view.initial_hash);
+  EXPECT_EQ(loaded.width, view.width);
+  EXPECT_EQ(loaded.max_configs, view.max_configs);
+  EXPECT_EQ(loaded.level_begin, view.level_begin);
+  EXPECT_EQ(loaded.level_end, view.level_end);
+  EXPECT_EQ(loaded.levels, view.levels);
+  EXPECT_EQ(loaded.frontier_peak, view.frontier_peak);
+  EXPECT_EQ(loaded.complete, view.complete);
+  EXPECT_EQ(loaded.pool, pool);
+  EXPECT_EQ(loaded.id_hash, id_hash);
+  EXPECT_EQ(loaded.succ_off, succ_off);
+  EXPECT_EQ(loaded.succ, succ);
+  EXPECT_EQ(loaded.parent, parent);
+  EXPECT_EQ(loaded.parent_reaction, parent_reaction);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingCorruptAndTruncatedFiles) {
+  const std::string path = temp_path("ckpt_corrupt");
+  ExploreCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(load_checkpoint(path + ".nope", &out, &error));
+  EXPECT_FALSE(error.empty());
+
+  // A valid file to mutilate.
+  const std::vector<ConfigStore::Count> pool = {1, 2};
+  const std::vector<std::uint64_t> id_hash = {0x11};
+  const std::vector<std::uint64_t> succ_off = {0};
+  const std::vector<std::int32_t> succ = {};
+  const std::vector<std::int32_t> parent = {-1};
+  const std::vector<std::int32_t> parent_reaction = {-1};
+  ExploreCheckpointView view;
+  view.width = 2;
+  view.level_begin = 0;
+  view.level_end = 1;
+  view.pool = &pool;
+  view.id_hash = &id_hash;
+  view.succ_off = &succ_off;
+  view.succ = &succ;
+  view.parent = &parent;
+  view.parent_reaction = &parent_reaction;
+  ASSERT_TRUE(save_checkpoint(path, view, &error)) << error;
+  const std::string good = read_file(path);
+  ASSERT_FALSE(good.empty());
+
+  // Every single-byte flip anywhere in the file must be rejected (the
+  // magic check catches the prefix, the checksum everything else).
+  for (const std::size_t at : {std::size_t{0}, std::size_t{4},
+                               std::size_t{20}, good.size() / 2,
+                               good.size() - 1}) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    write_file(path, bad);
+    EXPECT_FALSE(load_checkpoint(path, &out, &error))
+        << "bit flip at byte " << at << " was accepted";
+  }
+
+  // Every truncation must be rejected too.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{7},
+                                 good.size() / 2, good.size() - 1}) {
+    write_file(path, good.substr(0, keep));
+    EXPECT_FALSE(load_checkpoint(path, &out, &error))
+        << "truncation to " << keep << " bytes was accepted";
+  }
+
+  write_file(path, good);
+  EXPECT_TRUE(load_checkpoint(path, &out, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CancelledRunSavesAResumableCheckpoint) {
+  const std::string path = temp_path("ckpt_cancelled");
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("fig1/min");
+  const crn::Config initial =
+      s.crn.initial_configuration(s.verify_points.front());
+
+  util::CancelToken cancelled;
+  cancelled.cancel();
+  ExploreOptions options;
+  options.max_configs = 100'000;
+  options.threads = 1;
+  options.cancel = &cancelled;
+  options.checkpoint_path = path;
+  const auto graph = explore(s.crn, initial, options);
+  EXPECT_TRUE(graph.cancelled);
+  EXPECT_FALSE(graph.complete);
+
+  ExploreCheckpoint ckpt;
+  std::string error;
+  ASSERT_TRUE(load_checkpoint(path, &ckpt, &error)) << error;
+  EXPECT_EQ(ckpt.crn_hash, concrete_crn_fingerprint(s.crn));
+  EXPECT_EQ(ckpt.width, s.crn.species_count());
+  EXPECT_EQ(ckpt.max_configs, std::uint64_t{100'000});
+  // Early stop is recoverable: the checkpoint must NOT inherit the
+  // cancelled run's incomplete marker, or no resume could ever prove.
+  EXPECT_EQ(ckpt.complete, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeFromCancelConvergesBitIdentical) {
+  const std::string path = temp_path("ckpt_resume_root");
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("fig1/min");
+  // (4,4), not the front() (0,0) point whose reachable set is a single
+  // config — the interruption below needs something left to resume.
+  const crn::Config initial =
+      s.crn.initial_configuration(s.verify_points.back());
+
+  ExploreOptions base;
+  base.max_configs = 100'000;
+  base.threads = 1;
+  const auto reference = explore(s.crn, initial, base);
+  ASSERT_TRUE(reference.complete);
+  ASSERT_GT(reference.size(), 1u);
+
+  // Interrupt at the very first safepoint, then resume to the end.
+  util::CancelToken cancelled;
+  cancelled.cancel();
+  ExploreOptions cut = base;
+  cut.cancel = &cancelled;
+  cut.checkpoint_path = path;
+  const auto interrupted = explore(s.crn, initial, cut);
+  ASSERT_TRUE(interrupted.cancelled);
+  ASSERT_LT(interrupted.size(), reference.size());
+
+  ExploreOptions resume = base;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const auto resumed = explore(s.crn, initial, resume);
+  EXPECT_FALSE(resumed.cancelled);
+  expect_identical(reference, resumed, "fig1/min resumed from root");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeMidRunConvergesBitIdentical) {
+  // A bigger graph (Theorem 5.2 circuit, ~18.5k configs) checkpointed at
+  // every level: resuming from whatever the last level boundary was must
+  // still converge to the bit-identical graph.
+  const std::string path = temp_path("ckpt_resume_mid");
+  compile::ObliviousSpec spec{fn::examples::fig7(), 1,
+                              fn::examples::fig7_extensions(), {}};
+  const crn::Crn circuit = compile::compile_theorem52(spec);
+  const crn::Config initial = circuit.initial_configuration({2, 2});
+
+  ExploreOptions base;
+  base.max_configs = 2'000'000;
+  base.threads = 1;
+  const auto reference = explore(circuit, initial, base);
+  ASSERT_TRUE(reference.complete);
+
+  // Deadline interruption: wherever the 20ms token stops it (even not at
+  // all — then the checkpoint is just the last periodic one), the resumed
+  // graph must match the reference exactly.
+  util::CancelToken deadline(20);
+  ExploreOptions cut = base;
+  cut.cancel = &deadline;
+  cut.checkpoint_path = path;
+  cut.checkpoint_every_secs = 0.0;  // snapshot at every level boundary
+  (void)explore(circuit, initial, cut);
+
+  ExploreOptions resume = base;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const auto resumed = explore(circuit, initial, resume);
+  expect_identical(reference, resumed, "thm52(2,2) resumed mid-run");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedCheckpointIsIgnored) {
+  // A checkpoint of a *different* exploration (other budget) must be
+  // rejected at resume: the explorer starts from scratch and still
+  // produces the reference graph rather than adopting foreign state.
+  const std::string path = temp_path("ckpt_mismatch");
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("fig1/min");
+  const crn::Config initial =
+      s.crn.initial_configuration(s.verify_points.front());
+
+  util::CancelToken cancelled;
+  cancelled.cancel();
+  ExploreOptions cut;
+  cut.max_configs = 50'000;
+  cut.threads = 1;
+  cut.cancel = &cancelled;
+  cut.checkpoint_path = path;
+  (void)explore(s.crn, initial, cut);
+
+  ExploreOptions resume;
+  resume.max_configs = 100'000;  // differs from the checkpoint's budget
+  resume.threads = 1;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const auto resumed = explore(s.crn, initial, resume);
+  const auto reference =
+      explore(s.crn, initial, ExploreOptions{100'000, /*threads=*/1});
+  expect_identical(reference, resumed, "fig1/min mismatched budget");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crnkit::verify

@@ -1,0 +1,194 @@
+// Deadlines and cooperative cancellation end to end: the CancelToken
+// contract, the explorer and ensemble safepoints that honor it, and the
+// typed `deadline_exceeded` verdicts svc::Service builds on top — which
+// must never be cached (how far an expired exploration got is wall-clock
+// luck, not content).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "scenario/registry.h"
+#include "sim/ensemble.h"
+#include "svc/api.h"
+#include "svc/service.h"
+#include "util/deadline.h"
+#include "verify/reachability.h"
+
+namespace crnkit {
+namespace {
+
+TEST(CancelToken, DefaultNeverExpires) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_EQ(token.remaining_ms(), util::CancelToken::kNoDeadlineMs);
+}
+
+TEST(CancelToken, CancelWins) {
+  util::CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.remaining_ms(), 0);
+}
+
+TEST(CancelToken, ZeroDeadlineMeansNone) {
+  util::CancelToken token(0);
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+}
+
+TEST(CancelToken, DeadlineExpires) {
+  util::CancelToken token(1);
+  EXPECT_TRUE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.remaining_ms(), 0);
+}
+
+TEST(CancelToken, RemainingIsBoundedByTheDeadline) {
+  util::CancelToken token(10'000);
+  EXPECT_FALSE(token.expired());
+  EXPECT_GT(token.remaining_ms(), 0);
+  EXPECT_LE(token.remaining_ms(), 10'000);
+}
+
+TEST(ExploreCancel, ExpiredTokenStopsAtALevelBoundary) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("fig1/min");
+  // The last grid point (4,4): min() can fire four times, so the
+  // reachable set has several configs (the (0,0) front() point has one).
+  const crn::Config initial =
+      s.crn.initial_configuration(s.verify_points.back());
+
+  // Uncancelled reference: the full (small) reachable set.
+  verify::ExploreOptions options;
+  options.max_configs = 100'000;
+  options.threads = 1;
+  const auto full = verify::explore(s.crn, initial, options);
+  ASSERT_TRUE(full.complete);
+  ASSERT_GT(full.size(), 1u);
+
+  // A pre-cancelled token stops exploration at the first safepoint with
+  // the typed flags set — a sound partial graph, not an error.
+  util::CancelToken cancelled;
+  cancelled.cancel();
+  options.cancel = &cancelled;
+  const auto cut = verify::explore(s.crn, initial, options);
+  EXPECT_TRUE(cut.cancelled);
+  EXPECT_FALSE(cut.complete);
+  EXPECT_LT(cut.size(), full.size());
+  EXPECT_GE(cut.size(), 1u) << "the root must always be interned";
+}
+
+TEST(EnsembleCancel, ExpiredTokenSkipsRemainingTrajectories) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("fig1/min");
+  const sim::EnsembleRunner runner(s.crn);
+
+  util::CancelToken cancelled;
+  cancelled.cancel();
+  sim::EnsembleOptions options;
+  options.trajectories = 8;
+  options.threads = 1;
+  options.cancel = &cancelled;
+  const sim::EnsembleResult result =
+      runner.run_for_input(s.verify_points.front(), options);
+  EXPECT_EQ(result.cancelled_count, 8);
+  ASSERT_EQ(result.trajectories.size(), 8u);
+  for (const sim::Trajectory& t : result.trajectories) {
+    EXPECT_TRUE(t.skipped);
+    EXPECT_FALSE(t.silent);
+  }
+}
+
+TEST(ServiceDeadline, VerifyReturnsTypedDeadlineExceeded) {
+  svc::Service service;
+  svc::VerifyRequest req;
+  req.target = "chain/compose-24";
+  req.input = "7";
+  req.expect = "7";
+  req.force = true;
+  req.deadline_ms = 1;  // expires long before the 2M+-config exploration
+  const svc::VerifyResponse resp = service.verify(req);
+  ASSERT_EQ(resp.points.size(), 1u);
+  EXPECT_EQ(resp.points[0].status, "deadline_exceeded");
+  EXPECT_FALSE(resp.points[0].ok);
+  EXPECT_EQ(resp.deadline_exceeded, 1);
+  EXPECT_EQ(resp.inconclusive, 1);
+  EXPECT_FALSE(resp.ok);
+
+  // Expired verdicts are never cached: the identical request must miss
+  // again instead of serving yesterday's wall-clock luck.
+  const svc::VerifyResponse again = service.verify(req);
+  EXPECT_EQ(again.cache_hits, 0u);
+  EXPECT_EQ(again.points[0].status, "deadline_exceeded");
+}
+
+TEST(ServiceDeadline, ServerDefaultAppliesWhenRequestHasNone) {
+  svc::Service::Options options;
+  options.default_deadline_ms = 1;
+  svc::Service service(options);
+  svc::VerifyRequest req;
+  req.target = "chain/compose-24";
+  req.input = "7";
+  req.expect = "7";
+  req.force = true;  // deadline_ms left at 0: the server default governs
+  const svc::VerifyResponse resp = service.verify(req);
+  ASSERT_EQ(resp.points.size(), 1u);
+  EXPECT_EQ(resp.points[0].status, "deadline_exceeded");
+}
+
+TEST(ServiceDeadline, SimulateSkipsTrajectoriesOnExpiry) {
+  svc::Service::Options options;
+  options.default_deadline_ms = 1;
+  svc::Service service(options);
+  svc::SimulateRequest req;
+  // 5000 serial trajectories of the 256-module chain are many
+  // milliseconds of mandatory work: the 1ms budget expires mid-ensemble
+  // and every remaining trajectory is skipped (skips cost one poll, so
+  // the test itself stays fast).
+  req.target = "chain/compose-256";
+  req.input = "7";
+  req.trajectories = 5000;
+  req.threads = 1;
+  const svc::SimulateResponse resp = service.simulate(req);
+  EXPECT_TRUE(resp.deadline_exceeded);
+  EXPECT_GT(resp.cancelled, 0);
+  EXPECT_FALSE(resp.ok);
+}
+
+TEST(ServiceMemoryBudget, ClampDegradesInsteadOfOOM) {
+  svc::Service::Options options;
+  options.memory_budget_bytes = std::size_t{1} << 20;  // 1 MiB
+  svc::Service service(options);
+
+  bool degraded = false;
+  const std::size_t clamped =
+      service.clamp_to_memory_budget(1'000'000, /*width=*/10, &degraded);
+  EXPECT_TRUE(degraded);
+  EXPECT_LT(clamped, std::size_t{1'000'000});
+  EXPECT_GE(clamped, std::size_t{1});
+
+  // No budget: pass-through, no degradation.
+  svc::Service unbounded;
+  degraded = false;
+  EXPECT_EQ(unbounded.clamp_to_memory_budget(1'000'000, 10, &degraded),
+            std::size_t{1'000'000});
+  EXPECT_FALSE(degraded);
+}
+
+TEST(ServiceMemoryBudget, VerifyReportsDegradedWhenClamped) {
+  svc::Service::Options options;
+  options.memory_budget_bytes = std::size_t{1} << 20;
+  svc::Service service(options);
+  svc::VerifyRequest req;
+  req.target = "fig1/min";
+  req.max_configs = 5'000'000;  // far over a 1 MiB budget
+  const svc::VerifyResponse resp = service.verify(req);
+  EXPECT_TRUE(resp.degraded);
+  EXPECT_LT(resp.max_configs, std::size_t{5'000'000});
+}
+
+}  // namespace
+}  // namespace crnkit

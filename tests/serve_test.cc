@@ -21,6 +21,7 @@
 
 #include "svc/server.h"
 #include "svc/service.h"
+#include "util/fault_injector.h"
 #include "util/json_value.h"
 
 namespace crnkit::svc {
@@ -432,6 +433,131 @@ TEST(Serve, StopWithConnectionsAndRequestsInFlightIsClean) {
   EXPECT_TRUE(JsonValue::parse(again.roundtrip("{\"op\": \"ping\"}"))
                   .get_bool("pong", false));
   server->stop();
+}
+
+TEST(Serve, ConnectionGateShedsWithTypedRefusal) {
+  Service service;
+  Server::Options options;
+  options.max_connections = 1;
+  options.retry_after_ms = 120;
+  Server server(service, options);
+  server.start();
+
+  // One connection holds the only slot (the ping proves its handler is
+  // up and counted before anyone else connects).
+  auto holder = std::make_unique<Client>(server.port());
+  EXPECT_TRUE(JsonValue::parse(holder->roundtrip("{\"op\": \"ping\"}"))
+                  .get_bool("pong", false));
+
+  {
+    // A line client over the limit: one typed retriable refusal, then
+    // the server closes the connection.
+    Client extra(server.port());
+    const JsonValue shed = JsonValue::parse(
+        extra.roundtrip("{\"op\": \"verify\", \"target\": \"fig1/min\"}"));
+    EXPECT_EQ(shed.get_int("schema_version", -1), 1);
+    EXPECT_EQ(shed.get_string("error", ""), "overloaded");
+    EXPECT_TRUE(shed.get_bool("retriable", false));
+    EXPECT_EQ(shed.get_int("retry_after_ms", -1), 120);
+    EXPECT_FALSE(shed.get_bool("ok", true));
+    EXPECT_EQ(extra.read_to_eof(), "");
+  }
+  {
+    // An HTTP client over the limit: the same body under 503 with a
+    // whole-seconds Retry-After hint (120ms rounds up to 1).
+    Client extra(server.port());
+    extra.send_raw(
+        "POST /v1/verify HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}");
+    const std::string response = extra.read_to_eof();
+    EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable"),
+              std::string::npos);
+    EXPECT_NE(response.find("Retry-After: 1"), std::string::npos);
+    const auto blank = response.find("\r\n\r\n");
+    ASSERT_NE(blank, std::string::npos);
+    const JsonValue body = JsonValue::parse(response.substr(blank + 4));
+    EXPECT_EQ(body.get_string("error", ""), "overloaded");
+    EXPECT_TRUE(body.get_bool("retriable", false));
+  }
+
+  // Releasing the held slot restores service (the handler notices the
+  // close asynchronously, so poll).
+  holder.reset();
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    Client probe(server.port());
+    recovered = JsonValue::parse(probe.roundtrip("{\"op\": \"ping\"}"))
+                    .get_bool("pong", false);
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(recovered) << "capacity never came back after the holder left";
+
+  server.stop();
+  EXPECT_GE(server.stats().shed, 2u);
+}
+
+TEST(Serve, InflightGateShedsRequestsButPingStillAnswers) {
+  // The dispatch-delay failpoint holds the single inflight slot for long
+  // enough that concurrent requests deterministically hit the gate.
+  util::FaultInjector::instance().configure(
+      "server.dispatch.delay=always:arg=600");
+  Service service;
+  Server::Options options;
+  options.max_inflight = 1;
+  options.retry_after_ms = 25;
+  Server server(service, options);
+  server.start();
+
+  constexpr int kClients = 6;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(server.port());
+      responses[static_cast<std::size_t>(i)] = client.roundtrip(
+          "{\"op\": \"show\", \"target\": \"fig1/min\"}");
+    });
+  }
+  // By now the first request holds the slot for ~600ms; a saturated
+  // server must still answer ping (how clients probe an overloaded
+  // daemon) and must 503 an HTTP POST.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  {
+    Client http(server.port());
+    http.send_raw(
+        "POST /v1/show HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}");
+    const std::string response = http.read_to_eof();
+    EXPECT_NE(response.find("503"), std::string::npos);
+    EXPECT_NE(response.find("Retry-After:"), std::string::npos);
+  }
+  {
+    Client probe(server.port());
+    EXPECT_TRUE(JsonValue::parse(probe.roundtrip("{\"op\": \"ping\"}"))
+                    .get_bool("pong", false));
+  }
+  for (std::thread& t : threads) t.join();
+  server.stop();
+  util::FaultInjector::instance().reset();
+
+  int served = 0;
+  std::uint64_t shed = 0;
+  for (const std::string& response : responses) {
+    const JsonValue parsed = JsonValue::parse(response);
+    if (parsed.get_string("error", "") == "overloaded") {
+      ++shed;
+      EXPECT_TRUE(parsed.get_bool("retriable", false));
+      EXPECT_EQ(parsed.get_int("retry_after_ms", -1), 25);
+    } else {
+      ++served;
+      EXPECT_EQ(parsed.get_string("name", ""), "fig1/min");
+    }
+  }
+  EXPECT_GT(served, 0) << "the gate must admit work, not just refuse it";
+  EXPECT_GT(shed, 0u) << "six concurrent requests against one slot";
+  // Every line-protocol shed is counted (the HTTP 503 above adds one more).
+  EXPECT_EQ(server.stats().shed, shed + 1);
 }
 
 }  // namespace

@@ -312,6 +312,100 @@ TEST(ProofCache, LoadRejectsTamperedAndMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(ProofCache, JournalReplaysInsertsAndKeepsTheValidPrefix) {
+  const std::string path = testing::TempDir() + "svc_proof_journal.jsonl";
+  std::remove(path.c_str());
+
+  const auto make_key = [](std::uint64_t tag) {
+    ProofKey key;
+    key.crn_hash = tag;
+    key.x = {3, 4};
+    key.expected = 7;
+    return key;
+  };
+  ProofVerdict verdict;
+  verdict.ok = false;
+  verdict.complete = true;
+  verdict.budget = 500;
+  verdict.num_configs = 123;
+  verdict.num_edges = 456;
+  verdict.witness = {2, 0, 5};
+
+  {
+    ProofCache cache;
+    cache.enable_journal(path);
+    for (std::uint64_t tag = 1; tag <= 3; ++tag) {
+      cache.insert(make_key(tag), verdict);
+    }
+  }
+
+  // A fresh cache replays all three inserts with verdicts intact.
+  ProofCache fresh;
+  EXPECT_EQ(fresh.replay_journal(path), 3u);
+  const auto replayed = fresh.lookup(make_key(2), 1'000);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->num_configs, 123u);
+  EXPECT_EQ(replayed->num_edges, 456u);
+  EXPECT_TRUE(replayed->complete);
+  EXPECT_EQ(replayed->witness, verdict.witness);
+
+  // A torn tail (half a line, as a crash mid-append leaves it) is
+  // discarded; the prefix still replays.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    text = contents.str();
+  }
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text.substr(0, text.size() - text.size() / 4);
+  }
+  ProofCache after_tear;
+  EXPECT_EQ(after_tear.replay_journal(path), 2u);
+
+  // A corrupt line stops replay there instead of poisoning the cache.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "{\"entry\": \"garbage\"}\n" << text;
+  }
+  ProofCache after_corrupt;
+  EXPECT_EQ(after_corrupt.replay_journal(path), 0u);
+
+  // No journal file at all is an empty replay, not an error.
+  std::remove(path.c_str());
+  ProofCache none;
+  EXPECT_EQ(none.replay_journal(path), 0u);
+}
+
+TEST(ProofCache, SaveTruncatesTheJournal) {
+  const std::string journal = testing::TempDir() + "svc_proof_journal2.jsonl";
+  const std::string snapshot = testing::TempDir() + "svc_proof_snap.json";
+  std::remove(journal.c_str());
+
+  Service service;
+  service.proof_cache().enable_journal(journal);
+  const VerifyResponse cold = service.verify(min_request());
+  ASSERT_GT(cold.points.size(), 0u);
+
+  // Before the snapshot, the journal alone restores every verdict.
+  {
+    ProofCache replayed;
+    EXPECT_EQ(replayed.replay_journal(journal), cold.points.size());
+  }
+
+  // After a snapshot the journal is truncated — its entries live in the
+  // snapshot now, and startup (load + replay) still sees each exactly once.
+  service.proof_cache().save(snapshot);
+  ProofCache restored;
+  EXPECT_EQ(restored.load(snapshot), cold.points.size());
+  EXPECT_EQ(restored.replay_journal(journal), 0u);
+
+  std::remove(journal.c_str());
+  std::remove(snapshot.c_str());
+}
+
 TEST(Service, ConcurrentMixedRequestsMatchFreshVerdicts) {
   // One shared service, 64 concurrent clients mixing verify and simulate.
   // Every response must be bit-identical to a fresh single-threaded run.

@@ -1,0 +1,393 @@
+// chaos_replay: the fault-injection acceptance harness for the serving
+// stack. It arms the util::FaultInjector failpoints (accept drops, read
+// and write resets, dispatch delays, journal short-writes), drives >= 1k
+// mixed line-JSON requests through real sockets with a reconnecting
+// backoff client, and asserts the robustness contract:
+//
+//   * zero crashes — the daemon survives every armed fault class;
+//   * every shed or refused request is TYPED retriable (the line-JSON
+//     `overloaded` shape with retry_after_ms), never a silent drop with
+//     the connection left readable;
+//   * the proof cache snapshot + journal written under fire load back
+//     cleanly into a fresh cache (no corrupt cache loads);
+//   * tail latency stays bounded (p99 under --p99-budget-ms).
+//
+// Modes:
+//   chaos_replay                       self-hosting: in-process Server on
+//                                      a loopback port, tight admission
+//                                      limits, faults armed in-process
+//   chaos_replay --connect HOST:PORT   hammer a live `crnc serve`
+//                                      (arm its faults via --faults)
+//
+// Exits 0 when every assertion holds, 1 otherwise.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "svc/proof_cache.h"
+#include "svc/server.h"
+#include "svc/service.h"
+#include "util/fault_injector.h"
+#include "util/hash.h"
+#include "util/json_value.h"
+
+namespace {
+
+using crnkit::util::JsonValue;
+using crnkit::util::splitmix64;
+
+/// The default armed fault classes for the self-hosting mode: every
+/// server-side failpoint plus journal short-writes, at rates high enough
+/// that 1k requests hit each class many times.
+constexpr const char* kDefaultFaults =
+    "server.accept=prob:0.02,server.read.reset=prob:0.03,"
+    "server.write.reset=prob:0.03,server.dispatch.delay=prob:0.05:arg=5,"
+    "cache.journal.short_write=prob:0.05:arg=16";
+
+struct Tally {
+  std::size_t completed = 0;    ///< requests that got a full JSON reply
+  std::size_t sheds = 0;        ///< typed retriable overloaded replies
+  std::size_t untyped = 0;      ///< refusals NOT carrying the typed shape
+  std::size_t resets = 0;       ///< connection resets (reconnect + retry)
+  std::size_t retries = 0;
+  std::size_t hard_failures = 0;  ///< retry budget exhausted
+  std::vector<double> latencies_ms;
+};
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+  double uniform() {
+    state_ = splitmix64(state_ + 0x9e3779b97f4a7c15ULL);
+    return static_cast<double>(state_ >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Blocking line client; throws std::runtime_error on any socket fault so
+/// the chaos loop can count the reset and reconnect.
+class LineClient {
+ public:
+  LineClient(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd_);
+      throw std::runtime_error("cannot connect");
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  std::string roundtrip(const std::string& line) {
+    const std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) throw std::runtime_error("send failed");
+      sent += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string response = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return response;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) throw std::runtime_error("connection closed mid-reply");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// The mixed request stream: mostly cheap cached verifies, with shows,
+/// pings, and small simulates mixed in — the shapes a real client sends.
+std::string pick_request(Prng& prng) {
+  const double u = prng.uniform();
+  if (u < 0.45) return R"({"op": "verify", "target": "fig1/min"})";
+  if (u < 0.65) return R"({"op": "verify", "target": "fig1/twice"})";
+  if (u < 0.80) return R"({"op": "show", "target": "fig1/min"})";
+  if (u < 0.90) return R"({"op": "ping"})";
+  return R"({"op": "simulate", "target": "fig1/twice", "trajectories": 2,)"
+         R"( "max_events": 20000})";
+}
+
+/// One request with reconnect-on-reset and backoff-on-overload. Updates
+/// the tally; returns when the request completed, was typed-shed past the
+/// retry budget, or hard-failed.
+void drive_one(const std::string& host, int port, const std::string& request,
+               std::optional<LineClient>& client, Prng& prng, Tally& tally) {
+  constexpr int kMaxAttempts = 8;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (!client) client.emplace(host, port);
+      const std::string response = client->roundtrip(request);
+      const JsonValue v = JsonValue::parse(response);
+      if (v.get_string("error", "") == "overloaded") {
+        ++tally.sheds;
+        if (!v.get_bool("retriable", false) ||
+            v.get_int("retry_after_ms", 0) <= 0) {
+          ++tally.untyped;
+          return;  // contract violation — recorded, no point retrying
+        }
+        if (attempt >= kMaxAttempts) return;  // budget spent on backpressure
+        ++tally.retries;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            static_cast<double>(v.get_int("retry_after_ms", 10)) *
+            (0.5 + 0.5 * prng.uniform())));
+        continue;
+      }
+      ++tally.completed;
+      tally.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      return;
+    } catch (const std::exception&) {
+      // Socket fault (armed accept drop / read reset / write reset, or a
+      // torn reply): reconnect and retry.
+      client.reset();
+      ++tally.resets;
+      if (attempt >= kMaxAttempts) {
+        ++tally.hard_failures;
+        return;
+      }
+      ++tally.retries;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          5.0 * (0.5 + 0.5 * prng.uniform())));
+    }
+  }
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  return sorted[static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1))];
+}
+
+int run(int argc, char** argv) {
+  std::size_t count = 1200;
+  std::size_t threads = 4;
+  std::uint64_t seed = 1;
+  double p99_budget_ms = 30'000;
+  std::optional<std::string> connect;
+  std::string faults = kDefaultFaults;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--count") {
+      count = std::stoull(need_value("--count"));
+    } else if (arg == "--threads") {
+      threads = std::max<std::size_t>(1, std::stoull(need_value("--threads")));
+    } else if (arg == "--seed") {
+      seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--connect") {
+      connect = need_value("--connect");
+    } else if (arg == "--faults") {
+      faults = need_value("--faults");
+    } else if (arg == "--p99-budget-ms") {
+      p99_budget_ms = std::stod(need_value("--p99-budget-ms"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_replay [--count N] [--threads N] [--seed S] "
+                   "[--connect HOST:PORT] [--faults SPEC] "
+                   "[--p99-budget-ms N]\n");
+      return 2;
+    }
+  }
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::optional<crnkit::svc::Service> service;
+  std::optional<crnkit::svc::Server> server;
+  std::string journal_path;
+  std::string snapshot_path;
+  if (connect) {
+    const auto colon = connect->rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "chaos_replay: --connect wants HOST:PORT\n");
+      return 2;
+    }
+    host = connect->substr(0, colon);
+    port = std::stoi(connect->substr(colon + 1));
+  } else {
+    // Self-hosting: tight admission limits so the inflight and connection
+    // gates actually fire under the single-threaded driver, journal armed
+    // so its failpoints have something to hit.
+    const std::string dir = [] {
+      const char* env = std::getenv("TMPDIR");
+      return std::string(env != nullptr ? env : "/tmp");
+    }();
+    journal_path =
+        dir + "/chaos_cache_journal." + std::to_string(::getpid());
+    snapshot_path =
+        dir + "/chaos_cache_snapshot." + std::to_string(::getpid());
+    crnkit::util::FaultInjector::instance().configure(faults);
+    crnkit::svc::Service::Options service_options;
+    service_options.default_deadline_ms = 10'000;
+    service.emplace(service_options);
+    service->proof_cache().enable_journal(journal_path);
+    crnkit::svc::Server::Options server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.max_connections = 32;
+    server_options.max_inflight = 2;
+    server_options.retry_after_ms = 5;
+    server.emplace(*service, server_options);
+    server->start();
+    port = server->port();
+  }
+
+  // Concurrent drivers so the inflight gate actually sheds (self-host
+  // mode caps it at 2); each worker gets its own connection, PRNG
+  // stream, and tally, merged afterwards.
+  std::vector<Tally> tallies(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Prng prng(seed + w * 0x51ed2701ULL);
+      Tally& tally = tallies[w];
+      std::optional<LineClient> client;
+      const std::size_t quota = count / threads + (w < count % threads);
+      for (std::size_t i = 0; i < quota; ++i) {
+        // Fresh connections now and then so the accept failpoint and the
+        // connection gate see steady traffic.
+        if (i % 16 == 0) client.reset();
+        drive_one(host, port, pick_request(prng), client, prng, tally);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  Tally tally;
+  for (const Tally& t : tallies) {
+    tally.completed += t.completed;
+    tally.sheds += t.sheds;
+    tally.untyped += t.untyped;
+    tally.resets += t.resets;
+    tally.retries += t.retries;
+    tally.hard_failures += t.hard_failures;
+    tally.latencies_ms.insert(tally.latencies_ms.end(),
+                              t.latencies_ms.begin(), t.latencies_ms.end());
+  }
+
+  bool corrupt_cache = false;
+  std::size_t replayed = 0;
+  if (server) {
+    server->stop();
+    // The durability check: what the cache persisted under fire must load
+    // cleanly into a fresh instance. Disarm faults first — this is the
+    // recovery path, not the chaos path.
+    crnkit::util::FaultInjector::instance().reset();
+    try {
+      service->proof_cache().save(snapshot_path);
+      crnkit::svc::ProofCache fresh;
+      fresh.load(snapshot_path);
+      replayed = fresh.replay_journal(journal_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos_replay: corrupt cache: %s\n", e.what());
+      corrupt_cache = true;
+    }
+    ::unlink(journal_path.c_str());
+    ::unlink(snapshot_path.c_str());
+  }
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  const double p50 = percentile(tally.latencies_ms, 0.50);
+  const double p99 = percentile(tally.latencies_ms, 0.99);
+
+  const auto fault_stats = crnkit::util::FaultInjector::instance().stats();
+  std::printf("chaos_replay: %zu requests -> %zu completed, %zu shed, "
+              "%zu resets, %zu retries, %zu hard failures\n",
+              count, tally.completed, tally.sheds, tally.resets,
+              tally.retries, tally.hard_failures);
+  std::printf("  latency: p50 %.1f ms, p99 %.1f ms (budget %.0f ms)\n", p50,
+              p99, p99_budget_ms);
+  std::printf("  journal replay after the run: %zu entries\n", replayed);
+  for (const auto& s : fault_stats) {
+    std::printf("  fault %-28s hits=%llu fired=%llu\n", s.site.c_str(),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.fired));
+  }
+
+  bool ok = true;
+  if (tally.completed == 0) {
+    std::fprintf(stderr, "chaos_replay: FAIL — nothing completed\n");
+    ok = false;
+  }
+  if (tally.untyped > 0) {
+    std::fprintf(stderr,
+                 "chaos_replay: FAIL — %zu refusals were not typed "
+                 "retriable overloaded responses\n",
+                 tally.untyped);
+    ok = false;
+  }
+  if (tally.hard_failures > 0) {
+    std::fprintf(stderr,
+                 "chaos_replay: FAIL — %zu requests exhausted the retry "
+                 "budget\n",
+                 tally.hard_failures);
+    ok = false;
+  }
+  if (corrupt_cache) {
+    std::fprintf(stderr,
+                 "chaos_replay: FAIL — cache persisted under faults did "
+                 "not load back\n");
+    ok = false;
+  }
+  if (p99 > p99_budget_ms) {
+    std::fprintf(stderr,
+                 "chaos_replay: FAIL — p99 %.1f ms above the %.0f ms "
+                 "budget\n",
+                 p99, p99_budget_ms);
+    ok = false;
+  }
+  std::printf("chaos_replay: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos_replay: %s\n", e.what());
+    return 1;
+  }
+}

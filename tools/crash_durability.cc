@@ -1,0 +1,293 @@
+// crash_durability: kill -9 the persistence paths mid-write and prove
+// recovery. For each durable artifact — the proof-cache snapshot, the
+// proof-cache journal, and the exploration checkpoint — the harness:
+//
+//   1. writes a known-good state A (no faults armed);
+//   2. forks a child that arms a `<site>.crash=at:OFFSET` failpoint and
+//      attempts to write state B — the failpoint raises SIGKILL once the
+//      writer crosses that byte offset, so the child dies mid-write at a
+//      deterministic position;
+//   3. asserts the child actually died of SIGKILL, then reloads the
+//      artifact in the parent: it must be either state A (crash before
+//      the atomic rename / torn journal tail discarded) or a fully
+//      consistent state B — never an error, never a torn file.
+//
+// Offsets sweep from inside the header to past the first payload chunk so
+// crashes land in every region of each format. Exits 0 when every
+// scenario recovers, 1 otherwise.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "svc/proof_cache.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
+#include "verify/checkpoint.h"
+#include "verify/reachability.h"
+
+namespace {
+
+using crnkit::svc::ProofCache;
+using crnkit::svc::ProofKey;
+using crnkit::svc::ProofVerdict;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::fprintf(stderr, "  FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+std::string tmp_path(const std::string& stem) {
+  const char* env = std::getenv("TMPDIR");
+  return std::string(env != nullptr ? env : "/tmp") + "/" + stem + "." +
+         std::to_string(::getpid());
+}
+
+/// Runs `body` in a forked child with `faults` armed and asserts the
+/// child was killed by SIGKILL (the crash failpoint fired). Returns false
+/// when the child survived or died differently.
+template <typename Body>
+bool run_crashing_child(const std::string& faults, Body&& body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    // Child: arm the failpoint, run the write. The SIGKILL inside the
+    // write path is the expected exit; reaching _exit(0) means the
+    // failpoint never fired.
+    try {
+      crnkit::util::FaultInjector::instance().configure(faults);
+      body();
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+ProofVerdict make_verdict(std::size_t configs, bool complete) {
+  ProofVerdict v;
+  v.ok = true;
+  v.complete = complete;
+  v.budget = configs * 2;
+  v.num_configs = configs;
+  v.num_edges = configs * 3;
+  return v;
+}
+
+ProofKey make_key(std::uint64_t crn_hash, std::int64_t x0) {
+  ProofKey key;
+  key.crn_hash = crn_hash;
+  key.x = {x0, x0 + 1};
+  key.expected = x0 * 2;
+  return key;
+}
+
+/// Cache entries for state A (and extras for the child's state B).
+void fill_cache(ProofCache& cache, std::size_t n, std::uint64_t tag) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cache.insert(make_key(tag + i, static_cast<std::int64_t>(i)),
+                 make_verdict(100 + i, /*complete=*/true));
+  }
+}
+
+void cache_snapshot_scenario() {
+  std::printf("scenario: proof-cache snapshot crash mid-write\n");
+  const std::string path = tmp_path("crashdur_cache");
+  ProofCache cache;
+  fill_cache(cache, 8, 0x1000);
+  cache.save(path);  // state A, clean
+
+  for (const std::uint64_t offset : {1ull, 64ull, 600ull, 1800ull}) {
+    const bool killed = run_crashing_child(
+        "cache.save.crash=at:" + std::to_string(offset), [&] {
+          ProofCache child_cache;
+          fill_cache(child_cache, 16, 0x2000);  // state B, bigger
+          child_cache.save(path);
+        });
+    check(killed, "cache.save crash at offset " + std::to_string(offset) +
+                      " killed the child");
+    // Recovery: the destination must still be state A, byte-consistent.
+    try {
+      ProofCache fresh;
+      const std::size_t loaded = fresh.load(path);
+      check(loaded == 8, "snapshot still loads state A (8 entries, got " +
+                             std::to_string(loaded) + ")");
+    } catch (const std::exception& e) {
+      check(false, std::string("snapshot load threw: ") + e.what());
+    }
+  }
+
+  // crash_before_rename: the full temp file is written and fsync'd but
+  // the rename never happens — the destination must still be state A.
+  const bool killed = run_crashing_child(
+      "cache.save.crash_before_rename=always", [&] {
+        ProofCache child_cache;
+        fill_cache(child_cache, 16, 0x2000);
+        child_cache.save(path);
+      });
+  check(killed, "cache.save crash_before_rename killed the child");
+  try {
+    ProofCache fresh;
+    check(fresh.load(path) == 8, "snapshot untouched before the rename");
+  } catch (const std::exception& e) {
+    check(false, std::string("snapshot load threw: ") + e.what());
+  }
+
+  // A clean rewrite after all those crashes must fully replace it.
+  ProofCache replacement;
+  fill_cache(replacement, 16, 0x2000);
+  replacement.save(path);
+  ProofCache fresh;
+  check(fresh.load(path) == 16, "clean save after crashes reaches state B");
+  ::unlink(path.c_str());
+}
+
+void cache_journal_scenario() {
+  std::printf("scenario: proof-cache journal crash mid-append\n");
+  const std::string path = tmp_path("crashdur_journal");
+
+  // State A: two journaled inserts, no faults.
+  {
+    ProofCache cache;
+    cache.enable_journal(path);
+    fill_cache(cache, 2, 0x3000);
+  }
+  {
+    ProofCache fresh;
+    check(fresh.replay_journal(path) == 2, "journal replays state A");
+  }
+
+  for (const std::uint64_t offset : {1ull, 40ull, 200ull}) {
+    const bool killed = run_crashing_child(
+        "cache.journal.crash=at:" + std::to_string(offset), [&] {
+          ProofCache child_cache;
+          child_cache.enable_journal(path);
+          // Appends until the cumulative offset crosses the failpoint.
+          fill_cache(child_cache, 64, 0x4000);
+        });
+    check(killed, "journal crash at offset " + std::to_string(offset) +
+                      " killed the child");
+    ProofCache fresh;
+    std::size_t replayed = 0;
+    try {
+      replayed = fresh.replay_journal(path);
+    } catch (const std::exception& e) {
+      check(false, std::string("journal replay threw: ") + e.what());
+      continue;
+    }
+    // Valid-prefix: at least state A, never a failure; the torn tail
+    // (if the crash landed mid-line) is silently discarded.
+    check(replayed >= 2, "journal keeps the valid prefix (replayed " +
+                             std::to_string(replayed) + ")");
+    // The journal must still accept appends after a torn tail, and the
+    // new record must replay.
+    ProofCache appender;
+    appender.enable_journal(path);
+    appender.insert(make_key(0x5000 + offset, 1), make_verdict(7, true));
+    ProofCache fresh2;
+    check(fresh2.replay_journal(path) >= replayed,
+          "journal still appends and replays after a torn tail");
+  }
+  ::unlink(path.c_str());
+}
+
+void checkpoint_scenario() {
+  std::printf("scenario: exploration checkpoint crash mid-save\n");
+  const std::string path = tmp_path("crashdur_ckpt");
+  const crnkit::scenario::Scenario scenario =
+      crnkit::scenario::Registry::builtin().build("fig1/min");
+  const crnkit::crn::Config initial =
+      scenario.crn.initial_configuration(scenario.verify_points.front());
+
+  // State A: a cancelled exploration checkpoints at its first level
+  // boundary — a small but complete, checksummed checkpoint file.
+  crnkit::util::CancelToken cancelled;
+  cancelled.cancel();
+  crnkit::verify::ExploreOptions options;
+  options.max_configs = 10'000;
+  options.threads = 1;
+  options.cancel = &cancelled;
+  options.checkpoint_path = path;
+  (void)crnkit::verify::explore(scenario.crn, initial, options);
+
+  crnkit::verify::ExploreCheckpoint state_a;
+  std::string error;
+  check(crnkit::verify::load_checkpoint(path, &state_a, &error),
+        "state A checkpoint loads (" + error + ")");
+
+  // Crash offsets scaled to the actual file: a fixed list risks offsets
+  // past the end of a small checkpoint, where the failpoint never fires
+  // and the child exits cleanly.
+  std::uint64_t size = 0;
+  {
+    struct ::stat st {};
+    if (::stat(path.c_str(), &st) == 0) {
+      size = static_cast<std::uint64_t>(st.st_size);
+    }
+  }
+  check(size > 16, "state A checkpoint is non-trivial (" +
+                       std::to_string(size) + " bytes)");
+  for (const std::uint64_t offset :
+       {std::uint64_t{1}, size / 4, size / 2, size - 8}) {
+    const bool killed = run_crashing_child(
+        "checkpoint.save.crash=at:" + std::to_string(offset), [&] {
+          crnkit::util::CancelToken token;
+          token.cancel();
+          crnkit::verify::ExploreOptions child_options;
+          child_options.max_configs = 10'000;
+          child_options.threads = 1;
+          child_options.cancel = &token;
+          child_options.checkpoint_path = path;
+          (void)crnkit::verify::explore(scenario.crn, initial,
+                                        child_options);
+        });
+    check(killed, "checkpoint crash at offset " + std::to_string(offset) +
+                      " killed the child");
+    crnkit::verify::ExploreCheckpoint recovered;
+    error.clear();
+    const bool loaded =
+        crnkit::verify::load_checkpoint(path, &recovered, &error);
+    check(loaded, "checkpoint still loads after the crash (" + error + ")");
+    if (loaded) {
+      check(recovered.pool.size() == state_a.pool.size() &&
+                recovered.level_begin == state_a.level_begin &&
+                recovered.level_end == state_a.level_end,
+            "recovered checkpoint is bit-consistent with state A");
+    }
+  }
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  cache_snapshot_scenario();
+  cache_journal_scenario();
+  checkpoint_scenario();
+  if (g_failures > 0) {
+    std::fprintf(stderr, "crash_durability: FAIL (%d checks failed)\n",
+                 g_failures);
+    return 1;
+  }
+  std::printf("crash_durability: PASS\n");
+  return 0;
+}

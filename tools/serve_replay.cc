@@ -35,6 +35,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -56,6 +57,7 @@ using crnkit::util::splitmix64;
 struct PassReport {
   std::size_t requests = 0;
   std::size_t errors = 0;
+  std::size_t retries = 0;  ///< overloaded/reset retries (connect mode)
   double wall_seconds = 0;
   double requests_per_sec = 0;
   double p50_us = 0;
@@ -204,6 +206,77 @@ class LineClient {
   std::string buffer_;
 };
 
+/// LineClient with fault handling: typed retriable `overloaded` responses
+/// back off (jittered exponential, seeded by the response's
+/// retry_after_ms) and retry; a connection reset reconnects and retries.
+/// Both draw from a per-request attempt budget — when it runs out the
+/// last response (or the reset) is surfaced so the caller sees the
+/// overload instead of an infinite retry loop.
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, int port, std::uint64_t seed)
+      : host_(std::move(host)), port_(port), prng_(seed) {
+    client_.emplace(host_, port_);
+  }
+
+  std::string roundtrip(const std::string& line) {
+    int attempt = 0;
+    for (;;) {
+      try {
+        if (!client_) client_.emplace(host_, port_);
+        const std::string response = client_->roundtrip(line);
+        const long retry_after_ms = retriable_after_ms(response);
+        if (retry_after_ms < 0 || attempt >= kMaxAttempts) return response;
+        ++attempt;
+        ++retries_;
+        backoff(attempt, retry_after_ms);
+      } catch (const std::runtime_error&) {
+        client_.reset();
+        if (attempt >= kMaxAttempts) throw;
+        ++attempt;
+        ++retries_;
+        backoff(attempt, 50);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+
+ private:
+  static constexpr int kMaxAttempts = 5;
+
+  /// retry_after_ms of a typed retriable shed response, -1 otherwise.
+  static long retriable_after_ms(const std::string& response) {
+    if (response.find("\"overloaded\"") == std::string::npos) return -1;
+    try {
+      const crnkit::util::JsonValue v =
+          crnkit::util::JsonValue::parse(response);
+      if (v.get_string("error", "") != "overloaded" ||
+          !v.get_bool("retriable", false)) {
+        return -1;
+      }
+      return static_cast<long>(v.get_int("retry_after_ms", 50));
+    } catch (const std::invalid_argument&) {
+      return -1;
+    }
+  }
+
+  void backoff(int attempt, long base_ms) {
+    if (base_ms <= 0) base_ms = 50;
+    const double jitter = 0.5 + 0.5 * prng_.uniform();  // half to full
+    const double ms =
+        static_cast<double>(base_ms) * static_cast<double>(1 << (attempt - 1)) *
+        jitter;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+
+  std::string host_;
+  int port_;
+  Prng prng_;
+  std::optional<LineClient> client_;
+  std::size_t retries_ = 0;
+};
+
 template <typename Dispatch>
 PassReport run_pass(const std::vector<std::string>& requests,
                     Dispatch&& dispatch) {
@@ -251,6 +324,7 @@ void write_pass(crnkit::util::JsonWriter& w, const char* key,
       .begin_object()
       .kv("requests", report.requests)
       .kv("errors", report.errors)
+      .kv("retries", report.retries)
       .kv_fixed("wall_seconds", report.wall_seconds, 6)
       .kv_fixed("requests_per_sec", report.requests_per_sec, 2)
       .kv_fixed("p50_us", report.p50_us, 2)
@@ -341,16 +415,18 @@ int run(int argc, char** argv) {
           parse_counters(client.roundtrip("{\"op\": \"metrics\"}"));
     }
     {
-      LineClient client(host, port);
+      RetryingClient client(host, port, seed);
       cold = run_pass(requests, [&](const std::string& line) {
         return client.roundtrip(line);
       });
+      cold.retries = client.retries();
     }
     {
-      LineClient client(host, port);
+      RetryingClient client(host, port, seed + 1);
       warm = run_pass(requests, [&](const std::string& line) {
         return client.roundtrip(line);
       });
+      warm.retries = client.retries();
     }
     if (scrape || metrics_out) {
       LineClient client(host, port);
