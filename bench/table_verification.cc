@@ -26,6 +26,9 @@
 #include <utility>
 
 #include "bench_table.h"
+#include "lint/analyzer.h"
+#include "lint/guide.h"
+#include "math/check.h"
 #include "scenario/registry.h"
 #include "util/task_pool.h"
 #include "verify/reachability.h"
@@ -219,6 +222,28 @@ void print_artifacts() {
                        static_cast<double>(arena_edges) / arena_s, arena_s,
                        arena_edges});
 
+    // Invariant-guided exploration (the static analyzer's conservation
+    // laws feeding per-species bounds + arena/hash presizing). Bounds are
+    // invariants of exact exploration, so the graph is bit-identical —
+    // asserted below; the delta is pure perf (skipped shard rehashes).
+    const lint::InvariantGuide guide = lint::make_guide(s.crn, initial);
+    verify::ExploreOptions guided_options{max_configs};
+    guided_options.species_bounds = &guide.bounds;
+    guided_options.expected_configs = guide.reachable_bound;
+    double inv_s = 1e300;
+    std::size_t inv_bytes = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto graph_inv = verify::explore(s.crn, initial, guided_options);
+      inv_s = std::min(inv_s, seconds_since(t0));
+      inv_bytes = graph_inv.stats.arena_bytes;
+      ensure(graph_inv.size() == arena_configs &&
+                 graph_inv.edge_count() == arena_edges,
+             "guided exploration diverged from unguided on " + label);
+    }
+    records.push_back({"arena-inv/" + label, n / inv_s, inv_s,
+                       arena_configs});
+
     // The task-pool thread sweep: same workload, same budget, explicit
     // worker counts. The explorer guarantees the graphs are bit-identical
     // across the sweep; the configs/s column is the scaling story.
@@ -265,6 +290,7 @@ void print_artifacts() {
     }
 
     const double bytes_per_config = static_cast<double>(arena_bytes) / n;
+    const double inv_bytes_per_config = static_cast<double>(inv_bytes) / n;
     const double speedup =
         fast ? 0.0
              : (legacy_s / static_cast<double>(legacy_configs)) /
@@ -274,7 +300,9 @@ void print_artifacts() {
                     complete ? "complete" : "truncated",
                     fast ? "-" : bench::fmt(legacy_s), bench::fmt(arena_s),
                     fast ? "-" : bench::fmt(speedup),
-                    bench::fmt(bytes_per_config)});
+                    bench::fmt(inv_s), bench::fmt(arena_s / inv_s),
+                    bench::fmt(bytes_per_config),
+                    bench::fmt(inv_bytes_per_config)});
 
     if (!fast) {
       records.push_back({"legacy/" + label,
@@ -287,13 +315,21 @@ void print_artifacts() {
     std::snprintf(buf, sizeof(buf), "\"peak_bytes_per_config_%s\": %.1f",
                   key.c_str(), bytes_per_config);
     extra.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "\"inv_speedup_%s\": %.2f", key.c_str(),
+                  arena_s / inv_s);
+    extra.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "\"inv_peak_bytes_per_config_%s\": %.1f", key.c_str(),
+                  inv_bytes_per_config);
+    extra.emplace_back(buf);
   }
 
   bench::print_table(
-      "Exact verification: arena explorer vs the pre-PR explorer "
-      "(equal max_configs)",
+      "Exact verification: arena explorer vs the pre-PR explorer, plus "
+      "invariant-guided runs (equal max_configs; guided graphs "
+      "bit-identical)",
       {"workload", "configs", "edges", "exploration", "legacy_s", "arena_s",
-       "speedup", "B/config"},
+       "speedup", "inv_s", "inv_x", "B/config", "inv_B/cfg"},
       rows, 14);
   if (!mt_rows.empty()) {
     bench::print_table(
@@ -368,6 +404,30 @@ void print_artifacts() {
       records.push_back({"proof/" + label,
                          static_cast<double>(check.num_configs) / proof_s,
                          proof_s, check.num_configs});
+
+      // The same proof, invariant-guided (the production `crnc verify`
+      // path): verdict and graph must match exactly.
+      const std::vector<lint::ConservationLaw> laws =
+          lint::extract_conservation_laws(s.crn);
+      verify::StableCheckOptions inv_options = options;
+      inv_options.invariants = &laws;
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto check_inv = verify::check_stable_computation(
+          s.crn, proof_case.second, expected, inv_options);
+      const double proof_inv_s = seconds_since(t1);
+      ensure(check_inv.ok == check.ok &&
+                 check_inv.num_configs == check.num_configs &&
+                 check_inv.num_edges == check.num_edges,
+             "guided proof diverged from unguided on " + label);
+      records.push_back(
+          {"proof-inv/" + label,
+           static_cast<double>(check_inv.num_configs) / proof_inv_s,
+           proof_inv_s, check_inv.num_configs});
+      char speed_buf[64];
+      std::snprintf(speed_buf, sizeof(speed_buf),
+                    "\"proof_inv_speedup_%s\": %.2f", key_of(label).c_str(),
+                    proof_s / proof_inv_s);
+      extra.emplace_back(speed_buf);
     }
     // Kept under its PR-3 key so baseline diffs line up.
     char buf[64];

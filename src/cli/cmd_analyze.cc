@@ -1,0 +1,86 @@
+// crnc analyze: the static CRN analyzer (src/lint) over one workload or
+// the whole registry (--all). Prints conservation laws with their integer
+// certificates, the Lemma 2.3 composability screen, and severity-typed
+// diagnostics; with an input point available it also derives the invariant
+// guide (per-species bounds, reachable-set bound, "x1 + y = 5"
+// certificates) that invariant-guided verification feeds the explorer.
+// Exit is non-zero iff a scenario NOT tagged unverifiable has an
+// error-severity finding — the registry-wide static gate.
+#include <fstream>
+#include <ostream>
+
+#include "cli/commands.h"
+#include "lint/diagnostics.h"
+#include "svc/serialize.h"
+#include "svc/service.h"
+
+namespace crnkit::cli {
+
+namespace {
+
+void print_report(std::ostream& out, const svc::AnalyzeScenarioReport& r) {
+  out << lint::render_text(r.report);
+  if (r.unverifiable) {
+    out << "tagged unverifiable: error findings are expected here\n";
+  }
+  if (!r.input.empty()) {
+    out << "invariant guide at x = (" << r.input << "):\n";
+    for (const std::string& cert : r.certificates) {
+      out << "  " << cert << "\n";
+    }
+    if (r.reachable_bound >= 0) {
+      out << "  reachable configurations <= " << r.reachable_bound << "\n";
+    } else {
+      out << "  reachable-set bound: none (some species unbounded)\n";
+    }
+  }
+}
+
+}  // namespace
+
+int cmd_analyze(Args& args, std::ostream& out) {
+  const bool json = args.take_flag("json");
+
+  svc::AnalyzeRequest request;
+  request.all = args.take_flag("all");
+  request.input = args.take_option("input");
+  const std::string out_path = args.take_option("out").value_or("");
+  const auto target = args.take_positional();
+  args.finish();
+  if (!request.all) {
+    if (!target) {
+      throw std::invalid_argument(
+          "analyze needs a scenario or file (or --all)");
+    }
+    request.target = *target;
+  }
+
+  svc::Service service;
+  const svc::AnalyzeResponse response = service.analyze(request);
+  const std::string rendered = svc::to_json(response);
+
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    if (!file) {
+      throw std::invalid_argument("cannot write '" + out_path + "'");
+    }
+    file << rendered << "\n";
+  }
+
+  if (json) {
+    out << rendered << "\n";
+    return response.ok ? 0 : 1;
+  }
+
+  for (std::size_t i = 0; i < response.reports.size(); ++i) {
+    if (i > 0) out << "\n";
+    print_report(out, response.reports[i]);
+  }
+  out << "\n"
+      << response.reports.size() << " network(s) analyzed: "
+      << response.errors << " error(s) in verifiable scenarios, "
+      << response.warnings << " warning(s)\n";
+  return response.ok ? 0 : 1;
+}
+
+}  // namespace crnkit::cli

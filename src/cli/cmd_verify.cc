@@ -22,6 +22,7 @@ int cmd_verify(Args& args, std::ostream& out) {
   request.force = args.take_flag("force");
   request.stats = args.take_flag("stats");
   request.use_cache = !args.take_flag("no-cache");
+  request.use_invariants = !args.take_flag("no-invariants");
   request.grid = args.take_option("grid");
   request.input = args.take_option("input");
   request.expect = args.take_option("expect");

@@ -28,6 +28,7 @@ class ScopedTrace {
   std::string path_;
 };
 
+int cmd_analyze(Args& args, std::ostream& out);
 int cmd_list(Args& args, std::ostream& out);
 int cmd_show(Args& args, std::ostream& out);
 int cmd_compile(Args& args, std::ostream& out);

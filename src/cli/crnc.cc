@@ -36,11 +36,16 @@ commands:
       [--method silent|direct|next-reaction|population]
       [--max-steps N] [--max-events N] [--deadline-ms N]
       [--json] [--trace out.json]
+  analyze <scenario|file.crn> static analysis: conservation laws with
+                              integer certificates, composability screen
+                              (Lemma 2.3), severity-typed diagnostics, and
+                              the invariant guide fed to verification
+      [--all] [--input X1,X2,...] [--out FILE] [--json]
   verify <scenario|file.crn>  exact stable-computation check
       [--grid N | --input X1,X2,... [--expect V]] [--max-configs N]
       [--threads T] [--stats] [--force] [--deadline-ms N]
-      [--checkpoint FILE [--checkpoint-every-secs N] [--resume]]
-      [--json] [--trace out.json]
+      [--no-invariants] [--checkpoint FILE
+      [--checkpoint-every-secs N] [--resume]] [--json] [--trace out.json]
   bench <scenario|file.crn>   ensemble throughput measurement
       [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
       [--threads T] [--method ...] [--json]
@@ -112,6 +117,7 @@ int run_crnc(const std::vector<std::string>& args, std::ostream& out,
   const std::string command = args[0];
   Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
   try {
+    if (command == "analyze") return cmd_analyze(rest, out);
     if (command == "list") return cmd_list(rest, out);
     if (command == "show") return cmd_show(rest, out);
     if (command == "compile") return cmd_compile(rest, out);

@@ -1,0 +1,311 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "crn/invariants.h"
+#include "math/matrix.h"
+
+namespace crnkit::lint {
+
+namespace {
+
+using crn::Crn;
+using crn::Reaction;
+using crn::SpeciesId;
+using crn::Term;
+using math::Int;
+
+std::string render_law(const Crn& crn, const std::vector<Int>& w) {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t s = 0; s < w.size(); ++s) {
+    if (w[s] == 0) continue;
+    const Int mag = w[s] < 0 ? -w[s] : w[s];
+    if (first) {
+      if (w[s] < 0) os << "-";
+    } else {
+      os << (w[s] < 0 ? " - " : " + ");
+    }
+    if (mag != 1) os << mag << " ";
+    os << crn.species_name(static_cast<SpeciesId>(s));
+    first = false;
+  }
+  return first ? "0" : os.str();
+}
+
+std::string render_reaction(const Crn& crn, std::size_t index) {
+  return crn.reactions()[index].to_string(crn.species_table());
+}
+
+void extract_laws(const Crn& crn, AnalysisReport& report) {
+  const auto basis =
+      math::integer_nullspace(crn::stoichiometry_matrix(crn));
+  for (const auto& w : basis) {
+    ConservationLaw law;
+    law.weights = w;
+    law.rendering = render_law(crn, w);
+    law.semiflow = std::all_of(w.begin(), w.end(),
+                               [](const Int x) { return x >= 0; });
+    report.laws.push_back(std::move(law));
+  }
+}
+
+void species_diagnostics(const Crn& crn, AnalysisReport& report) {
+  const std::size_t n = crn.species_count();
+  std::vector<bool> read(n, false), written(n, false), has_role(n, false);
+  for (const SpeciesId s : crn.inputs()) has_role[s] = true;
+  if (crn.output()) has_role[*crn.output()] = true;
+  if (crn.leader()) has_role[*crn.leader()] = true;
+  for (const Reaction& r : crn.reactions()) {
+    for (const Term& t : r.reactants()) read[t.species] = true;
+    for (const Term& t : r.products()) written[t.species] = true;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::string& name = crn.species_name(static_cast<SpeciesId>(s));
+    if (!read[s] && !written[s] && !has_role[s]) {
+      report.diagnostics.push_back(
+          {Severity::kInfo, "dead-species",
+           "species " + name + " appears in no reaction and has no role", -1,
+           name});
+    } else if (written[s] && !read[s] &&
+               (!crn.output() || *crn.output() != s)) {
+      report.diagnostics.push_back(
+          {Severity::kInfo, "write-only-species",
+           "species " + name +
+               " is produced but never consumed (accumulates; not the "
+               "output)",
+           -1, name});
+    }
+  }
+  // Unbounded-species note: species not covered by any P-semiflow may grow
+  // without bound, so BFS budgets (not invariants) are the only cap.
+  std::vector<std::string> uncovered;
+  bool non_output_uncovered = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    bool covered = false;
+    for (const ConservationLaw& law : report.laws) {
+      if (law.semiflow && law.weights[s] > 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered && (read[s] || written[s] || has_role[s])) {
+      uncovered.push_back(crn.species_name(static_cast<SpeciesId>(s)));
+      if (!crn.output() || *crn.output() != s) non_output_uncovered = true;
+    }
+  }
+  if (!uncovered.empty()) {
+    std::string list;
+    for (std::size_t i = 0; i < uncovered.size(); ++i) {
+      if (i > 0) list += ", ";
+      list += uncovered[i];
+    }
+    report.diagnostics.push_back(
+        {non_output_uncovered ? Severity::kWarn : Severity::kInfo,
+         "unbounded-species",
+         "no P-semiflow bounds: " + list +
+             " (reachable counts limited only by the exploration budget)",
+         -1, ""});
+  }
+}
+
+void reaction_diagnostics(const Crn& crn, AnalysisReport& report) {
+  const auto& reactions = crn.reactions();
+  // Duplicate / shadowed reactions. Term lists are normalized (merged,
+  // sorted) by the Reaction constructor, so direct comparison is exact.
+  const auto same_terms = [](const std::vector<Term>& a,
+                             const std::vector<Term>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].species != b[i].species || a[i].count != b[i].count) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (std::size_t j = 0; j < reactions.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (!same_terms(reactions[i].reactants(), reactions[j].reactants())) {
+        continue;
+      }
+      if (same_terms(reactions[i].products(), reactions[j].products())) {
+        report.diagnostics.push_back(
+            {Severity::kWarn, "duplicate-reaction",
+             "reaction #" + std::to_string(j) + " (" +
+                 render_reaction(crn, j) + ") duplicates reaction #" +
+                 std::to_string(i),
+             static_cast<int>(j), ""});
+      } else {
+        report.diagnostics.push_back(
+            {Severity::kInfo, "shadowed-reaction",
+             "reaction #" + std::to_string(j) + " (" +
+                 render_reaction(crn, j) +
+                 ") shares its reactant multiset with reaction #" +
+                 std::to_string(i) + " (the pair races nondeterministically)",
+             static_cast<int>(j), ""});
+      }
+      break;
+    }
+  }
+  // Statically unfirable reactions: least fixpoint of producible species
+  // starting from the declared initial pattern (inputs + leader). This is a
+  // count-insensitive over-approximation of producibility, so a species
+  // outside the closure provably always has count 0 — any reaction reading
+  // it can never fire. Skipped when the CRN declares no roles (the initial
+  // pattern is unknown for a bare .crn file).
+  if (crn.inputs().empty() && !crn.leader()) return;
+  std::vector<bool> producible(crn.species_count(), false);
+  for (const SpeciesId s : crn.inputs()) producible[s] = true;
+  if (crn.leader()) producible[*crn.leader()] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Reaction& r : reactions) {
+      const bool fireable =
+          std::all_of(r.reactants().begin(), r.reactants().end(),
+                      [&](const Term& t) { return producible[t.species]; });
+      if (!fireable) continue;
+      for (const Term& t : r.products()) {
+        if (!producible[t.species]) {
+          producible[t.species] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (std::size_t j = 0; j < reactions.size(); ++j) {
+    for (const Term& t : reactions[j].reactants()) {
+      if (producible[t.species]) continue;
+      report.diagnostics.push_back(
+          {Severity::kWarn, "unfirable-reaction",
+           "reaction #" + std::to_string(j) + " (" + render_reaction(crn, j) +
+               ") can never fire: species " + crn.species_name(t.species) +
+               " is never producible from the initial pattern",
+           static_cast<int>(j), crn.species_name(t.species)});
+      break;
+    }
+  }
+  // Output never produced: a declared output that no reaction produces and
+  // that is not an input can only ever compute 0 — almost certainly a
+  // broken module.
+  if (crn.output()) {
+    const SpeciesId y = *crn.output();
+    const bool is_input = std::find(crn.inputs().begin(), crn.inputs().end(),
+                                    y) != crn.inputs().end();
+    bool produced = false;
+    for (const Reaction& r : reactions) {
+      if (r.product_count(y) > 0) {
+        produced = true;
+        break;
+      }
+    }
+    if (!produced && !is_input) {
+      report.diagnostics.push_back(
+          {Severity::kError, "output-never-produced",
+           "output species " + crn.species_name(y) +
+               " is produced by no reaction and is not an input: the CRN "
+               "can only compute 0",
+           -1, crn.species_name(y)});
+    }
+  }
+}
+
+void composability_screen(const Crn& crn, AnalysisReport& report) {
+  CompositionScreen& screen = report.screen;
+  screen.output_declared = crn.output().has_value();
+  if (!screen.output_declared) return;
+  const SpeciesId y = *crn.output();
+  screen.oblivious = true;
+  const auto& reactions = crn.reactions();
+  for (std::size_t j = 0; j < reactions.size(); ++j) {
+    if (reactions[j].reactant_count(y) == 0) continue;
+    screen.oblivious = false;
+    screen.offending_reaction = static_cast<int>(j);
+    screen.offending_rendering = render_reaction(crn, j);
+    report.diagnostics.push_back(
+        {Severity::kWarn, "consumes-output",
+         "reaction #" + std::to_string(j) + " (" +
+             screen.offending_rendering + ") consumes the output species " +
+             crn.species_name(y) +
+             ": not composable as a module (Lemma 2.3) without "
+             "strip-and-recheck certification",
+         static_cast<int>(j), crn.species_name(y)});
+    break;
+  }
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+std::size_t AnalysisReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<ConservationLaw> extract_conservation_laws(const crn::Crn& crn) {
+  AnalysisReport report;
+  extract_laws(crn, report);
+  return std::move(report.laws);
+}
+
+AnalysisReport analyze(const crn::Crn& crn) {
+  AnalysisReport report;
+  report.crn_name = crn.name();
+  report.species = crn.species_count();
+  report.reactions = crn.reactions().size();
+  extract_laws(crn, report);
+  composability_screen(crn, report);
+  species_diagnostics(crn, report);
+  reaction_diagnostics(crn, report);
+  // Errors first, then warnings, then notes; stable within a severity.
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return report;
+}
+
+std::string render_text(const AnalysisReport& report) {
+  std::ostringstream os;
+  os << report.crn_name << ": " << report.species << " species, "
+     << report.reactions << " reactions\n";
+  os << "conservation laws (" << report.laws.size() << "):\n";
+  for (const ConservationLaw& law : report.laws) {
+    os << "  " << law.rendering << " = const"
+       << (law.semiflow ? "  [semiflow]" : "") << "\n";
+  }
+  if (report.screen.output_declared) {
+    if (report.screen.oblivious) {
+      os << "composability: output-oblivious (composable, Obs. 2.2)\n";
+    } else {
+      os << "composability: NOT output-oblivious; reaction #"
+         << report.screen.offending_reaction << " ("
+         << report.screen.offending_rendering
+         << ") consumes the output (Lemma 2.3)\n";
+    }
+  }
+  os << "diagnostics: " << report.count(Severity::kError) << " error, "
+     << report.count(Severity::kWarn) << " warn, "
+     << report.count(Severity::kInfo) << " info\n";
+  for (const Diagnostic& d : report.diagnostics) {
+    os << "  [" << severity_name(d.severity) << "] " << d.code << ": "
+       << d.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace crnkit::lint

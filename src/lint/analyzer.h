@@ -1,0 +1,33 @@
+// The static CRN analyzer: everything it reports is decided from the
+// stoichiometry matrix and reaction structure alone — no configuration is
+// ever explored. Passes:
+//
+//   1. conservation-law extraction — the integer left-nullspace of the
+//      stoichiometry matrix (fraction-free elimination), yielding
+//      P-invariants with exact integer certificates;
+//   2. structural diagnostics — dead species, write-only species,
+//      statically unfirable reactions (a reactant species is never
+//      producible from the declared initial pattern), duplicate and
+//      shadowed reactions, unbounded-species notes;
+//   3. the static composability screen — modules consuming their own
+//      output are flagged with the offending reaction (Lemma 2.3's
+//      syntactic half) before any BFS runs.
+#ifndef CRNKIT_LINT_ANALYZER_H_
+#define CRNKIT_LINT_ANALYZER_H_
+
+#include "crn/network.h"
+#include "lint/diagnostics.h"
+
+namespace crnkit::lint {
+
+/// Runs all static passes over the CRN.
+[[nodiscard]] AnalysisReport analyze(const crn::Crn& crn);
+
+/// Just the conservation laws (integer P-invariant basis), for callers that
+/// need the certificates without the diagnostics.
+[[nodiscard]] std::vector<ConservationLaw> extract_conservation_laws(
+    const crn::Crn& crn);
+
+}  // namespace crnkit::lint
+
+#endif  // CRNKIT_LINT_ANALYZER_H_

@@ -1,0 +1,77 @@
+// Severity-typed diagnostics for the static CRN analyzer. A Diagnostic is
+// one finding (a dead species, an unfirable reaction, a consumed output...)
+// with a stable machine-readable code, a human message, and optional
+// reaction/species anchors. AnalysisReport aggregates the findings of one
+// analyzer run together with the extracted conservation laws and the static
+// composability screen (Lemma 2.3's syntactic half).
+#ifndef CRNKIT_LINT_DIAGNOSTICS_H_
+#define CRNKIT_LINT_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/numtheory.h"
+
+namespace crnkit::lint {
+
+enum class Severity { kInfo = 0, kWarn = 1, kError = 2 };
+
+/// "info" / "warn" / "error".
+[[nodiscard]] const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  /// Stable kebab-case code, e.g. "dead-species", "unfirable-reaction",
+  /// "consumes-output", "output-never-produced".
+  std::string code;
+  /// Human-readable one-liner.
+  std::string message;
+  /// Index of the reaction this finding anchors to, or -1.
+  int reaction = -1;
+  /// Name of the species this finding anchors to, or "".
+  std::string species;
+};
+
+/// A P-invariant with an exact integer certificate: weights w (one per
+/// species, primitive: gcd 1, first nonzero positive) with w . (P - R) = 0
+/// for every reaction, so w . C is constant on every reachable path.
+struct ConservationLaw {
+  std::vector<math::Int> weights;
+  /// "x1 + 2 y - z" style rendering over species names.
+  std::string rendering;
+  /// All weights >= 0 (a P-semiflow): then w bounds every covered species
+  /// count by w . I_x / w[s].
+  bool semiflow = false;
+};
+
+/// Result of the syntactic composability screen (the static half of
+/// Lemma 2.3): a module whose reactions consume its own output species is
+/// rejected before any BFS.
+struct CompositionScreen {
+  bool output_declared = false;
+  /// No reaction uses the output as a reactant (Obs. 2.2: safe to compose).
+  bool oblivious = false;
+  /// Index + rendering of the first output-consuming reaction, if any.
+  int offending_reaction = -1;
+  std::string offending_rendering;
+};
+
+struct AnalysisReport {
+  std::string crn_name;
+  std::size_t species = 0;
+  std::size_t reactions = 0;
+  std::vector<ConservationLaw> laws;
+  CompositionScreen screen;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::kError) > 0; }
+};
+
+/// Human rendering of the full report, one finding per line.
+[[nodiscard]] std::string render_text(const AnalysisReport& report);
+
+}  // namespace crnkit::lint
+
+#endif  // CRNKIT_LINT_DIAGNOSTICS_H_

@@ -1,0 +1,76 @@
+#include "lint/guide.h"
+
+#include <string>
+
+#include "lint/analyzer.h"
+#include "math/check.h"
+#include "math/numtheory.h"
+
+namespace crnkit::lint {
+
+namespace {
+
+using math::Int;
+
+constexpr Int kSaturated = Int{1} << 62;
+
+Int law_value(const ConservationLaw& law, const crn::Config& initial) {
+  require(law.weights.size() == initial.size(),
+          "invariant guide: law/config width mismatch");
+  Int acc = 0;
+  for (std::size_t s = 0; s < initial.size(); ++s) {
+    acc = math::checked_add(acc, math::checked_mul(law.weights[s],
+                                                   initial[s]));
+  }
+  return acc;
+}
+
+}  // namespace
+
+InvariantGuide make_guide(const std::vector<ConservationLaw>& laws,
+                          const crn::Config& initial) {
+  InvariantGuide guide;
+  guide.laws = laws;
+  guide.bounds.assign(initial.size(), -1);
+  for (const ConservationLaw& law : laws) {
+    if (!law.semiflow) continue;
+    const Int value = law_value(law, initial);
+    for (std::size_t s = 0; s < initial.size(); ++s) {
+      if (law.weights[s] <= 0) continue;
+      const Int bound = value / law.weights[s];
+      if (guide.bounds[s] < 0 || bound < guide.bounds[s]) {
+        guide.bounds[s] = bound;
+      }
+    }
+  }
+  guide.reachable_bound = 1;
+  for (const Int b : guide.bounds) {
+    if (b < 0) {
+      guide.reachable_bound = -1;
+      break;
+    }
+    if (guide.reachable_bound >= kSaturated / (b + 1)) {
+      guide.reachable_bound = kSaturated;
+      continue;
+    }
+    guide.reachable_bound *= b + 1;
+  }
+  return guide;
+}
+
+InvariantGuide make_guide(const crn::Crn& crn, const crn::Config& initial) {
+  return make_guide(extract_conservation_laws(crn), initial);
+}
+
+std::vector<std::string> certificates(const InvariantGuide& guide,
+                                      const crn::Config& initial) {
+  std::vector<std::string> out;
+  out.reserve(guide.laws.size());
+  for (const ConservationLaw& law : guide.laws) {
+    out.push_back(law.rendering + " = " +
+                  std::to_string(law_value(law, initial)));
+  }
+  return out;
+}
+
+}  // namespace crnkit::lint

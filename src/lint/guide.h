@@ -1,0 +1,50 @@
+// The invariant guide: what the static analyzer hands the exact explorer.
+// Every P-semiflow w pins w . C = w . I_x on all reachable configs, so each
+// covered species s obeys C[s] <= (w . I_x) / w[s]. The guide packages the
+// tightest such per-species bounds plus a bound on the whole reachable
+// space, letting verify/reachability.cc right-size its arena and pre-size
+// its hash shards instead of growing into them, and reject any candidate
+// that violates a bound with one comparison (on exact exploration the
+// bounds are invariants, so rejection never fires — which is precisely why
+// guided runs are bit-identical to unguided ones).
+#ifndef CRNKIT_LINT_GUIDE_H_
+#define CRNKIT_LINT_GUIDE_H_
+
+#include <string>
+#include <vector>
+
+#include "crn/network.h"
+#include "lint/diagnostics.h"
+
+namespace crnkit::lint {
+
+struct InvariantGuide {
+  /// The laws the bounds were derived from (integer certificates).
+  std::vector<ConservationLaw> laws;
+  /// Per-species reachable-count upper bound, or -1 when no semiflow
+  /// covers the species.
+  std::vector<math::Int> bounds;
+  /// Upper bound on the number of reachable configurations: the product of
+  /// (bounds[s] + 1), saturated at 2^62; -1 when any species is unbounded.
+  math::Int reachable_bound = -1;
+
+  [[nodiscard]] bool empty() const { return laws.empty(); }
+};
+
+/// Extracts conservation laws and derives bounds for the initial
+/// configuration I_x.
+[[nodiscard]] InvariantGuide make_guide(const crn::Crn& crn,
+                                        const crn::Config& initial);
+
+/// Same, from laws already extracted by the analyzer.
+[[nodiscard]] InvariantGuide make_guide(
+    const std::vector<ConservationLaw>& laws, const crn::Config& initial);
+
+/// Rendered invariant certificates at this initial configuration, e.g.
+/// "x1 + y = 5" — the strings stamped into proof-cache entries.
+[[nodiscard]] std::vector<std::string> certificates(
+    const InvariantGuide& guide, const crn::Config& initial);
+
+}  // namespace crnkit::lint
+
+#endif  // CRNKIT_LINT_GUIDE_H_

@@ -163,6 +163,80 @@ std::vector<RatVec> nullspace(Matrix m) {
   return basis;
 }
 
+std::vector<std::vector<Int>> integer_nullspace(const Matrix& m) {
+  const std::size_t rows = m.rows();
+  const std::size_t n = m.cols();
+  // Copy into an integer working matrix.
+  std::vector<std::vector<Int>> a(rows, std::vector<Int>(n));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      require(m.at(r, c).is_integer(),
+              "integer_nullspace: non-integer entry");
+      a[r][c] = m.at(r, c).as_integer();
+    }
+  }
+  // Montante (fraction-free Gauss-Jordan): at each pivot step every other
+  // row is updated as (p*a[i][j] - a[i][col]*a[r][j]) / prev, which is an
+  // exact integer division; the remainder is asserted zero anyway.
+  std::vector<std::size_t> pivot_cols;
+  Int prev = 1;
+  std::size_t pr = 0;
+  for (std::size_t col = 0; col < n && pr < rows; ++col) {
+    std::size_t sel = pr;
+    while (sel < rows && a[sel][col] == 0) ++sel;
+    if (sel == rows) continue;
+    if (sel != pr) std::swap(a[sel], a[pr]);
+    const Int p = a[pr][col];
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i == pr) continue;
+      const Int f = a[i][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        const Int t =
+            checked_add(checked_mul(p, a[i][j]), -checked_mul(f, a[pr][j]));
+        ensure(t % prev == 0, "integer_nullspace: inexact Bareiss division");
+        a[i][j] = t / prev;
+      }
+    }
+    prev = p;
+    pivot_cols.push_back(col);
+    ++pr;
+  }
+  // Per free column f: x[f] = L (lcm of pivot values), x[pivot col of row r]
+  // = -a[r][f] * L / a[r][pivot_col], everything else 0; then make primitive.
+  std::vector<bool> is_pivot(n, false);
+  for (const std::size_t c : pivot_cols) is_pivot[c] = true;
+  std::vector<Int> pivots;
+  pivots.reserve(pivot_cols.size());
+  for (std::size_t r = 0; r < pivot_cols.size(); ++r) {
+    pivots.push_back(a[r][pivot_cols[r]]);
+  }
+  const Int big_l = lcm(pivots);
+  std::vector<std::vector<Int>> basis;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (is_pivot[f]) continue;
+    std::vector<Int> v(n, 0);
+    v[f] = big_l;
+    for (std::size_t r = 0; r < pivot_cols.size(); ++r) {
+      const Int q = checked_mul(a[r][f], big_l / pivots[r]);
+      v[pivot_cols[r]] = -q;
+    }
+    Int g = 0;
+    for (const Int x : v) g = gcd(g, x);
+    if (g > 1) {
+      for (Int& x : v) x /= g;
+    }
+    for (const Int x : v) {
+      if (x == 0) continue;
+      if (x < 0) {
+        for (Int& y : v) y = -y;
+      }
+      break;
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
 std::optional<RatVec> solve(Matrix m, RatVec b) {
   require(b.size() == m.rows(), "solve: rhs size mismatch");
   const std::size_t n = m.cols();

@@ -65,6 +65,14 @@ class Matrix {
 /// A basis of the right nullspace {x : Mx = 0}. Each basis vector is exact.
 [[nodiscard]] std::vector<RatVec> nullspace(Matrix m);
 
+/// A basis of the integer right nullspace {x in Z^n : Mx = 0} of an
+/// integer-valued matrix, computed fraction-free (Montante/Bareiss
+/// elimination: every intermediate value is an exact integer, every division
+/// is checked exact). Basis vectors are primitive — entry gcd 1, first
+/// nonzero entry positive — and span the same space as nullspace(m).
+/// Throws std::invalid_argument if m has a non-integer entry.
+[[nodiscard]] std::vector<std::vector<Int>> integer_nullspace(const Matrix& m);
+
 /// Solves M x = b. Returns std::nullopt if inconsistent. If the system is
 /// under-determined, returns one particular solution (free variables = 0).
 [[nodiscard]] std::optional<RatVec> solve(Matrix m, RatVec b);

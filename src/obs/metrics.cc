@@ -147,7 +147,7 @@ Registry::Series& Registry::find_or_create(const std::string& name,
                                            const std::vector<double>* bounds) {
   Labels sorted = labels;
   std::sort(sorted.begin(), sorted.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& series : series_) {
     if (series->name == name && series->labels == sorted) {
       if (series->kind != kind) {
@@ -208,7 +208,7 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 void Registry::register_collector(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   collectors_.push_back(std::move(fn));
 }
 
@@ -217,14 +217,14 @@ void Registry::run_collectors() {
   // counter()/gauge() which take mu_.
   std::vector<std::function<void()>> fns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     fns = collectors_;
   }
   for (const auto& fn : fns) fn();
 }
 
 std::size_t Registry::series_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return series_.size();
 }
 
@@ -260,7 +260,7 @@ Labels with_le(const Labels& labels, const std::string& le) {
 
 std::string Registry::render_prometheus() {
   run_collectors();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [fname, family] : families_) {
     os << "# HELP " << fname << " " << family.help << "\n";
@@ -307,7 +307,7 @@ std::string Registry::render_prometheus() {
 
 void Registry::write_json(util::JsonWriter& w) {
   run_collectors();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   w.begin_object();
   w.key("counters").begin_object();
   for (const auto& series : series_) {

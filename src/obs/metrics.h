@@ -36,10 +36,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace crnkit::util {
 class JsonWriter;
@@ -186,13 +187,15 @@ class Registry {
 
   Series& find_or_create(const std::string& name, const std::string& help,
                          const Labels& labels, Kind kind,
-                         const std::vector<double>* bounds);
-  void run_collectors();
+                         const std::vector<double>* bounds)
+      CRNKIT_EXCLUDES(mu_);
+  void run_collectors() CRNKIT_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  ///< guards registration and the collector list
-  std::vector<std::unique_ptr<Series>> series_;
-  std::vector<std::pair<std::string, Family>> families_;  ///< insert order
-  std::vector<std::function<void()>> collectors_;
+  mutable util::Mutex mu_;  ///< guards registration and the collector list
+  std::vector<std::unique_ptr<Series>> series_ CRNKIT_GUARDED_BY(mu_);
+  /// insert order
+  std::vector<std::pair<std::string, Family>> families_ CRNKIT_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> collectors_ CRNKIT_GUARDED_BY(mu_);
 };
 
 /// Renders "name{k1=\"v1\",k2=\"v2\"}" (bare name when no labels) — the

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostics.h"
 #include "math/numtheory.h"
 
 namespace crnkit::svc {
@@ -139,6 +140,10 @@ struct VerifyRequest {
   bool force = false;  ///< verify even when tagged unverifiable
   bool stats = false;  ///< collect exploration perf counters
   bool use_cache = true;
+  /// Feed statically extracted conservation laws to the explorer
+  /// (per-species bounds + arena/hash presizing). Verdicts and graphs are
+  /// bit-identical either way; this is the perf/escape hatch.
+  bool use_invariants = true;
   /// Wall-clock budget for the whole request, in milliseconds; 0 means
   /// the server default (or none). Expired points return the typed
   /// `deadline_exceeded` inconclusive status instead of hanging, and
@@ -165,6 +170,10 @@ struct VerifyPointReport {
   std::size_t arena_bytes = 0;
   /// Replayable reaction path I_x -> counterexample (FAILED points only).
   std::vector<int> witness;
+  /// Conservation-law certificates at this point's I_x ("x1 + y = 5"),
+  /// stamped by the static analyzer; cached verdicts carry the
+  /// certificates they were computed under.
+  std::vector<std::string> invariants;
 };
 
 struct VerifyResponse {
@@ -172,6 +181,9 @@ struct VerifyResponse {
   bool skipped = false;  ///< unverifiable scenario without force
   std::string reason;    ///< skip reason
   std::size_t max_configs = 0;
+  /// Conservation laws extracted for the CRN (0 when use_invariants was
+  /// off or the network admits none).
+  std::size_t conservation_laws = 0;
   std::vector<VerifyPointReport> points;
   int proved = 0;
   int failed = 0;
@@ -247,6 +259,11 @@ struct ComposeCertRecord {
   bool composable = false;
   int reactions_stripped = 0;
   std::string detail;
+  /// The static analyzer's pre-certification screen: "clean" when no
+  /// reaction consumes the module's output, otherwise
+  /// "consumes-output: <reaction>" naming the offending reaction — the
+  /// syntactic half of Lemma 2.3, decided before any BFS.
+  std::string static_screen;
 };
 
 struct ComposePassStat {
@@ -302,6 +319,40 @@ struct ComposeResponse {
   std::optional<ComposeVerifySummary> verify;
   std::optional<ComposeSimcheckSummary> simcheck;
   bool ok = false;
+};
+
+// ------------------------------------------------------------- analyze --
+
+struct AnalyzeRequest {
+  std::string target;  ///< scenario name or .crn file; ignored with `all`
+  bool all = false;    ///< analyze every registry scenario
+  /// Derive invariant bounds/certificates at this input point instead of
+  /// the scenario's default simulation input.
+  std::optional<std::string> input;
+};
+
+/// The static analyzer's findings for one CRN, plus the invariant guide
+/// derived at a representative input point (when one is available).
+struct AnalyzeScenarioReport {
+  std::string scenario;
+  bool from_registry = false;
+  /// Tagged unverifiable in the registry: error-severity findings here are
+  /// expected (the tag documents the breakage) and do not fail the run.
+  bool unverifiable = false;
+  lint::AnalysisReport report;
+  std::string input;  ///< point the guide was derived at, "" when none
+  std::vector<math::Int> bounds;  ///< per-species bound, -1 = unbounded
+  math::Int reachable_bound = -1;  ///< product bound on reachable configs
+  std::vector<std::string> certificates;  ///< "x1 + y = 5" lines
+};
+
+struct AnalyzeResponse {
+  std::vector<AnalyzeScenarioReport> reports;
+  /// Error-severity findings in scenarios NOT tagged unverifiable — the
+  /// count that makes `crnc analyze --all` exit non-zero.
+  int errors = 0;
+  int warnings = 0;
+  bool ok = false;  ///< errors == 0
 };
 
 }  // namespace crnkit::svc

@@ -45,7 +45,8 @@ struct CacheMetrics {
 };
 
 constexpr const char* kFormat = "crnkit-proof-cache";
-constexpr std::int64_t kCacheSchemaVersion = 1;
+// v2: entries carry invariant certificates (checksum content changed).
+constexpr std::int64_t kCacheSchemaVersion = 2;
 
 std::string to_hex(std::uint64_t v) {
   char buf[20];
@@ -96,6 +97,14 @@ std::uint64_t entries_checksum(
     for (const int r : verdict.witness) {
       h = hash_chain(h, static_cast<std::uint64_t>(r));
     }
+    h = hash_chain(h, verdict.invariants.size());
+    for (const std::string& cert : verdict.invariants) {
+      h = hash_chain(h, cert.size());
+      for (const char c : cert) {
+        h = hash_chain(h, static_cast<std::uint64_t>(
+                              static_cast<unsigned char>(c)));
+      }
+    }
   }
   return h;
 }
@@ -121,6 +130,8 @@ void write_entry(util::JsonWriter& w, const ProofKey& key,
       .key("witness")
       .begin_array();
   for (const int r : verdict.witness) w.value(r);
+  w.end_array().key("invariants").begin_array();
+  for (const std::string& cert : verdict.invariants) w.value(cert);
   w.end_array().end_object();
 }
 
@@ -147,6 +158,11 @@ std::pair<ProofKey, ProofVerdict> parse_entry(const util::JsonValue& e) {
       static_cast<std::size_t>(e.get_int("arena_bytes", 0));
   for (const util::JsonValue& r : e.get("witness").items()) {
     verdict.witness.push_back(static_cast<int>(r.as_int()));
+  }
+  if (e.has("invariants")) {
+    for (const util::JsonValue& cert : e.get("invariants").items()) {
+      verdict.invariants.push_back(cert.as_string());
+    }
   }
   return {std::move(key), std::move(verdict)};
 }
@@ -181,13 +197,18 @@ ProofCache::ProofCache() : ProofCache(Options{}) {}
 ProofCache::ProofCache(const Options& options) : options_(options) {}
 
 std::size_t ProofCache::entry_bytes(const Entry& entry) {
-  return sizeof(Entry) + entry.key.proof.x.size() * sizeof(math::Int) +
-         entry.verdict.witness.size() * sizeof(int) + 64;
+  std::size_t bytes = sizeof(Entry) +
+                      entry.key.proof.x.size() * sizeof(math::Int) +
+                      entry.verdict.witness.size() * sizeof(int) + 64;
+  for (const std::string& cert : entry.verdict.invariants) {
+    bytes += sizeof(std::string) + cert.size();
+  }
+  return bytes;
 }
 
 std::optional<ProofVerdict> ProofCache::lookup(const ProofKey& key,
                                                std::size_t budget) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // A complete verdict serves any budget that could have completed the
   // same exploration.
   const auto complete_it = index_.find(SlotKey{key, 0});
@@ -213,7 +234,7 @@ std::optional<ProofVerdict> ProofCache::lookup(const ProofKey& key,
 }
 
 void ProofCache::insert(const ProofKey& key, ProofVerdict verdict) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (options_.max_bytes == 0) return;
   ++insertions_;
   CacheMetrics::get().insertions.inc();
@@ -269,7 +290,7 @@ void ProofCache::sync_gauges_locked() const {
 }
 
 ProofCache::Stats ProofCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -281,7 +302,7 @@ ProofCache::Stats ProofCache::stats() const {
 }
 
 void ProofCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
@@ -291,7 +312,7 @@ void ProofCache::clear() {
 void ProofCache::save(const std::string& path) const {
   std::vector<std::pair<ProofKey, ProofVerdict>> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     entries.reserve(lru_.size());
     for (const Entry& e : lru_) entries.emplace_back(e.key.proof, e.verdict);
   }
@@ -317,7 +338,7 @@ void ProofCache::save(const std::string& path) const {
   // entries already in the snapshot — insert is idempotent.
   std::string journal;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     journal = journal_path_;
   }
   if (!journal.empty()) {
@@ -326,7 +347,7 @@ void ProofCache::save(const std::string& path) const {
 }
 
 void ProofCache::enable_journal(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   journal_path_ = path;
 }
 
@@ -356,7 +377,7 @@ std::size_t ProofCache::replay_journal(const std::string& path) {
     entries.push_back(std::move(entry));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (options_.max_bytes == 0) return 0;
   for (auto& [key, verdict] : entries) {
     insert_locked(key, std::move(verdict), /*front=*/false);
@@ -407,7 +428,7 @@ std::size_t ProofCache::load(const std::string& path) {
                              to_hex(actual_sum) + ")");
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (options_.max_bytes == 0) return 0;
   for (auto& [key, verdict] : entries) {
     insert_locked(key, std::move(verdict), /*front=*/false);

@@ -24,13 +24,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "fn/function.h"
+#include "util/mutex.h"
 #include "verify/reachability.h"
 
 namespace crnkit::svc {
@@ -61,6 +61,10 @@ struct ProofVerdict {
   verify::ExploreStats stats;  ///< counters of the original exploration
   /// Replayable reaction path I_x -> counterexample (FAILED only).
   std::vector<int> witness;
+  /// Conservation-law certificates at the point's I_x ("x1 + y = 5"),
+  /// stamped by the static analyzer when invariant-guided verification is
+  /// on — a cached verdict carries the invariants it was computed under.
+  std::vector<std::string> invariants;
 };
 
 class ProofCache {
@@ -149,21 +153,25 @@ class ProofCache {
   [[nodiscard]] static std::size_t entry_bytes(const Entry& entry);
   /// Inserts without stats accounting (shared by insert() and load()).
   /// `front` chooses the hot (true) or cold (false) end of the LRU list.
-  void insert_locked(const ProofKey& key, ProofVerdict verdict, bool front);
-  void evict_locked();
+  void insert_locked(const ProofKey& key, ProofVerdict verdict, bool front)
+      CRNKIT_REQUIRES(mu_);
+  void evict_locked() CRNKIT_REQUIRES(mu_);
   /// Pushes entries/bytes into the crnkit_cache_* gauges.
-  void sync_gauges_locked() const;
+  void sync_gauges_locked() const CRNKIT_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   Options options_;
-  std::string journal_path_;  ///< empty = journaling disabled
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<SlotKey, std::list<Entry>::iterator, SlotKeyHash> index_;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t insertions_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// empty = journaling disabled
+  std::string journal_path_ CRNKIT_GUARDED_BY(mu_);
+  /// front = most recently used
+  std::list<Entry> lru_ CRNKIT_GUARDED_BY(mu_);
+  std::unordered_map<SlotKey, std::list<Entry>::iterator, SlotKeyHash> index_
+      CRNKIT_GUARDED_BY(mu_);
+  std::size_t bytes_ CRNKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ CRNKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ CRNKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t insertions_ CRNKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ CRNKIT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace crnkit::svc

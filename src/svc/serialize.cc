@@ -135,6 +135,7 @@ std::string to_json(const VerifyResponse& resp) {
   }
   w.kv("scenario", resp.scenario)
       .kv("max_configs", resp.max_configs)
+      .kv("conservation_laws", resp.conservation_laws)
       .key("points")
       .begin_array();
   for (const VerifyPointReport& p : resp.points) {
@@ -149,6 +150,11 @@ std::string to_json(const VerifyResponse& resp) {
     if (!p.witness.empty()) {
       w.key("witness").begin_array();
       for (const int r : p.witness) w.value(r);
+      w.end_array();
+    }
+    if (!p.invariants.empty()) {
+      w.key("invariants").begin_array();
+      for (const std::string& cert : p.invariants) w.value(cert);
       w.end_array();
     }
     if (resp.want_stats) {
@@ -234,8 +240,9 @@ std::string to_json(const ComposeResponse& resp) {
         .kv("oblivious", c.oblivious)
         .kv("composable", c.composable)
         .kv("reactions_stripped", c.reactions_stripped)
-        .kv("detail", c.detail)
-        .end_object();
+        .kv("detail", c.detail);
+    if (!c.static_screen.empty()) w.kv("static_screen", c.static_screen);
+    w.end_object();
   }
   w.end_array().kv("certified", resp.certified);
   if (!resp.compiled) {
@@ -283,6 +290,75 @@ std::string to_json(const ComposeResponse& resp) {
         .end_object();
   }
   w.kv("ok", resp.ok).end_object();
+  return w.str();
+}
+
+std::string to_json(const AnalyzeResponse& resp) {
+  util::JsonWriter w = versioned();
+  w.key("reports").begin_array();
+  for (const AnalyzeScenarioReport& r : resp.reports) {
+    const lint::AnalysisReport& a = r.report;
+    w.begin_object()
+        .kv("scenario", r.scenario)
+        .kv("from_registry", r.from_registry)
+        .kv("unverifiable", r.unverifiable)
+        .kv("species", a.species)
+        .kv("reactions", a.reactions)
+        .key("conservation_laws")
+        .begin_array();
+    for (const lint::ConservationLaw& law : a.laws) {
+      w.begin_object()
+          .kv("law", law.rendering)
+          .kv("semiflow", law.semiflow)
+          .key("weights")
+          .begin_array();
+      for (const math::Int weight : law.weights) {
+        w.value(static_cast<std::int64_t>(weight));
+      }
+      w.end_array().end_object();
+    }
+    w.end_array().key("composability").begin_object();
+    w.kv("output_declared", a.screen.output_declared)
+        .kv("oblivious", a.screen.oblivious);
+    if (a.screen.offending_reaction >= 0) {
+      w.kv("offending_reaction",
+           static_cast<std::int64_t>(a.screen.offending_reaction))
+          .kv("offending", a.screen.offending_rendering);
+    }
+    w.end_object().key("diagnostics").begin_array();
+    for (const lint::Diagnostic& d : a.diagnostics) {
+      w.begin_object()
+          .kv("severity", lint::severity_name(d.severity))
+          .kv("code", d.code)
+          .kv("message", d.message);
+      if (d.reaction >= 0) {
+        w.kv("reaction", static_cast<std::int64_t>(d.reaction));
+      }
+      if (!d.species.empty()) w.kv("species", d.species);
+      w.end_object();
+    }
+    w.end_array()
+        .kv("errors", a.count(lint::Severity::kError))
+        .kv("warnings", a.count(lint::Severity::kWarn))
+        .kv("infos", a.count(lint::Severity::kInfo));
+    if (!r.input.empty()) {
+      w.kv("input", r.input).key("bounds").begin_array();
+      for (const math::Int b : r.bounds) {
+        w.value(static_cast<std::int64_t>(b));
+      }
+      w.end_array().kv("reachable_bound",
+                       static_cast<std::int64_t>(r.reachable_bound));
+      w.key("certificates").begin_array();
+      for (const std::string& cert : r.certificates) w.value(cert);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array()
+      .kv("errors", resp.errors)
+      .kv("warnings", resp.warnings)
+      .kv("ok", resp.ok)
+      .end_object();
   return w.str();
 }
 
@@ -354,6 +430,7 @@ VerifyRequest parse_verify_request(const util::JsonValue& v) {
   req.force = v.get_bool("force", false);
   req.stats = v.get_bool("stats", false);
   req.use_cache = v.get_bool("use_cache", true);
+  req.use_invariants = v.get_bool("use_invariants", true);
   req.deadline_ms = v.get_int("deadline_ms", 0);
   // checkpoint_path / checkpoint_every_secs / resume are deliberately
   // not parsed: file paths never cross the wire (see header note).
@@ -392,6 +469,14 @@ ComposeRequest parse_compose_request(const util::JsonValue& v) {
       v.get_int("seed", static_cast<std::int64_t>(req.seed)));
   req.threads = static_cast<int>(v.get_int("threads", req.threads));
   req.use_cache = v.get_bool("use_cache", true);
+  return req;
+}
+
+AnalyzeRequest parse_analyze_request(const util::JsonValue& v) {
+  AnalyzeRequest req;
+  req.all = v.get_bool("all", false);
+  if (!req.all) req.target = v.get("target").as_string();
+  req.input = opt_string(v, "input");
   return req;
 }
 

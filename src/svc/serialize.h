@@ -23,6 +23,7 @@ namespace crnkit::svc {
 [[nodiscard]] std::string to_json(const VerifyResponse& resp);
 [[nodiscard]] std::string to_json(const BenchResponse& resp);
 [[nodiscard]] std::string to_json(const ComposeResponse& resp);
+[[nodiscard]] std::string to_json(const AnalyzeResponse& resp);
 
 /// The daemon's error shape: {"schema_version":…, "error": message,
 /// "ok": false}.
@@ -39,6 +40,7 @@ namespace crnkit::svc {
 [[nodiscard]] VerifyRequest parse_verify_request(const util::JsonValue& v);
 [[nodiscard]] BenchRequest parse_bench_request(const util::JsonValue& v);
 [[nodiscard]] ComposeRequest parse_compose_request(const util::JsonValue& v);
+[[nodiscard]] AnalyzeRequest parse_analyze_request(const util::JsonValue& v);
 
 }  // namespace crnkit::svc
 

@@ -145,6 +145,9 @@ std::string dispatch_op(Service& service, const std::string& op,
   if (op == "compose") {
     return to_json(service.compose(parse_compose_request(v)));
   }
+  if (op == "analyze") {
+    return to_json(service.analyze(parse_analyze_request(v)));
+  }
   if (op == "ping") {
     util::JsonWriter w;
     w.begin_object()
@@ -309,7 +312,7 @@ void Server::accept_loop() {
                       active_conns_.load() >= options_.max_connections;
     active_conns_.fetch_add(1);
     ServerMetrics::get().active_connections.add(1);
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     reap_locked();
     auto conn = std::make_unique<Connection>();
     conn->fd.store(fd);
@@ -577,7 +580,7 @@ void Server::finish_request(const char* proto, const std::string& op,
       .observe(seconds);
   if (status >= 400) ServerMetrics::get().errors.inc();
   if (options_.access_log != nullptr) {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    util::MutexLock lock(log_mu_);
     *options_.access_log << "op=" << op << " proto=" << proto
                          << " status=" << status << " lat_us="
                          << static_cast<long long>(seconds * 1e6)
@@ -596,10 +599,12 @@ const char* Server::cache_outcome(const std::string& response) {
 
 void Server::stop() {
   const bool was_running = running_.exchange(false);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // exchange: exactly one caller closes the fd even under concurrent
+  // stop()s, and the accept loop never sees a closed-but-unreset value.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   // Drain: give in-flight dispatches (and their response writes) up to
@@ -612,7 +617,7 @@ void Server::stop() {
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   for (auto& conn : conns_) {
     const int fd = conn->fd.load();
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);

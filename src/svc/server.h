@@ -26,12 +26,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "svc/service.h"
+#include "util/mutex.h"
 
 namespace crnkit::svc {
 
@@ -113,7 +113,7 @@ class Server {
   void serve_line_protocol(int fd, std::string carry);
   void serve_http(int fd, std::string carry);
   /// Joins finished connection threads (called opportunistically).
-  void reap_locked();
+  void reap_locked() CRNKIT_REQUIRES(conns_mu_);
   /// Records one dispatched request into the obs registry and, when
   /// options_.access_log is set, appends the access-log line. `cache`
   /// is "hit", "miss", or "-" (op does not touch the proof cache).
@@ -126,15 +126,17 @@ class Server {
   Service& service_;
   Options options_;
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  /// Atomic: stop() closes and resets the fd from the caller's thread to
+  /// wake the accept loop, which reads it concurrently in ::accept().
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
   std::chrono::steady_clock::time_point start_time_{};
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  util::Mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_ CRNKIT_GUARDED_BY(conns_mu_);
 
-  std::mutex log_mu_;  ///< serializes access-log lines
+  util::Mutex log_mu_;  ///< serializes access-log lines
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};

@@ -9,6 +9,8 @@
 #include "crn/checks.h"
 #include "crn/io.h"
 #include "crn/passes.h"
+#include "lint/analyzer.h"
+#include "lint/guide.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "sim/ensemble.h"
@@ -252,10 +254,19 @@ Service::CheckOutcome Service::check_point(
       out.report.frontier_peak = hit->stats.frontier_peak;
       out.report.arena_bytes = hit->stats.arena_bytes;
       out.report.witness = std::move(hit->witness);
+      out.report.invariants = std::move(hit->invariants);
       out.stats = hit->stats;
     }
   }
   if (!out.report.cached) {
+    // Certificates of the conservation laws at this point's I_x; stamped
+    // into the report and the cached verdict so a later hit still carries
+    // the invariants its exploration ran under.
+    if (options.invariants != nullptr && !options.invariants->empty()) {
+      const crn::Config initial = crn.initial_configuration(x);
+      out.report.invariants = lint::certificates(
+          lint::make_guide(*options.invariants, initial), initial);
+    }
     const verify::StableCheckResult result =
         verify::check_stable_computation(crn, x, expected, options);
     out.report.ok = result.ok;
@@ -283,6 +294,7 @@ Service::CheckOutcome Service::check_point(
       verdict.num_edges = result.num_edges;
       verdict.stats = result.explore_stats;
       verdict.witness = result.counterexample_path;
+      verdict.invariants = out.report.invariants;
       cache_.insert(key, std::move(verdict));
     }
   }
@@ -366,6 +378,15 @@ VerifyResponse Service::verify(const VerifyRequest& req) {
       req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
   const util::CancelToken token(deadline_ms);
   options.cancel = &token;
+
+  // Conservation laws are a property of the CRN: extract once, then each
+  // point derives its own bounds from them at I_x inside the checker.
+  std::vector<lint::ConservationLaw> laws;
+  if (req.use_invariants) {
+    laws = lint::extract_conservation_laws(s.crn);
+    if (!laws.empty()) options.invariants = &laws;
+  }
+  resp.conservation_laws = laws.size();
 
   const std::uint64_t crn_hash = crn::canonical_hash(s.crn);
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -45,6 +45,7 @@ class Service {
   [[nodiscard]] VerifyResponse verify(const VerifyRequest& req);
   [[nodiscard]] BenchResponse bench(const BenchRequest& req) const;
   [[nodiscard]] ComposeResponse compose(const ComposeRequest& req);
+  [[nodiscard]] AnalyzeResponse analyze(const AnalyzeRequest& req) const;
 
   [[nodiscard]] ProofCache& proof_cache() { return cache_; }
   [[nodiscard]] const Options& options() const { return options_; }

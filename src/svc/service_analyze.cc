@@ -1,0 +1,80 @@
+// Service::analyze — the static CRN analyzer behind `crnc analyze` and the
+// daemon's `analyze` op. Runs lint::analyze over one workload (or every
+// registry scenario with `all`) and, when an input point is available,
+// derives the invariant guide there: per-species bounds, the reachable-set
+// bound, and the "x1 + y = 5" certificates that verification stamps into
+// proof-cache entries. Error-severity findings in scenarios not tagged
+// unverifiable fail the response — the static gate the analyze smoke test
+// enforces over the whole registry.
+#include <utility>
+
+#include "lint/analyzer.h"
+#include "lint/guide.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "svc/service.h"
+#include "svc/workload.h"
+
+namespace crnkit::svc {
+
+namespace {
+
+/// Analyzes one scenario and derives the invariant guide at `point` (the
+/// request's --input or the scenario's default simulation input) when the
+/// point matches the CRN's arity.
+AnalyzeScenarioReport analyze_scenario(const scenario::Scenario& s,
+                                       bool from_registry,
+                                       const fn::Point& point) {
+  AnalyzeScenarioReport out;
+  out.scenario = s.name;
+  out.from_registry = from_registry;
+  out.unverifiable = s.unverifiable();
+  out.report = lint::analyze(s.crn);
+  if (!point.empty() &&
+      point.size() == static_cast<std::size_t>(s.crn.input_arity())) {
+    const crn::Config initial = s.crn.initial_configuration(point);
+    const lint::InvariantGuide guide =
+        lint::make_guide(out.report.laws, initial);
+    out.input = scenario::point_to_string(point);
+    out.bounds = guide.bounds;
+    out.reachable_bound = guide.reachable_bound;
+    out.certificates = lint::certificates(guide, initial);
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalyzeResponse Service::analyze(const AnalyzeRequest& req) const {
+  AnalyzeResponse resp;
+  if (req.all) {
+    // --all ignores --input: scenarios have different arities, so each is
+    // analyzed at its own default simulation input.
+    for (const scenario::Scenario& s :
+         scenario::Registry::builtin().build_all()) {
+      resp.reports.push_back(
+          analyze_scenario(s, /*from_registry=*/true, s.sim_input));
+    }
+  } else {
+    const Workload workload = load_workload(req.target);
+    const fn::Point point = req.input
+                                ? scenario::point_from_string(*req.input)
+                                : workload.scenario.sim_input;
+    resp.reports.push_back(
+        analyze_scenario(workload.scenario, workload.from_registry, point));
+  }
+  for (const AnalyzeScenarioReport& r : resp.reports) {
+    resp.warnings +=
+        static_cast<int>(r.report.count(lint::Severity::kWarn));
+    // The unverifiable tag documents a known-broken network (e.g. a
+    // composed module that consumes its output): its errors are the
+    // expected finding, not a regression.
+    if (!r.unverifiable) {
+      resp.errors += static_cast<int>(r.report.count(lint::Severity::kError));
+    }
+  }
+  resp.ok = resp.errors == 0;
+  return resp;
+}
+
+}  // namespace crnkit::svc

@@ -20,6 +20,7 @@
 #include "crn/compose.h"
 #include "crn/io.h"
 #include "crn/passes.h"
+#include "lint/analyzer.h"
 #include "math/check.h"
 #include "scenario/circuits.h"
 #include "scenario/scenario.h"
@@ -49,7 +50,19 @@ struct ComposeModule {
 ComposeCertRecord certify_module(ComposeModule& module, math::Int cert_grid) {
   ComposeCertRecord record;
   record.module = module.label;
+  // Static pre-certification: the analyzer's syntactic screen decides the
+  // oblivious case (and names the offending reaction otherwise) without
+  // any BFS. It must agree with the definitional check — both ask whether
+  // some reaction consumes the declared output — so the cross-check stays
+  // loud rather than silently trusting one side.
+  const lint::CompositionScreen screen = lint::analyze(module.crn).screen;
   record.oblivious = crn::is_output_oblivious(module.crn);
+  ensure(screen.oblivious == record.oblivious,
+         "compose: static composability screen disagrees with "
+         "is_output_oblivious on '" + module.label + "'");
+  record.static_screen =
+      screen.oblivious ? "clean"
+                       : "consumes-output: " + screen.offending_rendering;
   if (record.oblivious) {
     record.composable = true;
     record.detail = "output-oblivious (composable, Obs. 2.2)";

@@ -1,0 +1,44 @@
+// util::Mutex / util::MutexLock — std::mutex and std::lock_guard with
+// clang thread-safety capability annotations attached. libstdc++'s
+// std::mutex is unannotated, so GUARDED_BY fields guarded by it are
+// invisible to -Wthread-safety; this zero-overhead wrapper is what makes
+// the analysis see acquisitions. Classes that publish a locking contract
+// (svc::ProofCache, svc::Server, obs::Registry) use these instead of the
+// std types.
+#ifndef CRNKIT_UTIL_MUTEX_H_
+#define CRNKIT_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace crnkit::util {
+
+class CRNKIT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CRNKIT_ACQUIRE() { mu_.lock(); }
+  void unlock() CRNKIT_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scope holding a Mutex — std::lock_guard, visible to the analysis.
+class CRNKIT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CRNKIT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CRNKIT_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace crnkit::util
+
+#endif  // CRNKIT_UTIL_MUTEX_H_

@@ -1,0 +1,45 @@
+// Clang thread-safety analysis attributes (-Wthread-safety), compiled to
+// nothing elsewhere. Applied through util::Mutex/MutexLock (mutex.h) and
+// the GUARDED_BY/REQUIRES macros here, they turn locking conventions that
+// used to live in comments ("guards registration", "called under mu_")
+// into compiler-checked contracts: a clang CI build fails on any access to
+// a guarded field without its mutex held.
+#ifndef CRNKIT_UTIL_THREAD_ANNOTATIONS_H_
+#define CRNKIT_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CRNKIT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CRNKIT_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type that models a lockable capability (util::Mutex).
+#define CRNKIT_CAPABILITY(x) CRNKIT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability (MutexLock).
+#define CRNKIT_SCOPED_CAPABILITY CRNKIT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written with `x` held.
+#define CRNKIT_GUARDED_BY(x) CRNKIT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (the *_locked
+/// helper convention).
+#define CRNKIT_REQUIRES(...) \
+  CRNKIT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities.
+#define CRNKIT_ACQUIRE(...) \
+  CRNKIT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CRNKIT_RELEASE(...) \
+  CRNKIT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be entered with the listed capabilities held
+/// (self-deadlock guard for methods that take the lock themselves).
+#define CRNKIT_EXCLUDES(...) \
+  CRNKIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot follow.
+#define CRNKIT_NO_THREAD_SAFETY_ANALYSIS \
+  CRNKIT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // CRNKIT_UTIL_THREAD_ANNOTATIONS_H_

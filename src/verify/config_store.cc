@@ -114,6 +114,29 @@ void ConfigStore::reserve(std::size_t n_configs) {
   advise_huge(id_hash_.data(), id_hash_.capacity() * sizeof(std::uint64_t));
 }
 
+void ConfigStore::reserve_slots(std::size_t expected_configs) {
+  require(size_ == 0 && staged_count() == 0,
+          "ConfigStore::reserve_slots: store not empty");
+  const std::size_t per_shard = expected_configs / kShards + 1;
+  std::size_t slots = kInitialSlots;
+  unsigned bits = kInitialSlotBits;
+  // Match grow()'s trigger exactly: the table must hold per_shard entries
+  // strictly below the 5/8 load threshold.
+  while ((per_shard + 1) * 8 >= slots * 5) {
+    slots <<= 1;
+    ++bits;
+  }
+  if (slots == kInitialSlots) return;
+  for (Shard& shard : shards_) {
+    shard.slots = std::vector<std::uint64_t>();
+    shard.slots.reserve(slots);
+    advise_huge(shard.slots.data(), slots * sizeof(std::uint64_t));
+    shard.slots.assign(slots, 0);
+    shard.mask = slots - 1;
+    shard.shift = 64 - kShardBits - bits;
+  }
+}
+
 void ConfigStore::grow(Shard& shard) {
   const std::size_t cap = shard.mask + 1;
   std::vector<std::uint64_t> old(std::move(shard.slots));

@@ -178,6 +178,14 @@ class ConfigStore {
   /// Reserved address space is untouched until used.
   void reserve(std::size_t n_configs);
 
+  /// Pre-sizes every shard's hash table for `expected_configs` total
+  /// entries at the 5/8 max load factor grow() maintains, so a guided
+  /// exploration whose static bound is accurate never pays a mid-level
+  /// rehash (or its transient old+new table). Only valid on an empty
+  /// store; ids and graphs are unaffected (ids are assigned by stage
+  /// order, never by slot position).
+  void reserve_slots(std::size_t expected_configs);
+
   /// Memory footprint in bytes: arena and per-node hashes by *used* size
   /// (reserve() may map far more untouched address space), hash tables
   /// and staging buffers by capacity.

@@ -131,7 +131,25 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
   ReachabilityGraph graph(width);
   graph.stats.threads = threads;
   ConfigStore& store = graph.store;
-  store.reserve(std::min<std::size_t>(options.max_configs, 4'000'000));
+  // Arena sizing: the invariant guide's reachable-set bound caps the
+  // reservation below the node budget when the CRN's conservation laws
+  // prove the space is smaller; with a guide present the hash shards are
+  // also pre-sized to their final capacity, so the exploration never
+  // pays a growth rehash.
+  std::size_t reserve_configs =
+      std::min<std::size_t>(options.max_configs, 4'000'000);
+  if (options.expected_configs > 0 &&
+      static_cast<std::size_t>(options.expected_configs) < reserve_configs) {
+    reserve_configs = static_cast<std::size_t>(options.expected_configs);
+  }
+  store.reserve(reserve_configs);
+  if (options.expected_configs > 0) store.reserve_slots(reserve_configs);
+  const math::Int* bounds = nullptr;
+  if (options.species_bounds != nullptr) {
+    require(options.species_bounds->size() == width,
+            "explore: species_bounds width mismatch");
+    bounds = options.species_bounds->data();
+  }
 
   // Per-node applicability bitmasks, maintained through the compiled
   // reaction dependency graph: a node differs from its BFS parent only in
@@ -227,6 +245,16 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     for (std::size_t k = 0; k < ds.size(); ++k) {
       const std::size_t s = ds[k];
       const auto value = static_cast<math::Int>(row[s]);
+      // Invariant-guided rejection: a successor that would push a species
+      // past its conservation-law bound cannot be reachable, so it is
+      // dropped before hashing completes or the store is probed. On exact
+      // exploration the bounds hold on every successor of a reachable
+      // config, so this never fires — which is what keeps guided runs
+      // bit-identical — but it is what makes truncated or speculative
+      // exploration modes safe to guide.
+      if (bounds != nullptr && bounds[s] >= 0 && value + dv[k] > bounds[s]) {
+        return;
+      }
       h ^= store.elem_hash(s, value);
       h ^= store.elem_hash(s, value + dv[k]);
     }

@@ -115,6 +115,18 @@ struct ExploreOptions {
   /// explore from scratch. Determinism makes the resumed graph
   /// bit-identical to an uninterrupted run.
   bool resume = false;
+  /// Static-analysis guidance (lint::InvariantGuide): per-species
+  /// reachable-count bounds derived from conservation laws at the root
+  /// (-1 = unbounded), borrowed for the duration of the call. Candidates
+  /// violating a bound are rejected before interning. The bounds are
+  /// invariants of exact exploration, so a correct guide never changes
+  /// the resulting graph — guided and unguided runs are bit-identical.
+  const std::vector<math::Int>* species_bounds = nullptr;
+  /// Static upper bound on the reachable-set size
+  /// (lint::InvariantGuide::reachable_bound); <= 0 means unknown. Used
+  /// together with max_configs to right-size the arena reservation and
+  /// pre-size the hash shards (skipping their growth rehashes).
+  math::Int expected_configs = -1;
 };
 
 /// Enumerates configurations reachable from `initial`.

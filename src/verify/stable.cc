@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "geom/arrangement.h"
+#include "lint/guide.h"
 #include "math/check.h"
 #include "obs/trace.h"
 
@@ -116,6 +117,12 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   explore_options.checkpoint_path = options.checkpoint_path;
   explore_options.checkpoint_every_secs = options.checkpoint_every_secs;
   explore_options.resume = options.resume;
+  lint::InvariantGuide guide;
+  if (options.invariants != nullptr && !options.invariants->empty()) {
+    guide = lint::make_guide(*options.invariants, initial);
+    explore_options.species_bounds = &guide.bounds;
+    explore_options.expected_configs = guide.reachable_bound;
+  }
   const ReachabilityGraph graph = explore(crn, initial, explore_options);
   result.complete = graph.complete;
   result.cancelled = graph.cancelled;

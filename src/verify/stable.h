@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "fn/function.h"
+#include "lint/diagnostics.h"
 #include "verify/reachability.h"
 
 namespace crnkit::verify {
@@ -59,6 +60,12 @@ struct StableCheckOptions {
   std::string checkpoint_path;
   double checkpoint_every_secs = 30.0;
   bool resume = false;
+  /// Conservation laws from the static analyzer (lint), borrowed for the
+  /// duration of the call. When present, per-species count bounds are
+  /// derived at each point's I_x and fed to the explorer (see
+  /// ExploreOptions::species_bounds / expected_configs). Verdicts and
+  /// graphs are bit-identical with and without a (correct) guide.
+  const std::vector<lint::ConservationLaw>* invariants = nullptr;
 };
 
 /// Decides whether `crn` stably computes `expected` on input x.

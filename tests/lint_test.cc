@@ -1,0 +1,335 @@
+// Tests for the static CRN analyzer (src/lint/): conservation-law
+// extraction with exact integer certificates, structural diagnostics, the
+// syntactic composability screen, and the invariant guide — plus the
+// agreement sweeps the analyzer's soundness rests on: the screen must
+// agree with crn::is_output_oblivious and Lemma 2.3's strip-and-recheck on
+// every registry scenario, every extracted law must hold on every config
+// of a completed exact exploration, and guided exploration must be
+// bit-identical to unguided.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "compile/oned.h"
+#include "compile/primitives.h"
+#include "crn/checks.h"
+#include "crn/invariants.h"
+#include "fn/examples.h"
+#include "lint/analyzer.h"
+#include "lint/guide.h"
+#include "math/matrix.h"
+#include "scenario/registry.h"
+#include "verify/composability.h"
+#include "verify/reachability.h"
+
+namespace crnkit::lint {
+namespace {
+
+using math::Int;
+using math::Rational;
+using math::RatVec;
+
+bool has_code(const AnalysisReport& report, const std::string& code,
+              Severity severity) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.code == code && d.severity == severity;
+                     });
+}
+
+RatVec to_rational(const std::vector<Int>& w) {
+  RatVec out;
+  out.reserve(w.size());
+  for (const Int x : w) out.emplace_back(x);
+  return out;
+}
+
+// --- conservation-law extraction ---
+
+TEST(Lint, IntegerNullspaceAgreesWithRationalNullspace) {
+  // Same span: every integer basis vector is in the rational kernel, and
+  // the basis sizes (nullspace dimensions) match.
+  for (const crn::Crn& crn :
+       {compile::min_crn(2), compile::min_crn(3), compile::fig1_max_crn(),
+        compile::compile_oned(fn::examples::floor_3x_over_2())}) {
+    const math::Matrix m = crn::stoichiometry_matrix(crn);
+    const auto integer_basis = math::integer_nullspace(m);
+    const auto rational_basis = math::nullspace(m);
+    EXPECT_EQ(integer_basis.size(), rational_basis.size()) << crn.name();
+    for (const auto& w : integer_basis) {
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        Rational dot(0);
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+          dot += m.at(r, c) * Rational(w[c]);
+        }
+        EXPECT_EQ(dot, Rational(0)) << crn.name() << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(Lint, ExtractedLawsAreConservedAndPrimitive) {
+  for (const crn::Crn& crn :
+       {compile::min_crn(2), compile::min_crn(3), compile::fig1_max_crn(),
+        compile::compile_oned(fn::examples::floor_3x_over_2())}) {
+    const auto laws = extract_conservation_laws(crn);
+    EXPECT_FALSE(laws.empty()) << crn.name();
+    for (const ConservationLaw& law : laws) {
+      EXPECT_TRUE(crn::is_conserved(crn, to_rational(law.weights)))
+          << crn.name() << ": " << law.rendering;
+      // Primitive: gcd 1, first nonzero entry positive.
+      Int gcd = 0;
+      Int first_nonzero = 0;
+      for (const Int x : law.weights) {
+        const Int mag = x < 0 ? -x : x;
+        gcd = math::gcd(gcd, mag);
+        if (first_nonzero == 0 && x != 0) first_nonzero = x;
+      }
+      EXPECT_EQ(gcd, 1) << law.rendering;
+      EXPECT_GT(first_nonzero, 0) << law.rendering;
+      // The semiflow flag is exactly "all weights non-negative".
+      EXPECT_EQ(law.semiflow,
+                std::all_of(law.weights.begin(), law.weights.end(),
+                            [](const Int x) { return x >= 0; }))
+          << law.rendering;
+    }
+  }
+}
+
+TEST(Lint, MinCrnLawsMatchKnownInvariants) {
+  // min(x1, x2): X1 + X2 -> Y has a 2-dimensional law space (3 species,
+  // rank-1 stoichiometry), and at least one basis law is a P-semiflow
+  // (e.g. x1 + y): that semiflow is what bounds the exploration.
+  const auto report = analyze(compile::min_crn(2));
+  ASSERT_EQ(report.laws.size(), 2u);
+  EXPECT_TRUE(std::any_of(report.laws.begin(), report.laws.end(),
+                          [](const ConservationLaw& l) { return l.semiflow; }));
+}
+
+// --- structural diagnostics ---
+
+TEST(Lint, DeadSpeciesIsReported) {
+  crn::Crn crn("dead");
+  crn.add_reaction_str("X -> Y");
+  crn.add_species("D");  // no reaction, no role
+  const auto report = analyze(crn);
+  EXPECT_TRUE(has_code(report, "dead-species", Severity::kInfo));
+}
+
+TEST(Lint, WriteOnlyNonOutputSpeciesIsReported) {
+  crn::Crn crn("write-only");
+  crn.add_reaction_str("X -> Y + W");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  const auto report = analyze(crn);
+  // W accumulates and is not the output; Y is the output so it is exempt.
+  bool flagged_w = false;
+  bool flagged_y = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code != "write-only-species") continue;
+    flagged_w |= d.species == "W";
+    flagged_y |= d.species == "Y";
+  }
+  EXPECT_TRUE(flagged_w);
+  EXPECT_FALSE(flagged_y);
+}
+
+TEST(Lint, DuplicateAndShadowedReactionsAreReported) {
+  crn::Crn crn("dup");
+  crn.add_reaction_str("A + B -> C");
+  crn.add_reaction_str("A + B -> C");  // exact duplicate
+  crn.add_reaction_str("A + B -> 2 C");  // same reactants, races with both
+  const auto report = analyze(crn);
+  EXPECT_TRUE(has_code(report, "duplicate-reaction", Severity::kWarn));
+  EXPECT_TRUE(has_code(report, "shadowed-reaction", Severity::kInfo));
+}
+
+TEST(Lint, UnfirableReactionIsReported) {
+  // Z is never producible from the initial pattern {X counts, no leader},
+  // so Z -> Y can provably never fire.
+  crn::Crn crn("unfirable");
+  crn.add_reaction_str("X -> Y");
+  crn.add_reaction_str("Z -> Y");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");
+  const auto report = analyze(crn);
+  EXPECT_TRUE(has_code(report, "unfirable-reaction", Severity::kWarn));
+}
+
+TEST(Lint, OutputNeverProducedIsAnError) {
+  crn::Crn crn("no-output");
+  crn.add_reaction_str("X -> W");
+  crn.set_input_species({"X"});
+  crn.set_output_species("Y");  // creates Y; nothing ever produces it
+  const auto report = analyze(crn);
+  EXPECT_TRUE(has_code(report, "output-never-produced", Severity::kError));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Lint, CleanObliviousModuleHasNoFindings) {
+  const auto report = analyze(compile::min_crn(2));
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_TRUE(report.screen.output_declared);
+  EXPECT_TRUE(report.screen.oblivious);
+  EXPECT_FALSE(has_code(report, "consumes-output", Severity::kWarn));
+}
+
+// --- composability screen vs the exact Lemma 2.3 machinery ---
+
+TEST(Lint, MaxCrnIsRejectedWithTheOffendingReactionNamed) {
+  const auto report = analyze(compile::fig1_max_crn());
+  EXPECT_TRUE(report.screen.output_declared);
+  EXPECT_FALSE(report.screen.oblivious);
+  ASSERT_GE(report.screen.offending_reaction, 0);
+  // The offending reaction consumes the output species Y.
+  EXPECT_NE(report.screen.offending_rendering.find("Y"), std::string::npos)
+      << report.screen.offending_rendering;
+  EXPECT_TRUE(has_code(report, "consumes-output", Severity::kWarn));
+}
+
+TEST(Lint, ScreenAgreesWithIsOutputObliviousOnEveryRegistryScenario) {
+  const auto scenarios = scenario::Registry::builtin().build_all();
+  ASSERT_FALSE(scenarios.empty());
+  for (const scenario::Scenario& s : scenarios) {
+    const auto report = analyze(s.crn);
+    EXPECT_EQ(report.screen.output_declared, s.crn.output().has_value())
+        << s.name;
+    if (!s.crn.output().has_value()) continue;
+    EXPECT_EQ(report.screen.oblivious, crn::is_output_oblivious(s.crn))
+        << s.name;
+    if (!report.screen.oblivious) {
+      // The anchor must be real: that reaction consumes the output.
+      ASSERT_GE(report.screen.offending_reaction, 0) << s.name;
+      const auto& r = s.crn.reactions()[static_cast<std::size_t>(
+          report.screen.offending_reaction)];
+      EXPECT_GT(r.reactant_count(s.crn.output_or_throw()), 0) << s.name;
+    }
+  }
+}
+
+TEST(Lint, ScreenAgreesWithStripAndRecheckOnThePaperExamples) {
+  // Obs. 2.2 half: a screen-clean module needs no stripping at all.
+  const auto min_report = verify::check_composability(
+      compile::min_crn(2), fn::examples::min2(), 4);
+  EXPECT_TRUE(analyze(compile::min_crn(2)).screen.oblivious);
+  EXPECT_TRUE(min_report.already_oblivious);
+  EXPECT_TRUE(min_report.composable());
+  // Lemma 2.3 half: the screen's rejection is confirmed by the exact
+  // strip-and-recheck — stripped max computes x1 + x2, not max.
+  const auto max_report = verify::check_composability(
+      compile::fig1_max_crn(), fn::examples::max2(), 4);
+  EXPECT_FALSE(analyze(compile::fig1_max_crn()).screen.oblivious);
+  EXPECT_FALSE(max_report.already_oblivious);
+  EXPECT_FALSE(max_report.composable());
+}
+
+// --- the invariant guide and exact exploration ---
+
+TEST(Lint, LawsHoldOnEveryConfigOfACompletedExploration) {
+  const crn::Crn max2 = compile::fig1_max_crn();
+  const auto laws = extract_conservation_laws(max2);
+  ASSERT_FALSE(laws.empty());
+  const crn::Config initial = max2.initial_configuration({3, 2});
+  const auto graph = verify::explore(max2, initial);
+  ASSERT_TRUE(graph.complete);
+  for (const ConservationLaw& law : laws) {
+    const RatVec w = to_rational(law.weights);
+    const Rational at_root = crn::invariant_value(w, initial);
+    for (std::size_t node = 0; node < graph.size(); ++node) {
+      ASSERT_EQ(crn::invariant_value(
+                    w, graph.config(static_cast<int>(node))),
+                at_root)
+          << law.rendering << " violated at node " << node;
+    }
+  }
+}
+
+TEST(Lint, GuideBoundsAreRespectedByEveryReachableConfig) {
+  const crn::Crn min3 = compile::min_crn(3);
+  const crn::Config initial = min3.initial_configuration({4, 2, 3});
+  const InvariantGuide guide = make_guide(min3, initial);
+  ASSERT_FALSE(guide.empty());
+  const auto graph = verify::explore(min3, initial);
+  ASSERT_TRUE(graph.complete);
+  for (std::size_t node = 0; node < graph.size(); ++node) {
+    const crn::Config c = graph.config(static_cast<int>(node));
+    for (std::size_t s = 0; s < c.size(); ++s) {
+      if (guide.bounds[s] < 0) continue;  // uncovered species
+      ASSERT_LE(c[s], guide.bounds[s]) << "species " << s << " at " << node;
+    }
+  }
+}
+
+TEST(Lint, FullySemiflowCoveredCrnGetsAReachableBound) {
+  // scale_crn(2) is X -> 2Y with the single semiflow 2x + y, covering both
+  // species: the guide bounds x <= n, y <= 2n and the whole reachable set
+  // by (n + 1)(2n + 1).
+  const crn::Crn twice = compile::scale_crn(2);
+  const crn::Config initial = twice.initial_configuration({6});
+  const InvariantGuide guide = make_guide(twice, initial);
+  ASSERT_FALSE(guide.empty());
+  for (const math::Int b : guide.bounds) EXPECT_GE(b, 0);
+  ASSERT_GE(guide.reachable_bound, 0);
+  const auto graph = verify::explore(twice, initial);
+  ASSERT_TRUE(graph.complete);
+  EXPECT_LE(static_cast<math::Int>(graph.size()), guide.reachable_bound);
+}
+
+TEST(Lint, GuidedExplorationIsBitIdenticalToUnguided) {
+  for (const fn::Point& x :
+       {fn::Point{5, 3}, fn::Point{2, 7}, fn::Point{4, 4}}) {
+    const crn::Crn max2 = compile::fig1_max_crn();
+    const crn::Config initial = max2.initial_configuration(x);
+    const auto plain = verify::explore(max2, initial);
+    const InvariantGuide guide = make_guide(max2, initial);
+    verify::ExploreOptions guided_options;
+    guided_options.species_bounds = &guide.bounds;
+    guided_options.expected_configs = guide.reachable_bound;
+    const auto guided = verify::explore(max2, initial, guided_options);
+    ASSERT_EQ(plain.size(), guided.size());
+    ASSERT_EQ(plain.edge_count(), guided.edge_count());
+    // Not just counts: the enumerated configuration sets are identical.
+    std::set<crn::Config> plain_configs;
+    std::set<crn::Config> guided_configs;
+    for (std::size_t n = 0; n < plain.size(); ++n) {
+      plain_configs.insert(plain.config(static_cast<int>(n)));
+      guided_configs.insert(guided.config(static_cast<int>(n)));
+    }
+    EXPECT_EQ(plain_configs, guided_configs);
+  }
+}
+
+TEST(Lint, CertificatesRenderTheInvariantValueAtThePoint) {
+  const crn::Crn min2 = compile::min_crn(2);
+  const crn::Config initial = min2.initial_configuration({3, 2});
+  const InvariantGuide guide = make_guide(min2, initial);
+  const auto certs = certificates(guide, initial);
+  ASSERT_EQ(certs.size(), guide.laws.size());
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    // Each certificate is "<law rendering> = <w . I_x>", with the value
+    // computed exactly from the law's own integer weights.
+    math::Int value = 0;
+    for (std::size_t s = 0; s < initial.size(); ++s) {
+      value += guide.laws[i].weights[s] * initial[s];
+    }
+    EXPECT_EQ(certs[i], guide.laws[i].rendering + " = " +
+                            std::to_string(value))
+        << certs[i];
+  }
+}
+
+TEST(Lint, RegistrySweepHasNoErrorsInVerifiableScenarios) {
+  // The gate `crnc analyze --all` enforces, at the library level: no
+  // scenario that verification is expected to prove carries an
+  // error-severity static finding.
+  for (const scenario::Scenario& s :
+       scenario::Registry::builtin().build_all()) {
+    if (s.unverifiable()) continue;
+    const auto report = analyze(s.crn);
+    EXPECT_FALSE(report.has_errors()) << s.name << "\n" << render_text(report);
+  }
+}
+
+}  // namespace
+}  // namespace crnkit::lint

@@ -17,6 +17,7 @@
 #include "crn/passes.h"
 #include "svc/proof_cache.h"
 #include "svc/serialize.h"
+#include "svc/server.h"
 #include "svc/service.h"
 #include "svc/workload.h"
 
@@ -295,7 +296,7 @@ TEST(ProofCache, LoadRejectsTamperedAndMalformedFiles) {
   write_and_expect_reject(tampered);
 
   // A future schema version is refused rather than misread.
-  const auto version_pos = text.find("\"schema_version\": 1");
+  const auto version_pos = text.find("\"schema_version\": 2");
   ASSERT_NE(version_pos, std::string::npos);
   std::string future = text;
   future.replace(version_pos, 19, "\"schema_version\": 99");
@@ -468,6 +469,59 @@ TEST(Serialize, VerifyResponseRoundTripsSchemaVersion) {
   EXPECT_EQ(root.get("points").size(),
             static_cast<std::size_t>(root.get_int("proved", -1)));
   EXPECT_TRUE(root.get_bool("ok", false));
+}
+
+TEST(Service, AnalyzeOpAnswersOverTheWireWithFindings) {
+  // The analyze op through the same line-JSON dispatch the daemon uses:
+  // fig1/max must come back statically rejected (consumes-output, with
+  // the offending reaction), fig1/min clean, and the full-registry sweep
+  // ok (no error findings in verifiable scenarios).
+  Service service;
+  const std::string max_response = Server::dispatch_line(
+      service, R"({"op": "analyze", "target": "fig1/max"})");
+  const util::JsonValue max_root = util::JsonValue::parse(max_response);
+  EXPECT_EQ(max_root.get_int("schema_version", -1), kSchemaVersion);
+  const util::JsonValue& max_report = max_root.get("reports").items().at(0);
+  EXPECT_FALSE(max_report.get("composability").get_bool("oblivious", true));
+  EXPECT_GE(max_report.get("composability").get_int("offending_reaction", -1),
+            0);
+
+  const std::string min_response = Server::dispatch_line(
+      service, R"({"op": "analyze", "target": "fig1/min"})");
+  const util::JsonValue min_root = util::JsonValue::parse(min_response);
+  EXPECT_TRUE(min_root.get("reports")
+                  .items()
+                  .at(0)
+                  .get("composability")
+                  .get_bool("oblivious", false));
+  EXPECT_TRUE(min_root.get_bool("ok", false));
+
+  const std::string all_response =
+      Server::dispatch_line(service, R"({"op": "analyze", "all": true})");
+  const util::JsonValue all_root = util::JsonValue::parse(all_response);
+  EXPECT_GT(all_root.get("reports").size(), 10u);
+  EXPECT_EQ(all_root.get_int("errors", -1), 0);
+  EXPECT_TRUE(all_root.get_bool("ok", false));
+}
+
+TEST(Service, VerifyStampsInvariantCertificatesIntoCachedVerdicts) {
+  // First verify computes the proof and stamps the conservation-law
+  // certificates; the cache hit must return the same certificates.
+  Service service;
+  const VerifyResponse cold = service.verify(min_request());
+  ASSERT_TRUE(cold.ok);
+  EXPECT_GT(cold.conservation_laws, 0u);
+  ASSERT_FALSE(cold.points.empty());
+  for (const VerifyPointReport& p : cold.points) {
+    EXPECT_FALSE(p.invariants.empty()) << p.x;
+  }
+  const VerifyResponse warm = service.verify(min_request());
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.points.size(), cold.points.size());
+  for (std::size_t i = 0; i < warm.points.size(); ++i) {
+    EXPECT_TRUE(warm.points[i].cached) << i;
+    EXPECT_EQ(warm.points[i].invariants, cold.points[i].invariants) << i;
+  }
 }
 
 }  // namespace

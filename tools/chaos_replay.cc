@@ -145,8 +145,8 @@ std::string pick_request(Prng& prng) {
 /// the tally; returns when the request completed, was typed-shed past the
 /// retry budget, or hard-failed.
 void drive_one(const std::string& host, int port, const std::string& request,
-               std::optional<LineClient>& client, Prng& prng, Tally& tally) {
-  constexpr int kMaxAttempts = 8;
+               std::optional<LineClient>& client, Prng& prng, Tally& tally,
+               int max_attempts) {
   const auto t0 = std::chrono::steady_clock::now();
   for (int attempt = 0;; ++attempt) {
     try {
@@ -160,7 +160,7 @@ void drive_one(const std::string& host, int port, const std::string& request,
           ++tally.untyped;
           return;  // contract violation — recorded, no point retrying
         }
-        if (attempt >= kMaxAttempts) return;  // budget spent on backpressure
+        if (attempt >= max_attempts) return;  // budget spent on backpressure
         ++tally.retries;
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
             static_cast<double>(v.get_int("retry_after_ms", 10)) *
@@ -178,13 +178,16 @@ void drive_one(const std::string& host, int port, const std::string& request,
       // torn reply): reconnect and retry.
       client.reset();
       ++tally.resets;
-      if (attempt >= kMaxAttempts) {
+      if (attempt >= max_attempts) {
         ++tally.hard_failures;
         return;
       }
       ++tally.retries;
+      // Linear backoff: consecutive resets mean the accept loop is
+      // starved, so waiting longer each time is what actually clears it.
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          5.0 * (0.5 + 0.5 * prng.uniform())));
+          5.0 * static_cast<double>(attempt + 1) *
+          (0.5 + 0.5 * prng.uniform())));
     }
   }
 }
@@ -200,6 +203,11 @@ int run(int argc, char** argv) {
   std::size_t threads = 4;
   std::uint64_t seed = 1;
   double p99_budget_ms = 30'000;
+  // Per-request retry budget. 8 is ample on a native build; sanitizer CI
+  // (TSan slows the server ~10x, so injected resets pile onto loaded
+  // accept queues much longer) raises it — the contract checked there is
+  // "no races, no crashes, typed sheds", not the retry SLO.
+  int max_attempts = 8;
   std::optional<std::string> connect;
   std::string faults = kDefaultFaults;
 
@@ -223,11 +231,13 @@ int run(int argc, char** argv) {
       faults = need_value("--faults");
     } else if (arg == "--p99-budget-ms") {
       p99_budget_ms = std::stod(need_value("--p99-budget-ms"));
+    } else if (arg == "--max-attempts") {
+      max_attempts = std::max(1, std::stoi(need_value("--max-attempts")));
     } else {
       std::fprintf(stderr,
                    "usage: chaos_replay [--count N] [--threads N] [--seed S] "
                    "[--connect HOST:PORT] [--faults SPEC] "
-                   "[--p99-budget-ms N]\n");
+                   "[--p99-budget-ms N] [--max-attempts N]\n");
       return 2;
     }
   }
@@ -289,7 +299,8 @@ int run(int argc, char** argv) {
         // Fresh connections now and then so the accept failpoint and the
         // connection gate see steady traffic.
         if (i % 16 == 0) client.reset();
-        drive_one(host, port, pick_request(prng), client, prng, tally);
+        drive_one(host, port, pick_request(prng), client, prng, tally,
+                  max_attempts);
       }
     });
   }
