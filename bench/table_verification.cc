@@ -440,6 +440,74 @@ void print_artifacts() {
     }
   }
 
+  // Out-of-core proofs: the same exact verdicts under a memory budget the
+  // arena cannot fit in, spilled to disk instead of truncated. Fast mode
+  // spills the million-node chain; full mode adds the 2.6M- and 4.3M-node
+  // chains and pins the spilled verdict against the unconstrained one.
+  {
+    struct OoCase {
+      std::string scenario;
+      fn::Point x;
+      std::size_t budget_mb;
+      bool heavy;
+    };
+    const std::vector<OoCase> oo_cases = {
+        {"chain/compose-18", {8}, 8, false},
+        {"chain/compose-24", {7}, 64, true},
+        {"chain/compose-26", {7}, 64, true},
+    };
+    const std::string spill_dir = [] {
+      const char* env = std::getenv("TMPDIR");
+      // Segment names embed the pid, so a shared directory is safe.
+      return std::string(env != nullptr ? env : "/tmp") +
+             "/crnkit_bench_spill";
+    }();
+    for (const auto& c : oo_cases) {
+      if (fast && c.heavy) continue;
+      const scenario::Scenario s =
+          scenario::Registry::builtin().build(c.scenario);
+      verify::StableCheckOptions options;
+      if (s.verify_max_configs > 0) {
+        options.max_configs = s.verify_max_configs;
+      }
+      const math::Int expected = (*s.reference)(c.x);
+      const std::string label =
+          c.scenario + "(" + scenario::point_to_string(c.x) + ")";
+
+      verify::StableCheckOptions spill_options = options;
+      spill_options.spill_dir = spill_dir;
+      spill_options.memory_budget_bytes = c.budget_mb << 20;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto spilled = verify::check_stable_computation(
+          s.crn, c.x, expected, spill_options);
+      const double oo_s = seconds_since(t0);
+      ensure(spilled.ok && spilled.complete,
+             "out-of-core proof failed on " + label);
+      ensure(spilled.explore_stats.spilled,
+             "out-of-core run never spilled on " + label +
+                 " — budget too generous to measure anything");
+      if (!fast) {
+        // The spilled proof must agree with the unconstrained one on
+        // everything the verdict is made of.
+        const auto want = verify::check_stable_computation(
+            s.crn, c.x, expected, options);
+        ensure(spilled.ok == want.ok && spilled.complete == want.complete &&
+                   spilled.num_configs == want.num_configs &&
+                   spilled.num_edges == want.num_edges,
+               "spilled proof diverged from the in-RAM proof on " + label);
+      }
+      std::printf("\noo_core %s: PROVED in %.2fs under a %zu MiB budget "
+                  "(%zu configs, %.1f MiB spilled)\n",
+                  label.c_str(), oo_s, c.budget_mb, spilled.num_configs,
+                  static_cast<double>(
+                      spilled.explore_stats.spill_bytes_written) /
+                      (1024.0 * 1024.0));
+      records.push_back({"oo_core/" + label,
+                         static_cast<double>(spilled.num_configs) / oo_s,
+                         oo_s, spilled.num_configs});
+    }
+  }
+
   bench::write_bench_json("verification", records, extra);
 }
 

@@ -34,6 +34,9 @@ int cmd_serve(Args& args, std::ostream& out) {
   service_options.default_deadline_ms = args.take_int("deadline-ms", 0);
   service_options.memory_budget_bytes = static_cast<std::size_t>(
       args.take_int("memory-budget-mb", 0)) << 20;
+  // With a spill directory, over-budget verifies run out-of-core (exact,
+  // marked `spilled`) instead of clamping to a `degraded` truncation.
+  service_options.spill_dir = args.take_option("spill-dir").value_or("");
   const auto cache_file = args.take_option("cache-file");
   const auto cache_journal = args.take_option("cache-journal");
   const auto faults = args.take_option("faults");

@@ -38,12 +38,26 @@ int cmd_verify(Args& args, std::ostream& out) {
   if (request.resume && request.checkpoint_path.empty()) {
     throw std::invalid_argument("verify: --resume needs --checkpoint FILE");
   }
+  // Out-of-core knobs are service options, not request fields: the
+  // memory budget + spill directory form the service's degradation
+  // ladder (exact in RAM -> exact spilled -> truncated `degraded`), and
+  // the daemon takes the same pair via `crnc serve`.
+  svc::Service::Options service_options;
+  service_options.memory_budget_bytes =
+      static_cast<std::size_t>(args.take_int("memory-budget-mb", 0)) << 20;
+  service_options.spill_dir = args.take_option("spill-dir").value_or("");
+  if (!service_options.spill_dir.empty() &&
+      service_options.memory_budget_bytes == 0) {
+    throw std::invalid_argument(
+        "verify: --spill-dir needs --memory-budget-mb N (spilling starts "
+        "when resident bytes exceed the budget)");
+  }
   const auto target = args.take_positional();
   args.finish();
   if (!target) throw std::invalid_argument("verify needs a scenario or file");
   request.target = *target;
 
-  svc::Service service;
+  svc::Service service(service_options);
   const svc::VerifyResponse response = service.verify(request);
 
   if (json) {
@@ -75,6 +89,8 @@ int cmd_verify(Args& args, std::ostream& out) {
     out << ", " << response.deadline_exceeded
         << " deadline_exceeded (raise --deadline-ms)";
   }
+  if (response.spilled) out << ", spilled (exact, out-of-core)";
+  if (response.degraded) out << ", degraded (budget clamped max-configs)";
   out << "\n";
   if (request.stats) {
     const double total_rate =
@@ -102,6 +118,15 @@ int cmd_verify(Args& args, std::ostream& out) {
                   static_cast<double>(response.pool_tasks)
             : 0.0);
     out << line;
+    if (response.spilled) {
+      std::snprintf(line, sizeof(line),
+                    "spill: %.1f MiB written, %.1f MiB faulted back\n",
+                    static_cast<double>(response.spill_bytes_written) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(response.spill_bytes_read) /
+                        (1024.0 * 1024.0));
+      out << line;
+    }
   }
   return response.ok ? 0 : 1;
 }

@@ -45,7 +45,8 @@ commands:
       [--grid N | --input X1,X2,... [--expect V]] [--max-configs N]
       [--threads T] [--stats] [--force] [--deadline-ms N]
       [--no-invariants] [--checkpoint FILE
-      [--checkpoint-every-secs N] [--resume]] [--json] [--trace out.json]
+      [--checkpoint-every-secs N] [--resume]]
+      [--memory-budget-mb N [--spill-dir DIR]] [--json] [--trace out.json]
   bench <scenario|file.crn>   ensemble throughput measurement
       [--input X1,X2,...] [--trajectories N] [--events N] [--seed S]
       [--threads T] [--method ...] [--json]
@@ -55,7 +56,8 @@ commands:
       [--host H] [--port P] [--cache-bytes N] [--cache-file FILE]
       [--cache-journal FILE] [--max-connections N] [--max-inflight N]
       [--retry-after-ms N] [--drain-grace-ms N] [--deadline-ms N]
-      [--memory-budget-mb N] [--faults SPEC] [--trace-dir DIR] [--log FILE]
+      [--memory-budget-mb N [--spill-dir DIR]] [--faults SPEC]
+      [--trace-dir DIR] [--log FILE]
 
 Metrics are exposed by the daemon at GET /metrics (Prometheus text) and
 the `metrics` line-JSON op; --trace writes Chrome trace_event JSON that

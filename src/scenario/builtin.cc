@@ -271,6 +271,21 @@ void register_builtin_scenarios(Registry& registry) {
     return s;
   });
 
+  registry.add("chain/compose-26", [] {
+    Scenario s =
+        make("chain/compose-26",
+             "26 concatenated oblivious identity modules at x=7 — a "
+             "C(33,26) = 4,272,048-configuration exact proof, the "
+             "out-of-core acceptance workload: its arena overruns "
+             "laptop-scale memory budgets and must spill, not degrade",
+             "Obs. 2.2", {"oblivious", "leaderless", "composed", "large"},
+             identity_chain(26), identity_fn(), {{1}, {7}}, {100000});
+    // 4.27M reachable configs at x=7: raise the checker budget past the
+    // 2M default so the proof can complete (in RAM or spilled).
+    s.verify_max_configs = 4'500'000;
+    return s;
+  });
+
   registry.add("chain/compose-256", [] {
     return make("chain/compose-256",
                 "256 concatenated oblivious identity modules — the deep-"

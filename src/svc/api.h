@@ -165,9 +165,15 @@ struct VerifyPointReport {
   std::size_t edges = 0;
   std::string status;  ///< proved | FAILED | inconclusive | deadline_exceeded
   bool cached = false;  ///< served from the proof cache
+  /// The exploration spilled cold arena pages to disk to stay inside the
+  /// memory budget — the verdict is still exact (out-of-core, not
+  /// truncated). Cached verdicts carry the flag of the original run.
+  bool spilled = false;
   double wall_seconds = 0.0;
   std::size_t frontier_peak = 0;
   std::size_t arena_bytes = 0;
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
   /// Replayable reaction path I_x -> counterexample (FAILED points only).
   std::vector<int> witness;
   /// Conservation-law certificates at this point's I_x ("x1 + y = 5"),
@@ -191,8 +197,13 @@ struct VerifyResponse {
   int deadline_exceeded = 0;  ///< points cut short by the deadline
   /// The memory budget clamped max_configs below the requested value:
   /// over-budget points report sound truncated (inconclusive) verdicts
-  /// instead of risking the process.
+  /// instead of risking the process. Never set together with `spilled` —
+  /// a configured spill directory converts would-be degradation into an
+  /// exact out-of-core exploration instead.
   bool degraded = false;
+  /// Some point's exploration ran out-of-core (see
+  /// VerifyPointReport::spilled); the verdicts are exact.
+  bool spilled = false;
   std::size_t max_configs_explored = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
@@ -202,6 +213,8 @@ struct VerifyResponse {
   double total_seconds = 0.0;  ///< fresh computations only (hits are free)
   std::size_t frontier_peak = 0;
   std::size_t arena_bytes_peak = 0;
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
   std::uint64_t pool_tasks = 0;
   std::uint64_t pool_steals = 0;
   std::uint64_t pool_parks = 0;

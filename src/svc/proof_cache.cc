@@ -25,6 +25,7 @@ struct CacheMetrics {
   obs::Counter& misses;
   obs::Counter& insertions;
   obs::Counter& evictions;
+  obs::Counter& coalesced;
   obs::Gauge& entries;
   obs::Gauge& bytes;
 
@@ -37,6 +38,9 @@ struct CacheMetrics {
                     "proof cache verdicts inserted"),
         reg.counter("crnkit_cache_evictions_total",
                     "proof cache entries evicted by the byte budget"),
+        reg.counter("crnkit_cache_coalesced_total",
+                    "lookups that waited behind an identical in-flight "
+                    "verify instead of exploring concurrently"),
         reg.gauge("crnkit_cache_entries", "proof cache entries resident"),
         reg.gauge("crnkit_cache_bytes", "proof cache resident bytes"),
     };
@@ -196,6 +200,39 @@ ProofCache::ProofCache() : ProofCache(Options{}) {}
 
 ProofCache::ProofCache(const Options& options) : options_(options) {}
 
+ProofCache::Flight::Flight(ProofCache& cache, const ProofKey& key,
+                           std::size_t budget)
+    : cache_(cache), key_(key), budget_(budget) {
+  std::unique_lock<std::mutex> lock(cache_.flights_mu_);
+  const auto in_flight = [this] {
+    for (const auto& [k, b] : cache_.flights_) {
+      if (b == budget_ && k == key_) return true;
+    }
+    return false;
+  };
+  if (in_flight()) {
+    coalesced_ = true;
+    ++cache_.coalesced_;
+    CacheMetrics::get().coalesced.inc();
+    cache_.flights_cv_.wait(lock, [&] { return !in_flight(); });
+  }
+  cache_.flights_.emplace_back(key_, budget_);
+}
+
+ProofCache::Flight::~Flight() {
+  {
+    std::unique_lock<std::mutex> lock(cache_.flights_mu_);
+    for (auto it = cache_.flights_.begin(); it != cache_.flights_.end();
+         ++it) {
+      if (it->second == budget_ && it->first == key_) {
+        cache_.flights_.erase(it);
+        break;
+      }
+    }
+  }
+  cache_.flights_cv_.notify_all();
+}
+
 std::size_t ProofCache::entry_bytes(const Entry& entry) {
   std::size_t bytes = sizeof(Entry) +
                       entry.key.proof.x.size() * sizeof(math::Int) +
@@ -290,8 +327,12 @@ void ProofCache::sync_gauges_locked() const {
 }
 
 ProofCache::Stats ProofCache::stats() const {
-  util::MutexLock lock(mu_);
   Stats s;
+  {
+    std::unique_lock<std::mutex> lock(flights_mu_);
+    s.coalesced = coalesced_;
+  }
+  util::MutexLock lock(mu_);
   s.hits = hits_;
   s.misses = misses_;
   s.insertions = insertions_;

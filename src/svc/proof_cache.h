@@ -22,8 +22,10 @@
 #ifndef CRNKIT_SVC_PROOF_CACHE_H_
 #define CRNKIT_SVC_PROOF_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -80,12 +82,41 @@ class ProofCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Lookups that waited behind an identical in-flight computation
+    /// (see Flight) instead of exploring the same graph concurrently.
+    std::uint64_t coalesced = 0;
     std::size_t entries = 0;
     std::size_t bytes = 0;
   };
 
   ProofCache();
   explicit ProofCache(const Options& options);
+
+  /// Single-flight claim on one (key, budget) verdict slot. Construction
+  /// blocks while another thread holds the claim — i.e. is computing the
+  /// same verdict — then claims it; destruction releases it and wakes
+  /// waiters. Claim BEFORE the first lookup: the leader of a cold burst
+  /// then records the only miss and the only exploration, and every
+  /// follower claims after the leader's insert() and hits. A leader that
+  /// dies without inserting (exception, deadline) simply promotes the
+  /// next waiter to leader — the claim is exception-safe RAII state, not
+  /// a lock around user code. Waiters bump crnkit_cache_coalesced_total.
+  class Flight {
+   public:
+    Flight(ProofCache& cache, const ProofKey& key, std::size_t budget);
+    ~Flight();
+    Flight(const Flight&) = delete;
+    Flight& operator=(const Flight&) = delete;
+
+    /// This claimant found the slot already in flight and waited.
+    [[nodiscard]] bool coalesced() const { return coalesced_; }
+
+   private:
+    ProofCache& cache_;
+    ProofKey key_;
+    std::size_t budget_;
+    bool coalesced_ = false;
+  };
 
   /// Returns the cached verdict a request with `budget` may reuse (see the
   /// file comment for the budget semantics), refreshing its LRU position.
@@ -158,6 +189,17 @@ class ProofCache {
   void evict_locked() CRNKIT_REQUIRES(mu_);
   /// Pushes entries/bytes into the crnkit_cache_* gauges.
   void sync_gauges_locked() const CRNKIT_REQUIRES(mu_);
+
+  // Single-flight table, under its own plain mutex: Flight construction
+  // blocks on the condition variable (util::Mutex has no cv), and a
+  // leader holds its claim across a whole exploration — it must never
+  // hold mu_, which every lookup/insert on other keys needs.
+  mutable std::mutex flights_mu_;
+  std::condition_variable flights_cv_;
+  /// Claimed (key, budget) slots; linear scan — in-flight explorations
+  /// are few and each holds the list entry for seconds, not the mutex.
+  std::vector<std::pair<ProofKey, std::size_t>> flights_;
+  std::uint64_t coalesced_ = 0;
 
   mutable util::Mutex mu_;
   Options options_;

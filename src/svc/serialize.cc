@@ -147,6 +147,9 @@ std::string to_json(const VerifyResponse& resp) {
         .kv("configs", p.configs)
         .kv("status", p.status)
         .kv("cached", p.cached);
+    // Out-of-core annotation: absent on in-RAM points, so the JSON of
+    // budget-free runs is byte-identical to before the spill rung.
+    if (p.spilled) w.kv("spilled", true);
     if (!p.witness.empty()) {
       w.key("witness").begin_array();
       for (const int r : p.witness) w.value(r);
@@ -167,6 +170,10 @@ std::string to_json(const VerifyResponse& resp) {
                     1)
           .kv("frontier_peak", p.frontier_peak)
           .kv("arena_bytes", p.arena_bytes);
+      if (p.spilled) {
+        w.kv("spill_bytes_written", p.spill_bytes_written)
+            .kv("spill_bytes_read", p.spill_bytes_read);
+      }
     }
     w.end_object();
   }
@@ -176,6 +183,7 @@ std::string to_json(const VerifyResponse& resp) {
       .kv("inconclusive", resp.inconclusive)
       .kv("deadline_exceeded", resp.deadline_exceeded)
       .kv("degraded", resp.degraded)
+      .kv("spilled", resp.spilled)
       .kv("max_configs_explored", resp.max_configs_explored)
       .kv("cache_hits", resp.cache_hits)
       .kv("cache_misses", resp.cache_misses);
@@ -193,6 +201,8 @@ std::string to_json(const VerifyResponse& resp) {
         .kv_fixed("configs_per_sec", total_rate, 1)
         .kv("frontier_peak", resp.frontier_peak)
         .kv("arena_bytes", resp.arena_bytes_peak)
+        .kv("spill_bytes_written", resp.spill_bytes_written)
+        .kv("spill_bytes_read", resp.spill_bytes_read)
         .key("pool")
         .begin_object()
         .kv("tasks", resp.pool_tasks)

@@ -22,6 +22,7 @@
 #include "util/posix_io.h"
 #include "util/task_pool.h"
 #include "util/version.h"
+#include "verify/spill.h"
 
 namespace crnkit::svc {
 
@@ -97,6 +98,24 @@ std::string overloaded_json(int retry_after_ms) {
       .kv("error", "overloaded")
       .kv("retriable", true)
       .kv("retry_after_ms", static_cast<std::int64_t>(retry_after_ms))
+      .kv("ok", false)
+      .end_object();
+  return w.str();
+}
+
+/// The typed retriable payload for a spill I/O failure mid-verify
+/// (ENOSPC, short write, torn segment): the exploration was discarded at
+/// a barrier — no partial or corrupt verdict exists — and the request is
+/// safe to retry once the disk recovers. Same shape as overloaded_json
+/// so clients back off on one `retriable` field for both.
+std::string spill_io_json(const std::string& detail) {
+  util::JsonWriter w;
+  w.begin_object()
+      .kv("schema_version", kSchemaVersion)
+      .kv("error", "spill_io")
+      .kv("detail", detail)
+      .kv("retriable", true)
+      .kv("retry_after_ms", std::int64_t{1000})
       .kv("ok", false)
       .end_object();
   return w.str();
@@ -221,6 +240,10 @@ std::string Server::dispatch_line(Service& service, const std::string& line,
                 throw std::invalid_argument("nested batch is not allowed");
               }
               results[i] = dispatch_op(service, sub_op, reqs.at(i));
+            } catch (const verify::SpillError& e) {
+              // Typed retriable shed, not a protocol error: the verify
+              // was discarded whole when its spill I/O failed.
+              results[i] = spill_io_json(e.what());
             } catch (const std::exception& e) {
               if (errors != nullptr) ++*errors;
               results[i] = error_json(e.what());
@@ -236,6 +259,10 @@ std::string Server::dispatch_line(Service& service, const std::string& line,
       return w.str();
     }
     return dispatch_op(service, op, v);
+  } catch (const verify::SpillError& e) {
+    // Before the generic handler: a spill I/O failure is a typed
+    // retriable shed (like overloaded), not a malformed request.
+    return spill_io_json(e.what());
   } catch (const std::exception& e) {
     if (errors != nullptr) ++*errors;
     return error_json(e.what());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -57,14 +58,34 @@ Service::Service() : Service(Options{}) {}
 Service::Service(const Options& options)
     : options_(options), cache_(options.cache) {}
 
+namespace {
+
+/// Static floor for the non-arena bytes the explorer holds per config:
+/// id_hash (8) + ~2 packed hash slots at the 5/8 load factor (16) +
+/// succ_off (8) + CSR successors at a typical edge density (~6 edges at
+/// 4 B) + parent + parent_reaction (8) + applicability mask (8) + one
+/// in-flight frontier candidate (24). The old estimate (8 + 16 + 24)
+/// ignored the CSR and BFS-tree arrays entirely and overshot the budget
+/// by ~2x on every composed scenario.
+constexpr std::size_t kClampOverheadFloor = 100;
+
+}  // namespace
+
+std::size_t Service::clamp_overhead_per_config() const {
+  return std::max(kClampOverheadFloor,
+                  observed_overhead_per_config_.load(
+                      std::memory_order_relaxed));
+}
+
 std::size_t Service::clamp_to_memory_budget(std::size_t max_configs,
                                             std::size_t width,
                                             bool* degraded) const {
   if (options_.memory_budget_bytes == 0) return max_configs;
-  // Arena row + per-node hash + ~2 hash slots at the 5/8 load factor +
-  // one in-flight frontier candidate (24 B). Deliberately conservative:
-  // the clamp must undershoot, never overshoot, the real footprint.
-  const std::size_t per_config = width * sizeof(std::int32_t) + 8 + 16 + 24;
+  // Deliberately conservative: the clamp must undershoot, never
+  // overshoot, the real footprint — so the overhead term is the static
+  // floor raised to the actuals this process has already seen.
+  const std::size_t per_config =
+      width * sizeof(std::int32_t) + clamp_overhead_per_config();
   const std::size_t budget_configs =
       options_.memory_budget_bytes / std::max<std::size_t>(1, per_config);
   if (budget_configs < max_configs) {
@@ -243,6 +264,14 @@ Service::CheckOutcome Service::check_point(
   out.report.x = scenario::point_to_string(x);
   out.report.expected = expected;
 
+  // Single-flight: claim the (key, budget) slot BEFORE the first lookup,
+  // so a burst of identical cold requests runs exactly one exploration —
+  // the leader misses, explores, and inserts while the followers wait on
+  // the claim, then hit the verdict it cached. Held to end of scope; a
+  // leader that exits without inserting promotes the next waiter.
+  std::optional<ProofCache::Flight> flight;
+  if (use_cache) flight.emplace(cache_, key, options.max_configs);
+
   if (use_cache) {
     if (auto hit = cache_.lookup(key, options.max_configs)) {
       out.report.ok = hit->ok;
@@ -253,6 +282,9 @@ Service::CheckOutcome Service::check_point(
       out.report.wall_seconds = hit->stats.wall_seconds;
       out.report.frontier_peak = hit->stats.frontier_peak;
       out.report.arena_bytes = hit->stats.arena_bytes;
+      out.report.spilled = hit->stats.spilled;
+      out.report.spill_bytes_written = hit->stats.spill_bytes_written;
+      out.report.spill_bytes_read = hit->stats.spill_bytes_read;
       out.report.witness = std::move(hit->witness);
       out.report.invariants = std::move(hit->invariants);
       out.stats = hit->stats;
@@ -276,9 +308,26 @@ Service::CheckOutcome Service::check_point(
     out.report.wall_seconds = result.explore_stats.wall_seconds;
     out.report.frontier_peak = result.explore_stats.frontier_peak;
     out.report.arena_bytes = result.explore_stats.arena_bytes;
+    out.report.spilled = result.explore_stats.spilled;
+    out.report.spill_bytes_written = result.explore_stats.spill_bytes_written;
+    out.report.spill_bytes_read = result.explore_stats.spill_bytes_read;
     out.report.witness = result.counterexample_path;
     out.stats = result.explore_stats;
     out.fresh = true;
+    if (result.num_configs > 0) {
+      // Bytes-per-config actuals for the memory-budget clamp: every
+      // non-arena array the explorer held for this graph, with the CSR
+      // term from the real edge density instead of a guess.
+      const std::size_t actual =
+          8 + 16 + 8 + 8 + 8 + 24 +
+          (4 * result.num_edges) / result.num_configs;
+      std::size_t seen =
+          observed_overhead_per_config_.load(std::memory_order_relaxed);
+      while (actual > seen &&
+             !observed_overhead_per_config_.compare_exchange_weak(
+                 seen, actual, std::memory_order_relaxed)) {
+      }
+    }
     if (result.cancelled) {
       // Where the deadline cut the exploration off is wall-clock luck,
       // not content — never cache it, and surface the typed status.
@@ -358,8 +407,21 @@ VerifyResponse Service::verify(const VerifyRequest& req) {
     options.max_configs = s.verify_max_configs;
   }
   options.threads = req.threads;
-  options.max_configs = clamp_to_memory_budget(
-      options.max_configs, s.crn.species_count(), &resp.degraded);
+  bool would_degrade = false;
+  const std::size_t clamped = clamp_to_memory_budget(
+      options.max_configs, s.crn.species_count(), &would_degrade);
+  if (would_degrade && !options_.spill_dir.empty()) {
+    // Graceful-degradation ladder, exact rung: instead of truncating to
+    // the clamp, keep the requested budget and have the explorer spill
+    // cold arena pages into checksummed segment files — same graph, same
+    // verdict, annotated `spilled`. Truncation (`degraded`) remains the
+    // last rung when no spill directory is configured.
+    options.spill_dir = options_.spill_dir;
+    options.memory_budget_bytes = options_.memory_budget_bytes;
+  } else {
+    options.max_configs = clamped;
+    resp.degraded = would_degrade;
+  }
   if (points.size() == 1) {
     // One checkpoint file describes one exploration; multi-point
     // requests would overwrite it per point, so gate it to single-point
@@ -410,6 +472,9 @@ VerifyResponse Service::verify(const VerifyRequest& req) {
     resp.frontier_peak = std::max(resp.frontier_peak, report.frontier_peak);
     resp.arena_bytes_peak =
         std::max(resp.arena_bytes_peak, report.arena_bytes);
+    if (report.spilled) resp.spilled = true;
+    resp.spill_bytes_written += report.spill_bytes_written;
+    resp.spill_bytes_read += report.spill_bytes_read;
     if (outcome.fresh) {
       // Cache hits are free: wall time and pool counters aggregate over
       // the explorations this request actually ran.

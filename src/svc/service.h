@@ -11,7 +11,9 @@
 #ifndef CRNKIT_SVC_SERVICE_H_
 #define CRNKIT_SVC_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "crn/network.h"
 #include "svc/api.h"
@@ -31,8 +33,17 @@ class Service {
     /// Soft memory budget for a single exploration, in bytes; 0 means
     /// unlimited. Requests whose max_configs would exceed it are clamped
     /// to a sound truncated verdict (marked `degraded`) instead of
-    /// letting one request OOM the process.
+    /// letting one request OOM the process — unless `spill_dir` offers
+    /// the exact out-of-core rung of the ladder below.
     std::size_t memory_budget_bytes = 0;
+    /// Graceful-degradation ladder: with a spill directory configured,
+    /// a request that would be clamped keeps its full budget and the
+    /// explorer spills cold arena pages to checksummed segment files
+    /// here instead (verdict exact, marked `spilled`). Empty = no spill
+    /// rung; over-budget requests degrade as before. Disk failure while
+    /// spilling surfaces as a typed retriable `spill_io` error, never a
+    /// wrong or truncated verdict.
+    std::string spill_dir;
   };
 
   Service();
@@ -51,12 +62,21 @@ class Service {
   [[nodiscard]] const Options& options() const { return options_; }
 
   /// max_configs after the memory budget: an estimate of bytes/config
-  /// (arena row + hash + table slots + frontier candidate) caps the
-  /// budget so one exploration cannot OOM the daemon. Returns the input
-  /// when no budget is set; sets *degraded when it clamps.
+  /// caps the budget so one exploration cannot OOM the daemon. The
+  /// estimate is the arena row plus a per-config overhead covering every
+  /// aux array the explorer allocates per node (hash, CSR offsets +
+  /// edges, BFS parents, table slots, frontier candidate) — floored at a
+  /// static constant and raised to the bytes-per-config actuals observed
+  /// from completed explorations in this process. Returns the input when
+  /// no budget is set; sets *degraded when it clamps.
   [[nodiscard]] std::size_t clamp_to_memory_budget(std::size_t max_configs,
                                                    std::size_t width,
                                                    bool* degraded) const;
+
+  /// The non-arena overhead (bytes per config) clamp_to_memory_budget
+  /// currently assumes: the static floor or the observed maximum,
+  /// whichever is larger. Exposed for the clamp regression tests.
+  [[nodiscard]] std::size_t clamp_overhead_per_config() const;
 
  private:
   struct CheckOutcome {
@@ -77,6 +97,12 @@ class Service {
 
   Options options_;
   ProofCache cache_;
+  /// Highest non-arena bytes-per-config observed across completed
+  /// explorations (id_hash + CSR + parents + slots + candidate, with the
+  /// CSR term derived from the actual edge density). Feeds the clamp so
+  /// the estimate tracks real workloads instead of trusting the static
+  /// floor on edge-dense networks.
+  std::atomic<std::size_t> observed_overhead_per_config_{0};
 };
 
 }  // namespace crnkit::svc

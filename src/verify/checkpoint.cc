@@ -100,8 +100,26 @@ bool save_checkpoint(const std::string& path,
   ok = ok && put_u64(ckpt.pool->size()) && put_u64(ckpt.id_hash->size()) &&
        put_u64(ckpt.succ_off->size()) && put_u64(ckpt.succ->size()) &&
        put_u64(ckpt.parent->size()) && put_u64(ckpt.parent_reaction->size());
-  ok = ok &&
-       put(ckpt.pool->data(), ckpt.pool->size() * sizeof(ConfigStore::Count));
+  if (ckpt.read_pool_rows && ckpt.width > 0) {
+    // Stream the arena in bounded chunks: under out-of-core exploration
+    // parts of `pool` live in spill segments, and the reader reassembles
+    // the true bytes without faulting the whole arena back in.
+    const std::size_t n_rows = ckpt.pool->size() / ckpt.width;
+    std::size_t chunk_rows = (std::size_t{4} << 20) /
+                             (ckpt.width * sizeof(ConfigStore::Count));
+    if (chunk_rows == 0) chunk_rows = 1;
+    std::vector<ConfigStore::Count> scratch(chunk_rows * ckpt.width);
+    for (std::size_t row = 0; ok && row < n_rows; row += chunk_rows) {
+      const std::size_t take =
+          row + chunk_rows < n_rows ? chunk_rows : n_rows - row;
+      ckpt.read_pool_rows(row, take, scratch.data());
+      ok = put(scratch.data(),
+               take * ckpt.width * sizeof(ConfigStore::Count));
+    }
+  } else {
+    ok = ok && put(ckpt.pool->data(),
+                   ckpt.pool->size() * sizeof(ConfigStore::Count));
+  }
   ok = ok && put(ckpt.id_hash->data(),
                  ckpt.id_hash->size() * sizeof(std::uint64_t));
   ok = ok && put(ckpt.succ_off->data(),

@@ -23,6 +23,7 @@
 #define CRNKIT_VERIFY_CHECKPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,15 @@ struct ExploreCheckpointView {
   const std::vector<std::int32_t>* succ = nullptr;
   const std::vector<std::int32_t>* parent = nullptr;
   const std::vector<std::int32_t>* parent_reaction = nullptr;
+  /// Out-of-core mode: when set, save_checkpoint() streams the arena in
+  /// row chunks through this reader instead of reading `pool` directly
+  /// (which then only provides the element count — its bytes may be
+  /// evicted). Must fill `dst` with `n_rows * width` counts starting at
+  /// `first_row`; may throw (e.g. SpillError), which propagates out of
+  /// save_checkpoint(). The on-disk byte format is unchanged.
+  std::function<void(std::size_t first_row, std::size_t n_rows,
+                     ConfigStore::Count* dst)>
+      read_pool_rows;
 };
 
 /// Writes the checkpoint atomically (temp file + fsync + rename); on any

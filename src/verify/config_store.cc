@@ -9,6 +9,7 @@
 #endif
 
 #include "math/check.h"
+#include "verify/spill.h"
 
 namespace crnkit::verify {
 
@@ -200,6 +201,12 @@ ConfigStore::StageResult ConfigStore::stage_delta(std::uint64_t h,
         }
       } else {
         const auto id = static_cast<std::int32_t>(enc - 1);
+        // An evicted row must be faulted back before the compare: a
+        // DONTNEED'd page reads as zeros, and matching a candidate
+        // against zeros instead of the real row would be unsound.
+        if (spill_ != nullptr) {
+          spill_->ensure_row(static_cast<std::size_t>(id));
+        }
         if (equal_delta(view(id), base, ds, dv, nd)) {
           return {static_cast<std::int64_t>(id), false};
         }
@@ -233,6 +240,9 @@ std::int64_t ConfigStore::find_delta(std::uint64_t h, const Count* base,
       const std::uint64_t enc = word & 0xffffffffULL;
       if (!(enc & kPendingBit)) {
         const auto id = static_cast<std::int32_t>(enc - 1);
+        if (spill_ != nullptr) {
+          spill_->ensure_row(static_cast<std::size_t>(id));
+        }
         if (equal_delta(view(id), base, ds, dv, nd)) {
           return static_cast<std::int64_t>(id);
         }
@@ -357,6 +367,25 @@ void ConfigStore::restore(std::vector<Count>&& pool,
     if ((shard.used + 1) * 8 >= (shard.mask + 1) * 5) grow(shard);
     insert_slot(shard, h, id + 1);
   }
+}
+
+void ConfigStore::fault_row_for_read(std::int32_t id) const {
+  spill_->ensure_row(static_cast<std::size_t>(id));
+  if (spill_->io_error()) {
+    throw SpillError("spill: failed to fault configuration " +
+                     std::to_string(id) + " back from its segment");
+  }
+}
+
+void ConfigStore::collect_column(std::size_t species,
+                                 std::vector<Count>& out) const {
+  out.resize(size_);
+  if (spill_ != nullptr) {
+    spill_->collect_column(species, out.data(), size_);
+    return;
+  }
+  const Count* p = pool_.data() + species;
+  for (std::size_t id = 0; id < size_; ++id, p += width_) out[id] = *p;
 }
 
 std::size_t ConfigStore::bytes() const {

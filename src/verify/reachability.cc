@@ -135,9 +135,14 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
   // reservation below the node budget when the CRN's conservation laws
   // prove the space is smaller; with a guide present the hash shards are
   // also pre-sized to their final capacity, so the exploration never
-  // pays a growth rehash.
+  // pays a growth rehash. Out-of-core mode must reserve the full node
+  // budget up front: eviction relies on the arena never reallocating
+  // (address space is cheap — untouched reservation costs nothing).
+  const bool use_spill =
+      !options.spill_dir.empty() && options.memory_budget_bytes > 0;
   std::size_t reserve_configs =
-      std::min<std::size_t>(options.max_configs, 4'000'000);
+      use_spill ? options.max_configs
+                : std::min<std::size_t>(options.max_configs, 4'000'000);
   if (options.expected_configs > 0 &&
       static_cast<std::size_t>(options.expected_configs) < reserve_configs) {
     reserve_configs = static_cast<std::size_t>(options.expected_configs);
@@ -229,6 +234,22 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     graph.parent_reaction.push_back(-1);
     graph.succ_off.push_back(0);
     if (use_masks) app_mask.push_back(full_mask(initial.data()));
+  }
+
+  if (use_spill) {
+    // restore() above may have adopted the checkpoint's own (smaller)
+    // arena vector; re-reserve the full bound first so the pool's base
+    // pointer stays stable for the whole exploration.
+    store.reserve(reserve_configs);
+    SpillPool::Options spill_options;
+    spill_options.dir = options.spill_dir;
+    spill_options.budget_bytes = options.memory_budget_bytes;
+    if (options.spill_page_bytes > 0) {
+      spill_options.page_bytes = options.spill_page_bytes;
+    }
+    graph.spill =
+        std::make_unique<SpillPool>(store, reserve_configs, spill_options);
+    store.attach_spill(graph.spill.get());
   }
 
   // Generates all successor candidates of node u into `out`: hashes are
@@ -331,6 +352,16 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     view.succ = &graph.succ;
     view.parent = &graph.parent;
     view.parent_reaction = &graph.parent_reaction;
+    if (graph.spill) {
+      // Evicted pages read as poison in the arena vector; stream the
+      // true bytes (resident memcpy, spilled pages from their segments)
+      // so the checkpoint file is byte-identical to an in-RAM save.
+      view.read_pool_rows = [&graph](std::size_t first_row,
+                                     std::size_t n_rows,
+                                     ConfigStore::Count* dst) {
+        graph.spill->read_rows(first_row, n_rows, dst);
+      };
+    }
     obs::Span ckpt_span("verify.checkpoint");
     (void)save_checkpoint(options.checkpoint_path, view);
   };
@@ -575,6 +606,36 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
     level_begin = static_cast<std::int32_t>(before);
     level_end = static_cast<std::int32_t>(before + accepted);
 
+    if (graph.spill) {
+      // A fault-back that failed on a worker thread left garbage in some
+      // compare; everything staged since is suspect, so the whole
+      // exploration is discarded here, at the barrier — a typed,
+      // retriable failure, never a truncated or wrong graph.
+      if (graph.spill->io_error()) {
+        throw SpillError(
+            "spill: segment read failed during exploration; "
+            "proof discarded (retriable)");
+      }
+      // Shed toward the budget: everything below the new frontier is
+      // frozen (BFS successors land at distance +-1 of their source, so
+      // rows >= level_begin are the only ones still written or read as
+      // generation sources; older rows are only touched via rare
+      // hash-tag collisions, which ensure_row faults back on demand).
+      const std::size_t aux_bytes =
+          graph.succ.capacity() * sizeof(std::int32_t) +
+          graph.succ_off.capacity() * sizeof(std::uint64_t) +
+          graph.parent.capacity() * sizeof(std::int32_t) +
+          graph.parent_reaction.capacity() * sizeof(std::int32_t) +
+          app_mask.capacity() * sizeof(std::uint64_t);
+      const std::size_t resident =
+          store.bytes() + aux_bytes - graph.spill->evicted_bytes();
+      if (resident > options.memory_budget_bytes) {
+        graph.spill->shed(resident - options.memory_budget_bytes,
+                          static_cast<std::size_t>(level_begin),
+                          store.size());
+      }
+    }
+
     if (!options.checkpoint_path.empty() && level_begin < level_end) {
       const auto now = std::chrono::steady_clock::now();
       if (std::chrono::duration<double>(now - last_ckpt).count() >=
@@ -587,6 +648,19 @@ ReachabilityGraph explore(const crn::Crn& crn, const crn::Config& initial,
 
   ensure(graph.succ_off.size() == store.size() + 1,
          "explore: CSR offsets diverged from node count");
+  if (graph.spill) {
+    if (graph.spill->io_error()) {
+      throw SpillError(
+          "spill: segment read failed during exploration; "
+          "proof discarded (retriable)");
+    }
+    const SpillPool::Stats spill_stats = graph.spill->stats();
+    graph.stats.spilled = graph.spill->spilled();
+    graph.stats.spill_segments_written = spill_stats.segments_written;
+    graph.stats.spill_segments_read = spill_stats.segments_read;
+    graph.stats.spill_bytes_written = spill_stats.bytes_written;
+    graph.stats.spill_bytes_read = spill_stats.bytes_read;
+  }
   graph.stats.arena_bytes = store.bytes();
   const util::TaskPool::Counters scoped = pool_scope.collected();
   graph.stats.pool_tasks = scoped.tasks;
@@ -621,10 +695,13 @@ std::optional<int> find_output_exceeding(const crn::Crn& crn,
                                          const ReachabilityGraph& graph,
                                          math::Int bound) {
   const auto y = static_cast<std::size_t>(crn.output_or_throw());
-  for (std::size_t i = 0; i < graph.size(); ++i) {
-    if (graph.view(static_cast<int>(i))[y] > bound) {
-      return static_cast<int>(i);
-    }
+  // Gather the output column once: in-RAM this is a strided sweep of the
+  // arena; under spill it streams evicted pages from their segments
+  // without re-materializing the arena.
+  std::vector<ConfigStore::Count> column;
+  graph.store.collect_column(y, column);
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    if (column[i] > bound) return static_cast<int>(i);
   }
   return std::nullopt;
 }

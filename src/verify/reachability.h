@@ -32,6 +32,7 @@
 #define CRNKIT_VERIFY_REACHABILITY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "sim/compiled_network.h"
 #include "util/deadline.h"
 #include "verify/config_store.h"
+#include "verify/spill.h"
 
 namespace crnkit::verify {
 
@@ -61,6 +63,14 @@ struct ExploreStats {
   std::uint64_t pool_tasks = 0;   ///< chunks of this exploration's jobs
   std::uint64_t pool_steals = 0;  ///< steals within this exploration's jobs
   std::uint64_t pool_parks = 0;   ///< worker condvar parks (global delta)
+  /// Out-of-core mode: true iff at least one arena page was evicted to a
+  /// spill segment. The verdict is still exact — spilling changes where
+  /// bytes live, never which configurations exist.
+  bool spilled = false;
+  std::uint64_t spill_segments_written = 0;
+  std::uint64_t spill_segments_read = 0;
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
 };
 
 struct ReachabilityGraph {
@@ -75,6 +85,13 @@ struct ReachabilityGraph {
   /// unless the graph happened to be fully enumerated already.
   bool cancelled = false;
   ExploreStats stats;
+  /// Out-of-core mode: owns the spill pool so evicted arena pages stay
+  /// readable (store.config(), collect_column) through the verdict
+  /// passes that run after exploration. Null in in-RAM mode. Only the
+  /// explorer itself may call shed() on it — after the graph is moved,
+  /// the pool's back-reference to the store is stale for eviction (row
+  /// reads go through the stable arena base pointer and stay valid).
+  std::unique_ptr<SpillPool> spill;
 
   explicit ReachabilityGraph(std::size_t width) : store(width) {}
 
@@ -127,6 +144,17 @@ struct ExploreOptions {
   /// together with max_configs to right-size the arena reservation and
   /// pre-size the hash shards (skipping their growth rehashes).
   math::Int expected_configs = -1;
+  /// Out-of-core mode: when `spill_dir` is non-empty and
+  /// memory_budget_bytes > 0, frozen arena pages are evicted to
+  /// checksummed segment files in `spill_dir` whenever resident bytes
+  /// exceed the budget, and faulted back on demand. The verdict stays
+  /// exact and the graph bit-identical to an in-RAM run; disk failures
+  /// raise SpillError (typed, retriable) instead of truncating.
+  std::string spill_dir;
+  std::size_t memory_budget_bytes = 0;
+  /// Eviction page size override (tests force tiny pages to spill small
+  /// graphs); 0 = the 4 MiB default.
+  std::size_t spill_page_bytes = 0;
 };
 
 /// Enumerates configurations reachable from `initial`.

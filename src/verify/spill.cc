@@ -1,0 +1,345 @@
+#include "verify/spill.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "math/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injector.h"
+#include "util/posix_io.h"
+
+namespace crnkit::verify {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'R', 'N', 'K', 'S', 'P', 'L', '1'};
+constexpr std::uint64_t kSchema = 1;
+
+/// Same rolling checksum discipline as the checkpoint format: one
+/// splitmix64 round per 8-byte chunk, chained (distinct seed so a
+/// segment can never masquerade as a checkpoint).
+class Checksum {
+ public:
+  void feed(const void* data, std::size_t len) {
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const std::size_t take =
+          len < sizeof(buf_) - fill_ ? len : sizeof(buf_) - fill_;
+      std::memcpy(buf_ + fill_, p, take);
+      fill_ += take;
+      p += take;
+      len -= take;
+      if (fill_ == sizeof(buf_)) flush_chunk();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t finish() {
+    if (fill_ > 0) {
+      std::memset(buf_ + fill_, 0, sizeof(buf_) - fill_);
+      flush_chunk();
+    }
+    return state_;
+  }
+
+ private:
+  void flush_chunk() {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, buf_, sizeof(chunk));
+    state_ = splitmix64(state_ ^ chunk);
+    fill_ = 0;
+  }
+
+  std::uint64_t state_ = 0x73706c6c73656731ULL;
+  char buf_[8];
+  std::size_t fill_ = 0;
+};
+
+struct SpillMetrics {
+  obs::Counter& segments_written = obs::Registry::instance().counter(
+      "crnkit_spill_segments_written_total",
+      "Arena pages written to spill segment files");
+  obs::Counter& segments_read = obs::Registry::instance().counter(
+      "crnkit_spill_segments_read_total",
+      "Spill segments faulted back or streamed from disk");
+  obs::Counter& bytes_written = obs::Registry::instance().counter(
+      "crnkit_spill_bytes_written_total",
+      "Arena payload bytes written to spill segments");
+  obs::Counter& bytes_read = obs::Registry::instance().counter(
+      "crnkit_spill_bytes_read_total",
+      "Arena payload bytes read back from spill segments");
+  obs::Histogram& fault_seconds = obs::Registry::instance().histogram(
+      "crnkit_spill_fault_seconds",
+      "Latency of faulting one evicted page back from its segment",
+      obs::latency_buckets_seconds());
+
+  static SpillMetrics& get() {
+    static SpillMetrics m;
+    return m;
+  }
+};
+
+/// Releases the physical memory behind [data, data + len): DONTNEED on
+/// the OS pages fully inside the range (edges shared with neighbouring
+/// allocations stay resident — correctness never depends on the memory
+/// actually being released, only the budget accounting does).
+void release_range(void* data, std::size_t len) {
+#if defined(__linux__)
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const auto ps = static_cast<std::uintptr_t>(page > 0 ? page : 4096);
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t lo = (addr + ps - 1) & ~(ps - 1);
+  const std::uintptr_t hi = (addr + len) & ~(ps - 1);
+  if (hi > lo) {
+    (void)madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_DONTNEED);
+  }
+#else
+  (void)data;
+  (void)len;
+#endif
+}
+
+std::uint64_t next_run_tag() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool read_exact(std::FILE* f, void* data, std::size_t len, Checksum* sum) {
+  if (len > 0 && std::fread(data, 1, len, f) != len) return false;
+  if (sum != nullptr) sum->feed(data, len);
+  return true;
+}
+
+}  // namespace
+
+SpillPool::SpillPool(ConfigStore& store, std::size_t max_configs,
+                     const Options& options)
+    : store_(store), options_(options), width_(store.width()) {
+  require(!options_.dir.empty(), "SpillPool: empty spill directory");
+  ::mkdir(options_.dir.c_str(), 0755);  // best effort; open errors surface
+
+  const std::size_t row_bytes = width_ * sizeof(ConfigStore::Count);
+  std::size_t rows = 1;
+  rows_log2_ = 0;
+  while (rows * row_bytes * 2 <= options_.page_bytes) {
+    rows <<= 1;
+    ++rows_log2_;
+  }
+  n_pages_ = (max_configs + rows - 1) / rows + 1;
+  states_ = std::make_unique<std::atomic<int>[]>(n_pages_);
+  for (std::size_t p = 0; p < n_pages_; ++p) {
+    states_[p].store(kResident, std::memory_order_relaxed);
+  }
+  has_segment_.assign(n_pages_, false);
+  run_tag_ = (static_cast<std::uint64_t>(::getpid()) << 20) | next_run_tag();
+
+  require(store_.pool_.capacity() >= max_configs * width_,
+          "SpillPool: arena not fully reserved");
+  base_ = store_.pool_.data();
+}
+
+SpillPool::~SpillPool() {
+  for (std::size_t p = 0; p < n_pages_; ++p) {
+    if (has_segment_[p]) ::unlink(segment_path(p).c_str());
+  }
+}
+
+ConfigStore::Count* SpillPool::page_data(std::size_t page) {
+  return base_ + page * rows_per_page() * width_;
+}
+
+std::string SpillPool::segment_path(std::size_t page) const {
+  return options_.dir + "/spill-" + std::to_string(run_tag_) + "-p" +
+         std::to_string(page) + ".seg";
+}
+
+void SpillPool::write_segment(std::size_t page) {
+  const std::string path = segment_path(page);
+  util::FaultedFileWriter writer(path, "spill.write");
+  Checksum sum;
+  const auto put = [&](const void* data, std::size_t len) {
+    sum.feed(data, len);
+    return writer.write(data, len);
+  };
+  const auto put_u64 = [&](std::uint64_t v) { return put(&v, sizeof(v)); };
+
+  const std::uint64_t payload = page_arena_bytes();
+  bool ok = writer.write(kMagic, sizeof(kMagic));  // magic is not summed
+  ok = ok && put_u64(kSchema) && put_u64(page) && put_u64(payload);
+  ok = ok && put(page_data(page), payload);
+  if (ok) {
+    const std::uint64_t checksum = sum.finish();
+    ok = writer.write(&checksum, sizeof(checksum));
+  }
+  if (!ok || !writer.commit()) {
+    throw SpillError("spill: segment write failed for " + path +
+                     " (disk full or I/O error)");
+  }
+  auto& m = SpillMetrics::get();
+  m.segments_written.inc();
+  m.bytes_written.inc(payload);
+  stats_segments_written_.fetch_add(1, std::memory_order_relaxed);
+  stats_bytes_written_.fetch_add(payload, std::memory_order_relaxed);
+}
+
+bool SpillPool::read_segment(std::size_t page, ConfigStore::Count* dst,
+                             std::string* error) {
+  const std::string path = segment_path(page);
+  if (util::FaultInjector::instance().armed() &&
+      util::FaultInjector::instance().fires("spill.read")) {
+    if (error != nullptr) *error = "spill: injected read fault for " + path;
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "spill: cannot open segment " + path;
+    return false;
+  }
+  Checksum sum;
+  char magic[8];
+  std::uint64_t header[3] = {};
+  bool ok = read_exact(f, magic, sizeof(magic), nullptr) &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  ok = ok && read_exact(f, header, sizeof(header), &sum);
+  ok = ok && header[0] == kSchema && header[1] == page &&
+       header[2] == page_arena_bytes();
+  ok = ok && read_exact(f, dst, page_arena_bytes(), &sum);
+  std::uint64_t stored = 0;
+  ok = ok && read_exact(f, &stored, sizeof(stored), nullptr);
+  std::fclose(f);
+  if (!ok || sum.finish() != stored) {
+    if (error != nullptr) {
+      *error = "spill: segment " + path + " is truncated or corrupt";
+    }
+    return false;
+  }
+  auto& m = SpillMetrics::get();
+  m.segments_read.inc();
+  m.bytes_read.inc(page_arena_bytes());
+  stats_segments_read_.fetch_add(1, std::memory_order_relaxed);
+  stats_bytes_read_.fetch_add(page_arena_bytes(), std::memory_order_relaxed);
+  return true;
+}
+
+void SpillPool::fault_in(std::size_t page) {
+  obs::Span span("verify.spill.fault");
+  span.arg("page", static_cast<std::int64_t>(page));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (states_[page].load(std::memory_order_relaxed) != kEvicted) return;
+  std::string error;
+  if (!read_segment(page, page_data(page), &error)) {
+    // Worker threads cannot throw; poison the flag and let the level
+    // barrier discard the exploration with a typed SpillError.
+    io_error_.store(true, std::memory_order_release);
+    return;
+  }
+  evicted_pages_.fetch_sub(1, std::memory_order_relaxed);
+  // Release-store pairs with ensure_row's acquire load: a reader that
+  // sees kClean sees the freshly-read page bytes.
+  states_[page].store(kClean, std::memory_order_release);
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  SpillMetrics::get().fault_seconds.observe(dt.count());
+}
+
+void SpillPool::shed(std::size_t release_bytes, std::size_t keep_from_row,
+                     std::size_t committed_rows) {
+  if (release_bytes == 0) return;
+  require(store_.pool_.data() == base_,
+          "SpillPool: arena reallocated under an active spill pool");
+  obs::Span span("verify.spill.shed");
+  const std::size_t rows = rows_per_page();
+  const std::size_t frozen_rows =
+      keep_from_row < committed_rows ? keep_from_row : committed_rows;
+  std::size_t released = 0;
+  std::size_t evicted = 0;
+  for (std::size_t page = 0; page < n_pages_ && released < release_bytes;
+       ++page) {
+    if ((page + 1) * rows > frozen_rows) break;  // page not fully frozen
+    const int state = states_[page].load(std::memory_order_relaxed);
+    if (state == kEvicted) continue;
+    if (state == kResident) write_segment(page);
+    // Deterministic poison before release: any read that skips
+    // ensure_row() sees garbage instead of silently-stale bytes, so the
+    // bit-identity tests catch missed fault-in sites.
+    std::memset(page_data(page), 0xA5, page_arena_bytes());
+    release_range(page_data(page), page_arena_bytes());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      has_segment_[page] = true;
+      states_[page].store(kEvicted, std::memory_order_release);
+    }
+    evicted_pages_.fetch_add(1, std::memory_order_relaxed);
+    released += page_arena_bytes();
+    ++evicted;
+  }
+  span.arg("pages", static_cast<std::int64_t>(evicted));
+  span.arg("bytes", static_cast<std::int64_t>(released));
+}
+
+void SpillPool::read_rows(std::size_t first_row, std::size_t n_rows,
+                          ConfigStore::Count* dst) {
+  const std::size_t rows = rows_per_page();
+  std::vector<ConfigStore::Count> scratch;
+  std::size_t row = first_row;
+  while (row < first_row + n_rows) {
+    const std::size_t page = row >> rows_log2_;
+    const std::size_t page_end = (page + 1) * rows;
+    const std::size_t end =
+        page_end < first_row + n_rows ? page_end : first_row + n_rows;
+    const std::size_t count = end - row;
+    if (states_[page].load(std::memory_order_acquire) != kEvicted) {
+      std::memcpy(dst, base_ + row * width_,
+                  count * width_ * sizeof(ConfigStore::Count));
+    } else {
+      if (scratch.empty()) scratch.resize(rows * width_);
+      std::string error;
+      if (!read_segment(page, scratch.data(), &error)) throw SpillError(error);
+      std::memcpy(dst, scratch.data() + (row - page * rows) * width_,
+                  count * width_ * sizeof(ConfigStore::Count));
+    }
+    dst += count * width_;
+    row = end;
+  }
+}
+
+void SpillPool::collect_column(std::size_t species, ConfigStore::Count* out,
+                               std::size_t n_rows) {
+  const std::size_t rows = rows_per_page();
+  std::vector<ConfigStore::Count> scratch;
+  for (std::size_t page = 0; page * rows < n_rows; ++page) {
+    const std::size_t begin = page * rows;
+    const std::size_t end = begin + rows < n_rows ? begin + rows : n_rows;
+    const ConfigStore::Count* src;
+    if (states_[page].load(std::memory_order_acquire) != kEvicted) {
+      src = base_ + begin * width_;
+    } else {
+      if (scratch.empty()) scratch.resize(rows * width_);
+      std::string error;
+      if (!read_segment(page, scratch.data(), &error)) throw SpillError(error);
+      src = scratch.data();
+    }
+    for (std::size_t row = begin; row < end; ++row) {
+      out[row] = src[(row - begin) * width_ + species];
+    }
+  }
+}
+
+SpillPool::Stats SpillPool::stats() const {
+  Stats s;
+  s.segments_written = stats_segments_written_.load(std::memory_order_relaxed);
+  s.segments_read = stats_segments_read_.load(std::memory_order_relaxed);
+  s.bytes_written = stats_bytes_written_.load(std::memory_order_relaxed);
+  s.bytes_read = stats_bytes_read_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crnkit::verify

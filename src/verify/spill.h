@@ -1,0 +1,189 @@
+// Out-of-core arena spilling for the exact verifier.
+//
+// The arena (ConfigStore's flat pool of 32-bit counts) dominates an
+// exploration's footprint — ~width*4 bytes per configuration against
+// ~50 bytes for everything else — and a level-synchronous BFS only ever
+// *writes* the arena at the tail: once a level commits, its rows are
+// frozen. SpillPool exploits that: when resident bytes exceed the memory
+// budget, frozen pages strictly below the live frontier are written to
+// checksummed segment files (one page per file, checkpoint file
+// discipline: magic + schema + length + checksum, write-to-temp + atomic
+// rename via util::FaultedFileWriter) and their physical memory is
+// released with madvise(MADV_DONTNEED). The arena's *address space* is
+// untouched — ConfigStore::view() stays a branch-free pointer add — so
+// spilling cannot perturb ids, hashes, or iteration order: spilled and
+// in-RAM explorations produce bit-identical graphs by construction.
+//
+// Reads of evicted rows are rare during BFS (only a hash-tag collision
+// compares a candidate against an old committed row, ~2^-32 per probe),
+// so the hot path pays one pointer test + one atomic load per committed
+// compare. ensure_row() faults the page back from its segment under a
+// mutex with acquire/release publication; once a page has a segment
+// file, re-evicting it is a pure madvise (the frozen bytes on disk are
+// still valid).
+//
+// Failure model: segment writes happen at the serial level barrier and
+// throw SpillError (typed, retriable — ENOSPC or a short write sheds
+// the request, never corrupts a proof). Segment reads can happen on
+// worker threads that must not throw; a failed read sets a sticky
+// io_error flag and the exploration discards everything and raises
+// SpillError at the next level barrier — garbage compares before the
+// barrier can create no lasting state. Failpoints `spill.write.*`
+// (via FaultedFileWriter) and `spill.read` (validation path) are driven
+// by chaos_replay and crash_durability.
+#ifndef CRNKIT_VERIFY_SPILL_H_
+#define CRNKIT_VERIFY_SPILL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "verify/config_store.h"
+
+namespace crnkit::verify {
+
+/// Typed out-of-core I/O failure: disk full, short write, torn or
+/// corrupt segment. Always safe to retry — the proof is discarded whole,
+/// never truncated — so the service layer maps this to a retriable
+/// error instead of a `degraded` verdict.
+class SpillError : public std::runtime_error {
+ public:
+  explicit SpillError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class SpillPool {
+ public:
+  struct Options {
+    /// Directory for segment files (created if missing). Must outlive
+    /// the pool; files are unlinked on destruction.
+    std::string dir;
+    /// Resident-byte target the exploration sheds toward.
+    std::size_t budget_bytes = 0;
+    /// Bytes per eviction page, rounded to a power-of-two row count.
+    std::size_t page_bytes = std::size_t{4} << 20;
+  };
+
+  struct Stats {
+    std::uint64_t segments_written = 0;
+    std::uint64_t segments_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+  };
+
+  /// `store` must already hold its full reservation (reserve() for the
+  /// exploration's max_configs): eviction relies on the arena never
+  /// reallocating, which is asserted on every shed.
+  SpillPool(ConfigStore& store, std::size_t max_configs,
+            const Options& options);
+  ~SpillPool();
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  /// Serial (level barrier only): evicts frozen pages — fully committed
+  /// (`< committed_rows`) and strictly below the live frontier
+  /// (`< keep_from_row`) — oldest first, until at least `release_bytes`
+  /// of arena are non-resident or no page qualifies. Throws SpillError
+  /// when a segment cannot be written.
+  void shed(std::size_t release_bytes, std::size_t keep_from_row,
+            std::size_t committed_rows);
+
+  /// Guarantees `row`'s page is resident before a read. Hot-path inline:
+  /// one shift + one relaxed-acquire load when the page is resident.
+  /// Never throws — a failed fault-back sets io_error() and the caller's
+  /// read returns garbage that the level barrier discards.
+  void ensure_row(std::size_t row) {
+    const std::size_t page = row >> rows_log2_;
+    if (states_[page].load(std::memory_order_acquire) == kEvicted) {
+      fault_in(page);
+    }
+  }
+
+  /// Serial streaming gather of one arena column over rows
+  /// [0, n_rows): resident pages are strided directly, evicted pages
+  /// are read from their segments into scratch without changing
+  /// residency. Throws SpillError on a read failure.
+  void collect_column(std::size_t species, ConfigStore::Count* out,
+                      std::size_t n_rows);
+
+  /// Serial streaming read of raw rows [first_row, first_row + n_rows)
+  /// into `dst` (n_rows * width counts) without changing residency —
+  /// the checkpoint writer streams the arena through this. Throws
+  /// SpillError on a read failure.
+  void read_rows(std::size_t first_row, std::size_t n_rows,
+                 ConfigStore::Count* dst);
+
+  /// True once any worker-thread fault-back failed; the exploration
+  /// must be discarded at the next barrier.
+  [[nodiscard]] bool io_error() const {
+    return io_error_.load(std::memory_order_acquire);
+  }
+
+  /// Arena bytes currently evicted (released from residency).
+  [[nodiscard]] std::size_t evicted_bytes() const {
+    return evicted_pages_.load(std::memory_order_relaxed) * page_arena_bytes();
+  }
+  [[nodiscard]] bool spilled() const {
+    return stats_segments_written_.load(std::memory_order_relaxed) > 0;
+  }
+  [[nodiscard]] std::size_t budget_bytes() const  {
+    return options_.budget_bytes;
+  }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  enum State : int {
+    kResident = 0,  ///< never spilled; no segment file
+    kClean = 1,     ///< resident, segment file holds identical bytes
+    kEvicted = 2,   ///< non-resident; reads must fault the segment back
+  };
+
+  [[nodiscard]] std::size_t rows_per_page() const {
+    return std::size_t{1} << rows_log2_;
+  }
+  [[nodiscard]] std::size_t page_arena_bytes() const {
+    return rows_per_page() * width_ * sizeof(ConfigStore::Count);
+  }
+  [[nodiscard]] ConfigStore::Count* page_data(std::size_t page);
+  [[nodiscard]] std::string segment_path(std::size_t page) const;
+
+  /// Writes `page`'s frozen rows to its segment file (atomic rename,
+  /// "spill.write" failpoints). Throws SpillError on failure.
+  void write_segment(std::size_t page);
+  /// Reads and validates `page`'s segment into `dst` (page_arena_bytes).
+  /// Returns false (and records the reason) on failure; never throws.
+  [[nodiscard]] bool read_segment(std::size_t page, ConfigStore::Count* dst,
+                                  std::string* error);
+  /// Slow path of ensure_row: mutex + re-check + segment read + release
+  /// publication. Sets io_error_ on failure instead of throwing.
+  void fault_in(std::size_t page);
+
+  ConfigStore& store_;
+  Options options_;
+  std::size_t width_ = 0;
+  unsigned rows_log2_ = 0;
+  std::size_t n_pages_ = 0;
+  std::uint64_t run_tag_ = 0;  ///< uniquifies file names per pool instance
+  ConfigStore::Count* base_ = nullptr;  ///< arena base (stability-checked)
+
+  /// One State per page, preallocated — no growth, so workers index it
+  /// without synchronization beyond the per-page acquire load.
+  std::unique_ptr<std::atomic<int>[]> states_;
+  std::vector<bool> has_segment_;  ///< guarded by mu_ after construction
+
+  std::mutex mu_;  ///< serializes fault-backs (and guards has_segment_)
+  std::atomic<bool> io_error_{false};
+  std::atomic<std::size_t> evicted_pages_{0};
+  std::atomic<std::uint64_t> stats_segments_written_{0};
+  std::atomic<std::uint64_t> stats_segments_read_{0};
+  std::atomic<std::uint64_t> stats_bytes_written_{0};
+  std::atomic<std::uint64_t> stats_bytes_read_{0};
+};
+
+}  // namespace crnkit::verify
+
+#endif  // CRNKIT_VERIFY_SPILL_H_

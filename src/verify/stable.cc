@@ -117,6 +117,9 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
   explore_options.checkpoint_path = options.checkpoint_path;
   explore_options.checkpoint_every_secs = options.checkpoint_every_secs;
   explore_options.resume = options.resume;
+  explore_options.spill_dir = options.spill_dir;
+  explore_options.memory_budget_bytes = options.memory_budget_bytes;
+  explore_options.spill_page_bytes = options.spill_page_bytes;
   lint::InvariantGuide guide;
   if (options.invariants != nullptr && !options.invariants->empty()) {
     guide = lint::make_guide(*options.invariants, initial);
@@ -156,10 +159,15 @@ StableCheckResult check_stable_computation(const crn::Crn& crn,
                                 false);
   std::vector<bool> good(static_cast<std::size_t>(component_count), false);
 
-  // Gather member output ranges.
+  // Gather member output ranges over a single streamed copy of the
+  // output column: under out-of-core exploration per-node view() reads
+  // would fault evicted pages back one witness at a time; collect_column
+  // streams each spilled segment exactly once instead.
+  std::vector<ConfigStore::Count> out_column;
+  graph.store.collect_column(y, out_column);
   for (std::size_t node = 0; node < graph.size(); ++node) {
     const auto c = static_cast<std::size_t>(component[node]);
-    const math::Int out = graph.view(static_cast<int>(node))[y];
+    const math::Int out = out_column[node];
     if (!initialized[c]) {
       reach_min[c] = out;
       reach_max[c] = out;

@@ -66,6 +66,12 @@ struct StableCheckOptions {
   /// ExploreOptions::species_bounds / expected_configs). Verdicts and
   /// graphs are bit-identical with and without a (correct) guide.
   const std::vector<lint::ConservationLaw>* invariants = nullptr;
+  /// Out-of-core pass-through (see ExploreOptions::spill_dir): spill
+  /// frozen arena pages to this directory instead of truncating when
+  /// resident bytes exceed memory_budget_bytes. Verdicts stay exact.
+  std::string spill_dir;
+  std::size_t memory_budget_bytes = 0;
+  std::size_t spill_page_bytes = 0;  ///< test override; 0 = default
 };
 
 /// Decides whether `crn` stably computes `expected` on input x.

@@ -6,8 +6,11 @@
 // mixed traffic against one shared service.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -15,6 +18,7 @@
 
 #include "crn/network.h"
 #include "crn/passes.h"
+#include "obs/metrics.h"
 #include "svc/proof_cache.h"
 #include "svc/serialize.h"
 #include "svc/server.h"
@@ -522,6 +526,171 @@ TEST(Service, VerifyStampsInvariantCertificatesIntoCachedVerdicts) {
     EXPECT_TRUE(warm.points[i].cached) << i;
     EXPECT_EQ(warm.points[i].invariants, cold.points[i].invariants) << i;
   }
+}
+
+TEST(ProofCacheCoalescing, ConcurrentColdMissesRunOneExploration) {
+  // 32 threads hammer the same cold verify point concurrently. The
+  // single-flight claim (ProofCache::Flight) must coalesce them onto one
+  // exploration: the leader records the only miss and the only insert,
+  // every follower waits and then hits.
+  Service service;
+  const std::uint64_t explorations_before =
+      obs::Registry::instance()
+          .counter("crnkit_verify_explorations_total",
+                   "reachability explorations run")
+          .value();
+
+  // A workload heavy enough (~1.5M configs) that the leader is still
+  // exploring while the other 31 threads arrive and park behind its
+  // flight — a trivial point would let the leader finish before the
+  // followers even claim, hiding the coalescing path.
+  constexpr int kThreads = 32;
+  VerifyRequest req;
+  req.target = "chain/compose-18";
+  req.input = "8";
+  std::vector<std::thread> threads;
+  std::vector<VerifyResponse> responses(kThreads);
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&service, &responses, i, req] { responses[static_cast<std::size_t>(
+            i)] = service.verify(req); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const VerifyResponse& resp : responses) {
+    EXPECT_TRUE(resp.ok);
+    ASSERT_EQ(resp.points.size(), 1u);
+    EXPECT_EQ(resp.points.front().status, "proved");
+  }
+
+  const std::uint64_t explorations_after =
+      obs::Registry::instance()
+          .counter("crnkit_verify_explorations_total",
+                   "reachability explorations run")
+          .value();
+  EXPECT_EQ(explorations_after - explorations_before, 1u)
+      << "coalescing must collapse 32 identical cold verifies into "
+         "exactly one exploration";
+
+  const ProofCache::Stats stats = service.proof_cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.insertions, 1u);
+  // Every thread that arrived while the leader was exploring waited
+  // (coalesced); a thread that arrived after the insert just hits. The
+  // exact split is scheduling-dependent, but with a multi-hundred-ms
+  // exploration at least one follower must have parked. Exact counting
+  // semantics are covered deterministically by FlightBlocksFollowers.
+  EXPECT_GE(stats.coalesced, 1u);
+}
+
+TEST(ProofCacheCoalescing, FlightBlocksFollowersUntilLeaderReleases) {
+  // Deterministic single-flight semantics, directly on the latch: a
+  // follower claiming the same (key, budget) parks until the leader's
+  // Flight is destroyed, and is counted exactly once; a different budget
+  // for the same key is a distinct flight and never waits.
+  ProofCache cache;
+  ProofKey key;
+  key.crn_hash = 0x5eed;
+  key.x = {3, 4};
+  key.expected = 7;
+
+  auto leader = std::make_unique<ProofCache::Flight>(cache, key, 1000);
+  EXPECT_FALSE(leader->coalesced());
+
+  std::atomic<bool> follower_done{false};
+  std::thread follower([&] {
+    ProofCache::Flight flight(cache, key, 1000);
+    EXPECT_TRUE(flight.coalesced());
+    follower_done = true;
+  });
+  // The coalesced count is bumped before the follower parks, so once it
+  // reads 1 the follower is committed to waiting on the leader.
+  while (cache.stats().coalesced == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(follower_done.load());
+
+  // Same key, different budget: a distinct flight, claims immediately.
+  {
+    ProofCache::Flight other(cache, key, 2000);
+    EXPECT_FALSE(other.coalesced());
+  }
+  EXPECT_FALSE(follower_done.load());
+
+  leader.reset();
+  follower.join();
+  EXPECT_TRUE(follower_done.load());
+  EXPECT_EQ(cache.stats().coalesced, 1u);
+}
+
+TEST(ServiceMemoryBudget, ClampCoversAuxArrayOverheads) {
+  // Regression for the clamp estimate: the old per-config guess
+  // (width*4 + 48) ignored the CSR edges, BFS parents, and frontier
+  // bookkeeping entirely, overshooting the budget ~2x. The estimate must
+  // now assume at least 100 B of non-arena overhead per config.
+  Service::Options options;
+  options.memory_budget_bytes = std::size_t{100} << 20;
+  Service service(options);
+  EXPECT_GE(service.clamp_overhead_per_config(), std::size_t{100});
+
+  bool degraded = false;
+  const std::size_t width = 25;
+  const std::size_t clamped = service.clamp_to_memory_budget(
+      std::size_t{10'000'000}, width, &degraded);
+  EXPECT_TRUE(degraded);
+  EXPECT_LE(clamped, options.memory_budget_bytes /
+                         (width * sizeof(std::int32_t) + 100));
+
+  // After a real exploration the bound tightens to the observed
+  // bytes-per-config actuals (never loosens below the static floor).
+  VerifyRequest req;
+  req.target = "fig1/min";
+  const VerifyResponse resp = service.verify(req);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_GE(service.clamp_overhead_per_config(), std::size_t{100});
+  bool degraded_after = false;
+  const std::size_t clamped_after = service.clamp_to_memory_budget(
+      std::size_t{10'000'000}, width, &degraded_after);
+  EXPECT_TRUE(degraded_after);
+  EXPECT_LE(clamped_after, clamped);
+}
+
+TEST(ServiceSpillLadder, OverBudgetVerifySpillsExactInsteadOfDegrading) {
+  // The graceful-degradation ladder: the same over-budget request that
+  // clamps to `degraded` without a spill directory stays exact (marked
+  // `spilled`) with one, and the two fresh explorations agree with the
+  // unconstrained verdict.
+  VerifyRequest req;
+  req.target = "fig1/min";
+  req.input = "4,4";
+  req.max_configs = 5'000'000;
+  req.use_cache = false;
+
+  Service unconstrained;
+  const VerifyResponse want = unconstrained.verify(req);
+  ASSERT_TRUE(want.ok);
+
+  Service::Options clamp_only;
+  clamp_only.memory_budget_bytes = std::size_t{1} << 20;
+  Service degrading(clamp_only);
+  const VerifyResponse degraded = degrading.verify(req);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_FALSE(degraded.spilled);
+  EXPECT_LT(degraded.max_configs, req.max_configs);
+
+  Service::Options with_spill = clamp_only;
+  with_spill.spill_dir = testing::TempDir() + "svc_spill_ladder";
+  Service spilling(with_spill);
+  const VerifyResponse got = spilling.verify(req);
+  EXPECT_FALSE(got.degraded);
+  EXPECT_EQ(got.max_configs, req.max_configs)
+      << "the spill rung must keep the requested budget";
+  EXPECT_TRUE(got.ok);
+  ASSERT_EQ(got.points.size(), 1u);
+  EXPECT_EQ(got.points.front().status, "proved");
+  EXPECT_EQ(got.points.front().configs, want.points.front().configs);
+  EXPECT_EQ(got.points.front().edges, want.points.front().edges);
 }
 
 }  // namespace

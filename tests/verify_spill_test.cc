@@ -1,0 +1,213 @@
+// Out-of-core exploration (verify/spill.h): spilled runs must produce
+// graphs bit-identical to in-RAM runs at every thread count — eviction
+// changes where arena bytes live, never which configurations exist or
+// how they are numbered — and disk failures must surface as the typed
+// retriable SpillError, never as a wrong or truncated verdict.
+#include "verify/spill.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "util/fault_injector.h"
+#include "verify/checkpoint.h"
+#include "verify/reachability.h"
+#include "verify/stable.h"
+
+namespace crnkit::verify {
+namespace {
+
+std::string temp_dir(const std::string& stem) {
+  return testing::TempDir() + stem + "." + std::to_string(::getpid());
+}
+
+/// Tiny pages + a tiny budget force spilling on small graphs: every
+/// frozen page is evicted at every level barrier.
+ExploreOptions spill_options(const std::string& dir) {
+  ExploreOptions options;
+  options.spill_dir = dir;
+  options.memory_budget_bytes = 4096;
+  options.spill_page_bytes = 4096;
+  return options;
+}
+
+/// Compares a (possibly spilled) graph against an in-RAM baseline.
+/// Arena contents are read through collect_column — the documented read
+/// path for out-of-core graphs; view() on an evicted page would see the
+/// eviction poison.
+void expect_identical(const ReachabilityGraph& spilled,
+                      const ReachabilityGraph& baseline,
+                      const std::string& label) {
+  ASSERT_EQ(spilled.size(), baseline.size()) << label;
+  ASSERT_EQ(spilled.complete, baseline.complete) << label;
+  ASSERT_EQ(spilled.store.width(), baseline.store.width()) << label;
+  for (std::size_t s = 0; s < spilled.store.width(); ++s) {
+    std::vector<ConfigStore::Count> got;
+    std::vector<ConfigStore::Count> want;
+    spilled.store.collect_column(s, got);
+    baseline.store.collect_column(s, want);
+    ASSERT_EQ(got, want) << label << ": arena column " << s << " differs";
+  }
+  EXPECT_EQ(spilled.succ_off, baseline.succ_off) << label;
+  EXPECT_EQ(spilled.succ, baseline.succ) << label;
+  EXPECT_EQ(spilled.parent, baseline.parent) << label;
+  EXPECT_EQ(spilled.parent_reaction, baseline.parent_reaction) << label;
+}
+
+TEST(VerifySpill, SpilledGraphBitIdenticalAcrossThreads) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("chain/compose-18");
+  const crn::Config initial = s.crn.initial_configuration({4});
+
+  ExploreOptions in_ram;
+  in_ram.threads = 1;
+  const ReachabilityGraph baseline = explore(s.crn, initial, in_ram);
+  ASSERT_TRUE(baseline.complete);
+  ASSERT_FALSE(baseline.stats.spilled);
+
+  const std::string dir = temp_dir("spill_threads");
+  for (const int threads : {1, 2, 8}) {
+    ExploreOptions options = spill_options(dir);
+    options.threads = threads;
+    const ReachabilityGraph graph = explore(s.crn, initial, options);
+    EXPECT_TRUE(graph.stats.spilled)
+        << "a 4 KiB budget must force spilling";
+    EXPECT_GT(graph.stats.spill_segments_written, 0u);
+    EXPECT_GT(graph.stats.spill_bytes_written, 0u);
+    expect_identical(graph, baseline,
+                     "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(VerifySpill, SpilledVerdictMatchesInRam) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("chain/compose-18");
+
+  StableCheckOptions in_ram;
+  const StableCheckResult want =
+      check_stable_computation(s.crn, {5}, 5, in_ram);
+  ASSERT_TRUE(want.ok);
+  ASSERT_TRUE(want.complete);
+
+  StableCheckOptions options;
+  options.spill_dir = temp_dir("spill_verdict");
+  options.memory_budget_bytes = 4096;
+  options.spill_page_bytes = 4096;
+  const StableCheckResult got =
+      check_stable_computation(s.crn, {5}, 5, options);
+  EXPECT_TRUE(got.explore_stats.spilled);
+  EXPECT_EQ(got.ok, want.ok);
+  EXPECT_EQ(got.complete, want.complete);
+  EXPECT_EQ(got.num_configs, want.num_configs);
+  EXPECT_EQ(got.num_edges, want.num_edges);
+}
+
+TEST(VerifySpill, CollectColumnMatchesViewsInRam) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("chain/compose-4");
+  const crn::Config initial = s.crn.initial_configuration({3});
+  const ReachabilityGraph graph = explore(s.crn, initial, {});
+  ASSERT_GT(graph.size(), 0u);
+  for (std::size_t sp = 0; sp < graph.store.width(); ++sp) {
+    std::vector<ConfigStore::Count> column;
+    graph.store.collect_column(sp, column);
+    ASSERT_EQ(column.size(), graph.size());
+    for (std::size_t node = 0; node < graph.size(); ++node) {
+      ASSERT_EQ(column[node],
+                graph.view(static_cast<int>(node))[sp])
+          << "species " << sp << " node " << node;
+    }
+  }
+}
+
+TEST(VerifySpill, DiskFullShedsTypedRetriableError) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("chain/compose-18");
+  const crn::Config initial = s.crn.initial_configuration({4});
+
+  // Every segment write dies with a short write (disk full): the
+  // exploration must shed with SpillError, not truncate or crash.
+  auto& fi = util::FaultInjector::instance();
+  fi.configure("spill.write.short_write=always:arg=16");
+  EXPECT_THROW(
+      {
+        const auto graph =
+            explore(s.crn, initial, spill_options(temp_dir("spill_enospc")));
+        (void)graph;
+      },
+      SpillError);
+  fi.reset();
+
+  // And with the failpoint disarmed the same exploration completes.
+  const auto graph =
+      explore(s.crn, initial, spill_options(temp_dir("spill_after")));
+  EXPECT_TRUE(graph.complete);
+  EXPECT_TRUE(graph.stats.spilled);
+}
+
+TEST(VerifySpill, ReadFailureDiscardsExplorationWhole) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("chain/compose-18");
+  const crn::Config initial = s.crn.initial_configuration({4});
+
+  // Segment reads fail (torn file, I/O error). Fault-backs during the
+  // BFS are rare (hash-tag collisions), so drive the read path
+  // deterministically through the verdict passes: explore spilled, then
+  // arm the failpoint and stream the columns.
+  const ReachabilityGraph graph =
+      explore(s.crn, initial, spill_options(temp_dir("spill_read")));
+  ASSERT_TRUE(graph.stats.spilled);
+  ASSERT_TRUE(graph.spill != nullptr);
+
+  auto& fi = util::FaultInjector::instance();
+  fi.configure("spill.read=always");
+  std::vector<ConfigStore::Count> column;
+  EXPECT_THROW(graph.store.collect_column(0, column), SpillError);
+  fi.reset();
+
+  // Disarmed, the same graph streams cleanly.
+  graph.store.collect_column(0, column);
+  EXPECT_EQ(column.size(), graph.size());
+}
+
+TEST(VerifySpill, CheckpointResumeBitIdenticalUnderSpill) {
+  const scenario::Scenario s =
+      scenario::Registry::builtin().build("chain/compose-18");
+  const crn::Config initial = s.crn.initial_configuration({4});
+  const std::string ckpt = temp_dir("spill_ckpt") + ".ckpt";
+
+  ExploreOptions fresh = spill_options(temp_dir("spill_ckpt_fresh"));
+  const ReachabilityGraph want = explore(s.crn, initial, fresh);
+  ASSERT_TRUE(want.complete);
+
+  // Cancelled spilled run saves a checkpoint whose arena bytes came back
+  // through the spill segments (not the poisoned resident pages)...
+  util::CancelToken cancelled;
+  cancelled.cancel();
+  ExploreOptions interrupted = spill_options(temp_dir("spill_ckpt_a"));
+  interrupted.cancel = &cancelled;
+  interrupted.checkpoint_path = ckpt;
+  interrupted.checkpoint_every_secs = 0.0;
+  const ReachabilityGraph partial = explore(s.crn, initial, interrupted);
+  EXPECT_TRUE(partial.cancelled);
+
+  // ... and resuming from it (still spilling, still snapshotting at
+  // every level — each save streams evicted pages back through their
+  // segments) converges bit-identically.
+  ExploreOptions resumed = spill_options(temp_dir("spill_ckpt_b"));
+  resumed.checkpoint_path = ckpt;
+  resumed.checkpoint_every_secs = 0.0;
+  resumed.resume = true;
+  const ReachabilityGraph got = explore(s.crn, initial, resumed);
+  EXPECT_TRUE(got.stats.spilled);
+  expect_identical(got, want, "resumed-after-cancel");
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace crnkit::verify

@@ -6,8 +6,10 @@
 // "records" array of {name, events_per_sec, wall_seconds, events}). Every
 // record name present in BOTH files is compared on events_per_sec; the
 // *gated* set is the exploration-throughput records (names starting with
-// "arena", "legacy", or "proof" — the configs/s numbers the verifier's
-// perf trajectory is defined by). If any gated fresh record falls more
+// "arena", "legacy", "proof", or "oo_core" — the configs/s numbers the
+// verifier's perf trajectory is defined by — plus the composition
+// pipeline's "circuit/" records from BENCH_composition.json, so the gate
+// covers both tables). If any gated fresh record falls more
 // than `threshold` (default 0.30, i.e. 30%) below its baseline the tool
 // prints the offenders and exits 1. Other shared records (e.g. the
 // job-submission latency microbenches, which measure condvar wakeups and
@@ -153,7 +155,8 @@ int main(int argc, char** argv) {
 
   const auto gated = [](const std::string& name) {
     return name.rfind("arena", 0) == 0 || name.rfind("legacy", 0) == 0 ||
-           name.rfind("proof", 0) == 0;
+           name.rfind("proof", 0) == 0 || name.rfind("oo_core", 0) == 0 ||
+           name.rfind("circuit/", 0) == 0;
   };
   int compared = 0;
   int only_one_side = 0;

@@ -131,8 +131,14 @@ class LineClient {
 
 /// The mixed request stream: mostly cheap cached verifies, with shows,
 /// pings, and small simulates mixed in — the shapes a real client sends.
-std::string pick_request(Prng& prng) {
+/// In --spill mode a quarter of the stream is an over-budget verify that
+/// runs out-of-core, so the armed spill failpoints have traffic to hit
+/// (the first one explores and spills; the rest coalesce or hit cache).
+std::string pick_request(Prng& prng, bool spill) {
   const double u = prng.uniform();
+  if (spill && u < 0.25) {
+    return R"({"op": "verify", "target": "chain/compose-18", "input": "6"})";
+  }
   if (u < 0.45) return R"({"op": "verify", "target": "fig1/min"})";
   if (u < 0.65) return R"({"op": "verify", "target": "fig1/twice"})";
   if (u < 0.80) return R"({"op": "show", "target": "fig1/min"})";
@@ -148,12 +154,19 @@ void drive_one(const std::string& host, int port, const std::string& request,
                std::optional<LineClient>& client, Prng& prng, Tally& tally,
                int max_attempts) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Resets get their own budget: a long exploration can legitimately eat
+  // the whole shed budget as backpressure (tolerated by design), and one
+  // unlucky injected reset on top must not masquerade as a hard failure.
+  int reset_attempts = 0;
   for (int attempt = 0;; ++attempt) {
     try {
       if (!client) client.emplace(host, port);
       const std::string response = client->roundtrip(request);
       const JsonValue v = JsonValue::parse(response);
-      if (v.get_string("error", "") == "overloaded") {
+      if (!v.get_string("error", "").empty()) {
+        // Any refusal (`overloaded` backpressure, `spill_io` disk
+        // trouble, ...) must carry the typed retriable shape; the error
+        // name only picks the backoff, the contract is the same.
         ++tally.sheds;
         if (!v.get_bool("retriable", false) ||
             v.get_int("retry_after_ms", 0) <= 0) {
@@ -178,7 +191,7 @@ void drive_one(const std::string& host, int port, const std::string& request,
       // torn reply): reconnect and retry.
       client.reset();
       ++tally.resets;
-      if (attempt >= max_attempts) {
+      if (++reset_attempts > max_attempts) {
         ++tally.hard_failures;
         return;
       }
@@ -186,7 +199,7 @@ void drive_one(const std::string& host, int port, const std::string& request,
       // Linear backoff: consecutive resets mean the accept loop is
       // starved, so waiting longer each time is what actually clears it.
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          5.0 * static_cast<double>(attempt + 1) *
+          5.0 * static_cast<double>(reset_attempts) *
           (0.5 + 0.5 * prng.uniform())));
     }
   }
@@ -208,6 +221,7 @@ int run(int argc, char** argv) {
   // accept queues much longer) raises it — the contract checked there is
   // "no races, no crashes, typed sheds", not the retry SLO.
   int max_attempts = 8;
+  bool spill = false;
   std::optional<std::string> connect;
   std::string faults = kDefaultFaults;
 
@@ -233,13 +247,23 @@ int run(int argc, char** argv) {
       p99_budget_ms = std::stod(need_value("--p99-budget-ms"));
     } else if (arg == "--max-attempts") {
       max_attempts = std::max(1, std::stoi(need_value("--max-attempts")));
+    } else if (arg == "--spill") {
+      spill = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_replay [--count N] [--threads N] [--seed S] "
-                   "[--connect HOST:PORT] [--faults SPEC] "
+                   "[--connect HOST:PORT] [--faults SPEC] [--spill] "
                    "[--p99-budget-ms N] [--max-attempts N]\n");
       return 2;
     }
+  }
+  if (spill) {
+    // Out-of-core chaos: arm the spill-segment failpoints on top of the
+    // serving faults. Writes die with short writes (disk full) and reads
+    // fail outright; both must surface as the typed retriable `spill_io`
+    // shed, never a crash or a wrong verdict.
+    faults += ",spill.write.short_write=prob:0.05:arg=64,"
+              "spill.read=prob:0.02";
   }
 
   std::string host = "127.0.0.1";
@@ -248,6 +272,7 @@ int run(int argc, char** argv) {
   std::optional<crnkit::svc::Server> server;
   std::string journal_path;
   std::string snapshot_path;
+  std::string spill_dir;
   if (connect) {
     const auto colon = connect->rfind(':');
     if (colon == std::string::npos) {
@@ -271,13 +296,23 @@ int run(int argc, char** argv) {
     crnkit::util::FaultInjector::instance().configure(faults);
     crnkit::svc::Service::Options service_options;
     service_options.default_deadline_ms = 10'000;
+    if (spill) {
+      // A 4 MiB budget the compose-18 point (~10 MiB arena) must
+      // overflow: the ladder sends it out-of-core instead of degrading.
+      service_options.memory_budget_bytes = std::size_t{4} << 20;
+      spill_dir = dir + "/chaos_spill." + std::to_string(::getpid());
+      service_options.spill_dir = spill_dir;
+    }
     service.emplace(service_options);
     service->proof_cache().enable_journal(journal_path);
     crnkit::svc::Server::Options server_options;
     server_options.port = 0;  // ephemeral
     server_options.max_connections = 32;
     server_options.max_inflight = 2;
-    server_options.retry_after_ms = 5;
+    // The retry hint must roughly match how long the gate stays busy: a
+    // spilled exploration holds a worker for ~100 ms+, so a 5 ms hint
+    // would burn every client's whole retry budget inside one window.
+    server_options.retry_after_ms = spill ? 50 : 5;
     server.emplace(*service, server_options);
     server->start();
     port = server->port();
@@ -299,7 +334,7 @@ int run(int argc, char** argv) {
         // Fresh connections now and then so the accept failpoint and the
         // connection gate see steady traffic.
         if (i % 16 == 0) client.reset();
-        drive_one(host, port, pick_request(prng), client, prng, tally,
+        drive_one(host, port, pick_request(prng, spill), client, prng, tally,
                   max_attempts);
       }
     });
@@ -336,6 +371,8 @@ int run(int argc, char** argv) {
     }
     ::unlink(journal_path.c_str());
     ::unlink(snapshot_path.c_str());
+    // SpillPool unlinks its own segments; just drop the directory.
+    if (!spill_dir.empty()) ::rmdir(spill_dir.c_str());
   }
 
   std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
